@@ -1,0 +1,116 @@
+"""Multi-stakeholder collaboration through the TVDP REST APIs.
+
+Three participants, exactly as the paper's example scenario:
+
+1. **LASAN** (government) uploads geo-tagged street images;
+2. **USC** (researchers) devises + trains a cleanliness model on the
+   shared data and machine-annotates new images;
+3. the **Homeless Coordinator** (community) searches the shared
+   annotations — never touching pixels or models.
+
+Everything goes through API keys and the client library.
+
+Run:  python examples/api_collaboration.py
+"""
+
+from repro import TVDP
+from repro.api import TVDPClient, TVDPService, deserialize_classifier
+from repro.datasets import generate_lasan_dataset
+from repro.features import ColorHistogramExtractor
+from repro.imaging import CLEANLINESS_CLASSES
+
+import numpy as np
+
+
+def main() -> None:
+    platform = TVDP()
+    platform.register_extractor(ColorHistogramExtractor())
+    platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+    service = TVDPService(platform, deterministic_keys=True)
+
+    # --- Participant 1: LASAN uploads the collection.
+    lasan = TVDPClient(service)
+    lasan_id = lasan.register_user("LASAN", role="government", organization="City of LA")
+    lasan.create_key(lasan_id)
+    records = generate_lasan_dataset(n_per_class=20, image_size=40, seed=0)
+    train_records, new_records = records[:80], records[80:]
+    train_ids = []
+    for record in train_records:
+        body = lasan.add_image(
+            record.image, record.fov, record.captured_at, record.uploaded_at,
+            keywords=record.keywords,
+        )
+        train_ids.append(body["image_id"])
+    print(f"LASAN uploaded {len(train_ids)} labelled training images")
+
+    # LASAN staff provide the ground-truth labels (human annotation).
+    for image_id, record in zip(train_ids, train_records):
+        platform.annotations.annotate(
+            image_id, "street_cleanliness", record.label, 1.0, source="human",
+            annotator="lasan_staff",
+        )
+
+    # --- Participant 2: USC devises and trains a shared model.
+    usc = TVDPClient(service)
+    usc_id = usc.register_user("USC IMSC", role="researcher")
+    usc.create_key(usc_id)
+    usc.devise_model(
+        "cleanliness_v1",
+        extractor="color_hsv_20_20_10",
+        classification="street_cleanliness",
+        classifier="svm",
+        description="street cleanliness from colour features",
+    )
+    trained_on = usc.train_model("cleanliness_v1", source="human")
+    print(f"USC trained cleanliness_v1 on {trained_on} annotated images")
+
+    # New unlabelled uploads get machine-annotated through the API.
+    new_ids = []
+    for record in new_records:
+        body = lasan.add_image(
+            record.image, record.fov, record.captured_at, record.uploaded_at
+        )
+        new_ids.append(body["image_id"])
+    for image_id in new_ids:
+        usc.predict("cleanliness_v1", image_id=image_id, annotate=True)
+    print(f"USC machine-annotated {len(new_ids)} new images")
+
+    # --- Participant 3: the Homeless Coordinator reuses annotations.
+    coordinator = TVDPClient(service)
+    coordinator_id = coordinator.register_user(
+        "Homeless Coordinator", role="community", organization="City of LA"
+    )
+    coordinator.create_key(coordinator_id)
+    hits = coordinator.search(
+        {
+            "type": "categorical",
+            "classification": "street_cleanliness",
+            "labels": ["encampment"],
+            "source": "machine",
+        }
+    )
+    print(
+        f"Coordinator found {len(hits)} machine-labelled encampment images "
+        "without training anything"
+    )
+    for hit in hits[:5]:
+        metadata = coordinator.get_image(hit["image_id"])["metadata"]
+        print(
+            f"  image {hit['image_id']:3d} at "
+            f"({metadata['lat']:.4f}, {metadata['lng']:.4f}) "
+            f"confidence {hit['score']:.2f}"
+        )
+
+    # --- Edge bonus: download the model and run it locally.
+    payload = coordinator.download_model("cleanliness_v1")
+    local_model = deserialize_classifier(payload)
+    vector = coordinator.get_features(
+        "color_hsv_20_20_10", image=new_records[0].image
+    )
+    label = str(local_model.predict(vector[np.newaxis, :])[0])
+    print(f"\nedge-side inference with the downloaded model: {label!r}")
+    print("\nplatform stats:", coordinator.stats()["rows"])
+
+
+if __name__ == "__main__":
+    main()

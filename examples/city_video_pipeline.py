@@ -1,0 +1,79 @@
+"""City video pipeline: street-network drives to panorama selection.
+
+A garbage-truck shift end to end on realistic street geometry:
+
+1. build a Manhattan-style road network over downtown;
+2. drive a patrol route, recording a dashcam video with per-frame FOVs;
+3. ingest only content-adaptive key frames (quality-gated, near-dup
+   flagged);
+4. ask the platform for the minimal frame set covering a full panorama
+   around an intersection of interest.
+
+Run:  python examples/city_video_pipeline.py
+"""
+
+from repro.core import (
+    TVDP,
+    ingest_video,
+    select_keyframes_adaptive,
+)
+from repro.analysis import select_panorama_frames
+from repro.datasets import generate_route_video
+from repro.features import ColorHistogramExtractor
+from repro.geo import DOWNTOWN_LA, GeoPoint, RoadNetwork
+
+
+def main() -> None:
+    platform = TVDP(detect_near_duplicates=True)
+    truck_depot = GeoPoint(34.035, -118.265)
+
+    print("building the street network...")
+    network = RoadNetwork.manhattan(DOWNTOWN_LA, rows=7, cols=7, seed=0)
+    print(
+        f"  {network.graph.number_of_nodes()} intersections, "
+        f"{network.graph.number_of_edges()} segments, "
+        f"{network.total_length_m() / 1000:.1f} km of streets"
+    )
+
+    print("\ndriving a 20-hop patrol route...")
+    route = network.patrol(truck_depot, hops=20, seed=1)
+    video = generate_route_video(
+        1, route, speed_mps=8.0, image_size=40, seed=0
+    )
+    print(f"  {len(video.frames)} frames recorded over {route and len(route)} blocks")
+
+    print("\nselecting content-adaptive key frames...")
+    extractor = ColorHistogramExtractor()
+    keyframes = select_keyframes_adaptive(video, extractor, threshold=0.18)
+    print(
+        f"  kept {len(keyframes)}/{len(video.frames)} frames "
+        f"({len(keyframes) / len(video.frames):.0%})"
+    )
+
+    print("\ningesting key frames (near-duplicate detection on)...")
+    _, image_ids = ingest_video(platform, video, keyframes=keyframes)
+    stats = platform.stats()
+    print(
+        f"  stored {stats['rows']['images']} images "
+        f"({stats['rows']['image_fov']} FOV rows)"
+    )
+
+    print("\npanorama selection around a visited intersection...")
+    # Pick a point on the route interior as the panorama anchor.
+    anchor = route[len(route) // 2]
+    selection = select_panorama_frames(platform, anchor, max_frames=10)
+    print(
+        f"  {len(selection.image_ids)} frames cover "
+        f"{selection.coverage:.0%} of directions around "
+        f"({anchor.lat:.4f}, {anchor.lng:.4f})"
+    )
+    for image_id in selection.image_ids:
+        fov = platform.fov(image_id)
+        print(
+            f"    image {image_id:3d}: camera ({fov.camera.lat:.4f}, "
+            f"{fov.camera.lng:.4f}) looking {fov.direction_deg:.0f} deg"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Disaster data platform: drone wildfire monitoring (future work of
+the paper, built out).
+
+Two drone sweeps an hour apart over a burning hillside: plan lawnmower
+surveys, detect fire/smoke events, build situation reports, and
+estimate the spread rate responders would act on.
+
+Run:  python examples/disaster_monitoring.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    WildfireGroundTruth,
+    detect_events,
+    detection_quality,
+    estimate_spread,
+    fly_survey,
+    situation_report,
+)
+from repro.features import ColorHistogramExtractor
+from repro.geo import BoundingBox, GeoPoint
+from repro.imaging import AERIAL_CLASSES, render_aerial_scene
+from repro.ml import LogisticRegression
+
+REGION = BoundingBox(34.10, -118.40, 34.14, -118.36)
+
+
+def train_fire_classifier(seed=0):
+    """Small aerial-condition classifier (fire/smoke/normal)."""
+    rng = np.random.default_rng(seed)
+    extractor = ColorHistogramExtractor()
+    X, y = [], []
+    for label in AERIAL_CLASSES:
+        for _ in range(15):
+            X.append(extractor.extract(render_aerial_scene(label, rng, 40)))
+            y.append(label)
+    model = LogisticRegression(epochs=50).fit(np.vstack(X), np.array(y))
+    return model, extractor
+
+
+def describe(report, name):
+    print(f"{name}:")
+    print(f"  burning cells     : {report.burning_cells}")
+    print(f"  affected fraction : {report.affected_fraction:.0%}")
+    if report.fire_front:
+        front = report.fire_front
+        print(
+            f"  fire front box    : ({front.min_lat:.4f},{front.min_lng:.4f})"
+            f"..({front.max_lat:.4f},{front.max_lng:.4f})"
+        )
+
+
+def main() -> None:
+    truth = WildfireGroundTruth(
+        ignitions=[GeoPoint(34.12, -118.38)],
+        growth_mps=0.5,
+        initial_radius_m=250.0,
+    )
+    model, extractor = train_fire_classifier()
+
+    print("sweep 1 (t = 0)...")
+    sweep1 = fly_survey(REGION, truth, start_time=0.0, rows=6, seed=0)
+    events1 = detect_events(sweep1, classifier=model, extractor=extractor)
+    quality = detection_quality(sweep1, events1)
+    print(
+        f"  {len(sweep1)} tiles captured, {len(events1)} events "
+        f"(fire recall {quality['recall']:.0%}, precision {quality['precision']:.0%})"
+    )
+    report1 = situation_report(REGION, events1)
+    describe(report1, "situation after sweep 1")
+
+    print("\nsweep 2 (t = +1 h)...")
+    sweep2 = fly_survey(REGION, truth, start_time=3_600.0, rows=6, seed=0)
+    events2 = detect_events(sweep2, classifier=model, extractor=extractor)
+    report2 = situation_report(REGION, events2)
+    describe(report2, "situation after sweep 2")
+
+    spread = estimate_spread(report1, report2, dt_s=3_600.0)
+    print("\nspread estimate (sweep 2 vs sweep 1):")
+    print(f"  burning cells delta     : {spread['burning_cells_delta']:+.0f}")
+    print(f"  front growth            : {spread['front_growth_mps']:.2f} m/s")
+    print(f"  affected fraction delta : {spread['affected_fraction_delta']:+.0%}")
+    print(f"  (ground truth growth    : {truth.growth_mps:.2f} m/s)")
+
+
+if __name__ == "__main__":
+    main()

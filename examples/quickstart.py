@@ -1,0 +1,90 @@
+"""TVDP quickstart: upload geo-tagged images, then query every way.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TVDP
+from repro.core import (
+    CategoricalQuery,
+    HybridQuery,
+    SpatialQuery,
+    TemporalQuery,
+    TextualQuery,
+    VisualQuery,
+)
+from repro.datasets import generate_lasan_dataset
+from repro.features import ColorHistogramExtractor
+from repro.geo import BoundingBox
+from repro.imaging import CLEANLINESS_CLASSES
+
+
+def main() -> None:
+    platform = TVDP()
+    lasan = platform.add_user("LASAN", role="government", organization="City of LA")
+
+    # --- Acquisition: upload a small geo-tagged street-image corpus.
+    records = generate_lasan_dataset(n_per_class=8, image_size=40, seed=0)
+    image_ids = []
+    for record in records:
+        receipt = platform.upload_image(
+            image=record.image,
+            fov=record.fov,
+            captured_at=record.captured_at,
+            uploaded_at=record.uploaded_at,
+            keywords=record.keywords,
+            uploader_id=lasan,
+        )
+        image_ids.append(receipt.image_id)
+    print(f"uploaded {len(image_ids)} images")
+    print("platform stats:", platform.stats()["rows"])
+
+    # --- Access 1: spatial query (images depicting a downtown block).
+    block = BoundingBox(34.035, -118.26, 34.05, -118.24)
+    spatial_hits = platform.execute(SpatialQuery(region=block, mode="scene"))
+    print(f"\nspatial query: {len(spatial_hits)} images depict the block")
+
+    # --- Access 2: textual query over manual keywords.
+    text_hits = platform.execute(TextualQuery(text="encampment tent"))
+    print(f"textual query 'encampment tent': {len(text_hits)} hits")
+
+    # --- Access 3: temporal query (first 24h of the collection week).
+    t0 = min(r.captured_at for r in records)
+    temporal_hits = platform.execute(TemporalQuery(start=t0, end=t0 + 86_400))
+    print(f"temporal query (first day): {len(temporal_hits)} images")
+
+    # --- Access 4: visual similarity (needs features extracted first).
+    platform.register_extractor(ColorHistogramExtractor())
+    platform.extract_features("color_hsv_20_20_10")
+    visual_hits = platform.execute(
+        VisualQuery(
+            extractor_name="color_hsv_20_20_10", example=records[0].image, k=5
+        )
+    )
+    print("visual top-5 (image_id, score):")
+    for hit in visual_hits:
+        print(f"  {hit.image_id:4d}  {hit.score:.3f}")
+
+    # --- Analysis: annotate, then run categorical + hybrid queries.
+    platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+    for image_id, record in zip(image_ids, records):
+        platform.annotations.annotate(
+            image_id, "street_cleanliness", record.label, 1.0, source="human"
+        )
+    encampments = platform.execute(
+        CategoricalQuery("street_cleanliness", labels=("encampment",))
+    )
+    print(f"\ncategorical query: {len(encampments)} encampment images")
+
+    hybrid_hits = platform.execute(
+        HybridQuery(
+            queries=(
+                SpatialQuery(region=block, mode="camera"),
+                CategoricalQuery("street_cleanliness", labels=("encampment",)),
+            )
+        )
+    )
+    print(f"hybrid (spatial+categorical): {len(hybrid_hits)} encampments in block")
+
+
+if __name__ == "__main__":
+    main()

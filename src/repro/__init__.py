@@ -1,0 +1,43 @@
+"""TVDP: Translational Visual Data Platform for Smart Cities.
+
+Full reproduction of Kim, Alfarrarjeh, Constantinou & Shahabi
+(ICDE 2019).  The platform collects, manages, analyzes, and shares
+geo-tagged urban visual data through four core services --
+Acquisition, Access, Analysis, Action -- so that knowledge extracted by
+one application (street cleanliness) translates into others (homeless
+counting, graffiti studies) with no new data collection or learning.
+
+Quick start::
+
+    from repro import TVDP
+    from repro.datasets import generate_lasan_dataset
+
+    platform = TVDP()
+    for record in generate_lasan_dataset(n_per_class=10):
+        platform.upload_image(
+            record.image, record.fov, record.captured_at, record.uploaded_at,
+            keywords=record.keywords,
+        )
+
+Subpackages
+-----------
+``repro.geo``       geospatial substrate (FOV model, geodesy, regions)
+``repro.imaging``   image processing and the synthetic streetscape renderer
+``repro.features``  colour-histogram / SIFT-BoW / CNN feature extractors
+``repro.ml``        from-scratch classifiers, clustering, metrics, CV
+``repro.db``        embedded relational engine with the Fig. 2 schema
+``repro.index``     R-tree, Oriented R-tree, LSH, inverted, Visual R*-tree
+``repro.crowd``     spatial crowdsourcing (campaigns, coverage, assignment)
+``repro.edge``      device profiles, model dispatch, crowd-based learning
+``repro.api``       REST-style service + client with API keys
+``repro.core``      the TVDP facade and query model
+``repro.datasets``  synthetic LASAN / GeoUGV stand-ins
+``repro.analysis``  cleanliness, homeless, and graffiti studies
+"""
+
+from repro.core.platform import TVDP
+from repro.errors import TVDPError
+
+__version__ = "0.1.0"
+
+__all__ = ["TVDP", "TVDPError", "__version__"]

@@ -1,0 +1,74 @@
+"""``python -m repro`` — a two-minute guided tour of the platform.
+
+Runs a miniature end-to-end cycle (upload, query, annotate, translate,
+dispatch) and prints what happened at each step.  The full experiment
+reproductions live in ``examples/`` and ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import TVDP, __version__
+from repro.analysis import cluster_encampments
+from repro.core import CategoricalQuery, SpatialQuery, TextualQuery, VisualQuery, explain
+from repro.datasets import generate_lasan_dataset
+from repro.edge import PAPER_DEVICES, PAPER_MODELS, dispatch_fleet
+from repro.features import ColorHistogramExtractor
+from repro.geo import BoundingBox
+from repro.imaging import CLEANLINESS_CLASSES
+
+
+def main(argv: list[str] | None = None) -> int:
+    print(f"TVDP reproduction v{__version__} — guided tour\n")
+
+    platform = TVDP()
+    platform.register_extractor(ColorHistogramExtractor())
+    platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+
+    print("[acquisition] uploading 50 synthetic LASAN street images...")
+    records = generate_lasan_dataset(n_per_class=10, image_size=40, seed=0)
+    for record in records:
+        receipt = platform.upload_image(
+            record.image, record.fov, record.captured_at, record.uploaded_at,
+            keywords=record.keywords,
+        )
+        platform.annotations.annotate(
+            receipt.image_id, "street_cleanliness", record.label, 1.0, "human"
+        )
+    platform.extract_features("color_hsv_20_20_10")
+    print(f"             rows: {platform.stats()['rows']['images']} images\n")
+
+    print("[access] one query per family:")
+    block = BoundingBox(34.035, -118.26, 34.05, -118.24)
+    for query in (
+        SpatialQuery(region=block),
+        TextualQuery(text="encampment tent"),
+        CategoricalQuery("street_cleanliness", labels=("encampment",)),
+        VisualQuery(extractor_name="color_hsv_20_20_10", example=records[0].image, k=5),
+    ):
+        plan = explain(platform, query, analyze=True)
+        print("  " + plan.render().replace("\n", "\n  "))
+    print()
+
+    print("[analysis -> translation] homeless study over shared annotations:")
+    report = cluster_encampments(platform, min_confidence=0.5, eps_m=600.0, min_samples=2)
+    print(
+        f"  {report.total_sightings} encampment sightings -> "
+        f"{report.n_clusters} clusters (+{report.noise_sightings} isolated)\n"
+    )
+
+    print("[action] capability-aware model dispatch (1 s latency budget):")
+    for name, decision in sorted(
+        dispatch_fleet(list(PAPER_DEVICES), list(PAPER_MODELS), 1_000.0).items()
+    ):
+        print(
+            f"  {name:<18} -> {decision.model.name:<14} "
+            f"({decision.predicted_latency_ms:.0f} ms predicted)"
+        )
+    print("\ndone — see examples/ and benchmarks/ for the full reproductions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

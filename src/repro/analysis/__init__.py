@@ -1,0 +1,68 @@
+"""Smart-city application studies built on the platform."""
+
+from repro.analysis.cleanliness import (
+    DEFAULT_CLASSIFIERS,
+    GridCellResult,
+    best_cell,
+    build_feature_suite,
+    feature_matrices,
+    per_category_f1,
+    run_classifier_grid,
+)
+from repro.analysis.homeless import (
+    HomelessReport,
+    TentCluster,
+    cluster_encampments,
+    compare_periods,
+)
+from repro.analysis.graffiti import (
+    GRAFFITI_LABELS,
+    GraffitiStudyResult,
+    annotate_graffiti,
+    run_graffiti_study,
+)
+from repro.analysis.disaster import (
+    DroneCapture,
+    FireEvent,
+    SituationReport,
+    WildfireGroundTruth,
+    detect_events,
+    detection_quality,
+    estimate_spread,
+    fly_survey,
+    ingest_survey,
+    plan_lawnmower,
+    situation_report,
+)
+from repro.analysis.panorama import PanoramaSelection, select_panorama_frames
+
+__all__ = [
+    "DEFAULT_CLASSIFIERS",
+    "GridCellResult",
+    "build_feature_suite",
+    "feature_matrices",
+    "run_classifier_grid",
+    "best_cell",
+    "per_category_f1",
+    "TentCluster",
+    "HomelessReport",
+    "cluster_encampments",
+    "compare_periods",
+    "GRAFFITI_LABELS",
+    "GraffitiStudyResult",
+    "run_graffiti_study",
+    "annotate_graffiti",
+    "DroneCapture",
+    "WildfireGroundTruth",
+    "plan_lawnmower",
+    "fly_survey",
+    "FireEvent",
+    "detect_events",
+    "SituationReport",
+    "situation_report",
+    "estimate_spread",
+    "detection_quality",
+    "ingest_survey",
+    "PanoramaSelection",
+    "select_panorama_frames",
+]

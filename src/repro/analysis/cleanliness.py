@@ -1,0 +1,133 @@
+"""Street-cleanliness classification study (paper Section VII-A).
+
+Reproduces the experimental protocol behind Figs. 6 and 7: extract the
+three visual feature types, train a grid of classifiers, and report
+macro F1 per (feature, classifier) pair plus per-category F1 for the
+winning classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import TVDPError
+from repro.datasets.lasan import LasanRecord
+from repro.features.base import FeatureExtractor, extract_batch
+from repro.features.bow import BowExtractor, BowVocabulary
+from repro.features.cnn import CnnFeatureExtractor
+from repro.features.color_histogram import ColorHistogramExtractor
+from repro.ml.boosting import AdaBoostClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics import f1_score, precision_recall_f1
+from repro.ml.model_selection import cross_val_predict, train_test_split
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.svm import LinearSVM
+from repro.ml.tree import DecisionTreeClassifier
+
+#: The classifier grid of Fig. 6 (factories, so every run is fresh).
+DEFAULT_CLASSIFIERS: dict[str, Callable[[], object]] = {
+    "svm": lambda: LinearSVM(epochs=40),
+    "logistic_regression": lambda: LogisticRegression(epochs=60),
+    "knn": lambda: KNeighborsClassifier(k=7),
+    "decision_tree": lambda: DecisionTreeClassifier(max_depth=10),
+    "naive_bayes": lambda: GaussianNB(var_smoothing=1e-6),
+    "random_forest": lambda: RandomForestClassifier(n_trees=15, max_depth=10),
+    "adaboost": lambda: AdaBoostClassifier(n_estimators=20, max_depth=2),
+}
+
+
+def build_feature_suite(
+    records: list[LasanRecord],
+    bow_words: int = 48,
+    vocab_fraction: float = 0.8,
+    seed: int = 0,
+) -> dict[str, FeatureExtractor]:
+    """The paper's three extractors, with the BoW vocabulary fitted on
+    ``vocab_fraction`` of the corpus (the paper uses 80%)."""
+    if not records:
+        raise TVDPError("need records to build the feature suite")
+    n_vocab = max(int(len(records) * vocab_fraction), 1)
+    vocabulary = BowVocabulary(n_words=bow_words, seed=seed).fit(
+        [record.image for record in records[:n_vocab]]
+    )
+    return {
+        "color_histogram": ColorHistogramExtractor(),
+        "sift_bow": BowExtractor(vocabulary),
+        "cnn": CnnFeatureExtractor(),
+    }
+
+
+def feature_matrices(
+    records: list[LasanRecord], extractors: dict[str, FeatureExtractor]
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Standardised (X, y) per feature name."""
+    labels = np.array([record.label for record in records])
+    images = [record.image for record in records]
+    out = {}
+    for name, extractor in extractors.items():
+        X = extract_batch(extractor, images)
+        out[name] = (StandardScaler().fit_transform(X), labels)
+    return out
+
+
+@dataclass(frozen=True)
+class GridCellResult:
+    """Macro F1 of one (feature, classifier) pair."""
+
+    feature: str
+    classifier: str
+    f1: float
+
+
+def run_classifier_grid(
+    matrices: dict[str, tuple[np.ndarray, np.ndarray]],
+    classifiers: dict[str, Callable[[], object]] | None = None,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> list[GridCellResult]:
+    """Fig. 6: train every classifier on every feature type.
+
+    Uses the paper's 80/20 protocol: fit on 80%, score macro F1 on the
+    held-out 20%.
+    """
+    classifiers = classifiers or DEFAULT_CLASSIFIERS
+    results = []
+    for feature_name, (X, y) in matrices.items():
+        X_train, X_test, y_train, y_test = train_test_split(
+            X, y, test_fraction=test_fraction, seed=seed
+        )
+        for clf_name, factory in classifiers.items():
+            model = factory()
+            model.fit(X_train, y_train)
+            score = f1_score(y_test, model.predict(X_test), average="macro")
+            results.append(
+                GridCellResult(feature=feature_name, classifier=clf_name, f1=score)
+            )
+    return results
+
+
+def best_cell(results: list[GridCellResult]) -> GridCellResult:
+    """Highest-F1 grid cell."""
+    if not results:
+        raise TVDPError("empty grid")
+    return max(results, key=lambda cell: cell.f1)
+
+
+def per_category_f1(
+    X: np.ndarray,
+    y: np.ndarray,
+    make_classifier: Callable[[], object],
+    n_splits: int = 10,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Fig. 7: per-class F1 using out-of-fold predictions (the paper's
+    10-fold cross-validation)."""
+    predictions = cross_val_predict(make_classifier, X, y, n_splits=n_splits, seed=seed)
+    per_class = precision_recall_f1(y, predictions)
+    return {str(label): scores[2] for label, scores in per_class.items()}

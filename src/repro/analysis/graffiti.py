@@ -1,0 +1,111 @@
+"""Graffiti study: a second, independent analysis over the same data.
+
+"We performed separate learning to identify graffiti using the same
+dataset and annotated the dataset with the results.  In this way,
+various visual analysis can be performed, and their results are
+annotated and shared" — the dataset collected for street cleanliness
+serves a completely different question at zero collection cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import TVDPError
+from repro.datasets.lasan import LasanRecord
+from repro.features.base import FeatureExtractor, extract_batch
+from repro.ml.metrics import f1_score
+from repro.ml.model_selection import train_test_split
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.svm import LinearSVM
+from repro.core.platform import TVDP
+
+GRAFFITI_LABELS = ("graffiti", "no_graffiti")
+
+
+@dataclass(frozen=True)
+class GraffitiStudyResult:
+    """Outcome of the binary graffiti classification."""
+
+    f1: float
+    n_train: int
+    n_test: int
+    positive_rate: float
+
+
+def run_graffiti_study(
+    records: list[LasanRecord],
+    extractor: FeatureExtractor,
+    make_classifier: Callable[[], object] = lambda: LinearSVM(epochs=40),
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> tuple[GraffitiStudyResult, object, StandardScaler]:
+    """Train graffiti-vs-none on the cleanliness corpus.
+
+    Returns the result plus the fitted classifier and scaler so the
+    platform can machine-annotate the rest of the corpus.
+    """
+    if not records:
+        raise TVDPError("need records for the graffiti study")
+    labels = np.array(
+        [GRAFFITI_LABELS[0] if r.has_graffiti else GRAFFITI_LABELS[1] for r in records]
+    )
+    if len(set(labels.tolist())) < 2:
+        raise TVDPError("corpus has only one graffiti class; increase graffiti_prob")
+    X = extract_batch(extractor, [record.image for record in records])
+    scaler = StandardScaler()
+    X = scaler.fit_transform(X)
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, labels, test_fraction=test_fraction, seed=seed
+    )
+    model = make_classifier()
+    model.fit(X_train, y_train)
+    score = f1_score(y_test, model.predict(X_test), average="macro")
+    return (
+        GraffitiStudyResult(
+            f1=score,
+            n_train=int(X_train.shape[0]),
+            n_test=int(X_test.shape[0]),
+            positive_rate=float(np.mean(labels == GRAFFITI_LABELS[0])),
+        ),
+        model,
+        scaler,
+    )
+
+
+def annotate_graffiti(
+    platform: TVDP,
+    image_ids: list[int],
+    extractor: FeatureExtractor,
+    model: object,
+    scaler: StandardScaler,
+    annotator: str = "graffiti_svm",
+) -> int:
+    """Machine-annotate stored images with graffiti labels, making the
+    result reusable knowledge for any other platform participant."""
+    if "graffiti" not in platform.catalog.names():
+        platform.catalog.define(
+            "graffiti", list(GRAFFITI_LABELS), description="graffiti presence"
+        )
+    written = 0
+    for image_id in image_ids:
+        vector = scaler.transform(
+            extractor.extract(platform.image(image_id))[np.newaxis, :]
+        )
+        label = str(model.predict(vector)[0])
+        confidence = 1.0
+        if hasattr(model, "predict_proba"):
+            confidence = float(model.predict_proba(vector).max())
+        platform.annotations.annotate(
+            image_id,
+            "graffiti",
+            label,
+            confidence=confidence,
+            source="machine",
+            annotator=annotator,
+        )
+        written += 1
+    return written

@@ -1,0 +1,165 @@
+"""Homeless-encampment study: translational reuse of annotations.
+
+The paper's flagship translational example: street-cleanliness
+classification produces "encampment" annotations; the Homeless
+Coordinator reuses them — with *no new learning* — to count tents and
+cluster their locations (Fig. 9 discussion, studies 1-3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TVDPError
+from repro.geo.geodesy import meters_per_degree
+from repro.geo.point import BoundingBox, GeoPoint
+from repro.ml.dbscan import DBSCAN, NOISE
+from repro.core.platform import TVDP
+
+
+@dataclass(frozen=True)
+class TentCluster:
+    """One spatial cluster of encampment sightings."""
+
+    cluster_id: int
+    size: int
+    centroid: GeoPoint
+    bbox: BoundingBox
+    image_ids: tuple[int, ...]
+    #: Convex-hull footprint of the sightings in square meters (0.0 for
+    #: clusters of fewer than three non-collinear points).
+    hull_area_m2: float = 0.0
+
+
+def _hull_area_m2(local_coords: np.ndarray) -> float:
+    """Convex-hull area of (n, 2) local-meter coordinates."""
+    if local_coords.shape[0] < 3:
+        return 0.0
+    from scipy.spatial import ConvexHull, QhullError
+
+    try:
+        # For 2-D inputs, Qhull's "volume" is the polygon area.
+        return float(ConvexHull(local_coords).volume)
+    except QhullError:
+        return 0.0  # collinear points span no area
+
+
+@dataclass(frozen=True)
+class HomelessReport:
+    """Output of the tent-clustering study."""
+
+    total_sightings: int
+    clusters: tuple[TentCluster, ...]
+    noise_sightings: int
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def largest_cluster_size(self) -> int:
+        return max((c.size for c in self.clusters), default=0)
+
+
+def _to_local_meters(points: list[GeoPoint]) -> np.ndarray:
+    """Project lat/lng to a local tangent plane in meters (adequate at
+    city scale for density clustering)."""
+    lat0 = sum(p.lat for p in points) / len(points)
+    lng0 = sum(p.lng for p in points) / len(points)
+    m_lat, m_lng = meters_per_degree(lat0)
+    return np.array([[(p.lat - lat0) * m_lat, (p.lng - lng0) * m_lng] for p in points])
+
+
+def cluster_encampments(
+    platform: TVDP,
+    classification: str = "street_cleanliness",
+    label: str = "encampment",
+    min_confidence: float = 0.5,
+    eps_m: float = 250.0,
+    min_samples: int = 3,
+) -> HomelessReport:
+    """Cluster encampment-annotated image locations with DBSCAN.
+
+    Pure annotation reuse: reads labels written by *any* prior analysis
+    (human or machine) and runs spatial clustering — no image pixels,
+    no model training.
+    """
+    if eps_m <= 0:
+        raise TVDPError(f"eps_m must be positive, got {eps_m}")
+    sightings = platform.annotations.label_locations(
+        classification, label, min_confidence=min_confidence
+    )
+    if not sightings:
+        return HomelessReport(total_sightings=0, clusters=(), noise_sightings=0)
+    image_ids = [image_id for image_id, _ in sightings]
+    points = [point for _, point in sightings]
+    coords = _to_local_meters(points)
+    labels = DBSCAN(eps=eps_m, min_samples=min_samples).fit_predict(coords)
+
+    clusters = []
+    for cluster_id in sorted(set(labels.tolist()) - {NOISE}):
+        members = [i for i, l in enumerate(labels) if l == cluster_id]
+        member_points = [points[i] for i in members]
+        clusters.append(
+            TentCluster(
+                cluster_id=cluster_id,
+                size=len(members),
+                centroid=GeoPoint(
+                    sum(p.lat for p in member_points) / len(members),
+                    sum(p.lng for p in member_points) / len(members),
+                ),
+                bbox=BoundingBox.from_points(member_points),
+                image_ids=tuple(image_ids[i] for i in members),
+                hull_area_m2=_hull_area_m2(coords[members]),
+            )
+        )
+    return HomelessReport(
+        total_sightings=len(sightings),
+        clusters=tuple(sorted(clusters, key=lambda c: -c.size)),
+        noise_sightings=int(np.sum(labels == NOISE)),
+    )
+
+
+def compare_periods(
+    before: HomelessReport, after: HomelessReport, match_radius_m: float = 400.0
+) -> dict[str, object]:
+    """Week-over-week movement summary (the paper's study 1-2: weekly
+    changes and spatial movement of encampments).
+
+    Clusters are matched greedily by centroid proximity; unmatched
+    clusters count as appeared/disappeared.
+    """
+    if match_radius_m <= 0:
+        raise TVDPError(f"match_radius_m must be positive, got {match_radius_m}")
+    from repro.geo.geodesy import haversine_m
+
+    remaining = list(after.clusters)
+    matches = []
+    for old in before.clusters:
+        best, best_distance = None, math.inf
+        for new in remaining:
+            distance = haversine_m(old.centroid, new.centroid)
+            if distance < best_distance:
+                best, best_distance = new, distance
+        if best is not None and best_distance <= match_radius_m:
+            matches.append(
+                {
+                    "before_id": old.cluster_id,
+                    "after_id": best.cluster_id,
+                    "moved_m": best_distance,
+                    "size_change": best.size - old.size,
+                }
+            )
+            remaining.remove(best)
+    matched_before = {m["before_id"] for m in matches}
+    return {
+        "matched": matches,
+        "disappeared": [
+            c.cluster_id for c in before.clusters if c.cluster_id not in matched_before
+        ],
+        "appeared": [c.cluster_id for c in remaining],
+        "sightings_change": after.total_sightings - before.total_sightings,
+    }

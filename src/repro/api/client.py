@@ -1,0 +1,240 @@
+"""Cross-platform client library for the TVDP API.
+
+"More programming experienced users can directly access APIs through
+cross-platform client libraries" — this is that library.  It speaks to
+a :class:`~repro.api.service.TVDPService` instance in-process, but its
+surface is exactly what an HTTP client would expose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import APIError
+from repro.api.http import Request, Response
+from repro.api.service import TVDPService, image_to_payload
+from repro.geo.fov import FieldOfView
+from repro.imaging.image import Image
+
+
+class TVDPClient:
+    """Typed convenience wrapper over the service routes."""
+
+    def __init__(self, service: TVDPService, api_key: str | None = None) -> None:
+        self._service = service
+        self.api_key = api_key
+
+    # -- transport --------------------------------------------------------------
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        params: dict | None = None,
+    ) -> dict:
+        response: Response = self._service.handle(
+            Request(
+                method=method,
+                path=path,
+                body=body,
+                params=params or {},
+                api_key=self.api_key,
+            )
+        )
+        if not response.ok:
+            raise APIError(response.status, response.body.get("error", "API error"))
+        return response.body
+
+    # -- account -----------------------------------------------------------------
+
+    def register_user(self, name: str, role: str, organization: str | None = None) -> int:
+        """Create a user; does not require a key."""
+        body = self._call(
+            "POST", "/users", {"name": name, "role": role, "organization": organization}
+        )
+        return body["user_id"]
+
+    def create_key(self, user_id: int, adopt: bool = True) -> str:
+        """Issue an API key; ``adopt=True`` uses it for future calls."""
+        key = self._call("POST", "/keys", {"user_id": user_id})["api_key"]
+        if adopt:
+            self.api_key = key
+        return key
+
+    # -- data ---------------------------------------------------------------------
+
+    def add_image(
+        self,
+        image: Image,
+        fov: FieldOfView,
+        captured_at: float,
+        uploaded_at: float,
+        keywords: tuple[str, ...] = (),
+    ) -> dict:
+        """API 1: upload one geo-tagged image."""
+        return self._call(
+            "POST",
+            "/images",
+            {
+                "image": image_to_payload(image),
+                "fov": fov.to_dict(),
+                "captured_at": captured_at,
+                "uploaded_at": uploaded_at,
+                "keywords": list(keywords),
+            },
+        )
+
+    def get_image(self, image_id: int, include_pixels: bool = False) -> dict:
+        """API 3: download an image's metadata (and optionally pixels)."""
+        return self._call(
+            "GET",
+            f"/images/{image_id}",
+            params={"include_pixels": include_pixels} if include_pixels else {},
+        )
+
+    def search(self, query_spec: dict) -> list[dict]:
+        """API 2: run any query; see the service docs for the spec."""
+        return self._call("POST", "/search", query_spec)["results"]
+
+    def get_features(self, extractor: str, image: Image | None = None, image_id: int | None = None) -> np.ndarray:
+        """API 4: feature vector for an uploaded image or raw pixels."""
+        body: dict = {}
+        if image is not None:
+            body["image"] = image_to_payload(image)
+        if image_id is not None:
+            body["image_id"] = image_id
+        result = self._call("POST", f"/features/{extractor}", body)
+        return np.array(result["vector"], dtype=np.float64)
+
+    # -- models --------------------------------------------------------------------
+
+    def devise_model(
+        self,
+        name: str,
+        extractor: str,
+        classification: str,
+        classifier: str = "svm",
+        description: str = "",
+    ) -> str:
+        """API 7: declare a new shared model."""
+        return self._call(
+            "POST",
+            "/models",
+            {
+                "name": name,
+                "extractor": extractor,
+                "classification": classification,
+                "classifier": classifier,
+                "description": description,
+            },
+        )["model"]
+
+    def train_model(self, name: str, source: str = "human", min_confidence: float = 0.0) -> int:
+        """Train a devised model on the platform's annotations."""
+        body = self._call(
+            "POST",
+            f"/models/{name}/train",
+            {"source": source, "min_confidence": min_confidence},
+        )
+        return body["trained_on"]
+
+    def predict(
+        self,
+        name: str,
+        image: Image | None = None,
+        image_id: int | None = None,
+        vector: np.ndarray | None = None,
+        annotate: bool = False,
+    ) -> dict:
+        """API 5: run a hosted model."""
+        body: dict = {"annotate": annotate}
+        if image is not None:
+            body["image"] = image_to_payload(image)
+        if image_id is not None:
+            body["image_id"] = image_id
+        if vector is not None:
+            body["vector"] = np.asarray(vector, dtype=np.float64).tolist()
+        return self._call("POST", f"/models/{name}/predict", body)
+
+    def download_model(self, name: str) -> dict:
+        """API 6: fetch a portable serialisation for edge execution."""
+        return self._call("GET", f"/models/{name}/download")
+
+    # -- annotations ------------------------------------------------------------------
+
+    def define_classification(
+        self, name: str, labels: list[str], description: str = ""
+    ) -> int:
+        """Create a shared label vocabulary."""
+        body = self._call(
+            "POST",
+            "/classifications",
+            {"name": name, "labels": labels, "description": description},
+        )
+        return body["classification_id"]
+
+    def annotate(
+        self,
+        image_id: int,
+        classification: str,
+        label: str,
+        confidence: float = 1.0,
+        source: str = "human",
+        annotator: str | None = None,
+    ) -> int:
+        """Attach a label to a stored image."""
+        body = self._call(
+            "POST",
+            f"/images/{image_id}/annotations",
+            {
+                "classification": classification,
+                "label": label,
+                "confidence": confidence,
+                "source": source,
+                "annotator": annotator,
+            },
+        )
+        return body["annotation_id"]
+
+    def annotations_of(self, image_id: int) -> list[dict]:
+        """Shared knowledge attached to one image."""
+        return self._call("GET", f"/images/{image_id}/annotations")["annotations"]
+
+    # -- crowdsourcing -----------------------------------------------------------------
+
+    def create_campaign(self, region: dict, **settings) -> int:
+        """Open a spatial-crowdsourcing campaign over a region dict
+        (``min_lat``/``min_lng``/``max_lat``/``max_lng``)."""
+        return self._call("POST", "/campaigns", {"region": region, **settings})[
+            "campaign_id"
+        ]
+
+    def campaign_tasks(self, campaign_id: int, max_tasks: int | None = None) -> dict:
+        """Coverage report + open tasks for a campaign's gaps."""
+        params = {"max_tasks": max_tasks} if max_tasks else {}
+        return self._call("GET", f"/campaigns/{campaign_id}/tasks", params=params)
+
+    def submit_capture(
+        self,
+        campaign_id: int,
+        task_id: int,
+        image: Image,
+        fov: FieldOfView,
+        captured_at: float,
+    ) -> dict:
+        """Fulfil one campaign task with a capture."""
+        return self._call(
+            "POST",
+            f"/campaigns/{campaign_id}/captures",
+            {
+                "task_id": task_id,
+                "image": image_to_payload(image),
+                "fov": fov.to_dict(),
+                "captured_at": captured_at,
+            },
+        )
+
+    def stats(self) -> dict:
+        """Platform statistics."""
+        return self._call("GET", "/stats")

@@ -1,0 +1,110 @@
+"""Minimal in-process HTTP abstraction.
+
+The real TVDP exposes RESTful web services; this environment has no
+network, so requests and responses are plain objects dispatched through
+a router with the same shape (methods, path templates with ``{param}``
+segments, query params, JSON bodies, status codes).  Everything above
+this module — service handlers, the client library — would port to a
+real WSGI stack unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import APIError
+
+
+@dataclass
+class Request:
+    """One API call."""
+
+    method: str
+    path: str
+    params: dict = field(default_factory=dict)  # query parameters
+    body: dict | None = None  # JSON payload
+    api_key: str | None = None
+    path_params: dict = field(default_factory=dict)  # filled by the router
+    user_id: int | None = None  # filled by the auth layer
+
+
+@dataclass(frozen=True)
+class Response:
+    """One API reply: status code plus JSON-compatible body."""
+
+    status: int
+    body: dict
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+Handler = Callable[[Request], Response]
+
+
+def _match(template: str, path: str) -> dict | None:
+    """Match ``/a/{x}/b`` templates; returns path params or ``None``."""
+    t_parts = [p for p in template.split("/") if p]
+    p_parts = [p for p in path.split("/") if p]
+    if len(t_parts) != len(p_parts):
+        return None
+    params: dict = {}
+    for t, p in zip(t_parts, p_parts):
+        if t.startswith("{") and t.endswith("}"):
+            params[t[1:-1]] = p
+        elif t != p:
+            return None
+    return params
+
+
+class Router:
+    """Method+path-template dispatch with error mapping.
+
+    Handler exceptions deriving from :class:`APIError` become their
+    status code; anything else becomes a 500 (surfacing the message —
+    acceptable for an in-process reproduction, not for production).
+    """
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, str, Handler]] = []
+
+    def add(self, method: str, template: str, handler: Handler) -> None:
+        """Register a handler for ``method template``."""
+        self._routes.append((method.upper(), template, handler))
+
+    def route(self, method: str, template: str) -> Callable[[Handler], Handler]:
+        """Decorator form of :meth:`add`."""
+
+        def decorator(handler: Handler) -> Handler:
+            self.add(method, template, handler)
+            return handler
+
+        return decorator
+
+    def routes(self) -> list[str]:
+        """``"METHOD /template"`` strings for every registered route."""
+        return sorted(f"{method} {template}" for method, template, _ in self._routes)
+
+    def dispatch(self, request: Request) -> Response:
+        """Find and invoke the matching handler."""
+        method = request.method.upper()
+        saw_path = False
+        for route_method, template, handler in self._routes:
+            params = _match(template, request.path)
+            if params is None:
+                continue
+            saw_path = True
+            if route_method != method:
+                continue
+            request.path_params = params
+            try:
+                return handler(request)
+            except APIError as exc:
+                return Response(status=exc.status, body={"error": exc.message})
+            except Exception as exc:  # noqa: BLE001 - boundary translation
+                return Response(status=500, body={"error": str(exc)})
+        if saw_path:
+            return Response(status=405, body={"error": f"method {method} not allowed"})
+        return Response(status=404, body={"error": f"no route for {request.path}"})

@@ -1,0 +1,105 @@
+"""Shared ML-model registry with download support.
+
+Backs the paper's API items 5-7: collaborators *use* hosted models,
+*download* them for offline edge execution, and *devise* new ones by
+declaring input (feature extractor) and output (classification) specs
+and training on the platform's annotated data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import APIError
+from repro.ml.linear import LogisticRegression
+from repro.ml.svm import LinearSVM, _BinarySVM
+
+
+@dataclass
+class ModelRecord:
+    """One shared model: its I/O contract plus the fitted estimator."""
+
+    name: str
+    extractor_name: str
+    classification: str
+    owner_id: int | None
+    classifier: object
+    description: str = ""
+    metrics: dict = field(default_factory=dict)
+
+
+def serialize_classifier(classifier: object) -> dict:
+    """Portable dict form of a fitted classifier (for model download).
+
+    Linear models serialise exactly; other classifier families would
+    need their own codecs and are reported as non-portable.
+    """
+    if isinstance(classifier, LogisticRegression):
+        if classifier.weights_ is None:
+            raise APIError(409, "model is not fitted")
+        return {
+            "type": "LogisticRegression",
+            "classes": classifier.classes_.tolist(),
+            "weights": classifier.weights_.tolist(),
+            "bias": classifier.bias_.tolist(),
+        }
+    if isinstance(classifier, LinearSVM):
+        if classifier._machines is None:
+            raise APIError(409, "model is not fitted")
+        return {
+            "type": "LinearSVM",
+            "classes": classifier.classes_.tolist(),
+            "machines": [
+                {"w": m.w.tolist(), "b": m.b} for m in classifier._machines
+            ],
+        }
+    raise APIError(
+        501, f"model type {type(classifier).__name__} is not downloadable"
+    )
+
+
+def deserialize_classifier(data: dict) -> object:
+    """Inverse of :func:`serialize_classifier` (edge-side loading)."""
+    kind = data.get("type")
+    if kind == "LogisticRegression":
+        model = LogisticRegression()
+        model.classes_ = np.array(data["classes"])
+        model.weights_ = np.array(data["weights"], dtype=np.float64)
+        model.bias_ = np.array(data["bias"], dtype=np.float64)
+        return model
+    if kind == "LinearSVM":
+        model = LinearSVM()
+        model.classes_ = np.array(data["classes"])
+        model._machines = []
+        for machine_data in data["machines"]:
+            machine = _BinarySVM(model.l2, model.epochs, model.batch_size, model.seed)
+            machine.w = np.array(machine_data["w"], dtype=np.float64)
+            machine.b = float(machine_data["b"])
+            model._machines.append(machine)
+        return model
+    raise APIError(400, f"unknown serialized model type {kind!r}")
+
+
+class ModelStore:
+    """Name-keyed registry of shared models."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, ModelRecord] = {}
+
+    def register(self, record: ModelRecord) -> None:
+        if record.name in self._models:
+            raise APIError(409, f"model {record.name!r} already exists")
+        self._models[record.name] = record
+
+    def get(self, name: str) -> ModelRecord:
+        if name not in self._models:
+            raise APIError(404, f"no model named {name!r}")
+        return self._models[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models

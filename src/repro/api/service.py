@@ -1,0 +1,558 @@
+"""The TVDP REST service: the paper's seven common APIs over a router.
+
+Routes (all except user creation require an API key):
+
+* ``POST /users``                       — register a participant
+* ``POST /keys``                        — issue an API key
+* ``POST /images``                      — (1) add new data
+* ``POST /search``                      — (2) search datasets
+* ``GET  /images/{id}``                 — (3) download data/metadata
+* ``POST /features/{extractor}``        — (4) get visual features
+* ``POST /models/{name}/predict``       — (5) use ML models
+* ``GET  /models/{name}/download``      — (6) download ML models
+* ``POST /models``                      — (7) devise new ML models
+* ``POST /models/{name}/train``         — train a devised model
+* ``GET  /stats``                       — platform statistics
+
+Plus the Acquisition/Analysis extensions:
+
+* ``POST /classifications``             — define a label vocabulary
+* ``POST /images/{id}/annotations``     — attach a label
+* ``GET  /images/{id}/annotations``     — read shared knowledge
+* ``POST /campaigns``                   — open a crowdsourcing campaign
+* ``GET  /campaigns/{id}/tasks``        — tasks for current coverage gaps
+* ``POST /campaigns/{id}/captures``     — submit a task's capture
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import APIError, FeatureError, QueryError, TVDPError
+from repro.api.auth import ApiKeyManager
+from repro.api.http import Request, Response, Router
+from repro.api.modelstore import ModelRecord, ModelStore, serialize_classifier
+from repro.core.platform import TVDP
+from repro.crowd.campaign import Campaign
+from repro.crowd.coverage import measure_coverage
+from repro.core.queries import (
+    CategoricalQuery,
+    HybridQuery,
+    SpatialQuery,
+    TemporalQuery,
+    TextualQuery,
+    VisualQuery,
+)
+from repro.geo.fov import FieldOfView
+from repro.geo.point import BoundingBox, GeoPoint
+from repro.imaging.image import Image
+from repro.ml.linear import LogisticRegression
+from repro.ml.svm import LinearSVM
+
+
+def image_to_payload(image: Image) -> dict:
+    """JSON-compatible encoding of an image (8-bit nested lists)."""
+    return {"pixels_u8": image.to_uint8().tolist()}
+
+
+def image_from_payload(payload: dict) -> Image:
+    """Inverse of :func:`image_to_payload`."""
+    if "pixels_u8" not in payload:
+        raise APIError(400, "image payload missing 'pixels_u8'")
+    try:
+        return Image.from_uint8(np.array(payload["pixels_u8"], dtype=np.uint8))
+    except Exception as exc:
+        raise APIError(400, f"bad image payload: {exc}") from exc
+
+
+_CLASSIFIER_FACTORIES = {
+    "svm": lambda: LinearSVM(epochs=40),
+    "logistic_regression": lambda: LogisticRegression(epochs=60),
+}
+
+
+class TVDPService:
+    """HTTP-style facade over a :class:`TVDP` platform instance."""
+
+    def __init__(self, platform: TVDP, deterministic_keys: bool = False) -> None:
+        self.platform = platform
+        self.keys = ApiKeyManager(
+            platform.db, deterministic_seed=0 if deterministic_keys else None
+        )
+        self.models = ModelStore()
+        self.router = Router()
+        self._campaigns: dict[int, Campaign] = {}
+        self._next_campaign_id = 1
+        self._register_routes()
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Entry point: authenticate (except open routes) and dispatch."""
+        open_routes = {("POST", "/users"), ("POST", "/keys")}
+        if (request.method.upper(), request.path) not in open_routes:
+            try:
+                request.user_id = self.keys.validate(request.api_key)
+            except APIError as exc:
+                return Response(status=exc.status, body={"error": exc.message})
+        return self.router.dispatch(request)
+
+    def _body(self, request: Request) -> dict:
+        if request.body is None:
+            raise APIError(400, "request body required")
+        return request.body
+
+    def _register_routes(self) -> None:
+        route = self.router.route
+        route("POST", "/users")(self._create_user)
+        route("POST", "/keys")(self._create_key)
+        route("POST", "/images")(self._add_image)
+        route("GET", "/images/{image_id}")(self._get_image)
+        route("POST", "/search")(self._search)
+        route("POST", "/features/{extractor}")(self._features)
+        route("POST", "/models")(self._devise_model)
+        route("POST", "/models/{name}/train")(self._train_model)
+        route("POST", "/models/{name}/predict")(self._predict)
+        route("GET", "/models/{name}/download")(self._download_model)
+        route("GET", "/stats")(self._stats)
+        route("POST", "/classifications")(self._define_classification)
+        route("POST", "/images/{image_id}/annotations")(self._add_annotation)
+        route("GET", "/images/{image_id}/annotations")(self._list_annotations)
+        route("GET", "/routes")(self._list_routes)
+        route("POST", "/campaigns")(self._create_campaign)
+        route("GET", "/campaigns/{campaign_id}/tasks")(self._campaign_tasks)
+        route("POST", "/campaigns/{campaign_id}/captures")(self._campaign_capture)
+
+    # -- open routes ------------------------------------------------------------
+
+    def _create_user(self, request: Request) -> Response:
+        body = self._body(request)
+        if "name" not in body or "role" not in body:
+            raise APIError(400, "user needs 'name' and 'role'")
+        user_id = self.platform.add_user(
+            body["name"], body["role"], body.get("organization")
+        )
+        return Response(201, {"user_id": user_id})
+
+    def _create_key(self, request: Request) -> Response:
+        body = self._body(request)
+        if "user_id" not in body:
+            raise APIError(400, "'user_id' required")
+        try:
+            key = self.keys.issue(int(body["user_id"]))
+        except TVDPError as exc:
+            raise APIError(404, str(exc)) from exc
+        return Response(201, {"api_key": key})
+
+    # -- API 1: add new data -------------------------------------------------------
+
+    def _add_image(self, request: Request) -> Response:
+        body = self._body(request)
+        for required in ("image", "fov", "captured_at", "uploaded_at"):
+            if required not in body:
+                raise APIError(400, f"missing field {required!r}")
+        try:
+            fov = FieldOfView.from_dict(body["fov"])
+        except Exception as exc:
+            raise APIError(400, f"bad fov: {exc}") from exc
+        receipt = self.platform.upload_image(
+            image=image_from_payload(body["image"]),
+            fov=fov,
+            captured_at=float(body["captured_at"]),
+            uploaded_at=float(body["uploaded_at"]),
+            keywords=tuple(body.get("keywords", ())),
+            uploader_id=request.user_id,
+        )
+        return Response(
+            201 if not receipt.deduplicated else 200,
+            {"image_id": receipt.image_id, "deduplicated": receipt.deduplicated},
+        )
+
+    # -- API 3: download data -----------------------------------------------------
+
+    def _get_image(self, request: Request) -> Response:
+        try:
+            image_id = int(request.path_params["image_id"])
+        except ValueError as exc:
+            raise APIError(400, "image id must be an integer") from exc
+        try:
+            row = self.platform.db.table("images").get(image_id)
+        except TVDPError as exc:
+            raise APIError(404, str(exc)) from exc
+        body: dict = {"metadata": row}
+        if request.params.get("include_pixels"):
+            body["image"] = image_to_payload(self.platform.image(image_id))
+        return Response(200, body)
+
+    # -- API 2: search --------------------------------------------------------------
+
+    def _parse_query(self, spec: dict) -> object:
+        kind = spec.get("type")
+        try:
+            if kind == "spatial":
+                region = (
+                    BoundingBox.from_dict(spec["region"]) if "region" in spec else None
+                )
+                point = (
+                    GeoPoint.from_dict(spec["point"]) if "point" in spec else None
+                )
+                return SpatialQuery(
+                    region=region,
+                    point=point,
+                    radius_m=spec.get("radius_m"),
+                    mode=spec.get("mode", "scene"),
+                    direction_deg=spec.get("direction_deg"),
+                    direction_tolerance_deg=spec.get("direction_tolerance_deg", 45.0),
+                )
+            if kind == "visual":
+                example = (
+                    image_from_payload(spec["example"]) if "example" in spec else None
+                )
+                vector = (
+                    np.array(spec["vector"], dtype=np.float64)
+                    if "vector" in spec
+                    else None
+                )
+                return VisualQuery(
+                    extractor_name=spec["extractor"],
+                    example=example,
+                    vector=vector,
+                    k=int(spec.get("k", 10)),
+                    max_distance=spec.get("max_distance"),
+                )
+            if kind == "categorical":
+                return CategoricalQuery(
+                    classification=spec["classification"],
+                    labels=tuple(spec["labels"]),
+                    min_confidence=float(spec.get("min_confidence", 0.0)),
+                    source=spec.get("source"),
+                )
+            if kind == "textual":
+                return TextualQuery(
+                    text=spec["text"], match=spec.get("match", "any")
+                )
+            if kind == "temporal":
+                return TemporalQuery(
+                    start=spec.get("start"),
+                    end=spec.get("end"),
+                    field=spec.get("field", "timestamp_capturing"),
+                )
+            if kind == "hybrid":
+                return HybridQuery(
+                    queries=tuple(self._parse_query(s) for s in spec["queries"])
+                )
+        except (KeyError, QueryError, TVDPError) as exc:
+            raise APIError(400, f"bad query: {exc}") from exc
+        raise APIError(400, f"unknown query type {kind!r}")
+
+    def _search(self, request: Request) -> Response:
+        query = self._parse_query(self._body(request))
+        try:
+            results = self.platform.execute(query)
+        except QueryError as exc:
+            raise APIError(409, str(exc)) from exc
+        return Response(
+            200,
+            {
+                "results": [
+                    {"image_id": r.image_id, "score": r.score} for r in results
+                ]
+            },
+        )
+
+    # -- API 4: get visual features ---------------------------------------------------
+
+    def _features(self, request: Request) -> Response:
+        extractor_name = request.path_params["extractor"]
+        body = self._body(request)
+        try:
+            extractor = self.platform.features.get(extractor_name)
+        except FeatureError as exc:
+            raise APIError(404, str(exc)) from exc
+        if "image" in body:
+            vector = extractor.extract(image_from_payload(body["image"]))
+        elif "image_id" in body:
+            try:
+                vector = self.platform.feature_vector(
+                    int(body["image_id"]), extractor_name
+                )
+            except TVDPError as exc:
+                raise APIError(404, str(exc)) from exc
+        else:
+            raise APIError(400, "provide 'image' or 'image_id'")
+        return Response(200, {"vector": vector.tolist(), "dimension": len(vector)})
+
+    # -- APIs 5-7: models ----------------------------------------------------------------
+
+    def _devise_model(self, request: Request) -> Response:
+        body = self._body(request)
+        for required in ("name", "extractor", "classification", "classifier"):
+            if required not in body:
+                raise APIError(400, f"missing field {required!r}")
+        if body["classifier"] not in _CLASSIFIER_FACTORIES:
+            raise APIError(
+                400,
+                f"unknown classifier {body['classifier']!r}; "
+                f"available: {sorted(_CLASSIFIER_FACTORIES)}",
+            )
+        if body["extractor"] not in self.platform.features:
+            raise APIError(404, f"unknown extractor {body['extractor']!r}")
+        record = ModelRecord(
+            name=body["name"],
+            extractor_name=body["extractor"],
+            classification=body["classification"],
+            owner_id=request.user_id,
+            classifier=_CLASSIFIER_FACTORIES[body["classifier"]](),
+            description=body.get("description", ""),
+        )
+        self.models.register(record)
+        return Response(201, {"model": record.name})
+
+    def _train_model(self, request: Request) -> Response:
+        record = self.models.get(request.path_params["name"])
+        body = self._body(request)
+        source = body.get("source", "human")
+        min_confidence = float(body.get("min_confidence", 0.0))
+        labels = self.platform.catalog.labels(record.classification)
+        X_rows, y_rows = [], []
+        for label in labels:
+            hits = self.platform.annotations.images_with_label(
+                record.classification, (label,), min_confidence, source=source
+            )
+            for image_id in hits:
+                vector = self.platform.feature_vector(image_id, record.extractor_name)
+                X_rows.append(vector)
+                y_rows.append(label)
+        if len(set(y_rows)) < 2:
+            raise APIError(
+                409, "need annotated images from at least two labels to train"
+            )
+        X = np.vstack(X_rows)
+        y = np.array(y_rows)
+        record.classifier.fit(X, y)
+        record.metrics = {"training_samples": int(X.shape[0])}
+        return Response(200, {"model": record.name, "trained_on": int(X.shape[0])})
+
+    def _predict(self, request: Request) -> Response:
+        record = self.models.get(request.path_params["name"])
+        body = self._body(request)
+        if "image" in body:
+            extractor = self.platform.features.get(record.extractor_name)
+            vector = extractor.extract(image_from_payload(body["image"]))
+        elif "vector" in body:
+            vector = np.array(body["vector"], dtype=np.float64)
+        elif "image_id" in body:
+            vector = self.platform.feature_vector(
+                int(body["image_id"]), record.extractor_name
+            )
+        else:
+            raise APIError(400, "provide 'image', 'vector', or 'image_id'")
+        try:
+            label = record.classifier.predict(vector[np.newaxis, :])[0]
+        except TVDPError as exc:
+            raise APIError(409, f"model not ready: {exc}") from exc
+        confidence = 1.0
+        if hasattr(record.classifier, "predict_proba"):
+            confidence = float(record.classifier.predict_proba(vector[np.newaxis, :]).max())
+        annotated = False
+        if body.get("annotate") and "image_id" in body:
+            self.platform.annotations.annotate(
+                int(body["image_id"]),
+                record.classification,
+                str(label),
+                confidence=confidence,
+                source="machine",
+                annotator=record.name,
+            )
+            annotated = True
+        return Response(
+            200,
+            {"label": str(label), "confidence": confidence, "annotated": annotated},
+        )
+
+    def _download_model(self, request: Request) -> Response:
+        record = self.models.get(request.path_params["name"])
+        payload = serialize_classifier(record.classifier)
+        payload["extractor"] = record.extractor_name
+        payload["classification"] = record.classification
+        return Response(200, payload)
+
+    # -- classifications & annotations --------------------------------------------------
+
+    def _define_classification(self, request: Request) -> Response:
+        body = self._body(request)
+        if "name" not in body or "labels" not in body:
+            raise APIError(400, "classification needs 'name' and 'labels'")
+        try:
+            cid = self.platform.catalog.define(
+                body["name"],
+                list(body["labels"]),
+                description=body.get("description", ""),
+                owner_id=request.user_id,
+            )
+        except QueryError as exc:
+            raise APIError(400, str(exc)) from exc
+        return Response(201, {"classification_id": cid})
+
+    def _add_annotation(self, request: Request) -> Response:
+        body = self._body(request)
+        try:
+            image_id = int(request.path_params["image_id"])
+        except ValueError as exc:
+            raise APIError(400, "image id must be an integer") from exc
+        for required in ("classification", "label"):
+            if required not in body:
+                raise APIError(400, f"missing field {required!r}")
+        try:
+            annotation_id = self.platform.annotations.annotate(
+                image_id,
+                body["classification"],
+                body["label"],
+                confidence=float(body.get("confidence", 1.0)),
+                source=body.get("source", "human"),
+                annotator=body.get("annotator"),
+                created_at=float(body.get("created_at", 0.0)),
+                bbox=body.get("bbox"),
+            )
+        except (QueryError, TVDPError) as exc:
+            raise APIError(400, str(exc)) from exc
+        return Response(201, {"annotation_id": annotation_id})
+
+    def _list_annotations(self, request: Request) -> Response:
+        try:
+            image_id = int(request.path_params["image_id"])
+        except ValueError as exc:
+            raise APIError(400, "image id must be an integer") from exc
+        annotations = self.platform.annotations.annotations_of(image_id)
+        return Response(
+            200,
+            {
+                "annotations": [
+                    {
+                        "annotation_id": a.annotation_id,
+                        "classification": a.classification,
+                        "label": a.label,
+                        "confidence": a.confidence,
+                        "source": a.source,
+                        "annotator": a.annotator,
+                    }
+                    for a in annotations
+                ]
+            },
+        )
+
+    def _list_routes(self, request: Request) -> Response:
+        """API discovery: every route the service exposes."""
+        return Response(200, {"routes": self.router.routes()})
+
+    # -- crowdsourcing campaigns ---------------------------------------------------------
+
+    def _create_campaign(self, request: Request) -> Response:
+        body = self._body(request)
+        if "region" not in body:
+            raise APIError(400, "campaign needs a 'region'")
+        try:
+            region = BoundingBox.from_dict(body["region"])
+            campaign = Campaign(
+                campaign_id=self._next_campaign_id,
+                owner=str(request.user_id),
+                region=region,
+                description=body.get("description", ""),
+                target_coverage=float(body.get("target_coverage", 0.9)),
+                min_directions=int(body.get("min_directions", 1)),
+                reward_per_task=float(body.get("reward_per_task", 1.0)),
+            )
+        except Exception as exc:
+            raise APIError(400, f"bad campaign spec: {exc}") from exc
+        self._campaigns[campaign.campaign_id] = campaign
+        self._next_campaign_id += 1
+        return Response(201, {"campaign_id": campaign.campaign_id})
+
+    def _get_campaign(self, request: Request) -> Campaign:
+        try:
+            campaign_id = int(request.path_params["campaign_id"])
+        except ValueError as exc:
+            raise APIError(400, "campaign id must be an integer") from exc
+        if campaign_id not in self._campaigns:
+            raise APIError(404, f"no campaign {campaign_id}")
+        return self._campaigns[campaign_id]
+
+    def _campaign_tasks(self, request: Request) -> Response:
+        """Tasks for the campaign region's *current* coverage gaps,
+        measured over everything the platform has already indexed."""
+        campaign = self._get_campaign(request)
+        fovs = [
+            self.platform.fov(row["image_id"])
+            for row in self.platform.db.table("image_fov").all_rows()
+        ]
+        in_region = [f for f in fovs if campaign.region.intersects(f.mbr())]
+        report = measure_coverage(
+            in_region,
+            campaign.region,
+            rows=int(request.params.get("rows", 8)),
+            cols=int(request.params.get("cols", 8)),
+            min_directions=campaign.min_directions,
+        )
+        max_tasks = request.params.get("max_tasks")
+        campaign.open_tasks.clear()
+        tasks = campaign.generate_tasks(
+            report, max_tasks=int(max_tasks) if max_tasks else None
+        )
+        return Response(
+            200,
+            {
+                "coverage": report.coverage_ratio,
+                "target": campaign.target_coverage,
+                "tasks": [
+                    {
+                        "task_id": t.task_id,
+                        "lat": t.location.lat,
+                        "lng": t.location.lng,
+                        "direction_deg": t.direction_deg,
+                        "reward": t.reward,
+                    }
+                    for t in tasks
+                ],
+            },
+        )
+
+    def _campaign_capture(self, request: Request) -> Response:
+        """Submit one capture fulfilling a campaign task: the image is
+        uploaded like any other and the task is paid out."""
+        campaign = self._get_campaign(request)
+        body = self._body(request)
+        for required in ("task_id", "image", "fov", "captured_at"):
+            if required not in body:
+                raise APIError(400, f"missing field {required!r}")
+        task = next(
+            (t for t in campaign.open_tasks if t.task_id == int(body["task_id"])), None
+        )
+        if task is None:
+            raise APIError(404, f"no open task {body['task_id']} in campaign")
+        try:
+            fov = FieldOfView.from_dict(body["fov"])
+        except Exception as exc:
+            raise APIError(400, f"bad fov: {exc}") from exc
+        receipt = self.platform.upload_image(
+            image=image_from_payload(body["image"]),
+            fov=fov,
+            captured_at=float(body["captured_at"]),
+            uploaded_at=float(body.get("uploaded_at", body["captured_at"])),
+            uploader_id=request.user_id,
+        )
+        campaign.complete(task)
+        return Response(
+            201,
+            {
+                "image_id": receipt.image_id,
+                "deduplicated": receipt.deduplicated,
+                "reward": task.reward,
+            },
+        )
+
+    # -- stats ------------------------------------------------------------------------
+
+    def _stats(self, request: Request) -> Response:
+        stats = self.platform.stats()
+        stats["models"] = self.models.names()
+        return Response(200, stats)

@@ -1,0 +1,127 @@
+"""Query planning / EXPLAIN support.
+
+``explain`` reports, for any query the platform executes, which access
+path serves it (which index, what filter/refine steps), and — in
+ANALYZE mode — the actual result count and wall-clock time.  Exposed so
+non-technical partners can see *why* a query is fast or slow, in the
+spirit of the paper's "easy and effective working environment".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.core.platform import TVDP
+from repro.core.queries import (
+    CategoricalQuery,
+    HybridQuery,
+    SpatialQuery,
+    TemporalQuery,
+    TextualQuery,
+    VisualQuery,
+)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """One node of an access-path description."""
+
+    query_type: str
+    access_path: str
+    details: dict = field(default_factory=dict)
+    children: tuple["QueryPlan", ...] = ()
+    rows: int | None = None
+    elapsed_ms: float | None = None
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable multi-line plan."""
+        pad = "  " * indent
+        extras = " ".join(f"{k}={v}" for k, v in self.details.items())
+        timing = ""
+        if self.rows is not None:
+            timing = f"  [rows={self.rows}"
+            if self.elapsed_ms is not None:
+                timing += f" time={self.elapsed_ms:.2f}ms"
+            timing += "]"
+        lines = [f"{pad}{self.query_type}: {self.access_path} {extras}{timing}".rstrip()]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+def _plan_node(platform: TVDP, query: object) -> QueryPlan:
+    if isinstance(query, SpatialQuery):
+        path = "oriented_rtree.search_range"
+        if query.point is not None and query.radius_m == 0.0 and query.mode == "scene":
+            path = "oriented_rtree.search_point"
+        details = {"mode": query.mode}
+        if query.direction_deg is not None:
+            details["direction_filter"] = (
+                f"{query.direction_deg:.0f}deg +/- {query.direction_tolerance_deg:.0f}"
+            )
+        details["refine"] = "fov_sector" if query.mode == "scene" else "camera_point"
+        return QueryPlan("spatial", path, details)
+    if isinstance(query, VisualQuery):
+        details = {"extractor": query.extractor_name, "k": query.k}
+        if query.max_distance is not None:
+            details["radius"] = query.max_distance
+            return QueryPlan("visual", "lsh.query_radius", details)
+        return QueryPlan("visual", "lsh.query_topk (exhaustive fallback)", details)
+    if isinstance(query, CategoricalQuery):
+        return QueryPlan(
+            "categorical",
+            "annotation_table.hash_index[type_id]",
+            {
+                "classification": query.classification,
+                "labels": ",".join(query.labels),
+                "min_confidence": query.min_confidence,
+            },
+        )
+    if isinstance(query, TextualQuery):
+        path = "inverted_index." + ("search_all" if query.match == "all" else "search_any")
+        return QueryPlan("textual", path, {"terms": query.text})
+    if isinstance(query, TemporalQuery):
+        return QueryPlan(
+            "temporal",
+            "images.sequential_scan",
+            {"field": query.field, "start": query.start, "end": query.end},
+        )
+    if isinstance(query, HybridQuery):
+        parts = list(query.queries)
+        spatial = next((q for q in parts if isinstance(q, SpatialQuery)), None)
+        visual = next((q for q in parts if isinstance(q, VisualQuery)), None)
+        if len(parts) == 2 and spatial is not None and visual is not None:
+            return QueryPlan(
+                "hybrid",
+                "visual_rtree.spatial_visual_knn (single-pass dual pruning)",
+                {"extractor": visual.extractor_name, "k": visual.k},
+                children=(_plan_node(platform, spatial), _plan_node(platform, visual)),
+            )
+        return QueryPlan(
+            "hybrid",
+            "intersect(sub-results)",
+            {"parts": len(parts)},
+            children=tuple(_plan_node(platform, q) for q in parts),
+        )
+    raise QueryError(f"cannot plan query type {type(query).__name__}")
+
+
+def explain(platform: TVDP, query: object, analyze: bool = False) -> QueryPlan:
+    """Access-path plan for ``query``; ``analyze=True`` also executes it
+    and fills in the actual row count and elapsed time."""
+    plan = _plan_node(platform, query)
+    if not analyze:
+        return plan
+    start = time.perf_counter()
+    results = platform.execute(query)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    return QueryPlan(
+        query_type=plan.query_type,
+        access_path=plan.access_path,
+        details=plan.details,
+        children=plan.children,
+        rows=len(results),
+        elapsed_ms=elapsed_ms,
+    )

@@ -1,0 +1,491 @@
+"""The TVDP platform facade.
+
+Wires together the four core services of paper Fig. 1 over one shared
+store:
+
+* **Acquisition** — image/video upload with FOV metadata, deduplication
+  by content hash, augmentation;
+* **Access** — the Fig. 2 relational schema plus the index suite
+  (Oriented R-tree, LSH, inverted index, Visual R*-tree) answering the
+  five query families and hybrids;
+* **Analysis** — pluggable feature extractors and the annotation
+  machinery that stores model outputs back as shared knowledge;
+* **Action** — hooks into :mod:`repro.edge` (dispatch, crowd learning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError, TVDPError
+from repro.db.database import Database
+from repro.features.base import FeatureExtractor
+from repro.features.registry import FeatureRegistry
+from repro.geo.fov import FieldOfView
+from repro.geo.point import GeoPoint
+from repro.geo.scene import LocalizedScene, scene_location
+from repro.imaging.augment import Augmentation
+from repro.imaging.image import Image
+from repro.imaging.phash import NearDuplicateIndex
+from repro.imaging.quality import assess_quality
+from repro.index.inverted import InvertedIndex
+from repro.index.lsh import LSHIndex
+from repro.index.oriented_rtree import OrientedRTree
+from repro.index.hybrid import VisualRTree
+from repro.core.annotations import AnnotationService
+from repro.core.catalog import ClassificationCatalog
+from repro.core.queries import (
+    CategoricalQuery,
+    HybridQuery,
+    QueryResult,
+    SpatialQuery,
+    TemporalQuery,
+    TextualQuery,
+    VisualQuery,
+)
+
+
+@dataclass(frozen=True)
+class UploadReceipt:
+    """Outcome of an image upload.
+
+    ``near_duplicate_of`` is set (and the image still stored) when
+    near-duplicate detection is enabled and a perceptually similar
+    image already exists; exact re-uploads set ``deduplicated`` and
+    are not stored twice.
+    """
+
+    image_id: int
+    deduplicated: bool
+    near_duplicate_of: int | None = None
+
+
+class TVDP:
+    """One platform instance: storage, indexes, analysis, sharing.
+
+    Parameters
+    ----------
+    reject_low_quality:
+        When set, uploads failing the focus/exposure gate raise
+        :class:`TVDPError` instead of being stored.
+    detect_near_duplicates:
+        When set, uploads are checked against a perceptual-hash index
+        and flagged (``UploadReceipt.near_duplicate_of``) when a
+        visually near-identical image already exists.
+    """
+
+    def __init__(
+        self,
+        reject_low_quality: bool = False,
+        detect_near_duplicates: bool = False,
+    ) -> None:
+        self.db = Database.tvdp()
+        self.catalog = ClassificationCatalog(self.db)
+        self.annotations = AnnotationService(self.db, self.catalog)
+        self.features = FeatureRegistry()
+        self.reject_low_quality = reject_low_quality
+        self.detect_near_duplicates = detect_near_duplicates
+        self._blobs: dict[int, Image] = {}
+        self._hash_to_id: dict[str, int] = {}
+        self._spatial = OrientedRTree()
+        self._text = InvertedIndex()
+        self._lsh: dict[str, LSHIndex] = {}
+        self._hybrid: dict[str, VisualRTree] = {}
+        self._near_duplicates = NearDuplicateIndex() if detect_near_duplicates else None
+
+    # -- users & keys ---------------------------------------------------------
+
+    def add_user(self, name: str, role: str, organization: str | None = None) -> int:
+        """Register a participant (government, researcher, community...)."""
+        return self.db.insert(
+            "users", {"name": name, "role": role, "organization": organization}
+        )
+
+    # -- acquisition -------------------------------------------------------------
+
+    def upload_image(
+        self,
+        image: Image,
+        fov: FieldOfView,
+        captured_at: float,
+        uploaded_at: float,
+        keywords: tuple[str, ...] = (),
+        uploader_id: int | None = None,
+        video_id: int | None = None,
+        frame_number: int | None = None,
+    ) -> UploadReceipt:
+        """Store one geo-tagged image with its full descriptor set.
+
+        Re-uploads of identical pixel content are deduplicated ("visual
+        data is huge in size and many times redundant"): the existing
+        image id is returned and no new row is created.
+        """
+        content_hash = image.content_hash()
+        if content_hash in self._hash_to_id:
+            return UploadReceipt(
+                image_id=self._hash_to_id[content_hash], deduplicated=True
+            )
+        if self.reject_low_quality:
+            report = assess_quality(image)
+            if not report.accepted:
+                raise TVDPError(
+                    f"upload rejected: {', '.join(report.reasons)} "
+                    f"(sharpness={report.sharpness:.2e}, clipping={report.clipping:.2f})"
+                )
+        near_duplicate_of = None
+        if self._near_duplicates is not None:
+            matches = self._near_duplicates.find_similar(image)
+            if matches:
+                near_duplicate_of = matches[0][0]
+        image_id = self.db.insert(
+            "images",
+            {
+                "uri": f"tvdp://images/{content_hash[:12]}",
+                "content_hash": content_hash,
+                "lat": fov.camera.lat,
+                "lng": fov.camera.lng,
+                "timestamp_capturing": float(captured_at),
+                "timestamp_uploading": float(uploaded_at),
+                "video_id": video_id,
+                "frame_number": frame_number,
+                "is_augmented": False,
+                "uploader_id": uploader_id,
+            },
+        )
+        self.db.insert("image_fov", {"image_id": image_id, **_fov_columns(fov)})
+        scene = scene_location(fov)
+        self.db.insert(
+            "image_scene_location",
+            {
+                "image_id": image_id,
+                "min_lat": scene.min_lat,
+                "min_lng": scene.min_lng,
+                "max_lat": scene.max_lat,
+                "max_lng": scene.max_lng,
+            },
+        )
+        for keyword in keywords:
+            self.db.insert(
+                "image_manual_keywords", {"image_id": image_id, "keyword": keyword}
+            )
+        if keywords:
+            self._text.add(image_id, " ".join(keywords))
+        self._blobs[image_id] = image
+        self._hash_to_id[content_hash] = image_id
+        self._spatial.insert(image_id, fov)
+        if self._near_duplicates is not None:
+            self._near_duplicates.add(image_id, image)
+        return UploadReceipt(
+            image_id=image_id,
+            deduplicated=False,
+            near_duplicate_of=near_duplicate_of,
+        )
+
+    def register_video(
+        self, uri: str, uploader_id: int | None = None, description: str = ""
+    ) -> int:
+        """Create a video row; its key frames are uploaded as images."""
+        return self.db.insert(
+            "videos",
+            {"uri": uri, "uploader_id": uploader_id, "description": description or None},
+        )
+
+    def add_augmented(
+        self, source_image_id: int, augmentations: list[Augmentation]
+    ) -> list[int]:
+        """Derive and store augmented variants of a stored image."""
+        source = self.image(source_image_id)
+        source_row = self.db.table("images").get(source_image_id)
+        out = []
+        for augmentation in augmentations:
+            derived = augmentation(source)
+            content_hash = derived.content_hash()
+            if content_hash in self._hash_to_id:
+                out.append(self._hash_to_id[content_hash])
+                continue
+            image_id = self.db.insert(
+                "images",
+                {
+                    "uri": f"tvdp://images/{content_hash[:12]}",
+                    "content_hash": content_hash,
+                    "lat": source_row["lat"],
+                    "lng": source_row["lng"],
+                    "timestamp_capturing": source_row["timestamp_capturing"],
+                    "timestamp_uploading": source_row["timestamp_uploading"],
+                    "is_augmented": True,
+                    "source_image_id": source_image_id,
+                    "augmentation_name": augmentation.name,
+                    "uploader_id": source_row["uploader_id"],
+                },
+            )
+            self._blobs[image_id] = derived
+            self._hash_to_id[content_hash] = image_id
+            out.append(image_id)
+        return out
+
+    # -- access helpers ---------------------------------------------------------
+
+    def image(self, image_id: int) -> Image:
+        """Pixel content of a stored image."""
+        if image_id not in self._blobs:
+            raise TVDPError(f"no stored pixels for image {image_id}")
+        return self._blobs[image_id]
+
+    def fov(self, image_id: int) -> FieldOfView:
+        """FOV descriptor of a stored image (augmented images inherit
+        their source's spatial descriptors and have no FOV row)."""
+        rows = self.db.table("image_fov").find("image_id", image_id)
+        if not rows:
+            raise TVDPError(f"image {image_id} has no FOV row")
+        row = rows[0]
+        images_row = self.db.table("images").get(image_id)
+        return FieldOfView(
+            camera=GeoPoint(images_row["lat"], images_row["lng"]),
+            direction_deg=row["direction_deg"],
+            angle_deg=row["angle_deg"],
+            range_m=row["range_m"],
+        )
+
+    def image_ids(self, include_augmented: bool = True) -> list[int]:
+        """All stored image ids."""
+        rows = self.db.table("images").all_rows()
+        return [
+            row["image_id"]
+            for row in rows
+            if include_augmented or not row["is_augmented"]
+        ]
+
+    def localize_scene(self, image_id: int, max_views: int = 8) -> LocalizedScene:
+        """Refined scene location for one image using other overlapping
+        views (the data-centric localisation of paper ref. [23]).
+
+        The Oriented R-tree finds stored images whose FOVs overlap this
+        image's; intersecting their sectors shrinks the scene estimate
+        and raises its confidence.  The refined box replaces the image's
+        ``image_scene_location`` row.
+        """
+        fov = self.fov(image_id)
+        overlapping = [
+            other
+            for other in self._spatial.search_overlapping(fov)
+            if other != image_id
+        ][: max_views - 1]
+        fovs = [fov] + [self.fov(other) for other in overlapping]
+        estimate = LocalizedScene.estimate(fovs)
+        rows = self.db.table("image_scene_location").find("image_id", image_id)
+        if rows:
+            self.db.table("image_scene_location").update(
+                rows[0]["scene_id"],
+                {
+                    "min_lat": estimate.box.min_lat,
+                    "min_lng": estimate.box.min_lng,
+                    "max_lat": estimate.box.max_lat,
+                    "max_lng": estimate.box.max_lng,
+                },
+            )
+        return estimate
+
+    # -- analysis ------------------------------------------------------------------
+
+    def register_extractor(self, extractor: FeatureExtractor) -> None:
+        """Expose a feature extractor platform-wide."""
+        self.features.register(extractor)
+
+    def extract_features(
+        self, extractor_name: str, image_ids: list[int] | None = None
+    ) -> dict[int, np.ndarray]:
+        """Compute (or fetch cached) features and index them for visual
+        and hybrid search.  Returns image id -> vector."""
+        extractor = self.features.get(extractor_name)
+        targets = image_ids if image_ids is not None else self.image_ids()
+        table = self.db.table("image_visual_features")
+        out: dict[int, np.ndarray] = {}
+        if extractor_name not in self._lsh:
+            self._lsh[extractor_name] = LSHIndex(dimension=extractor.dimension())
+            self._hybrid[extractor_name] = VisualRTree(dimension=extractor.dimension())
+        lsh = self._lsh[extractor_name]
+        hybrid = self._hybrid[extractor_name]
+        for image_id in targets:
+            cached = [
+                row
+                for row in table.find("image_id", image_id)
+                if row["extractor_name"] == extractor_name
+            ]
+            if cached:
+                out[image_id] = np.array(cached[0]["vector"], dtype=np.float64)
+                continue
+            vector = extractor.extract(self.image(image_id))
+            self.db.insert(
+                "image_visual_features",
+                {
+                    "image_id": image_id,
+                    "extractor_name": extractor_name,
+                    "vector": vector.tolist(),
+                },
+            )
+            row = self.db.table("images").get(image_id)
+            lsh.insert(image_id, vector)
+            hybrid.insert(image_id, GeoPoint(row["lat"], row["lng"]), vector)
+            out[image_id] = vector
+        return out
+
+    def feature_vector(self, image_id: int, extractor_name: str) -> np.ndarray:
+        """Stored feature vector, computing it on demand."""
+        return self.extract_features(extractor_name, [image_id])[image_id]
+
+    # -- query execution ---------------------------------------------------------
+
+    def execute(self, query: object) -> list[QueryResult]:
+        """Run any of the five query families or a hybrid."""
+        if isinstance(query, SpatialQuery):
+            return self._run_spatial(query)
+        if isinstance(query, VisualQuery):
+            return self._run_visual(query)
+        if isinstance(query, CategoricalQuery):
+            return self._run_categorical(query)
+        if isinstance(query, TextualQuery):
+            return self._run_textual(query)
+        if isinstance(query, TemporalQuery):
+            return self._run_temporal(query)
+        if isinstance(query, HybridQuery):
+            return self._run_hybrid(query)
+        raise QueryError(f"unsupported query type {type(query).__name__}")
+
+    def _run_spatial(self, query: SpatialQuery) -> list[QueryResult]:
+        region = query.bounding_region()
+        if query.mode == "scene":
+            if query.point is not None and query.radius_m == 0.0:
+                hits = self._spatial.search_point(
+                    query.point.lat,
+                    query.point.lng,
+                    direction_deg=query.direction_deg,
+                    tolerance_deg=query.direction_tolerance_deg,
+                )
+            else:
+                hits = self._spatial.search_range(
+                    region,
+                    direction_deg=query.direction_deg,
+                    tolerance_deg=query.direction_tolerance_deg,
+                )
+        else:
+            hits = []
+            for image_id in self._spatial.search_range(
+                region,
+                direction_deg=query.direction_deg,
+                tolerance_deg=query.direction_tolerance_deg,
+            ):
+                row = self.db.table("images").get(image_id)
+                if region.contains_point(GeoPoint(row["lat"], row["lng"])):
+                    hits.append(image_id)
+        return [QueryResult(image_id=i) for i in sorted(hits)]
+
+    def _run_visual(self, query: VisualQuery) -> list[QueryResult]:
+        if query.extractor_name not in self._lsh:
+            raise QueryError(
+                f"no features extracted yet for {query.extractor_name!r}; "
+                "call extract_features first"
+            )
+        vector = query.vector
+        if vector is None:
+            vector = self.features.get(query.extractor_name).extract(query.example)
+        lsh = self._lsh[query.extractor_name]
+        if query.max_distance is not None:
+            pairs = lsh.query_radius(vector, query.max_distance)[: query.k]
+        else:
+            pairs = lsh.query_topk(vector, query.k)
+        # Similarity score: inverse distance, monotone for ranking.
+        return [
+            QueryResult(image_id=item, score=1.0 / (1.0 + distance))
+            for item, distance in pairs
+        ]
+
+    def _run_categorical(self, query: CategoricalQuery) -> list[QueryResult]:
+        hits = self.annotations.images_with_label(
+            query.classification,
+            query.labels,
+            min_confidence=query.min_confidence,
+            source=query.source,
+        )
+        return [
+            QueryResult(image_id=image_id, score=confidence)
+            for image_id, confidence in sorted(hits.items())
+        ]
+
+    def _run_textual(self, query: TextualQuery) -> list[QueryResult]:
+        if query.match == "all":
+            pairs = self._text.search_all(query.text)
+        else:
+            pairs = self._text.search_any(query.text)
+        return [QueryResult(image_id=doc, score=score) for doc, score in pairs]
+
+    def _run_temporal(self, query: TemporalQuery) -> list[QueryResult]:
+        lo = query.start if query.start is not None else -np.inf
+        hi = query.end if query.end is not None else np.inf
+        rows = self.db.table("images").scan(
+            lambda row: lo <= row[query.field] <= hi
+        )
+        return [QueryResult(image_id=row["image_id"]) for row in rows]
+
+    def _run_hybrid(self, query: HybridQuery) -> list[QueryResult]:
+        # Spatial-visual pairs get the dedicated Visual R*-tree path.
+        parts = list(query.queries)
+        if len(parts) == 2:
+            spatial = next((q for q in parts if isinstance(q, SpatialQuery)), None)
+            visual = next((q for q in parts if isinstance(q, VisualQuery)), None)
+            if spatial is not None and visual is not None:
+                return self._run_spatial_visual(spatial, visual)
+        result_sets = [self.execute(sub) for sub in parts]
+        common = set.intersection(*[{r.image_id for r in rs} for rs in result_sets])
+        scores: dict[int, float] = {i: 0.0 for i in common}
+        for result_set in result_sets:
+            for result in result_set:
+                if result.image_id in scores and result.score > 0:
+                    scores[result.image_id] = result.score
+        return [
+            QueryResult(image_id=i, score=scores[i])
+            for i in sorted(common, key=lambda i: (-scores[i], i))
+        ]
+
+    def _run_spatial_visual(
+        self, spatial: SpatialQuery, visual: VisualQuery
+    ) -> list[QueryResult]:
+        if visual.extractor_name not in self._hybrid:
+            raise QueryError(
+                f"no features extracted yet for {visual.extractor_name!r}; "
+                "call extract_features first"
+            )
+        vector = visual.vector
+        if vector is None:
+            vector = self.features.get(visual.extractor_name).extract(visual.example)
+        hybrid = self._hybrid[visual.extractor_name]
+        pairs = hybrid.spatial_visual_knn(
+            spatial.bounding_region(), vector, visual.k
+        )
+        if visual.max_distance is not None:
+            pairs = [(i, d) for i, d in pairs if d <= visual.max_distance]
+        return [
+            QueryResult(image_id=item, score=1.0 / (1.0 + distance))
+            for item, distance in pairs
+        ]
+
+    # -- stats ---------------------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Platform-wide counters (exposed by the API's stats route)."""
+        return {
+            "rows": self.db.row_counts(),
+            "blobs": len(self._blobs),
+            "indexed_fovs": len(self._spatial),
+            "extractors": self.features.names(),
+            "lsh_indexes": sorted(self._lsh),
+        }
+
+
+def _fov_columns(fov: FieldOfView) -> dict[str, float]:
+    return {
+        "direction_deg": fov.direction_deg,
+        "angle_deg": fov.angle_deg,
+        "range_m": fov.range_m,
+    }

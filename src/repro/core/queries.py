@@ -1,0 +1,157 @@
+"""Query model for TVDP data access (paper Section IV-C).
+
+Five primitive query families — spatial, visual, categorical, textual,
+temporal — plus hybrid composition.  Queries are plain declarative
+objects; the platform (:class:`repro.core.platform.TVDP`) executes them
+against its indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.geo.point import BoundingBox, GeoPoint
+from repro.imaging.image import Image
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One hit: the image id and a query-specific relevance score
+    (higher is better; 0.0 for unranked boolean matches)."""
+
+    image_id: int
+    score: float = 0.0
+
+
+@dataclass(frozen=True)
+class SpatialQuery:
+    """Find images by location.
+
+    Exactly one of ``region`` or (``point`` + ``radius_m``) must be
+    given.  ``mode='camera'`` matches camera positions; ``mode='scene'``
+    matches images whose FOV *depicts* the area.  An optional viewing
+    ``direction_deg`` (with tolerance) restricts orientation.
+    """
+
+    region: BoundingBox | None = None
+    point: GeoPoint | None = None
+    radius_m: float | None = None
+    mode: str = "scene"
+    direction_deg: float | None = None
+    direction_tolerance_deg: float = 45.0
+
+    def __post_init__(self) -> None:
+        has_region = self.region is not None
+        has_point = self.point is not None and self.radius_m is not None
+        if has_region == has_point:
+            raise QueryError(
+                "SpatialQuery needs either a region or a point+radius, not both"
+            )
+        if self.radius_m is not None and self.radius_m < 0:
+            raise QueryError(f"radius must be >= 0, got {self.radius_m}")
+        if self.mode not in ("camera", "scene"):
+            raise QueryError(f"mode must be 'camera' or 'scene', got {self.mode!r}")
+
+    def bounding_region(self) -> BoundingBox:
+        """The query region, or a box around the point+radius."""
+        if self.region is not None:
+            return self.region
+        return BoundingBox.around(self.point, self.radius_m)
+
+
+@dataclass(frozen=True)
+class VisualQuery:
+    """Find images similar to an example.
+
+    Provide either a raw ``example`` image (features are extracted with
+    ``extractor_name``) or a precomputed ``vector``.  ``k`` limits the
+    result count; ``max_distance`` optionally thresholds similarity.
+    """
+
+    extractor_name: str
+    example: Image | None = None
+    vector: np.ndarray | None = None
+    k: int = 10
+    max_distance: float | None = None
+
+    def __post_init__(self) -> None:
+        if (self.example is None) == (self.vector is None):
+            raise QueryError("VisualQuery needs exactly one of example or vector")
+        if self.k < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+        if self.max_distance is not None and self.max_distance < 0:
+            raise QueryError(f"max_distance must be >= 0, got {self.max_distance}")
+
+
+@dataclass(frozen=True)
+class CategoricalQuery:
+    """Find images carrying annotations of a classification label."""
+
+    classification: str
+    labels: tuple[str, ...]
+    min_confidence: float = 0.0
+    source: str | None = None  # 'human', 'machine', or None for both
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise QueryError("CategoricalQuery needs at least one label")
+        if not (0.0 <= self.min_confidence <= 1.0):
+            raise QueryError(
+                f"min_confidence must be in [0, 1], got {self.min_confidence}"
+            )
+        if self.source not in (None, "human", "machine"):
+            raise QueryError(f"source must be human/machine/None, got {self.source!r}")
+
+
+@dataclass(frozen=True)
+class TextualQuery:
+    """Find images by keyword text. ``match='any'`` is disjunctive
+    tf-idf ranking; ``'all'`` requires every term."""
+
+    text: str
+    match: str = "any"
+
+    def __post_init__(self) -> None:
+        if self.match not in ("any", "all"):
+            raise QueryError(f"match must be 'any' or 'all', got {self.match!r}")
+        if not self.text.strip():
+            raise QueryError("TextualQuery needs non-empty text")
+
+
+@dataclass(frozen=True)
+class TemporalQuery:
+    """Find images captured (or uploaded) in a time window."""
+
+    start: float | None = None
+    end: float | None = None
+    field: str = "timestamp_capturing"
+
+    def __post_init__(self) -> None:
+        if self.start is None and self.end is None:
+            raise QueryError("TemporalQuery needs start and/or end")
+        if self.start is not None and self.end is not None and self.start > self.end:
+            raise QueryError(f"start {self.start} is after end {self.end}")
+        if self.field not in ("timestamp_capturing", "timestamp_uploading"):
+            raise QueryError(f"unknown temporal field {self.field!r}")
+
+
+@dataclass(frozen=True)
+class HybridQuery:
+    """Conjunction of sub-queries (e.g. spatial + visual).
+
+    Results are the intersection of all components' hits; scores come
+    from the *last ranked* component (visual or textual), falling back
+    to 0.0 for purely boolean combinations.
+    """
+
+    queries: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(self.queries) < 2:
+            raise QueryError("HybridQuery needs at least two sub-queries")
+        for query in self.queries:
+            if isinstance(query, HybridQuery):
+                raise QueryError("HybridQuery cannot nest hybrids")

@@ -1,0 +1,80 @@
+"""Video ingestion: key-frame selection and upload.
+
+"In TVDP, a video is represented by a sequence of key frames; hence the
+video is stored as a set of images where each one is tagged with
+various descriptors."  Besides the uniform every-k policy that
+MediaQ-style apps use, a content-adaptive selector keeps a frame only
+when it looks sufficiently different from the last kept one — fewer
+redundant frames from a truck idling at a light.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TVDPError
+from repro.datasets.geougv import SyntheticVideo, VideoFrame
+from repro.features.base import FeatureExtractor
+from repro.core.platform import TVDP
+
+
+def select_keyframes_uniform(video: SyntheticVideo, every: int = 5) -> list[VideoFrame]:
+    """Every ``every``-th frame (delegates to the video's own policy)."""
+    return video.key_frames(every=every)
+
+
+def select_keyframes_adaptive(
+    video: SyntheticVideo,
+    extractor: FeatureExtractor,
+    threshold: float = 0.25,
+) -> list[VideoFrame]:
+    """Content-change key-frame selection.
+
+    Keeps frame 0, then keeps any frame whose feature distance from the
+    last *kept* frame exceeds ``threshold``.
+    """
+    if threshold < 0:
+        raise TVDPError(f"threshold must be >= 0, got {threshold}")
+    if not video.frames:
+        return []
+    kept = [video.frames[0]]
+    last_vector = extractor.extract(video.render_frame(0))
+    for frame in video.frames[1:]:
+        vector = extractor.extract(video.render_frame(frame.frame_number))
+        if float(np.linalg.norm(vector - last_vector)) > threshold:
+            kept.append(frame)
+            last_vector = vector
+    return kept
+
+
+def ingest_video(
+    platform: TVDP,
+    video: SyntheticVideo,
+    uploader_id: int | None = None,
+    every: int = 5,
+    keyframes: list[VideoFrame] | None = None,
+) -> tuple[int, list[int]]:
+    """Upload a video's key frames into the platform.
+
+    Returns ``(video_row_id, image_ids)``.  Each stored frame keeps its
+    per-frame FOV — the fine-granularity metadata MediaQ captures.
+    """
+    video_row = platform.register_video(
+        uri=f"tvdp://videos/{video.video_id}",
+        uploader_id=uploader_id,
+        description=f"synthetic drive {video.video_id}",
+    )
+    frames = keyframes if keyframes is not None else video.key_frames(every=every)
+    image_ids = []
+    for frame in frames:
+        receipt = platform.upload_image(
+            image=video.render_frame(frame.frame_number),
+            fov=frame.fov,
+            captured_at=frame.timestamp,
+            uploaded_at=frame.timestamp + 300.0,
+            uploader_id=uploader_id,
+            video_id=video_row,
+            frame_number=frame.frame_number,
+        )
+        image_ids.append(receipt.image_id)
+    return video_row, image_ids

@@ -1,0 +1,41 @@
+"""Spatial crowdsourcing: campaigns, workers, assignment, coverage."""
+
+from repro.crowd.coverage import (
+    DIRECTION_BUCKETS,
+    CoverageReport,
+    direction_bucket,
+    measure_coverage,
+)
+from repro.crowd.campaign import Campaign, Task
+from repro.crowd.workers import Worker, WorkerPool
+from repro.crowd.assignment import (
+    Assignment,
+    AssignmentResult,
+    assign_greedy,
+    assign_nearest,
+    assign_partitioned,
+)
+from repro.crowd.iterate import (
+    IterativeCampaignResult,
+    RoundStats,
+    run_iterative_campaign,
+)
+
+__all__ = [
+    "DIRECTION_BUCKETS",
+    "CoverageReport",
+    "direction_bucket",
+    "measure_coverage",
+    "Task",
+    "Campaign",
+    "Worker",
+    "WorkerPool",
+    "Assignment",
+    "AssignmentResult",
+    "assign_greedy",
+    "assign_nearest",
+    "assign_partitioned",
+    "IterativeCampaignResult",
+    "RoundStats",
+    "run_iterative_campaign",
+]

@@ -1,0 +1,185 @@
+"""Task-assignment algorithms for spatial crowdsourcing.
+
+Three strategies in the spirit of GeoCrowd (ref. [12]) and the
+scalable distributed study (ref. [13]):
+
+* ``greedy``  — repeatedly match the globally closest (worker, task)
+  pair; strong quality, O(W*T) per match.
+* ``nearest`` — each worker grabs their nearest unclaimed task in
+  worker order; fast, slightly worse travel cost.
+* ``partitioned`` — split the region into a grid of sub-problems and run
+  greedy inside each partition; this is the "distributed" strategy that
+  scales to city-level instances with near-greedy quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CrowdError
+from repro.geo.geodesy import haversine_m
+from repro.geo.point import BoundingBox
+from repro.geo.regions import RegionGrid
+from repro.crowd.campaign import Task
+from repro.crowd.workers import Worker
+
+
+@dataclass(frozen=True, slots=True)
+class Assignment:
+    """One matched pair with its travel cost."""
+
+    worker: Worker
+    task: Task
+    distance_m: float
+
+
+@dataclass(frozen=True)
+class AssignmentResult:
+    """All matches plus summary statistics."""
+
+    assignments: list[Assignment]
+    unassigned_tasks: list[Task]
+
+    @property
+    def total_distance_m(self) -> float:
+        return sum(a.distance_m for a in self.assignments)
+
+    @property
+    def mean_distance_m(self) -> float:
+        if not self.assignments:
+            return 0.0
+        return self.total_distance_m / len(self.assignments)
+
+
+def _greedy_match(
+    workers: list[Worker], tasks: list[Task], per_worker: int, max_distance_m: float
+) -> tuple[list[Assignment], list[Task]]:
+    budget = {w.worker_id: per_worker for w in workers}
+    position = {w.worker_id: w.location for w in workers}
+    open_tasks = list(tasks)
+    matches: list[Assignment] = []
+    while open_tasks and any(budget.values()):
+        best: tuple[float, Worker, Task] | None = None
+        for worker in workers:
+            if budget[worker.worker_id] == 0:
+                continue
+            for task in open_tasks:
+                distance = haversine_m(position[worker.worker_id], task.location)
+                if distance > max_distance_m:
+                    continue
+                if best is None or distance < best[0]:
+                    best = (distance, worker, task)
+        if best is None:
+            break
+        distance, worker, task = best
+        matches.append(Assignment(worker=worker, task=task, distance_m=distance))
+        budget[worker.worker_id] -= 1
+        position[worker.worker_id] = task.location
+        open_tasks.remove(task)
+    return matches, open_tasks
+
+
+def assign_greedy(
+    workers: list[Worker],
+    tasks: list[Task],
+    per_worker: int = 5,
+    max_distance_m: float = float("inf"),
+) -> AssignmentResult:
+    """Globally greedy nearest-pair matching."""
+    if per_worker < 1:
+        raise CrowdError(f"per_worker must be >= 1, got {per_worker}")
+    matches, leftover = _greedy_match(workers, tasks, per_worker, max_distance_m)
+    return AssignmentResult(assignments=matches, unassigned_tasks=leftover)
+
+
+def assign_nearest(
+    workers: list[Worker],
+    tasks: list[Task],
+    per_worker: int = 5,
+    max_distance_m: float = float("inf"),
+) -> AssignmentResult:
+    """Each worker (in id order) repeatedly claims its nearest task."""
+    if per_worker < 1:
+        raise CrowdError(f"per_worker must be >= 1, got {per_worker}")
+    open_tasks = list(tasks)
+    matches: list[Assignment] = []
+    for worker in sorted(workers, key=lambda w: w.worker_id):
+        location = worker.location
+        for _ in range(per_worker):
+            if not open_tasks:
+                break
+            nearest = min(open_tasks, key=lambda t: haversine_m(location, t.location))
+            distance = haversine_m(location, nearest.location)
+            if distance > max_distance_m:
+                break
+            matches.append(Assignment(worker=worker, task=nearest, distance_m=distance))
+            location = nearest.location
+            open_tasks.remove(nearest)
+    return AssignmentResult(assignments=matches, unassigned_tasks=open_tasks)
+
+
+def assign_partitioned(
+    workers: list[Worker],
+    tasks: list[Task],
+    region: BoundingBox,
+    partitions: int = 2,
+    per_worker: int = 5,
+    max_distance_m: float = float("inf"),
+) -> AssignmentResult:
+    """Grid-partitioned greedy: the distributed strategy of ref. [13].
+
+    Workers and tasks are bucketed by partition cell; greedy runs
+    independently per cell (parallelisable in a real deployment), and a
+    final greedy pass over leftovers handles cross-partition matches.
+    """
+    if partitions < 1:
+        raise CrowdError(f"partitions must be >= 1, got {partitions}")
+    grid = RegionGrid(region, partitions, partitions)
+
+    def bucket_of(point):
+        cell = grid.cell_of(point)
+        return (cell.row, cell.col) if cell else None
+
+    worker_buckets: dict[object, list[Worker]] = {}
+    task_buckets: dict[object, list[Task]] = {}
+    for worker in workers:
+        worker_buckets.setdefault(bucket_of(worker.location), []).append(worker)
+    for task in tasks:
+        task_buckets.setdefault(bucket_of(task.location), []).append(task)
+
+    matches: list[Assignment] = []
+    leftover_tasks: list[Task] = []
+    used_budget: dict[int, int] = {w.worker_id: 0 for w in workers}
+    for key, bucket_tasks in task_buckets.items():
+        bucket_workers = worker_buckets.get(key, [])
+        local, remaining = _greedy_match(
+            bucket_workers, bucket_tasks, per_worker, max_distance_m
+        )
+        matches.extend(local)
+        for assignment in local:
+            used_budget[assignment.worker.worker_id] += 1
+        leftover_tasks.extend(remaining)
+
+    # Cross-partition cleanup with remaining budget.
+    if leftover_tasks:
+        residual_workers = [
+            w for w in workers if used_budget[w.worker_id] < per_worker
+        ]
+        # Respect per-worker budgets already consumed.
+        extra, still_open = _greedy_match(
+            residual_workers,
+            leftover_tasks,
+            per_worker,
+            max_distance_m,
+        )
+        trimmed: list[Assignment] = []
+        for assignment in extra:
+            wid = assignment.worker.worker_id
+            if used_budget[wid] < per_worker:
+                trimmed.append(assignment)
+                used_budget[wid] += 1
+            else:
+                still_open.append(assignment.task)
+        matches.extend(trimmed)
+        leftover_tasks = still_open
+    return AssignmentResult(assignments=matches, unassigned_tasks=leftover_tasks)

@@ -1,0 +1,105 @@
+"""Spatial-crowdsourcing campaigns and tasks.
+
+A campaign ("a participant [creates] a data collection campaign for
+certain types of visual data at specific locations") owns a target
+region, a coverage goal, and a stream of point tasks derived from
+coverage gaps.  Tasks carry an optional required viewing direction so
+under-covered cells get filled from the directions they lack.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import CrowdError
+from repro.geo.point import BoundingBox, GeoPoint
+from repro.crowd.coverage import DIRECTION_BUCKETS, CoverageReport
+
+_task_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """One capture request: go to ``location``, photograph toward
+    ``direction_deg`` (None = any direction)."""
+
+    task_id: int
+    location: GeoPoint
+    direction_deg: float | None
+    campaign_id: int
+    reward: float = 1.0
+
+
+@dataclass
+class Campaign:
+    """A proactive collection effort over a region."""
+
+    campaign_id: int
+    owner: str
+    region: BoundingBox
+    description: str = ""
+    target_coverage: float = 0.9
+    min_directions: int = 2
+    reward_per_task: float = 1.0
+    open_tasks: list[Task] = field(default_factory=list)
+    completed_tasks: list[Task] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.target_coverage <= 1.0):
+            raise CrowdError(
+                f"target_coverage must be in (0, 1], got {self.target_coverage}"
+            )
+
+    def generate_tasks(
+        self, report: CoverageReport, max_tasks: int | None = None
+    ) -> list[Task]:
+        """Turn coverage gaps into tasks.
+
+        Uncovered cells get an any-direction task at their centre;
+        under-covered cells get one task per missing direction bucket
+        (capped by ``max_tasks``, nearest gaps first in grid order).
+        """
+        tasks: list[Task] = []
+        uncovered = {(c.row, c.col) for c in report.uncovered_cells()}
+        for cell in report.uncovered_cells():
+            tasks.append(
+                Task(
+                    task_id=next(_task_ids),
+                    location=cell.box.center,
+                    direction_deg=None,
+                    campaign_id=self.campaign_id,
+                    reward=self.reward_per_task,
+                )
+            )
+        for cell in report.under_covered_cells():
+            if (cell.row, cell.col) in uncovered:
+                continue  # already queued as an any-direction task
+            for bucket in report.missing_directions(cell):
+                direction = (bucket + 0.5) * (360.0 / DIRECTION_BUCKETS)
+                tasks.append(
+                    Task(
+                        task_id=next(_task_ids),
+                        location=cell.box.center,
+                        direction_deg=direction,
+                        campaign_id=self.campaign_id,
+                        reward=self.reward_per_task,
+                    )
+                )
+        if max_tasks is not None:
+            tasks = tasks[:max_tasks]
+        self.open_tasks.extend(tasks)
+        return tasks
+
+    def complete(self, task: Task) -> None:
+        """Mark a task completed."""
+        try:
+            self.open_tasks.remove(task)
+        except ValueError as exc:
+            raise CrowdError(f"task {task.task_id} is not open") from exc
+        self.completed_tasks.append(task)
+
+    @property
+    def total_reward_paid(self) -> float:
+        """Reward disbursed so far."""
+        return sum(task.reward for task in self.completed_tasks)

@@ -1,0 +1,109 @@
+"""Spatial coverage measurement of geo-tagged visual data.
+
+Implements the paper's adequacy check (Section III): after collection,
+"the adequacy of the collected data should be evaluated by estimating
+its coverage by utilizing its associated spatial metadata ... using the
+spatial measurement models that consider the spatial properties of the
+images (e.g., the spatial extent of a view and viewing direction)"
+(ref. [17]).
+
+The region is rasterised into grid cells; a cell is *covered* when some
+FOV sector contains its centre, and *direction-covered* when sectors
+from enough distinct compass directions do — seeing a street corner
+only from the north is not the same as seeing all of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CrowdError
+from repro.geo.fov import FieldOfView
+from repro.geo.point import BoundingBox
+from repro.geo.regions import GridCell, RegionGrid
+
+#: Number of direction buckets for direction-aware coverage.
+DIRECTION_BUCKETS = 8
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Result of measuring a set of FOVs against a region grid."""
+
+    grid: RegionGrid
+    cell_hits: dict[tuple[int, int], int]
+    cell_directions: dict[tuple[int, int], frozenset[int]]
+    min_directions: int
+
+    @property
+    def coverage_ratio(self) -> float:
+        """Fraction of cells seen by at least one FOV."""
+        return len(self.cell_hits) / len(self.grid)
+
+    @property
+    def directional_coverage_ratio(self) -> float:
+        """Fraction of cells seen from >= ``min_directions`` distinct
+        compass directions."""
+        good = sum(
+            1
+            for dirs in self.cell_directions.values()
+            if len(dirs) >= self.min_directions
+        )
+        return good / len(self.grid)
+
+    def uncovered_cells(self) -> list[GridCell]:
+        """Cells nobody has photographed yet."""
+        return [
+            cell
+            for cell in self.grid.cells()
+            if (cell.row, cell.col) not in self.cell_hits
+        ]
+
+    def under_covered_cells(self) -> list[GridCell]:
+        """Cells covered, but from too few directions (plus uncovered)."""
+        out = []
+        for cell in self.grid.cells():
+            dirs = self.cell_directions.get((cell.row, cell.col), frozenset())
+            if len(dirs) < self.min_directions:
+                out.append(cell)
+        return out
+
+    def missing_directions(self, cell: GridCell) -> list[int]:
+        """Direction buckets (0..7) not yet observed for ``cell``."""
+        seen = self.cell_directions.get((cell.row, cell.col), frozenset())
+        return [b for b in range(DIRECTION_BUCKETS) if b not in seen]
+
+
+def direction_bucket(direction_deg: float) -> int:
+    """Map a bearing into one of the eight 45-degree buckets."""
+    return int((direction_deg % 360.0) // (360.0 / DIRECTION_BUCKETS))
+
+
+def measure_coverage(
+    fovs: list[FieldOfView],
+    region: BoundingBox,
+    rows: int = 16,
+    cols: int = 16,
+    min_directions: int = 2,
+) -> CoverageReport:
+    """Rasterise FOVs over a grid and report coverage statistics."""
+    if min_directions < 1 or min_directions > DIRECTION_BUCKETS:
+        raise CrowdError(
+            f"min_directions must be in [1, {DIRECTION_BUCKETS}], got {min_directions}"
+        )
+    grid = RegionGrid(region, rows, cols)
+    hits: dict[tuple[int, int], int] = {}
+    directions: dict[tuple[int, int], set[int]] = {}
+    for fov in fovs:
+        bucket = direction_bucket(fov.direction_deg)
+        for cell in grid.cells_intersecting(fov.mbr()):
+            if fov.contains_point(cell.box.center):
+                key = (cell.row, cell.col)
+                hits[key] = hits.get(key, 0) + 1
+                directions.setdefault(key, set()).add(bucket)
+    return CoverageReport(
+        grid=grid,
+        cell_hits=hits,
+        cell_directions={k: frozenset(v) for k, v in directions.items()},
+        min_directions=min_directions,
+    )

@@ -1,0 +1,117 @@
+"""Simulated crowd workers with MediaQ-style capture behaviour.
+
+Each worker has a position and capture hardware parameters; performing
+a task moves the worker there and emits an FOV record with realistic
+sensor noise (GPS jitter, compass error) — the metadata a MediaQ-like
+mobile app would attach to the captured frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CrowdError
+from repro.geo.fov import FieldOfView
+from repro.geo.geodesy import destination_point, haversine_m, initial_bearing_deg
+from repro.geo.point import BoundingBox, GeoPoint
+from repro.crowd.campaign import Task
+
+
+@dataclass
+class Worker:
+    """One crowd participant."""
+
+    worker_id: int
+    location: GeoPoint
+    speed_mps: float = 1.4  # walking speed
+    camera_angle_deg: float = 60.0
+    camera_range_m: float = 120.0
+    gps_noise_m: float = 5.0
+    compass_noise_deg: float = 8.0
+    #: Distance scale of task acceptance: acceptance probability decays
+    #: as exp(-distance / acceptance_radius_m).  Crowd workers decline
+    #: far-away tasks — the incentive reality refs [12]/[13] model.
+    acceptance_radius_m: float = 2_000.0
+    distance_travelled_m: float = 0.0
+    captures: int = 0
+    declined: int = 0
+
+    def travel_time_to(self, point: GeoPoint) -> float:
+        """Seconds to reach ``point`` at walking speed."""
+        return haversine_m(self.location, point) / self.speed_mps
+
+    def acceptance_probability(self, point: GeoPoint) -> float:
+        """Probability this worker accepts a task at ``point``."""
+        distance = haversine_m(self.location, point)
+        return float(np.exp(-distance / max(self.acceptance_radius_m, 1e-9)))
+
+    def accepts(self, task: Task, rng: np.random.Generator) -> bool:
+        """Sample the accept/decline decision for a task offer."""
+        if rng.random() < self.acceptance_probability(task.location):
+            return True
+        self.declined += 1
+        return False
+
+    def perform(self, task: Task, rng: np.random.Generator) -> FieldOfView:
+        """Move to the task location and capture: returns the recorded
+        FOV (with sensor noise applied)."""
+        self.distance_travelled_m += haversine_m(self.location, task.location)
+        self.location = task.location
+        self.captures += 1
+        noisy_camera = destination_point(
+            task.location,
+            float(rng.uniform(0.0, 360.0)),
+            abs(float(rng.normal(0.0, self.gps_noise_m))),
+        )
+        if task.direction_deg is not None:
+            direction = task.direction_deg
+        elif noisy_camera != task.location:
+            # "Photograph this spot": aim at the task location from
+            # wherever GPS noise actually placed the camera.
+            direction = initial_bearing_deg(noisy_camera, task.location)
+        else:
+            direction = float(rng.uniform(0.0, 360.0))
+        noisy_direction = direction + float(rng.normal(0.0, self.compass_noise_deg))
+        return FieldOfView(
+            camera=noisy_camera,
+            direction_deg=noisy_direction,
+            angle_deg=self.camera_angle_deg,
+            range_m=self.camera_range_m,
+        )
+
+
+@dataclass
+class WorkerPool:
+    """A population of workers scattered over a region."""
+
+    workers: list[Worker] = field(default_factory=list)
+
+    @classmethod
+    def spawn(
+        cls, n: int, region: BoundingBox, seed: int = 0, **worker_kwargs
+    ) -> "WorkerPool":
+        """Create ``n`` workers uniformly distributed over ``region``."""
+        if n < 1:
+            raise CrowdError(f"need at least 1 worker, got {n}")
+        rng = np.random.default_rng(seed)
+        workers = [
+            Worker(
+                worker_id=i + 1,
+                location=GeoPoint(
+                    float(rng.uniform(region.min_lat, region.max_lat)),
+                    float(rng.uniform(region.min_lng, region.max_lng)),
+                ),
+                **worker_kwargs,
+            )
+            for i in range(n)
+        ]
+        return cls(workers=workers)
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def total_distance_m(self) -> float:
+        """Aggregate distance travelled by all workers."""
+        return sum(w.distance_travelled_m for w in self.workers)

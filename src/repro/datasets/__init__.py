@@ -1,0 +1,29 @@
+"""Synthetic datasets standing in for the paper's proprietary corpora."""
+
+from repro.datasets.lasan import (
+    CLASS_KEYWORDS,
+    EPOCH_START,
+    LasanRecord,
+    dataset_summary,
+    generate_lasan_dataset,
+)
+from repro.datasets.geougv import (
+    SyntheticVideo,
+    VideoFrame,
+    generate_fleet_videos,
+    generate_route_video,
+    generate_video,
+)
+
+__all__ = [
+    "LasanRecord",
+    "CLASS_KEYWORDS",
+    "EPOCH_START",
+    "generate_lasan_dataset",
+    "dataset_summary",
+    "VideoFrame",
+    "SyntheticVideo",
+    "generate_video",
+    "generate_route_video",
+    "generate_fleet_videos",
+]

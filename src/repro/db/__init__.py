@@ -1,0 +1,24 @@
+"""Embedded relational engine implementing the TVDP schema (Fig. 2)."""
+
+from repro.db.schema import (
+    Column,
+    ColumnType,
+    ForeignKey,
+    TableSchema,
+    tvdp_schema,
+)
+from repro.db.table import Table
+from repro.db.database import Database
+from repro.db.persistence import dump_database, load_database
+
+__all__ = [
+    "ColumnType",
+    "ForeignKey",
+    "Column",
+    "TableSchema",
+    "tvdp_schema",
+    "Table",
+    "Database",
+    "dump_database",
+    "load_database",
+]

@@ -1,0 +1,127 @@
+"""The database: a set of tables with foreign-key enforcement."""
+
+from __future__ import annotations
+
+from repro.errors import IntegrityError, SchemaError
+from repro.db.schema import TableSchema, tvdp_schema
+from repro.db.table import Table
+
+
+class Database:
+    """Multi-table store enforcing referential integrity.
+
+    Inserts check that referenced rows exist; deletes are *restricted*
+    (refused while referencing rows remain), which is the safe default
+    for an archival platform where images anchor satellite records.
+    """
+
+    def __init__(self, schemas: list[TableSchema] | None = None) -> None:
+        self._tables: dict[str, Table] = {}
+        for schema in schemas or []:
+            self.create_table(schema)
+
+    @classmethod
+    def tvdp(cls) -> "Database":
+        """A database with the paper's Fig. 2 schema, with hash indexes
+        on the hot foreign keys."""
+        db = cls(tvdp_schema())
+        db.table("image_visual_features").create_index("image_id")
+        db.table("image_visual_features").create_index("extractor_name")
+        db.table("image_content_annotation").create_index("image_id")
+        db.table("image_content_annotation").create_index("type_id")
+        db.table("image_manual_keywords").create_index("image_id")
+        db.table("image_fov").create_index("image_id")
+        db.table("images").create_index("video_id")
+        return db
+
+    # -- schema ---------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Register a new table; FK targets must already exist (self-
+        references allowed)."""
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        for column in schema.columns:
+            fk = column.foreign_key
+            if fk is None:
+                continue
+            if fk.table != schema.name and fk.table not in self._tables:
+                raise SchemaError(
+                    f"{schema.name}.{column.name} references unknown table {fk.table!r}"
+                )
+            target_schema = (
+                schema if fk.table == schema.name else self._tables[fk.table].schema
+            )
+            if target_schema.column(fk.column).primary_key is False:
+                raise SchemaError(
+                    f"foreign keys must reference primary keys; "
+                    f"{fk.table}.{fk.column} is not one"
+                )
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Table handle by name."""
+        if name not in self._tables:
+            raise SchemaError(f"no such table {name!r}")
+        return self._tables[name]
+
+    def table_names(self) -> list[str]:
+        """Sorted table names."""
+        return sorted(self._tables)
+
+    # -- integrity-checked mutations -------------------------------------------
+
+    def insert(self, table_name: str, row: dict) -> int:
+        """Insert with FK existence checks; returns the new PK."""
+        table = self.table(table_name)
+        normalized = table.schema.validate_row(row)
+        for column in table.schema.columns:
+            fk = column.foreign_key
+            value = normalized.get(column.name)
+            if fk is None or value is None:
+                continue
+            if value not in self.table(fk.table):
+                raise IntegrityError(
+                    f"{table_name}.{column.name}={value} references missing "
+                    f"{fk.table}.{fk.column}"
+                )
+        return table.insert(normalized)
+
+    def delete(self, table_name: str, pk: int) -> None:
+        """Delete with restrict semantics: fails if referenced."""
+        self.table(table_name).get(pk)  # existence check
+        for other_name, other in self._tables.items():
+            for column in other.schema.columns:
+                fk = column.foreign_key
+                if fk is None or fk.table != table_name:
+                    continue
+                if other.find(column.name, pk):
+                    raise IntegrityError(
+                        f"cannot delete {table_name}[{pk}]: referenced by "
+                        f"{other_name}.{column.name}"
+                    )
+        self.table(table_name).delete(pk)
+
+    def delete_cascade(self, table_name: str, pk: int) -> int:
+        """Delete a row and, recursively, every row referencing it.
+        Returns the number of rows removed."""
+        self.table(table_name).get(pk)
+        removed = 0
+        for other_name, other in list(self._tables.items()):
+            for column in other.schema.columns:
+                fk = column.foreign_key
+                if fk is None or fk.table != table_name:
+                    continue
+                for row in other.find(column.name, pk):
+                    child_pk = row[other.schema.primary_key.name]
+                    if other_name == table_name and child_pk == pk:
+                        continue
+                    removed += self.delete_cascade(other_name, child_pk)
+        self.table(table_name).delete(pk)
+        return removed + 1
+
+    def row_counts(self) -> dict[str, int]:
+        """Table name -> row count (for stats endpoints and tests)."""
+        return {name: len(table) for name, table in self._tables.items()}

@@ -1,0 +1,159 @@
+"""JSON persistence for the database.
+
+A TVDP deployment would sit on PostgreSQL; for the reproduction the
+whole store round-trips through a single JSON document, which keeps
+examples self-contained and the on-disk format inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import SchemaError
+from repro.db.database import Database
+from repro.db.schema import Column, ColumnType, ForeignKey, TableSchema
+
+_FORMAT_VERSION = 1
+
+
+def _schema_to_dict(schema: TableSchema) -> dict:
+    return {
+        "name": schema.name,
+        "columns": [
+            {
+                "name": c.name,
+                "type": c.type.value,
+                "nullable": c.nullable,
+                "primary_key": c.primary_key,
+                "unique": c.unique,
+                "foreign_key": (
+                    {"table": c.foreign_key.table, "column": c.foreign_key.column}
+                    if c.foreign_key
+                    else None
+                ),
+            }
+            for c in schema.columns
+        ],
+    }
+
+
+def _schema_from_dict(data: dict) -> TableSchema:
+    columns = tuple(
+        Column(
+            name=c["name"],
+            type=ColumnType(c["type"]),
+            nullable=c["nullable"],
+            primary_key=c["primary_key"],
+            unique=c["unique"],
+            foreign_key=(
+                ForeignKey(c["foreign_key"]["table"], c["foreign_key"]["column"])
+                if c.get("foreign_key")
+                else None
+            ),
+        )
+        for c in data["columns"]
+    )
+    return TableSchema(data["name"], columns)
+
+
+def dump_database(db: Database, path: str | Path) -> None:
+    """Write schema + rows + index definitions to a JSON file."""
+    document = {"version": _FORMAT_VERSION, "tables": []}
+    for name in db.table_names():
+        table = db.table(name)
+        document["tables"].append(
+            {
+                "schema": _schema_to_dict(table.schema),
+                "rows": table.all_rows(),
+                "indexes": sorted(table._indexes),
+            }
+        )
+    Path(path).write_text(json.dumps(document))
+
+
+def load_database(path: str | Path) -> Database:
+    """Rebuild a database from :func:`dump_database` output."""
+    document = json.loads(Path(path).read_text())
+    if document.get("version") != _FORMAT_VERSION:
+        raise SchemaError(
+            f"unsupported database file version {document.get('version')!r}"
+        )
+    db = Database()
+    # Two passes: create all tables first so FK targets resolve in any order.
+    entries = document["tables"]
+    pending = list(entries)
+    created: set[str] = set()
+    while pending:
+        progressed = False
+        remaining = []
+        for entry in pending:
+            schema = _schema_from_dict(entry["schema"])
+            deps = {
+                c.foreign_key.table
+                for c in schema.columns
+                if c.foreign_key and c.foreign_key.table != schema.name
+            }
+            if deps <= created:
+                db.create_table(schema)
+                created.add(schema.name)
+                progressed = True
+            else:
+                remaining.append(entry)
+        if not progressed:
+            raise SchemaError("circular foreign-key dependencies in database file")
+        pending = remaining
+
+    # Rows: insert in dependency order too, using raw table inserts with
+    # explicit PKs (the file is trusted to be internally consistent, but
+    # we still run FK checks via Database.insert).
+    by_name = {entry["schema"]["name"]: entry for entry in entries}
+    inserted: set[str] = set()
+
+    def insert_table(name: str) -> None:
+        if name in inserted:
+            return
+        inserted.add(name)
+        entry = by_name[name]
+        schema = db.table(name).schema
+        deps = {
+            c.foreign_key.table
+            for c in schema.columns
+            if c.foreign_key and c.foreign_key.table != name
+        }
+        for dep in deps:
+            insert_table(dep)
+        # Self-referencing rows (e.g. augmented images pointing at their
+        # source image) must follow their parents, whatever the file order.
+        self_fk_columns = [
+            c.name
+            for c in schema.columns
+            if c.foreign_key and c.foreign_key.table == name
+        ]
+        pk_name = schema.primary_key.name
+        rows = list(entry["rows"])
+        present: set[int] = set()
+        while rows:
+            progressed = False
+            deferred = []
+            for row in rows:
+                parents = {
+                    row.get(c) for c in self_fk_columns if row.get(c) is not None
+                }
+                if parents <= present:
+                    db.insert(name, row)
+                    present.add(row[pk_name])
+                    progressed = True
+                else:
+                    deferred.append(row)
+            if not progressed:
+                raise SchemaError(
+                    f"circular self-references among rows of table {name!r}"
+                )
+            rows = deferred
+        for column in entry.get("indexes", []):
+            db.table(name).create_index(column)
+
+    for name in by_name:
+        insert_table(name)
+    return db

@@ -1,0 +1,198 @@
+"""Row storage for one table: primary keys, uniqueness, hash indexes."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import IntegrityError, SchemaError
+from repro.db.schema import TableSchema
+
+
+class Table:
+    """In-memory row store with auto-increment PK and secondary indexes.
+
+    Rows are plain dicts keyed by column name; the table owns a copy of
+    every stored row, so callers can't mutate storage from outside.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[int, dict] = {}
+        self._next_pk = 1
+        self._unique: dict[str, dict[object, int]] = {
+            c.name: {} for c in schema.columns if c.unique
+        }
+        self._indexes: dict[str, dict[object, set[int]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, pk: int) -> bool:
+        return pk in self._rows
+
+    # -- secondary indexes --------------------------------------------------
+
+    def create_index(self, column: str) -> None:
+        """Build (or rebuild) an equality hash index on ``column``."""
+        self.schema.column(column)
+        index: dict[object, set[int]] = {}
+        for pk, row in self._rows.items():
+            index.setdefault(row[column], set()).add(pk)
+        self._indexes[column] = index
+
+    def _index_add(self, pk: int, row: dict) -> None:
+        for column, index in self._indexes.items():
+            index.setdefault(row[column], set()).add(pk)
+
+    def _index_remove(self, pk: int, row: dict) -> None:
+        for column, index in self._indexes.items():
+            bucket = index.get(row[column])
+            if bucket is not None:
+                bucket.discard(pk)
+                if not bucket:
+                    del index[row[column]]
+
+    # -- mutations ----------------------------------------------------------
+
+    def insert(self, row: dict) -> int:
+        """Insert a row; returns the assigned primary key."""
+        normalized = self.schema.validate_row(row)
+        pk_name = self.schema.primary_key.name
+        if pk_name in normalized and normalized[pk_name] is not None:
+            pk = normalized[pk_name]
+            if pk in self._rows:
+                raise IntegrityError(
+                    f"duplicate primary key {pk} in {self.schema.name!r}"
+                )
+            self._next_pk = max(self._next_pk, pk + 1)
+        else:
+            pk = self._next_pk
+            self._next_pk += 1
+        normalized[pk_name] = pk
+        for column, seen in self._unique.items():
+            value = normalized.get(column)
+            if value is not None and value in seen:
+                raise IntegrityError(
+                    f"unique violation on {self.schema.name}.{column}: {value!r}"
+                )
+        self._rows[pk] = normalized
+        for column, seen in self._unique.items():
+            value = normalized.get(column)
+            if value is not None:
+                seen[value] = pk
+        self._index_add(pk, normalized)
+        return pk
+
+    def update(self, pk: int, changes: dict) -> None:
+        """Update columns of an existing row."""
+        if pk not in self._rows:
+            raise IntegrityError(f"no row {pk} in {self.schema.name!r}")
+        pk_name = self.schema.primary_key.name
+        if pk_name in changes:
+            raise SchemaError("primary keys are immutable")
+        current = dict(self._rows[pk])
+        current.update(changes)
+        normalized = self.schema.validate_row(current)
+        normalized[pk_name] = pk
+        for column, seen in self._unique.items():
+            value = normalized.get(column)
+            if value is not None and seen.get(value, pk) != pk:
+                raise IntegrityError(
+                    f"unique violation on {self.schema.name}.{column}: {value!r}"
+                )
+        old = self._rows[pk]
+        self._index_remove(pk, old)
+        for column, seen in self._unique.items():
+            if old.get(column) is not None:
+                seen.pop(old[column], None)
+            if normalized.get(column) is not None:
+                seen[normalized[column]] = pk
+        self._rows[pk] = normalized
+        self._index_add(pk, normalized)
+
+    def delete(self, pk: int) -> None:
+        """Remove a row by primary key."""
+        if pk not in self._rows:
+            raise IntegrityError(f"no row {pk} in {self.schema.name!r}")
+        row = self._rows.pop(pk)
+        self._index_remove(pk, row)
+        for column, seen in self._unique.items():
+            if row.get(column) is not None:
+                seen.pop(row[column], None)
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, pk: int) -> dict:
+        """Row by primary key (a defensive copy)."""
+        if pk not in self._rows:
+            raise IntegrityError(f"no row {pk} in {self.schema.name!r}")
+        return dict(self._rows[pk])
+
+    def find(self, column: str, value: object) -> list[dict]:
+        """Rows where ``column == value``; uses a hash index if present."""
+        self.schema.column(column)
+        if column in self._indexes:
+            return [dict(self._rows[pk]) for pk in sorted(self._indexes[column].get(value, ()))]
+        if column in self._unique:
+            pk = self._unique[column].get(value)
+            return [dict(self._rows[pk])] if pk is not None else []
+        return [dict(row) for row in self._rows.values() if row[column] == value]
+
+    def scan(self, predicate: Callable[[dict], bool] | None = None) -> Iterator[dict]:
+        """Iterate rows (copies) in primary-key order, optionally filtered."""
+        for pk in sorted(self._rows):
+            row = self._rows[pk]
+            if predicate is None or predicate(row):
+                yield dict(row)
+
+    def all_rows(self) -> list[dict]:
+        """Every row, PK-ordered."""
+        return list(self.scan())
+
+    def select(
+        self,
+        where: dict | None = None,
+        order_by: str | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+    ) -> list[dict]:
+        """Declarative read: equality filters, ordering, and a limit.
+
+        ``where`` maps column names to required values (conjunctive);
+        the most selective indexed/unique column drives the scan.  Rows
+        with ``None`` in the ``order_by`` column sort first (ascending).
+        """
+        if limit is not None and limit < 0:
+            raise SchemaError(f"limit must be >= 0, got {limit}")
+        where = where or {}
+        for column in where:
+            self.schema.column(column)
+        if order_by is not None:
+            self.schema.column(order_by)
+
+        # Drive from an indexed equality predicate when one exists.
+        driver = next(
+            (
+                column
+                for column in where
+                if column in self._indexes or column in self._unique
+            ),
+            None,
+        )
+        if driver is not None:
+            candidates = self.find(driver, where[driver])
+        else:
+            candidates = self.all_rows()
+        rows = [
+            row
+            for row in candidates
+            if all(row[column] == value for column, value in where.items())
+        ]
+        if order_by is not None:
+            rows.sort(
+                key=lambda row: (row[order_by] is not None, row[order_by]),
+                reverse=descending,
+            )
+        if limit is not None:
+            rows = rows[:limit]
+        return rows

@@ -1,0 +1,79 @@
+"""Edge computing: device profiles, model dispatch, crowd learning."""
+
+from repro.edge.devices import (
+    DESKTOP,
+    PAPER_DEVICES,
+    RASPBERRY_PI,
+    SMARTPHONE,
+    DeviceProfile,
+    device_by_name,
+)
+from repro.edge.models import (
+    INCEPTION_V3,
+    MOBILENET_V1,
+    MOBILENET_V2,
+    PAPER_MODELS,
+    ModelVariant,
+    model_by_name,
+)
+from repro.edge.dispatch import (
+    DispatchDecision,
+    dispatch_fleet,
+    dispatch_model,
+    predicted_latency_ms,
+)
+from repro.edge.network import (
+    FLOAT_BYTES,
+    UploadPlan,
+    compare_upload_strategies,
+    feature_vector_bytes,
+    raw_image_bytes,
+)
+from repro.edge.selection import (
+    SelectionResult,
+    prediction_entropy,
+    select_for_upload,
+    select_random,
+)
+from repro.edge.learning import CrowdLearningFramework, EdgeBatch, LearningRound
+from repro.edge.simulator import (
+    DeviceStats,
+    FleetReport,
+    simulate_device,
+    simulate_fleet,
+)
+
+__all__ = [
+    "DeviceProfile",
+    "DESKTOP",
+    "SMARTPHONE",
+    "RASPBERRY_PI",
+    "PAPER_DEVICES",
+    "device_by_name",
+    "ModelVariant",
+    "MOBILENET_V1",
+    "MOBILENET_V2",
+    "INCEPTION_V3",
+    "PAPER_MODELS",
+    "model_by_name",
+    "DispatchDecision",
+    "dispatch_model",
+    "dispatch_fleet",
+    "predicted_latency_ms",
+    "raw_image_bytes",
+    "feature_vector_bytes",
+    "FLOAT_BYTES",
+    "UploadPlan",
+    "compare_upload_strategies",
+    "prediction_entropy",
+    "SelectionResult",
+    "select_for_upload",
+    "select_random",
+    "EdgeBatch",
+    "LearningRound",
+    "CrowdLearningFramework",
+    "DeviceStats",
+    "FleetReport",
+    "simulate_device",
+    "simulate_fleet",
+]

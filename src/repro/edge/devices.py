@@ -1,0 +1,109 @@
+"""Edge-device capability profiles.
+
+The paper evaluates on "a common desktop machine, a Raspberry PI 3 B+
+(RPI) and a smartphone" and observes the RPI "on average is 1.5x order
+of magnitude slower compared to desktop class devices".  Real hardware
+is unavailable here, so devices are cost models: effective GFLOPS for
+neural inference, memory, bandwidth, and battery.  The throughput
+numbers are calibrated so the desktop/RPI ratio is ~10^1.5 ≈ 32x,
+reproducing the Fig. 8 structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EdgeError
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceProfile:
+    """Capability description of one edge device class."""
+
+    name: str
+    effective_gflops: float  # sustained throughput on conv workloads
+    memory_mb: float
+    bandwidth_mbps: float
+    battery_wh: float | None  # None = mains powered
+    inference_overhead_ms: float  # per-call runtime/dispatch overhead
+    active_power_w: float = 5.0  # draw while running inference
+
+    def __post_init__(self) -> None:
+        if self.effective_gflops <= 0:
+            raise EdgeError(f"effective_gflops must be positive: {self.name}")
+        if self.memory_mb <= 0 or self.bandwidth_mbps <= 0:
+            raise EdgeError(f"memory and bandwidth must be positive: {self.name}")
+        if self.inference_overhead_ms < 0:
+            raise EdgeError(f"overhead must be >= 0: {self.name}")
+
+    def inference_time_ms(self, flops: float) -> float:
+        """Milliseconds to run ``flops`` multiply-accumulates."""
+        if flops < 0:
+            raise EdgeError(f"flops must be >= 0, got {flops}")
+        return self.inference_overhead_ms + flops / (self.effective_gflops * 1e9) * 1e3
+
+    def transmission_time_s(self, n_bytes: int) -> float:
+        """Seconds to upload ``n_bytes`` at this device's bandwidth."""
+        if n_bytes < 0:
+            raise EdgeError(f"bytes must be >= 0, got {n_bytes}")
+        return (n_bytes * 8.0) / (self.bandwidth_mbps * 1e6)
+
+    def energy_per_inference_j(self, flops: float) -> float:
+        """Joules one inference costs on this device."""
+        return self.active_power_w * self.inference_time_ms(flops) / 1e3
+
+    def inferences_per_charge(self, flops: float) -> float:
+        """How many inferences one battery charge affords (``inf`` for
+        mains-powered devices) — the budget the dispatcher respects for
+        crowd devices whose owners won't tolerate a dead phone."""
+        if self.battery_wh is None:
+            return float("inf")
+        per_inference = self.energy_per_inference_j(flops)
+        if per_inference <= 0:
+            return float("inf")
+        return (self.battery_wh * 3_600.0) / per_inference
+
+
+#: Desktop: tens of ms for the paper's models.
+DESKTOP = DeviceProfile(
+    name="desktop",
+    effective_gflops=100.0,
+    memory_mb=16_384.0,
+    bandwidth_mbps=500.0,
+    battery_wh=None,
+    inference_overhead_ms=2.0,
+    active_power_w=120.0,
+)
+
+#: Smartphone: mid-range mobile SoC, a few hundred ms.
+SMARTPHONE = DeviceProfile(
+    name="smartphone",
+    effective_gflops=12.0,
+    memory_mb=4_096.0,
+    bandwidth_mbps=50.0,
+    battery_wh=12.0,
+    inference_overhead_ms=8.0,
+    active_power_w=4.0,
+)
+
+#: Raspberry Pi 3 B+: ~10^1.5 slower than the desktop, seconds per frame.
+RASPBERRY_PI = DeviceProfile(
+    name="raspberry_pi_3b+",
+    effective_gflops=100.0 / 10**1.5,  # calibrated to the paper's 1.5 orders
+    memory_mb=1_024.0,
+    bandwidth_mbps=25.0,
+    battery_wh=None,
+    inference_overhead_ms=30.0,
+    active_power_w=5.0,
+)
+
+#: The evaluation grid of Fig. 8.
+PAPER_DEVICES = (DESKTOP, RASPBERRY_PI, SMARTPHONE)
+
+
+def device_by_name(name: str) -> DeviceProfile:
+    """Look up one of the paper's devices by name."""
+    for device in PAPER_DEVICES:
+        if device.name == name:
+            return device
+    raise EdgeError(f"unknown device {name!r}; known: {[d.name for d in PAPER_DEVICES]}")

@@ -1,0 +1,115 @@
+"""Capability-aware model dispatch.
+
+The core of the Action service: "the framework trains models on the
+server with diverse complexities and dispatches the appropriate model
+according to the edge device capabilities".  Given a device profile
+and constraints, pick the most accurate variant that fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EdgeError
+from repro.edge.devices import DeviceProfile
+from repro.edge.models import ModelVariant
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchDecision:
+    """Outcome of matching a model to a device."""
+
+    device: DeviceProfile
+    model: ModelVariant
+    input_px: int
+    predicted_latency_ms: float
+    download_time_s: float
+
+
+def predicted_latency_ms(
+    device: DeviceProfile, model: ModelVariant, input_px: int | None = None
+) -> float:
+    """Latency estimate for one inference on ``device``."""
+    px = input_px or model.base_input_px
+    return device.inference_time_ms(model.flops_at(px))
+
+
+def dispatch_model(
+    device: DeviceProfile,
+    candidates: list[ModelVariant],
+    latency_budget_ms: float = float("inf"),
+    memory_fraction: float = 0.5,
+    input_px: int | None = None,
+    min_inferences_on_battery: float = 0.0,
+) -> DispatchDecision:
+    """Pick the most accurate candidate that satisfies the device's
+    memory limit, the latency budget, and — for battery devices — an
+    inferences-per-charge floor.
+
+    Ties on accuracy break toward lower latency.  When nothing fits the
+    budget, the *fastest feasible-by-memory* model is returned instead —
+    a degraded answer beats no model at all on a crowd device — and when
+    memory or energy rules everything out, :class:`EdgeError` is raised.
+    """
+    if not candidates:
+        raise EdgeError("no candidate models to dispatch")
+    if latency_budget_ms <= 0:
+        raise EdgeError(f"latency budget must be positive, got {latency_budget_ms}")
+    if not (0.0 < memory_fraction <= 1.0):
+        raise EdgeError(f"memory_fraction must be in (0, 1], got {memory_fraction}")
+    if min_inferences_on_battery < 0:
+        raise EdgeError(
+            f"min_inferences_on_battery must be >= 0, got {min_inferences_on_battery}"
+        )
+
+    memory_ok = [
+        m for m in candidates if m.size_mb <= device.memory_mb * memory_fraction
+    ]
+    if not memory_ok:
+        raise EdgeError(
+            f"no model fits in {device.memory_mb * memory_fraction:.0f} MB "
+            f"on {device.name}"
+        )
+    if min_inferences_on_battery > 0:
+        energy_ok = [
+            m
+            for m in memory_ok
+            if device.inferences_per_charge(m.flops_at(input_px or m.base_input_px))
+            >= min_inferences_on_battery
+        ]
+        if not energy_ok:
+            raise EdgeError(
+                f"no model sustains {min_inferences_on_battery:.0f} inferences "
+                f"per charge on {device.name}"
+            )
+        memory_ok = energy_ok
+
+    def latency(model: ModelVariant) -> float:
+        return predicted_latency_ms(device, model, input_px)
+
+    within_budget = [m for m in memory_ok if latency(m) <= latency_budget_ms]
+    if within_budget:
+        chosen = max(within_budget, key=lambda m: (m.expected_accuracy, -latency(m)))
+    else:
+        chosen = min(memory_ok, key=latency)
+    px = input_px or chosen.base_input_px
+    return DispatchDecision(
+        device=device,
+        model=chosen,
+        input_px=px,
+        predicted_latency_ms=latency(chosen),
+        download_time_s=device.transmission_time_s(int(chosen.size_mb * 1e6)),
+    )
+
+
+def dispatch_fleet(
+    devices: list[DeviceProfile],
+    candidates: list[ModelVariant],
+    latency_budget_ms: float = float("inf"),
+) -> dict[str, DispatchDecision]:
+    """Dispatch every device in a heterogeneous fleet; device name ->
+    decision."""
+    return {
+        device.name: dispatch_model(device, candidates, latency_budget_ms)
+        for device in devices
+    }

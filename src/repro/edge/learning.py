@@ -1,0 +1,192 @@
+"""Crowd-based learning framework (paper Fig. 4, ref. [34]).
+
+End-to-end loop integrating machine learning, edge computing and
+crowdsourcing:
+
+1. the **server** trains a classifier on its labelled pool and
+   dispatches capability-matched model variants to edge devices;
+2. each **edge** runs local inference over newly crowdsourced images,
+   prioritises the most informative ones under an upload budget,
+   extracts feature vectors locally, and uploads features + labels
+   (machine-predicted, or human-confirmed with some probability);
+3. the server folds the uploads into its pool and **retrains**,
+   improving the model without ever shipping raw images.
+
+The loop operates on feature vectors end to end, so it composes with
+any of the platform's extractors and classifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import EdgeError
+from repro.edge.devices import DeviceProfile
+from repro.edge.dispatch import DispatchDecision, dispatch_model
+from repro.edge.models import ModelVariant
+from repro.edge.network import feature_vector_bytes
+from repro.edge.selection import SelectionResult, select_for_upload, select_random
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics import accuracy
+
+
+@dataclass
+class EdgeBatch:
+    """Unlabelled crowdsourced data sitting on one edge device."""
+
+    device: DeviceProfile
+    features: np.ndarray
+    true_labels: np.ndarray  # ground truth, revealed only on human labelling
+
+
+@dataclass(frozen=True)
+class LearningRound:
+    """Telemetry for one train-dispatch-collect-retrain cycle."""
+
+    round_index: int
+    test_accuracy: float
+    pool_size: int
+    uploaded_samples: int
+    uploaded_bytes: int
+    human_labels: int
+    dispatch: dict[str, DispatchDecision]
+
+
+@dataclass
+class CrowdLearningFramework:
+    """Server-side coordinator of the crowd-based learning loop.
+
+    Parameters
+    ----------
+    model_variants:
+        Complexity ladder to dispatch from (e.g. the paper's three).
+    make_classifier:
+        Zero-arg factory for the server model; must expose
+        ``fit``/``predict``/``predict_proba``.
+    upload_budget:
+        Max samples each edge uploads per round.
+    human_label_rate:
+        Probability an uploaded sample gets a (correct) human label via
+        the edge app; the rest carry machine labels from the local model.
+    strategy:
+        ``"prioritized"`` (entropy + diversity) or ``"random"``.
+    """
+
+    model_variants: list[ModelVariant]
+    make_classifier: Callable[[], object] = field(
+        default=lambda: LogisticRegression(epochs=40)
+    )
+    upload_budget: int = 20
+    human_label_rate: float = 0.3
+    strategy: str = "prioritized"
+    seed: int = 0
+    pool_features: np.ndarray | None = None
+    pool_labels: np.ndarray | None = None
+    classifier: object | None = None
+    history: list[LearningRound] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.model_variants:
+            raise EdgeError("need at least one model variant")
+        if self.strategy not in ("prioritized", "random"):
+            raise EdgeError(f"unknown strategy {self.strategy!r}")
+        if not (0.0 <= self.human_label_rate <= 1.0):
+            raise EdgeError(
+                f"human_label_rate must be in [0, 1], got {self.human_label_rate}"
+            )
+        if self.upload_budget < 1:
+            raise EdgeError(f"upload_budget must be >= 1, got {self.upload_budget}")
+
+    # -- server-side ---------------------------------------------------------
+
+    def seed_pool(self, features: np.ndarray, labels: np.ndarray) -> None:
+        """Install the initial labelled dataset and train the first model."""
+        self.pool_features = np.asarray(features, dtype=np.float64)
+        self.pool_labels = np.asarray(labels)
+        self._retrain()
+
+    def _retrain(self) -> None:
+        self.classifier = self.make_classifier()
+        self.classifier.fit(self.pool_features, self.pool_labels)
+
+    def _predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if hasattr(self.classifier, "predict_proba"):
+            return self.classifier.predict_proba(features)
+        # Margin-based fallback for classifiers without probabilities.
+        margins = self.classifier.decision_function(features)
+        shifted = margins - margins.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    # -- one full cycle --------------------------------------------------------
+
+    def run_round(
+        self,
+        batches: list[EdgeBatch],
+        test_features: np.ndarray,
+        test_labels: np.ndarray,
+        latency_budget_ms: float = float("inf"),
+    ) -> LearningRound:
+        """Dispatch, collect selected uploads from every edge, retrain,
+        and report test accuracy."""
+        if self.classifier is None:
+            raise EdgeError("seed_pool must be called before run_round")
+        rng = np.random.default_rng(self.seed + len(self.history))
+
+        dispatch: dict[str, DispatchDecision] = {}
+        uploaded_features: list[np.ndarray] = []
+        uploaded_labels: list[object] = []
+        uploaded_bytes = 0
+        human_labels = 0
+
+        for batch in batches:
+            dispatch[batch.device.name] = dispatch_model(
+                batch.device, self.model_variants, latency_budget_ms
+            )
+            if batch.features.shape[0] == 0:
+                continue
+            # Edge-local inference with the (shared-weights) model.
+            probabilities = self._predict_proba(batch.features)
+            if self.strategy == "prioritized":
+                selection: SelectionResult = select_for_upload(
+                    batch.features, probabilities, self.upload_budget
+                )
+            else:
+                selection = select_random(
+                    batch.features.shape[0],
+                    self.upload_budget,
+                    seed=self.seed + len(self.history),
+                )
+            machine_predictions = self.classifier.predict(batch.features)
+            for idx in selection.indices:
+                if rng.random() < self.human_label_rate:
+                    uploaded_labels.append(batch.true_labels[idx])
+                    human_labels += 1
+                else:
+                    uploaded_labels.append(machine_predictions[idx])
+                uploaded_features.append(batch.features[idx])
+                uploaded_bytes += feature_vector_bytes(batch.features.shape[1])
+
+        if uploaded_features:
+            self.pool_features = np.vstack(
+                [self.pool_features, np.vstack(uploaded_features)]
+            )
+            self.pool_labels = np.concatenate(
+                [self.pool_labels, np.array(uploaded_labels)]
+            )
+            self._retrain()
+
+        round_stats = LearningRound(
+            round_index=len(self.history) + 1,
+            test_accuracy=accuracy(test_labels, self.classifier.predict(test_features)),
+            pool_size=int(self.pool_features.shape[0]),
+            uploaded_samples=len(uploaded_features),
+            uploaded_bytes=uploaded_bytes,
+            human_labels=human_labels,
+            dispatch=dispatch,
+        )
+        self.history.append(round_stats)
+        return round_stats

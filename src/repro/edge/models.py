@@ -1,0 +1,80 @@
+"""Model-variant cost models for edge dispatch.
+
+The paper transfers street-cleanliness models onto MobileNetV1,
+MobileNetV2, and InceptionV3 backbones.  Each variant here carries the
+published FLOPs / parameter counts of the real architecture (at its
+canonical input resolution, scaled quadratically with input size) plus
+an expected-accuracy figure so the dispatcher can trade speed against
+quality.  A variant can also embed one of our own
+:class:`~repro.features.cnn.CnnFeatureExtractor` configs, which is what
+edges actually execute in this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EdgeError
+
+
+@dataclass(frozen=True, slots=True)
+class ModelVariant:
+    """One deployable model complexity level."""
+
+    name: str
+    base_flops: float  # multiply-accumulates at base_input_px
+    base_input_px: int  # canonical input resolution (square)
+    size_mb: float  # download / memory footprint
+    expected_accuracy: float  # validation accuracy estimate in [0, 1]
+
+    def __post_init__(self) -> None:
+        if self.base_flops <= 0 or self.base_input_px <= 0:
+            raise EdgeError(f"invalid cost parameters for model {self.name!r}")
+        if self.size_mb <= 0:
+            raise EdgeError(f"size_mb must be positive for {self.name!r}")
+        if not (0.0 < self.expected_accuracy <= 1.0):
+            raise EdgeError(
+                f"expected_accuracy must be in (0, 1] for {self.name!r}"
+            )
+
+    def flops_at(self, input_px: int) -> float:
+        """FLOPs at a different square input resolution (conv cost is
+        quadratic in side length)."""
+        if input_px <= 0:
+            raise EdgeError(f"input_px must be positive, got {input_px}")
+        return self.base_flops * (input_px / self.base_input_px) ** 2
+
+
+#: Published costs of the paper's three backbones (224x224 / 299x299).
+MOBILENET_V1 = ModelVariant(
+    name="mobilenet_v1",
+    base_flops=569e6,
+    base_input_px=224,
+    size_mb=16.0,
+    expected_accuracy=0.78,
+)
+MOBILENET_V2 = ModelVariant(
+    name="mobilenet_v2",
+    base_flops=300e6,
+    base_input_px=224,
+    size_mb=14.0,
+    expected_accuracy=0.80,
+)
+INCEPTION_V3 = ModelVariant(
+    name="inception_v3",
+    base_flops=5_713e6,
+    base_input_px=299,
+    size_mb=92.0,
+    expected_accuracy=0.86,
+)
+
+#: The evaluation grid of Fig. 8, in the paper's order.
+PAPER_MODELS = (MOBILENET_V1, MOBILENET_V2, INCEPTION_V3)
+
+
+def model_by_name(name: str) -> ModelVariant:
+    """Look up one of the paper's models by name."""
+    for model in PAPER_MODELS:
+        if model.name == name:
+            return model
+    raise EdgeError(f"unknown model {name!r}; known: {[m.name for m in PAPER_MODELS]}")

@@ -1,0 +1,76 @@
+"""Bandwidth accounting for edge uploads.
+
+The paper's bandwidth-saving claim: "the framework extracts the visual
+feature vectors of the selected subset locally on the edge device and
+transmits them to the TVDP server, instead of sending the raw
+high-quality image".  These helpers quantify exactly that trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EdgeError
+from repro.edge.devices import DeviceProfile
+
+#: Bytes per float32 feature component on the wire.
+FLOAT_BYTES = 4
+
+#: Rough JPEG size in bytes per pixel for street photos (quality ~85).
+JPEG_BYTES_PER_PIXEL = 0.35
+
+
+def raw_image_bytes(width: int, height: int, jpeg: bool = True) -> int:
+    """Upload size of one image, JPEG-compressed or raw RGB."""
+    if width < 1 or height < 1:
+        raise EdgeError(f"image dimensions must be positive: {width}x{height}")
+    if jpeg:
+        return int(width * height * JPEG_BYTES_PER_PIXEL)
+    return width * height * 3
+
+
+def feature_vector_bytes(dimension: int) -> int:
+    """Upload size of one feature vector."""
+    if dimension < 1:
+        raise EdgeError(f"dimension must be positive, got {dimension}")
+    return dimension * FLOAT_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class UploadPlan:
+    """Cost of uploading a batch from one device."""
+
+    n_items: int
+    bytes_per_item: int
+    device: DeviceProfile
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_items * self.bytes_per_item
+
+    @property
+    def transfer_time_s(self) -> float:
+        return self.device.transmission_time_s(self.total_bytes)
+
+
+def compare_upload_strategies(
+    device: DeviceProfile,
+    n_items: int,
+    image_px: int,
+    feature_dim: int,
+) -> dict[str, UploadPlan]:
+    """Raw-image vs feature-vector upload plans for the same batch."""
+    if n_items < 0:
+        raise EdgeError(f"n_items must be >= 0, got {n_items}")
+    return {
+        "raw_images": UploadPlan(
+            n_items=n_items,
+            bytes_per_item=raw_image_bytes(image_px, image_px),
+            device=device,
+        ),
+        "features": UploadPlan(
+            n_items=n_items,
+            bytes_per_item=feature_vector_bytes(feature_dim),
+            device=device,
+        ),
+    }

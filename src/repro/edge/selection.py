@@ -1,0 +1,100 @@
+"""Distributed data selection on the edge.
+
+"To limit the bandwidth consumption, the framework deploys a
+distributed selection algorithm that prioritizes the crowdsourced data
+and transfers a selected subset of data."  We prioritise by prediction
+*uncertainty* (entropy of the local model's class posterior, the
+classic active-learning signal) with a greedy diversity term so the
+uploaded subset is not n copies of the same confusing scene.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EdgeError
+
+
+def prediction_entropy(probabilities: np.ndarray) -> np.ndarray:
+    """Shannon entropy per row of a class-posterior matrix (n, k)."""
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if probs.ndim != 2:
+        raise EdgeError(f"probabilities must be 2-D, got ndim={probs.ndim}")
+    if (probs < -1e-9).any():
+        raise EdgeError("probabilities must be non-negative")
+    safe = np.clip(probs, 1e-12, 1.0)
+    return -(safe * np.log(safe)).sum(axis=1)
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Chosen sample indices with their priority scores."""
+
+    indices: list[int]
+    scores: list[float]
+
+
+def select_for_upload(
+    features: np.ndarray,
+    probabilities: np.ndarray,
+    budget: int,
+    diversity_weight: float = 0.5,
+) -> SelectionResult:
+    """Greedy uncertainty + diversity selection of ``budget`` samples.
+
+    Iteratively picks the sample maximising
+    ``entropy + diversity_weight * distance_to_nearest_selected``
+    (distances normalised by the corpus scale), so the subset is both
+    informative and spread out in feature space.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise EdgeError("features must be 2-D")
+    n = features.shape[0]
+    if probabilities.shape[0] != n:
+        raise EdgeError(
+            f"features have {n} rows but probabilities {probabilities.shape[0]}"
+        )
+    if budget < 0:
+        raise EdgeError(f"budget must be >= 0, got {budget}")
+    if diversity_weight < 0:
+        raise EdgeError(f"diversity_weight must be >= 0, got {diversity_weight}")
+    budget = min(budget, n)
+    if budget == 0:
+        return SelectionResult(indices=[], scores=[])
+
+    entropy = prediction_entropy(probabilities)
+    scale = float(
+        np.median(np.linalg.norm(features - features.mean(axis=0), axis=1))
+    )
+    scale = max(scale, 1e-9)
+
+    chosen: list[int] = []
+    scores: list[float] = []
+    min_dist = np.full(n, np.inf)
+    for _ in range(budget):
+        if chosen:
+            gain = entropy + diversity_weight * np.minimum(min_dist / scale, 2.0)
+        else:
+            gain = entropy.copy()
+        gain[chosen] = -np.inf
+        pick = int(gain.argmax())
+        chosen.append(pick)
+        scores.append(float(gain[pick]))
+        distances = np.linalg.norm(features - features[pick], axis=1)
+        min_dist = np.minimum(min_dist, distances)
+    return SelectionResult(indices=chosen, scores=scores)
+
+
+def select_random(n: int, budget: int, seed: int = 0) -> SelectionResult:
+    """Uniform random selection — the baseline the ablation bench
+    compares prioritised selection against."""
+    if budget < 0:
+        raise EdgeError(f"budget must be >= 0, got {budget}")
+    rng = np.random.default_rng(seed)
+    budget = min(budget, n)
+    indices = rng.choice(n, size=budget, replace=False).tolist()
+    return SelectionResult(indices=indices, scores=[math.nan] * budget)

@@ -1,0 +1,28 @@
+"""Visual feature extraction: colour histogram, SIFT-BoW, CNN."""
+
+from repro.features.base import FeatureExtractor, extract_batch
+from repro.features.color_histogram import ColorHistogramExtractor
+from repro.features.bow import BowExtractor, BowVocabulary, image_descriptors
+from repro.features.cnn import (
+    INCEPTION_V3_LIKE,
+    MOBILENET_V1_LIKE,
+    MOBILENET_V2_LIKE,
+    CnnConfig,
+    CnnFeatureExtractor,
+)
+from repro.features.registry import FeatureRegistry
+
+__all__ = [
+    "FeatureExtractor",
+    "extract_batch",
+    "ColorHistogramExtractor",
+    "BowVocabulary",
+    "BowExtractor",
+    "image_descriptors",
+    "CnnConfig",
+    "CnnFeatureExtractor",
+    "MOBILENET_V1_LIKE",
+    "MOBILENET_V2_LIKE",
+    "INCEPTION_V3_LIKE",
+    "FeatureRegistry",
+]

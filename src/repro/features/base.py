@@ -1,0 +1,43 @@
+"""Feature-extractor protocol.
+
+The paper's data model stores per-image visual feature vectors of
+several named types (``Image_Visual_Features`` entity); every extractor
+here produces a fixed-dimension vector for one image so the Analysis
+service can mix and match them.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.imaging.image import Image
+
+
+@runtime_checkable
+class FeatureExtractor(Protocol):
+    """Structural interface of all visual feature extractors."""
+
+    #: Stable identifier stored in the DB alongside each vector.
+    name: str
+
+    def extract(self, image: Image) -> np.ndarray:
+        """A 1-D float feature vector for ``image``."""
+        ...
+
+    def dimension(self) -> int:
+        """Length of the vectors :meth:`extract` produces."""
+        ...
+
+
+def extract_batch(extractor: FeatureExtractor, images: list[Image]) -> np.ndarray:
+    """Stack per-image features into an (n, d) matrix."""
+    if not images:
+        raise FeatureError("extract_batch needs at least one image")
+    rows = [extractor.extract(image) for image in images]
+    dims = {row.shape for row in rows}
+    if len(dims) != 1:
+        raise FeatureError(f"inconsistent feature shapes from {extractor.name}: {dims}")
+    return np.vstack(rows)

@@ -1,0 +1,23 @@
+"""Colour-histogram feature extractor (paper's weakest feature)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.color import PAPER_HSV_BINS, hsv_histogram
+from repro.imaging.image import Image
+
+
+class ColorHistogramExtractor:
+    """HSV per-channel histogram with the paper's 20/20/10 bin split."""
+
+    def __init__(self, bins: tuple[int, int, int] = PAPER_HSV_BINS) -> None:
+        self.bins = bins
+        self.name = f"color_hsv_{bins[0]}_{bins[1]}_{bins[2]}"
+
+    def extract(self, image: Image) -> np.ndarray:
+        """Normalised 50-D (by default) HSV histogram."""
+        return hsv_histogram(image, bins=self.bins, normalize=True)
+
+    def dimension(self) -> int:
+        return sum(self.bins)

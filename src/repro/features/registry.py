@@ -1,0 +1,42 @@
+"""Registry of feature extractors, keyed by their stable names.
+
+The platform's ``get visual features`` API and the DB's
+``Image_Visual_Features`` rows both refer to extractors by name;
+the registry is the single place that mapping lives.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FeatureError
+from repro.features.base import FeatureExtractor
+
+
+class FeatureRegistry:
+    """Name -> extractor mapping with duplicate protection."""
+
+    def __init__(self) -> None:
+        self._extractors: dict[str, FeatureExtractor] = {}
+
+    def register(self, extractor: FeatureExtractor) -> None:
+        """Add an extractor; names must be unique."""
+        if extractor.name in self._extractors:
+            raise FeatureError(f"extractor {extractor.name!r} already registered")
+        self._extractors[extractor.name] = extractor
+
+    def get(self, name: str) -> FeatureExtractor:
+        """Look up by name; raises on unknown names."""
+        if name not in self._extractors:
+            raise FeatureError(
+                f"unknown extractor {name!r}; registered: {sorted(self._extractors)}"
+            )
+        return self._extractors[name]
+
+    def names(self) -> list[str]:
+        """Sorted registered names."""
+        return sorted(self._extractors)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._extractors
+
+    def __len__(self) -> int:
+        return len(self._extractors)

@@ -1,0 +1,37 @@
+"""Geospatial substrate: points, geodesy, FOV model, scenes, regions."""
+
+from repro.geo.point import EARTH_RADIUS_M, BoundingBox, GeoPoint
+from repro.geo.geodesy import (
+    angular_difference_deg,
+    destination_point,
+    haversine_m,
+    initial_bearing_deg,
+    meters_per_degree,
+    normalize_bearing,
+)
+from repro.geo.fov import FieldOfView
+from repro.geo.scene import LocalizedScene, scene_location, scene_location_multi
+from repro.geo.regions import DOWNTOWN_LA, LOS_ANGELES, GridCell, RegionGrid
+from repro.geo.roadnet import RoadNetwork, waypoints_to_headings
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "GeoPoint",
+    "BoundingBox",
+    "haversine_m",
+    "initial_bearing_deg",
+    "destination_point",
+    "angular_difference_deg",
+    "normalize_bearing",
+    "meters_per_degree",
+    "FieldOfView",
+    "scene_location",
+    "scene_location_multi",
+    "LocalizedScene",
+    "LOS_ANGELES",
+    "DOWNTOWN_LA",
+    "GridCell",
+    "RegionGrid",
+    "RoadNetwork",
+    "waypoints_to_headings",
+]

@@ -1,0 +1,100 @@
+"""Named regions and uniform grids over a metropolitan area.
+
+The TVDP use case operates on Los Angeles streets; crowdsourcing
+campaigns, coverage measurement, and the synthetic dataset all need a
+consistent notion of "the city" subdivided into cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import GeoError
+from repro.geo.point import BoundingBox, GeoPoint
+
+#: Rough bounding box of the City of Los Angeles — the paper's testbed.
+LOS_ANGELES = BoundingBox(33.70, -118.67, 34.34, -118.15)
+
+#: Downtown LA — a denser sub-region used by several examples.
+DOWNTOWN_LA = BoundingBox(34.03, -118.27, 34.06, -118.23)
+
+
+@dataclass(frozen=True, slots=True)
+class GridCell:
+    """One cell of a :class:`RegionGrid`: indices plus its box."""
+
+    row: int
+    col: int
+    box: BoundingBox
+
+
+@dataclass(frozen=True)
+class RegionGrid:
+    """A uniform ``rows x cols`` lattice over a bounding box.
+
+    This is the discretisation used by coverage measurement (which
+    cells have been photographed, from which directions) and by the
+    campaign planner (which cells still need workers).
+    """
+
+    region: BoundingBox
+    rows: int
+    cols: int
+    _dlat: float = field(init=False, repr=False)
+    _dlng: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise GeoError(f"grid must be at least 1x1, got {self.rows}x{self.cols}")
+        object.__setattr__(
+            self, "_dlat", (self.region.max_lat - self.region.min_lat) / self.rows
+        )
+        object.__setattr__(
+            self, "_dlng", (self.region.max_lng - self.region.min_lng) / self.cols
+        )
+
+    def __len__(self) -> int:
+        return self.rows * self.cols
+
+    def cell(self, row: int, col: int) -> GridCell:
+        """The cell at grid indices ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise GeoError(f"cell ({row}, {col}) outside {self.rows}x{self.cols} grid")
+        box = BoundingBox(
+            self.region.min_lat + row * self._dlat,
+            self.region.min_lng + col * self._dlng,
+            self.region.min_lat + (row + 1) * self._dlat,
+            self.region.min_lng + (col + 1) * self._dlng,
+        )
+        return GridCell(row=row, col=col, box=box)
+
+    def cell_of(self, point: GeoPoint) -> GridCell | None:
+        """Cell containing ``point``, or None when outside the region."""
+        if not self.region.contains_point(point):
+            return None
+        row = min(int((point.lat - self.region.min_lat) / self._dlat), self.rows - 1)
+        col = min(int((point.lng - self.region.min_lng) / self._dlng), self.cols - 1)
+        return self.cell(row, col)
+
+    def cells(self) -> Iterator[GridCell]:
+        """Iterate all cells in row-major order."""
+        for row in range(self.rows):
+            for col in range(self.cols):
+                yield self.cell(row, col)
+
+    def cells_intersecting(self, box: BoundingBox) -> Iterator[GridCell]:
+        """Iterate cells whose box intersects ``box`` (index-accelerated:
+        only the candidate row/col band is scanned)."""
+        overlap = self.region.intersection(box)
+        if overlap is None:
+            return
+        row_lo = max(int((overlap.min_lat - self.region.min_lat) / self._dlat), 0)
+        row_hi = min(int((overlap.max_lat - self.region.min_lat) / self._dlat), self.rows - 1)
+        col_lo = max(int((overlap.min_lng - self.region.min_lng) / self._dlng), 0)
+        col_hi = min(int((overlap.max_lng - self.region.min_lng) / self._dlng), self.cols - 1)
+        for row in range(row_lo, row_hi + 1):
+            for col in range(col_lo, col_hi + 1):
+                cell = self.cell(row, col)
+                if cell.box.intersects(box):
+                    yield cell

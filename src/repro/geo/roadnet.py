@@ -1,0 +1,147 @@
+"""Synthetic road networks and routing.
+
+LASAN trucks don't drive in straight lines — they follow streets.  This
+module builds a jittered Manhattan-style street graph over a region
+(networkx), routes shortest paths on it, and emits the waypoint
+sequences the video simulator drives along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import GeoError
+from repro.geo.geodesy import haversine_m, initial_bearing_deg
+from repro.geo.point import BoundingBox, GeoPoint
+
+
+@dataclass(frozen=True)
+class RoadNetwork:
+    """A street graph: nodes are intersections, edges are street
+    segments weighted by their length in meters."""
+
+    region: BoundingBox
+    graph: nx.Graph = field(compare=False)
+
+    @classmethod
+    def manhattan(
+        cls,
+        region: BoundingBox,
+        rows: int = 8,
+        cols: int = 8,
+        jitter: float = 0.15,
+        drop_rate: float = 0.05,
+        seed: int = 0,
+    ) -> "RoadNetwork":
+        """A rows x cols street grid with jittered intersections and a
+        few randomly closed segments, kept connected.
+
+        ``jitter`` is the intersection displacement as a fraction of the
+        cell size; ``drop_rate`` is the fraction of segments removed
+        (construction, dead ends) — removals that would disconnect the
+        network are skipped.
+        """
+        if rows < 2 or cols < 2:
+            raise GeoError(f"network needs at least a 2x2 grid, got {rows}x{cols}")
+        if not (0.0 <= jitter < 0.5):
+            raise GeoError(f"jitter must be in [0, 0.5), got {jitter}")
+        if not (0.0 <= drop_rate < 1.0):
+            raise GeoError(f"drop_rate must be in [0, 1), got {drop_rate}")
+        rng = np.random.default_rng(seed)
+        dlat = (region.max_lat - region.min_lat) / (rows - 1)
+        dlng = (region.max_lng - region.min_lng) / (cols - 1)
+        graph = nx.Graph()
+        for r in range(rows):
+            for c in range(cols):
+                lat = region.min_lat + r * dlat + float(rng.uniform(-jitter, jitter)) * dlat
+                lng = region.min_lng + c * dlng + float(rng.uniform(-jitter, jitter)) * dlng
+                lat = min(max(lat, region.min_lat), region.max_lat)
+                lng = min(max(lng, region.min_lng), region.max_lng)
+                graph.add_node((r, c), point=GeoPoint(lat, lng))
+        for r in range(rows):
+            for c in range(cols):
+                for dr, dc in ((0, 1), (1, 0)):
+                    rr, cc = r + dr, c + dc
+                    if rr < rows and cc < cols:
+                        a = graph.nodes[(r, c)]["point"]
+                        b = graph.nodes[(rr, cc)]["point"]
+                        graph.add_edge((r, c), (rr, cc), length_m=haversine_m(a, b))
+        # Close random segments without disconnecting the city.
+        edges = list(graph.edges)
+        rng.shuffle(edges)
+        to_drop = int(drop_rate * len(edges))
+        for edge in edges[:to_drop]:
+            data = graph.edges[edge]
+            graph.remove_edge(*edge)
+            if not nx.is_connected(graph):
+                graph.add_edge(*edge, **data)
+        return cls(region=region, graph=graph)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def node_point(self, node) -> GeoPoint:
+        """Intersection coordinates of a node."""
+        return self.graph.nodes[node]["point"]
+
+    def nearest_node(self, point: GeoPoint):
+        """Intersection nearest to an arbitrary point."""
+        return min(
+            self.graph.nodes,
+            key=lambda n: haversine_m(self.node_point(n), point),
+        )
+
+    def total_length_m(self) -> float:
+        """Total street length."""
+        return sum(data["length_m"] for _, _, data in self.graph.edges(data=True))
+
+    # -- routing -----------------------------------------------------------------
+
+    def route(self, start: GeoPoint, goal: GeoPoint) -> list[GeoPoint]:
+        """Shortest street route between the intersections nearest to
+        ``start`` and ``goal`` (Dijkstra on segment lengths)."""
+        a = self.nearest_node(start)
+        b = self.nearest_node(goal)
+        nodes = nx.shortest_path(self.graph, a, b, weight="length_m")
+        return [self.node_point(n) for n in nodes]
+
+    def route_length_m(self, waypoints: list[GeoPoint]) -> float:
+        """Length of a waypoint polyline."""
+        return sum(
+            haversine_m(a, b) for a, b in zip(waypoints, waypoints[1:])
+        )
+
+    def patrol(self, start: GeoPoint, hops: int, seed: int = 0) -> list[GeoPoint]:
+        """A random street patrol: ``hops`` edge traversals preferring
+        unvisited segments (a garbage-truck shift)."""
+        if hops < 1:
+            raise GeoError(f"hops must be >= 1, got {hops}")
+        rng = np.random.default_rng(seed)
+        node = self.nearest_node(start)
+        visited_edges: set[frozenset] = set()
+        waypoints = [self.node_point(node)]
+        for _ in range(hops):
+            neighbors = list(self.graph.neighbors(node))
+            fresh = [
+                n for n in neighbors if frozenset((node, n)) not in visited_edges
+            ]
+            choices = fresh if fresh else neighbors
+            nxt = choices[int(rng.integers(len(choices)))]
+            visited_edges.add(frozenset((node, nxt)))
+            node = nxt
+            waypoints.append(self.node_point(node))
+        return waypoints
+
+
+def waypoints_to_headings(waypoints: list[GeoPoint]) -> list[tuple[GeoPoint, float]]:
+    """``(position, heading)`` pairs along a polyline — the camera pose
+    stream a dashcam would record while driving it."""
+    if len(waypoints) < 2:
+        raise GeoError("need at least two waypoints for headings")
+    out = []
+    for a, b in zip(waypoints, waypoints[1:]):
+        out.append((a, initial_bearing_deg(a, b)))
+    out.append((waypoints[-1], out[-1][1]))
+    return out

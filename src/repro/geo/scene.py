@@ -1,0 +1,88 @@
+"""Scene-location estimation (paper Section IV-A, "Scene Location").
+
+The paper defines the scene location as "the minimum bounding box
+surrounding the geographical region depicting the image scene",
+computed from the FOV descriptor.  When several FOVs observe the same
+scene (e.g. consecutive video frames), their sector intersection
+narrows the estimate — the idea behind the authors' data-centric image
+scene localisation work [23].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeoError
+from repro.geo.fov import FieldOfView
+from repro.geo.point import BoundingBox, GeoPoint
+
+
+def scene_location(fov: FieldOfView) -> BoundingBox:
+    """Scene location of a single image: the MBR of its FOV sector."""
+    return fov.mbr()
+
+
+def scene_location_multi(fovs: list[FieldOfView], grid: int = 24) -> BoundingBox:
+    """Refined scene location from multiple FOVs of the same scene.
+
+    Rasterises the union MBR into a ``grid x grid`` lattice and keeps
+    the cells seen by *every* FOV; the MBR of those cells is the refined
+    scene estimate.  Falls back to the intersection (or union) of the
+    individual MBRs when no lattice cell is commonly visible.
+    """
+    if not fovs:
+        raise GeoError("scene_location_multi needs at least one FOV")
+    if len(fovs) == 1:
+        return scene_location(fovs[0])
+
+    union = fovs[0].mbr()
+    for fov in fovs[1:]:
+        union = union.union(fov.mbr())
+
+    dlat = (union.max_lat - union.min_lat) / grid
+    dlng = (union.max_lng - union.min_lng) / grid
+    common: list[GeoPoint] = []
+    for i in range(grid):
+        for j in range(grid):
+            cell_center = GeoPoint(
+                union.min_lat + (i + 0.5) * dlat,
+                union.min_lng + (j + 0.5) * dlng,
+            )
+            if all(fov.contains_point(cell_center) for fov in fovs):
+                common.append(cell_center)
+    if common:
+        box = BoundingBox.from_points(common)
+        # Re-inflate by half a cell so the estimate covers whole cells.
+        return box.expand(max(dlat, dlng) / 2.0)
+
+    boxes = [fov.mbr() for fov in fovs]
+    inter = boxes[0]
+    for box in boxes[1:]:
+        nxt = inter.intersection(box)
+        if nxt is None:
+            return union
+        inter = nxt
+    return inter
+
+
+@dataclass(frozen=True, slots=True)
+class LocalizedScene:
+    """A scene estimate together with a confidence in [0, 1].
+
+    Confidence grows with the number of agreeing FOVs and shrinks with
+    the area of the estimate relative to a single FOV's MBR.
+    """
+
+    box: BoundingBox
+    confidence: float
+    supporting_fovs: int
+
+    @classmethod
+    def estimate(cls, fovs: list[FieldOfView]) -> "LocalizedScene":
+        """Estimate the scene box and score the estimate."""
+        box = scene_location_multi(fovs)
+        base_area = max(fov.mbr().area for fov in fovs)
+        shrink = 1.0 - min(box.area / base_area, 1.0) if base_area > 0 else 0.0
+        support = 1.0 - 1.0 / (1.0 + len(fovs))
+        confidence = max(0.05, min(0.99, 0.5 * shrink + 0.5 * support))
+        return cls(box=box, confidence=confidence, supporting_fovs=len(fovs))

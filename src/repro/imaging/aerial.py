@@ -1,0 +1,111 @@
+"""Aerial (drone) scene renderer for the disaster-platform extension.
+
+The paper's future work targets TVDP as a disaster data platform:
+"collect and analyze drone videos for a wide area real-time monitoring
+in disasters (e.g., wildfire)".  This renderer produces top-down
+terrain tiles in three states — ``normal``, ``smoke``, ``fire`` — with
+the same layered-signal philosophy as the street renderer: fire is
+chromatically loud (orange cores), smoke is texturally soft (grey
+plumes over washed-out terrain), normal tiles are green/brown patchwork.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImagingError
+from repro.imaging.filters import gaussian_blur
+from repro.imaging.image import Image
+
+#: Aerial condition labels, benign to severe.
+AERIAL_CLASSES = ("normal", "smoke", "fire")
+
+
+def _terrain(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Green/brown vegetation patchwork with a road seam."""
+    base = np.empty((size, size, 3))
+    # Low-frequency vegetation density field.
+    field = gaussian_blur(rng.random((size, size)), sigma=size / 8.0)
+    field = (field - field.min()) / max(field.max() - field.min(), 1e-9)
+    green = np.array([0.20, 0.45, 0.18])
+    brown = np.array([0.45, 0.36, 0.22])
+    base = field[..., None] * green + (1.0 - field[..., None]) * brown
+    base += rng.normal(0.0, 0.02, base.shape)
+    # A road crossing the tile.
+    col = rng.integers(size // 4, 3 * size // 4)
+    width = max(size // 24, 1)
+    base[:, col : col + width] = (0.5, 0.5, 0.5)
+    return np.clip(base, 0.0, 1.0)
+
+
+def _add_smoke(px: np.ndarray, rng: np.random.Generator, density: float) -> None:
+    """Grey plume: soft blobs that wash out the terrain colours."""
+    size = px.shape[0]
+    plume = np.zeros((size, size))
+    n_puffs = rng.integers(3, 7)
+    rr, cc = np.mgrid[0:size, 0:size]
+    for _ in range(n_puffs):
+        r0, c0 = rng.integers(0, size, 2)
+        radius = rng.uniform(size / 8.0, size / 3.0)
+        plume += np.exp(-(((rr - r0) ** 2 + (cc - c0) ** 2) / (2 * radius**2)))
+    plume = gaussian_blur(plume, sigma=size / 12.0)
+    plume = density * plume / max(plume.max(), 1e-9)
+    grey = np.array([0.72, 0.72, 0.74])
+    px[:] = px * (1.0 - plume[..., None]) + grey * plume[..., None]
+
+
+def _add_fire(px: np.ndarray, rng: np.random.Generator) -> None:
+    """Orange/red burning cores with a charred margin."""
+    size = px.shape[0]
+    rr, cc = np.mgrid[0:size, 0:size]
+    n_cores = rng.integers(1, 4)
+    for _ in range(n_cores):
+        r0, c0 = rng.integers(size // 6, 5 * size // 6, 2)
+        radius = rng.uniform(size / 12.0, size / 5.0)
+        d2 = (rr - r0) ** 2 + (cc - c0) ** 2
+        core = d2 <= radius**2
+        margin = (d2 <= (1.8 * radius) ** 2) & ~core
+        flame = np.stack(
+            [
+                rng.uniform(0.85, 1.0, core.sum()),
+                rng.uniform(0.25, 0.55, core.sum()),
+                rng.uniform(0.0, 0.1, core.sum()),
+            ],
+            axis=-1,
+        )
+        px[core] = flame
+        px[margin] = np.array([0.12, 0.10, 0.09])  # char
+
+
+def render_aerial_scene(
+    label: str,
+    rng: np.random.Generator,
+    size: int = 48,
+    noise_sigma: float = 0.02,
+) -> Image:
+    """Render one drone tile of the given condition."""
+    if label not in AERIAL_CLASSES:
+        raise ImagingError(f"unknown aerial class {label!r}; expected {AERIAL_CLASSES}")
+    if size < 24:
+        raise ImagingError(f"tile size must be >= 24 px, got {size}")
+    px = _terrain(rng, size)
+    if label == "smoke":
+        _add_smoke(px, rng, density=rng.uniform(0.5, 0.9))
+    elif label == "fire":
+        _add_fire(px, rng)
+        _add_smoke(px, rng, density=rng.uniform(0.3, 0.7))
+    if noise_sigma > 0:
+        px = px + rng.normal(0.0, noise_sigma, px.shape)
+    return Image(px)
+
+
+def fire_pixel_fraction(image: Image) -> float:
+    """Fraction of pixels with a flame signature (bright, red-dominant).
+
+    A physically-motivated detector used as the fast edge-side screen in
+    the wildfire monitor; the trained classifier refines it server-side.
+    """
+    px = image.pixels
+    r, g, b = px[..., 0], px[..., 1], px[..., 2]
+    flame = (r > 0.7) & (r - g > 0.25) & (b < 0.3)
+    return float(flame.mean())

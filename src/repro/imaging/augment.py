@@ -1,0 +1,137 @@
+"""Image augmentation (paper Section IV-B: "augmented images are
+synthesized using the visual content of an image by applying image
+processing techniques (e.g., cropping and rotating)").
+
+The platform stores augmented images alongside originals, tagged with
+the transformation that produced them, so training pipelines can
+enrich scarce classes without re-collecting data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ImagingError
+from repro.imaging.filters import gaussian_blur, resize_bilinear
+from repro.imaging.image import Image
+
+
+def crop(image: Image, top: int, left: int, height: int, width: int) -> Image:
+    """Axis-aligned crop; raises when the window leaves the image."""
+    if height < 1 or width < 1:
+        raise ImagingError(f"crop size must be positive, got {height}x{width}")
+    if top < 0 or left < 0 or top + height > image.height or left + width > image.width:
+        raise ImagingError(
+            f"crop ({top},{left},{height},{width}) outside image {image.shape}"
+        )
+    return Image(image.pixels[top : top + height, left : left + width].copy())
+
+
+def center_crop(image: Image, fraction: float = 0.8) -> Image:
+    """Crop the central ``fraction`` of each dimension."""
+    if not (0.0 < fraction <= 1.0):
+        raise ImagingError(f"fraction must be in (0, 1], got {fraction}")
+    height = max(1, int(round(image.height * fraction)))
+    width = max(1, int(round(image.width * fraction)))
+    top = (image.height - height) // 2
+    left = (image.width - width) // 2
+    return crop(image, top, left, height, width)
+
+
+def flip_horizontal(image: Image) -> Image:
+    """Mirror left-right."""
+    return Image(image.pixels[:, ::-1].copy())
+
+
+def flip_vertical(image: Image) -> Image:
+    """Mirror top-bottom."""
+    return Image(image.pixels[::-1, :].copy())
+
+
+def rotate90(image: Image, turns: int = 1) -> Image:
+    """Rotate by multiples of 90 degrees counter-clockwise."""
+    return Image(np.rot90(image.pixels, k=turns % 4).copy())
+
+
+def rotate(image: Image, angle_deg: float) -> Image:
+    """Rotate by an arbitrary angle about the centre (nearest-neighbour
+    resampling; out-of-frame pixels become black)."""
+    theta = math.radians(angle_deg)
+    cos_t, sin_t = math.cos(theta), math.sin(theta)
+    h, w = image.height, image.width
+    cy, cx = (h - 1) / 2.0, (w - 1) / 2.0
+    rows, cols = np.mgrid[0:h, 0:w].astype(np.float64)
+    # Inverse mapping: output pixel -> source pixel.
+    y = rows - cy
+    x = cols - cx
+    src_r = np.round(cos_t * y + sin_t * x + cy).astype(int)
+    src_c = np.round(-sin_t * y + cos_t * x + cx).astype(int)
+    valid = (src_r >= 0) & (src_r < h) & (src_c >= 0) & (src_c < w)
+    out = np.zeros_like(image.pixels)
+    out[valid] = image.pixels[src_r[valid], src_c[valid]]
+    return Image(out)
+
+
+def adjust_brightness(image: Image, delta: float) -> Image:
+    """Add ``delta`` to every channel (result re-clipped to [0, 1])."""
+    return Image(image.pixels + delta)
+
+def adjust_contrast(image: Image, factor: float) -> Image:
+    """Scale contrast about the per-image mean."""
+    if factor < 0:
+        raise ImagingError(f"contrast factor must be >= 0, got {factor}")
+    mean = image.pixels.mean()
+    return Image(mean + factor * (image.pixels - mean))
+
+
+def blur(image: Image, sigma: float = 1.0) -> Image:
+    """Gaussian blur of each channel."""
+    out = np.stack(
+        [gaussian_blur(image.pixels[..., c], sigma) for c in range(3)], axis=-1
+    )
+    return Image(out)
+
+
+def add_noise(image: Image, sigma: float, rng: np.random.Generator) -> Image:
+    """Additive Gaussian pixel noise."""
+    if sigma < 0:
+        raise ImagingError(f"noise sigma must be >= 0, got {sigma}")
+    return Image(image.pixels + rng.normal(0.0, sigma, image.pixels.shape))
+
+
+def resize(image: Image, height: int, width: int) -> Image:
+    """Bilinear resize to ``height x width``."""
+    return Image(resize_bilinear(image.pixels, height, width))
+
+
+@dataclass(frozen=True, slots=True)
+class Augmentation:
+    """A named augmentation: ``name`` is stored with the derived image
+    so the DB can distinguish original from augmented rows."""
+
+    name: str
+    fn: Callable[[Image], Image]
+
+    def __call__(self, image: Image) -> Image:
+        return self.fn(image)
+
+
+def default_pipeline(rng: np.random.Generator) -> list[Augmentation]:
+    """The stock augmentation set used by the analysis examples."""
+    return [
+        Augmentation("flip_h", flip_horizontal),
+        Augmentation("center_crop_80", lambda im: center_crop(im, 0.8)),
+        Augmentation("rotate_+10", lambda im: rotate(im, 10.0)),
+        Augmentation("rotate_-10", lambda im: rotate(im, -10.0)),
+        Augmentation("brightness_+0.1", lambda im: adjust_brightness(im, 0.1)),
+        Augmentation("noise_0.02", lambda im: add_noise(im, 0.02, rng)),
+    ]
+
+
+def augment_image(image: Image, pipeline: list[Augmentation]) -> list[tuple[str, Image]]:
+    """Apply every augmentation; returns ``(name, image)`` pairs."""
+    return [(aug.name, aug(image)) for aug in pipeline]

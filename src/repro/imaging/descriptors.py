@@ -1,0 +1,93 @@
+"""SIFT-style local descriptors.
+
+For each keypoint we histogram gradient orientations over a 4x4 spatial
+grid of cells with 8 orientation bins — the 128-D layout of Lowe's
+SIFT — then L2-normalise, clip at 0.2, and renormalise exactly as the
+original does to damp illumination effects.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ImagingError
+from repro.imaging.filters import gradient_magnitude_orientation
+from repro.imaging.image import Image
+from repro.imaging.keypoints import Keypoint
+
+#: 4x4 spatial cells x 8 orientation bins.
+DESCRIPTOR_DIM = 128
+_GRID = 4
+_ORIENT_BINS = 8
+
+
+def describe_keypoint(
+    magnitude: np.ndarray,
+    orientation: np.ndarray,
+    keypoint: Keypoint,
+    patch_radius: int = 8,
+) -> np.ndarray | None:
+    """128-D descriptor for one keypoint, or ``None`` when the patch
+    does not fit inside the image."""
+    row, col = keypoint.row, keypoint.col
+    h, w = magnitude.shape
+    if (
+        row - patch_radius < 0
+        or col - patch_radius < 0
+        or row + patch_radius > h
+        or col + patch_radius > w
+    ):
+        return None
+    mag = magnitude[row - patch_radius : row + patch_radius, col - patch_radius : col + patch_radius]
+    ori = orientation[row - patch_radius : row + patch_radius, col - patch_radius : col + patch_radius]
+
+    cell = (2 * patch_radius) // _GRID
+    descriptor = np.zeros((_GRID, _GRID, _ORIENT_BINS), dtype=np.float64)
+    bin_width = 2.0 * math.pi / _ORIENT_BINS
+    bins = np.minimum((ori / bin_width).astype(int), _ORIENT_BINS - 1)
+    for gi in range(_GRID):
+        for gj in range(_GRID):
+            sub_mag = mag[gi * cell : (gi + 1) * cell, gj * cell : (gj + 1) * cell]
+            sub_bin = bins[gi * cell : (gi + 1) * cell, gj * cell : (gj + 1) * cell]
+            descriptor[gi, gj] = np.bincount(
+                sub_bin.ravel(), weights=sub_mag.ravel(), minlength=_ORIENT_BINS
+            )
+
+    vec = descriptor.ravel()
+    norm = np.linalg.norm(vec)
+    if norm < 1e-12:
+        return None
+    vec = vec / norm
+    # Lowe's illumination clamp: cap at 0.2 then renormalise.
+    vec = np.minimum(vec, 0.2)
+    norm = np.linalg.norm(vec)
+    if norm < 1e-12:
+        return None
+    return vec / norm
+
+
+def extract_descriptors(
+    image: Image,
+    keypoints: list[Keypoint],
+    patch_radius: int = 8,
+) -> np.ndarray:
+    """Descriptors for every keypoint whose patch fits; shape (n, 128).
+
+    Returns an empty ``(0, 128)`` array when nothing can be described —
+    callers (the BoW encoder) treat that as "no visual words".
+    """
+    if patch_radius < _GRID:
+        raise ImagingError(
+            f"patch radius must be at least {_GRID} to cover the descriptor grid"
+        )
+    magnitude, orientation = gradient_magnitude_orientation(image.grayscale())
+    rows = []
+    for kp in keypoints:
+        vec = describe_keypoint(magnitude, orientation, kp, patch_radius)
+        if vec is not None:
+            rows.append(vec)
+    if not rows:
+        return np.empty((0, DESCRIPTOR_DIM), dtype=np.float64)
+    return np.vstack(rows)

@@ -1,0 +1,177 @@
+"""Low-level image filtering: convolution, Gaussian, Sobel, Gabor.
+
+These kernels power the SIFT-style keypoint pipeline and the CNN
+feature extractor's fixed filter banks.  Implemented with
+``scipy.ndimage``-free NumPy FFT/convolution so behaviour is fully
+under our control and dependency-light.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ImagingError
+
+
+def convolve2d(image: np.ndarray, kernel: np.ndarray, mode: str = "same") -> np.ndarray:
+    """2-D correlation of a (H, W) array with a (kh, kw) kernel.
+
+    ``mode='same'`` pads reflectively and returns (H, W); ``'valid'``
+    returns the un-padded (H-kh+1, W-kw+1) result.  Kernels are applied
+    as correlation (no flip), matching deep-learning convention.
+    """
+    img = np.asarray(image, dtype=np.float64)
+    ker = np.asarray(kernel, dtype=np.float64)
+    if img.ndim != 2 or ker.ndim != 2:
+        raise ImagingError("convolve2d expects 2-D image and kernel")
+    kh, kw = ker.shape
+    if mode == "same":
+        ph, pw = kh // 2, kw // 2
+        img = np.pad(img, ((ph, kh - 1 - ph), (pw, kw - 1 - pw)), mode="reflect")
+    elif mode != "valid":
+        raise ImagingError(f"unknown mode {mode!r}")
+    h, w = img.shape
+    out_h, out_w = h - kh + 1, w - kw + 1
+    if out_h < 1 or out_w < 1:
+        raise ImagingError(
+            f"kernel {ker.shape} larger than image {img.shape} in 'valid' mode"
+        )
+    # im2col via stride tricks: windows have shape (out_h, out_w, kh, kw).
+    windows = np.lib.stride_tricks.sliding_window_view(img, (kh, kw))
+    return np.einsum("ijkl,kl->ij", windows, ker)
+
+
+def gaussian_kernel1d(sigma: float, radius: int | None = None) -> np.ndarray:
+    """Normalised 1-D Gaussian kernel."""
+    if sigma <= 0:
+        raise ImagingError(f"sigma must be positive, got {sigma}")
+    if radius is None:
+        radius = max(1, int(math.ceil(3.0 * sigma)))
+    x = np.arange(-radius, radius + 1, dtype=np.float64)
+    kernel = np.exp(-0.5 * (x / sigma) ** 2)
+    return kernel / kernel.sum()
+
+
+def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
+    """Separable Gaussian blur of a 2-D array."""
+    kernel = gaussian_kernel1d(sigma)
+    blurred = convolve2d(image, kernel[np.newaxis, :], mode="same")
+    return convolve2d(blurred, kernel[:, np.newaxis], mode="same")
+
+
+#: Sobel derivative kernels (x = columns increasing rightwards).
+SOBEL_X = np.array([[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]])
+SOBEL_Y = SOBEL_X.T.copy()
+
+
+def sobel_gradients(image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(gx, gy)`` Sobel gradients of a 2-D array."""
+    return convolve2d(image, SOBEL_X, "same"), convolve2d(image, SOBEL_Y, "same")
+
+
+def gradient_magnitude_orientation(image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Gradient magnitude and orientation (radians in [0, 2*pi))."""
+    gx, gy = sobel_gradients(image)
+    magnitude = np.hypot(gx, gy)
+    orientation = np.arctan2(gy, gx) % (2.0 * math.pi)
+    return magnitude, orientation
+
+
+def gabor_kernel(
+    size: int,
+    wavelength: float,
+    orientation_rad: float,
+    sigma: float | None = None,
+    phase: float = 0.0,
+    aspect: float = 0.5,
+) -> np.ndarray:
+    """Real Gabor filter: oriented sinusoid under a Gaussian envelope.
+
+    The CNN feature extractor's first layer is a bank of these — the
+    classic stand-in for learned early-vision filters.
+    """
+    if size < 3 or size % 2 == 0:
+        raise ImagingError(f"gabor size must be odd and >= 3, got {size}")
+    if sigma is None:
+        sigma = 0.56 * wavelength
+    half = size // 2
+    y, x = np.mgrid[-half : half + 1, -half : half + 1].astype(np.float64)
+    x_rot = x * math.cos(orientation_rad) + y * math.sin(orientation_rad)
+    y_rot = -x * math.sin(orientation_rad) + y * math.cos(orientation_rad)
+    envelope = np.exp(-(x_rot**2 + (aspect * y_rot) ** 2) / (2.0 * sigma**2))
+    carrier = np.cos(2.0 * math.pi * x_rot / wavelength + phase)
+    kernel = envelope * carrier
+    return kernel - kernel.mean()
+
+
+def gabor_bank(
+    size: int = 7, orientations: int = 4, wavelengths: tuple[float, ...] = (3.0, 6.0)
+) -> list[np.ndarray]:
+    """A bank of Gabor filters across orientations and wavelengths."""
+    bank = []
+    for wavelength in wavelengths:
+        for k in range(orientations):
+            theta = math.pi * k / orientations
+            bank.append(gabor_kernel(size, wavelength, theta))
+    return bank
+
+
+def max_pool2d(image: np.ndarray, pool: int) -> np.ndarray:
+    """Non-overlapping ``pool x pool`` max pooling (trailing edge cropped)."""
+    if pool < 1:
+        raise ImagingError(f"pool size must be >= 1, got {pool}")
+    h, w = image.shape
+    th, tw = (h // pool) * pool, (w // pool) * pool
+    if th < pool or tw < pool:
+        raise ImagingError(f"image {image.shape} smaller than pool {pool}")
+    trimmed = image[:th, :tw]
+    return trimmed.reshape(th // pool, pool, tw // pool, pool).max(axis=(1, 3))
+
+
+def avg_pool2d(image: np.ndarray, pool: int) -> np.ndarray:
+    """Non-overlapping ``pool x pool`` average pooling."""
+    if pool < 1:
+        raise ImagingError(f"pool size must be >= 1, got {pool}")
+    h, w = image.shape
+    th, tw = (h // pool) * pool, (w // pool) * pool
+    if th < pool or tw < pool:
+        raise ImagingError(f"image {image.shape} smaller than pool {pool}")
+    trimmed = image[:th, :tw]
+    return trimmed.reshape(th // pool, pool, tw // pool, pool).mean(axis=(1, 3))
+
+
+def resize_nearest(image: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Nearest-neighbour resize of a 2-D or (H, W, C) array."""
+    if height < 1 or width < 1:
+        raise ImagingError(f"target size must be positive, got {height}x{width}")
+    h, w = image.shape[:2]
+    rows = np.minimum((np.arange(height) * h / height).astype(int), h - 1)
+    cols = np.minimum((np.arange(width) * w / width).astype(int), w - 1)
+    return image[np.ix_(rows, cols)]
+
+
+def resize_bilinear(image: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Bilinear resize of a 2-D or (H, W, C) array."""
+    if height < 1 or width < 1:
+        raise ImagingError(f"target size must be positive, got {height}x{width}")
+    img = np.asarray(image, dtype=np.float64)
+    h, w = img.shape[:2]
+    if h == 1 and w == 1:
+        reps = (height, width) + (1,) * (img.ndim - 2)
+        return np.tile(img, reps)
+    row_pos = np.linspace(0.0, h - 1.0, height)
+    col_pos = np.linspace(0.0, w - 1.0, width)
+    r0 = np.floor(row_pos).astype(int)
+    c0 = np.floor(col_pos).astype(int)
+    r1 = np.minimum(r0 + 1, h - 1)
+    c1 = np.minimum(c0 + 1, w - 1)
+    fr = (row_pos - r0).reshape(-1, 1)
+    fc = (col_pos - c0).reshape(1, -1)
+    if img.ndim == 3:
+        fr = fr[..., np.newaxis]
+        fc = fc[..., np.newaxis]
+    top = img[np.ix_(r0, c0)] * (1 - fc) + img[np.ix_(r0, c1)] * fc
+    bottom = img[np.ix_(r1, c0)] * (1 - fc) + img[np.ix_(r1, c1)] * fc
+    return top * (1 - fr) + bottom * fr

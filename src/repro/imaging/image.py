@@ -1,0 +1,99 @@
+"""Image container used throughout the platform.
+
+Images are dense ``float64`` RGB arrays in ``[0, 1]`` with shape
+``(height, width, 3)``.  A thin wrapper (rather than bare ndarrays)
+gives us validation, deterministic hashing for deduplication, and
+grayscale conversion in one place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ImagingError
+
+
+@dataclass(frozen=True)
+class Image:
+    """An RGB image with float pixels in [0, 1]."""
+
+    pixels: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        px = np.asarray(self.pixels, dtype=np.float64)
+        if px.ndim != 3 or px.shape[2] != 3:
+            raise ImagingError(f"expected (H, W, 3) array, got shape {px.shape}")
+        if px.shape[0] < 1 or px.shape[1] < 1:
+            raise ImagingError(f"image must be at least 1x1, got {px.shape}")
+        if np.isnan(px).any():
+            raise ImagingError("image contains NaN pixels")
+        px = np.clip(px, 0.0, 1.0)
+        px.setflags(write=False)
+        object.__setattr__(self, "pixels", px)
+
+    # -- basic geometry ---------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Image height in pixels."""
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Image width in pixels."""
+        return int(self.pixels.shape[1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(height, width)``."""
+        return (self.height, self.width)
+
+    # -- conversions --------------------------------------------------------
+
+    def grayscale(self) -> np.ndarray:
+        """Luma (ITU-R BT.601) single-channel view, shape (H, W)."""
+        r, g, b = self.pixels[..., 0], self.pixels[..., 1], self.pixels[..., 2]
+        return 0.299 * r + 0.587 * g + 0.114 * b
+
+    def to_uint8(self) -> np.ndarray:
+        """8-bit representation (for persistence / hashing)."""
+        return np.round(self.pixels * 255.0).astype(np.uint8)
+
+    @classmethod
+    def from_uint8(cls, array: np.ndarray) -> "Image":
+        """Build from an 8-bit (H, W, 3) array."""
+        return cls(np.asarray(array, dtype=np.float64) / 255.0)
+
+    # -- identity -----------------------------------------------------------
+
+    def content_hash(self) -> str:
+        """Deterministic SHA-1 of the 8-bit pixel content.
+
+        The platform deduplicates uploads by content hash, which the
+        paper motivates ("visual data is huge in size and many times
+        redundant").
+        """
+        h = hashlib.sha1()
+        h.update(str(self.shape).encode())
+        h.update(self.to_uint8().tobytes())
+        return h.hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Image):
+            return NotImplemented
+        return self.shape == other.shape and np.array_equal(
+            self.to_uint8(), other.to_uint8()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.content_hash())
+
+
+def solid_color(height: int, width: int, rgb: tuple[float, float, float]) -> Image:
+    """A constant-colour image — handy for tests and augment baselines."""
+    px = np.empty((height, width, 3), dtype=np.float64)
+    px[..., 0], px[..., 1], px[..., 2] = rgb
+    return Image(px)

@@ -1,0 +1,119 @@
+"""Perceptual hashing for near-duplicate detection.
+
+Exact content hashes catch byte-identical re-uploads; perceptual hashes
+catch the *near*-duplicates mobile collection actually produces
+(recompressed, slightly cropped, brightness-shifted copies).  We use
+dHash: resize to 9x8 luma, hash the sign of horizontal gradients into
+64 bits.  Hamming distance between hashes approximates visual
+difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImagingError
+from repro.imaging.image import Image
+
+#: Hash length in bits (8 rows x 8 horizontal comparisons).
+HASH_BITS = 64
+
+
+def _downscale_mean(gray, rows: int, cols: int):
+    """Area-average downscale: each output cell is the mean of its
+    source block.  Unlike point sampling, this suppresses pixel noise —
+    essential for a *perceptual* hash."""
+    h, w = gray.shape
+    row_edges = np.linspace(0, h, rows + 1).astype(int)
+    col_edges = np.linspace(0, w, cols + 1).astype(int)
+    out = np.empty((rows, cols))
+    for i in range(rows):
+        for j in range(cols):
+            block = gray[
+                row_edges[i] : max(row_edges[i + 1], row_edges[i] + 1),
+                col_edges[j] : max(col_edges[j + 1], col_edges[j] + 1),
+            ]
+            out[i, j] = block.mean()
+    return out
+
+
+#: Luma deadzone for gradient-sign bits.  Horizontally flat regions
+#: (sky, road) have near-zero true gradients whose sign would otherwise
+#: be decided by sensor noise; differences below the deadzone hash to 0.
+GRADIENT_DEADZONE = 0.01
+
+
+def dhash(image: Image) -> int:
+    """64-bit difference hash of an image (deadzoned gradient signs)."""
+    small = _downscale_mean(image.grayscale(), 8, 9)
+    bits = 0
+    position = 0
+    for row in range(8):
+        for col in range(8):
+            diff = small[row, col] - small[row, col + 1]
+            bits |= int(diff > GRADIENT_DEADZONE) << position
+            position += 1
+    return bits
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of differing bits between two hashes."""
+    if a < 0 or b < 0:
+        raise ImagingError("hashes must be non-negative integers")
+    return bin(a ^ b).count("1")
+
+
+class NearDuplicateIndex:
+    """Hash table over dHash values with a Hamming-radius lookup.
+
+    Buckets on the four 16-bit quarters of the hash: any pair within
+    Hamming distance 3 shares at least one identical quarter (pigeonhole
+    over 4 quarters), so the candidate scan stays tiny while recall at
+    the default radius is exact.
+    """
+
+    def __init__(self, max_distance: int = 3) -> None:
+        if not (0 <= max_distance <= HASH_BITS):
+            raise ImagingError(f"max_distance must be in [0, {HASH_BITS}]")
+        self.max_distance = max_distance
+        self._hashes: dict[object, int] = {}
+        self._buckets: list[dict[int, list[object]]] = [{} for _ in range(4)]
+
+    def __len__(self) -> int:
+        return len(self._hashes)
+
+    @staticmethod
+    def _quarters(value: int) -> list[int]:
+        return [(value >> (16 * i)) & 0xFFFF for i in range(4)]
+
+    def add(self, item: object, image: Image) -> None:
+        """Index an image under an opaque id."""
+        if item in self._hashes:
+            raise ImagingError(f"item {item!r} already indexed")
+        value = dhash(image)
+        self._hashes[item] = value
+        for bucket, quarter in zip(self._buckets, self._quarters(value)):
+            bucket.setdefault(quarter, []).append(item)
+
+    def find_similar(self, image: Image) -> list[tuple[object, int]]:
+        """Indexed items within ``max_distance`` bits, nearest first.
+
+        Exact for ``max_distance <= 3``; for larger radii it is a
+        candidate filter (guaranteed complete up to distance 3 per the
+        pigeonhole argument, best-effort beyond).
+        """
+        value = dhash(image)
+        candidates: set[object] = set()
+        for bucket, quarter in zip(self._buckets, self._quarters(value)):
+            candidates.update(bucket.get(quarter, ()))
+        scored = [
+            (item, hamming_distance(self._hashes[item], value))
+            for item in candidates
+        ]
+        matches = [(i, d) for i, d in scored if d <= self.max_distance]
+        matches.sort(key=lambda pair: (pair[1], str(pair[0])))
+        return matches
+
+    def is_near_duplicate(self, image: Image) -> bool:
+        """True when some indexed image is within the radius."""
+        return bool(self.find_similar(image))

@@ -1,0 +1,71 @@
+"""Image-quality scoring for ingest gating.
+
+Crowdsourced uploads include shaky, blurred, and badly exposed shots.
+The platform scores each upload — sharpness via the variance of the
+Laplacian (the standard focus measure) and exposure via histogram
+mass at the extremes — so campaigns can reject captures that would
+pollute training sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ImagingError
+from repro.imaging.filters import convolve2d
+from repro.imaging.image import Image
+
+#: 3x3 Laplacian kernel.
+_LAPLACIAN = np.array([[0.0, 1.0, 0.0], [1.0, -4.0, 1.0], [0.0, 1.0, 0.0]])
+
+
+def sharpness(image: Image) -> float:
+    """Variance of the Laplacian of the luma channel.
+
+    Higher is sharper; blurring an image strictly reduces it.
+    """
+    response = convolve2d(image.grayscale(), _LAPLACIAN, "same")
+    return float(response.var())
+
+
+def exposure_clipping(image: Image, low: float = 0.02, high: float = 0.98) -> float:
+    """Fraction of pixels crushed to black or blown to white."""
+    if not (0.0 <= low < high <= 1.0):
+        raise ImagingError(f"bad exposure thresholds ({low}, {high})")
+    gray = image.grayscale()
+    return float(((gray <= low) | (gray >= high)).mean())
+
+
+@dataclass(frozen=True, slots=True)
+class QualityReport:
+    """Scores plus the accept/reject verdict for one upload."""
+
+    sharpness: float
+    clipping: float
+    accepted: bool
+    reasons: tuple[str, ...]
+
+
+def assess_quality(
+    image: Image,
+    min_sharpness: float = 1e-4,
+    max_clipping: float = 0.4,
+) -> QualityReport:
+    """Gate an upload on focus and exposure."""
+    if min_sharpness < 0 or not (0.0 < max_clipping <= 1.0):
+        raise ImagingError("invalid quality thresholds")
+    sharp = sharpness(image)
+    clipped = exposure_clipping(image)
+    reasons = []
+    if sharp < min_sharpness:
+        reasons.append("blurry")
+    if clipped > max_clipping:
+        reasons.append("badly_exposed")
+    return QualityReport(
+        sharpness=sharp,
+        clipping=clipped,
+        accepted=not reasons,
+        reasons=tuple(reasons),
+    )

@@ -1,0 +1,268 @@
+"""Synthetic streetscape renderer for the LASAN cleanliness classes.
+
+The paper's evaluation uses 22K proprietary geo-tagged street images
+labelled with five cleanliness levels.  We substitute a procedural
+renderer that draws small street scenes with class-specific content:
+
+* ``clean`` — road, sidewalk, sky, lane markings, nothing else;
+* ``bulky_item`` — a large rectangular furniture silhouette with
+  drawer/panel lines on the sidewalk;
+* ``illegal_dumping`` — a scatter of small irregular trash-bag blobs;
+* ``encampment`` — one or two triangular tent silhouettes;
+* ``overgrown_vegetation`` — a tall textured green mass along the
+  sidewalk edge.
+
+Class signal is deliberately layered so the paper's feature ordering
+emerges from real extraction code:
+
+* **colour** is weakly informative: object hues are jittered and
+  overlap across classes (only vegetation is reliably green);
+* **local texture** (SIFT-BoW) is moderately informative: each object
+  family has a distinct edge/texture signature;
+* **shape & layout** (CNN features) is strongly informative: the
+  silhouette geometry differs cleanly between classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImagingError
+from repro.imaging.image import Image
+
+#: Canonical class names, in the paper's order (Fig. 5).
+CLEANLINESS_CLASSES = (
+    "bulky_item",
+    "illegal_dumping",
+    "encampment",
+    "overgrown_vegetation",
+    "clean",
+)
+
+
+def _jitter(rng: np.random.Generator, base: tuple[float, float, float], amount: float) -> np.ndarray:
+    """A colour near ``base`` with uniform jitter of +/- ``amount``."""
+    color = np.array(base) + rng.uniform(-amount, amount, 3)
+    return np.clip(color, 0.0, 1.0)
+
+
+def _base_scene(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Sky / buildings / sidewalk / road backdrop shared by all classes."""
+    px = np.zeros((size, size, 3), dtype=np.float64)
+    horizon = int(size * rng.uniform(0.28, 0.40))
+    sidewalk_top = int(size * rng.uniform(0.55, 0.65))
+
+    sky = _jitter(rng, (0.65, 0.78, 0.92), 0.10)
+    rows = np.arange(horizon).reshape(-1, 1, 1) / max(horizon, 1)
+    px[:horizon] = sky * (1.0 - 0.15 * rows)
+
+    building = _jitter(rng, (0.55, 0.50, 0.46), 0.12)
+    px[horizon:sidewalk_top] = building
+    # Window texture on the building band.
+    for _ in range(rng.integers(3, 7)):
+        wr = rng.integers(horizon, max(sidewalk_top - 3, horizon + 1))
+        wc = rng.integers(1, size - 4)
+        px[wr : wr + 2, wc : wc + 3] = _jitter(rng, (0.25, 0.28, 0.35), 0.05)
+
+    sidewalk = _jitter(rng, (0.62, 0.60, 0.58), 0.06)
+    road_top = int(size * rng.uniform(0.78, 0.86))
+    px[sidewalk_top:road_top] = sidewalk
+    road = _jitter(rng, (0.30, 0.30, 0.32), 0.05)
+    px[road_top:] = road
+    # Lane marking.
+    lane = road_top + (size - road_top) // 2
+    if lane < size:
+        px[lane : lane + 1, :: max(size // 8, 1)] = (0.85, 0.82, 0.55)
+    return px
+
+
+def _draw_rect(px: np.ndarray, top: int, left: int, h: int, w: int, color: np.ndarray) -> None:
+    size = px.shape[0]
+    px[max(top, 0) : min(top + h, size), max(left, 0) : min(left + w, size)] = color
+
+
+def _draw_triangle(px: np.ndarray, apex_row: int, apex_col: int, h: int, half_w: int, color: np.ndarray) -> None:
+    """Filled downward-widening triangle (tent silhouette)."""
+    size = px.shape[0]
+    for dr in range(h):
+        row = apex_row + dr
+        if not (0 <= row < size):
+            continue
+        span = int(half_w * dr / max(h - 1, 1))
+        lo, hi = max(apex_col - span, 0), min(apex_col + span + 1, size)
+        px[row, lo:hi] = color
+
+
+def _draw_blob(px: np.ndarray, rng: np.random.Generator, row: int, col: int, radius: int, color: np.ndarray) -> None:
+    """Irregular roundish blob (trash bag)."""
+    size = px.shape[0]
+    rr, cc = np.mgrid[0:size, 0:size]
+    wobble = rng.uniform(0.7, 1.3)
+    mask = ((rr - row) ** 2 * wobble + (cc - col) ** 2 / wobble) <= radius**2
+    px[mask] = color
+
+
+def _object_band(rng: np.random.Generator, size: int) -> tuple[int, int]:
+    """Vertical band (top, bottom) where street objects sit — on or near
+    the sidewalk, in the lower half of the frame."""
+    return int(size * 0.55), int(size * 0.92)
+
+
+def _render_bulky_item(px: np.ndarray, rng: np.random.Generator) -> None:
+    size = px.shape[0]
+    band_top, band_bot = _object_band(rng, size)
+    h = rng.integers(int(size * 0.22), int(size * 0.34))
+    w = rng.integers(int(size * 0.25), int(size * 0.40))
+    top = rng.integers(band_top, max(band_bot - h, band_top + 1))
+    left = rng.integers(1, max(size - w - 1, 2))
+    # Furniture hue overlaps with trash-bag and tent hues on purpose.
+    color = _jitter(rng, (0.48, 0.35, 0.24), 0.18)
+    _draw_rect(px, top, left, h, w, color)
+    # Drawer/panel lines: the bulky item's texture signature.
+    n_lines = rng.integers(2, 4)
+    for k in range(1, n_lines + 1):
+        row = top + k * h // (n_lines + 1)
+        if 0 <= row < size:
+            px[row, max(left, 0) : min(left + w, size)] = color * 0.55
+    # Legs.
+    leg_h = max(2, h // 6)
+    for leg_col in (left + 1, left + w - 2):
+        if 0 <= leg_col < size:
+            px[min(top + h, size - leg_h) : min(top + h + leg_h, size), leg_col] = color * 0.4
+
+
+def _render_illegal_dumping(px: np.ndarray, rng: np.random.Generator) -> None:
+    size = px.shape[0]
+    band_top, band_bot = _object_band(rng, size)
+    n_bags = rng.integers(3, 7)
+    cluster_col = rng.integers(int(size * 0.2), int(size * 0.8))
+    for _ in range(n_bags):
+        row = rng.integers(band_top, band_bot)
+        col = int(np.clip(cluster_col + rng.normal(0, size * 0.10), 2, size - 3))
+        radius = rng.integers(max(size // 24, 2), max(size // 10, 3))
+        color = _jitter(rng, (0.30, 0.28, 0.30), 0.18)
+        _draw_blob(px, rng, row, col, radius, color)
+    # Scattered debris specks: high-frequency texture.
+    for _ in range(rng.integers(10, 25)):
+        row = rng.integers(band_top, min(band_bot + 2, size))
+        col = rng.integers(0, size)
+        px[row, col] = rng.uniform(0.1, 0.9, 3)
+
+
+def _render_encampment(px: np.ndarray, rng: np.random.Generator) -> None:
+    size = px.shape[0]
+    band_top, _ = _object_band(rng, size)
+    n_tents = rng.integers(1, 3)
+    for _ in range(n_tents):
+        h = rng.integers(int(size * 0.18), int(size * 0.30))
+        half_w = rng.integers(int(size * 0.10), int(size * 0.20))
+        apex_row = rng.integers(band_top - h // 2, band_top + h // 3)
+        apex_col = rng.integers(half_w + 1, size - half_w - 1)
+        # Tarp hues vary widely — blue, grey, green-ish, orange — so
+        # colour alone cannot nail the class.
+        base = [(0.25, 0.35, 0.60), (0.45, 0.45, 0.48), (0.35, 0.45, 0.35), (0.70, 0.45, 0.25)]
+        color = _jitter(rng, base[rng.integers(len(base))], 0.10)
+        _draw_triangle(px, apex_row, apex_col, h, half_w, color)
+        # Ridge seam down the middle: tent texture signature.
+        ridge = np.clip(color * 0.6, 0, 1)
+        for dr in range(h):
+            row = apex_row + dr
+            if 0 <= row < size:
+                px[row, apex_col] = ridge
+
+
+def _render_vegetation(px: np.ndarray, rng: np.random.Generator) -> None:
+    size = px.shape[0]
+    band_top = int(size * rng.uniform(0.35, 0.50))
+    band_bot = int(size * rng.uniform(0.75, 0.92))
+    left = rng.integers(0, size // 3)
+    width = rng.integers(int(size * 0.35), int(size * 0.70))
+    rr, cc = np.mgrid[0:size, 0:size]
+    in_band = (rr >= band_top) & (rr < band_bot) & (cc >= left) & (cc < left + width)
+    # Reliably green, strongly textured: colour's one easy class.
+    base_green = _jitter(rng, (0.22, 0.52, 0.20), 0.08)
+    texture = rng.uniform(0.7, 1.3, (size, size, 1))
+    grass = np.clip(base_green * texture, 0, 1)
+    px[in_band] = grass[in_band]
+    # Fronds poking above the band.
+    for _ in range(rng.integers(6, 14)):
+        col = rng.integers(left, min(left + width, size - 1))
+        top = band_top - rng.integers(2, max(size // 6, 3))
+        px[max(top, 0) : band_top, col] = np.clip(base_green * rng.uniform(0.8, 1.2), 0, 1)
+
+
+_RENDERERS = {
+    "bulky_item": _render_bulky_item,
+    "illegal_dumping": _render_illegal_dumping,
+    "encampment": _render_encampment,
+    "overgrown_vegetation": _render_vegetation,
+    "clean": lambda px, rng: None,
+}
+
+
+def _render_graffiti(px: np.ndarray, rng: np.random.Generator) -> None:
+    """Colourful scribble strokes on the building band — an overlay
+    *independent* of the cleanliness class, so the same dataset supports
+    a second (graffiti) analysis the way the paper describes."""
+    size = px.shape[0]
+    band_top, band_bot = int(size * 0.32), int(size * 0.58)
+    n_strokes = rng.integers(2, 5)
+    for _ in range(n_strokes):
+        color = _jitter(rng, (0.8, 0.2, 0.5), 0.3)
+        row = int(rng.integers(band_top, max(band_bot - 2, band_top + 1)))
+        col = int(rng.integers(1, size - 6))
+        length = int(rng.integers(4, max(size // 4, 5)))
+        drift = rng.choice((-1, 0, 1))
+        for step in range(length):
+            r = int(np.clip(row + drift * step // 2 + rng.integers(-1, 2), 0, size - 1))
+            c = min(col + step, size - 1)
+            px[r, c] = color
+
+
+def render_street_scene(
+    label: str,
+    rng: np.random.Generator,
+    size: int = 48,
+    noise_sigma: float = 0.03,
+    distractor_prob: float = 0.25,
+    graffiti: bool = False,
+) -> Image:
+    """Render one synthetic street scene of the given cleanliness class.
+
+    ``distractor_prob`` controls how often an off-class clutter element
+    (a small ambiguous box) appears, which softens class boundaries the
+    way real street photos do.  Encampment scenes receive extra
+    bulky-item-like clutter so that — as in the paper's Fig. 7 — it is
+    the hardest class.
+    """
+    if label not in _RENDERERS:
+        raise ImagingError(
+            f"unknown class {label!r}; expected one of {CLEANLINESS_CLASSES}"
+        )
+    if size < 24:
+        raise ImagingError(f"scene size must be >= 24 px, got {size}")
+    px = _base_scene(rng, size)
+    if graffiti:
+        _render_graffiti(px, rng)
+    _RENDERERS[label](px, rng)
+
+    if rng.random() < distractor_prob:
+        # Ambiguous small box that could be furniture or a bag.
+        band_top, band_bot = _object_band(rng, size)
+        h = rng.integers(2, max(size // 10, 3))
+        w = rng.integers(2, max(size // 8, 3))
+        top = rng.integers(band_top, band_bot)
+        left = rng.integers(0, size - w)
+        _draw_rect(px, top, left, h, w, _jitter(rng, (0.4, 0.35, 0.3), 0.2))
+    if label == "encampment" and rng.random() < 0.5:
+        # Encampments co-occur with belongings — confusable clutter.
+        band_top, band_bot = _object_band(rng, size)
+        h = rng.integers(3, max(size // 8, 4))
+        w = rng.integers(4, max(size // 6, 5))
+        top = rng.integers(band_top, max(band_bot - h, band_top + 1))
+        left = rng.integers(0, size - w)
+        _draw_rect(px, top, left, h, w, _jitter(rng, (0.45, 0.35, 0.28), 0.15))
+
+    if noise_sigma > 0:
+        px = px + rng.normal(0.0, noise_sigma, px.shape)
+    return Image(px)

@@ -1,0 +1,22 @@
+"""Index structures: R-tree, Oriented R-tree, LSH, inverted, hybrid."""
+
+from repro.index.rtree import RTree, box_point_distance_deg
+from repro.index.oriented_rtree import SECTORS, OrientedRTree, direction_mask
+from repro.index.lsh import LSHIndex
+from repro.index.inverted import STOPWORDS, InvertedIndex, tokenize
+from repro.index.hybrid import VisualRTree
+from repro.index.grid import GridIndex
+
+__all__ = [
+    "RTree",
+    "box_point_distance_deg",
+    "OrientedRTree",
+    "direction_mask",
+    "SECTORS",
+    "LSHIndex",
+    "InvertedIndex",
+    "tokenize",
+    "STOPWORDS",
+    "VisualRTree",
+    "GridIndex",
+]

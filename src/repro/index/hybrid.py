@@ -1,0 +1,224 @@
+"""Visual R*-tree: the paper's hybrid index for spatial-visual search.
+
+Following Alfarrarjeh, Shahabi & Kim (ACM MM Workshops 2017, paper
+ref. [28]), each R-tree node is augmented with a summary of the feature
+vectors stored beneath it — the centroid and a covering radius — so a
+spatial-visual query can prune subtrees on *either* modality:
+
+* spatially, when the node MBR misses the query region, and
+* visually, when ``|query - centroid| - radius`` already exceeds the
+  current k-th best feature distance.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.geo.point import BoundingBox, GeoPoint
+
+
+class _VNode:
+    """Node carrying a box plus a feature-space bounding sphere."""
+
+    __slots__ = ("leaf", "entries", "box", "centroid", "radius", "count")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        self.entries: list = []
+        self.box: BoundingBox | None = None
+        self.centroid: np.ndarray | None = None
+        self.radius: float = 0.0
+        self.count: int = 0
+
+    def refresh(self) -> None:
+        """Recompute box and feature sphere from children/entries."""
+        if not self.entries:
+            self.box, self.centroid, self.radius, self.count = None, None, 0.0, 0
+            return
+        if self.leaf:
+            boxes = [e[0] for e in self.entries]
+            vectors = np.vstack([e[1] for e in self.entries])
+            counts = len(self.entries)
+        else:
+            boxes = [c.box for c in self.entries]
+            vectors = np.vstack([c.centroid for c in self.entries])
+            counts = sum(c.count for c in self.entries)
+        box = boxes[0]
+        for other in boxes[1:]:
+            box = box.union(other)
+        self.box = box
+        self.centroid = vectors.mean(axis=0)
+        if self.leaf:
+            distances = np.linalg.norm(vectors - self.centroid, axis=1)
+            self.radius = float(distances.max())
+        else:
+            self.radius = max(
+                float(np.linalg.norm(c.centroid - self.centroid)) + c.radius
+                for c in self.entries
+            )
+        self.count = counts
+
+
+class VisualRTree:
+    """Hybrid spatial-visual index.
+
+    Entries are ``(box, vector, item)``; construction uses the same
+    quadratic-split policy as the plain R-tree on the spatial keys, with
+    feature spheres maintained alongside.
+    """
+
+    def __init__(self, dimension: int, max_entries: int = 8) -> None:
+        if dimension < 1:
+            raise IndexError_(f"dimension must be >= 1, got {dimension}")
+        if max_entries < 4:
+            raise IndexError_(f"max_entries must be >= 4, got {max_entries}")
+        self.dimension = dimension
+        self.max_entries = max_entries
+        self.min_entries = max(2, int(0.4 * max_entries))
+        self._root = _VNode(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- insertion ----------------------------------------------------------
+
+    def insert(self, item: object, point: GeoPoint, vector: np.ndarray) -> None:
+        """Index an item by camera location and feature vector."""
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if vector.shape[0] != self.dimension:
+            raise IndexError_(
+                f"expected {self.dimension}-D vector, got {vector.shape[0]}-D"
+            )
+        box = BoundingBox(point.lat, point.lng, point.lat, point.lng)
+        split = self._insert(self._root, (box, vector, item))
+        if split is not None:
+            old_root = self._root
+            self._root = _VNode(leaf=False)
+            self._root.entries = [old_root, split]
+            self._root.refresh()
+        self._size += 1
+
+    def _insert(self, node: _VNode, entry: tuple) -> "_VNode | None":
+        if node.leaf:
+            node.entries.append(entry)
+            node.refresh()
+            if len(node.entries) > self.max_entries:
+                return self._split(node)
+            return None
+        box = entry[0]
+        best, best_key = None, None
+        for child in node.entries:
+            union = child.box.union(box)
+            key = (union.area - child.box.area, child.box.area)
+            if best_key is None or key < best_key:
+                best_key, best = key, child
+        split = self._insert(best, entry)
+        if split is not None:
+            node.entries.append(split)
+        node.refresh()
+        if len(node.entries) > self.max_entries:
+            return self._split(node)
+        return None
+
+    def _split(self, node: _VNode) -> "_VNode":
+        boxes = [e[0] if node.leaf else e.box for e in node.entries]
+        worst, seeds = -1.0, (0, 1)
+        for i, j in itertools.combinations(range(len(boxes)), 2):
+            union = boxes[i].union(boxes[j])
+            waste = union.area - boxes[i].area - boxes[j].area
+            if waste > worst:
+                worst, seeds = waste, (i, j)
+        group1 = [node.entries[seeds[0]]]
+        group2 = [node.entries[seeds[1]]]
+        box1, box2 = boxes[seeds[0]], boxes[seeds[1]]
+        rest = [e for idx, e in enumerate(node.entries) if idx not in seeds]
+        for entry in rest:
+            box = entry[0] if node.leaf else entry.box
+            grow1 = box1.union(box).area - box1.area
+            grow2 = box2.union(box).area - box2.area
+            if len(group1) + (len(rest)) == self.min_entries or grow1 <= grow2:
+                group1.append(entry)
+                box1 = box1.union(box)
+            else:
+                group2.append(entry)
+                box2 = box2.union(box)
+        node.entries = group1
+        node.refresh()
+        sibling = _VNode(leaf=node.leaf)
+        sibling.entries = group2
+        sibling.refresh()
+        return sibling
+
+    # -- queries ------------------------------------------------------------
+
+    def spatial_visual_knn(
+        self, region: BoundingBox, vector: np.ndarray, k: int
+    ) -> list[tuple[object, float]]:
+        """Top-``k`` most visually similar items *within* ``region``.
+
+        Best-first search on the visual lower bound
+        ``max(0, |q - centroid| - radius)``, with spatial pruning at
+        every node.  Returns ``(item, feature_distance)`` ascending.
+        """
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if vector.shape[0] != self.dimension:
+            raise IndexError_(
+                f"expected {self.dimension}-D vector, got {vector.shape[0]}-D"
+            )
+        counter = itertools.count()
+        heap: list[tuple[float, int, object, bool]] = []
+        if self._root.box is not None:
+            heap.append((0.0, next(counter), self._root, False))
+        results: list[tuple[object, float]] = []
+        while heap and len(results) < k:
+            bound, _, payload, is_entry = heapq.heappop(heap)
+            if is_entry:
+                box, _, item = payload
+                results.append((item, bound))
+                continue
+            node = payload
+            if node.box is None or not node.box.intersects(region):
+                continue
+            if node.leaf:
+                for box, stored, item in node.entries:
+                    if not box.intersects(region):
+                        continue
+                    distance = float(np.linalg.norm(stored - vector))
+                    heapq.heappush(
+                        heap, (distance, next(counter), (box, stored, item), True)
+                    )
+            else:
+                for child in node.entries:
+                    if child.box is None or not child.box.intersects(region):
+                        continue
+                    lower = max(
+                        0.0, float(np.linalg.norm(child.centroid - vector)) - child.radius
+                    )
+                    heapq.heappush(heap, (lower, next(counter), child, False))
+        return results
+
+    def linear_spatial_visual_knn(
+        self, region: BoundingBox, vector: np.ndarray, k: int
+    ) -> list[tuple[object, float]]:
+        """Exact baseline: scan everything, filter by region, sort by
+        feature distance (used by the ablation bench)."""
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        out = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                for box, stored, item in node.entries:
+                    if box.intersects(region):
+                        out.append((item, float(np.linalg.norm(stored - vector))))
+            else:
+                stack.extend(node.entries)
+        out.sort(key=lambda pair: (pair[1], str(pair[0])))
+        return out[:k]

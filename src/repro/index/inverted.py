@@ -1,0 +1,96 @@
+"""Inverted index with tf-idf ranking for textual queries.
+
+Zobel & Moffat-style inverted files (paper ref. [27]) over the manual
+keywords and descriptions attached to images.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+
+from repro.errors import IndexError_
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Words too common to carry signal in short keyword strings.
+STOPWORDS = frozenset(
+    "a an and are as at be by for from has in is it of on or the to with".split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase alphanumeric tokens minus stopwords."""
+    return [t for t in _TOKEN_RE.findall(text.lower()) if t not in STOPWORDS]
+
+
+class InvertedIndex:
+    """Document index mapping terms to posting lists with tf counts."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[object, int]] = {}
+        self._doc_lengths: dict[object, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._doc_lengths)
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._doc_lengths
+
+    def add(self, doc_id: object, text: str) -> None:
+        """Index a document; adding the same id again extends it."""
+        tokens = tokenize(text)
+        self._doc_lengths[doc_id] = self._doc_lengths.get(doc_id, 0) + len(tokens)
+        for term, count in Counter(tokens).items():
+            bucket = self._postings.setdefault(term, {})
+            bucket[doc_id] = bucket.get(doc_id, 0) + count
+
+    def remove(self, doc_id: object) -> None:
+        """Drop a document from every posting list."""
+        if doc_id not in self._doc_lengths:
+            raise IndexError_(f"document {doc_id!r} not indexed")
+        del self._doc_lengths[doc_id]
+        empty_terms = []
+        for term, bucket in self._postings.items():
+            bucket.pop(doc_id, None)
+            if not bucket:
+                empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+
+    def _idf(self, term: str) -> float:
+        df = len(self._postings.get(term, ()))
+        if df == 0:
+            return 0.0
+        return math.log(1.0 + len(self._doc_lengths) / df)
+
+    # -- queries ------------------------------------------------------------
+
+    def search_any(self, query: str) -> list[tuple[object, float]]:
+        """Documents matching *any* query term, tf-idf ranked."""
+        scores: dict[object, float] = {}
+        for term in set(tokenize(query)):
+            idf = self._idf(term)
+            for doc_id, tf in self._postings.get(term, {}).items():
+                length = max(self._doc_lengths[doc_id], 1)
+                scores[doc_id] = scores.get(doc_id, 0.0) + (tf / length) * idf
+        return sorted(scores.items(), key=lambda pair: (-pair[1], str(pair[0])))
+
+    def search_all(self, query: str) -> list[tuple[object, float]]:
+        """Documents matching *every* query term (conjunctive), ranked."""
+        terms = set(tokenize(query))
+        if not terms:
+            return []
+        candidate_sets = [set(self._postings.get(term, {})) for term in terms]
+        common = set.intersection(*candidate_sets) if candidate_sets else set()
+        ranked = [
+            (doc_id, score)
+            for doc_id, score in self.search_any(query)
+            if doc_id in common
+        ]
+        return ranked
+
+    def vocabulary(self) -> list[str]:
+        """Sorted indexed terms."""
+        return sorted(self._postings)

@@ -1,0 +1,148 @@
+"""Locality-sensitive hashing for visual similarity search.
+
+p-stable LSH (Datar et al., SoCG 2004 — the paper's ref. [26]): each of
+``n_tables`` hash tables applies ``n_projections`` random Gaussian
+projections quantised with bucket width ``w``; near vectors collide
+with high probability.  Used for the platform's visual queries
+("retrieve top-k similar images to the example image or all similar
+images using a similarity threshold").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+
+class LSHIndex:
+    """Euclidean LSH over fixed-dimension feature vectors."""
+
+    def __init__(
+        self,
+        dimension: int,
+        n_tables: int = 8,
+        n_projections: int = 12,
+        bucket_width: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if dimension < 1:
+            raise IndexError_(f"dimension must be >= 1, got {dimension}")
+        if n_tables < 1 or n_projections < 1:
+            raise IndexError_("n_tables and n_projections must be >= 1")
+        if bucket_width <= 0:
+            raise IndexError_(f"bucket_width must be positive, got {bucket_width}")
+        self.dimension = dimension
+        self.n_tables = n_tables
+        self.n_projections = n_projections
+        self.bucket_width = bucket_width
+        rng = np.random.default_rng(seed)
+        self._projections = rng.normal(0.0, 1.0, (n_tables, n_projections, dimension))
+        self._offsets = rng.uniform(0.0, bucket_width, (n_tables, n_projections))
+        self._tables: list[dict[tuple, list[object]]] = [{} for _ in range(n_tables)]
+        self._vectors: dict[object, np.ndarray] = {}
+        # Dense mirrors of the vector store for vectorised ranking; the
+        # stacked matrix is cached and invalidated on insert.
+        self._items: list[object] = []
+        self._matrix_rows: list[np.ndarray] = []
+        self._row_of: dict[object, int] = {}
+        self._matrix_cache: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def _check_vector(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if vector.shape[0] != self.dimension:
+            raise IndexError_(
+                f"expected {self.dimension}-D vector, got {vector.shape[0]}-D"
+            )
+        return vector
+
+    def _keys(self, vector: np.ndarray) -> list[tuple]:
+        # (tables, projections) bucket ids in one shot.
+        buckets = np.floor(
+            (self._projections @ vector + self._offsets) / self.bucket_width
+        ).astype(np.int64)
+        return [tuple(row) for row in buckets]
+
+    # -- mutations ----------------------------------------------------------
+
+    def insert(self, item: object, vector: np.ndarray) -> None:
+        """Index a feature vector under an opaque item id."""
+        if item in self._vectors:
+            raise IndexError_(f"item {item!r} already indexed")
+        vector = self._check_vector(vector)
+        self._vectors[item] = vector
+        self._row_of[item] = len(self._items)
+        self._items.append(item)
+        self._matrix_rows.append(vector)
+        self._matrix_cache = None
+        for table, key in zip(self._tables, self._keys(vector)):
+            table.setdefault(key, []).append(item)
+
+    # -- queries ------------------------------------------------------------
+
+    def _candidates(self, vector: np.ndarray) -> set[object]:
+        found: set[object] = set()
+        for table, key in zip(self._tables, self._keys(vector)):
+            found.update(table.get(key, ()))
+        return found
+
+    def query_topk(
+        self, vector: np.ndarray, k: int, exhaustive_fallback: bool = True
+    ) -> list[tuple[object, float]]:
+        """Top-``k`` nearest items by true L2 distance among hash
+        candidates, ``(item, distance)`` sorted ascending.
+
+        When the candidate set is smaller than ``k`` and
+        ``exhaustive_fallback`` is set, falls back to a linear scan so
+        recall never silently collapses (the platform prefers a slower
+        exact answer over a wrong one).
+        """
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        vector = self._check_vector(vector)
+        candidates = self._candidates(vector)
+        if exhaustive_fallback and len(candidates) < k:
+            return self.linear_topk(vector, k)
+        return self._rank(list(candidates), vector, k)
+
+    def _rank(
+        self, items: list[object], vector: np.ndarray, k: int | None
+    ) -> list[tuple[object, float]]:
+        """Vectorised exact ranking of ``items`` by distance to ``vector``."""
+        if not items:
+            return []
+        rows = np.array([self._row_of[item] for item in items])
+        matrix = self._dense_matrix()[rows]
+        distances = np.linalg.norm(matrix - vector, axis=1)
+        order = np.argsort(distances, kind="stable")
+        if k is not None:
+            order = order[:k]
+        return [(items[int(i)], float(distances[int(i)])) for i in order]
+
+    def query_radius(self, vector: np.ndarray, radius: float) -> list[tuple[object, float]]:
+        """All hash candidates within true distance ``radius``."""
+        if radius < 0:
+            raise IndexError_(f"radius must be >= 0, got {radius}")
+        vector = self._check_vector(vector)
+        ranked = self._rank(list(self._candidates(vector)), vector, k=None)
+        return [(item, d) for item, d in ranked if d <= radius]
+
+    def linear_topk(self, vector: np.ndarray, k: int) -> list[tuple[object, float]]:
+        """Exact brute-force top-k — the baseline the LSH ablation bench
+        compares against."""
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        vector = self._check_vector(vector)
+        if not self._items:
+            return []
+        distances = np.linalg.norm(self._dense_matrix() - vector, axis=1)
+        order = np.argsort(distances, kind="stable")[:k]
+        return [(self._items[int(i)], float(distances[int(i)])) for i in order]
+
+    def _dense_matrix(self) -> np.ndarray:
+        if self._matrix_cache is None:
+            self._matrix_cache = np.vstack(self._matrix_rows)
+        return self._matrix_cache

@@ -1,0 +1,73 @@
+"""Machine-learning substrate: classifiers, clustering, metrics, CV.
+
+Everything here is implemented from scratch on NumPy — the paper used
+scikit-learn, which is unavailable in this environment, so these are
+faithful stand-ins with the same interfaces.
+"""
+
+from repro.ml.base import Classifier, check_fitted, check_X, check_X_y, unique_labels
+from repro.ml.preprocessing import (
+    LabelEncoder,
+    MinMaxScaler,
+    StandardScaler,
+    l2_normalize,
+)
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    macro_precision_recall,
+    precision_recall_f1,
+    roc_auc,
+)
+from repro.ml.model_selection import (
+    KFold,
+    StratifiedKFold,
+    cross_val_predict,
+    cross_val_score,
+    train_test_split,
+)
+from repro.ml.linear import LogisticRegression, softmax
+from repro.ml.svm import LinearSVM
+from repro.ml.knn import KNeighborsClassifier, pairwise_sq_distances
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.boosting import AdaBoostClassifier
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.kmeans import KMeans
+from repro.ml.dbscan import DBSCAN, NOISE
+
+__all__ = [
+    "Classifier",
+    "check_X",
+    "check_X_y",
+    "check_fitted",
+    "unique_labels",
+    "StandardScaler",
+    "MinMaxScaler",
+    "LabelEncoder",
+    "l2_normalize",
+    "accuracy",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "f1_score",
+    "macro_precision_recall",
+    "roc_auc",
+    "train_test_split",
+    "KFold",
+    "StratifiedKFold",
+    "cross_val_score",
+    "cross_val_predict",
+    "LogisticRegression",
+    "softmax",
+    "LinearSVM",
+    "KNeighborsClassifier",
+    "pairwise_sq_distances",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "AdaBoostClassifier",
+    "GaussianNB",
+    "KMeans",
+    "DBSCAN",
+    "NOISE",
+]

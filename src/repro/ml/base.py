@@ -1,0 +1,66 @@
+"""Estimator protocol and shared input validation.
+
+All classifiers follow the familiar ``fit(X, y)`` / ``predict(X)``
+interface so the platform's Analysis service (and the paper's Fig. 6
+grid of classifiers) can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import MLError, NotFittedError
+
+
+@runtime_checkable
+class Classifier(Protocol):
+    """Structural type implemented by every classifier in ``repro.ml``."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Train on features ``X`` (n, d) and integer labels ``y`` (n,)."""
+        ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict integer labels for ``X`` (n, d)."""
+        ...
+
+
+def check_X(X: np.ndarray, name: str = "X") -> np.ndarray:
+    """Validate a 2-D float feature matrix."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise MLError(f"{name} must be 2-D (n_samples, n_features), got ndim={X.ndim}")
+    if X.shape[0] == 0:
+        raise MLError(f"{name} has zero samples")
+    if not np.isfinite(X).all():
+        raise MLError(f"{name} contains NaN or infinite values")
+    return X
+
+
+def check_X_y(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix and its label vector together."""
+    X = check_X(X)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise MLError(f"y must be 1-D, got ndim={y.ndim}")
+    if y.shape[0] != X.shape[0]:
+        raise MLError(f"X has {X.shape[0]} samples but y has {y.shape[0]}")
+    return X, y
+
+
+def check_fitted(estimator: object, attribute: str) -> None:
+    """Raise :class:`NotFittedError` when ``attribute`` is missing/None."""
+    if getattr(estimator, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(estimator).__name__} must be fitted before use"
+        )
+
+
+def unique_labels(y: np.ndarray) -> np.ndarray:
+    """Sorted unique labels, validated to be at least two classes."""
+    classes = np.unique(y)
+    if classes.shape[0] < 2:
+        raise MLError(f"need at least 2 classes to train, got {classes.shape[0]}")
+    return classes

@@ -1,0 +1,70 @@
+"""DBSCAN density clustering.
+
+The translational use case (paper Fig. 9 discussion) clusters homeless
+tent locations; DBSCAN is the natural choice because the number of
+encampment clusters is unknown and isolated tents should be noise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import check_X
+from repro.ml.knn import pairwise_sq_distances
+
+#: Label assigned to noise points.
+NOISE = -1
+
+
+class DBSCAN:
+    """Classic DBSCAN over Euclidean distance.
+
+    Parameters
+    ----------
+    eps:
+        Neighbourhood radius.
+    min_samples:
+        Minimum neighbourhood size (including the point itself) for a
+        core point.
+    """
+
+    def __init__(self, eps: float, min_samples: int = 4) -> None:
+        if eps <= 0:
+            raise MLError(f"eps must be positive, got {eps}")
+        if min_samples < 1:
+            raise MLError(f"min_samples must be >= 1, got {min_samples}")
+        self.eps = eps
+        self.min_samples = min_samples
+        self.labels_: np.ndarray | None = None
+        self.n_clusters_: int | None = None
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        """Cluster labels per row; ``-1`` marks noise."""
+        X = check_X(X)
+        n = X.shape[0]
+        d2 = pairwise_sq_distances(X, X)
+        eps2 = self.eps * self.eps
+        neighbors = [np.flatnonzero(d2[i] <= eps2) for i in range(n)]
+        is_core = np.array([len(nb) >= self.min_samples for nb in neighbors])
+
+        labels = np.full(n, NOISE, dtype=np.int64)
+        cluster = 0
+        for seed in range(n):
+            if labels[seed] != NOISE or not is_core[seed]:
+                continue
+            # Breadth-first expansion from the core seed.
+            labels[seed] = cluster
+            queue = deque(neighbors[seed].tolist())
+            while queue:
+                point = queue.popleft()
+                if labels[point] == NOISE:
+                    labels[point] = cluster
+                    if is_core[point]:
+                        queue.extend(neighbors[point].tolist())
+            cluster += 1
+        self.labels_ = labels
+        self.n_clusters_ = cluster
+        return labels

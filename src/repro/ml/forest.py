@@ -1,0 +1,67 @@
+"""Random forest: bagged CART trees over random feature subspaces."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import check_fitted, check_X, check_X_y
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Majority vote over ``n_trees`` bootstrap-trained decision trees.
+
+    ``max_features=None`` defaults to ``sqrt(d)`` per split, the
+    standard forest heuristic.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 25,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_trees < 1:
+            raise MLError(f"n_trees must be >= 1, got {n_trees}")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.classes_: np.ndarray | None = None
+        self._trees: list[DecisionTreeClassifier] | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        rng = np.random.default_rng(self.seed)
+        n, d = X.shape
+        features = self.max_features or max(1, int(math.sqrt(d)))
+        self._trees = []
+        for t in range(self.n_trees):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=features,
+                seed=self.seed + 1000 + t,
+            )
+            tree.fit(X[sample], y[sample])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "_trees")
+        X = check_X(X)
+        class_index = {label: i for i, label in enumerate(self.classes_.tolist())}
+        votes = np.zeros((X.shape[0], self.classes_.shape[0]), dtype=np.int64)
+        for tree in self._trees:
+            predictions = tree.predict(X)
+            for label, col in class_index.items():
+                votes[:, col] += predictions == label
+        return self.classes_[votes.argmax(axis=1)]

@@ -1,0 +1,97 @@
+"""k-means clustering with k-means++ seeding.
+
+Used by the SIFT-BoW pipeline to build the 1000-word visual dictionary
+("SIFT key points were ... clustered into 1000 clusters (using
+kMeans)") and by the homeless-tent spatial clustering study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import check_fitted, check_X
+from repro.ml.knn import pairwise_sq_distances
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialisation.
+
+    Empty clusters are re-seeded from the point farthest from its
+    centroid, so the final codebook always has ``k`` distinct words.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise MLError(f"k must be >= 1, got {k}")
+        if max_iter < 1:
+            raise MLError(f"max_iter must be >= 1, got {max_iter}")
+        self.k = k
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centroids_: np.ndarray | None = None
+        self.inertia_: float | None = None
+        self.n_iter_: int | None = None
+
+    def _init_centroids(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++: spread initial centroids proportional to squared
+        distance from the ones already chosen."""
+        n = X.shape[0]
+        centroids = np.empty((self.k, X.shape[1]))
+        centroids[0] = X[rng.integers(n)]
+        d2 = pairwise_sq_distances(X, centroids[:1]).ravel()
+        for i in range(1, self.k):
+            total = d2.sum()
+            if total <= 0:
+                centroids[i] = X[rng.integers(n)]
+            else:
+                centroids[i] = X[rng.choice(n, p=d2 / total)]
+            d2 = np.minimum(d2, pairwise_sq_distances(X, centroids[i : i + 1]).ravel())
+        return centroids
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        X = check_X(X)
+        if X.shape[0] < self.k:
+            raise MLError(f"cannot fit k={self.k} clusters on {X.shape[0]} points")
+        rng = np.random.default_rng(self.seed)
+        centroids = self._init_centroids(X, rng)
+        for iteration in range(self.max_iter):
+            d2 = pairwise_sq_distances(X, centroids)
+            assignment = d2.argmin(axis=1)
+            new_centroids = centroids.copy()
+            for cluster in range(self.k):
+                members = X[assignment == cluster]
+                if members.shape[0] == 0:
+                    farthest = d2[np.arange(X.shape[0]), assignment].argmax()
+                    new_centroids[cluster] = X[farthest]
+                else:
+                    new_centroids[cluster] = members.mean(axis=0)
+            shift = float(np.abs(new_centroids - centroids).max())
+            centroids = new_centroids
+            if shift < self.tol:
+                break
+        self.centroids_ = centroids
+        d2 = pairwise_sq_distances(X, centroids)
+        self.inertia_ = float(d2.min(axis=1).sum())
+        self.n_iter_ = iteration + 1
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Index of the nearest centroid per row."""
+        check_fitted(self, "centroids_")
+        X = check_X(X)
+        if X.shape[1] != self.centroids_.shape[1]:
+            raise MLError(
+                f"expected {self.centroids_.shape[1]} features, got {X.shape[1]}"
+            )
+        return pairwise_sq_distances(X, self.centroids_).argmin(axis=1)
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).predict(X)

@@ -1,0 +1,69 @@
+"""k-nearest-neighbour classifier (brute force, chunked distances)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import check_fitted, check_X, check_X_y
+
+
+def pairwise_sq_distances(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, shape (len(A), len(B)).
+
+    Uses the expansion ``|a-b|^2 = |a|^2 - 2ab + |b|^2`` with a clip at
+    zero to absorb floating-point negatives.
+    """
+    a2 = (A * A).sum(axis=1)[:, None]
+    b2 = (B * B).sum(axis=1)[None, :]
+    d2 = a2 - 2.0 * (A @ B.T) + b2
+    return np.maximum(d2, 0.0)
+
+
+class KNeighborsClassifier:
+    """Majority vote over the ``k`` nearest training samples.
+
+    Ties are broken toward the nearest class (distance-weighted vote
+    with weight ``1/(d + eps)``), which also makes small-k behaviour
+    stable on dense clusters.
+    """
+
+    def __init__(self, k: int = 5, chunk_size: int = 512) -> None:
+        if k < 1:
+            raise MLError(f"k must be >= 1, got {k}")
+        if chunk_size < 1:
+            raise MLError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.k = k
+        self.chunk_size = chunk_size
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X, y = check_X_y(X, y)
+        self._X = X
+        self._y = y
+        self.classes_ = np.unique(y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "_X")
+        X = check_X(X)
+        if X.shape[1] != self._X.shape[1]:
+            raise MLError(f"expected {self._X.shape[1]} features, got {X.shape[1]}")
+        k = min(self.k, self._X.shape[0])
+        class_index = {label: i for i, label in enumerate(self.classes_.tolist())}
+        predictions = np.empty(X.shape[0], dtype=self._y.dtype)
+        for start in range(0, X.shape[0], self.chunk_size):
+            chunk = X[start : start + self.chunk_size]
+            d2 = pairwise_sq_distances(chunk, self._X)
+            nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            votes = np.zeros((chunk.shape[0], len(class_index)))
+            rows = np.arange(chunk.shape[0])[:, None]
+            weights = 1.0 / (np.sqrt(d2[rows, nearest]) + 1e-9)
+            for label, col in class_index.items():
+                votes[:, col] = (weights * (self._y[nearest] == label)).sum(axis=1)
+            predictions[start : start + chunk.shape[0]] = self.classes_[
+                votes.argmax(axis=1)
+            ]
+        return predictions

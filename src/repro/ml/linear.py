@@ -1,0 +1,94 @@
+"""Multinomial logistic regression (softmax) trained by mini-batch SGD.
+
+One of the classifier columns of the paper's Fig. 6 grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import check_fitted, check_X, check_X_y, unique_labels
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the max-subtraction stability trick."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression:
+    """Softmax regression with L2 regularisation.
+
+    Parameters
+    ----------
+    learning_rate:
+        SGD step size (decayed as ``1/sqrt(epoch)``).
+    epochs:
+        Full passes over the training set.
+    l2:
+        L2 penalty strength on the weights (not the bias).
+    batch_size:
+        Mini-batch size; clipped to the training-set size.
+    seed:
+        RNG seed for shuffling and init.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        epochs: int = 60,
+        l2: float = 1e-4,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if learning_rate <= 0 or epochs < 1 or l2 < 0 or batch_size < 1:
+            raise MLError("invalid LogisticRegression hyper-parameters")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.batch_size = batch_size
+        self.seed = seed
+        self.classes_: np.ndarray | None = None
+        self.weights_: np.ndarray | None = None
+        self.bias_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X, y = check_X_y(X, y)
+        self.classes_ = unique_labels(y)
+        class_index = {label: i for i, label in enumerate(self.classes_.tolist())}
+        targets = np.array([class_index[label] for label in y.tolist()])
+        n, d = X.shape
+        k = self.classes_.shape[0]
+        rng = np.random.default_rng(self.seed)
+        self.weights_ = rng.normal(0.0, 0.01, (d, k))
+        self.bias_ = np.zeros(k)
+        onehot = np.eye(k)[targets]
+        batch = min(self.batch_size, n)
+        for epoch in range(self.epochs):
+            lr = self.learning_rate / np.sqrt(1.0 + epoch)
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                logits = X[idx] @ self.weights_ + self.bias_
+                probs = softmax(logits)
+                error = (probs - onehot[idx]) / idx.shape[0]
+                grad_w = X[idx].T @ error + self.l2 * self.weights_
+                self.weights_ -= lr * grad_w
+                self.bias_ -= lr * error.sum(axis=0)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability matrix (n, k) ordered like ``classes_``."""
+        check_fitted(self, "weights_")
+        X = check_X(X)
+        if X.shape[1] != self.weights_.shape[0]:
+            raise MLError(
+                f"expected {self.weights_.shape[0]} features, got {X.shape[1]}"
+            )
+        return softmax(X @ self.weights_ + self.bias_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        return self.classes_[self.predict_proba(X).argmax(axis=1)]

@@ -1,0 +1,135 @@
+"""Classification metrics: confusion matrix, precision/recall/F1.
+
+Fig. 6 and Fig. 7 of the paper report F1 scores, so these are the
+primary evaluation currency of the reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+
+
+def _check_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise MLError(
+            f"y_true {y_true.shape} and y_pred {y_pred.shape} must be equal-length 1-D"
+        )
+    if y_true.shape[0] == 0:
+        raise MLError("cannot score zero samples")
+    return y_true, y_pred
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: list | None = None
+) -> tuple[np.ndarray, list]:
+    """Confusion matrix ``C[i, j]`` = count of true label ``labels[i]``
+    predicted as ``labels[j]``.  Returns ``(matrix, labels)``."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = sorted(set(y_true.tolist()) | set(y_pred.tolist()), key=str)
+    index = {label: i for i, label in enumerate(labels)}
+    k = len(labels)
+    matrix = np.zeros((k, k), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        if t not in index or p not in index:
+            raise MLError(f"label {t!r} or {p!r} missing from provided labels")
+        matrix[index[t], index[p]] += 1
+    return matrix, list(labels)
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: list | None = None
+) -> dict[object, tuple[float, float, float]]:
+    """Per-class ``(precision, recall, f1)``.
+
+    Classes with no predicted (or no true) samples score zero on the
+    undefined component, matching the conservative convention.
+    """
+    matrix, labels = confusion_matrix(y_true, y_pred, labels)
+    out: dict[object, tuple[float, float, float]] = {}
+    for i, label in enumerate(labels):
+        tp = float(matrix[i, i])
+        fp = float(matrix[:, i].sum() - tp)
+        fn = float(matrix[i, :].sum() - tp)
+        precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+        recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+        f1 = (
+            2.0 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        out[label] = (precision, recall, f1)
+    return out
+
+
+def f1_score(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    average: str = "macro",
+    labels: list | None = None,
+) -> float:
+    """F1 with ``macro``, ``micro``, or ``weighted`` averaging."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if average == "micro":
+        # Micro F1 over all classes equals accuracy for single-label tasks.
+        return accuracy(y_true, y_pred)
+    per_class = precision_recall_f1(y_true, y_pred, labels)
+    f1s = np.array([scores[2] for scores in per_class.values()])
+    if average == "macro":
+        return float(f1s.mean())
+    if average == "weighted":
+        class_labels = list(per_class.keys())
+        counts = np.array([np.sum(y_true == label) for label in class_labels], dtype=float)
+        total = counts.sum()
+        if total == 0:
+            return 0.0
+        return float((f1s * counts).sum() / total)
+    raise MLError(f"unknown average {average!r}; use macro, micro, or weighted")
+
+
+def macro_precision_recall(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[float, float]:
+    """Macro-averaged ``(precision, recall)``."""
+    per_class = precision_recall_f1(y_true, y_pred)
+    ps = [s[0] for s in per_class.values()]
+    rs = [s[1] for s in per_class.values()]
+    return float(np.mean(ps)), float(np.mean(rs))
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve for a binary problem.
+
+    ``y_true`` holds 0/1 (or False/True) labels; ``scores`` are any
+    monotone confidence values for the positive class.  Computed via the
+    rank-sum (Mann-Whitney) identity with midrank tie handling.
+    """
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape or y_true.ndim != 1:
+        raise MLError("y_true and scores must be equal-length 1-D arrays")
+    positives = y_true.astype(bool)
+    n_pos = int(positives.sum())
+    n_neg = int((~positives).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise MLError("roc_auc needs both positive and negative samples")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(scores)
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0  # midranks, 1-based
+        i = j + 1
+    rank_sum = float(ranks[positives].sum())
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)

@@ -1,0 +1,153 @@
+"""Train/test splitting and k-fold cross-validation.
+
+The paper trains every classifier "on 80% of the dataset using 10-fold
+cross-validation"; :func:`train_test_split` and :class:`StratifiedKFold`
+reproduce that protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import check_X_y
+from repro.ml.metrics import f1_score
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    stratify: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle-split into ``(X_train, X_test, y_train, y_test)``.
+
+    ``stratify=True`` preserves per-class proportions, which matters for
+    the imbalanced street-cleanliness labels.
+    """
+    X, y = check_X_y(X, y)
+    if not (0.0 < test_fraction < 1.0):
+        raise MLError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    n = X.shape[0]
+    if stratify:
+        test_idx: list[int] = []
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            rng.shuffle(members)
+            n_test = int(round(len(members) * test_fraction))
+            n_test = min(max(n_test, 1 if len(members) > 1 else 0), len(members) - 1)
+            test_idx.extend(members[:n_test].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[test_idx] = True
+    else:
+        order = rng.permutation(n)
+        n_test = max(1, int(round(n * test_fraction)))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[order[:n_test]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+class KFold:
+    """Plain k-fold splitter over shuffled indices."""
+
+    def __init__(self, n_splits: int = 10, seed: int = 0) -> None:
+        if n_splits < 2:
+            raise MLError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` per fold."""
+        if n_samples < self.n_splits:
+            raise MLError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n_samples)
+        folds = np.array_split(order, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+class StratifiedKFold:
+    """K-fold that preserves class proportions in every fold."""
+
+    def __init__(self, n_splits: int = 10, seed: int = 0) -> None:
+        if n_splits < 2:
+            raise MLError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def split(self, y: np.ndarray) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` per fold, stratified
+        on the label vector ``y``."""
+        y = np.asarray(y)
+        if y.ndim != 1:
+            raise MLError("y must be 1-D")
+        rng = np.random.default_rng(self.seed)
+        fold_members: list[list[int]] = [[] for _ in range(self.n_splits)]
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            if len(members) < self.n_splits:
+                raise MLError(
+                    f"class {label!r} has {len(members)} samples, fewer than "
+                    f"{self.n_splits} folds"
+                )
+            rng.shuffle(members)
+            for i, chunk in enumerate(np.array_split(members, self.n_splits)):
+                fold_members[i].extend(chunk.tolist())
+        all_idx = np.arange(y.shape[0])
+        for i in range(self.n_splits):
+            test = np.array(sorted(fold_members[i]), dtype=np.int64)
+            mask = np.ones(y.shape[0], dtype=bool)
+            mask[test] = False
+            yield all_idx[mask], test
+
+
+def cross_val_score(
+    make_classifier: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 10,
+    seed: int = 0,
+    metric: Callable[[np.ndarray, np.ndarray], float] | None = None,
+) -> np.ndarray:
+    """Per-fold scores of a freshly constructed classifier.
+
+    ``make_classifier`` is a zero-arg factory so each fold trains an
+    independent model.  The default metric is macro F1 — the score the
+    paper reports.
+    """
+    X, y = check_X_y(X, y)
+    if metric is None:
+        metric = lambda t, p: f1_score(t, p, average="macro")
+    scores = []
+    for train_idx, test_idx in StratifiedKFold(n_splits, seed).split(y):
+        model = make_classifier()
+        model.fit(X[train_idx], y[train_idx])
+        predictions = model.predict(X[test_idx])
+        scores.append(metric(y[test_idx], predictions))
+    return np.array(scores)
+
+
+def cross_val_predict(
+    make_classifier: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 10,
+    seed: int = 0,
+) -> np.ndarray:
+    """Out-of-fold predictions for every sample (for per-class F1)."""
+    X, y = check_X_y(X, y)
+    predictions = np.empty_like(y)
+    for train_idx, test_idx in StratifiedKFold(n_splits, seed).split(y):
+        model = make_classifier()
+        model.fit(X[train_idx], y[train_idx])
+        predictions[test_idx] = model.predict(X[test_idx])
+    return predictions

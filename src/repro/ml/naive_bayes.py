@@ -1,0 +1,71 @@
+"""Gaussian naive Bayes classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import check_fitted, check_X, check_X_y, unique_labels
+
+
+class GaussianNB:
+    """Per-class independent Gaussians with variance smoothing.
+
+    ``var_smoothing`` adds a fraction of the largest feature variance
+    to every variance, preventing degenerate zero-variance features
+    (common in sparse BoW vectors) from dominating the log-likelihood.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing < 0:
+            raise MLError(f"var_smoothing must be >= 0, got {var_smoothing}")
+        self.var_smoothing = var_smoothing
+        self.classes_: np.ndarray | None = None
+        self.theta_: np.ndarray | None = None  # (k, d) means
+        self.var_: np.ndarray | None = None  # (k, d) variances
+        self.priors_: np.ndarray | None = None  # (k,) log priors
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNB":
+        X, y = check_X_y(X, y)
+        self.classes_ = unique_labels(y)
+        k, d = self.classes_.shape[0], X.shape[1]
+        self.theta_ = np.zeros((k, d))
+        self.var_ = np.zeros((k, d))
+        counts = np.zeros(k)
+        for i, label in enumerate(self.classes_.tolist()):
+            members = X[y == label]
+            counts[i] = members.shape[0]
+            self.theta_[i] = members.mean(axis=0)
+            self.var_[i] = members.var(axis=0)
+        epsilon = self.var_smoothing * max(float(X.var(axis=0).max()), 1e-12)
+        self.var_ += epsilon + 1e-12
+        self.priors_ = np.log(counts / counts.sum())
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "theta_")
+        X = check_X(X)
+        if X.shape[1] != self.theta_.shape[1]:
+            raise MLError(
+                f"expected {self.theta_.shape[1]} features, got {X.shape[1]}"
+            )
+        jll = np.empty((X.shape[0], self.classes_.shape[0]))
+        for i in range(self.classes_.shape[0]):
+            diff = X - self.theta_[i]
+            log_prob = -0.5 * (
+                np.log(2.0 * np.pi * self.var_[i]).sum()
+                + ((diff * diff) / self.var_[i]).sum(axis=1)
+            )
+            jll[:, i] = self.priors_[i] + log_prob
+        return jll
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Maximum a-posteriori class per row."""
+        return self.classes_[self._joint_log_likelihood(X).argmax(axis=1)]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Posterior probabilities via normalised joint log-likelihood."""
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        probs = np.exp(jll)
+        return probs / probs.sum(axis=1, keepdims=True)

@@ -1,0 +1,106 @@
+"""Feature preprocessing: scaling, normalisation, label encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import check_fitted, check_X
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance scaling per feature.
+
+    Constant features get a unit denominator so they scale to zero
+    rather than dividing by zero.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = check_X(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "mean_")
+        X = check_X(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise MLError(
+                f"expected {self.mean_.shape[0]} features, got {X.shape[1]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class MinMaxScaler:
+    """Scale each feature into [0, 1] based on the training range."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = check_X(X)
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        self.range_ = np.where(span > 1e-12, span, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "min_")
+        X = check_X(X)
+        if X.shape[1] != self.min_.shape[0]:
+            raise MLError(f"expected {self.min_.shape[0]} features, got {X.shape[1]}")
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def l2_normalize(X: np.ndarray) -> np.ndarray:
+    """Row-wise L2 normalisation (zero rows left untouched)."""
+    X = check_X(X)
+    norms = np.linalg.norm(X, axis=1, keepdims=True)
+    return X / np.where(norms > 1e-12, norms, 1.0)
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to contiguous integers 0..k-1."""
+
+    def __init__(self) -> None:
+        self.classes_: list | None = None
+        self._index: dict | None = None
+
+    def fit(self, labels: list) -> "LabelEncoder":
+        if len(labels) == 0:
+            raise MLError("cannot fit LabelEncoder on an empty label list")
+        self.classes_ = sorted(set(labels), key=str)
+        self._index = {label: i for i, label in enumerate(self.classes_)}
+        return self
+
+    def transform(self, labels: list) -> np.ndarray:
+        check_fitted(self, "classes_")
+        try:
+            return np.array([self._index[label] for label in labels], dtype=np.int64)
+        except KeyError as exc:
+            raise MLError(f"unseen label during transform: {exc.args[0]!r}") from exc
+
+    def fit_transform(self, labels: list) -> np.ndarray:
+        return self.fit(labels).transform(labels)
+
+    def inverse_transform(self, indices: np.ndarray) -> list:
+        check_fitted(self, "classes_")
+        k = len(self.classes_)
+        out = []
+        for idx in np.asarray(indices, dtype=np.int64):
+            if not (0 <= idx < k):
+                raise MLError(f"index {idx} out of range for {k} classes")
+            out.append(self.classes_[idx])
+        return out

@@ -1,0 +1,160 @@
+"""CART decision-tree classifier (Gini impurity, binary splits).
+
+Split search is vectorised per feature: candidate thresholds are the
+midpoints between consecutive distinct sorted values, scored via
+cumulative class counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import check_fitted, check_X, check_X_y
+
+
+@dataclass
+class _Node:
+    """Internal tree node; leaves carry ``prediction`` instead of a split."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    prediction: int = -1
+    is_leaf: bool = False
+
+
+def _gini_from_counts(counts: np.ndarray, totals: np.ndarray) -> np.ndarray:
+    """Gini impurity for rows of class counts with matching totals."""
+    safe = np.where(totals > 0, totals, 1.0)
+    probs = counts / safe[:, None]
+    return 1.0 - (probs * probs).sum(axis=1)
+
+
+class DecisionTreeClassifier:
+    """CART with depth / leaf-size / feature-subsampling controls.
+
+    ``max_features`` enables the random-subspace behaviour random
+    forests need; ``None`` considers every feature at every split.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        min_samples_split: int = 4,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth < 1 or min_samples_leaf < 1 or min_samples_split < 2:
+            raise MLError("invalid DecisionTree hyper-parameters")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self.classes_: np.ndarray | None = None
+        self.n_features_: int | None = None
+        self._root: _Node | None = None
+        self._rng: np.random.Generator | None = None
+
+    # -- training ---------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_ = np.unique(y)
+        self.n_features_ = X.shape[1]
+        class_index = {label: i for i, label in enumerate(self.classes_.tolist())}
+        encoded = np.array([class_index[label] for label in y.tolist()])
+        self._rng = np.random.default_rng(self.seed)
+        self._root = self._build(X, encoded, depth=0)
+        return self
+
+    def _leaf(self, encoded: np.ndarray) -> _Node:
+        counts = np.bincount(encoded, minlength=self.classes_.shape[0])
+        return _Node(prediction=int(counts.argmax()), is_leaf=True)
+
+    def _build(self, X: np.ndarray, encoded: np.ndarray, depth: int) -> _Node:
+        n = X.shape[0]
+        if (
+            depth >= self.max_depth
+            or n < self.min_samples_split
+            or np.unique(encoded).shape[0] == 1
+        ):
+            return self._leaf(encoded)
+        feature, threshold = self._best_split(X, encoded)
+        if feature < 0:
+            return self._leaf(encoded)
+        mask = X[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return self._leaf(encoded)
+        return _Node(
+            feature=feature,
+            threshold=threshold,
+            left=self._build(X[mask], encoded[mask], depth + 1),
+            right=self._build(X[~mask], encoded[~mask], depth + 1),
+        )
+
+    def _best_split(self, X: np.ndarray, encoded: np.ndarray) -> tuple[int, float]:
+        n, d = X.shape
+        k = self.classes_.shape[0]
+        if self.max_features is not None and self.max_features < d:
+            features = self._rng.choice(d, size=self.max_features, replace=False)
+        else:
+            features = np.arange(d)
+        best_score = np.inf
+        best = (-1, 0.0)
+        onehot = np.eye(k)[encoded]
+        for feature in features:
+            values = X[:, feature]
+            order = np.argsort(values, kind="mergesort")
+            sorted_vals = values[order]
+            cum = onehot[order].cumsum(axis=0)
+            distinct = np.flatnonzero(np.diff(sorted_vals) > 1e-12)
+            if distinct.shape[0] == 0:
+                continue
+            left_counts = cum[distinct]
+            total = cum[-1]
+            right_counts = total - left_counts
+            left_totals = left_counts.sum(axis=1)
+            right_totals = right_counts.sum(axis=1)
+            score = (
+                left_totals * _gini_from_counts(left_counts, left_totals)
+                + right_totals * _gini_from_counts(right_counts, right_totals)
+            ) / n
+            idx = int(score.argmin())
+            if score[idx] < best_score:
+                best_score = float(score[idx])
+                position = distinct[idx]
+                threshold = (sorted_vals[position] + sorted_vals[position + 1]) / 2.0
+                best = (int(feature), float(threshold))
+        return best
+
+    # -- inference --------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, "_root")
+        X = check_X(X)
+        if X.shape[1] != self.n_features_:
+            raise MLError(f"expected {self.n_features_} features, got {X.shape[1]}")
+        out = np.empty(X.shape[0], dtype=np.int64)
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return self.classes_[out]
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (root = depth 0)."""
+        check_fitted(self, "_root")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

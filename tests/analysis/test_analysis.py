@@ -1,0 +1,177 @@
+"""Tests for the three application studies."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    best_cell,
+    build_feature_suite,
+    cluster_encampments,
+    compare_periods,
+    feature_matrices,
+    per_category_f1,
+    run_classifier_grid,
+    run_graffiti_study,
+    annotate_graffiti,
+)
+from repro.core import TVDP
+from repro.datasets import generate_lasan_dataset
+from repro.errors import TVDPError
+from repro.features import ColorHistogramExtractor
+from repro.imaging import CLEANLINESS_CLASSES
+from repro.ml import KNeighborsClassifier
+
+
+@pytest.fixture(scope="module")
+def records():
+    return generate_lasan_dataset(n_per_class=12, image_size=32, seed=0)
+
+
+@pytest.fixture(scope="module")
+def suite(records):
+    return build_feature_suite(records, bow_words=16, seed=0)
+
+
+@pytest.fixture(scope="module")
+def matrices(records, suite):
+    return feature_matrices(records, suite)
+
+
+class TestCleanlinessStudy:
+    def test_suite_has_paper_features(self, suite):
+        assert set(suite) == {"color_histogram", "sift_bow", "cnn"}
+
+    def test_matrices_shapes(self, records, matrices):
+        for name, (X, y) in matrices.items():
+            assert X.shape[0] == len(records)
+            assert y.shape[0] == len(records)
+        assert matrices["color_histogram"][0].shape[1] == 50
+        assert matrices["sift_bow"][0].shape[1] == 16
+
+    def test_grid_runs_and_orders_features(self, matrices):
+        # Small classifier set to keep the test quick.
+        classifiers = {
+            "knn": lambda: KNeighborsClassifier(k=5),
+        }
+        results = run_classifier_grid(matrices, classifiers, seed=0)
+        assert len(results) == 3
+        by_feature = {r.feature: r.f1 for r in results}
+        # CNN should beat the colour histogram even on a small corpus.
+        assert by_feature["cnn"] > by_feature["color_histogram"]
+
+    def test_best_cell(self, matrices):
+        classifiers = {"knn": lambda: KNeighborsClassifier(k=5)}
+        results = run_classifier_grid(matrices, classifiers, seed=0)
+        best = best_cell(results)
+        assert best.f1 == max(r.f1 for r in results)
+        with pytest.raises(TVDPError):
+            best_cell([])
+
+    def test_per_category_f1_covers_all_classes(self, matrices):
+        X, y = matrices["cnn"]
+        scores = per_category_f1(
+            X, y, lambda: KNeighborsClassifier(k=5), n_splits=4, seed=0
+        )
+        assert set(scores) == set(CLEANLINESS_CLASSES)
+        assert all(0.0 <= v <= 1.0 for v in scores.values())
+
+    def test_empty_records_raise(self):
+        with pytest.raises(TVDPError):
+            build_feature_suite([])
+
+
+class TestGraffitiStudy:
+    def test_study_beats_chance(self, records):
+        result, model, scaler = run_graffiti_study(
+            records, ColorHistogramExtractor(), seed=0
+        )
+        assert 0.0 < result.positive_rate < 1.0
+        assert result.n_train + result.n_test == len(records)
+        assert result.f1 > 0.4  # well above the ~0 of a degenerate model
+
+    def test_annotate_writes_machine_labels(self, records):
+        platform = TVDP()
+        ids = []
+        for record in records[:10]:
+            receipt = platform.upload_image(
+                record.image, record.fov, record.captured_at, record.uploaded_at
+            )
+            ids.append(receipt.image_id)
+        result, model, scaler = run_graffiti_study(
+            records, ColorHistogramExtractor(), seed=0
+        )
+        written = annotate_graffiti(
+            platform, ids, ColorHistogramExtractor(), model, scaler
+        )
+        assert written == 10
+        hist = platform.annotations.label_histogram("graffiti")
+        assert sum(hist.values()) == 10
+
+    def test_single_class_corpus_raises(self, records):
+        no_graffiti = [r for r in records if not r.has_graffiti]
+        with pytest.raises(TVDPError):
+            run_graffiti_study(no_graffiti, ColorHistogramExtractor())
+
+
+class TestHomelessStudy:
+    def build_annotated_platform(self, records):
+        platform = TVDP()
+        platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+        for record in records:
+            receipt = platform.upload_image(
+                record.image, record.fov, record.captured_at, record.uploaded_at
+            )
+            platform.annotations.annotate(
+                receipt.image_id,
+                "street_cleanliness",
+                record.label,
+                confidence=0.9,
+                source="machine",
+            )
+        return platform
+
+    def test_clusters_found_in_hotspot_data(self, records):
+        platform = self.build_annotated_platform(records)
+        report = cluster_encampments(platform, eps_m=600.0, min_samples=2)
+        n_encampment = sum(1 for r in records if r.label == "encampment")
+        assert report.total_sightings == n_encampment
+        assert report.n_clusters >= 1
+        assert report.largest_cluster_size >= 2
+        clustered = sum(c.size for c in report.clusters)
+        assert clustered + report.noise_sightings == n_encampment
+
+    def test_clusters_sorted_by_size(self, records):
+        platform = self.build_annotated_platform(records)
+        report = cluster_encampments(platform, eps_m=600.0, min_samples=2)
+        sizes = [c.size for c in report.clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_no_annotations_empty_report(self):
+        platform = TVDP()
+        platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+        report = cluster_encampments(platform)
+        assert report.total_sightings == 0
+        assert report.n_clusters == 0
+
+    def test_confidence_threshold_filters(self, records):
+        platform = self.build_annotated_platform(records)
+        report = cluster_encampments(platform, min_confidence=0.95)
+        assert report.total_sightings == 0
+
+    def test_bad_eps_raises(self, records):
+        platform = self.build_annotated_platform(records[:5])
+        with pytest.raises(TVDPError):
+            cluster_encampments(platform, eps_m=0.0)
+
+    def test_compare_periods(self, records):
+        platform = self.build_annotated_platform(records)
+        before = cluster_encampments(platform, eps_m=600.0, min_samples=2)
+        after = cluster_encampments(platform, eps_m=600.0, min_samples=2)
+        diff = compare_periods(before, after)
+        # Identical reports: every cluster matches with zero movement.
+        assert len(diff["matched"]) == before.n_clusters
+        assert all(m["moved_m"] == 0.0 for m in diff["matched"])
+        assert diff["appeared"] == [] and diff["disappeared"] == []
+        assert diff["sightings_change"] == 0
+        with pytest.raises(TVDPError):
+            compare_periods(before, after, match_radius_m=0.0)

@@ -1,0 +1,168 @@
+"""Tests for the drone wildfire disaster platform (future-work build)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    WildfireGroundTruth,
+    detect_events,
+    detection_quality,
+    estimate_spread,
+    fly_survey,
+    plan_lawnmower,
+    situation_report,
+)
+from repro.errors import ImagingError, TVDPError
+from repro.geo import BoundingBox, GeoPoint, haversine_m
+from repro.imaging import (
+    AERIAL_CLASSES,
+    fire_pixel_fraction,
+    render_aerial_scene,
+)
+
+REGION = BoundingBox(34.10, -118.40, 34.14, -118.36)
+IGNITION = GeoPoint(34.12, -118.38)
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return WildfireGroundTruth(
+        ignitions=[IGNITION], growth_mps=0.5, initial_radius_m=300.0
+    )
+
+
+class TestAerialRenderer:
+    def test_all_classes_render(self):
+        rng = np.random.default_rng(0)
+        for label in AERIAL_CLASSES:
+            img = render_aerial_scene(label, rng, size=32)
+            assert img.shape == (32, 32)
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(ImagingError):
+            render_aerial_scene("flood", np.random.default_rng(0))
+
+    def test_too_small_raises(self):
+        with pytest.raises(ImagingError):
+            render_aerial_scene("fire", np.random.default_rng(0), size=8)
+
+    def test_fire_fraction_separates_classes(self):
+        rng = np.random.default_rng(1)
+        fire = np.mean(
+            [fire_pixel_fraction(render_aerial_scene("fire", rng, 40)) for _ in range(8)]
+        )
+        normal = np.mean(
+            [fire_pixel_fraction(render_aerial_scene("normal", rng, 40)) for _ in range(8)]
+        )
+        assert fire > 0.01
+        assert normal < 0.005
+
+
+class TestGroundTruth:
+    def test_labels_by_distance(self, truth):
+        assert truth.label_at(IGNITION, 0.0) == "fire"
+        near = GeoPoint(IGNITION.lat + 0.004, IGNITION.lng)  # ~440 m
+        assert truth.label_at(near, 0.0) == "smoke"
+        far = GeoPoint(IGNITION.lat + 0.02, IGNITION.lng)  # ~2.2 km
+        assert truth.label_at(far, 0.0) == "normal"
+
+    def test_fire_grows(self, truth):
+        point = GeoPoint(IGNITION.lat + 0.004, IGNITION.lng)  # ~440 m away
+        assert truth.label_at(point, 0.0) == "smoke"
+        assert truth.label_at(point, 1_000.0) == "fire"  # radius now 800 m
+
+
+class TestSurvey:
+    def test_lawnmower_covers_rows(self):
+        waypoints = plan_lawnmower(REGION, rows=4)
+        lats = sorted({round(p.lat, 4) for p, _ in waypoints})
+        assert len(lats) == 4
+        assert all(REGION.contains_point(p) for p, _ in waypoints)
+
+    def test_lawnmower_alternates_heading(self):
+        waypoints = plan_lawnmower(REGION, rows=2)
+        headings = {round(h) for _, h in waypoints}
+        assert len(headings) == 2  # east on even rows, west on odd
+
+    def test_bad_rows_raises(self):
+        with pytest.raises(TVDPError):
+            plan_lawnmower(REGION, rows=0)
+
+    def test_fly_survey_labels_match_truth(self, truth):
+        captures = fly_survey(REGION, truth, start_time=0.0, rows=4, seed=0)
+        assert captures
+        labels = {c.true_label for c in captures}
+        assert "fire" in labels and "normal" in labels
+        # Fire tiles are near the ignition.
+        for capture in captures:
+            if capture.true_label == "fire":
+                assert haversine_m(capture.fov.camera, IGNITION) < 1_500.0
+
+
+class TestDetection:
+    def test_chromatic_screen_finds_fire(self, truth):
+        captures = fly_survey(REGION, truth, start_time=0.0, rows=5, seed=0)
+        events = detect_events(captures)
+        assert events
+        quality = detection_quality(captures, events)
+        assert quality["recall"] > 0.7
+        assert quality["precision"] > 0.7
+
+    def test_no_fire_no_events(self):
+        quiet = WildfireGroundTruth(
+            ignitions=[GeoPoint(0.0, 0.0)], initial_radius_m=1.0
+        )
+        captures = fly_survey(REGION, quiet, start_time=0.0, rows=3, seed=1)
+        events = detect_events(captures)
+        assert events == []
+
+    def test_classifier_refinement_path(self, truth):
+        # Train a tiny fire classifier on aerial tiles and use it to refine.
+        from repro.features import ColorHistogramExtractor
+        from repro.ml import LogisticRegression
+
+        rng = np.random.default_rng(2)
+        extractor = ColorHistogramExtractor()
+        X, y = [], []
+        for label in AERIAL_CLASSES:
+            for _ in range(12):
+                X.append(extractor.extract(render_aerial_scene(label, rng, 40)))
+                y.append(label)
+        model = LogisticRegression(epochs=40).fit(np.vstack(X), np.array(y))
+        captures = fly_survey(REGION, truth, start_time=0.0, rows=4, seed=3)
+        events = detect_events(captures, classifier=model, extractor=extractor)
+        assert events
+        assert {e.label for e in events} <= {"fire", "smoke"}
+
+
+class TestSituationAwareness:
+    def test_report_aggregates_cells(self, truth):
+        captures = fly_survey(REGION, truth, start_time=0.0, rows=5, seed=0)
+        events = detect_events(captures)
+        report = situation_report(REGION, events, rows=8, cols=8)
+        assert report.burning_cells >= 1
+        assert 0.0 < report.affected_fraction <= 1.0
+        assert report.fire_front is not None
+        assert report.fire_front.contains_point(IGNITION) or (
+            haversine_m(report.fire_front.center, IGNITION) < 1_500.0
+        )
+
+    def test_spread_estimation(self, truth):
+        first = fly_survey(REGION, truth, start_time=0.0, rows=5, seed=0)
+        later = fly_survey(REGION, truth, start_time=3_600.0, rows=5, seed=0)
+        report_a = situation_report(REGION, detect_events(first))
+        report_b = situation_report(REGION, detect_events(later))
+        spread = estimate_spread(report_a, report_b, dt_s=3_600.0)
+        # The fire grows 0.5 m/s, so an hour later more cells burn.
+        assert spread["burning_cells_delta"] > 0
+        assert spread["affected_fraction_delta"] > 0
+
+    def test_spread_bad_dt_raises(self, truth):
+        captures = fly_survey(REGION, truth, start_time=0.0, rows=3, seed=0)
+        report = situation_report(REGION, detect_events(captures))
+        with pytest.raises(TVDPError):
+            estimate_spread(report, report, dt_s=0.0)
+
+    def test_detection_quality_empty_raises(self):
+        with pytest.raises(TVDPError):
+            detection_quality([], [])

@@ -1,0 +1,73 @@
+"""Tests for ingesting drone surveys into the platform."""
+
+import pytest
+
+from repro.analysis import (
+    WildfireGroundTruth,
+    detect_events,
+    fly_survey,
+    ingest_survey,
+)
+from repro.core import CategoricalQuery, SpatialQuery, TVDP
+from repro.geo import BoundingBox, GeoPoint
+
+REGION = BoundingBox(34.10, -118.40, 34.14, -118.36)
+
+
+@pytest.fixture(scope="module")
+def survey():
+    truth = WildfireGroundTruth(
+        ignitions=[GeoPoint(34.12, -118.38)],
+        growth_mps=0.5,
+        initial_radius_m=400.0,
+    )
+    captures = fly_survey(REGION, truth, start_time=0.0, rows=5, seed=0)
+    return captures, detect_events(captures)
+
+
+class TestIngestSurvey:
+    def test_tiles_and_annotations_stored(self, survey):
+        captures, events = survey
+        platform = TVDP()
+        image_ids = ingest_survey(platform, captures, events)
+        assert len(image_ids) == len(captures)
+        counts = platform.db.row_counts()
+        assert counts["images"] == len(captures)
+        assert counts["image_content_annotation"] == len(captures)
+        assert "aerial_condition" in platform.catalog.names()
+
+    def test_fire_tiles_queryable_categorically(self, survey):
+        captures, events = survey
+        platform = TVDP()
+        ingest_survey(platform, captures, events)
+        hits = platform.execute(
+            CategoricalQuery("aerial_condition", labels=("fire",), source="machine")
+        )
+        assert len(hits) == sum(1 for e in events if e.label == "fire")
+
+    def test_spatial_query_finds_burning_area(self, survey):
+        captures, events = survey
+        platform = TVDP()
+        ingest_survey(platform, captures, events)
+        fire_hits = {
+            r.image_id
+            for r in platform.execute(
+                CategoricalQuery("aerial_condition", labels=("fire",))
+            )
+        }
+        near_ignition = {
+            r.image_id
+            for r in platform.execute(
+                SpatialQuery(point=GeoPoint(34.12, -118.38), radius_m=800.0, mode="camera")
+            )
+        }
+        # Every fire tile was captured near the ignition point.
+        assert fire_hits <= near_ignition
+
+    def test_default_events_computed(self, survey):
+        captures, _ = survey
+        platform = TVDP()
+        ingest_survey(platform, captures)  # events=None -> detect inside
+        histogram = platform.annotations.label_histogram("aerial_condition")
+        assert histogram["fire"] > 0
+        assert histogram["normal"] > 0

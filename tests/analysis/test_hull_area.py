@@ -1,0 +1,57 @@
+"""Tests for encampment-cluster convex-hull footprints."""
+
+import pytest
+
+from repro.analysis import cluster_encampments
+from repro.core import TVDP
+from repro.geo import FieldOfView, GeoPoint, destination_point
+from repro.imaging import CLEANLINESS_CLASSES, solid_color
+
+CENTER = GeoPoint(34.05, -118.25)
+
+
+def platform_with_tents(offsets_m):
+    """Encampment annotations at given (bearing, distance) offsets."""
+    platform = TVDP()
+    platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+    for i, (bearing, distance) in enumerate(offsets_m):
+        location = destination_point(CENTER, bearing, distance)
+        shade = 0.1 + 0.8 * i / max(len(offsets_m), 1)
+        fov = FieldOfView(location, 0.0, 60.0, 100.0)
+        receipt = platform.upload_image(
+            solid_color(24, 24, (shade, shade, shade)), fov, 0.0, 1.0
+        )
+        platform.annotations.annotate(
+            receipt.image_id, "street_cleanliness", "encampment", 0.9, "machine"
+        )
+    return platform
+
+
+class TestHullArea:
+    def test_triangle_cluster_has_positive_area(self):
+        platform = platform_with_tents([(0.0, 100.0), (120.0, 100.0), (240.0, 100.0)])
+        report = cluster_encampments(platform, eps_m=400.0, min_samples=2)
+        assert report.n_clusters == 1
+        cluster = report.clusters[0]
+        # Equilateral-ish triangle with circumradius 100 m: area
+        # 3*sqrt(3)/4 * R^2 ~ 12 990 m^2.
+        assert cluster.hull_area_m2 == pytest.approx(12_990, rel=0.1)
+
+    def test_pair_cluster_has_zero_area(self):
+        platform = platform_with_tents([(0.0, 50.0), (180.0, 50.0)])
+        report = cluster_encampments(platform, eps_m=400.0, min_samples=2)
+        assert report.n_clusters == 1
+        assert report.clusters[0].hull_area_m2 == 0.0
+
+    def test_collinear_cluster_has_zero_area(self):
+        platform = platform_with_tents([(0.0, 50.0), (0.0, 100.0), (0.0, 150.0)])
+        report = cluster_encampments(platform, eps_m=400.0, min_samples=2)
+        assert report.n_clusters == 1
+        assert report.clusters[0].hull_area_m2 == pytest.approx(0.0, abs=50.0)
+
+    def test_wider_cluster_has_larger_area(self):
+        tight = platform_with_tents([(b, 50.0) for b in (0.0, 120.0, 240.0)])
+        wide = platform_with_tents([(b, 200.0) for b in (0.0, 120.0, 240.0)])
+        tight_area = cluster_encampments(tight, eps_m=800.0, min_samples=2).clusters[0].hull_area_m2
+        wide_area = cluster_encampments(wide, eps_m=800.0, min_samples=2).clusters[0].hull_area_m2
+        assert wide_area > 10 * tight_area

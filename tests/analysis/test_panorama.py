@@ -1,0 +1,75 @@
+"""Tests for panorama key-frame selection (ref [6] reproduction)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import select_panorama_frames
+from repro.core import TVDP
+from repro.errors import TVDPError
+from repro.geo import FieldOfView, GeoPoint, destination_point
+from repro.imaging import solid_color
+
+POI = GeoPoint(34.05, -118.25)
+
+
+def ring_platform(bearings, range_m=300.0, angle=60.0, distance=150.0):
+    """Platform with one camera per bearing, each looking back at POI."""
+    platform = TVDP()
+    ids = {}
+    for i, bearing in enumerate(bearings):
+        camera = destination_point(POI, bearing, distance)
+        fov = FieldOfView(camera, (bearing + 180.0) % 360.0, angle, range_m)
+        shade = 0.2 + 0.6 * (i / max(len(bearings), 1))
+        receipt = platform.upload_image(
+            solid_color(24, 24, (shade, shade, shade)), fov, float(i), float(i) + 1
+        )
+        ids[bearing] = receipt.image_id
+    return platform, ids
+
+
+class TestPanoramaSelection:
+    def test_full_ring_gives_full_coverage(self):
+        bearings = list(range(0, 360, 30))
+        platform, _ = ring_platform(bearings)
+        selection = select_panorama_frames(platform, POI)
+        assert selection.coverage == 1.0
+        assert len(selection.image_ids) <= len(bearings)
+
+    def test_half_ring_gives_partial_coverage(self):
+        bearings = list(range(0, 180, 30))  # cameras only north-to-south-east
+        platform, _ = ring_platform(bearings)
+        selection = select_panorama_frames(platform, POI)
+        assert 0.3 < selection.coverage < 1.0
+
+    def test_greedy_prefers_fewer_frames(self):
+        # Dense ring: greedy should not take every frame.
+        bearings = list(range(0, 360, 10))
+        platform, _ = ring_platform(bearings)
+        selection = select_panorama_frames(platform, POI)
+        assert selection.coverage == 1.0
+        assert len(selection.image_ids) < len(bearings)
+
+    def test_max_frames_cap(self):
+        bearings = list(range(0, 360, 30))
+        platform, _ = ring_platform(bearings)
+        selection = select_panorama_frames(platform, POI, max_frames=2)
+        assert len(selection.image_ids) <= 2
+
+    def test_no_candidates_empty_selection(self):
+        platform = TVDP()
+        selection = select_panorama_frames(platform, POI)
+        assert selection.image_ids == ()
+        assert selection.coverage == 0.0
+
+    def test_images_not_depicting_poi_excluded(self):
+        platform = TVDP()
+        camera = destination_point(POI, 0.0, 150.0)
+        looking_away = FieldOfView(camera, 0.0, 60.0, 300.0)  # faces away
+        platform.upload_image(solid_color(24, 24, (0.5,) * 3), looking_away, 0.0, 1.0)
+        selection = select_panorama_frames(platform, POI)
+        assert selection.image_ids == ()
+
+    def test_bad_max_frames(self):
+        platform = TVDP()
+        with pytest.raises(TVDPError):
+            select_panorama_frames(platform, POI, max_frames=0)

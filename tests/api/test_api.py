@@ -1,0 +1,257 @@
+"""End-to-end tests of the API layer: auth, routes, client."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ApiKeyManager,
+    Request,
+    Router,
+    TVDPClient,
+    TVDPService,
+    deserialize_classifier,
+    image_from_payload,
+    image_to_payload,
+)
+from repro.core import TVDP
+from repro.datasets import generate_lasan_dataset
+from repro.errors import APIError, AuthenticationError
+from repro.features import ColorHistogramExtractor
+from repro.imaging import CLEANLINESS_CLASSES, solid_color
+from repro.api.http import Response
+
+
+@pytest.fixture()
+def service():
+    platform = TVDP()
+    platform.register_extractor(ColorHistogramExtractor())
+    return TVDPService(platform, deterministic_keys=True)
+
+
+@pytest.fixture()
+def client(service):
+    client = TVDPClient(service)
+    user_id = client.register_user("usc", role="researcher")
+    client.create_key(user_id)
+    return client
+
+
+@pytest.fixture()
+def records():
+    return generate_lasan_dataset(n_per_class=4, image_size=32, seed=0)
+
+
+def upload_all(client, records):
+    ids = []
+    for record in records:
+        body = client.add_image(
+            record.image, record.fov, record.captured_at, record.uploaded_at,
+            keywords=record.keywords,
+        )
+        ids.append(body["image_id"])
+    return ids
+
+
+class TestAuth:
+    def test_issue_validate_revoke(self):
+        platform = TVDP()
+        manager = ApiKeyManager(platform.db, deterministic_seed=1)
+        user = platform.add_user("x", role="citizen")
+        key = manager.issue(user)
+        assert manager.validate(key) == user
+        assert manager.keys_of(user) == [key]
+        manager.revoke(key)
+        with pytest.raises(AuthenticationError):
+            manager.validate(key)
+
+    def test_missing_key_rejected(self):
+        platform = TVDP()
+        manager = ApiKeyManager(platform.db)
+        with pytest.raises(AuthenticationError):
+            manager.validate(None)
+        with pytest.raises(AuthenticationError):
+            manager.validate("bogus")
+
+    def test_service_requires_key(self, service):
+        response = service.handle(Request("GET", "/stats"))
+        assert response.status == 401
+
+    def test_key_for_unknown_user_404(self, service):
+        response = service.handle(
+            Request("POST", "/keys", body={"user_id": 999})
+        )
+        assert response.status == 404
+
+
+class TestRouter:
+    def test_404_and_405(self):
+        router = Router()
+        router.add("GET", "/things/{id}", lambda r: Response(200, {"id": r.path_params["id"]}))
+        assert router.dispatch(Request("GET", "/nothing")).status == 404
+        assert router.dispatch(Request("POST", "/things/3")).status == 405
+        ok = router.dispatch(Request("GET", "/things/3"))
+        assert ok.status == 200 and ok.body["id"] == "3"
+
+    def test_exception_mapping(self):
+        router = Router()
+
+        def boom(request):
+            raise APIError(418, "teapot")
+
+        def crash(request):
+            raise RuntimeError("oops")
+
+        router.add("GET", "/boom", boom)
+        router.add("GET", "/crash", crash)
+        assert router.dispatch(Request("GET", "/boom")).status == 418
+        assert router.dispatch(Request("GET", "/crash")).status == 500
+
+
+class TestImagePayload:
+    def test_round_trip(self):
+        image = solid_color(8, 8, (0.2, 0.5, 0.8))
+        restored = image_from_payload(image_to_payload(image))
+        assert restored == image
+
+    def test_bad_payload(self):
+        with pytest.raises(APIError):
+            image_from_payload({})
+        with pytest.raises(APIError):
+            image_from_payload({"pixels_u8": [[1, 2], [3, 4]]})
+
+
+class TestDataRoutes:
+    def test_upload_and_download(self, client, records):
+        ids = upload_all(client, records[:3])
+        assert len(set(ids)) == 3
+        metadata = client.get_image(ids[0])["metadata"]
+        assert metadata["image_id"] == ids[0]
+        with_pixels = client.get_image(ids[0], include_pixels=True)
+        restored = image_from_payload(with_pixels["image"])
+        assert restored == records[0].image
+
+    def test_duplicate_upload_flagged(self, client, records):
+        first = records[0]
+        client.add_image(first.image, first.fov, 0.0, 1.0)
+        body = client.add_image(first.image, first.fov, 0.0, 1.0)
+        assert body["deduplicated"] is True
+
+    def test_unknown_image_404(self, client):
+        with pytest.raises(APIError) as err:
+            client.get_image(424242)
+        assert err.value.status == 404
+
+    def test_search_textual(self, client, records):
+        upload_all(client, records)
+        hits = client.search({"type": "textual", "text": "encampment tent"})
+        assert hits
+        assert all("image_id" in h for h in hits)
+
+    def test_search_spatial(self, client, records):
+        upload_all(client, records)
+        region = {
+            "min_lat": 34.03, "min_lng": -118.27, "max_lat": 34.06, "max_lng": -118.23,
+        }
+        hits = client.search({"type": "spatial", "region": region, "mode": "camera"})
+        assert hits  # downtown region contains the dataset
+
+    def test_search_bad_spec_400(self, client):
+        with pytest.raises(APIError) as err:
+            client.search({"type": "spatial"})
+        assert err.value.status == 400
+        with pytest.raises(APIError) as err:
+            client.search({"type": "quantum"})
+        assert err.value.status == 400
+
+    def test_features_roundtrip(self, client, records):
+        ids = upload_all(client, records[:2])
+        by_image = client.get_features("color_hsv_20_20_10", image=records[0].image)
+        by_id = client.get_features("color_hsv_20_20_10", image_id=ids[0])
+        assert by_image.shape == (50,)
+        assert np.allclose(by_image, by_id)
+
+    def test_features_unknown_extractor_404(self, client, records):
+        with pytest.raises(APIError) as err:
+            client.get_features("nonexistent", image=records[0].image)
+        assert err.value.status == 404
+
+
+class TestModelRoutes:
+    def setup_trained_model(self, client, service, records):
+        ids = upload_all(client, records)
+        platform = service.platform
+        platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+        for image_id, record in zip(ids, records):
+            platform.annotations.annotate(
+                image_id, "street_cleanliness", record.label, 1.0, "human"
+            )
+        client.devise_model(
+            "cleanliness_lr",
+            extractor="color_hsv_20_20_10",
+            classification="street_cleanliness",
+            classifier="logistic_regression",
+        )
+        trained_on = client.train_model("cleanliness_lr")
+        return ids, trained_on
+
+    def test_devise_train_predict(self, client, service, records):
+        ids, trained_on = self.setup_trained_model(client, service, records)
+        assert trained_on == len(ids)
+        result = client.predict("cleanliness_lr", image=records[0].image)
+        assert result["label"] in CLEANLINESS_CLASSES
+        assert 0.0 <= result["confidence"] <= 1.0
+
+    def test_predict_with_annotate_writes_back(self, client, service, records):
+        ids, _ = self.setup_trained_model(client, service, records)
+        result = client.predict("cleanliness_lr", image_id=ids[0], annotate=True)
+        assert result["annotated"] is True
+        annotations = service.platform.annotations.annotations_of(ids[0])
+        machine = [a for a in annotations if a.source == "machine"]
+        assert machine and machine[0].annotator == "cleanliness_lr"
+
+    def test_download_and_edge_side_load(self, client, service, records):
+        self.setup_trained_model(client, service, records)
+        payload = client.download_model("cleanliness_lr")
+        assert payload["type"] == "LogisticRegression"
+        model = deserialize_classifier(payload)
+        vector = client.get_features("color_hsv_20_20_10", image=records[0].image)
+        local = model.predict(vector[np.newaxis, :])[0]
+        remote = client.predict("cleanliness_lr", image=records[0].image)["label"]
+        assert str(local) == remote
+
+    def test_devise_duplicate_409(self, client, service, records):
+        self.setup_trained_model(client, service, records)
+        with pytest.raises(APIError) as err:
+            client.devise_model(
+                "cleanliness_lr", "color_hsv_20_20_10", "street_cleanliness"
+            )
+        assert err.value.status == 409
+
+    def test_train_without_annotations_409(self, client, service, records):
+        upload_all(client, records[:2])
+        service.platform.catalog.define(
+            "street_cleanliness", list(CLEANLINESS_CLASSES)
+        )
+        client.devise_model(
+            "empty_model", "color_hsv_20_20_10", "street_cleanliness",
+            classifier="logistic_regression",
+        )
+        with pytest.raises(APIError) as err:
+            client.train_model("empty_model")
+        assert err.value.status == 409
+
+    def test_unknown_model_404(self, client, records):
+        with pytest.raises(APIError) as err:
+            client.predict("ghost", image=records[0].image)
+        assert err.value.status == 404
+
+    def test_unknown_classifier_400(self, client):
+        with pytest.raises(APIError) as err:
+            client.devise_model("m", "color_hsv_20_20_10", "c", classifier="xgboost")
+        assert err.value.status == 400
+
+    def test_stats_lists_models(self, client, service, records):
+        self.setup_trained_model(client, service, records)
+        stats = client.stats()
+        assert "cleanliness_lr" in stats["models"]
+        assert stats["rows"]["images"] == len(records)

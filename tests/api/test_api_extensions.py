@@ -1,0 +1,131 @@
+"""Tests for the annotation and campaign API extensions."""
+
+import numpy as np
+import pytest
+
+from repro.api import TVDPClient, TVDPService
+from repro.core import TVDP
+from repro.datasets import generate_lasan_dataset
+from repro.errors import APIError
+from repro.features import ColorHistogramExtractor
+from repro.geo import FieldOfView, GeoPoint
+from repro.imaging import CLEANLINESS_CLASSES
+
+REGION = {
+    "min_lat": 34.03,
+    "min_lng": -118.27,
+    "max_lat": 34.06,
+    "max_lng": -118.23,
+}
+
+
+@pytest.fixture()
+def client():
+    platform = TVDP()
+    platform.register_extractor(ColorHistogramExtractor())
+    service = TVDPService(platform, deterministic_keys=True)
+    client = TVDPClient(service)
+    user_id = client.register_user("usc", role="researcher")
+    client.create_key(user_id)
+    return client
+
+
+@pytest.fixture()
+def records():
+    return generate_lasan_dataset(n_per_class=2, image_size=32, seed=0)
+
+
+class TestAnnotationRoutes:
+    def test_define_annotate_list(self, client, records):
+        client.define_classification(
+            "street_cleanliness", list(CLEANLINESS_CLASSES)
+        )
+        record = records[0]
+        image_id = client.add_image(
+            record.image, record.fov, record.captured_at, record.uploaded_at
+        )["image_id"]
+        annotation_id = client.annotate(
+            image_id, "street_cleanliness", record.label, 0.9, "machine", "svm_v1"
+        )
+        assert annotation_id > 0
+        annotations = client.annotations_of(image_id)
+        assert len(annotations) == 1
+        assert annotations[0]["label"] == record.label
+        assert annotations[0]["annotator"] == "svm_v1"
+
+    def test_duplicate_classification_400(self, client):
+        client.define_classification("graffiti", ["yes", "no"])
+        with pytest.raises(APIError):
+            client.define_classification("graffiti", ["a", "b"])
+
+    def test_annotate_unknown_label_400(self, client, records):
+        client.define_classification("graffiti", ["yes", "no"])
+        record = records[0]
+        image_id = client.add_image(
+            record.image, record.fov, record.captured_at, record.uploaded_at
+        )["image_id"]
+        with pytest.raises(APIError) as err:
+            client.annotate(image_id, "graffiti", "maybe")
+        assert err.value.status == 400
+
+    def test_empty_annotations(self, client, records):
+        record = records[0]
+        image_id = client.add_image(
+            record.image, record.fov, record.captured_at, record.uploaded_at
+        )["image_id"]
+        assert client.annotations_of(image_id) == []
+
+
+class TestCampaignRoutes:
+    def test_campaign_lifecycle(self, client, records):
+        campaign_id = client.create_campaign(REGION, target_coverage=0.8)
+        report = client.campaign_tasks(campaign_id, max_tasks=10)
+        assert report["coverage"] == 0.0  # nothing uploaded yet
+        assert len(report["tasks"]) == 10
+
+        # A worker fulfils the first task.
+        task = report["tasks"][0]
+        fov = FieldOfView(
+            GeoPoint(task["lat"], task["lng"]),
+            task["direction_deg"] or 0.0,
+            60.0,
+            300.0,
+        )
+        outcome = client.submit_capture(
+            campaign_id, task["task_id"], records[0].image, fov, captured_at=1.0
+        )
+        assert outcome["reward"] == 1.0
+        assert outcome["image_id"] > 0
+
+        # Coverage improves on the next gap report.
+        second = client.campaign_tasks(campaign_id, max_tasks=10)
+        assert second["coverage"] > 0.0
+
+    def test_submit_to_unknown_task_404(self, client, records):
+        campaign_id = client.create_campaign(REGION)
+        fov = FieldOfView(GeoPoint(34.04, -118.25), 0.0, 60.0, 100.0)
+        with pytest.raises(APIError) as err:
+            client.submit_capture(campaign_id, 424242, records[0].image, fov, 1.0)
+        assert err.value.status == 404
+
+    def test_unknown_campaign_404(self, client):
+        with pytest.raises(APIError) as err:
+            client.campaign_tasks(999)
+        assert err.value.status == 404
+
+    def test_bad_campaign_spec_400(self, client):
+        with pytest.raises(APIError) as err:
+            client.create_campaign({"min_lat": 1})
+        assert err.value.status == 400
+
+    def test_tasks_shrink_as_coverage_grows(self, client, records):
+        campaign_id = client.create_campaign(REGION, min_directions=1)
+        first = client.campaign_tasks(campaign_id)
+        n_first = len(first["tasks"])
+        # Upload a broad panoramic capture covering much of the region.
+        fov = FieldOfView(
+            GeoPoint(34.045, -118.25), 0.0, 360.0, 2_500.0
+        )
+        client.add_image(records[1].image, fov, 1.0, 2.0)
+        second = client.campaign_tasks(campaign_id)
+        assert len(second["tasks"]) < n_first

@@ -1,0 +1,28 @@
+"""Tests for API route discovery."""
+
+from repro.api import Request, TVDPClient, TVDPService
+from repro.core import TVDP
+
+
+class TestRouteDiscovery:
+    def test_routes_listed(self):
+        service = TVDPService(TVDP(), deterministic_keys=True)
+        client = TVDPClient(service)
+        user_id = client.register_user("x", role="citizen")
+        client.create_key(user_id)
+        body = client._call("GET", "/routes")
+        routes = body["routes"]
+        # The paper's seven common APIs are all present.
+        assert "POST /images" in routes
+        assert "POST /search" in routes
+        assert "GET /images/{image_id}" in routes
+        assert "POST /features/{extractor}" in routes
+        assert "POST /models/{name}/predict" in routes
+        assert "GET /models/{name}/download" in routes
+        assert "POST /models" in routes
+        assert routes == sorted(routes)
+
+    def test_routes_require_key(self):
+        service = TVDPService(TVDP())
+        response = service.handle(Request("GET", "/routes"))
+        assert response.status == 401

@@ -1,0 +1,187 @@
+"""Tests for the classification catalog, annotations, and video ingest."""
+
+import pytest
+
+from repro.core import TVDP, ingest_video, select_keyframes_adaptive
+from repro.datasets import generate_video
+from repro.errors import QueryError, TVDPError
+from repro.features import ColorHistogramExtractor
+from repro.geo import FieldOfView, GeoPoint
+from repro.imaging import CLEANLINESS_CLASSES, solid_color
+
+
+@pytest.fixture()
+def platform():
+    return TVDP()
+
+
+def upload_one(platform, shade=0.5):
+    fov = FieldOfView(GeoPoint(34.04, -118.25), 0.0, 60.0, 100.0)
+    receipt = platform.upload_image(
+        image=solid_color(32, 32, (shade, shade, shade)),
+        fov=fov,
+        captured_at=1.0,
+        uploaded_at=2.0,
+    )
+    return receipt.image_id
+
+
+class TestCatalog:
+    def test_define_and_lookup(self, platform):
+        cid = platform.catalog.define(
+            "street_cleanliness", list(CLEANLINESS_CLASSES), description="LASAN levels"
+        )
+        assert platform.catalog.classification_id("street_cleanliness") == cid
+        assert platform.catalog.labels("street_cleanliness") == list(
+            CLEANLINESS_CLASSES
+        )
+        assert "street_cleanliness" in platform.catalog.names()
+
+    def test_type_id_round_trip(self, platform):
+        platform.catalog.define("graffiti", ["graffiti", "no_graffiti"])
+        type_id = platform.catalog.type_id("graffiti", "graffiti")
+        assert platform.catalog.label_of_type(type_id) == ("graffiti", "graffiti")
+
+    def test_unknown_lookups_raise(self, platform):
+        with pytest.raises(QueryError):
+            platform.catalog.classification_id("nope")
+        platform.catalog.define("graffiti", ["yes", "no"])
+        with pytest.raises(QueryError):
+            platform.catalog.type_id("graffiti", "maybe")
+        with pytest.raises(QueryError):
+            platform.catalog.label_of_type(12345)
+
+    def test_duplicate_name_rejected(self, platform):
+        platform.catalog.define("graffiti", ["yes", "no"])
+        from repro.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            platform.catalog.define("graffiti", ["a", "b"])
+
+    def test_empty_or_duplicate_labels_rejected(self, platform):
+        with pytest.raises(QueryError):
+            platform.catalog.define("bad", [])
+        with pytest.raises(QueryError):
+            platform.catalog.define("bad", ["x", "x"])
+
+    def test_multiple_classifications_coexist(self, platform):
+        platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+        platform.catalog.define("graffiti", ["graffiti", "no_graffiti"])
+        assert set(platform.catalog.names()) == {"graffiti", "street_cleanliness"}
+
+
+class TestAnnotations:
+    def test_annotate_and_read_back(self, platform):
+        platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+        image_id = upload_one(platform)
+        platform.annotations.annotate(
+            image_id,
+            "street_cleanliness",
+            "encampment",
+            confidence=0.9,
+            source="machine",
+            annotator="svm_cnn_v1",
+            created_at=123.0,
+        )
+        annotations = platform.annotations.annotations_of(image_id)
+        assert len(annotations) == 1
+        a = annotations[0]
+        assert a.label == "encampment"
+        assert a.classification == "street_cleanliness"
+        assert a.confidence == 0.9
+        assert a.source == "machine"
+        assert a.annotator == "svm_cnn_v1"
+
+    def test_multi_classification_annotations(self, platform):
+        platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+        platform.catalog.define("graffiti", ["graffiti", "no_graffiti"])
+        image_id = upload_one(platform)
+        platform.annotations.annotate(image_id, "street_cleanliness", "clean")
+        platform.annotations.annotate(image_id, "graffiti", "graffiti", 0.7, "machine")
+        annotations = platform.annotations.annotations_of(image_id)
+        assert {a.classification for a in annotations} == {
+            "street_cleanliness",
+            "graffiti",
+        }
+
+    def test_invalid_annotation_inputs(self, platform):
+        platform.catalog.define("graffiti", ["yes", "no"])
+        image_id = upload_one(platform)
+        with pytest.raises(QueryError):
+            platform.annotations.annotate(image_id, "graffiti", "yes", source="robot")
+        with pytest.raises(QueryError):
+            platform.annotations.annotate(image_id, "graffiti", "yes", confidence=1.5)
+
+    def test_label_locations(self, platform):
+        platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+        a = upload_one(platform, shade=0.2)
+        b = upload_one(platform, shade=0.8)
+        platform.annotations.annotate(a, "street_cleanliness", "encampment", 0.9, "machine")
+        platform.annotations.annotate(b, "street_cleanliness", "clean", 0.9, "machine")
+        locations = platform.annotations.label_locations(
+            "street_cleanliness", "encampment"
+        )
+        assert [image_id for image_id, _ in locations] == [a]
+        assert isinstance(locations[0][1], GeoPoint)
+
+    def test_label_histogram(self, platform):
+        platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+        image_id = upload_one(platform)
+        platform.annotations.annotate(image_id, "street_cleanliness", "clean")
+        hist = platform.annotations.label_histogram("street_cleanliness")
+        assert hist["clean"] == 1
+        assert hist["encampment"] == 0
+        assert set(hist) == set(CLEANLINESS_CLASSES)
+
+    def test_bbox_stored(self, platform):
+        platform.catalog.define("graffiti", ["yes", "no"])
+        image_id = upload_one(platform)
+        platform.annotations.annotate(
+            image_id, "graffiti", "yes", bbox={"x": 1, "y": 2, "w": 10, "h": 12}
+        )
+        a = platform.annotations.annotations_of(image_id)[0]
+        assert a.bbox == {"x": 1, "y": 2, "w": 10, "h": 12}
+
+
+class TestVideoIngest:
+    def test_uniform_ingest(self, platform):
+        video = generate_video(
+            1, GeoPoint(34.04, -118.25), initial_bearing=90.0, n_frames=20, seed=0,
+            image_size=32,
+        )
+        video_row, image_ids = ingest_video(platform, video, every=5)
+        assert len(image_ids) == 4
+        for image_id, frame_number in zip(image_ids, (0, 5, 10, 15)):
+            row = platform.db.table("images").get(image_id)
+            assert row["video_id"] == video_row
+            assert row["frame_number"] == frame_number
+
+    def test_adaptive_keeps_fewer_frames_when_static(self, platform):
+        video = generate_video(
+            2, GeoPoint(34.04, -118.25), initial_bearing=0.0, n_frames=12, seed=1,
+            image_size=32,
+        )
+        extractor = ColorHistogramExtractor()
+        adaptive = select_keyframes_adaptive(video, extractor, threshold=0.4)
+        assert 1 <= len(adaptive) <= 12
+        assert adaptive[0].frame_number == 0
+
+    def test_adaptive_threshold_zero_keeps_everything(self, platform):
+        video = generate_video(
+            3, GeoPoint(34.04, -118.25), initial_bearing=0.0, n_frames=6, seed=2,
+            image_size=32,
+        )
+        extractor = ColorHistogramExtractor()
+        kept = select_keyframes_adaptive(video, extractor, threshold=0.0)
+        assert len(kept) == 6
+        with pytest.raises(TVDPError):
+            select_keyframes_adaptive(video, extractor, threshold=-1.0)
+
+    def test_ingest_with_explicit_keyframes(self, platform):
+        video = generate_video(
+            4, GeoPoint(34.04, -118.25), initial_bearing=0.0, n_frames=10, seed=3,
+            image_size=32,
+        )
+        keyframes = [video.frames[0], video.frames[7]]
+        _, image_ids = ingest_video(platform, video, keyframes=keyframes)
+        assert len(image_ids) == 2

@@ -1,0 +1,77 @@
+"""Tests for platform-level multi-view scene localisation."""
+
+import pytest
+
+from repro.core import TVDP
+from repro.geo import FieldOfView, GeoPoint, destination_point
+from repro.imaging import solid_color
+
+SCENE = GeoPoint(34.05, -118.25)
+
+
+def upload_view(platform, bearing, shade, distance=200.0, angle=60.0, range_m=400.0):
+    """A camera at ``bearing``/``distance`` from SCENE, looking back."""
+    camera = destination_point(SCENE, bearing, distance)
+    fov = FieldOfView(camera, (bearing + 180.0) % 360.0, angle, range_m)
+    receipt = platform.upload_image(
+        solid_color(24, 24, (shade, shade, shade)), fov, 0.0, 1.0
+    )
+    return receipt.image_id
+
+
+class TestLocalizeScene:
+    def test_single_view_equals_fov_mbr(self):
+        platform = TVDP()
+        image_id = upload_view(platform, 0.0, 0.3)
+        estimate = platform.localize_scene(image_id)
+        assert estimate.supporting_fovs == 1
+        assert estimate.box == platform.fov(image_id).mbr()
+
+    def test_multi_view_shrinks_box_and_raises_confidence(self):
+        platform = TVDP()
+        first = upload_view(platform, 0.0, 0.30)
+        upload_view(platform, 120.0, 0.45)
+        upload_view(platform, 240.0, 0.60)
+        single_platform = TVDP()
+        only = upload_view(single_platform, 0.0, 0.30)
+        single = single_platform.localize_scene(only)
+        multi = platform.localize_scene(first)
+        assert multi.supporting_fovs == 3
+        assert multi.box.area < single.box.area
+        assert multi.confidence > single.confidence
+        assert multi.box.contains_point(SCENE)
+
+    def test_scene_row_updated(self):
+        platform = TVDP()
+        first = upload_view(platform, 0.0, 0.30)
+        upload_view(platform, 90.0, 0.50)
+        before = platform.db.table("image_scene_location").find("image_id", first)[0]
+        estimate = platform.localize_scene(first)
+        after = platform.db.table("image_scene_location").find("image_id", first)[0]
+        assert after["min_lat"] == pytest.approx(estimate.box.min_lat)
+        assert (
+            after["max_lat"] - after["min_lat"]
+            <= before["max_lat"] - before["min_lat"] + 1e-12
+        )
+
+    def test_distant_images_do_not_contribute(self):
+        platform = TVDP()
+        first = upload_view(platform, 0.0, 0.30)
+        # A camera 50 km away cannot overlap.
+        far_camera = destination_point(SCENE, 90.0, 50_000.0)
+        platform.upload_image(
+            solid_color(24, 24, (0.8, 0.8, 0.8)),
+            FieldOfView(far_camera, 0.0, 60.0, 300.0),
+            0.0,
+            1.0,
+        )
+        estimate = platform.localize_scene(first)
+        assert estimate.supporting_fovs == 1
+
+    def test_max_views_cap(self):
+        platform = TVDP()
+        first = upload_view(platform, 0.0, 0.05)
+        for i, bearing in enumerate(range(30, 360, 30)):
+            upload_view(platform, float(bearing), 0.1 + i * 0.05)
+        estimate = platform.localize_scene(first, max_views=4)
+        assert estimate.supporting_fovs == 4

@@ -1,0 +1,77 @@
+"""Tests for upload quality gating and near-duplicate flagging."""
+
+import numpy as np
+import pytest
+
+from repro.core import TVDP
+from repro.errors import TVDPError
+from repro.geo import FieldOfView, GeoPoint
+from repro.imaging import adjust_brightness, blur, render_street_scene, solid_color
+
+FOV = FieldOfView(GeoPoint(34.04, -118.25), 0.0, 60.0, 100.0)
+
+
+@pytest.fixture()
+def scene():
+    return render_street_scene("bulky_item", np.random.default_rng(0), size=48)
+
+
+class TestQualityGate:
+    def test_gate_off_accepts_anything(self):
+        platform = TVDP()
+        receipt = platform.upload_image(solid_color(32, 32, (1.0,) * 3), FOV, 0.0, 1.0)
+        assert receipt.image_id > 0
+
+    def test_gate_rejects_blown_out_frame(self):
+        platform = TVDP(reject_low_quality=True)
+        with pytest.raises(TVDPError, match="badly_exposed"):
+            platform.upload_image(solid_color(32, 32, (1.0,) * 3), FOV, 0.0, 1.0)
+        assert platform.stats()["rows"]["images"] == 0
+
+    def test_gate_accepts_normal_scene(self, scene):
+        platform = TVDP(reject_low_quality=True)
+        receipt = platform.upload_image(scene, FOV, 0.0, 1.0)
+        assert not receipt.deduplicated
+
+    def test_gate_rejects_flat_blur(self):
+        platform = TVDP(reject_low_quality=True)
+        flat = solid_color(32, 32, (0.5, 0.5, 0.5))
+        with pytest.raises(TVDPError, match="blurry"):
+            platform.upload_image(flat, FOV, 0.0, 1.0)
+
+
+class TestNearDuplicateFlagging:
+    def test_first_upload_unflagged(self, scene):
+        platform = TVDP(detect_near_duplicates=True)
+        receipt = platform.upload_image(scene, FOV, 0.0, 1.0)
+        assert receipt.near_duplicate_of is None
+
+    def test_brightness_variant_flagged_but_stored(self, scene):
+        platform = TVDP(detect_near_duplicates=True)
+        first = platform.upload_image(scene, FOV, 0.0, 1.0)
+        variant = adjust_brightness(scene, 0.03)
+        second = platform.upload_image(variant, FOV, 2.0, 3.0)
+        assert not second.deduplicated  # different pixels: stored
+        assert second.near_duplicate_of == first.image_id
+        assert platform.stats()["rows"]["images"] == 2
+
+    def test_distinct_scene_not_flagged(self, scene):
+        platform = TVDP(detect_near_duplicates=True)
+        platform.upload_image(scene, FOV, 0.0, 1.0)
+        other = render_street_scene("clean", np.random.default_rng(7), size=48)
+        receipt = platform.upload_image(other, FOV, 2.0, 3.0)
+        assert receipt.near_duplicate_of is None
+
+    def test_exact_duplicate_still_deduplicated(self, scene):
+        platform = TVDP(detect_near_duplicates=True)
+        first = platform.upload_image(scene, FOV, 0.0, 1.0)
+        again = platform.upload_image(scene, FOV, 5.0, 6.0)
+        assert again.deduplicated
+        assert again.image_id == first.image_id
+
+    def test_detection_off_never_flags(self, scene):
+        platform = TVDP()
+        platform.upload_image(scene, FOV, 0.0, 1.0)
+        variant = adjust_brightness(scene, 0.03)
+        receipt = platform.upload_image(variant, FOV, 2.0, 3.0)
+        assert receipt.near_duplicate_of is None

@@ -1,0 +1,84 @@
+"""Tests for the worker task-acceptance model."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import Campaign, Task, Worker, WorkerPool, run_iterative_campaign
+from repro.geo import BoundingBox, GeoPoint, destination_point
+
+REGION = BoundingBox(34.00, -118.30, 34.04, -118.26)
+
+
+class TestAcceptanceModel:
+    def test_probability_decays_with_distance(self):
+        worker = Worker(worker_id=1, location=GeoPoint(34.0, -118.3))
+        near = destination_point(worker.location, 0.0, 100.0)
+        far = destination_point(worker.location, 0.0, 10_000.0)
+        assert worker.acceptance_probability(near) > worker.acceptance_probability(far)
+        assert worker.acceptance_probability(worker.location) == pytest.approx(1.0)
+
+    def test_zero_distance_always_accepts(self):
+        rng = np.random.default_rng(0)
+        worker = Worker(worker_id=1, location=GeoPoint(34.0, -118.3))
+        task = Task(task_id=1, location=worker.location, direction_deg=None, campaign_id=1)
+        assert all(worker.accepts(task, rng) for _ in range(20))
+
+    def test_distant_task_mostly_declined(self):
+        rng = np.random.default_rng(1)
+        worker = Worker(
+            worker_id=1, location=GeoPoint(34.0, -118.3), acceptance_radius_m=500.0
+        )
+        far = destination_point(worker.location, 0.0, 5_000.0)
+        task = Task(task_id=1, location=far, direction_deg=None, campaign_id=1)
+        outcomes = [worker.accepts(task, rng) for _ in range(50)]
+        assert sum(outcomes) < 5
+        assert worker.declined > 40
+
+    def test_declines_counted(self):
+        rng = np.random.default_rng(2)
+        worker = Worker(
+            worker_id=1, location=GeoPoint(34.0, -118.3), acceptance_radius_m=1.0
+        )
+        far = destination_point(worker.location, 0.0, 1_000.0)
+        task = Task(task_id=1, location=far, direction_deg=None, campaign_id=1)
+        worker.accepts(task, rng)
+        assert worker.declined == 1
+
+
+class TestCampaignWithDeclines:
+    def test_declines_slow_but_do_not_stop_progress(self):
+        campaign = Campaign(1, "lasan", REGION, target_coverage=0.7, min_directions=1)
+        pool = WorkerPool.spawn(
+            12, REGION, seed=0, camera_range_m=400.0, acceptance_radius_m=1_500.0
+        )
+        result = run_iterative_campaign(
+            campaign,
+            pool,
+            grid_rows=5,
+            grid_cols=5,
+            max_rounds=10,
+            seed=0,
+            simulate_declines=True,
+        )
+        assert result.final_coverage >= 0.7
+        # Some offers were declined along the way.
+        assert sum(w.declined for w in pool.workers) > 0
+
+    def test_declines_reduce_completions_per_round(self):
+        def run(declines):
+            campaign = Campaign(1, "x", REGION, target_coverage=0.99, min_directions=1)
+            pool = WorkerPool.spawn(
+                8, REGION, seed=1, camera_range_m=300.0, acceptance_radius_m=400.0
+            )
+            result = run_iterative_campaign(
+                campaign,
+                pool,
+                grid_rows=6,
+                grid_cols=6,
+                max_rounds=1,
+                seed=1,
+                simulate_declines=declines,
+            )
+            return result.rounds[0].tasks_completed if result.rounds else 0
+
+        assert run(True) <= run(False)

@@ -1,0 +1,156 @@
+"""Tests for task assignment and the iterative campaign loop."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import (
+    Campaign,
+    Task,
+    Worker,
+    WorkerPool,
+    assign_greedy,
+    assign_nearest,
+    assign_partitioned,
+    measure_coverage,
+    run_iterative_campaign,
+)
+from repro.errors import CrowdError
+from repro.geo import BoundingBox, GeoPoint
+
+REGION = BoundingBox(34.00, -118.30, 34.04, -118.26)
+
+
+def make_instance(n_workers=6, n_tasks=15, seed=0):
+    rng = np.random.default_rng(seed)
+    workers = [
+        Worker(
+            worker_id=i + 1,
+            location=GeoPoint(
+                float(rng.uniform(REGION.min_lat, REGION.max_lat)),
+                float(rng.uniform(REGION.min_lng, REGION.max_lng)),
+            ),
+        )
+        for i in range(n_workers)
+    ]
+    tasks = [
+        Task(
+            task_id=i + 1,
+            location=GeoPoint(
+                float(rng.uniform(REGION.min_lat, REGION.max_lat)),
+                float(rng.uniform(REGION.min_lng, REGION.max_lng)),
+            ),
+            direction_deg=None,
+            campaign_id=1,
+        )
+        for i in range(n_tasks)
+    ]
+    return workers, tasks
+
+
+class TestAssignment:
+    def test_greedy_assigns_all_when_budget_allows(self):
+        workers, tasks = make_instance()
+        result = assign_greedy(workers, tasks, per_worker=5)
+        assert len(result.assignments) == len(tasks)
+        assert result.unassigned_tasks == []
+
+    def test_budget_respected(self):
+        workers, tasks = make_instance(n_workers=2, n_tasks=10)
+        result = assign_greedy(workers, tasks, per_worker=3)
+        assert len(result.assignments) == 6
+        assert len(result.unassigned_tasks) == 4
+        per_worker = {}
+        for a in result.assignments:
+            per_worker[a.worker.worker_id] = per_worker.get(a.worker.worker_id, 0) + 1
+        assert all(count <= 3 for count in per_worker.values())
+
+    def test_max_distance_constraint(self):
+        workers, tasks = make_instance()
+        result = assign_greedy(workers, tasks, per_worker=5, max_distance_m=1.0)
+        assert result.assignments == []
+        assert len(result.unassigned_tasks) == len(tasks)
+
+    def test_no_task_double_assigned(self):
+        workers, tasks = make_instance(n_tasks=20)
+        for strategy in (assign_greedy, assign_nearest):
+            result = strategy(workers, tasks, per_worker=10)
+            ids = [a.task.task_id for a in result.assignments]
+            assert len(ids) == len(set(ids))
+
+    def test_greedy_beats_or_ties_nearest_on_travel(self):
+        totals = {"greedy": 0.0, "nearest": 0.0}
+        for seed in range(5):
+            workers, tasks = make_instance(seed=seed)
+            totals["greedy"] += assign_greedy(workers, tasks, per_worker=5).total_distance_m
+            totals["nearest"] += assign_nearest(workers, tasks, per_worker=5).total_distance_m
+        assert totals["greedy"] <= totals["nearest"] * 1.05
+
+    def test_partitioned_assigns_everything_eventually(self):
+        workers, tasks = make_instance(n_workers=8, n_tasks=24, seed=3)
+        result = assign_partitioned(
+            workers, tasks, REGION, partitions=2, per_worker=10
+        )
+        assert len(result.assignments) == 24
+        per_worker = {}
+        for a in result.assignments:
+            per_worker[a.worker.worker_id] = per_worker.get(a.worker.worker_id, 0) + 1
+        assert all(count <= 10 for count in per_worker.values())
+
+    def test_partitioned_quality_close_to_greedy(self):
+        workers, tasks = make_instance(n_workers=10, n_tasks=30, seed=4)
+        greedy = assign_greedy(workers, tasks, per_worker=10).total_distance_m
+        part = assign_partitioned(
+            workers, tasks, REGION, partitions=2, per_worker=10
+        ).total_distance_m
+        assert part <= greedy * 3.0  # same order of magnitude
+
+    def test_bad_parameters(self):
+        workers, tasks = make_instance()
+        with pytest.raises(CrowdError):
+            assign_greedy(workers, tasks, per_worker=0)
+        with pytest.raises(CrowdError):
+            assign_partitioned(workers, tasks, REGION, partitions=0)
+
+    def test_mean_distance_empty(self):
+        workers, tasks = make_instance()
+        result = assign_greedy(workers, tasks, per_worker=5, max_distance_m=0.0)
+        assert result.mean_distance_m == 0.0
+
+
+class TestIterativeCampaign:
+    def test_reaches_coverage_target(self):
+        campaign = Campaign(1, "lasan", REGION, target_coverage=0.8, min_directions=1)
+        pool = WorkerPool.spawn(10, REGION, seed=0, camera_range_m=400.0)
+        result = run_iterative_campaign(
+            campaign, pool, grid_rows=6, grid_cols=6, max_rounds=8, seed=0
+        )
+        assert result.final_coverage >= 0.8
+        assert result.total_tasks_completed > 0
+
+    def test_coverage_monotone_nondecreasing(self):
+        campaign = Campaign(1, "lasan", REGION, target_coverage=0.95, min_directions=1)
+        pool = WorkerPool.spawn(6, REGION, seed=1, camera_range_m=300.0)
+        result = run_iterative_campaign(
+            campaign, pool, grid_rows=6, grid_cols=6, max_rounds=6, seed=1
+        )
+        ratios = [r.coverage_ratio for r in result.rounds]
+        assert all(b >= a for a, b in zip(ratios, ratios[1:]))
+
+    def test_initial_fovs_counted(self):
+        from repro.geo import FieldOfView
+
+        blanket = FieldOfView(REGION.center, 0.0, 360.0, 10_000.0)
+        campaign = Campaign(1, "lasan", REGION, target_coverage=0.5, min_directions=1)
+        pool = WorkerPool.spawn(3, REGION, seed=2)
+        result = run_iterative_campaign(
+            campaign, pool, initial_fovs=[blanket], max_rounds=3, seed=2
+        )
+        # Already covered: no rounds needed.
+        assert result.rounds == []
+        assert len(result.fovs) == 1
+
+    def test_bad_max_rounds(self):
+        campaign = Campaign(1, "lasan", REGION)
+        pool = WorkerPool.spawn(2, REGION)
+        with pytest.raises(CrowdError):
+            run_iterative_campaign(campaign, pool, max_rounds=0)

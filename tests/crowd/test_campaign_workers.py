@@ -1,0 +1,115 @@
+"""Tests for campaigns, tasks, and simulated workers."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import Campaign, Task, Worker, WorkerPool, measure_coverage
+from repro.errors import CrowdError
+from repro.geo import BoundingBox, GeoPoint, haversine_m
+
+REGION = BoundingBox(34.00, -118.30, 34.02, -118.28)
+
+
+class TestCampaign:
+    def test_bad_target_coverage(self):
+        with pytest.raises(CrowdError):
+            Campaign(1, "lasan", REGION, target_coverage=0.0)
+        with pytest.raises(CrowdError):
+            Campaign(1, "lasan", REGION, target_coverage=1.2)
+
+    def test_generate_tasks_for_empty_coverage(self):
+        campaign = Campaign(1, "lasan", REGION)
+        report = measure_coverage([], REGION, rows=3, cols=3)
+        tasks = campaign.generate_tasks(report)
+        assert len(tasks) == 9
+        assert all(t.direction_deg is None for t in tasks)
+        assert all(REGION.contains_point(t.location) for t in tasks)
+        assert campaign.open_tasks == tasks
+
+    def test_max_tasks_cap(self):
+        campaign = Campaign(1, "lasan", REGION)
+        report = measure_coverage([], REGION, rows=4, cols=4)
+        tasks = campaign.generate_tasks(report, max_tasks=5)
+        assert len(tasks) == 5
+
+    def test_directional_tasks_for_under_covered(self):
+        from repro.geo import FieldOfView
+
+        fov = FieldOfView(REGION.center, 10.0, 360.0, 3000.0)
+        campaign = Campaign(1, "lasan", REGION, min_directions=2)
+        report = measure_coverage([fov], REGION, rows=2, cols=2, min_directions=2)
+        tasks = campaign.generate_tasks(report)
+        # All cells covered once; tasks are directional fills only.
+        assert tasks
+        assert all(t.direction_deg is not None for t in tasks)
+
+    def test_complete_moves_task(self):
+        campaign = Campaign(1, "lasan", REGION, reward_per_task=2.0)
+        report = measure_coverage([], REGION, rows=2, cols=2)
+        tasks = campaign.generate_tasks(report)
+        campaign.complete(tasks[0])
+        assert tasks[0] in campaign.completed_tasks
+        assert tasks[0] not in campaign.open_tasks
+        assert campaign.total_reward_paid == 2.0
+
+    def test_complete_unknown_task_raises(self):
+        campaign = Campaign(1, "lasan", REGION)
+        ghost = Task(task_id=999, location=REGION.center, direction_deg=None, campaign_id=1)
+        with pytest.raises(CrowdError):
+            campaign.complete(ghost)
+
+
+class TestWorker:
+    def test_perform_moves_and_counts(self):
+        rng = np.random.default_rng(0)
+        worker = Worker(worker_id=1, location=GeoPoint(34.0, -118.3))
+        target = GeoPoint(34.01, -118.29)
+        task = Task(task_id=1, location=target, direction_deg=90.0, campaign_id=1)
+        before = haversine_m(worker.location, target)
+        fov = worker.perform(task, rng)
+        assert worker.location == target
+        assert worker.captures == 1
+        assert worker.distance_travelled_m == pytest.approx(before)
+        # GPS noise keeps the camera near the task location.
+        assert haversine_m(fov.camera, target) < 30.0
+
+    def test_direction_respected_within_noise(self):
+        rng = np.random.default_rng(1)
+        worker = Worker(worker_id=1, location=GeoPoint(34.0, -118.3), compass_noise_deg=2.0)
+        task = Task(task_id=1, location=GeoPoint(34.0, -118.3), direction_deg=180.0, campaign_id=1)
+        fov = worker.perform(task, rng)
+        from repro.geo import angular_difference_deg
+
+        assert angular_difference_deg(fov.direction_deg, 180.0) < 10.0
+
+    def test_free_direction_task(self):
+        rng = np.random.default_rng(2)
+        worker = Worker(worker_id=1, location=GeoPoint(34.0, -118.3))
+        task = Task(task_id=1, location=GeoPoint(34.0, -118.3), direction_deg=None, campaign_id=1)
+        fov = worker.perform(task, rng)
+        assert 0.0 <= fov.direction_deg < 360.0
+
+    def test_travel_time(self):
+        worker = Worker(worker_id=1, location=GeoPoint(34.0, -118.3), speed_mps=2.0)
+        point = GeoPoint(34.0, -118.29)
+        expected = haversine_m(worker.location, point) / 2.0
+        assert worker.travel_time_to(point) == pytest.approx(expected)
+
+
+class TestWorkerPool:
+    def test_spawn_in_region(self):
+        pool = WorkerPool.spawn(20, REGION, seed=0)
+        assert len(pool) == 20
+        assert all(REGION.contains_point(w.location) for w in pool.workers)
+        assert len({w.worker_id for w in pool.workers}) == 20
+
+    def test_spawn_zero_raises(self):
+        with pytest.raises(CrowdError):
+            WorkerPool.spawn(0, REGION)
+
+    def test_total_distance(self):
+        pool = WorkerPool.spawn(2, REGION, seed=1)
+        rng = np.random.default_rng(0)
+        task = Task(task_id=1, location=REGION.center, direction_deg=None, campaign_id=1)
+        pool.workers[0].perform(task, rng)
+        assert pool.total_distance_m() > 0.0

@@ -1,0 +1,82 @@
+"""Tests for spatial coverage measurement."""
+
+import pytest
+
+from repro.crowd import (
+    DIRECTION_BUCKETS,
+    direction_bucket,
+    measure_coverage,
+)
+from repro.errors import CrowdError
+from repro.geo import BoundingBox, FieldOfView, GeoPoint
+
+REGION = BoundingBox(34.00, -118.30, 34.02, -118.28)
+
+
+def wide_fov(center, direction=0.0, range_m=3000.0):
+    return FieldOfView(center, direction, 360.0, range_m)
+
+
+class TestDirectionBucket:
+    def test_buckets(self):
+        assert direction_bucket(0.0) == 0
+        assert direction_bucket(44.9) == 0
+        assert direction_bucket(45.0) == 1
+        assert direction_bucket(359.9) == DIRECTION_BUCKETS - 1
+
+    def test_wraps(self):
+        assert direction_bucket(360.0) == 0
+
+
+class TestMeasureCoverage:
+    def test_empty_fovs_zero_coverage(self):
+        report = measure_coverage([], REGION, rows=4, cols=4)
+        assert report.coverage_ratio == 0.0
+        assert len(report.uncovered_cells()) == 16
+
+    def test_giant_fov_full_coverage(self):
+        fov = wide_fov(REGION.center)
+        report = measure_coverage([fov], REGION, rows=4, cols=4, min_directions=1)
+        assert report.coverage_ratio == 1.0
+        assert report.uncovered_cells() == []
+
+    def test_single_direction_fails_directional_target(self):
+        fov = wide_fov(REGION.center, direction=10.0)
+        report = measure_coverage([fov], REGION, rows=4, cols=4, min_directions=2)
+        assert report.coverage_ratio == 1.0
+        assert report.directional_coverage_ratio == 0.0
+        assert len(report.under_covered_cells()) == 16
+
+    def test_two_directions_satisfy_directional_target(self):
+        fovs = [
+            wide_fov(REGION.center, direction=10.0),
+            wide_fov(REGION.center, direction=100.0),
+        ]
+        report = measure_coverage(fovs, REGION, rows=4, cols=4, min_directions=2)
+        assert report.directional_coverage_ratio == 1.0
+
+    def test_partial_coverage(self):
+        # A narrow sector near one corner covers only some cells.
+        corner = GeoPoint(34.001, -118.299)
+        fov = FieldOfView(corner, 45.0, 60.0, 300.0)
+        report = measure_coverage([fov], REGION, rows=8, cols=8)
+        assert 0.0 < report.coverage_ratio < 0.5
+
+    def test_missing_directions(self):
+        fov = wide_fov(REGION.center, direction=10.0)  # bucket 0
+        report = measure_coverage([fov], REGION, rows=2, cols=2)
+        cell = report.grid.cell(0, 0)
+        missing = report.missing_directions(cell)
+        assert 0 not in missing
+        assert len(missing) == DIRECTION_BUCKETS - 1
+
+    def test_bad_min_directions(self):
+        with pytest.raises(CrowdError):
+            measure_coverage([], REGION, min_directions=0)
+        with pytest.raises(CrowdError):
+            measure_coverage([], REGION, min_directions=DIRECTION_BUCKETS + 1)
+
+    def test_cell_hits_counted(self):
+        fovs = [wide_fov(REGION.center), wide_fov(REGION.center)]
+        report = measure_coverage(fovs, REGION, rows=2, cols=2)
+        assert all(count == 2 for count in report.cell_hits.values())

@@ -1,0 +1,171 @@
+"""Tests for the synthetic LASAN and GeoUGV-style datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CLASS_KEYWORDS,
+    dataset_summary,
+    generate_fleet_videos,
+    generate_lasan_dataset,
+    generate_video,
+)
+from repro.errors import TVDPError
+from repro.geo import DOWNTOWN_LA, GeoPoint
+from repro.imaging import CLEANLINESS_CLASSES
+
+
+class TestLasanDataset:
+    def test_balanced_classes(self):
+        records = generate_lasan_dataset(n_per_class=5, image_size=32, seed=0)
+        assert len(records) == 25
+        counts = {}
+        for record in records:
+            counts[record.label] = counts.get(record.label, 0) + 1
+        assert counts == {label: 5 for label in CLEANLINESS_CLASSES}
+
+    def test_prefix_balanced(self):
+        records = generate_lasan_dataset(n_per_class=4, image_size=32, seed=0)
+        prefix = records[:5]
+        assert {r.label for r in prefix} == set(CLEANLINESS_CLASSES)
+
+    def test_deterministic(self):
+        a = generate_lasan_dataset(n_per_class=2, image_size=32, seed=7)
+        b = generate_lasan_dataset(n_per_class=2, image_size=32, seed=7)
+        assert all(x.image == y.image for x, y in zip(a, b))
+        assert all(x.fov == y.fov for x, y in zip(a, b))
+
+    def test_locations_in_region(self):
+        records = generate_lasan_dataset(n_per_class=4, image_size=32, seed=1)
+        assert all(DOWNTOWN_LA.contains_point(r.fov.camera) for r in records)
+
+    def test_encampments_cluster(self):
+        records = generate_lasan_dataset(
+            n_per_class=30, image_size=32, seed=2, encampment_hotspots=2
+        )
+        tents = np.array(
+            [
+                (r.fov.camera.lat, r.fov.camera.lng)
+                for r in records
+                if r.label == "encampment"
+            ]
+        )
+        cleans = np.array(
+            [
+                (r.fov.camera.lat, r.fov.camera.lng)
+                for r in records
+                if r.label == "clean"
+            ]
+        )
+        # Encampment locations have visibly lower spread than uniform.
+        assert tents.std(axis=0).mean() < cleans.std(axis=0).mean() * 0.8
+
+    def test_keywords_match_class(self):
+        records = generate_lasan_dataset(n_per_class=3, image_size=32, seed=3)
+        for record in records:
+            assert set(record.keywords) <= set(CLASS_KEYWORDS[record.label])
+            assert record.keywords
+
+    def test_upload_after_capture(self):
+        records = generate_lasan_dataset(n_per_class=3, image_size=32, seed=4)
+        assert all(r.uploaded_at > r.captured_at for r in records)
+
+    def test_summary(self):
+        records = generate_lasan_dataset(n_per_class=3, image_size=32, seed=5)
+        summary = dataset_summary(records)
+        assert summary["total"] == 15
+        assert summary["per_class"]["clean"] == 3
+        assert summary["image_size"] == (32, 32)
+        assert summary["capture_span_s"] > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(TVDPError):
+            generate_lasan_dataset(n_per_class=0)
+        with pytest.raises(TVDPError):
+            dataset_summary([])
+
+
+class TestGeoUGV:
+    def test_video_structure(self):
+        video = generate_video(
+            1, GeoPoint(34.04, -118.25), initial_bearing=90.0, n_frames=20, seed=0
+        )
+        assert len(video.frames) == 20
+        assert [f.frame_number for f in video.frames] == list(range(20))
+        timestamps = [f.timestamp for f in video.frames]
+        assert timestamps == sorted(timestamps)
+
+    def test_camera_moves_along_heading(self):
+        video = generate_video(
+            1,
+            GeoPoint(34.04, -118.25),
+            initial_bearing=0.0,
+            n_frames=10,
+            turn_prob=0.0,
+            seed=0,
+        )
+        lats = [f.fov.camera.lat for f in video.frames]
+        assert lats == sorted(lats)  # heading north: latitude increases
+
+    def test_direction_follows_travel(self):
+        video = generate_video(
+            1,
+            GeoPoint(34.04, -118.25),
+            initial_bearing=90.0,
+            n_frames=10,
+            turn_prob=0.0,
+            seed=0,
+        )
+        from repro.geo import angular_difference_deg
+
+        for frame in video.frames:
+            assert angular_difference_deg(frame.fov.direction_deg, 90.0) < 15.0
+
+    def test_render_frame_deterministic(self):
+        video = generate_video(
+            2, GeoPoint(34.04, -118.25), initial_bearing=0.0, n_frames=5, seed=1
+        )
+        assert video.render_frame(3) == video.render_frame(3)
+
+    def test_render_unknown_frame_raises(self):
+        video = generate_video(
+            1, GeoPoint(34.04, -118.25), initial_bearing=0.0, n_frames=5, seed=0
+        )
+        with pytest.raises(TVDPError):
+            video.render_frame(99)
+
+    def test_key_frames(self):
+        video = generate_video(
+            1, GeoPoint(34.04, -118.25), initial_bearing=0.0, n_frames=20, seed=0
+        )
+        keys = video.key_frames(every=5)
+        assert [f.frame_number for f in keys] == [0, 5, 10, 15]
+        with pytest.raises(TVDPError):
+            video.key_frames(every=0)
+
+    def test_mostly_clean_labels(self):
+        video = generate_video(
+            1, GeoPoint(34.04, -118.25), initial_bearing=0.0, n_frames=200, seed=3
+        )
+        clean = sum(1 for f in video.frames if f.label == "clean")
+        assert clean > 80
+
+    def test_fleet(self):
+        videos = generate_fleet_videos(n_videos=3, n_frames=5, seed=0)
+        assert len(videos) == 3
+        assert {v.video_id for v in videos} == {1, 2, 3}
+        with pytest.raises(TVDPError):
+            generate_fleet_videos(n_videos=0)
+
+    def test_stays_near_region(self):
+        video = generate_video(
+            1,
+            GeoPoint(34.04, -118.25),
+            initial_bearing=270.0,
+            n_frames=300,
+            turn_prob=0.0,
+            seed=0,
+        )
+        # U-turns at the boundary keep the truck near downtown.
+        expanded = DOWNTOWN_LA.expand(0.02)
+        assert all(expanded.contains_point(f.fov.camera) for f in video.frames)

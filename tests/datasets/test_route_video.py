@@ -1,0 +1,66 @@
+"""Tests for street-route video generation over the road network."""
+
+import pytest
+
+from repro.datasets import generate_route_video
+from repro.errors import TVDPError
+from repro.geo import (
+    BoundingBox,
+    GeoPoint,
+    RoadNetwork,
+    angular_difference_deg,
+    haversine_m,
+    initial_bearing_deg,
+)
+
+REGION = BoundingBox(34.00, -118.30, 34.04, -118.26)
+
+
+class TestRouteVideo:
+    def test_straight_route(self):
+        a = GeoPoint(34.00, -118.28)
+        b = GeoPoint(34.02, -118.28)  # ~2.2 km due north
+        video = generate_route_video(1, [a, b], speed_mps=10.0, seed=0)
+        # ~222 s of driving at 10 m/s, one frame per second.
+        assert 200 <= len(video.frames) <= 240
+        for frame in video.frames:
+            assert angular_difference_deg(frame.fov.direction_deg, 0.0) < 15.0
+
+    def test_frames_spaced_by_speed(self):
+        a = GeoPoint(34.00, -118.28)
+        b = GeoPoint(34.01, -118.28)
+        video = generate_route_video(1, [a, b], speed_mps=5.0, seed=0)
+        cameras = [f.fov.camera for f in video.frames]
+        gaps = [haversine_m(x, y) for x, y in zip(cameras, cameras[1:])]
+        assert all(abs(g - 5.0) < 0.5 for g in gaps)
+
+    def test_network_route_video_stays_on_streets(self):
+        network = RoadNetwork.manhattan(REGION, rows=5, cols=5, seed=0)
+        route = network.route(GeoPoint(34.00, -118.30), GeoPoint(34.04, -118.26))
+        video = generate_route_video(2, route, seed=1)
+        assert len(video.frames) > 10
+        # Every camera lies near the route polyline (within one step).
+        for frame in video.frames:
+            nearest = min(haversine_m(frame.fov.camera, p) for p in route)
+            assert nearest < 1_200.0  # within a block of some intersection
+
+    def test_heading_turns_at_corners(self):
+        # L-shaped route: north then east.
+        a = GeoPoint(34.00, -118.28)
+        b = GeoPoint(34.01, -118.28)
+        c = GeoPoint(34.01, -118.27)
+        video = generate_route_video(3, [a, b, c], speed_mps=10.0, seed=0)
+        headings = [f.fov.direction_deg for f in video.frames]
+        assert angular_difference_deg(headings[0], 0.0) < 15.0
+        assert angular_difference_deg(headings[-1], 90.0) < 15.0
+
+    def test_render_and_keyframes_work(self):
+        a = GeoPoint(34.00, -118.28)
+        b = GeoPoint(34.003, -118.28)
+        video = generate_route_video(4, [a, b], image_size=32, seed=2)
+        frame = video.key_frames(every=5)[0]
+        assert video.render_frame(frame.frame_number).shape == (32, 32)
+
+    def test_too_few_waypoints_raises(self):
+        with pytest.raises(TVDPError):
+            generate_route_video(1, [GeoPoint(0, 0)])

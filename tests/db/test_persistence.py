@@ -1,0 +1,131 @@
+"""Round-trip tests for JSON persistence."""
+
+import pytest
+
+from repro.db import (
+    Column,
+    ColumnType,
+    Database,
+    ForeignKey,
+    TableSchema,
+    dump_database,
+    load_database,
+)
+from repro.errors import SchemaError
+
+I, T = ColumnType.INTEGER, ColumnType.TEXT
+
+
+def populated_tvdp():
+    db = Database.tvdp()
+    user = db.insert("users", {"name": "lasan", "role": "government"})
+    for i in range(3):
+        image = db.insert(
+            "images",
+            {
+                "uri": f"img://{i}",
+                "content_hash": f"hash{i}",
+                "lat": 34.0 + i * 0.01,
+                "lng": -118.0,
+                "timestamp_capturing": float(i),
+                "timestamp_uploading": float(i) + 0.5,
+                "is_augmented": False,
+                "uploader_id": user,
+            },
+        )
+        db.insert(
+            "image_fov",
+            {
+                "image_id": image,
+                "direction_deg": 45.0,
+                "angle_deg": 60.0,
+                "range_m": 120.0,
+            },
+        )
+        db.insert(
+            "image_visual_features",
+            {"image_id": image, "extractor_name": "color", "vector": [0.1, 0.2]},
+        )
+    # An augmented image referencing image 2 (self-FK within images).
+    db.insert(
+        "images",
+        {
+            "uri": "img://aug",
+            "content_hash": "hash-aug",
+            "lat": 34.0,
+            "lng": -118.0,
+            "timestamp_capturing": 9.0,
+            "timestamp_uploading": 9.5,
+            "is_augmented": True,
+            "source_image_id": 2,
+            "augmentation_name": "flip_h",
+        },
+    )
+    return db
+
+
+class TestPersistence:
+    def test_round_trip_counts(self, tmp_path):
+        db = populated_tvdp()
+        path = tmp_path / "db.json"
+        dump_database(db, path)
+        restored = load_database(path)
+        assert restored.row_counts() == db.row_counts()
+
+    def test_round_trip_rows(self, tmp_path):
+        db = populated_tvdp()
+        path = tmp_path / "db.json"
+        dump_database(db, path)
+        restored = load_database(path)
+        assert restored.table("images").all_rows() == db.table("images").all_rows()
+        assert (
+            restored.table("image_visual_features").all_rows()
+            == db.table("image_visual_features").all_rows()
+        )
+
+    def test_indexes_restored(self, tmp_path):
+        db = populated_tvdp()
+        path = tmp_path / "db.json"
+        dump_database(db, path)
+        restored = load_database(path)
+        table = restored.table("image_visual_features")
+        assert "image_id" in table._indexes
+
+    def test_fk_still_enforced_after_load(self, tmp_path):
+        db = populated_tvdp()
+        path = tmp_path / "db.json"
+        dump_database(db, path)
+        restored = load_database(path)
+        from repro.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            restored.insert(
+                "image_fov",
+                {
+                    "image_id": 999,
+                    "direction_deg": 0.0,
+                    "angle_deg": 60.0,
+                    "range_m": 1.0,
+                },
+            )
+
+    def test_pk_sequence_continues_after_load(self, tmp_path):
+        db = populated_tvdp()
+        path = tmp_path / "db.json"
+        dump_database(db, path)
+        restored = load_database(path)
+        new_pk = restored.insert("users", {"name": "new", "role": "citizen"})
+        existing = {row["user_id"] for row in db.table("users").all_rows()}
+        assert new_pk not in existing
+
+    def test_bad_version_raises(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text('{"version": 99, "tables": []}')
+        with pytest.raises(SchemaError):
+            load_database(path)
+
+    def test_empty_database_round_trip(self, tmp_path):
+        path = tmp_path / "db.json"
+        dump_database(Database(), path)
+        restored = load_database(path)
+        assert restored.table_names() == []

@@ -1,0 +1,144 @@
+"""Tests for schema definitions and row validation."""
+
+import pytest
+
+from repro.db import Column, ColumnType, ForeignKey, TableSchema, tvdp_schema
+from repro.errors import SchemaError
+
+I, R, T, B = ColumnType.INTEGER, ColumnType.REAL, ColumnType.TEXT, ColumnType.BOOLEAN
+
+
+def simple_schema():
+    return TableSchema(
+        "things",
+        (
+            Column("id", I, primary_key=True),
+            Column("name", T),
+            Column("score", R, nullable=True),
+            Column("active", B),
+        ),
+    )
+
+
+class TestColumnType:
+    def test_integer_accepts_int(self):
+        assert ColumnType.INTEGER.validate(5) == 5
+
+    def test_integer_rejects_bool_and_float(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INTEGER.validate(True)
+        with pytest.raises(SchemaError):
+            ColumnType.INTEGER.validate(1.5)
+
+    def test_real_coerces_int(self):
+        assert ColumnType.REAL.validate(3) == 3.0
+        assert isinstance(ColumnType.REAL.validate(3), float)
+
+    def test_real_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            ColumnType.REAL.validate(False)
+
+    def test_text_rejects_numbers(self):
+        with pytest.raises(SchemaError):
+            ColumnType.TEXT.validate(5)
+
+    def test_boolean_strict(self):
+        assert ColumnType.BOOLEAN.validate(True) is True
+        with pytest.raises(SchemaError):
+            ColumnType.BOOLEAN.validate(1)
+
+    def test_json_accepts_anything(self):
+        assert ColumnType.JSON.validate([1, {"a": 2}]) == [1, {"a": 2}]
+
+
+class TestTableSchema:
+    def test_requires_single_pk(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (Column("a", I),))
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                (Column("a", I, primary_key=True), Column("b", I, primary_key=True)),
+            )
+
+    def test_pk_must_be_integer(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (Column("a", T, primary_key=True),))
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t", (Column("a", I, primary_key=True), Column("a", T))
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", ())
+
+    def test_column_lookup(self):
+        schema = simple_schema()
+        assert schema.column("name").type is ColumnType.TEXT
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+
+    def test_primary_key_property(self):
+        assert simple_schema().primary_key.name == "id"
+
+
+class TestValidateRow:
+    def test_valid_row(self):
+        row = simple_schema().validate_row(
+            {"name": "x", "score": 1.5, "active": True}
+        )
+        assert row == {"name": "x", "score": 1.5, "active": True}
+
+    def test_nullable_defaults_to_none(self):
+        row = simple_schema().validate_row({"name": "x", "active": False})
+        assert row["score"] is None
+
+    def test_missing_required_raises(self):
+        with pytest.raises(SchemaError):
+            simple_schema().validate_row({"active": True})
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            simple_schema().validate_row({"name": "x", "active": True, "bogus": 1})
+
+    def test_type_violation_raises(self):
+        with pytest.raises(SchemaError):
+            simple_schema().validate_row({"name": 5, "active": True})
+
+
+class TestTvdpSchema:
+    def test_contains_paper_entities(self):
+        names = {schema.name for schema in tvdp_schema()}
+        expected = {
+            "images",
+            "videos",
+            "image_fov",
+            "image_scene_location",
+            "image_visual_features",
+            "image_content_classification",
+            "image_content_classification_types",
+            "image_content_annotation",
+            "image_manual_keywords",
+            "users",
+            "api_keys",
+        }
+        assert expected <= names
+
+    def test_annotation_links_to_types_and_images(self):
+        schemas = {s.name: s for s in tvdp_schema()}
+        annotation = schemas["image_content_annotation"]
+        assert annotation.column("image_id").foreign_key == ForeignKey(
+            "images", "image_id"
+        )
+        assert annotation.column("type_id").foreign_key == ForeignKey(
+            "image_content_classification_types", "type_id"
+        )
+
+    def test_images_have_spatiotemporal_descriptors(self):
+        schemas = {s.name: s for s in tvdp_schema()}
+        images = schemas["images"]
+        for col in ("lat", "lng", "timestamp_capturing", "timestamp_uploading"):
+            assert images.column(col).type is ColumnType.REAL

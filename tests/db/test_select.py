@@ -1,0 +1,81 @@
+"""Tests for Table.select (declarative reads)."""
+
+import pytest
+
+from repro.db import Column, ColumnType, Table, TableSchema
+from repro.errors import SchemaError
+
+I, R, T = ColumnType.INTEGER, ColumnType.REAL, ColumnType.TEXT
+
+
+@pytest.fixture()
+def table():
+    t = Table(
+        TableSchema(
+            "obs",
+            (
+                Column("id", I, primary_key=True),
+                Column("kind", T),
+                Column("score", R, nullable=True),
+            ),
+        )
+    )
+    t.create_index("kind")
+    rows = [
+        ("fire", 0.9),
+        ("fire", 0.4),
+        ("smoke", 0.7),
+        ("normal", None),
+        ("fire", 0.8),
+    ]
+    for kind, score in rows:
+        t.insert({"kind": kind, "score": score})
+    return t
+
+
+class TestSelect:
+    def test_no_filters_returns_everything(self, table):
+        assert len(table.select()) == 5
+
+    def test_where_equality(self, table):
+        fires = table.select(where={"kind": "fire"})
+        assert len(fires) == 3
+        assert all(row["kind"] == "fire" for row in fires)
+
+    def test_where_multiple_columns(self, table):
+        rows = table.select(where={"kind": "fire", "score": 0.9})
+        assert len(rows) == 1
+        assert rows[0]["id"] == 1
+
+    def test_order_by_descending_with_limit(self, table):
+        top = table.select(where={"kind": "fire"}, order_by="score", descending=True, limit=2)
+        assert [row["score"] for row in top] == [0.9, 0.8]
+
+    def test_order_by_ascending_nulls_first(self, table):
+        ordered = table.select(order_by="score")
+        assert ordered[0]["score"] is None
+        scores = [row["score"] for row in ordered[1:]]
+        assert scores == sorted(scores)
+
+    def test_limit_zero(self, table):
+        assert table.select(limit=0) == []
+
+    def test_unknown_column_raises(self, table):
+        with pytest.raises(SchemaError):
+            table.select(where={"ghost": 1})
+        with pytest.raises(SchemaError):
+            table.select(order_by="ghost")
+
+    def test_negative_limit_raises(self, table):
+        with pytest.raises(SchemaError):
+            table.select(limit=-1)
+
+    def test_indexed_driver_matches_scan(self, table):
+        indexed = table.select(where={"kind": "smoke"})
+        scanned = [row for row in table.all_rows() if row["kind"] == "smoke"]
+        assert indexed == scanned
+
+    def test_select_returns_copies(self, table):
+        row = table.select(where={"kind": "smoke"})[0]
+        row["kind"] = "mutated"
+        assert table.select(where={"kind": "smoke"})  # still present

@@ -1,0 +1,153 @@
+"""Tests for device profiles, model cost models, and dispatch."""
+
+import math
+
+import pytest
+
+from repro.edge import (
+    DESKTOP,
+    INCEPTION_V3,
+    MOBILENET_V1,
+    MOBILENET_V2,
+    PAPER_DEVICES,
+    PAPER_MODELS,
+    RASPBERRY_PI,
+    SMARTPHONE,
+    DeviceProfile,
+    ModelVariant,
+    device_by_name,
+    dispatch_fleet,
+    dispatch_model,
+    model_by_name,
+    predicted_latency_ms,
+)
+from repro.errors import EdgeError
+
+
+class TestDevices:
+    def test_rpi_is_1_5_orders_slower_than_desktop(self):
+        # The paper's headline Fig. 8 observation.
+        flops = MOBILENET_V2.base_flops
+        desktop_ms = DESKTOP.inference_time_ms(flops) - DESKTOP.inference_overhead_ms
+        rpi_ms = (
+            RASPBERRY_PI.inference_time_ms(flops) - RASPBERRY_PI.inference_overhead_ms
+        )
+        assert math.log10(rpi_ms / desktop_ms) == pytest.approx(1.5, abs=0.05)
+
+    def test_desktop_tens_of_ms(self):
+        for model in PAPER_MODELS:
+            ms = DESKTOP.inference_time_ms(model.flops_at(model.base_input_px))
+            assert 1.0 < ms < 100.0
+
+    def test_rpi_thousands_of_ms_for_inception(self):
+        ms = RASPBERRY_PI.inference_time_ms(INCEPTION_V3.base_flops)
+        assert ms > 500.0
+
+    def test_smartphone_between(self):
+        flops = MOBILENET_V1.base_flops
+        assert (
+            DESKTOP.inference_time_ms(flops)
+            < SMARTPHONE.inference_time_ms(flops)
+            < RASPBERRY_PI.inference_time_ms(flops)
+        )
+
+    def test_transmission_time(self):
+        # 1 MB at 8 Mbps = 1 second.
+        device = DeviceProfile("t", 1.0, 100.0, 8.0, None, 0.0)
+        assert device.transmission_time_s(1_000_000) == pytest.approx(1.0)
+
+    def test_lookup(self):
+        assert device_by_name("desktop") is DESKTOP
+        with pytest.raises(EdgeError):
+            device_by_name("toaster")
+
+    def test_validation(self):
+        with pytest.raises(EdgeError):
+            DeviceProfile("bad", 0.0, 1.0, 1.0, None, 0.0)
+        with pytest.raises(EdgeError):
+            DESKTOP.inference_time_ms(-1.0)
+        with pytest.raises(EdgeError):
+            DESKTOP.transmission_time_s(-1)
+
+
+class TestModels:
+    def test_flops_scale_quadratically(self):
+        assert MOBILENET_V1.flops_at(448) == pytest.approx(4 * MOBILENET_V1.base_flops)
+        assert MOBILENET_V1.flops_at(112) == pytest.approx(MOBILENET_V1.base_flops / 4)
+
+    def test_inception_heaviest(self):
+        assert INCEPTION_V3.base_flops > MOBILENET_V1.base_flops
+        assert INCEPTION_V3.base_flops > MOBILENET_V2.base_flops
+
+    def test_accuracy_ordering(self):
+        # Bigger backbone, better expected accuracy.
+        assert (
+            INCEPTION_V3.expected_accuracy
+            > MOBILENET_V2.expected_accuracy
+            > MOBILENET_V1.expected_accuracy - 0.05
+        )
+
+    def test_lookup(self):
+        assert model_by_name("inception_v3") is INCEPTION_V3
+        with pytest.raises(EdgeError):
+            model_by_name("resnet")
+
+    def test_validation(self):
+        with pytest.raises(EdgeError):
+            ModelVariant("bad", 0.0, 224, 1.0, 0.5)
+        with pytest.raises(EdgeError):
+            ModelVariant("bad", 1.0, 224, 1.0, 1.5)
+        with pytest.raises(EdgeError):
+            MOBILENET_V1.flops_at(0)
+
+
+class TestDispatch:
+    def test_unconstrained_picks_most_accurate(self):
+        decision = dispatch_model(DESKTOP, list(PAPER_MODELS))
+        assert decision.model is INCEPTION_V3
+
+    def test_tight_latency_budget_downgrades(self):
+        decision = dispatch_model(
+            RASPBERRY_PI, list(PAPER_MODELS), latency_budget_ms=1500.0
+        )
+        assert decision.model in (MOBILENET_V1, MOBILENET_V2)
+        assert decision.predicted_latency_ms <= 1500.0
+
+    def test_impossible_budget_returns_fastest(self):
+        decision = dispatch_model(
+            RASPBERRY_PI, list(PAPER_MODELS), latency_budget_ms=1.0
+        )
+        latencies = {
+            m.name: predicted_latency_ms(RASPBERRY_PI, m) for m in PAPER_MODELS
+        }
+        assert decision.model.name == min(latencies, key=latencies.get)
+
+    def test_memory_constraint(self):
+        tiny_device = DeviceProfile("tiny", 5.0, 40.0, 10.0, 5.0, 1.0)
+        decision = dispatch_model(tiny_device, list(PAPER_MODELS))
+        # InceptionV3 (92 MB) cannot fit in 40 MB * 0.5.
+        assert decision.model is not INCEPTION_V3
+
+    def test_nothing_fits_raises(self):
+        micro = DeviceProfile("micro", 5.0, 10.0, 10.0, 1.0, 1.0)
+        with pytest.raises(EdgeError):
+            dispatch_model(micro, list(PAPER_MODELS))
+
+    def test_empty_candidates_raises(self):
+        with pytest.raises(EdgeError):
+            dispatch_model(DESKTOP, [])
+
+    def test_bad_budget_raises(self):
+        with pytest.raises(EdgeError):
+            dispatch_model(DESKTOP, list(PAPER_MODELS), latency_budget_ms=0.0)
+
+    def test_fleet_dispatch(self):
+        decisions = dispatch_fleet(list(PAPER_DEVICES), list(PAPER_MODELS), 1000.0)
+        assert set(decisions) == {d.name for d in PAPER_DEVICES}
+        # Desktop can afford the big model within 2s; RPI cannot.
+        assert decisions["desktop"].model is INCEPTION_V3
+        assert decisions["raspberry_pi_3b+"].model is not INCEPTION_V3
+
+    def test_download_time_positive(self):
+        decision = dispatch_model(SMARTPHONE, list(PAPER_MODELS))
+        assert decision.download_time_s > 0.0

@@ -1,0 +1,84 @@
+"""Tests for edge energy accounting and battery-aware dispatch."""
+
+import math
+
+import pytest
+
+from repro.edge import (
+    DESKTOP,
+    INCEPTION_V3,
+    MOBILENET_V1,
+    MOBILENET_V2,
+    PAPER_MODELS,
+    SMARTPHONE,
+    DeviceProfile,
+    dispatch_model,
+)
+from repro.errors import EdgeError
+
+
+class TestEnergy:
+    def test_energy_scales_with_flops(self):
+        small = SMARTPHONE.energy_per_inference_j(MOBILENET_V2.base_flops)
+        large = SMARTPHONE.energy_per_inference_j(INCEPTION_V3.base_flops)
+        assert large > small > 0.0
+
+    def test_mains_devices_unbounded(self):
+        assert math.isinf(DESKTOP.inferences_per_charge(INCEPTION_V3.base_flops))
+
+    def test_smartphone_charge_budget_finite(self):
+        budget = SMARTPHONE.inferences_per_charge(INCEPTION_V3.base_flops)
+        assert 0.0 < budget < 1e9
+        # The lighter model affords strictly more inferences.
+        lighter = SMARTPHONE.inferences_per_charge(MOBILENET_V2.base_flops)
+        assert lighter > budget
+
+    def test_energy_arithmetic(self):
+        device = DeviceProfile("t", 10.0, 100.0, 10.0, 10.0, 0.0, active_power_w=2.0)
+        # 1e9 flops at 10 GFLOPS = 0.1 s at 2 W = 0.2 J.
+        assert device.energy_per_inference_j(1e9) == pytest.approx(0.2)
+        # 10 Wh = 36 kJ -> 180 000 inferences.
+        assert device.inferences_per_charge(1e9) == pytest.approx(180_000)
+
+
+class TestBatteryAwareDispatch:
+    def test_battery_floor_downgrades_model(self):
+        unconstrained = dispatch_model(SMARTPHONE, list(PAPER_MODELS))
+        heavy_budget = SMARTPHONE.inferences_per_charge(INCEPTION_V3.base_flops)
+        constrained = dispatch_model(
+            SMARTPHONE,
+            list(PAPER_MODELS),
+            min_inferences_on_battery=heavy_budget * 2.0,
+        )
+        assert unconstrained.model is INCEPTION_V3
+        assert constrained.model is not INCEPTION_V3
+
+    def test_mains_device_ignores_battery_floor(self):
+        decision = dispatch_model(
+            DESKTOP, list(PAPER_MODELS), min_inferences_on_battery=1e12
+        )
+        assert decision.model is INCEPTION_V3
+
+    def test_impossible_floor_raises(self):
+        tiny_battery = DeviceProfile(
+            "dying_phone", 12.0, 4_096.0, 50.0, 0.001, 8.0, active_power_w=4.0
+        )
+        with pytest.raises(EdgeError):
+            dispatch_model(
+                tiny_battery, list(PAPER_MODELS), min_inferences_on_battery=1e9
+            )
+
+    def test_negative_floor_raises(self):
+        with pytest.raises(EdgeError):
+            dispatch_model(
+                SMARTPHONE, list(PAPER_MODELS), min_inferences_on_battery=-1.0
+            )
+
+    def test_floor_interacts_with_latency_budget(self):
+        decision = dispatch_model(
+            SMARTPHONE,
+            list(PAPER_MODELS),
+            latency_budget_ms=60.0,
+            min_inferences_on_battery=1.0,
+        )
+        assert decision.model in (MOBILENET_V1, MOBILENET_V2)

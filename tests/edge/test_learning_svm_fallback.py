@@ -1,0 +1,30 @@
+"""Crowd learning with a margin-only classifier (no predict_proba)."""
+
+import numpy as np
+
+from repro.edge import MOBILENET_V1, SMARTPHONE, CrowdLearningFramework, EdgeBatch
+from repro.ml import LinearSVM
+from tests.edge.test_selection_network_learning import make_learning_problem
+
+
+class TestSvmFallback:
+    def test_margin_softmax_fallback_runs(self):
+        (Xs, ys), (Xe, ye), (Xt, yt) = make_learning_problem(seed=5)
+        framework = CrowdLearningFramework(
+            model_variants=[MOBILENET_V1],
+            make_classifier=lambda: LinearSVM(epochs=20),
+            upload_budget=10,
+            human_label_rate=1.0,
+        )
+        framework.seed_pool(Xs, ys)
+        # LinearSVM has no predict_proba; the framework converts margins
+        # via softmax for the uncertainty selection.
+        probs = framework._predict_proba(Xe[:7])
+        assert probs.shape == (7, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+        batch = EdgeBatch(device=SMARTPHONE, features=Xe, true_labels=ye)
+        stats = framework.run_round([batch], Xt, yt)
+        assert stats.uploaded_samples == 10
+        assert stats.test_accuracy > 0.5

@@ -1,0 +1,212 @@
+"""Tests for edge data selection, bandwidth accounting, crowd learning."""
+
+import numpy as np
+import pytest
+
+from repro.edge import (
+    DESKTOP,
+    MOBILENET_V1,
+    MOBILENET_V2,
+    RASPBERRY_PI,
+    SMARTPHONE,
+    CrowdLearningFramework,
+    EdgeBatch,
+    compare_upload_strategies,
+    feature_vector_bytes,
+    prediction_entropy,
+    raw_image_bytes,
+    select_for_upload,
+    select_random,
+)
+from repro.errors import EdgeError
+
+
+class TestEntropy:
+    def test_uniform_is_max(self):
+        uniform = np.full((1, 4), 0.25)
+        peaked = np.array([[0.97, 0.01, 0.01, 0.01]])
+        assert prediction_entropy(uniform)[0] > prediction_entropy(peaked)[0]
+
+    def test_certain_is_zero(self):
+        certain = np.array([[1.0, 0.0, 0.0]])
+        assert prediction_entropy(certain)[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_negative_probs_raise(self):
+        with pytest.raises(EdgeError):
+            prediction_entropy(np.array([[-0.1, 1.1]]))
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(EdgeError):
+            prediction_entropy(np.array([0.5, 0.5]))
+
+
+class TestSelection:
+    def make_batch(self, n=40, seed=0):
+        rng = np.random.default_rng(seed)
+        features = rng.normal(0, 1, (n, 6))
+        logits = rng.normal(0, 2, (n, 3))
+        exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+        return features, exp / exp.sum(axis=1, keepdims=True)
+
+    def test_budget_respected(self):
+        features, probs = self.make_batch()
+        result = select_for_upload(features, probs, budget=10)
+        assert len(result.indices) == 10
+        assert len(set(result.indices)) == 10
+
+    def test_budget_larger_than_n(self):
+        features, probs = self.make_batch(n=5)
+        result = select_for_upload(features, probs, budget=50)
+        assert len(result.indices) == 5
+
+    def test_zero_budget(self):
+        features, probs = self.make_batch()
+        assert select_for_upload(features, probs, budget=0).indices == []
+
+    def test_first_pick_is_most_uncertain(self):
+        features, probs = self.make_batch()
+        result = select_for_upload(features, probs, budget=3, diversity_weight=0.0)
+        entropy = prediction_entropy(probs)
+        assert result.indices[0] == int(entropy.argmax())
+
+    def test_diversity_spreads_selection(self):
+        # Two tight clusters; with diversity on, both get picked from.
+        rng = np.random.default_rng(1)
+        cluster_a = rng.normal(0, 0.01, (20, 4))
+        cluster_b = rng.normal(10, 0.01, (20, 4))
+        features = np.vstack([cluster_a, cluster_b])
+        probs = np.full((40, 2), 0.5)  # all equally uncertain
+        result = select_for_upload(features, probs, budget=10, diversity_weight=1.0)
+        groups = {idx // 20 for idx in result.indices}
+        assert groups == {0, 1}
+
+    def test_mismatched_shapes_raise(self):
+        features, probs = self.make_batch()
+        with pytest.raises(EdgeError):
+            select_for_upload(features[:10], probs, budget=5)
+
+    def test_random_selection(self):
+        result = select_random(30, 10, seed=0)
+        assert len(result.indices) == 10
+        assert len(set(result.indices)) == 10
+        with pytest.raises(EdgeError):
+            select_random(10, -1)
+
+
+class TestNetwork:
+    def test_feature_upload_much_smaller(self):
+        plans = compare_upload_strategies(
+            SMARTPHONE, n_items=50, image_px=1024, feature_dim=336
+        )
+        assert plans["features"].total_bytes < plans["raw_images"].total_bytes / 100
+        assert plans["features"].transfer_time_s < plans["raw_images"].transfer_time_s
+
+    def test_byte_math(self):
+        assert feature_vector_bytes(100) == 400
+        assert raw_image_bytes(100, 100, jpeg=False) == 30_000
+
+    def test_validation(self):
+        with pytest.raises(EdgeError):
+            feature_vector_bytes(0)
+        with pytest.raises(EdgeError):
+            raw_image_bytes(0, 10)
+        with pytest.raises(EdgeError):
+            compare_upload_strategies(DESKTOP, -1, 100, 10)
+
+
+def make_learning_problem(seed=0, n_seed=60, n_edge=120, n_test=90):
+    """Three-class Gaussian problem split across server/edges/test."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0, 0, 0, 0], [3, 3, 0, 0], [0, 3, 3, 0]], dtype=float)
+
+    def sample(n):
+        labels = rng.integers(0, 3, n)
+        features = centers[labels] + rng.normal(0, 1.0, (n, 4))
+        return features, labels
+
+    return sample(n_seed), sample(n_edge), sample(n_test)
+
+
+class TestCrowdLearning:
+    def test_accuracy_improves_with_rounds(self):
+        (Xs, ys), (Xe, ye), (Xt, yt) = make_learning_problem(seed=3, n_seed=15)
+        framework = CrowdLearningFramework(
+            model_variants=[MOBILENET_V1, MOBILENET_V2],
+            upload_budget=25,
+            human_label_rate=1.0,
+            seed=0,
+        )
+        framework.seed_pool(Xs, ys)
+        base = framework.classifier.predict(Xt)
+        from repro.ml import accuracy
+
+        base_acc = accuracy(yt, base)
+        for start in range(0, 120, 40):
+            batch = EdgeBatch(
+                device=SMARTPHONE,
+                features=Xe[start : start + 40],
+                true_labels=ye[start : start + 40],
+            )
+            stats = framework.run_round([batch], Xt, yt)
+        assert stats.pool_size > 15
+        assert stats.test_accuracy >= base_acc - 0.02
+        assert len(framework.history) == 3
+
+    def test_dispatch_included_per_device(self):
+        (Xs, ys), (Xe, ye), (Xt, yt) = make_learning_problem()
+        framework = CrowdLearningFramework(model_variants=[MOBILENET_V1])
+        framework.seed_pool(Xs, ys)
+        batches = [
+            EdgeBatch(device=SMARTPHONE, features=Xe[:30], true_labels=ye[:30]),
+            EdgeBatch(device=RASPBERRY_PI, features=Xe[30:60], true_labels=ye[30:60]),
+        ]
+        stats = framework.run_round(batches, Xt, yt)
+        assert set(stats.dispatch) == {"smartphone", "raspberry_pi_3b+"}
+
+    def test_upload_budget_caps_bytes(self):
+        (Xs, ys), (Xe, ye), (Xt, yt) = make_learning_problem()
+        framework = CrowdLearningFramework(
+            model_variants=[MOBILENET_V1], upload_budget=5
+        )
+        framework.seed_pool(Xs, ys)
+        batch = EdgeBatch(device=SMARTPHONE, features=Xe, true_labels=ye)
+        stats = framework.run_round([batch], Xt, yt)
+        assert stats.uploaded_samples == 5
+        assert stats.uploaded_bytes == 5 * feature_vector_bytes(4)
+
+    def test_run_before_seed_raises(self):
+        framework = CrowdLearningFramework(model_variants=[MOBILENET_V1])
+        with pytest.raises(EdgeError):
+            framework.run_round([], np.zeros((2, 4)), np.zeros(2))
+
+    def test_empty_batch_handled(self):
+        (Xs, ys), _, (Xt, yt) = make_learning_problem()
+        framework = CrowdLearningFramework(model_variants=[MOBILENET_V1])
+        framework.seed_pool(Xs, ys)
+        batch = EdgeBatch(
+            device=SMARTPHONE,
+            features=np.empty((0, 4)),
+            true_labels=np.empty(0, dtype=int),
+        )
+        stats = framework.run_round([batch], Xt, yt)
+        assert stats.uploaded_samples == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(EdgeError):
+            CrowdLearningFramework(model_variants=[])
+        with pytest.raises(EdgeError):
+            CrowdLearningFramework(model_variants=[MOBILENET_V1], strategy="magic")
+        with pytest.raises(EdgeError):
+            CrowdLearningFramework(model_variants=[MOBILENET_V1], human_label_rate=2.0)
+        with pytest.raises(EdgeError):
+            CrowdLearningFramework(model_variants=[MOBILENET_V1], upload_budget=0)
+
+    def test_random_strategy_runs(self):
+        (Xs, ys), (Xe, ye), (Xt, yt) = make_learning_problem()
+        framework = CrowdLearningFramework(
+            model_variants=[MOBILENET_V1], strategy="random", upload_budget=10
+        )
+        framework.seed_pool(Xs, ys)
+        batch = EdgeBatch(device=SMARTPHONE, features=Xe, true_labels=ye)
+        stats = framework.run_round([batch], Xt, yt)
+        assert stats.uploaded_samples == 10

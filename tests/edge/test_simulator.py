@@ -1,0 +1,102 @@
+"""Tests for the edge fleet discrete-event simulator."""
+
+import pytest
+
+from repro.edge import (
+    DESKTOP,
+    INCEPTION_V3,
+    MOBILENET_V2,
+    RASPBERRY_PI,
+    SMARTPHONE,
+    simulate_device,
+    simulate_fleet,
+)
+from repro.errors import EdgeError
+
+
+class TestSimulateDevice:
+    def test_fast_device_keeps_up(self):
+        stats = simulate_device(
+            DESKTOP, INCEPTION_V3, duration_s=60.0, arrival_rate_hz=2.0, seed=0
+        )
+        # Desktop serves Inception in ~59 ms; 2 Hz is a light load.
+        assert stats.drop_rate == 0.0
+        assert stats.frames_processed == stats.frames_arrived
+        assert stats.utilization < 0.5
+        assert stats.mean_latency_ms < 200.0
+
+    def test_slow_device_saturates_on_heavy_model(self):
+        stats = simulate_device(
+            RASPBERRY_PI, INCEPTION_V3, duration_s=60.0, arrival_rate_hz=2.0, seed=0
+        )
+        # RPI needs ~1.8 s per Inception frame; a 2 Hz stream drowns it.
+        assert stats.drop_rate > 0.5
+        assert stats.utilization > 0.9
+
+    def test_lighter_model_rescues_slow_device(self):
+        heavy = simulate_device(
+            RASPBERRY_PI, INCEPTION_V3, duration_s=60.0, arrival_rate_hz=2.0, seed=0
+        )
+        light = simulate_device(
+            RASPBERRY_PI, MOBILENET_V2, duration_s=60.0, arrival_rate_hz=2.0, seed=0
+        )
+        assert light.drop_rate < heavy.drop_rate
+        assert light.effective_accuracy > heavy.effective_accuracy
+
+    def test_latency_includes_queueing(self):
+        light = simulate_device(
+            SMARTPHONE, MOBILENET_V2, duration_s=30.0, arrival_rate_hz=0.5, seed=1
+        )
+        busy = simulate_device(
+            SMARTPHONE, MOBILENET_V2, duration_s=30.0, arrival_rate_hz=25.0, seed=1
+        )
+        assert busy.mean_latency_ms > light.mean_latency_ms
+        assert busy.p95_latency_ms >= busy.mean_latency_ms
+
+    def test_deterministic_given_seed(self):
+        a = simulate_device(SMARTPHONE, MOBILENET_V2, 30.0, 2.0, seed=7)
+        b = simulate_device(SMARTPHONE, MOBILENET_V2, 30.0, 2.0, seed=7)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(EdgeError):
+            simulate_device(DESKTOP, MOBILENET_V2, duration_s=0.0, arrival_rate_hz=1.0)
+        with pytest.raises(EdgeError):
+            simulate_device(DESKTOP, MOBILENET_V2, 10.0, 1.0, max_queue=0)
+        with pytest.raises(EdgeError):
+            simulate_device(DESKTOP, MOBILENET_V2, 10.0, 1.0, jitter=1.5)
+
+
+class TestSimulateFleet:
+    def test_capability_aware_beats_one_size_fits_all(self):
+        devices = {
+            "desktop": DESKTOP,
+            "raspberry_pi_3b+": RASPBERRY_PI,
+            "smartphone": SMARTPHONE,
+        }
+        one_model = simulate_fleet(
+            {name: (dev, INCEPTION_V3) for name, dev in devices.items()},
+            duration_s=60.0,
+            arrival_rate_hz=1.5,
+            seed=0,
+        )
+        matched = simulate_fleet(
+            {
+                "desktop": (DESKTOP, INCEPTION_V3),
+                "raspberry_pi_3b+": (RASPBERRY_PI, MOBILENET_V2),
+                "smartphone": (SMARTPHONE, MOBILENET_V2),
+            },
+            duration_s=60.0,
+            arrival_rate_hz=1.5,
+            seed=0,
+        )
+        assert matched.fleet_effective_accuracy > one_model.fleet_effective_accuracy
+        assert matched.total_dropped < one_model.total_dropped
+
+    def test_report_covers_all_devices(self):
+        report = simulate_fleet(
+            {"a": (DESKTOP, MOBILENET_V2), "b": (SMARTPHONE, MOBILENET_V2)},
+            duration_s=20.0,
+            arrival_rate_hz=1.0,
+        )
+        assert {s.device for s in report.stats} == {"desktop", "smartphone"}

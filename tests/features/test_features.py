@@ -1,0 +1,171 @@
+"""Tests for the three visual feature extractors and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features import (
+    BowExtractor,
+    BowVocabulary,
+    CnnConfig,
+    CnnFeatureExtractor,
+    ColorHistogramExtractor,
+    FeatureRegistry,
+    extract_batch,
+    image_descriptors,
+)
+from repro.imaging import Image, render_street_scene, solid_color
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    rng = np.random.default_rng(0)
+    return [
+        render_street_scene(label, rng, size=40)
+        for label in ("clean", "encampment", "bulky_item", "overgrown_vegetation")
+        for _ in range(3)
+    ]
+
+
+class TestColorHistogram:
+    def test_dimension_matches_extract(self):
+        ext = ColorHistogramExtractor()
+        vec = ext.extract(solid_color(8, 8, (0.2, 0.5, 0.8)))
+        assert vec.shape == (ext.dimension(),)
+        assert ext.dimension() == 50
+
+    def test_name_encodes_bins(self):
+        assert ColorHistogramExtractor().name == "color_hsv_20_20_10"
+        assert ColorHistogramExtractor(bins=(4, 4, 4)).dimension() == 12
+
+    def test_distinguishes_green_from_gray(self):
+        ext = ColorHistogramExtractor()
+        green = ext.extract(solid_color(8, 8, (0.2, 0.8, 0.2)))
+        gray = ext.extract(solid_color(8, 8, (0.5, 0.5, 0.5)))
+        assert np.linalg.norm(green - gray) > 0.1
+
+
+class TestBow:
+    def test_vocabulary_requires_images(self):
+        with pytest.raises(FeatureError):
+            BowVocabulary(n_words=4).fit([])
+
+    def test_vocabulary_too_many_words_raises(self):
+        flat = [solid_color(32, 32, (0.5, 0.5, 0.5))]
+        with pytest.raises(FeatureError):
+            BowVocabulary(n_words=100).fit(flat)
+
+    def test_small_vocab_raises(self):
+        with pytest.raises(FeatureError):
+            BowVocabulary(n_words=1)
+
+    def test_unfitted_vocab_rejected_by_extractor(self):
+        with pytest.raises(FeatureError):
+            BowExtractor(BowVocabulary(n_words=4))
+
+    def test_histogram_properties(self, scenes):
+        vocab = BowVocabulary(n_words=8, seed=0).fit(scenes)
+        ext = BowExtractor(vocab)
+        vec = ext.extract(scenes[0])
+        assert vec.shape == (8,)
+        assert vec.sum() == pytest.approx(1.0)
+        assert (vec >= 0).all()
+        assert ext.dimension() == 8
+
+    def test_flat_image_zero_histogram(self, scenes):
+        vocab = BowVocabulary(n_words=8, seed=0).fit(scenes)
+        ext = BowExtractor(vocab)
+        vec = ext.extract(solid_color(40, 40, (0.5, 0.5, 0.5)))
+        assert np.allclose(vec, 0.0)
+
+    def test_image_descriptors_densify_low_texture(self):
+        # A nearly flat image still yields some descriptors via the
+        # dense lattice fallback (or an empty array, never a crash).
+        rng = np.random.default_rng(1)
+        almost_flat = Image(np.full((40, 40, 3), 0.5) + rng.normal(0, 0.01, (40, 40, 3)))
+        descriptors = image_descriptors(almost_flat)
+        assert descriptors.ndim == 2 and descriptors.shape[1] == 128
+
+    def test_assign_validates_dimension(self, scenes):
+        vocab = BowVocabulary(n_words=8, seed=0).fit(scenes)
+        with pytest.raises(FeatureError):
+            vocab.assign(np.zeros((3, 64)))
+
+
+class TestCnn:
+    def test_dimension_matches_extract(self, scenes):
+        ext = CnnFeatureExtractor()
+        vec = ext.extract(scenes[0])
+        assert vec.shape == (ext.dimension(),)
+
+    def test_l2_normalised(self, scenes):
+        vec = CnnFeatureExtractor().extract(scenes[0])
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_deterministic(self, scenes):
+        a = CnnFeatureExtractor().extract(scenes[0])
+        b = CnnFeatureExtractor().extract(scenes[0])
+        assert np.allclose(a, b)
+
+    def test_config_validation(self):
+        with pytest.raises(FeatureError):
+            CnnConfig(input_size=8)
+        with pytest.raises(FeatureError):
+            CnnConfig(kernel_size=4)
+        with pytest.raises(FeatureError):
+            CnnConfig(stage1_filters=0)
+
+    def test_size_invariance_via_resize(self, scenes):
+        ext = CnnFeatureExtractor()
+        from repro.imaging import resize
+
+        small = resize(scenes[0], 24, 24)
+        # Different input sizes produce same-dimension vectors.
+        assert ext.extract(small).shape == ext.extract(scenes[0]).shape
+
+    def test_flops_estimate_scales_with_architecture(self):
+        small = CnnFeatureExtractor(CnnConfig(input_size=32, stage1_filters=4, stage2_filters=8))
+        big = CnnFeatureExtractor(CnnConfig(input_size=48, stage1_filters=8, stage2_filters=24))
+        assert big.flops_estimate() > 2 * small.flops_estimate()
+
+    def test_separates_classes_better_than_chance(self, scenes):
+        # Within-class distance should be smaller than between-class.
+        ext = CnnFeatureExtractor()
+        X = np.vstack([ext.extract(im) for im in scenes])
+        labels = np.repeat(np.arange(4), 3)
+        within, between = [], []
+        for i in range(len(scenes)):
+            for j in range(i + 1, len(scenes)):
+                d = np.linalg.norm(X[i] - X[j])
+                (within if labels[i] == labels[j] else between).append(d)
+        assert np.mean(within) < np.mean(between)
+
+
+class TestBatchAndRegistry:
+    def test_extract_batch_shape(self, scenes):
+        ext = ColorHistogramExtractor()
+        X = extract_batch(ext, scenes)
+        assert X.shape == (len(scenes), 50)
+
+    def test_extract_batch_empty_raises(self):
+        with pytest.raises(FeatureError):
+            extract_batch(ColorHistogramExtractor(), [])
+
+    def test_registry_round_trip(self):
+        reg = FeatureRegistry()
+        ext = ColorHistogramExtractor()
+        reg.register(ext)
+        assert reg.get(ext.name) is ext
+        assert ext.name in reg
+        assert len(reg) == 1
+        assert reg.names() == [ext.name]
+
+    def test_registry_duplicate_raises(self):
+        reg = FeatureRegistry()
+        reg.register(ColorHistogramExtractor())
+        with pytest.raises(FeatureError):
+            reg.register(ColorHistogramExtractor())
+
+    def test_registry_unknown_raises(self):
+        with pytest.raises(FeatureError):
+            FeatureRegistry().get("nope")

@@ -1,0 +1,109 @@
+"""Tests for spherical geodesy helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo import (
+    GeoPoint,
+    angular_difference_deg,
+    destination_point,
+    haversine_m,
+    initial_bearing_deg,
+    meters_per_degree,
+    normalize_bearing,
+)
+
+lat_st = st.floats(min_value=-80.0, max_value=80.0, allow_nan=False)
+lng_st = st.floats(min_value=-179.0, max_value=179.0, allow_nan=False)
+points_st = st.builds(GeoPoint, lat=lat_st, lng=lng_st)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeoPoint(34.05, -118.25)
+        assert haversine_m(p, p) == 0.0
+
+    def test_known_distance_la_to_sf(self):
+        la = GeoPoint(34.0522, -118.2437)
+        sf = GeoPoint(37.7749, -122.4194)
+        # Known great-circle distance ~559 km.
+        assert haversine_m(la, sf) == pytest.approx(559_000, rel=0.01)
+
+    def test_one_degree_latitude(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(1.0, 0.0)
+        assert haversine_m(a, b) == pytest.approx(111_195, rel=0.001)
+
+    @given(points_st, points_st)
+    def test_symmetry(self, a, b):
+        assert haversine_m(a, b) == pytest.approx(haversine_m(b, a), abs=1e-6)
+
+    @given(points_st, points_st)
+    def test_non_negative(self, a, b):
+        assert haversine_m(a, b) >= 0.0
+
+
+class TestBearing:
+    def test_due_north(self):
+        assert initial_bearing_deg(GeoPoint(0.0, 0.0), GeoPoint(1.0, 0.0)) == pytest.approx(0.0)
+
+    def test_due_east(self):
+        assert initial_bearing_deg(GeoPoint(0.0, 0.0), GeoPoint(0.0, 1.0)) == pytest.approx(90.0)
+
+    def test_due_south(self):
+        assert initial_bearing_deg(GeoPoint(1.0, 0.0), GeoPoint(0.0, 0.0)) == pytest.approx(180.0)
+
+    def test_due_west(self):
+        assert initial_bearing_deg(GeoPoint(0.0, 1.0), GeoPoint(0.0, 0.0)) == pytest.approx(270.0)
+
+
+class TestDestination:
+    @given(points_st, st.floats(min_value=0.0, max_value=359.9), st.floats(min_value=1.0, max_value=100_000.0))
+    def test_round_trip_distance(self, origin, bearing, dist):
+        dest = destination_point(origin, bearing, dist)
+        assert haversine_m(origin, dest) == pytest.approx(dist, rel=1e-6)
+
+    @given(points_st, st.floats(min_value=0.0, max_value=359.9), st.floats(min_value=100.0, max_value=50_000.0))
+    def test_bearing_consistency(self, origin, bearing, dist):
+        dest = destination_point(origin, bearing, dist)
+        recovered = initial_bearing_deg(origin, dest)
+        assert angular_difference_deg(recovered, bearing) < 0.5
+
+    def test_zero_distance_is_identity(self):
+        p = GeoPoint(34.0, -118.0)
+        dest = destination_point(p, 123.0, 0.0)
+        assert dest.lat == pytest.approx(p.lat)
+        assert dest.lng == pytest.approx(p.lng)
+
+
+class TestAngles:
+    def test_angular_difference_wraps(self):
+        assert angular_difference_deg(350.0, 10.0) == pytest.approx(20.0)
+        assert angular_difference_deg(10.0, 350.0) == pytest.approx(20.0)
+        assert angular_difference_deg(0.0, 180.0) == pytest.approx(180.0)
+
+    @given(st.floats(min_value=-720.0, max_value=720.0, allow_nan=False))
+    def test_normalize_bearing_range(self, deg):
+        n = normalize_bearing(deg)
+        assert 0.0 <= n < 360.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=360.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=360.0, allow_nan=False),
+    )
+    def test_angular_difference_bounds(self, a, b):
+        d = angular_difference_deg(a, b)
+        assert 0.0 <= d <= 180.0
+
+
+class TestMetersPerDegree:
+    def test_equator(self):
+        m_lat, m_lng = meters_per_degree(0.0)
+        assert m_lat == pytest.approx(111_195, rel=0.001)
+        assert m_lng == pytest.approx(111_195, rel=0.001)
+
+    def test_longitude_shrinks_with_latitude(self):
+        _, at_equator = meters_per_degree(0.0)
+        _, at_60 = meters_per_degree(60.0)
+        assert at_60 == pytest.approx(at_equator / 2.0, rel=0.001)

@@ -1,0 +1,151 @@
+"""Tests for GeoPoint and BoundingBox."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeoError
+from repro.geo import BoundingBox, GeoPoint
+
+lat_st = st.floats(min_value=-89.0, max_value=89.0, allow_nan=False)
+lng_st = st.floats(min_value=-179.0, max_value=179.0, allow_nan=False)
+points_st = st.builds(GeoPoint, lat=lat_st, lng=lng_st)
+
+
+class TestGeoPoint:
+    def test_valid_construction(self):
+        p = GeoPoint(34.05, -118.25)
+        assert p.lat == 34.05
+        assert p.lng == -118.25
+
+    def test_latitude_out_of_range_raises(self):
+        with pytest.raises(GeoError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(GeoError):
+            GeoPoint(-90.1, 0.0)
+
+    def test_longitude_out_of_range_raises(self):
+        with pytest.raises(GeoError):
+            GeoPoint(0.0, 181.0)
+        with pytest.raises(GeoError):
+            GeoPoint(0.0, -180.5)
+
+    def test_boundary_values_allowed(self):
+        GeoPoint(90.0, 180.0)
+        GeoPoint(-90.0, -180.0)
+
+    def test_as_tuple(self):
+        assert GeoPoint(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_equality_and_hash(self):
+        assert GeoPoint(1.0, 2.0) == GeoPoint(1.0, 2.0)
+        assert hash(GeoPoint(1.0, 2.0)) == hash(GeoPoint(1.0, 2.0))
+        assert GeoPoint(1.0, 2.0) != GeoPoint(2.0, 1.0)
+
+    @given(points_st)
+    def test_dict_round_trip(self, p):
+        assert GeoPoint.from_dict(p.to_dict()) == p
+
+    def test_frozen(self):
+        p = GeoPoint(0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.lat = 5.0
+
+
+class TestBoundingBox:
+    def test_invalid_order_raises(self):
+        with pytest.raises(GeoError):
+            BoundingBox(2.0, 0.0, 1.0, 1.0)
+        with pytest.raises(GeoError):
+            BoundingBox(0.0, 2.0, 1.0, 1.0)
+
+    def test_from_points(self):
+        box = BoundingBox.from_points(
+            [GeoPoint(1.0, 5.0), GeoPoint(-1.0, 7.0), GeoPoint(0.5, 6.0)]
+        )
+        assert box == BoundingBox(-1.0, 5.0, 1.0, 7.0)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(GeoError):
+            BoundingBox.from_points([])
+
+    def test_contains_point_inclusive(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.contains_point(GeoPoint(0.0, 0.0))
+        assert box.contains_point(GeoPoint(1.0, 1.0))
+        assert box.contains_point(GeoPoint(0.5, 0.5))
+        assert not box.contains_point(GeoPoint(1.0001, 0.5))
+
+    def test_intersects_and_intersection(self):
+        a = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        b = BoundingBox(1.0, 1.0, 3.0, 3.0)
+        c = BoundingBox(5.0, 5.0, 6.0, 6.0)
+        assert a.intersects(b)
+        assert a.intersection(b) == BoundingBox(1.0, 1.0, 2.0, 2.0)
+        assert not a.intersects(c)
+        assert a.intersection(c) is None
+
+    def test_touching_boxes_intersect(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(1.0, 1.0, 2.0, 2.0)
+        assert a.intersects(b)
+
+    def test_union(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(2.0, 2.0, 3.0, 3.0)
+        assert a.union(b) == BoundingBox(0.0, 0.0, 3.0, 3.0)
+
+    def test_contains_box(self):
+        outer = BoundingBox(0.0, 0.0, 10.0, 10.0)
+        inner = BoundingBox(1.0, 1.0, 2.0, 2.0)
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_center_and_area(self):
+        box = BoundingBox(0.0, 0.0, 2.0, 4.0)
+        assert box.center == GeoPoint(1.0, 2.0)
+        assert box.area == pytest.approx(8.0)
+
+    def test_around_contains_center(self):
+        center = GeoPoint(34.0, -118.0)
+        box = BoundingBox.around(center, 500.0)
+        assert box.contains_point(center)
+        # Half a km is roughly 0.0045 degrees of latitude.
+        assert box.max_lat - center.lat == pytest.approx(0.0045, rel=0.05)
+
+    def test_around_negative_radius_raises(self):
+        with pytest.raises(GeoError):
+            BoundingBox.around(GeoPoint(0.0, 0.0), -1.0)
+
+    def test_corners(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 2.0)
+        corners = list(box.corners())
+        assert len(corners) == 4
+        assert GeoPoint(0.0, 0.0) in corners
+        assert GeoPoint(1.0, 2.0) in corners
+
+    def test_expand_clamps_to_globe(self):
+        box = BoundingBox(89.0, 179.0, 90.0, 180.0).expand(5.0)
+        assert box.max_lat == 90.0
+        assert box.max_lng == 180.0
+
+    @given(points_st, points_st)
+    def test_union_of_two_point_boxes_contains_both(self, p, q):
+        a = BoundingBox(p.lat, p.lng, p.lat, p.lng)
+        b = BoundingBox(q.lat, q.lng, q.lat, q.lng)
+        u = a.union(b)
+        assert u.contains_point(p) and u.contains_point(q)
+
+    @given(points_st, st.floats(min_value=1.0, max_value=50_000.0))
+    def test_around_dict_round_trip(self, p, radius):
+        box = BoundingBox.around(p, radius)
+        assert BoundingBox.from_dict(box.to_dict()) == box
+
+    @given(points_st)
+    def test_intersection_is_commutative(self, p):
+        a = BoundingBox.around(p, 1000.0)
+        b = BoundingBox.around(p, 2000.0)
+        assert a.intersection(b) == b.intersection(a)
+        assert b.contains_box(a)

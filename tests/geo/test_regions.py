@@ -1,0 +1,77 @@
+"""Tests for named regions and region grids."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeoError
+from repro.geo import BoundingBox, GeoPoint, LOS_ANGELES, DOWNTOWN_LA, RegionGrid
+
+
+class TestNamedRegions:
+    def test_downtown_inside_la(self):
+        assert LOS_ANGELES.contains_box(DOWNTOWN_LA)
+
+
+class TestRegionGrid:
+    def setup_method(self):
+        self.grid = RegionGrid(BoundingBox(0.0, 0.0, 10.0, 20.0), rows=5, cols=10)
+
+    def test_len(self):
+        assert len(self.grid) == 50
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(GeoError):
+            RegionGrid(BoundingBox(0, 0, 1, 1), rows=0, cols=5)
+
+    def test_cell_box(self):
+        cell = self.grid.cell(0, 0)
+        assert cell.box == BoundingBox(0.0, 0.0, 2.0, 2.0)
+        cell = self.grid.cell(4, 9)
+        assert cell.box == BoundingBox(8.0, 18.0, 10.0, 20.0)
+
+    def test_cell_out_of_range_raises(self):
+        with pytest.raises(GeoError):
+            self.grid.cell(5, 0)
+        with pytest.raises(GeoError):
+            self.grid.cell(0, 10)
+
+    def test_cell_of_interior_point(self):
+        cell = self.grid.cell_of(GeoPoint(1.0, 1.0))
+        assert cell is not None
+        assert (cell.row, cell.col) == (0, 0)
+
+    def test_cell_of_outside_point(self):
+        assert self.grid.cell_of(GeoPoint(-1.0, 0.0)) is None
+
+    def test_cell_of_max_corner_clamps(self):
+        cell = self.grid.cell_of(GeoPoint(10.0, 20.0))
+        assert cell is not None
+        assert (cell.row, cell.col) == (4, 9)
+
+    def test_cells_iterates_all(self):
+        cells = list(self.grid.cells())
+        assert len(cells) == 50
+        assert len({(c.row, c.col) for c in cells}) == 50
+
+    def test_cells_intersecting(self):
+        hits = list(self.grid.cells_intersecting(BoundingBox(0.5, 0.5, 2.5, 2.5)))
+        coords = {(c.row, c.col) for c in hits}
+        assert coords == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_cells_intersecting_disjoint(self):
+        assert list(self.grid.cells_intersecting(BoundingBox(50.0, 50.0, 60.0, 60.0))) == []
+
+    @given(
+        st.floats(min_value=0.01, max_value=9.99),
+        st.floats(min_value=0.01, max_value=19.99),
+    )
+    def test_cell_of_returns_containing_cell(self, lat, lng):
+        p = GeoPoint(lat, lng)
+        cell = self.grid.cell_of(p)
+        assert cell is not None
+        assert cell.box.contains_point(p)
+
+    def test_cells_tile_region_without_overlap(self):
+        total_area = sum(c.box.area for c in self.grid.cells())
+        assert total_area == pytest.approx(self.grid.region.area)

@@ -1,0 +1,114 @@
+"""Tests for the synthetic road network."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GeoError
+from repro.geo import (
+    BoundingBox,
+    GeoPoint,
+    RoadNetwork,
+    haversine_m,
+    waypoints_to_headings,
+)
+
+REGION = BoundingBox(34.00, -118.30, 34.04, -118.26)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return RoadNetwork.manhattan(REGION, rows=6, cols=6, seed=0)
+
+
+class TestConstruction:
+    def test_node_count(self, network):
+        assert network.graph.number_of_nodes() == 36
+
+    def test_connected(self, network):
+        assert nx.is_connected(network.graph)
+
+    def test_nodes_inside_region(self, network):
+        for node in network.graph.nodes:
+            assert REGION.contains_point(network.node_point(node))
+
+    def test_edges_have_lengths(self, network):
+        for _, _, data in network.graph.edges(data=True):
+            assert data["length_m"] > 0
+        assert network.total_length_m() > 10_000.0
+
+    def test_drop_rate_removes_edges_but_keeps_connectivity(self):
+        full = RoadNetwork.manhattan(REGION, rows=6, cols=6, drop_rate=0.0, seed=1)
+        dropped = RoadNetwork.manhattan(REGION, rows=6, cols=6, drop_rate=0.2, seed=1)
+        assert dropped.graph.number_of_edges() < full.graph.number_of_edges()
+        assert nx.is_connected(dropped.graph)
+
+    def test_validation(self):
+        with pytest.raises(GeoError):
+            RoadNetwork.manhattan(REGION, rows=1, cols=5)
+        with pytest.raises(GeoError):
+            RoadNetwork.manhattan(REGION, jitter=0.9)
+        with pytest.raises(GeoError):
+            RoadNetwork.manhattan(REGION, drop_rate=1.0)
+
+    def test_deterministic(self):
+        a = RoadNetwork.manhattan(REGION, seed=7)
+        b = RoadNetwork.manhattan(REGION, seed=7)
+        assert {n: a.node_point(n) for n in a.graph.nodes} == {
+            n: b.node_point(n) for n in b.graph.nodes
+        }
+
+
+class TestRouting:
+    def test_route_connects_endpoints(self, network):
+        start = GeoPoint(34.005, -118.295)
+        goal = GeoPoint(34.035, -118.265)
+        route = network.route(start, goal)
+        assert len(route) >= 2
+        assert haversine_m(route[0], start) < 1_500.0
+        assert haversine_m(route[-1], goal) < 1_500.0
+
+    def test_route_follows_edges(self, network):
+        route = network.route(GeoPoint(34.00, -118.30), GeoPoint(34.04, -118.26))
+        points = {network.node_point(n) for n in network.graph.nodes}
+        assert all(p in points for p in route)
+
+    def test_route_is_shortest(self, network):
+        start, goal = GeoPoint(34.00, -118.30), GeoPoint(34.04, -118.26)
+        route = network.route(start, goal)
+        direct = haversine_m(route[0], route[-1])
+        # Shortest street route can't beat the crow-flies distance...
+        assert network.route_length_m(route) >= direct - 1.0
+        # ...but on a Manhattan grid it shouldn't exceed ~2x it either.
+        assert network.route_length_m(route) <= 2.5 * direct
+
+    def test_same_endpoint_route(self, network):
+        p = GeoPoint(34.02, -118.28)
+        route = network.route(p, p)
+        assert len(route) == 1
+
+    def test_patrol_walks_edges(self, network):
+        waypoints = network.patrol(GeoPoint(34.02, -118.28), hops=10, seed=0)
+        assert len(waypoints) == 11
+        node_points = {network.node_point(n) for n in network.graph.nodes}
+        assert all(p in node_points for p in waypoints)
+        # Consecutive waypoints are adjacent intersections.
+        for a, b in zip(waypoints, waypoints[1:]):
+            assert haversine_m(a, b) < 2_000.0
+
+    def test_patrol_bad_hops(self, network):
+        with pytest.raises(GeoError):
+            network.patrol(GeoPoint(34.02, -118.28), hops=0)
+
+
+class TestHeadings:
+    def test_headings_follow_travel_direction(self, network):
+        a = GeoPoint(34.00, -118.28)
+        b = GeoPoint(34.03, -118.28)  # due north
+        poses = waypoints_to_headings([a, b])
+        assert len(poses) == 2
+        assert poses[0][1] == pytest.approx(0.0, abs=1.0)
+        assert poses[1][1] == poses[0][1]  # last pose repeats heading
+
+    def test_too_few_waypoints_raises(self):
+        with pytest.raises(GeoError):
+            waypoints_to_headings([GeoPoint(0, 0)])

@@ -1,0 +1,69 @@
+"""Tests for scene-location estimation."""
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo import (
+    FieldOfView,
+    GeoPoint,
+    LocalizedScene,
+    destination_point,
+    scene_location,
+    scene_location_multi,
+)
+
+
+def fov_at(camera, direction, angle=60.0, range_m=300.0):
+    return FieldOfView(camera, direction, angle, range_m)
+
+
+class TestSceneLocation:
+    def test_single_fov_scene_is_mbr(self):
+        fov = fov_at(GeoPoint(34.0, -118.0), 0.0)
+        assert scene_location(fov) == fov.mbr()
+
+    def test_empty_raises(self):
+        with pytest.raises(GeoError):
+            scene_location_multi([])
+
+    def test_single_element_multi_matches_single(self):
+        fov = fov_at(GeoPoint(34.0, -118.0), 0.0)
+        assert scene_location_multi([fov]) == scene_location(fov)
+
+    def test_two_crossing_fovs_shrink_estimate(self):
+        # Two cameras 400 m apart, both looking at the midpoint scene.
+        scene = GeoPoint(34.0, -118.0)
+        cam_a = destination_point(scene, 180.0, 200.0)
+        cam_b = destination_point(scene, 270.0, 200.0)
+        fov_a = fov_at(cam_a, 0.0)
+        fov_b = fov_at(cam_b, 90.0)
+        refined = scene_location_multi([fov_a, fov_b])
+        assert refined.contains_point(scene)
+        assert refined.area < fov_a.mbr().area
+        assert refined.area < fov_b.mbr().area
+
+    def test_disjoint_fovs_fall_back_to_union(self):
+        a = fov_at(GeoPoint(34.0, -118.0), 0.0, range_m=100.0)
+        far_cam = destination_point(GeoPoint(34.0, -118.0), 90.0, 50_000.0)
+        b = fov_at(far_cam, 0.0, range_m=100.0)
+        box = scene_location_multi([a, b])
+        assert box.contains_box(a.mbr()) or box.intersects(a.mbr())
+
+
+class TestLocalizedScene:
+    def test_confidence_grows_with_support(self):
+        scene = GeoPoint(34.0, -118.0)
+        cams = [destination_point(scene, bearing, 200.0) for bearing in (0, 90, 180)]
+        fovs = [
+            fov_at(cam, (bearing + 180) % 360)
+            for cam, bearing in zip(cams, (0, 90, 180))
+        ]
+        single = LocalizedScene.estimate(fovs[:1])
+        triple = LocalizedScene.estimate(fovs)
+        assert triple.supporting_fovs == 3
+        assert triple.confidence > single.confidence
+
+    def test_confidence_bounds(self):
+        fov = fov_at(GeoPoint(34.0, -118.0), 0.0)
+        est = LocalizedScene.estimate([fov])
+        assert 0.0 < est.confidence < 1.0

@@ -1,0 +1,134 @@
+"""Tests for augmentation operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImagingError
+from repro.imaging import (
+    Image,
+    add_noise,
+    adjust_brightness,
+    adjust_contrast,
+    augment_image,
+    blur,
+    center_crop,
+    crop,
+    default_pipeline,
+    flip_horizontal,
+    flip_vertical,
+    resize,
+    rotate,
+    rotate90,
+    solid_color,
+)
+
+
+def gradient_image(size=12):
+    px = np.zeros((size, size, 3))
+    px[..., 0] = np.linspace(0, 1, size)[None, :]
+    px[..., 1] = np.linspace(0, 1, size)[:, None]
+    return Image(px)
+
+
+class TestCrop:
+    def test_basic(self):
+        img = gradient_image()
+        out = crop(img, 2, 3, 4, 5)
+        assert out.shape == (4, 5)
+        assert np.allclose(out.pixels, img.pixels[2:6, 3:8])
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(ImagingError):
+            crop(gradient_image(), 10, 10, 5, 5)
+
+    def test_zero_size_raises(self):
+        with pytest.raises(ImagingError):
+            crop(gradient_image(), 0, 0, 0, 5)
+
+    def test_center_crop_fraction(self):
+        out = center_crop(gradient_image(12), 0.5)
+        assert out.shape == (6, 6)
+
+    def test_center_crop_bad_fraction(self):
+        with pytest.raises(ImagingError):
+            center_crop(gradient_image(), 1.5)
+
+
+class TestFlipsRotations:
+    def test_flip_h_involution(self):
+        img = gradient_image()
+        assert flip_horizontal(flip_horizontal(img)) == img
+
+    def test_flip_v_involution(self):
+        img = gradient_image()
+        assert flip_vertical(flip_vertical(img)) == img
+
+    def test_rotate90_four_times_identity(self):
+        img = gradient_image()
+        assert rotate90(img, 4) == img
+
+    def test_rotate90_shape_swap(self):
+        img = Image(np.zeros((4, 8, 3)))
+        assert rotate90(img).shape == (8, 4)
+
+    def test_rotate_zero_near_identity(self):
+        img = gradient_image()
+        out = rotate(img, 0.0)
+        assert np.allclose(out.pixels, img.pixels)
+
+    def test_rotate_preserves_shape(self):
+        assert rotate(gradient_image(), 17.0).shape == (12, 12)
+
+
+class TestPhotometric:
+    def test_brightness(self):
+        img = solid_color(4, 4, (0.5, 0.5, 0.5))
+        assert np.allclose(adjust_brightness(img, 0.2).pixels, 0.7)
+
+    def test_brightness_clips(self):
+        img = solid_color(4, 4, (0.9, 0.9, 0.9))
+        assert adjust_brightness(img, 0.5).pixels.max() == 1.0
+
+    def test_contrast_identity(self):
+        img = gradient_image()
+        assert np.allclose(adjust_contrast(img, 1.0).pixels, img.pixels)
+
+    def test_contrast_zero_flattens(self):
+        img = gradient_image()
+        out = adjust_contrast(img, 0.0)
+        assert out.pixels.std() == pytest.approx(0.0, abs=1e-12)
+
+    def test_negative_contrast_raises(self):
+        with pytest.raises(ImagingError):
+            adjust_contrast(gradient_image(), -1.0)
+
+    def test_blur_smooths(self):
+        rng = np.random.default_rng(6)
+        img = Image(rng.random((16, 16, 3)))
+        assert blur(img, 1.5).pixels.var() < img.pixels.var()
+
+    def test_noise_changes_pixels(self):
+        rng = np.random.default_rng(7)
+        img = solid_color(8, 8, (0.5, 0.5, 0.5))
+        out = add_noise(img, 0.05, rng)
+        assert not np.allclose(out.pixels, img.pixels)
+
+    def test_noise_zero_sigma_identity(self):
+        rng = np.random.default_rng(8)
+        img = gradient_image()
+        assert np.allclose(add_noise(img, 0.0, rng).pixels, img.pixels)
+
+
+class TestPipeline:
+    def test_default_pipeline_runs(self):
+        rng = np.random.default_rng(9)
+        img = gradient_image(20)
+        results = augment_image(img, default_pipeline(rng))
+        assert len(results) == 6
+        names = [name for name, _ in results]
+        assert "flip_h" in names
+        assert all(isinstance(im, Image) for _, im in results)
+
+    def test_resize(self):
+        out = resize(gradient_image(12), 6, 18)
+        assert out.shape == (6, 18)

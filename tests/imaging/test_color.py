@@ -1,0 +1,108 @@
+"""Tests for colour conversion and HSV histograms."""
+
+import colorsys
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ImagingError
+from repro.imaging import (
+    PAPER_HSV_BINS,
+    Image,
+    hsv_histogram,
+    hsv_to_rgb,
+    joint_hsv_histogram,
+    rgb_to_hsv,
+    solid_color,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestRgbHsv:
+    @given(unit, unit, unit)
+    def test_matches_colorsys(self, r, g, b):
+        ours = rgb_to_hsv(np.array([[[r, g, b]]]))[0, 0]
+        expected = colorsys.rgb_to_hsv(r, g, b)
+        assert ours[0] == pytest.approx(expected[0], abs=1e-9)
+        assert ours[1] == pytest.approx(expected[1], abs=1e-9)
+        assert ours[2] == pytest.approx(expected[2], abs=1e-9)
+
+    @given(unit, unit, unit)
+    def test_round_trip(self, r, g, b):
+        rgb = np.array([[[r, g, b]]])
+        back = hsv_to_rgb(rgb_to_hsv(rgb))
+        assert np.allclose(back, rgb, atol=1e-9)
+
+    def test_pure_colors(self):
+        red = rgb_to_hsv(np.array([1.0, 0.0, 0.0]))
+        assert red[0] == pytest.approx(0.0)
+        green = rgb_to_hsv(np.array([0.0, 1.0, 0.0]))
+        assert green[0] == pytest.approx(1.0 / 3.0)
+        blue = rgb_to_hsv(np.array([0.0, 0.0, 1.0]))
+        assert blue[0] == pytest.approx(2.0 / 3.0)
+
+    def test_black_has_zero_saturation(self):
+        black = rgb_to_hsv(np.array([0.0, 0.0, 0.0]))
+        assert black[1] == 0.0 and black[2] == 0.0
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ImagingError):
+            rgb_to_hsv(np.zeros((2, 2)))
+        with pytest.raises(ImagingError):
+            hsv_to_rgb(np.zeros((2, 4)))
+
+
+class TestHsvHistogram:
+    def test_paper_dimensions(self):
+        img = solid_color(8, 8, (0.3, 0.6, 0.9))
+        vec = hsv_histogram(img)
+        assert vec.shape == (sum(PAPER_HSV_BINS),)
+        assert vec.shape == (50,)
+
+    def test_normalised_sums_to_channels(self):
+        img = solid_color(8, 8, (0.3, 0.6, 0.9))
+        vec = hsv_histogram(img, normalize=True)
+        # Each of the three channel histograms sums to 1.
+        assert vec.sum() == pytest.approx(3.0)
+
+    def test_unnormalised_counts_pixels(self):
+        img = solid_color(4, 4, (0.3, 0.6, 0.9))
+        vec = hsv_histogram(img, normalize=False)
+        assert vec.sum() == pytest.approx(3 * 16)
+
+    def test_solid_color_single_bins(self):
+        img = solid_color(4, 4, (1.0, 0.0, 0.0))  # H=0, S=1, V=1
+        vec = hsv_histogram(img, normalize=False)
+        h_bins, s_bins, v_bins = PAPER_HSV_BINS
+        assert vec[0] == 16  # hue 0 -> first H bin
+        assert vec[h_bins + s_bins - 1] == 16  # sat 1 -> last S bin
+        assert vec[h_bins + s_bins + v_bins - 1] == 16  # val 1 -> last V bin
+
+    def test_invalid_bins_raise(self):
+        img = solid_color(4, 4, (0.5, 0.5, 0.5))
+        with pytest.raises(ImagingError):
+            hsv_histogram(img, bins=(0, 20, 10))
+
+    def test_distinguishes_hues(self):
+        red = solid_color(8, 8, (1.0, 0.1, 0.1))
+        green = solid_color(8, 8, (0.1, 1.0, 0.1))
+        assert not np.allclose(hsv_histogram(red), hsv_histogram(green))
+
+    def test_size_invariance_when_normalised(self):
+        small = solid_color(4, 4, (0.2, 0.5, 0.8))
+        large = solid_color(32, 32, (0.2, 0.5, 0.8))
+        assert np.allclose(hsv_histogram(small), hsv_histogram(large))
+
+
+class TestJointHistogram:
+    def test_dimensions(self):
+        img = solid_color(8, 8, (0.3, 0.6, 0.9))
+        vec = joint_hsv_histogram(img, bins=(8, 4, 4))
+        assert vec.shape == (8 * 4 * 4,)
+
+    def test_normalised_sums_to_one(self):
+        img = solid_color(8, 8, (0.3, 0.6, 0.9))
+        assert joint_hsv_histogram(img).sum() == pytest.approx(1.0)

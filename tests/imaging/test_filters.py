@@ -1,0 +1,183 @@
+"""Tests for convolution, blur, gradients, Gabor, pooling, resize."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImagingError
+from repro.imaging import (
+    avg_pool2d,
+    convolve2d,
+    gabor_bank,
+    gabor_kernel,
+    gaussian_blur,
+    gaussian_kernel1d,
+    gradient_magnitude_orientation,
+    max_pool2d,
+    resize_bilinear,
+    resize_nearest,
+    sobel_gradients,
+)
+
+
+class TestConvolve:
+    def test_identity_kernel(self):
+        rng = np.random.default_rng(1)
+        img = rng.random((8, 8))
+        kernel = np.zeros((3, 3))
+        kernel[1, 1] = 1.0
+        assert np.allclose(convolve2d(img, kernel, "same"), img)
+
+    def test_valid_mode_shape(self):
+        out = convolve2d(np.zeros((10, 12)), np.ones((3, 5)), "valid")
+        assert out.shape == (8, 8)
+
+    def test_same_mode_shape(self):
+        out = convolve2d(np.zeros((10, 12)), np.ones((3, 5)), "same")
+        assert out.shape == (10, 12)
+
+    def test_box_kernel_averages(self):
+        img = np.ones((6, 6))
+        out = convolve2d(img, np.full((3, 3), 1.0 / 9.0), "valid")
+        assert np.allclose(out, 1.0)
+
+    def test_bad_mode_raises(self):
+        with pytest.raises(ImagingError):
+            convolve2d(np.zeros((4, 4)), np.ones((3, 3)), "wrap")
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ImagingError):
+            convolve2d(np.zeros((2, 2)), np.ones((5, 5)), "valid")
+
+    def test_correlation_not_flipped(self):
+        # An asymmetric kernel distinguishes correlation from convolution.
+        img = np.zeros((5, 5))
+        img[2, 3] = 1.0
+        kernel = np.zeros((3, 3))
+        kernel[1, 2] = 1.0  # picks up the pixel to the right
+        out = convolve2d(img, kernel, "same")
+        assert out[2, 2] == 1.0
+
+
+class TestGaussian:
+    def test_kernel_normalised(self):
+        k = gaussian_kernel1d(2.0)
+        assert k.sum() == pytest.approx(1.0)
+        assert k.shape[0] == 2 * 6 + 1
+
+    def test_kernel_symmetric(self):
+        k = gaussian_kernel1d(1.5)
+        assert np.allclose(k, k[::-1])
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ImagingError):
+            gaussian_kernel1d(0.0)
+
+    def test_blur_preserves_constant(self):
+        img = np.full((12, 12), 0.7)
+        assert np.allclose(gaussian_blur(img, 1.5), 0.7)
+
+    def test_blur_reduces_variance(self):
+        rng = np.random.default_rng(2)
+        img = rng.random((24, 24))
+        assert gaussian_blur(img, 2.0).var() < img.var()
+
+
+class TestGradients:
+    def test_vertical_edge(self):
+        img = np.zeros((8, 8))
+        img[:, 4:] = 1.0
+        gx, gy = sobel_gradients(img)
+        assert abs(gx[4, 4]) > 1.0
+        assert np.allclose(gy[:, 3:5][1:-1], 0.0, atol=1e-9)
+
+    def test_orientation_range(self):
+        rng = np.random.default_rng(3)
+        _, ori = gradient_magnitude_orientation(rng.random((10, 10)))
+        assert ori.min() >= 0.0
+        assert ori.max() < 2 * np.pi + 1e-9
+
+    def test_flat_image_zero_magnitude(self):
+        mag, _ = gradient_magnitude_orientation(np.full((8, 8), 0.5))
+        assert np.allclose(mag, 0.0, atol=1e-9)
+
+
+class TestGabor:
+    def test_zero_mean(self):
+        k = gabor_kernel(7, 4.0, 0.0)
+        assert abs(k.mean()) < 1e-12
+
+    def test_bank_size(self):
+        bank = gabor_bank(size=7, orientations=4, wavelengths=(3.0, 6.0))
+        assert len(bank) == 8
+        assert all(k.shape == (7, 7) for k in bank)
+
+    def test_even_size_raises(self):
+        with pytest.raises(ImagingError):
+            gabor_kernel(6, 4.0, 0.0)
+
+    def test_responds_to_matching_orientation(self):
+        # Vertical stripes excite the 0-orientation (x-direction) filter
+        # more than the perpendicular one.
+        img = np.tile(np.sin(np.arange(32) * 2 * np.pi / 4.0), (32, 1))
+        k0 = gabor_kernel(7, 4.0, 0.0)
+        k90 = gabor_kernel(7, 4.0, np.pi / 2)
+        r0 = np.abs(convolve2d(img, k0, "valid")).mean()
+        r90 = np.abs(convolve2d(img, k90, "valid")).mean()
+        assert r0 > 3 * r90
+
+
+class TestPooling:
+    def test_max_pool(self):
+        img = np.arange(16, dtype=float).reshape(4, 4)
+        out = max_pool2d(img, 2)
+        assert out.shape == (2, 2)
+        assert out[0, 0] == 5.0
+        assert out[1, 1] == 15.0
+
+    def test_avg_pool(self):
+        img = np.arange(16, dtype=float).reshape(4, 4)
+        out = avg_pool2d(img, 2)
+        assert out[0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4.0)
+
+    def test_pool_crops_remainder(self):
+        out = max_pool2d(np.zeros((5, 7)), 2)
+        assert out.shape == (2, 3)
+
+    def test_pool_too_large_raises(self):
+        with pytest.raises(ImagingError):
+            max_pool2d(np.zeros((3, 3)), 4)
+
+
+class TestResize:
+    def test_nearest_shape(self):
+        out = resize_nearest(np.zeros((4, 6)), 8, 3)
+        assert out.shape == (8, 3)
+
+    def test_bilinear_shape_with_channels(self):
+        out = resize_bilinear(np.zeros((4, 6, 3)), 9, 9)
+        assert out.shape == (9, 9, 3)
+
+    def test_bilinear_preserves_constant(self):
+        out = resize_bilinear(np.full((4, 4), 0.3), 11, 7)
+        assert np.allclose(out, 0.3)
+
+    def test_bilinear_identity(self):
+        rng = np.random.default_rng(4)
+        img = rng.random((6, 6))
+        assert np.allclose(resize_bilinear(img, 6, 6), img)
+
+    def test_upscale_interpolates(self):
+        img = np.array([[0.0, 1.0]])
+        out = resize_bilinear(img, 1, 3)
+        assert out[0, 1] == pytest.approx(0.5)
+
+    def test_invalid_target_raises(self):
+        with pytest.raises(ImagingError):
+            resize_bilinear(np.zeros((4, 4)), 0, 5)
+        with pytest.raises(ImagingError):
+            resize_nearest(np.zeros((4, 4)), 5, 0)
+
+    def test_one_pixel_source(self):
+        out = resize_bilinear(np.full((1, 1), 0.6), 4, 4)
+        assert out.shape == (4, 4)
+        assert np.allclose(out, 0.6)

@@ -1,0 +1,81 @@
+"""Tests for the Image container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImagingError
+from repro.imaging import Image, solid_color
+
+
+class TestConstruction:
+    def test_valid(self):
+        img = Image(np.zeros((4, 6, 3)))
+        assert img.shape == (4, 6)
+        assert img.height == 4
+        assert img.width == 6
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ImagingError):
+            Image(np.zeros((4, 6)))
+
+    def test_wrong_channels_raises(self):
+        with pytest.raises(ImagingError):
+            Image(np.zeros((4, 6, 4)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ImagingError):
+            Image(np.zeros((0, 6, 3)))
+
+    def test_nan_raises(self):
+        px = np.zeros((2, 2, 3))
+        px[0, 0, 0] = np.nan
+        with pytest.raises(ImagingError):
+            Image(px)
+
+    def test_clipping(self):
+        img = Image(np.full((2, 2, 3), 2.0))
+        assert img.pixels.max() == 1.0
+        img = Image(np.full((2, 2, 3), -1.0))
+        assert img.pixels.min() == 0.0
+
+    def test_pixels_read_only(self):
+        img = solid_color(2, 2, (0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            img.pixels[0, 0, 0] = 0.9
+
+
+class TestConversions:
+    def test_grayscale_weights(self):
+        red = solid_color(2, 2, (1.0, 0.0, 0.0))
+        assert red.grayscale()[0, 0] == pytest.approx(0.299)
+        white = solid_color(2, 2, (1.0, 1.0, 1.0))
+        assert white.grayscale()[0, 0] == pytest.approx(1.0)
+
+    def test_uint8_round_trip(self):
+        rng = np.random.default_rng(0)
+        img = Image(rng.random((5, 5, 3)))
+        restored = Image.from_uint8(img.to_uint8())
+        assert np.allclose(restored.pixels, img.pixels, atol=1 / 255.0)
+
+
+class TestIdentity:
+    def test_hash_deterministic(self):
+        a = solid_color(3, 3, (0.2, 0.4, 0.6))
+        b = solid_color(3, 3, (0.2, 0.4, 0.6))
+        assert a.content_hash() == b.content_hash()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_content_different_hash(self):
+        a = solid_color(3, 3, (0.2, 0.4, 0.6))
+        b = solid_color(3, 3, (0.6, 0.4, 0.2))
+        assert a.content_hash() != b.content_hash()
+        assert a != b
+
+    def test_different_shape_not_equal(self):
+        a = solid_color(3, 3, (0.5, 0.5, 0.5))
+        b = solid_color(3, 4, (0.5, 0.5, 0.5))
+        assert a != b
+
+    def test_not_equal_to_other_types(self):
+        assert solid_color(2, 2, (0, 0, 0)) != "image"

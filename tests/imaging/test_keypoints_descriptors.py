@@ -1,0 +1,118 @@
+"""Tests for DoG keypoints and SIFT-style descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImagingError
+from repro.imaging import (
+    DESCRIPTOR_DIM,
+    Image,
+    dense_keypoints,
+    detect_keypoints,
+    extract_descriptors,
+    solid_color,
+)
+
+
+def blob_image(size=48, centers=((24, 24),), radius=4):
+    """Dark background with bright Gaussian-ish blobs: ideal DoG bait."""
+    px = np.full((size, size, 3), 0.1)
+    rr, cc = np.mgrid[0:size, 0:size]
+    for r0, c0 in centers:
+        mask = np.exp(-(((rr - r0) ** 2 + (cc - c0) ** 2) / (2.0 * radius**2)))
+        px += mask[..., None] * 0.8
+    return Image(px)
+
+
+class TestDetect:
+    def test_flat_image_no_keypoints(self):
+        assert detect_keypoints(solid_color(48, 48, (0.5, 0.5, 0.5))) == []
+
+    def test_blob_detected_near_center(self):
+        kps = detect_keypoints(blob_image())
+        assert kps, "expected at least one keypoint on a bright blob"
+        best = kps[0]
+        assert abs(best.row - 24) <= 4 and abs(best.col - 24) <= 4
+
+    def test_multiple_blobs(self):
+        kps = detect_keypoints(blob_image(centers=((14, 14), (34, 34))))
+        rows = {round(kp.row / 10) for kp in kps[:10]}
+        assert len(rows) >= 2
+
+    def test_sorted_by_response(self):
+        kps = detect_keypoints(blob_image(centers=((14, 14), (34, 34))))
+        responses = [abs(kp.response) for kp in kps]
+        assert responses == sorted(responses, reverse=True)
+
+    def test_max_keypoints_respected(self):
+        rng = np.random.default_rng(5)
+        noisy = Image(rng.random((64, 64, 3)))
+        kps = detect_keypoints(noisy, max_keypoints=7, contrast_threshold=0.001)
+        assert len(kps) <= 7
+
+    def test_tiny_image_returns_empty(self):
+        assert detect_keypoints(solid_color(8, 8, (0.5, 0.5, 0.5))) == []
+
+    def test_too_few_scales_raises(self):
+        with pytest.raises(ImagingError):
+            detect_keypoints(blob_image(), num_scales=2)
+
+
+class TestDense:
+    def test_lattice_spacing(self):
+        img = solid_color(48, 48, (0.5, 0.5, 0.5))
+        kps = dense_keypoints(img, stride=8)
+        assert len(kps) == 5 * 5
+        assert all(kp.row % 8 == 0 and kp.col % 8 == 0 for kp in kps)
+
+    def test_bad_stride_raises(self):
+        with pytest.raises(ImagingError):
+            dense_keypoints(solid_color(48, 48, (0.5,) * 3), stride=0)
+
+
+class TestDescriptors:
+    def test_shape_and_dim(self):
+        img = blob_image()
+        kps = dense_keypoints(img, stride=12)
+        desc = extract_descriptors(img, kps)
+        assert desc.shape[1] == DESCRIPTOR_DIM
+        assert desc.shape[0] > 0
+
+    def test_normalised(self):
+        img = blob_image()
+        desc = extract_descriptors(img, dense_keypoints(img, stride=12))
+        norms = np.linalg.norm(desc, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-9)
+
+    def test_clamped(self):
+        img = blob_image()
+        desc = extract_descriptors(img, dense_keypoints(img, stride=12))
+        # After the 0.2 clamp + renorm, entries stay comfortably small.
+        assert desc.max() <= 0.2 / np.sqrt(desc.shape[1] > 0) + 1.0  # sanity
+        assert desc.max() < 0.75
+
+    def test_flat_region_yields_nothing(self):
+        img = solid_color(48, 48, (0.5, 0.5, 0.5))
+        desc = extract_descriptors(img, dense_keypoints(img, stride=12))
+        assert desc.shape == (0, DESCRIPTOR_DIM)
+
+    def test_edge_keypoints_skipped(self):
+        img = blob_image()
+        from repro.imaging import Keypoint
+
+        desc = extract_descriptors(img, [Keypoint(0, 0, 1.0, 0.0)])
+        assert desc.shape == (0, DESCRIPTOR_DIM)
+
+    def test_small_patch_radius_raises(self):
+        img = blob_image()
+        with pytest.raises(ImagingError):
+            extract_descriptors(img, dense_keypoints(img), patch_radius=2)
+
+    def test_descriptor_distinguishes_textures(self):
+        # Horizontal vs vertical stripe patches produce different codes.
+        stripes_h = Image(np.tile(np.sin(np.arange(48) * 0.8)[:, None, None] * 0.4 + 0.5, (1, 48, 3)))
+        stripes_v = Image(np.tile(np.sin(np.arange(48) * 0.8)[None, :, None] * 0.4 + 0.5, (48, 1, 3)))
+        d_h = extract_descriptors(stripes_h, dense_keypoints(stripes_h, stride=16))
+        d_v = extract_descriptors(stripes_v, dense_keypoints(stripes_v, stride=16))
+        assert d_h.shape[0] and d_v.shape[0]
+        assert not np.allclose(d_h.mean(axis=0), d_v.mean(axis=0), atol=0.05)

@@ -1,0 +1,157 @@
+"""Tests for quality gating and perceptual near-duplicate hashing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImagingError
+from repro.imaging import (
+    HASH_BITS,
+    Image,
+    NearDuplicateIndex,
+    add_noise,
+    adjust_brightness,
+    assess_quality,
+    blur,
+    dhash,
+    exposure_clipping,
+    flip_horizontal,
+    hamming_distance,
+    render_street_scene,
+    sharpness,
+    solid_color,
+)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return render_street_scene("bulky_item", np.random.default_rng(0), size=48)
+
+
+class TestSharpness:
+    def test_blur_reduces_sharpness(self, scene):
+        assert sharpness(blur(scene, 2.0)) < sharpness(scene) * 0.5
+
+    def test_flat_image_zero(self):
+        assert sharpness(solid_color(16, 16, (0.5,) * 3)) == pytest.approx(0.0)
+
+    def test_noise_increases_sharpness(self, scene):
+        rng = np.random.default_rng(1)
+        assert sharpness(add_noise(scene, 0.1, rng)) > sharpness(scene)
+
+
+class TestExposure:
+    def test_black_frame_fully_clipped(self):
+        assert exposure_clipping(solid_color(8, 8, (0.0, 0.0, 0.0))) == 1.0
+
+    def test_normal_scene_low_clipping(self, scene):
+        assert exposure_clipping(scene) < 0.2
+
+    def test_bad_thresholds_raise(self, scene):
+        with pytest.raises(ImagingError):
+            exposure_clipping(scene, low=0.9, high=0.1)
+
+
+class TestAssessQuality:
+    def test_good_scene_accepted(self, scene):
+        report = assess_quality(scene)
+        assert report.accepted
+        assert report.reasons == ()
+
+    def test_blurry_rejected(self, scene):
+        very_blurry = blur(blur(scene, 3.0), 3.0)
+        report = assess_quality(very_blurry, min_sharpness=sharpness(scene) / 2.0)
+        assert not report.accepted
+        assert "blurry" in report.reasons
+
+    def test_overexposed_rejected(self):
+        white = solid_color(24, 24, (1.0, 1.0, 1.0))
+        report = assess_quality(white, min_sharpness=0.0)
+        assert not report.accepted
+        assert "badly_exposed" in report.reasons
+
+    def test_invalid_thresholds(self, scene):
+        with pytest.raises(ImagingError):
+            assess_quality(scene, min_sharpness=-1.0)
+        with pytest.raises(ImagingError):
+            assess_quality(scene, max_clipping=0.0)
+
+
+class TestDHash:
+    def test_identical_images_same_hash(self, scene):
+        assert dhash(scene) == dhash(Image(scene.pixels.copy()))
+
+    def test_brightness_shift_small_distance(self, scene):
+        shifted = adjust_brightness(scene, 0.05)
+        assert hamming_distance(dhash(scene), dhash(shifted)) <= 3
+
+    def test_mild_noise_small_distance(self, scene):
+        noisy = add_noise(scene, 0.01, np.random.default_rng(2))
+        assert hamming_distance(dhash(scene), dhash(noisy)) <= 10
+
+    def test_different_scenes_large_distance(self):
+        rng = np.random.default_rng(3)
+        a = render_street_scene("clean", rng, size=48)
+        b = render_street_scene("overgrown_vegetation", rng, size=48)
+        assert hamming_distance(dhash(a), dhash(b)) > 10
+
+    def test_flip_changes_hash(self, scene):
+        assert hamming_distance(dhash(scene), dhash(flip_horizontal(scene))) > 8
+
+    def test_hash_range(self, scene):
+        value = dhash(scene)
+        assert 0 <= value < 2**HASH_BITS
+
+    def test_negative_hash_rejected(self):
+        with pytest.raises(ImagingError):
+            hamming_distance(-1, 0)
+
+
+class TestNearDuplicateIndex:
+    def test_exact_duplicate_found(self, scene):
+        index = NearDuplicateIndex()
+        index.add("original", scene)
+        matches = index.find_similar(Image(scene.pixels.copy()))
+        assert matches[0] == ("original", 0)
+        assert index.is_near_duplicate(scene)
+
+    def test_brightness_variant_found(self, scene):
+        index = NearDuplicateIndex(max_distance=3)
+        index.add("original", scene)
+        assert index.is_near_duplicate(adjust_brightness(scene, 0.04))
+
+    def test_distinct_scene_not_flagged(self, scene):
+        index = NearDuplicateIndex()
+        index.add("original", scene)
+        other = render_street_scene("clean", np.random.default_rng(9), size=48)
+        assert not index.is_near_duplicate(other)
+
+    def test_duplicate_id_rejected(self, scene):
+        index = NearDuplicateIndex()
+        index.add("a", scene)
+        with pytest.raises(ImagingError):
+            index.add("a", scene)
+
+    def test_results_sorted_by_distance(self):
+        rng = np.random.default_rng(4)
+        base = render_street_scene("encampment", rng, size=48)
+        index = NearDuplicateIndex(max_distance=16)
+        index.add("exact", base)
+        index.add("noisy", add_noise(base, 0.015, np.random.default_rng(5)))
+        matches = index.find_similar(base)
+        distances = [d for _, d in matches]
+        assert distances == sorted(distances)
+        assert matches[0] == ("exact", 0)
+
+    def test_brightness_invariance(self):
+        # dHash keys on gradients, so a global brightness shift that
+        # does not clip leaves the hash unchanged — ideal for catching
+        # re-exposed duplicates.
+        rng = np.random.default_rng(6)
+        base = render_street_scene("encampment", rng, size=48)
+        assert dhash(base) == dhash(adjust_brightness(base, 0.05))
+
+    def test_bad_radius(self):
+        with pytest.raises(ImagingError):
+            NearDuplicateIndex(max_distance=-1)
+        with pytest.raises(ImagingError):
+            NearDuplicateIndex(max_distance=65)

@@ -1,0 +1,70 @@
+"""Tests for the synthetic streetscape renderer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImagingError
+from repro.imaging import CLEANLINESS_CLASSES, Image, render_street_scene, rgb_to_hsv
+
+
+class TestRenderer:
+    def test_all_classes_render(self):
+        rng = np.random.default_rng(0)
+        for label in CLEANLINESS_CLASSES:
+            img = render_street_scene(label, rng, size=32)
+            assert isinstance(img, Image)
+            assert img.shape == (32, 32)
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(ImagingError):
+            render_street_scene("potholes", np.random.default_rng(0))
+
+    def test_too_small_raises(self):
+        with pytest.raises(ImagingError):
+            render_street_scene("clean", np.random.default_rng(0), size=8)
+
+    def test_deterministic_given_seed(self):
+        a = render_street_scene("encampment", np.random.default_rng(42), size=32)
+        b = render_street_scene("encampment", np.random.default_rng(42), size=32)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = render_street_scene("clean", np.random.default_rng(1), size=32)
+        b = render_street_scene("clean", np.random.default_rng(2), size=32)
+        assert a != b
+
+    def test_vegetation_is_greener_than_clean(self):
+        rng = np.random.default_rng(3)
+        greens, cleans = [], []
+        for _ in range(10):
+            veg = render_street_scene("overgrown_vegetation", rng, size=32)
+            cln = render_street_scene("clean", rng, size=32)
+            greens.append(veg.pixels[..., 1].mean() - veg.pixels[..., 0].mean())
+            cleans.append(cln.pixels[..., 1].mean() - cln.pixels[..., 0].mean())
+        assert np.mean(greens) > np.mean(cleans) + 0.02
+
+    def test_object_classes_add_lower_half_edges(self):
+        # Object classes place silhouettes on the sidewalk band, so the
+        # lower half has more strong edges than a clean scene.
+        from repro.imaging import sobel_gradients
+
+        rng = np.random.default_rng(4)
+
+        def edge_density(label):
+            vals = []
+            for _ in range(20):
+                img = render_street_scene(
+                    label, rng, size=48, noise_sigma=0.0, distractor_prob=0.0
+                )
+                gx, gy = sobel_gradients(img.grayscale()[24:])
+                vals.append((np.hypot(gx, gy) > 0.5).mean())
+            return np.mean(vals)
+
+        clean_edges = edge_density("clean")
+        for label in ("bulky_item", "illegal_dumping", "encampment"):
+            assert edge_density(label) > clean_edges + 0.02
+
+    def test_noise_parameter(self):
+        quiet = render_street_scene("clean", np.random.default_rng(5), noise_sigma=0.0)
+        noisy = render_street_scene("clean", np.random.default_rng(5), noise_sigma=0.1)
+        assert noisy.pixels.std() > quiet.pixels.std()

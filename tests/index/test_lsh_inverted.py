@@ -1,0 +1,152 @@
+"""Tests for LSH and the inverted index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexError_
+from repro.index import InvertedIndex, LSHIndex, tokenize
+
+
+class TestLSH:
+    def make_index(self, n=200, dim=16, seed=0):
+        rng = np.random.default_rng(seed)
+        index = LSHIndex(dimension=dim, seed=seed)
+        vectors = rng.normal(0, 1, (n, dim))
+        for i in range(n):
+            index.insert(i, vectors[i])
+        return index, vectors
+
+    def test_insert_and_len(self):
+        index, _ = self.make_index(50)
+        assert len(index) == 50
+
+    def test_duplicate_item_raises(self):
+        index = LSHIndex(dimension=4)
+        index.insert("a", np.zeros(4))
+        with pytest.raises(IndexError_):
+            index.insert("a", np.ones(4))
+
+    def test_dimension_mismatch_raises(self):
+        index = LSHIndex(dimension=4)
+        with pytest.raises(IndexError_):
+            index.insert("a", np.zeros(5))
+        index.insert("a", np.zeros(4))
+        with pytest.raises(IndexError_):
+            index.query_topk(np.zeros(3), k=1)
+
+    def test_exact_match_found_first(self):
+        index, vectors = self.make_index()
+        results = index.query_topk(vectors[17], k=5)
+        assert results[0][0] == 17
+        assert results[0][1] == pytest.approx(0.0)
+
+    def test_topk_recall_against_linear(self):
+        index, vectors = self.make_index(n=300, seed=1)
+        query = vectors[42] + np.random.default_rng(9).normal(0, 0.05, 16)
+        approx = {item for item, _ in index.query_topk(query, k=10)}
+        exact = {item for item, _ in index.linear_topk(query, k=10)}
+        # With the exhaustive fallback and 8 tables recall is high.
+        assert len(approx & exact) >= 6
+
+    def test_distances_ascending(self):
+        index, vectors = self.make_index()
+        results = index.query_topk(vectors[0], k=20)
+        distances = [d for _, d in results]
+        assert distances == sorted(distances)
+
+    def test_radius_query(self):
+        index = LSHIndex(dimension=2, bucket_width=5.0, seed=0)
+        index.insert("near", np.array([0.1, 0.0]))
+        index.insert("far", np.array([10.0, 10.0]))
+        results = index.query_radius(np.zeros(2), radius=1.0)
+        assert [item for item, _ in results] == ["near"]
+
+    def test_fallback_guarantees_k(self):
+        index, vectors = self.make_index(n=50)
+        results = index.query_topk(np.full(16, 100.0), k=10)
+        assert len(results) == 10
+
+    def test_parameter_validation(self):
+        with pytest.raises(IndexError_):
+            LSHIndex(dimension=0)
+        with pytest.raises(IndexError_):
+            LSHIndex(dimension=4, bucket_width=0)
+        with pytest.raises(IndexError_):
+            LSHIndex(dimension=4, n_tables=0)
+        index = LSHIndex(dimension=4)
+        with pytest.raises(IndexError_):
+            index.query_topk(np.zeros(4), k=0)
+        with pytest.raises(IndexError_):
+            index.query_radius(np.zeros(4), radius=-1.0)
+
+
+class TestTokenize:
+    def test_lowercase_and_split(self):
+        assert tokenize("Illegal DUMPING on 5th") == ["illegal", "dumping", "5th"]
+
+    def test_stopwords_removed(self):
+        assert tokenize("the bags on the street") == ["bags", "street"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("the and of") == []
+
+
+class TestInvertedIndex:
+    def make_index(self):
+        index = InvertedIndex()
+        index.add(1, "illegal dumping near the river")
+        index.add(2, "overgrown vegetation on sidewalk")
+        index.add(3, "dumping of bulky furniture on sidewalk")
+        return index
+
+    def test_len_and_contains(self):
+        index = self.make_index()
+        assert len(index) == 3
+        assert 1 in index and 9 not in index
+
+    def test_search_any(self):
+        index = self.make_index()
+        hits = [doc for doc, _ in index.search_any("dumping sidewalk")]
+        assert set(hits) == {1, 2, 3}
+
+    def test_search_all(self):
+        index = self.make_index()
+        hits = [doc for doc, _ in index.search_all("dumping sidewalk")]
+        assert hits == [3]
+
+    def test_search_all_empty_query(self):
+        assert self.make_index().search_all("") == []
+
+    def test_ranking_prefers_rarer_terms(self):
+        index = InvertedIndex()
+        index.add(1, "graffiti")  # rare term, short doc
+        index.add(2, "street street street street graffiti")
+        index.add(3, "street cleaning")
+        hits = index.search_any("graffiti")
+        assert hits[0][0] == 1  # higher tf proportion
+
+    def test_remove(self):
+        index = self.make_index()
+        index.remove(3)
+        assert len(index) == 2
+        assert [doc for doc, _ in index.search_all("dumping sidewalk")] == []
+        with pytest.raises(IndexError_):
+            index.remove(3)
+
+    def test_add_extends_document(self):
+        index = InvertedIndex()
+        index.add(1, "homeless tents")
+        index.add(1, "encampment")
+        assert [doc for doc, _ in index.search_any("encampment")] == [1]
+        assert [doc for doc, _ in index.search_any("tents")] == [1]
+        assert len(index) == 1
+
+    def test_vocabulary(self):
+        index = self.make_index()
+        vocab = index.vocabulary()
+        assert "dumping" in vocab and "sidewalk" in vocab
+        assert vocab == sorted(vocab)
+
+    def test_no_match(self):
+        assert self.make_index().search_any("wildfire") == []

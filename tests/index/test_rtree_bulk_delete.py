@@ -1,0 +1,132 @@
+"""Tests for R-tree STR bulk loading and deletion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import BoundingBox, GeoPoint
+from repro.index import RTree
+
+
+def random_entries(n, seed=0):
+    rng = np.random.default_rng(seed)
+    entries = []
+    for i in range(n):
+        lat = float(rng.uniform(33.9, 34.1))
+        lng = float(rng.uniform(-118.5, -118.3))
+        entries.append((i, BoundingBox(lat, lng, lat, lng)))
+    return entries
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+        assert tree.search_range(BoundingBox(-90, -180, 90, 180)) == []
+
+    def test_contains_everything(self):
+        entries = random_entries(500)
+        tree = RTree.bulk_load(entries, max_entries=8)
+        assert len(tree) == 500
+        assert sorted(tree.all_items()) == list(range(500))
+
+    def test_range_queries_match_incremental(self):
+        entries = random_entries(300, seed=1)
+        bulk = RTree.bulk_load(entries, max_entries=6)
+        incremental = RTree(max_entries=6)
+        for item, box in entries:
+            incremental.insert(item, box)
+        query = BoundingBox(33.95, -118.45, 34.05, -118.35)
+        assert set(bulk.search_range(query)) == set(incremental.search_range(query))
+
+    def test_bulk_tree_is_shallower_or_equal(self):
+        entries = random_entries(400, seed=2)
+        bulk = RTree.bulk_load(entries, max_entries=6)
+        incremental = RTree(max_entries=6)
+        for item, box in entries:
+            incremental.insert(item, box)
+        assert bulk.height() <= incremental.height()
+
+    def test_knn_works_on_bulk_tree(self):
+        entries = random_entries(200, seed=3)
+        tree = RTree.bulk_load(entries)
+        results = tree.search_knn(GeoPoint(34.0, -118.4), k=5)
+        assert len(results) == 5
+
+    def test_single_entry(self):
+        tree = RTree.bulk_load([("only", BoundingBox(1.0, 1.0, 1.0, 1.0))])
+        assert len(tree) == 1
+        assert tree.search_range(BoundingBox(0.0, 0.0, 2.0, 2.0)) == ["only"]
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        entries = random_entries(100, seed=4)
+        tree = RTree(max_entries=5)
+        for item, box in entries:
+            tree.insert(item, box)
+        item, box = entries[37]
+        assert tree.delete(item, box) is True
+        assert len(tree) == 99
+        assert 37 not in tree.all_items()
+
+    def test_delete_missing_returns_false(self):
+        tree = RTree()
+        tree.insert("a", BoundingBox(0, 0, 1, 1))
+        assert tree.delete("b", BoundingBox(0, 0, 1, 1)) is False
+        assert tree.delete("a", BoundingBox(5, 5, 6, 6)) is False
+        assert len(tree) == 1
+
+    def test_queries_correct_after_many_deletes(self):
+        entries = random_entries(200, seed=5)
+        tree = RTree(max_entries=5)
+        for item, box in entries:
+            tree.insert(item, box)
+        removed = set()
+        for item, box in entries[::3]:
+            assert tree.delete(item, box)
+            removed.add(item)
+        query = BoundingBox(33.9, -118.5, 34.1, -118.3)
+        expected = {i for i, _ in entries} - removed
+        assert set(tree.search_range(query)) == expected
+        assert len(tree) == len(expected)
+
+    def test_delete_everything(self):
+        entries = random_entries(50, seed=6)
+        tree = RTree(max_entries=4)
+        for item, box in entries:
+            tree.insert(item, box)
+        for item, box in entries:
+            assert tree.delete(item, box)
+        assert len(tree) == 0
+        assert tree.search_range(BoundingBox(-90, -180, 90, 180)) == []
+
+    def test_reinsert_after_delete(self):
+        entries = random_entries(60, seed=7)
+        tree = RTree(max_entries=4)
+        for item, box in entries:
+            tree.insert(item, box)
+        item, box = entries[10]
+        tree.delete(item, box)
+        tree.insert(item, box)
+        assert len(tree) == 60
+        assert set(tree.all_items()) == {i for i, _ in entries}
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_delete_sequences_preserve_invariants(self, seed):
+        rng = np.random.default_rng(seed)
+        entries = random_entries(60, seed=seed)
+        tree = RTree(max_entries=4)
+        alive = {}
+        for item, box in entries:
+            tree.insert(item, box)
+            alive[item] = box
+        for item, box in entries:
+            if rng.random() < 0.5:
+                assert tree.delete(item, box)
+                del alive[item]
+        assert len(tree) == len(alive)
+        query = BoundingBox(33.9, -118.5, 34.1, -118.3)
+        assert set(tree.search_range(query)) == set(alive)

@@ -1,0 +1,41 @@
+"""Smoke tests: the fast examples run to completion as scripts.
+
+The heavyweight studies (street_cleanliness_study, homeless_tracking,
+edge_deployment, disaster_monitoring, city_video_pipeline) are covered
+functionally by the benchmarks; here we run the quick ones end to end
+the way a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = ["quickstart.py", "api_collaboration.py", "crowdsourcing_campaign.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_guided_tour_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "guided tour" in result.stdout
+    assert "done" in result.stdout

@@ -1,0 +1,140 @@
+"""Integration: the paper's five-step collaborative scenario, verbatim.
+
+Section II's example: (1) LASAN trucks collect street videos, (2) USC
+researchers classify street cleanliness on the shared data, (3) results
+are reported back and stored as augmented knowledge, (4) the Homeless
+Coordinator reuses the encampment results, (5) another department runs
+a different analysis (graffiti) on the same data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import cluster_encampments, run_graffiti_study, annotate_graffiti
+from repro.core import CategoricalQuery, TVDP, ingest_video
+from repro.datasets import generate_fleet_videos, generate_lasan_dataset
+from repro.features import ColorHistogramExtractor
+from repro.imaging import CLEANLINESS_CLASSES
+from repro.ml import LinearSVM, StandardScaler, accuracy
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """Run the whole scenario once; individual tests assert each step."""
+    platform = TVDP()
+    platform.register_extractor(ColorHistogramExtractor())
+    platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+    lasan = platform.add_user("LASAN", role="government")
+    usc = platform.add_user("USC", role="researcher")
+
+    # Step 1: LASAN garbage trucks upload videos (stored as key frames).
+    videos = generate_fleet_videos(n_videos=3, n_frames=20, image_size=32, seed=0)
+    video_frames: dict[int, str] = {}
+    for video in videos:
+        _, image_ids = ingest_video(platform, video, uploader_id=lasan, every=4)
+        for image_id, frame in zip(image_ids, video.key_frames(every=4)):
+            video_frames[image_id] = frame.label
+
+    # Also a labelled training corpus from past manual triage.
+    train = generate_lasan_dataset(n_per_class=12, image_size=32, seed=1)
+    train_ids = []
+    for record in train:
+        receipt = platform.upload_image(
+            record.image, record.fov, record.captured_at, record.uploaded_at,
+            keywords=record.keywords, uploader_id=lasan,
+        )
+        train_ids.append(receipt.image_id)
+        platform.annotations.annotate(
+            receipt.image_id, "street_cleanliness", record.label, 1.0, "human",
+            annotator="lasan_staff",
+        )
+
+    # Step 2: USC trains on the shared dataset...
+    extractor = platform.features.get("color_hsv_20_20_10")
+    X = np.vstack([extractor.extract(platform.image(i)) for i in train_ids])
+    y = np.array([r.label for r in train])
+    scaler = StandardScaler()
+    model = LinearSVM(epochs=30).fit(scaler.fit_transform(X), y)
+
+    # Step 3: ...and machine-annotates the truck footage (knowledge
+    # stored back into the platform).
+    for image_id in video_frames:
+        vector = scaler.transform(
+            extractor.extract(platform.image(image_id))[np.newaxis, :]
+        )
+        label = str(model.predict(vector)[0])
+        platform.annotations.annotate(
+            image_id, "street_cleanliness", label, 0.85, "machine", annotator="usc_svm"
+        )
+
+    return platform, video_frames, train, train_ids, model, scaler
+
+
+class TestScenario:
+    def test_step1_videos_stored_as_keyframes(self, scenario):
+        platform, video_frames, *_ = scenario
+        assert platform.db.row_counts()["videos"] == 3
+        assert len(video_frames) == 15  # 3 videos x 5 key frames
+        # Every key frame keeps per-frame FOV metadata.
+        for image_id in video_frames:
+            assert platform.fov(image_id).angle_deg > 0
+
+    def test_step2_model_beats_chance_on_truck_footage(self, scenario):
+        platform, video_frames, _, _, model, scaler = scenario
+        extractor = platform.features.get("color_hsv_20_20_10")
+        X = np.vstack(
+            [extractor.extract(platform.image(i)) for i in video_frames]
+        )
+        predictions = model.predict(scaler.transform(X))
+        truth = np.array(list(video_frames.values()))
+        assert accuracy(truth, predictions) > 1.0 / 5.0
+
+    def test_step3_machine_annotations_stored(self, scenario):
+        platform, video_frames, *_ = scenario
+        for image_id in video_frames:
+            sources = {a.source for a in platform.annotations.annotations_of(image_id)}
+            assert "machine" in sources
+
+    def test_step4_homeless_coordinator_reuses_annotations(self, scenario):
+        platform, *_ = scenario
+        hits = platform.execute(
+            CategoricalQuery(
+                "street_cleanliness", labels=("encampment",), source="machine"
+            )
+        )
+        report = cluster_encampments(
+            platform, min_confidence=0.5, eps_m=800.0, min_samples=2
+        )
+        # The coordinator sees every encampment annotation (human
+        # training labels + USC's machine labels) without training
+        # anything itself; hotspot structure yields clusters.
+        assert report.total_sightings >= 12 + len(hits) - 1
+        assert report.n_clusters >= 1
+        assert (
+            sum(c.size for c in report.clusters) + report.noise_sightings
+            == report.total_sightings
+        )
+
+    def test_step5_second_analysis_same_dataset(self, scenario):
+        platform, _, train, train_ids, *_ = scenario
+        result, model, scaler = run_graffiti_study(
+            train, ColorHistogramExtractor(), seed=0
+        )
+        written = annotate_graffiti(
+            platform, train_ids[:20], ColorHistogramExtractor(), model, scaler
+        )
+        assert written == 20
+        assert "graffiti" in platform.catalog.names()
+        # Both classifications now coexist on the same images.
+        multi = platform.annotations.annotations_of(train_ids[0])
+        assert {a.classification for a in multi} == {
+            "street_cleanliness",
+            "graffiti",
+        }
+
+    def test_platform_stats_reflect_everything(self, scenario):
+        platform, video_frames, train, *_ = scenario
+        stats = platform.stats()
+        assert stats["rows"]["images"] == len(video_frames) + len(train)
+        assert stats["rows"]["users"] == 2
+        assert stats["indexed_fovs"] == stats["rows"]["image_fov"]

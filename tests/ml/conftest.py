@@ -1,0 +1,25 @@
+"""Shared fixtures for ML tests: synthetic separable datasets."""
+
+import numpy as np
+import pytest
+
+
+def make_blobs(n_per_class=40, centers=((0, 0), (5, 5), (0, 6)), spread=0.8, seed=0):
+    """Gaussian blobs: an easy multi-class dataset any sane classifier
+    should nail."""
+    rng = np.random.default_rng(seed)
+    X, y = [], []
+    for label, center in enumerate(centers):
+        X.append(rng.normal(center, spread, (n_per_class, len(center))))
+        y.extend([label] * n_per_class)
+    return np.vstack(X), np.array(y)
+
+
+@pytest.fixture
+def blobs():
+    return make_blobs()
+
+
+@pytest.fixture
+def blobs_binary():
+    return make_blobs(centers=((0, 0), (6, 6)))

@@ -1,0 +1,99 @@
+"""Tests for AdaBoost and ROC-AUC."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError, NotFittedError
+from repro.ml import AdaBoostClassifier, accuracy, roc_auc
+from tests.ml.conftest import make_blobs
+
+
+class TestAdaBoost:
+    def test_separable_blobs(self, blobs):
+        X, y = blobs
+        model = AdaBoostClassifier(n_estimators=25, max_depth=2, seed=0)
+        model.fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.9
+
+    def test_boosting_beats_single_stump(self):
+        # A diagonal boundary a single axis-aligned stump cannot express.
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, (300, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        stump = AdaBoostClassifier(n_estimators=1, max_depth=1, seed=0).fit(X, y)
+        boosted = AdaBoostClassifier(n_estimators=40, max_depth=1, seed=0).fit(X, y)
+        assert accuracy(y, boosted.predict(X)) > accuracy(y, stump.predict(X)) + 0.05
+
+    def test_staged_errors_decrease(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-1, 1, (200, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        model = AdaBoostClassifier(n_estimators=30, max_depth=1, seed=0).fit(X, y)
+        errors = model.staged_errors(X, y)
+        assert errors[-1] <= errors[0]
+
+    def test_predict_before_fit_raises(self, blobs):
+        X, _ = blobs
+        with pytest.raises(NotFittedError):
+            AdaBoostClassifier().predict(X)
+
+    def test_string_labels(self, blobs_binary):
+        X, y = blobs_binary
+        labels = np.array(["neg", "pos"])[y]
+        model = AdaBoostClassifier(n_estimators=10, seed=0).fit(X, labels)
+        assert set(model.predict(X).tolist()) <= {"neg", "pos"}
+
+    def test_bad_hyperparameters(self):
+        with pytest.raises(MLError):
+            AdaBoostClassifier(n_estimators=0)
+        with pytest.raises(MLError):
+            AdaBoostClassifier(learning_rate=0.0)
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 0, 1, 1, 1])
+        scores = np.array([0.1, 0.2, 0.3, 0.7, 0.8, 0.9])
+        assert roc_auc(y, scores) == 1.0
+
+    def test_inverted_scores(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(y, scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 2_000)
+        scores = rng.random(2_000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_midrank(self):
+        y = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc(y, scores) == pytest.approx(0.5)
+
+    def test_invariant_to_monotone_transform(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 200)
+        y[:5] = 1
+        y[5:10] = 0
+        scores = rng.normal(size=200) + y
+        assert roc_auc(y, scores) == pytest.approx(
+            roc_auc(y, np.exp(scores)), abs=1e-12
+        )
+
+    def test_single_class_raises(self):
+        with pytest.raises(MLError):
+            roc_auc(np.array([1, 1]), np.array([0.1, 0.2]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(MLError):
+            roc_auc(np.array([0, 1]), np.array([0.5]))
+
+    def test_classifier_auc_on_separable_data(self, blobs_binary):
+        X, y = blobs_binary
+        from repro.ml import LogisticRegression
+
+        model = LogisticRegression(epochs=30).fit(X, y)
+        scores = model.predict_proba(X)[:, 1]
+        assert roc_auc(y, scores) > 0.99

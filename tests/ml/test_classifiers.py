@@ -1,0 +1,191 @@
+"""Behavioural tests shared by every classifier, plus model-specific ones."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError, NotFittedError
+from repro.ml import (
+    DecisionTreeClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    LinearSVM,
+    LogisticRegression,
+    RandomForestClassifier,
+    accuracy,
+)
+from tests.ml.conftest import make_blobs
+
+FACTORIES = {
+    "svm": lambda: LinearSVM(epochs=20),
+    "logreg": lambda: LogisticRegression(epochs=30),
+    "knn": lambda: KNeighborsClassifier(k=5),
+    "tree": lambda: DecisionTreeClassifier(max_depth=8),
+    "forest": lambda: RandomForestClassifier(n_trees=10, max_depth=8),
+    "gnb": lambda: GaussianNB(),
+}
+
+
+@pytest.mark.parametrize("name", FACTORIES)
+class TestAllClassifiers:
+    def test_separable_blobs_high_accuracy(self, name, blobs):
+        X, y = blobs
+        model = FACTORIES[name]()
+        model.fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.95
+
+    def test_predict_before_fit_raises(self, name, blobs):
+        X, _ = blobs
+        with pytest.raises(NotFittedError):
+            FACTORIES[name]().predict(X)
+
+    def test_feature_mismatch_raises(self, name, blobs):
+        X, y = blobs
+        model = FACTORIES[name]()
+        model.fit(X, y)
+        with pytest.raises(MLError):
+            model.predict(np.zeros((3, X.shape[1] + 2)))
+
+    def test_single_class_raises_or_handles(self, name):
+        X = np.random.default_rng(0).normal(0, 1, (10, 3))
+        y = np.zeros(10, dtype=int)
+        model = FACTORIES[name]()
+        # Classifiers requiring >= 2 classes raise; others (knn, tree,
+        # forest) legitimately learn the constant function.
+        try:
+            model.fit(X, y)
+        except MLError:
+            return
+        assert (model.predict(X) == 0).all()
+
+    def test_mismatched_lengths_raise(self, name, blobs):
+        X, y = blobs
+        with pytest.raises(MLError):
+            FACTORIES[name]().fit(X, y[:-3])
+
+    def test_nan_features_raise(self, name, blobs):
+        X, y = blobs
+        bad = X.copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(MLError):
+            FACTORIES[name]().fit(bad, y)
+
+    def test_string_labels_supported(self, name, blobs):
+        X, y = blobs
+        labels = np.array(["alpha", "beta", "gamma"])[y]
+        model = FACTORIES[name]()
+        model.fit(X, labels)
+        predictions = model.predict(X)
+        assert set(predictions.tolist()) <= {"alpha", "beta", "gamma"}
+        assert accuracy(labels, predictions) > 0.9
+
+    def test_generalises_to_held_out(self, name):
+        X_train, y_train = make_blobs(seed=1)
+        X_test, y_test = make_blobs(seed=2)
+        model = FACTORIES[name]()
+        model.fit(X_train, y_train)
+        assert accuracy(y_test, model.predict(X_test)) > 0.9
+
+
+class TestLogisticRegression:
+    def test_probabilities_sum_to_one(self, blobs):
+        X, y = blobs
+        model = LogisticRegression(epochs=20).fit(X, y)
+        probs = model.predict_proba(X)
+        assert probs.shape == (X.shape[0], 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_bad_hyperparameters(self):
+        with pytest.raises(MLError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(MLError):
+            LogisticRegression(epochs=0)
+
+
+class TestLinearSVM:
+    def test_decision_function_shape(self, blobs):
+        X, y = blobs
+        model = LinearSVM(epochs=15).fit(X, y)
+        assert model.decision_function(X).shape == (X.shape[0], 3)
+
+    def test_margins_separate_binary(self, blobs_binary):
+        X, y = blobs_binary
+        model = LinearSVM(epochs=25).fit(X, y)
+        margins = model.decision_function(X)
+        # Positive class margin should dominate for its own samples.
+        assert ((margins.argmax(axis=1) == y).mean()) > 0.97
+
+    def test_bad_hyperparameters(self):
+        with pytest.raises(MLError):
+            LinearSVM(l2=0)
+
+
+class TestKNN:
+    def test_k_one_memorises(self, blobs):
+        X, y = blobs
+        model = KNeighborsClassifier(k=1).fit(X, y)
+        assert accuracy(y, model.predict(X)) == 1.0
+
+    def test_k_larger_than_dataset_clamped(self):
+        X, y = make_blobs(n_per_class=3)
+        model = KNeighborsClassifier(k=50).fit(X, y)
+        model.predict(X)  # must not crash
+
+    def test_chunked_prediction_matches_unchunked(self, blobs):
+        X, y = blobs
+        a = KNeighborsClassifier(k=3, chunk_size=7).fit(X, y).predict(X)
+        b = KNeighborsClassifier(k=3, chunk_size=10_000).fit(X, y).predict(X)
+        assert (a == b).all()
+
+    def test_bad_k(self):
+        with pytest.raises(MLError):
+            KNeighborsClassifier(k=0)
+
+
+class TestDecisionTree:
+    def test_depth_limit_respected(self, blobs):
+        X, y = blobs
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_deeper_tree_fits_better(self, blobs):
+        # A depth-1 stump has two leaves and cannot separate 3 classes.
+        X, y = blobs
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert accuracy(y, shallow.predict(X)) <= 2.0 / 3.0 + 0.01
+        assert accuracy(y, deep.predict(X)) > 0.95
+
+    def test_constant_features_yield_leaf(self):
+        X = np.ones((20, 3))
+        y = np.array([0, 1] * 10)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.depth() == 0
+
+
+class TestRandomForest:
+    def test_more_trees_not_worse_on_noise(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(0, 1, (150, 5))
+        y = (X[:, 0] + 0.3 * rng.normal(size=150) > 0).astype(int)
+        small = RandomForestClassifier(n_trees=1, max_depth=4, seed=7).fit(X, y)
+        big = RandomForestClassifier(n_trees=30, max_depth=4, seed=7).fit(X, y)
+        assert accuracy(y, big.predict(X)) >= accuracy(y, small.predict(X)) - 0.02
+
+    def test_bad_n_trees(self):
+        with pytest.raises(MLError):
+            RandomForestClassifier(n_trees=0)
+
+
+class TestGaussianNB:
+    def test_predict_proba_valid(self, blobs):
+        X, y = blobs
+        probs = GaussianNB().fit(X, y).predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_handles_zero_variance_feature(self):
+        X, y = make_blobs()
+        X = np.hstack([X, np.ones((X.shape[0], 1))])  # constant column
+        model = GaussianNB().fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.9

@@ -1,0 +1,109 @@
+"""Tests for KMeans and DBSCAN."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError, NotFittedError
+from repro.ml import DBSCAN, NOISE, KMeans
+from tests.ml.conftest import make_blobs
+
+
+class TestKMeans:
+    def test_recovers_blob_structure(self):
+        X, y = make_blobs(n_per_class=40, spread=0.5)
+        assignment = KMeans(k=3, seed=0).fit_predict(X)
+        # Each true class should map to one dominant cluster.
+        for label in (0, 1, 2):
+            members = assignment[y == label]
+            dominant = np.bincount(members, minlength=3).max()
+            assert dominant / len(members) > 0.95
+
+    def test_inertia_decreases_with_k(self):
+        X, _ = make_blobs(n_per_class=30)
+        inertia = [KMeans(k=k, seed=0).fit(X).inertia_ for k in (1, 2, 3)]
+        assert inertia[0] > inertia[1] > inertia[2]
+
+    def test_k_larger_than_points_raises(self):
+        X = np.zeros((3, 2))
+        with pytest.raises(MLError):
+            KMeans(k=5).fit(X)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            KMeans(k=2).predict(np.zeros((2, 2)))
+
+    def test_deterministic_given_seed(self):
+        X, _ = make_blobs()
+        a = KMeans(k=3, seed=5).fit(X).centroids_
+        b = KMeans(k=3, seed=5).fit(X).centroids_
+        assert np.allclose(a, b)
+
+    def test_no_empty_clusters(self):
+        # Pathological init-prone case: many duplicated points.
+        X = np.vstack([np.zeros((50, 2)), np.ones((2, 2)) * 10])
+        model = KMeans(k=2, seed=0).fit(X)
+        assignment = model.predict(X)
+        assert set(assignment.tolist()) == {0, 1}
+
+    def test_feature_mismatch_raises(self):
+        X, _ = make_blobs()
+        model = KMeans(k=2, seed=0).fit(X)
+        with pytest.raises(MLError):
+            model.predict(np.zeros((2, 5)))
+
+    def test_bad_k(self):
+        with pytest.raises(MLError):
+            KMeans(k=0)
+
+
+class TestDBSCAN:
+    def test_two_dense_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal((0, 0), 0.2, (30, 2))
+        b = rng.normal((5, 5), 0.2, (30, 2))
+        X = np.vstack([a, b])
+        model = DBSCAN(eps=0.8, min_samples=4)
+        labels = model.fit_predict(X)
+        assert model.n_clusters_ == 2
+        assert len(set(labels[:30].tolist())) == 1
+        assert len(set(labels[30:].tolist())) == 1
+        assert labels[0] != labels[30]
+
+    def test_isolated_points_are_noise(self):
+        rng = np.random.default_rng(1)
+        cluster = rng.normal((0, 0), 0.1, (20, 2))
+        outliers = np.array([[50.0, 50.0], [-40.0, 30.0]])
+        labels = DBSCAN(eps=1.0, min_samples=4).fit_predict(
+            np.vstack([cluster, outliers])
+        )
+        assert labels[-1] == NOISE
+        assert labels[-2] == NOISE
+        assert (labels[:20] != NOISE).all()
+
+    def test_all_noise_when_eps_tiny(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 100, (25, 2))
+        model = DBSCAN(eps=1e-6, min_samples=3)
+        labels = model.fit_predict(X)
+        assert (labels == NOISE).all()
+        assert model.n_clusters_ == 0
+
+    def test_single_cluster_when_eps_huge(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1, (25, 2))
+        model = DBSCAN(eps=10.0, min_samples=3)
+        labels = model.fit_predict(X)
+        assert model.n_clusters_ == 1
+        assert (labels == 0).all()
+
+    def test_bad_parameters(self):
+        with pytest.raises(MLError):
+            DBSCAN(eps=0.0)
+        with pytest.raises(MLError):
+            DBSCAN(eps=1.0, min_samples=0)
+
+    def test_border_points_join_cluster(self):
+        # A chain of points at eps spacing: all density-reachable.
+        X = np.array([[float(i) * 0.9, 0.0] for i in range(10)])
+        labels = DBSCAN(eps=1.0, min_samples=2).fit_predict(X)
+        assert (labels == 0).all()

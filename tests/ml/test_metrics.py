@@ -1,0 +1,128 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MLError
+from repro.ml import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    macro_precision_recall,
+    precision_recall_f1,
+)
+
+labels_st = st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        y = np.array([0, 1, 2])
+        assert accuracy(y, y) == 1.0
+
+    def test_none_right(self):
+        assert accuracy(np.array([0, 0]), np.array([1, 1])) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(MLError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(MLError):
+            accuracy(np.array([0, 1]), np.array([0]))
+
+
+class TestConfusionMatrix:
+    def test_basic(self):
+        y_true = np.array([0, 0, 1, 1, 2])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        matrix, labels = confusion_matrix(y_true, y_pred)
+        assert labels == [0, 1, 2]
+        assert matrix[0, 0] == 1 and matrix[0, 1] == 1
+        assert matrix[1, 1] == 2
+        assert matrix[2, 0] == 1
+        assert matrix.sum() == 5
+
+    def test_explicit_labels_order(self):
+        matrix, labels = confusion_matrix(
+            np.array([1, 0]), np.array([1, 0]), labels=[1, 0]
+        )
+        assert labels == [1, 0]
+        assert matrix[0, 0] == 1 and matrix[1, 1] == 1
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(MLError):
+            confusion_matrix(np.array([0, 5]), np.array([0, 0]), labels=[0, 1])
+
+    @given(labels_st)
+    def test_diagonal_counts_match_accuracy(self, ys):
+        y = np.array(ys)
+        matrix, _ = confusion_matrix(y, y)
+        assert np.trace(matrix) == len(ys)
+
+
+class TestF1:
+    def test_perfect_macro(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert f1_score(y, y, average="macro") == 1.0
+
+    def test_known_binary_value(self):
+        # TP=2, FP=1, FN=1 for class 1: P=2/3, R=2/3, F1=2/3.
+        y_true = np.array([1, 1, 1, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0])
+        per_class = precision_recall_f1(y_true, y_pred)
+        p, r, f1 = per_class[1]
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_micro_equals_accuracy(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 3, 50)
+        y_pred = rng.integers(0, 3, 50)
+        assert f1_score(y_true, y_pred, average="micro") == pytest.approx(
+            accuracy(y_true, y_pred)
+        )
+
+    def test_weighted_differs_under_imbalance(self):
+        y_true = np.array([0] * 90 + [1] * 10)
+        y_pred = np.array([0] * 90 + [0] * 10)  # never predicts class 1
+        macro = f1_score(y_true, y_pred, average="macro")
+        weighted = f1_score(y_true, y_pred, average="weighted")
+        assert weighted > macro
+
+    def test_unknown_average_raises(self):
+        with pytest.raises(MLError):
+            f1_score(np.array([0, 1]), np.array([0, 1]), average="harmonic")
+
+    def test_absent_prediction_scores_zero(self):
+        y_true = np.array([0, 1])
+        y_pred = np.array([0, 0])
+        per_class = precision_recall_f1(y_true, y_pred)
+        assert per_class[1] == (0.0, 0.0, 0.0)
+
+    @given(labels_st)
+    def test_f1_bounds(self, ys):
+        y = np.array(ys)
+        rng = np.random.default_rng(1)
+        y_pred = rng.permutation(y)
+        score = f1_score(y, y_pred, average="macro")
+        assert 0.0 <= score <= 1.0
+
+    @given(labels_st)
+    def test_identity_is_perfect(self, ys):
+        y = np.array(ys)
+        assert f1_score(y, y, average="macro") == 1.0
+        assert f1_score(y, y, average="weighted") == 1.0
+
+
+class TestMacroPR:
+    def test_values(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        p, r = macro_precision_recall(y_true, y_pred)
+        # class0: P=1, R=0.5; class1: P=2/3, R=1.
+        assert p == pytest.approx((1.0 + 2 / 3) / 2)
+        assert r == pytest.approx((0.5 + 1.0) / 2)

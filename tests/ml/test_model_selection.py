@@ -1,0 +1,128 @@
+"""Tests for splitting and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.ml import (
+    KFold,
+    KNeighborsClassifier,
+    StratifiedKFold,
+    cross_val_predict,
+    cross_val_score,
+    train_test_split,
+)
+from tests.ml.conftest import make_blobs
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X, y = make_blobs(n_per_class=50)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_fraction=0.2, seed=1)
+        assert X_te.shape[0] == 30  # 10 per class
+        assert X_tr.shape[0] + X_te.shape[0] == 150
+        assert y_tr.shape[0] == X_tr.shape[0]
+
+    def test_stratification_preserves_ratios(self):
+        X, y = make_blobs(n_per_class=50)
+        _, _, y_tr, y_te = train_test_split(X, y, test_fraction=0.2, seed=2)
+        for label in (0, 1, 2):
+            assert np.sum(y_te == label) == 10
+            assert np.sum(y_tr == label) == 40
+
+    def test_no_overlap_and_full_coverage(self):
+        X, y = make_blobs(n_per_class=20)
+        X_tr, X_te, _, _ = train_test_split(X, y, seed=3)
+        combined = np.vstack([X_tr, X_te])
+        assert combined.shape[0] == X.shape[0]
+        # Every original row appears exactly once.
+        original = {tuple(row) for row in X}
+        assert {tuple(row) for row in combined} == original
+
+    def test_deterministic_given_seed(self):
+        X, y = make_blobs()
+        a = train_test_split(X, y, seed=7)
+        b = train_test_split(X, y, seed=7)
+        assert np.array_equal(a[1], b[1])
+
+    def test_bad_fraction_raises(self):
+        X, y = make_blobs()
+        with pytest.raises(MLError):
+            train_test_split(X, y, test_fraction=0.0)
+        with pytest.raises(MLError):
+            train_test_split(X, y, test_fraction=1.0)
+
+
+class TestKFold:
+    def test_folds_partition(self):
+        kf = KFold(n_splits=5, seed=0)
+        seen = []
+        for train, test in kf.split(23):
+            assert set(train) & set(test) == set()
+            assert len(train) + len(test) == 23
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(MLError):
+            list(KFold(n_splits=10).split(5))
+
+    def test_bad_n_splits(self):
+        with pytest.raises(MLError):
+            KFold(n_splits=1)
+
+
+class TestStratifiedKFold:
+    def test_each_fold_has_all_classes(self):
+        _, y = make_blobs(n_per_class=30)
+        for _, test in StratifiedKFold(n_splits=5, seed=0).split(y):
+            labels = set(y[test].tolist())
+            assert labels == {0, 1, 2}
+
+    def test_fold_class_balance(self):
+        _, y = make_blobs(n_per_class=30)
+        for _, test in StratifiedKFold(n_splits=5, seed=0).split(y):
+            counts = [np.sum(y[test] == label) for label in (0, 1, 2)]
+            assert max(counts) - min(counts) <= 1
+
+    def test_partition_property(self):
+        _, y = make_blobs(n_per_class=13)
+        seen = []
+        for train, test in StratifiedKFold(n_splits=4, seed=1).split(y):
+            assert set(train) & set(test) == set()
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(len(y)))
+
+    def test_class_smaller_than_folds_raises(self):
+        y = np.array([0] * 20 + [1] * 3)
+        with pytest.raises(MLError):
+            list(StratifiedKFold(n_splits=5).split(y))
+
+
+class TestCrossVal:
+    def test_scores_near_one_on_separable(self):
+        X, y = make_blobs(n_per_class=40)
+        scores = cross_val_score(
+            lambda: KNeighborsClassifier(k=3), X, y, n_splits=5, seed=0
+        )
+        assert scores.shape == (5,)
+        assert scores.mean() > 0.95
+
+    def test_custom_metric(self):
+        X, y = make_blobs(n_per_class=20)
+        scores = cross_val_score(
+            lambda: KNeighborsClassifier(k=3),
+            X,
+            y,
+            n_splits=4,
+            metric=lambda t, p: float(np.mean(t == p)),
+        )
+        assert (scores <= 1.0).all() and (scores >= 0.0).all()
+
+    def test_cross_val_predict_covers_everything(self):
+        X, y = make_blobs(n_per_class=25)
+        predictions = cross_val_predict(
+            lambda: KNeighborsClassifier(k=3), X, y, n_splits=5
+        )
+        assert predictions.shape == y.shape
+        assert np.mean(predictions == y) > 0.9

@@ -1,0 +1,97 @@
+"""Tests for scalers and label encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import MLError, NotFittedError
+from repro.ml import LabelEncoder, MinMaxScaler, StandardScaler, l2_normalize
+
+matrix_st = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(2, 20), st.integers(1, 8)),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+class TestStandardScaler:
+    @given(matrix_st)
+    def test_zero_mean_unit_variance(self, X):
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        stds = Z.std(axis=0)
+        originals = X.std(axis=0)
+        # Non-constant features end up with unit variance.
+        assert np.allclose(stds[originals > 1e-9], 1.0, atol=1e-6)
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.column_stack([np.ones(5), np.arange(5.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_feature_count_mismatch_raises(self):
+        scaler = StandardScaler().fit(np.zeros((4, 3)))
+        with pytest.raises(MLError):
+            scaler.transform(np.zeros((4, 2)))
+
+
+class TestMinMaxScaler:
+    @given(matrix_st)
+    def test_range(self, X):
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= -1e-12
+        assert Z.max() <= 1.0 + 1e-12
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.full((4, 2), 7.0)
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.allclose(Z, 0.0)
+
+
+class TestL2Normalize:
+    def test_unit_norms(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (10, 4))
+        Z = l2_normalize(X)
+        assert np.allclose(np.linalg.norm(Z, axis=1), 1.0)
+
+    def test_zero_rows_untouched(self):
+        X = np.zeros((3, 4))
+        assert np.allclose(l2_normalize(X), 0.0)
+
+
+class TestLabelEncoder:
+    def test_round_trip(self):
+        labels = ["cat", "dog", "cat", "bird"]
+        enc = LabelEncoder()
+        codes = enc.fit_transform(labels)
+        assert enc.inverse_transform(codes) == labels
+
+    def test_codes_contiguous(self):
+        enc = LabelEncoder().fit(["z", "a", "m", "a"])
+        codes = enc.transform(["a", "m", "z"])
+        assert codes.tolist() == [0, 1, 2]
+
+    def test_unseen_label_raises(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(MLError):
+            enc.transform(["c"])
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(MLError):
+            LabelEncoder().fit([])
+
+    def test_bad_inverse_index_raises(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(MLError):
+            enc.inverse_transform(np.array([5]))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LabelEncoder().transform(["a"])

@@ -1,0 +1,120 @@
+"""Model-based property tests: the table engine vs a dict oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Column, ColumnType, Table, TableSchema
+from repro.errors import IntegrityError, SchemaError
+
+I, T = ColumnType.INTEGER, ColumnType.TEXT
+
+
+def fresh_table():
+    return Table(
+        TableSchema(
+            "t",
+            (
+                Column("id", I, primary_key=True),
+                Column("name", T),
+                Column("tag", T, nullable=True, unique=True),
+            ),
+        )
+    )
+
+
+# Operations: ("insert", name, tag) / ("update", idx, name) / ("delete", idx)
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.text(alphabet="xyz", min_size=1, max_size=3),
+            st.one_of(st.none(), st.text(alphabet="abc", min_size=1, max_size=3)),
+        ),
+        st.tuples(st.just("update"), st.integers(0, 20), st.text("xyz", min_size=1, max_size=3)),
+        st.tuples(st.just("delete"), st.integers(0, 20)),
+    ),
+    max_size=40,
+)
+
+
+class TestTableModelBased:
+    @settings(max_examples=60, deadline=None)
+    @given(ops)
+    def test_matches_dict_oracle(self, operations):
+        table = fresh_table()
+        oracle: dict[int, dict] = {}
+        unique_tags: dict[str, int] = {}
+        pks: list[int] = []
+
+        for op in operations:
+            if op[0] == "insert":
+                _, name, tag = op
+                if tag is not None and tag in unique_tags:
+                    with pytest.raises(IntegrityError):
+                        table.insert({"name": name, "tag": tag})
+                    continue
+                pk = table.insert({"name": name, "tag": tag})
+                oracle[pk] = {"id": pk, "name": name, "tag": tag}
+                if tag is not None:
+                    unique_tags[tag] = pk
+                pks.append(pk)
+            elif op[0] == "update":
+                _, idx, name = op
+                if not pks:
+                    continue
+                pk = pks[idx % len(pks)]
+                if pk not in oracle:
+                    with pytest.raises(IntegrityError):
+                        table.update(pk, {"name": name})
+                    continue
+                table.update(pk, {"name": name})
+                oracle[pk]["name"] = name
+            else:
+                _, idx = op
+                if not pks:
+                    continue
+                pk = pks[idx % len(pks)]
+                if pk not in oracle:
+                    with pytest.raises(IntegrityError):
+                        table.delete(pk)
+                    continue
+                tag = oracle[pk]["tag"]
+                if tag is not None:
+                    del unique_tags[tag]
+                table.delete(pk)
+                del oracle[pk]
+
+        assert len(table) == len(oracle)
+        assert {row["id"]: row for row in table.all_rows()} == oracle
+        # find() agrees with the oracle for every live name.
+        for row in oracle.values():
+            hits = table.find("name", row["name"])
+            expected = [r for r in oracle.values() if r["name"] == row["name"]]
+            assert sorted(h["id"] for h in hits) == sorted(e["id"] for e in expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops)
+    def test_index_consistency_under_mutation(self, operations):
+        """A hash index created up front must agree with a scan after
+        any operation sequence."""
+        table = fresh_table()
+        table.create_index("name")
+        for op in operations:
+            try:
+                if op[0] == "insert":
+                    table.insert({"name": op[1], "tag": op[2]})
+                elif op[0] == "update":
+                    rows = table.all_rows()
+                    if rows:
+                        table.update(rows[op[1] % len(rows)]["id"], {"name": op[2]})
+                else:
+                    rows = table.all_rows()
+                    if rows:
+                        table.delete(rows[op[1] % len(rows)]["id"])
+            except (IntegrityError, SchemaError):
+                continue
+        for name in {row["name"] for row in table.all_rows()}:
+            indexed = table.find("name", name)
+            scanned = [row for row in table.all_rows() if row["name"] == name]
+            assert sorted(r["id"] for r in indexed) == sorted(r["id"] for r in scanned)

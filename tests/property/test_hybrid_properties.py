@@ -1,0 +1,85 @@
+"""Property tests: the Visual R*-tree against a brute-force oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import BoundingBox, GeoPoint
+from repro.index import VisualRTree
+
+DIM = 4
+
+lat = st.floats(min_value=33.5, max_value=34.5, allow_nan=False)
+lng = st.floats(min_value=-119.0, max_value=-117.5, allow_nan=False)
+
+
+@st.composite
+def datasets(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    points = [
+        GeoPoint(float(rng.uniform(33.5, 34.5)), float(rng.uniform(-119.0, -117.5)))
+        for _ in range(n)
+    ]
+    vectors = rng.normal(0, 1, (n, DIM))
+    return points, vectors
+
+
+@st.composite
+def regions(draw):
+    lat0 = draw(lat)
+    lng0 = draw(lng)
+    dlat = draw(st.floats(min_value=0.05, max_value=1.0))
+    dlng = draw(st.floats(min_value=0.05, max_value=1.5))
+    return BoundingBox(lat0, lng0, min(lat0 + dlat, 34.5), min(lng0 + dlng, -117.5))
+
+
+class TestVisualRTreeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(datasets(), regions(), st.integers(1, 8))
+    def test_knn_matches_brute_force(self, dataset, region, k):
+        points, vectors = dataset
+        index = VisualRTree(dimension=DIM, max_entries=4)
+        for i, (p, v) in enumerate(zip(points, vectors)):
+            index.insert(i, p, v)
+        query = vectors[0] * 0.5
+        fast = index.spatial_visual_knn(region, query, k)
+
+        in_region = [
+            (i, float(np.linalg.norm(vectors[i] - query)))
+            for i, p in enumerate(points)
+            if region.contains_point(p)
+        ]
+        in_region.sort(key=lambda pair: (pair[1], str(pair[0])))
+        expected = in_region[:k]
+        assert len(fast) == len(expected)
+        # Distances must agree exactly (item order may differ on ties).
+        for (_, d_fast), (_, d_expected) in zip(fast, expected):
+            assert abs(d_fast - d_expected) < 1e-9
+        assert {i for i, _ in fast} <= {i for i, _ in in_region}
+
+    @settings(max_examples=50, deadline=None)
+    @given(datasets(), regions())
+    def test_spatial_constraint_never_violated(self, dataset, region):
+        points, vectors = dataset
+        index = VisualRTree(dimension=DIM, max_entries=4)
+        for i, (p, v) in enumerate(zip(points, vectors)):
+            index.insert(i, p, v)
+        results = index.spatial_visual_knn(region, vectors[0], k=50)
+        for item, _ in results:
+            assert region.contains_point(points[item])
+
+    @settings(max_examples=30, deadline=None)
+    @given(datasets())
+    def test_full_region_knn_is_global_knn(self, dataset):
+        points, vectors = dataset
+        everywhere = BoundingBox(-90, -180, 90, 180)
+        index = VisualRTree(dimension=DIM, max_entries=4)
+        for i, (p, v) in enumerate(zip(points, vectors)):
+            index.insert(i, p, v)
+        results = index.spatial_visual_knn(everywhere, vectors[0], k=len(points))
+        assert len(results) == len(points)
+        distances = [d for _, d in results]
+        assert distances == sorted(distances)
+        assert results[0][1] == 0.0  # the query vector itself is stored
