@@ -10,7 +10,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, probe_counters
 from repro.geo import BoundingBox, GeoPoint
 from repro.index import GridIndex, LSHIndex, RTree, VisualRTree
 
@@ -52,8 +52,10 @@ def test_ablation_lsh_vs_linear(benchmark, capsys):
             queries = vectors[:N_QUERIES] + 0.05 * np.random.default_rng(1).normal(
                 0, 1, (N_QUERIES, DIM)
             )
+            probes: dict = {}
             t0 = time.perf_counter()
-            approx = [lsh.query_topk(q, k=10) for q in queries]
+            with probe_counters(probes):
+                approx = [lsh.query_topk(q, k=10) for q in queries]
             lsh_s = time.perf_counter() - t0
             t0 = time.perf_counter()
             exact = [lsh.linear_topk(q, k=10) for q in queries]
@@ -64,19 +66,24 @@ def test_ablation_lsh_vs_linear(benchmark, capsys):
                     for a, e in zip(approx, exact)
                 ]
             )
-            table.append((n, lsh_s, linear_s, recall))
+            cand_per_q = probes.get("index.lsh.candidates", 0) / N_QUERIES
+            table.append((n, lsh_s, linear_s, recall, cand_per_q))
         return table
 
     table = benchmark.pedantic(run, rounds=1, iterations=1)
-    header = f"{'N':>8}{'LSH':>14}{'linear':>14}{'speedup':>10}{'recall@10':>12}"
+    header = (
+        f"{'N':>8}{'LSH':>14}{'linear':>14}{'speedup':>10}"
+        f"{'recall@10':>12}{'cand/query':>12}"
+    )
     rows = [
-        f"{n:>8}{a * 1000:>11.1f} ms{b * 1000:>11.1f} ms{b / a:>9.1f}x{r:>12.2f}"
-        for n, a, b, r in table
+        f"{n:>8}{a * 1000:>11.1f} ms{b * 1000:>11.1f} ms{b / a:>9.1f}x"
+        f"{r:>12.2f}{c:>12.1f}"
+        for n, a, b, r, c in table
     ]
     print_table(capsys, "Ablation: LSH vs linear scan (visual top-10)", header, rows)
     # LSH wins at scale with high recall.
     assert table[-1][1] < table[-1][2]
-    assert all(r >= 0.8 for *_, r in table)
+    assert all(row[3] >= 0.8 for row in table)
 
 
 def scene_dataset(n, seed=2, cluster_size=20, spread=0.15):
@@ -120,22 +127,30 @@ def test_ablation_hybrid_vs_linear(benchmark, capsys):
                 queries.append(
                     (BoundingBox(lat, lng, lat + 0.05, lng + 0.05), vectors[rng.integers(n)])
                 )
+            probes: dict = {}
             t0 = time.perf_counter()
-            fast = [hybrid.spatial_visual_knn(b, v, k=10) for b, v in queries]
+            with probe_counters(probes):
+                fast = [hybrid.spatial_visual_knn(b, v, k=10) for b, v in queries]
             fast_s = time.perf_counter() - t0
             t0 = time.perf_counter()
             slow = [hybrid.linear_spatial_visual_knn(b, v, k=10) for b, v in queries]
             slow_s = time.perf_counter() - t0
             for a, b in zip(fast, slow):
                 assert [i for i, _ in a] == [i for i, _ in b]
-            table.append((n, fast_s, slow_s))
+            pops_per_q = probes.get("index.visual_rtree.heap_pops", 0) / N_QUERIES
+            pruned_per_q = probes.get("index.visual_rtree.spatial_pruned", 0) / N_QUERIES
+            table.append((n, fast_s, slow_s, pops_per_q, pruned_per_q))
         return table
 
     table = benchmark.pedantic(run, rounds=1, iterations=1)
-    header = f"{'N':>8}{'Visual R*-tree':>18}{'linear':>14}{'speedup':>10}"
+    header = (
+        f"{'N':>8}{'Visual R*-tree':>18}{'linear':>14}{'speedup':>10}"
+        f"{'pops/query':>12}{'pruned/query':>14}"
+    )
     rows = [
         f"{n:>8}{a * 1000:>15.1f} ms{b * 1000:>11.1f} ms{b / a:>9.1f}x"
-        for n, a, b in table
+        f"{pops:>12.1f}{pruned:>14.1f}"
+        for n, a, b, pops, pruned in table
     ]
     print_table(
         capsys, "Ablation: hybrid index vs scan (spatial-visual top-10)", header, rows
@@ -159,8 +174,10 @@ def test_ablation_rtree_vs_grid_vs_scan(benchmark, capsys):
             lng = float(rng.uniform(REGION.min_lng, REGION.max_lng - 0.02))
             queries.append(BoundingBox(lat, lng, lat + 0.02, lng + 0.02))
 
+        probes: dict = {}
         t0 = time.perf_counter()
-        rtree_hits = [set(rtree.search_range(q)) for q in queries]
+        with probe_counters(probes):
+            rtree_hits = [set(rtree.search_range(q)) for q in queries]
         rtree_s = time.perf_counter() - t0
         t0 = time.perf_counter()
         grid_hits = [set(grid.search_range(q)) for q in queries]
@@ -172,12 +189,16 @@ def test_ablation_rtree_vs_grid_vs_scan(benchmark, capsys):
         scan_s = time.perf_counter() - t0
         for a, b, c in zip(rtree_hits, grid_hits, scan_hits):
             assert a == c and b == c
-        return rtree_s, grid_s, scan_s
+        visits_per_q = probes.get("index.rtree.node_visits", 0) / len(queries)
+        return rtree_s, grid_s, scan_s, visits_per_q
 
-    rtree_s, grid_s, scan_s = benchmark.pedantic(run, rounds=1, iterations=1)
-    header = f"{'method':<16}{'time':>12}{'vs scan':>10}"
+    rtree_s, grid_s, scan_s, visits_per_q = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    header = f"{'method':<16}{'time':>12}{'vs scan':>10}{'visits/query':>14}"
     rows = [
-        f"{'r-tree':<16}{rtree_s * 1000:>9.1f} ms{scan_s / rtree_s:>9.1f}x",
+        f"{'r-tree':<16}{rtree_s * 1000:>9.1f} ms{scan_s / rtree_s:>9.1f}x"
+        f"{visits_per_q:>14.1f}",
         f"{'uniform grid':<16}{grid_s * 1000:>9.1f} ms{scan_s / grid_s:>9.1f}x",
         f"{'linear scan':<16}{scan_s * 1000:>9.1f} ms{1.0:>9.1f}x",
     ]

@@ -10,7 +10,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, probe_counters
 from repro.geo import BoundingBox, FieldOfView, GeoPoint
 from repro.index import OrientedRTree
 
@@ -58,11 +58,13 @@ def test_fig3_oriented_queries_vs_scan(benchmark, capsys):
             for i, fov in enumerate(fovs):
                 index.insert(i, fov)
 
+            probes: dict = {}
             t0 = time.perf_counter()
-            indexed_hits = [
-                index.search_range(box, direction_deg=direction, tolerance_deg=30.0)
-                for box, direction in queries
-            ]
+            with probe_counters(probes):
+                indexed_hits = [
+                    index.search_range(box, direction_deg=direction, tolerance_deg=30.0)
+                    for box, direction in queries
+                ]
             indexed_s = time.perf_counter() - t0
 
             t0 = time.perf_counter()
@@ -80,14 +82,20 @@ def test_fig3_oriented_queries_vs_scan(benchmark, capsys):
 
             for a, b in zip(indexed_hits, scan_hits):
                 assert set(a) == set(b)
-            table.append((n, indexed_s, scan_s))
+            cand_per_q = probes.get("index.oriented.candidates", 0) / N_QUERIES
+            pruned_per_q = probes.get("index.oriented.mask_pruned", 0) / N_QUERIES
+            table.append((n, indexed_s, scan_s, cand_per_q, pruned_per_q))
         return table
 
     table = benchmark.pedantic(run, rounds=1, iterations=1)
-    header = f"{'N':>8}{'oriented R-tree':>20}{'linear scan':>18}{'speedup':>12}"
+    header = (
+        f"{'N':>8}{'oriented R-tree':>20}{'linear scan':>18}{'speedup':>12}"
+        f"{'cand/query':>12}{'pruned/query':>14}"
+    )
     rows = [
         f"{n:>8}{idx * 1000:>17.1f} ms{scan * 1000:>15.1f} ms{scan / idx:>11.1f}x"
-        for n, idx, scan in table
+        f"{cand:>12.1f}{pruned:>14.1f}"
+        for n, idx, scan, cand, pruned in table
     ]
     print_table(
         capsys,
@@ -98,6 +106,6 @@ def test_fig3_oriented_queries_vs_scan(benchmark, capsys):
 
     # Index wins clearly at every size, decisively at the largest N.
     # (Strict monotonicity in N is too timing-noise-sensitive to assert.)
-    speedups = [scan / idx for _, idx, scan in table]
+    speedups = [scan / idx for _, idx, scan, *_ in table]
     assert all(s > 2.0 for s in speedups)
     assert speedups[-1] > 10.0

@@ -6,11 +6,15 @@ use ``benchmark.pedantic(rounds=1)`` because the measured units are
 whole experiments, not microbenchmarks.
 """
 
+import contextlib
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.analysis import build_feature_suite, feature_matrices
 from repro.datasets import generate_lasan_dataset
+from repro.obs import counters_delta
 
 #: Scale of the synthetic LASAN corpus used by the experiment benches.
 #: The paper's corpus is 22K images; 5 x 40 keeps the full pipeline
@@ -35,6 +39,22 @@ def feature_suite(lasan_corpus):
 @pytest.fixture(scope="session")
 def matrices(lasan_corpus, feature_suite):
     return feature_matrices(lasan_corpus, feature_suite)
+
+
+@contextlib.contextmanager
+def probe_counters(out: dict, prefix: str = "index."):
+    """Accumulate observability-counter increments produced inside the
+    block into ``out`` (filtered to ``prefix``), so benches can report
+    index-probe work (node visits, candidates, bucket hits) alongside
+    wall time."""
+    before = obs.snapshot()
+    try:
+        yield out
+    finally:
+        after = obs.snapshot()
+        for name, delta in counters_delta(before, after).items():
+            if name.startswith(prefix):
+                out[name] = out.get(name, 0) + delta
 
 
 def print_table(capsys, title, header, rows):

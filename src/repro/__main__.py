@@ -1,12 +1,15 @@
 """``python -m repro`` — a two-minute guided tour of the platform.
 
 Runs a miniature end-to-end cycle (upload, query, annotate, translate,
-dispatch) and prints what happened at each step.  The full experiment
-reproductions live in ``examples/`` and ``benchmarks/``.
+dispatch) and prints what happened at each step.  Pass ``--stats`` to
+also dump the observability snapshot (counters, gauges, latency
+histograms) the tour produced.  The full experiment reproductions live
+in ``examples/`` and ``benchmarks/``.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 
 from repro import TVDP, __version__
@@ -20,6 +23,8 @@ from repro.imaging import CLEANLINESS_CLASSES
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(argv or ())
+    show_stats = "--stats" in argv
     print(f"TVDP reproduction v{__version__} — guided tour\n")
 
     platform = TVDP()
@@ -67,6 +72,10 @@ def main(argv: list[str] | None = None) -> int:
             f"({decision.predicted_latency_ms:.0f} ms predicted)"
         )
     print("\ndone — see examples/ and benchmarks/ for the full reproductions.")
+
+    if show_stats:
+        print("\n[observability] metrics snapshot for this tour:")
+        print(json.dumps(platform.metrics_snapshot(), indent=2, sort_keys=True))
     return 0
 
 

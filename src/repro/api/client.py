@@ -43,7 +43,15 @@ class TVDPClient:
             )
         )
         if not response.ok:
-            raise APIError(response.status, response.body.get("error", "API error"))
+            error = response.body.get("error", "API error")
+            if isinstance(error, dict):  # structured envelope from the middleware
+                message = error.get("message", "API error")
+                request_id = error.get("request_id")
+                if request_id:
+                    message = f"{message} (request {request_id})"
+            else:
+                message = str(error)
+            raise APIError(response.status, message)
         return response.body
 
     # -- account -----------------------------------------------------------------
@@ -238,3 +246,12 @@ class TVDPClient:
     def stats(self) -> dict:
         """Platform statistics."""
         return self._call("GET", "/stats")
+
+    def metrics(self, prometheus: bool = False) -> dict | str:
+        """Observability: the platform's metrics registry snapshot, or
+        the Prometheus text exposition when ``prometheus=True``."""
+        if prometheus:
+            return self._call("GET", "/metrics", params={"format": "prometheus"})[
+                "prometheus"
+            ]
+        return self._call("GET", "/metrics")["metrics"]

@@ -6,14 +6,49 @@ a router with the same shape (methods, path templates with ``{param}``
 segments, query params, JSON bodies, status codes).  Everything above
 this module — service handlers, the client library — would port to a
 real WSGI stack unchanged.
+
+The router doubles as the platform's per-request middleware: every
+dispatch gets a request id, runs inside an ``http.request`` span, is
+timed into an ``api.request_ms{method,route}`` histogram, and bumps
+``api.requests{method,route,status}``; handler failures additionally
+bump ``api.errors{route,exception}`` and come back as structured error
+bodies (see :func:`error_body`).
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.errors import APIError
+
+_log = obs.get_logger("api.http")
+
+_request_ids = itertools.count(1)
+_request_id_lock = threading.Lock()
+
+
+def new_request_id() -> str:
+    """Process-unique request id attached to every dispatched request."""
+    with _request_id_lock:
+        return f"req-{next(_request_ids):06d}"
+
+
+def error_body(
+    message: str, exc_type: str, status: int, request_id: str | None
+) -> dict:
+    """The structured error envelope every failing route returns."""
+    return {
+        "error": {
+            "message": message,
+            "type": exc_type,
+            "status": status,
+            "request_id": request_id,
+        }
+    }
 
 
 @dataclass
@@ -27,6 +62,7 @@ class Request:
     api_key: str | None = None
     path_params: dict = field(default_factory=dict)  # filled by the router
     user_id: int | None = None  # filled by the auth layer
+    request_id: str | None = None  # filled by the middleware
 
 
 @dataclass(frozen=True)
@@ -60,7 +96,7 @@ def _match(template: str, path: str) -> dict | None:
 
 
 class Router:
-    """Method+path-template dispatch with error mapping.
+    """Method+path-template dispatch with error mapping and metrics.
 
     Handler exceptions deriving from :class:`APIError` become their
     status code; anything else becomes a 500 (surfacing the message —
@@ -88,8 +124,34 @@ class Router:
         return sorted(f"{method} {template}" for method, template, _ in self._routes)
 
     def dispatch(self, request: Request) -> Response:
-        """Find and invoke the matching handler."""
+        """Find and invoke the matching handler (with the middleware)."""
+        if request.request_id is None:
+            request.request_id = new_request_id()
         method = request.method.upper()
+        with obs.span(
+            "http.request",
+            method=method,
+            path=request.path,
+            request_id=request.request_id,
+        ) as sp:
+            route_label, response = self._dispatch_inner(request, method, sp)
+            sp.set("route", route_label)
+            sp.set("status", response.status)
+        registry = obs.metrics()
+        registry.counter(
+            "api.requests",
+            {"method": method, "route": route_label, "status": str(response.status)},
+        ).inc()
+        registry.histogram(
+            "api.request_ms", {"method": method, "route": route_label}
+        ).observe(sp.duration_ms)
+        return response
+
+    def _dispatch_inner(
+        self, request: Request, method: str, sp: obs.Span
+    ) -> tuple[str, Response]:
+        """Route + invoke; returns the route label (template or a
+        placeholder for unmatched paths) and the response."""
         saw_path = False
         for route_method, template, handler in self._routes:
             params = _match(template, request.path)
@@ -100,11 +162,43 @@ class Router:
                 continue
             request.path_params = params
             try:
-                return handler(request)
+                return template, handler(request)
             except APIError as exc:
-                return Response(status=exc.status, body={"error": exc.message})
+                self._count_error(template, exc)
+                return template, Response(
+                    status=exc.status,
+                    body=error_body(
+                        exc.message, type(exc).__name__, exc.status, request.request_id
+                    ),
+                )
             except Exception as exc:  # noqa: BLE001 - boundary translation
-                return Response(status=500, body={"error": str(exc)})
+                self._count_error(template, exc)
+                _log.exception(
+                    "unhandled error on %s %s (%s)", method, template, request.request_id
+                )
+                return template, Response(
+                    status=500,
+                    body=error_body(
+                        str(exc), type(exc).__name__, 500, request.request_id
+                    ),
+                )
         if saw_path:
-            return Response(status=405, body={"error": f"method {method} not allowed"})
-        return Response(status=404, body={"error": f"no route for {request.path}"})
+            return request.path, Response(
+                status=405,
+                body=error_body(
+                    f"method {method} not allowed", "MethodNotAllowed", 405,
+                    request.request_id,
+                ),
+            )
+        return "<unmatched>", Response(
+            status=404,
+            body=error_body(
+                f"no route for {request.path}", "NotFound", 404, request.request_id
+            ),
+        )
+
+    @staticmethod
+    def _count_error(route: str, exc: Exception) -> None:
+        obs.metrics().counter(
+            "api.errors", {"route": route, "exception": type(exc).__name__}
+        ).inc()

@@ -12,9 +12,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import APIError
 from repro.ml.linear import LogisticRegression
 from repro.ml.svm import LinearSVM, _BinarySVM
+
+_log = obs.get_logger("api.modelstore")
 
 
 @dataclass
@@ -28,6 +31,32 @@ class ModelRecord:
     classifier: object
     description: str = ""
     metrics: dict = field(default_factory=dict)
+
+    def train(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Fit the classifier under a ``model.train`` span and record
+        training-set size both as shared-model metadata and metrics."""
+        with obs.span("model.train", model=self.name, samples=int(X.shape[0])):
+            self.classifier.fit(X, y)
+        self.metrics["training_samples"] = int(X.shape[0])
+        obs.metrics().counter("model.train_runs", {"model": self.name}).inc()
+        obs.metrics().counter("model.train_samples", {"model": self.name}).inc(
+            int(X.shape[0])
+        )
+        _log.info("trained model %s on %d samples", self.name, int(X.shape[0]))
+
+    def predict_one(self, vector: np.ndarray) -> tuple[str, float]:
+        """One inference under a ``model.predict`` span; returns
+        ``(label, confidence)`` (confidence 1.0 when the classifier has
+        no probability estimate)."""
+        with obs.span("model.predict", model=self.name):
+            label = self.classifier.predict(vector[np.newaxis, :])[0]
+            confidence = 1.0
+            if hasattr(self.classifier, "predict_proba"):
+                confidence = float(
+                    self.classifier.predict_proba(vector[np.newaxis, :]).max()
+                )
+        obs.metrics().counter("model.predictions", {"model": self.name}).inc()
+        return str(label), confidence
 
 
 def serialize_classifier(classifier: object) -> dict:

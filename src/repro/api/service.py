@@ -22,15 +22,21 @@ Plus the Acquisition/Analysis extensions:
 * ``POST /campaigns``                   — open a crowdsourcing campaign
 * ``GET  /campaigns/{id}/tasks``        — tasks for current coverage gaps
 * ``POST /campaigns/{id}/captures``     — submit a task's capture
+
+Observability:
+
+* ``GET  /metrics``                     — metrics snapshot (JSON by
+  default; ``?format=prometheus`` for the text exposition format)
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import APIError, FeatureError, QueryError, TVDPError
 from repro.api.auth import ApiKeyManager
-from repro.api.http import Request, Response, Router
+from repro.api.http import Request, Response, Router, error_body, new_request_id
 from repro.api.modelstore import ModelRecord, ModelStore, serialize_classifier
 from repro.core.platform import TVDP
 from repro.crowd.campaign import Campaign
@@ -89,12 +95,30 @@ class TVDPService:
 
     def handle(self, request: Request) -> Response:
         """Entry point: authenticate (except open routes) and dispatch."""
-        open_routes = {("POST", "/users"), ("POST", "/keys")}
+        if request.request_id is None:
+            request.request_id = new_request_id()
+        open_routes = {
+            ("POST", "/users"),
+            ("POST", "/keys"),
+            ("GET", "/metrics"),
+        }
         if (request.method.upper(), request.path) not in open_routes:
             try:
                 request.user_id = self.keys.validate(request.api_key)
             except APIError as exc:
-                return Response(status=exc.status, body={"error": exc.message})
+                obs.metrics().counter(
+                    "api.errors",
+                    {"route": request.path, "exception": type(exc).__name__},
+                ).inc()
+                return Response(
+                    status=exc.status,
+                    body=error_body(
+                        exc.message,
+                        type(exc).__name__,
+                        exc.status,
+                        request.request_id,
+                    ),
+                )
         return self.router.dispatch(request)
 
     def _body(self, request: Request) -> dict:
@@ -115,6 +139,7 @@ class TVDPService:
         route("POST", "/models/{name}/predict")(self._predict)
         route("GET", "/models/{name}/download")(self._download_model)
         route("GET", "/stats")(self._stats)
+        route("GET", "/metrics")(self._metrics)
         route("POST", "/classifications")(self._define_classification)
         route("POST", "/images/{image_id}/annotations")(self._add_annotation)
         route("GET", "/images/{image_id}/annotations")(self._list_annotations)
@@ -329,8 +354,7 @@ class TVDPService:
             )
         X = np.vstack(X_rows)
         y = np.array(y_rows)
-        record.classifier.fit(X, y)
-        record.metrics = {"training_samples": int(X.shape[0])}
+        record.train(X, y)
         return Response(200, {"model": record.name, "trained_on": int(X.shape[0])})
 
     def _predict(self, request: Request) -> Response:
@@ -348,12 +372,9 @@ class TVDPService:
         else:
             raise APIError(400, "provide 'image', 'vector', or 'image_id'")
         try:
-            label = record.classifier.predict(vector[np.newaxis, :])[0]
+            label, confidence = record.predict_one(vector)
         except TVDPError as exc:
             raise APIError(409, f"model not ready: {exc}") from exc
-        confidence = 1.0
-        if hasattr(record.classifier, "predict_proba"):
-            confidence = float(record.classifier.predict_proba(vector[np.newaxis, :]).max())
         annotated = False
         if body.get("annotate") and "image_id" in body:
             self.platform.annotations.annotate(
@@ -556,3 +577,21 @@ class TVDPService:
         stats = self.platform.stats()
         stats["models"] = self.models.names()
         return Response(200, stats)
+
+    def _metrics(self, request: Request) -> Response:
+        """Observability endpoint: the process-wide metrics registry.
+
+        JSON by default; ``?format=prometheus`` returns only the text
+        exposition format (as a string body field, since this in-process
+        stack always speaks JSON envelopes).
+        """
+        registry = obs.metrics()
+        if request.params.get("format") == "prometheus":
+            return Response(200, {"prometheus": registry.render_prometheus()})
+        return Response(
+            200,
+            {
+                "metrics": registry.snapshot(),
+                "prometheus": registry.render_prometheus(),
+            },
+        )

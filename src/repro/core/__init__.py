@@ -8,6 +8,7 @@ from repro.core.queries import (
     TemporalQuery,
     TextualQuery,
     VisualQuery,
+    query_family,
 )
 from repro.core.catalog import ClassificationCatalog
 from repro.core.annotations import Annotation, AnnotationService
@@ -40,4 +41,5 @@ __all__ = [
     "load_platform",
     "QueryPlan",
     "explain",
+    "query_family",
 ]

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import QueryError, TVDPError
 from repro.db.database import Database
 from repro.features.base import FeatureExtractor
@@ -44,7 +45,14 @@ from repro.core.queries import (
     TemporalQuery,
     TextualQuery,
     VisualQuery,
+    query_family,
 )
+
+_log = obs.get_logger("core.platform")
+
+_FEATURE_CACHE_HITS = obs.metrics().counter("features.cache_hits")
+_FEATURE_VECTORS_COMPUTED = obs.metrics().counter("features.vectors_computed")
+_AUGMENTED_CREATED = obs.metrics().counter("platform.augmented_created")
 
 
 @dataclass(frozen=True)
@@ -122,66 +130,88 @@ class TVDP:
         data is huge in size and many times redundant"): the existing
         image id is returned and no new row is created.
         """
-        content_hash = image.content_hash()
-        if content_hash in self._hash_to_id:
-            return UploadReceipt(
-                image_id=self._hash_to_id[content_hash], deduplicated=True
+        registry = obs.metrics()
+        with obs.span("platform.upload_image") as sp:
+            with obs.span("upload.dedup"):
+                content_hash = image.content_hash()
+                duplicate_id = self._hash_to_id.get(content_hash)
+            if duplicate_id is not None:
+                sp.set("outcome", "deduplicated")
+                registry.counter(
+                    "platform.uploads", {"outcome": "deduplicated"}
+                ).inc()
+                return UploadReceipt(image_id=duplicate_id, deduplicated=True)
+            if self.reject_low_quality:
+                with obs.span("upload.quality_gate") as gate:
+                    report = assess_quality(image)
+                    gate.set("accepted", report.accepted)
+                if not report.accepted:
+                    sp.set("outcome", "rejected")
+                    registry.counter(
+                        "platform.uploads", {"outcome": "rejected"}
+                    ).inc()
+                    _log.warning(
+                        "upload rejected by quality gate: %s",
+                        ", ".join(report.reasons),
+                    )
+                    raise TVDPError(
+                        f"upload rejected: {', '.join(report.reasons)} "
+                        f"(sharpness={report.sharpness:.2e}, clipping={report.clipping:.2f})"
+                    )
+            near_duplicate_of = None
+            if self._near_duplicates is not None:
+                with obs.span("upload.near_duplicate"):
+                    matches = self._near_duplicates.find_similar(image)
+                if matches:
+                    near_duplicate_of = matches[0][0]
+                    registry.counter("platform.near_duplicates_flagged").inc()
+            image_id = self.db.insert(
+                "images",
+                {
+                    "uri": f"tvdp://images/{content_hash[:12]}",
+                    "content_hash": content_hash,
+                    "lat": fov.camera.lat,
+                    "lng": fov.camera.lng,
+                    "timestamp_capturing": float(captured_at),
+                    "timestamp_uploading": float(uploaded_at),
+                    "video_id": video_id,
+                    "frame_number": frame_number,
+                    "is_augmented": False,
+                    "uploader_id": uploader_id,
+                },
             )
-        if self.reject_low_quality:
-            report = assess_quality(image)
-            if not report.accepted:
-                raise TVDPError(
-                    f"upload rejected: {', '.join(report.reasons)} "
-                    f"(sharpness={report.sharpness:.2e}, clipping={report.clipping:.2f})"
-                )
-        near_duplicate_of = None
-        if self._near_duplicates is not None:
-            matches = self._near_duplicates.find_similar(image)
-            if matches:
-                near_duplicate_of = matches[0][0]
-        image_id = self.db.insert(
-            "images",
-            {
-                "uri": f"tvdp://images/{content_hash[:12]}",
-                "content_hash": content_hash,
-                "lat": fov.camera.lat,
-                "lng": fov.camera.lng,
-                "timestamp_capturing": float(captured_at),
-                "timestamp_uploading": float(uploaded_at),
-                "video_id": video_id,
-                "frame_number": frame_number,
-                "is_augmented": False,
-                "uploader_id": uploader_id,
-            },
-        )
-        self.db.insert("image_fov", {"image_id": image_id, **_fov_columns(fov)})
-        scene = scene_location(fov)
-        self.db.insert(
-            "image_scene_location",
-            {
-                "image_id": image_id,
-                "min_lat": scene.min_lat,
-                "min_lng": scene.min_lng,
-                "max_lat": scene.max_lat,
-                "max_lng": scene.max_lng,
-            },
-        )
-        for keyword in keywords:
+            self.db.insert("image_fov", {"image_id": image_id, **_fov_columns(fov)})
+            scene = scene_location(fov)
             self.db.insert(
-                "image_manual_keywords", {"image_id": image_id, "keyword": keyword}
+                "image_scene_location",
+                {
+                    "image_id": image_id,
+                    "min_lat": scene.min_lat,
+                    "min_lng": scene.min_lng,
+                    "max_lat": scene.max_lat,
+                    "max_lng": scene.max_lng,
+                },
             )
-        if keywords:
-            self._text.add(image_id, " ".join(keywords))
-        self._blobs[image_id] = image
-        self._hash_to_id[content_hash] = image_id
-        self._spatial.insert(image_id, fov)
-        if self._near_duplicates is not None:
-            self._near_duplicates.add(image_id, image)
-        return UploadReceipt(
-            image_id=image_id,
-            deduplicated=False,
-            near_duplicate_of=near_duplicate_of,
-        )
+            for keyword in keywords:
+                self.db.insert(
+                    "image_manual_keywords", {"image_id": image_id, "keyword": keyword}
+                )
+            with obs.span("upload.index_insert"):
+                if keywords:
+                    self._text.add(image_id, " ".join(keywords))
+                self._blobs[image_id] = image
+                self._hash_to_id[content_hash] = image_id
+                self._spatial.insert(image_id, fov)
+                if self._near_duplicates is not None:
+                    self._near_duplicates.add(image_id, image)
+            sp.set("outcome", "stored")
+            sp.set("image_id", image_id)
+            registry.counter("platform.uploads", {"outcome": "stored"}).inc()
+            return UploadReceipt(
+                image_id=image_id,
+                deduplicated=False,
+                near_duplicate_of=near_duplicate_of,
+            )
 
     def register_video(
         self, uri: str, uploader_id: int | None = None, description: str = ""
@@ -199,6 +229,7 @@ class TVDP:
         source = self.image(source_image_id)
         source_row = self.db.table("images").get(source_image_id)
         out = []
+        created = 0
         for augmentation in augmentations:
             derived = augmentation(source)
             content_hash = derived.content_hash()
@@ -223,6 +254,8 @@ class TVDP:
             self._blobs[image_id] = derived
             self._hash_to_id[content_hash] = image_id
             out.append(image_id)
+            created += 1
+        _AUGMENTED_CREATED.inc(created)
         return out
 
     # -- access helpers ---------------------------------------------------------
@@ -266,14 +299,16 @@ class TVDP:
         and raises its confidence.  The refined box replaces the image's
         ``image_scene_location`` row.
         """
-        fov = self.fov(image_id)
-        overlapping = [
-            other
-            for other in self._spatial.search_overlapping(fov)
-            if other != image_id
-        ][: max_views - 1]
-        fovs = [fov] + [self.fov(other) for other in overlapping]
-        estimate = LocalizedScene.estimate(fovs)
+        with obs.span("platform.localize_scene", image_id=image_id) as sp:
+            fov = self.fov(image_id)
+            overlapping = [
+                other
+                for other in self._spatial.search_overlapping(fov)
+                if other != image_id
+            ][: max_views - 1]
+            fovs = [fov] + [self.fov(other) for other in overlapping]
+            estimate = LocalizedScene.estimate(fovs)
+            sp.set("views", len(fovs))
         rows = self.db.table("image_scene_location").find("image_id", image_id)
         if rows:
             self.db.table("image_scene_location").update(
@@ -307,28 +342,39 @@ class TVDP:
             self._hybrid[extractor_name] = VisualRTree(dimension=extractor.dimension())
         lsh = self._lsh[extractor_name]
         hybrid = self._hybrid[extractor_name]
-        for image_id in targets:
-            cached = [
-                row
-                for row in table.find("image_id", image_id)
-                if row["extractor_name"] == extractor_name
-            ]
-            if cached:
-                out[image_id] = np.array(cached[0]["vector"], dtype=np.float64)
-                continue
-            vector = extractor.extract(self.image(image_id))
-            self.db.insert(
-                "image_visual_features",
-                {
-                    "image_id": image_id,
-                    "extractor_name": extractor_name,
-                    "vector": vector.tolist(),
-                },
-            )
-            row = self.db.table("images").get(image_id)
-            lsh.insert(image_id, vector)
-            hybrid.insert(image_id, GeoPoint(row["lat"], row["lng"]), vector)
-            out[image_id] = vector
+        with obs.span(
+            "features.extract", extractor=extractor_name, images=len(targets)
+        ) as sp:
+            computed = 0
+            cache_hits = 0
+            for image_id in targets:
+                cached = [
+                    row
+                    for row in table.find("image_id", image_id)
+                    if row["extractor_name"] == extractor_name
+                ]
+                if cached:
+                    out[image_id] = np.array(cached[0]["vector"], dtype=np.float64)
+                    cache_hits += 1
+                    continue
+                vector = extractor.extract(self.image(image_id))
+                self.db.insert(
+                    "image_visual_features",
+                    {
+                        "image_id": image_id,
+                        "extractor_name": extractor_name,
+                        "vector": vector.tolist(),
+                    },
+                )
+                row = self.db.table("images").get(image_id)
+                lsh.insert(image_id, vector)
+                hybrid.insert(image_id, GeoPoint(row["lat"], row["lng"]), vector)
+                out[image_id] = vector
+                computed += 1
+            sp.set("computed", computed)
+            sp.set("cache_hits", cache_hits)
+            _FEATURE_VECTORS_COMPUTED.inc(computed)
+            _FEATURE_CACHE_HITS.inc(cache_hits)
         return out
 
     def feature_vector(self, image_id: int, extractor_name: str) -> np.ndarray:
@@ -339,19 +385,25 @@ class TVDP:
 
     def execute(self, query: object) -> list[QueryResult]:
         """Run any of the five query families or a hybrid."""
-        if isinstance(query, SpatialQuery):
-            return self._run_spatial(query)
-        if isinstance(query, VisualQuery):
-            return self._run_visual(query)
-        if isinstance(query, CategoricalQuery):
-            return self._run_categorical(query)
-        if isinstance(query, TextualQuery):
-            return self._run_textual(query)
-        if isinstance(query, TemporalQuery):
-            return self._run_temporal(query)
-        if isinstance(query, HybridQuery):
-            return self._run_hybrid(query)
-        raise QueryError(f"unsupported query type {type(query).__name__}")
+        runners = {
+            SpatialQuery: self._run_spatial,
+            VisualQuery: self._run_visual,
+            CategoricalQuery: self._run_categorical,
+            TextualQuery: self._run_textual,
+            TemporalQuery: self._run_temporal,
+            HybridQuery: self._run_hybrid,
+        }
+        runner = runners.get(type(query))
+        if runner is None:
+            raise QueryError(f"unsupported query type {type(query).__name__}")
+        family = query_family(query)
+        # Hybrid sub-queries recurse through execute(), so one hybrid
+        # call yields a query.hybrid span with query.<family> children.
+        with obs.span(f"query.{family}") as sp:
+            results = runner(query)
+            sp.set("results", len(results))
+        obs.metrics().counter("platform.queries", {"family": family}).inc()
+        return results
 
     def _run_spatial(self, query: SpatialQuery) -> list[QueryResult]:
         region = query.bounding_region()
@@ -473,14 +525,37 @@ class TVDP:
     # -- stats ---------------------------------------------------------------------
 
     def stats(self) -> dict[str, object]:
-        """Platform-wide counters (exposed by the API's stats route)."""
+        """Platform-wide counters (exposed by the API's stats route),
+        including per-operation latency summaries from the span
+        histograms."""
         return {
             "rows": self.db.row_counts(),
             "blobs": len(self._blobs),
             "indexed_fovs": len(self._spatial),
             "extractors": self.features.names(),
             "lsh_indexes": sorted(self._lsh),
+            "latency_ms": self.latency_summaries(),
         }
+
+    def latency_summaries(self) -> dict[str, dict[str, float]]:
+        """Span name -> {count, sum, min, max, p50, p95, p99} (ms) for
+        every operation traced so far in this process."""
+        out: dict[str, dict[str, float]] = {}
+        for hist in obs.metrics().histograms("span.duration_ms"):
+            labels = dict(hist.labels)
+            if hist.count and "span" in labels:
+                out[labels["span"]] = hist.summary()
+        return dict(sorted(out.items()))
+
+    def reset_metrics(self) -> None:
+        """Zero all observability state (metrics + buffered spans) so a
+        benchmark phase starts from a clean slate."""
+        obs.reset()
+
+    def metrics_snapshot(self) -> dict[str, dict]:
+        """Current values of every metric (see
+        :meth:`repro.obs.MetricsRegistry.snapshot`)."""
+        return obs.snapshot()
 
 
 def _fov_columns(fov: FieldOfView) -> dict[str, float]:

@@ -155,3 +155,23 @@ class HybridQuery:
         for query in self.queries:
             if isinstance(query, HybridQuery):
                 raise QueryError("HybridQuery cannot nest hybrids")
+
+
+#: Query class -> family name, the label vocabulary shared by span names
+#: (``query.<family>``) and the ``platform.queries`` counter.
+_QUERY_FAMILIES = {
+    SpatialQuery: "spatial",
+    VisualQuery: "visual",
+    CategoricalQuery: "categorical",
+    TextualQuery: "textual",
+    TemporalQuery: "temporal",
+    HybridQuery: "hybrid",
+}
+
+
+def query_family(query: object) -> str:
+    """Family name of a query instance (``'spatial'``, ... ``'hybrid'``)."""
+    family = _QUERY_FAMILIES.get(type(query))
+    if family is None:
+        raise QueryError(f"unsupported query type {type(query).__name__}")
+    return family

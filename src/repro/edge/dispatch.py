@@ -10,9 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import EdgeError
 from repro.edge.devices import DeviceProfile
 from repro.edge.models import ModelVariant
+
+_DECISIONS = obs.metrics().counter("edge.dispatch.decisions")
+_INFEASIBLE = obs.metrics().counter("edge.dispatch.infeasible")
+_OVER_BUDGET = obs.metrics().counter("edge.dispatch.over_budget")
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,44 +67,52 @@ def dispatch_model(
             f"min_inferences_on_battery must be >= 0, got {min_inferences_on_battery}"
         )
 
-    memory_ok = [
-        m for m in candidates if m.size_mb <= device.memory_mb * memory_fraction
-    ]
-    if not memory_ok:
-        raise EdgeError(
-            f"no model fits in {device.memory_mb * memory_fraction:.0f} MB "
-            f"on {device.name}"
-        )
-    if min_inferences_on_battery > 0:
-        energy_ok = [
-            m
-            for m in memory_ok
-            if device.inferences_per_charge(m.flops_at(input_px or m.base_input_px))
-            >= min_inferences_on_battery
+    with obs.span(
+        "edge.dispatch", device=device.name, candidates=len(candidates)
+    ) as sp:
+        memory_ok = [
+            m for m in candidates if m.size_mb <= device.memory_mb * memory_fraction
         ]
-        if not energy_ok:
+        if not memory_ok:
+            _INFEASIBLE.inc()
             raise EdgeError(
-                f"no model sustains {min_inferences_on_battery:.0f} inferences "
-                f"per charge on {device.name}"
+                f"no model fits in {device.memory_mb * memory_fraction:.0f} MB "
+                f"on {device.name}"
             )
-        memory_ok = energy_ok
+        if min_inferences_on_battery > 0:
+            energy_ok = [
+                m
+                for m in memory_ok
+                if device.inferences_per_charge(m.flops_at(input_px or m.base_input_px))
+                >= min_inferences_on_battery
+            ]
+            if not energy_ok:
+                _INFEASIBLE.inc()
+                raise EdgeError(
+                    f"no model sustains {min_inferences_on_battery:.0f} inferences "
+                    f"per charge on {device.name}"
+                )
+            memory_ok = energy_ok
 
-    def latency(model: ModelVariant) -> float:
-        return predicted_latency_ms(device, model, input_px)
+        def latency(model: ModelVariant) -> float:
+            return predicted_latency_ms(device, model, input_px)
 
-    within_budget = [m for m in memory_ok if latency(m) <= latency_budget_ms]
-    if within_budget:
-        chosen = max(within_budget, key=lambda m: (m.expected_accuracy, -latency(m)))
-    else:
-        chosen = min(memory_ok, key=latency)
-    px = input_px or chosen.base_input_px
-    return DispatchDecision(
-        device=device,
-        model=chosen,
-        input_px=px,
-        predicted_latency_ms=latency(chosen),
-        download_time_s=device.transmission_time_s(int(chosen.size_mb * 1e6)),
-    )
+        within_budget = [m for m in memory_ok if latency(m) <= latency_budget_ms]
+        if within_budget:
+            chosen = max(within_budget, key=lambda m: (m.expected_accuracy, -latency(m)))
+        else:
+            _OVER_BUDGET.inc()
+            chosen = min(memory_ok, key=latency)
+        px = input_px or chosen.base_input_px
+        sp.set("model", chosen.name)
+        _DECISIONS.inc()
+        return DispatchDecision(
+            device=device,
+            model=chosen,
+            input_px=px,
+            predicted_latency_ms=latency(chosen),
+            download_time_s=device.transmission_time_s(int(chosen.size_mb * 1e6)),
+        )
 
 
 def dispatch_fleet(
@@ -109,7 +122,8 @@ def dispatch_fleet(
 ) -> dict[str, DispatchDecision]:
     """Dispatch every device in a heterogeneous fleet; device name ->
     decision."""
-    return {
-        device.name: dispatch_model(device, candidates, latency_budget_ms)
-        for device in devices
-    }
+    with obs.span("edge.dispatch_fleet", devices=len(devices)):
+        return {
+            device.name: dispatch_model(device, candidates, latency_budget_ms)
+            for device in devices
+        }

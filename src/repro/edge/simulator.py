@@ -16,10 +16,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import EdgeError
 from repro.edge.devices import DeviceProfile
 from repro.edge.dispatch import predicted_latency_ms
 from repro.edge.models import ModelVariant
+
+_FRAMES_ARRIVED = obs.metrics().counter("edge.frames_arrived")
+_FRAMES_PROCESSED = obs.metrics().counter("edge.frames_processed")
+_FRAMES_DROPPED = obs.metrics().counter("edge.frames_dropped")
 
 
 @dataclass(frozen=True)
@@ -89,22 +94,39 @@ def simulate_device(
     rng = np.random.default_rng(seed)
     base_service_s = predicted_latency_ms(device, model) / 1e3
 
-    t = 0.0
-    arrivals = []
-    while True:
-        t += rng.exponential(1.0 / arrival_rate_hz)
-        if t >= duration_s:
-            break
-        arrivals.append(t)
+    with obs.span(
+        "edge.simulate_device", device=device.name, model=model.name
+    ) as sp:
+        t = 0.0
+        arrivals = []
+        while True:
+            t += rng.exponential(1.0 / arrival_rate_hz)
+            if t >= duration_s:
+                break
+            arrivals.append(t)
 
-    server_free_at = 0.0
-    busy_s = 0.0
-    queue: list[float] = []  # arrival times waiting
-    latencies: list[float] = []
-    dropped = 0
-    for arrival in arrivals:
-        # Drain every job the server finishes before this arrival.
-        while queue and server_free_at <= arrival:
+        server_free_at = 0.0
+        busy_s = 0.0
+        queue: list[float] = []  # arrival times waiting
+        latencies: list[float] = []
+        dropped = 0
+        for arrival in arrivals:
+            # Drain every job the server finishes before this arrival.
+            while queue and server_free_at <= arrival:
+                start = max(server_free_at, queue[0])
+                service = base_service_s * (1.0 + jitter * float(rng.standard_normal()))
+                service = max(service, base_service_s * 0.2)
+                waiting = queue.pop(0)
+                finish = start + service
+                busy_s += service
+                latencies.append((finish - waiting) * 1e3)
+                server_free_at = finish
+            if len(queue) >= max_queue:
+                dropped += 1
+                continue
+            queue.append(arrival)
+        # Drain the remainder after the last arrival.
+        while queue:
             start = max(server_free_at, queue[0])
             service = base_service_s * (1.0 + jitter * float(rng.standard_normal()))
             service = max(service, base_service_s * 0.2)
@@ -113,34 +135,26 @@ def simulate_device(
             busy_s += service
             latencies.append((finish - waiting) * 1e3)
             server_free_at = finish
-        if len(queue) >= max_queue:
-            dropped += 1
-            continue
-        queue.append(arrival)
-    # Drain the remainder after the last arrival.
-    while queue:
-        start = max(server_free_at, queue[0])
-        service = base_service_s * (1.0 + jitter * float(rng.standard_normal()))
-        service = max(service, base_service_s * 0.2)
-        waiting = queue.pop(0)
-        finish = start + service
-        busy_s += service
-        latencies.append((finish - waiting) * 1e3)
-        server_free_at = finish
 
-    processed = len(latencies)
-    horizon = max(duration_s, server_free_at)
-    return DeviceStats(
-        device=device.name,
-        model=model.name,
-        frames_arrived=len(arrivals),
-        frames_processed=processed,
-        frames_dropped=dropped,
-        mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
-        p95_latency_ms=float(np.percentile(latencies, 95)) if latencies else 0.0,
-        utilization=min(busy_s / horizon, 1.0),
-        expected_accuracy=model.expected_accuracy,
-    )
+        processed = len(latencies)
+        sp.set("frames_arrived", len(arrivals))
+        sp.set("frames_processed", processed)
+        sp.set("frames_dropped", dropped)
+        _FRAMES_ARRIVED.inc(len(arrivals))
+        _FRAMES_PROCESSED.inc(processed)
+        _FRAMES_DROPPED.inc(dropped)
+        horizon = max(duration_s, server_free_at)
+        return DeviceStats(
+            device=device.name,
+            model=model.name,
+            frames_arrived=len(arrivals),
+            frames_processed=processed,
+            frames_dropped=dropped,
+            mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
+            p95_latency_ms=float(np.percentile(latencies, 95)) if latencies else 0.0,
+            utilization=min(busy_s / horizon, 1.0),
+            expected_accuracy=model.expected_accuracy,
+        )
 
 
 def simulate_fleet(
@@ -153,15 +167,16 @@ def simulate_fleet(
     """Simulate every (device, model) assignment on the same stream
     parameters and aggregate."""
     stats = []
-    for offset, (name, (device, model)) in enumerate(sorted(assignments.items())):
-        stats.append(
-            simulate_device(
-                device,
-                model,
-                duration_s=duration_s,
-                arrival_rate_hz=arrival_rate_hz,
-                max_queue=max_queue,
-                seed=seed + offset,
+    with obs.span("edge.simulate_fleet", devices=len(assignments)):
+        for offset, (name, (device, model)) in enumerate(sorted(assignments.items())):
+            stats.append(
+                simulate_device(
+                    device,
+                    model,
+                    duration_s=duration_s,
+                    arrival_rate_hz=arrival_rate_hz,
+                    max_queue=max_queue,
+                    seed=seed + offset,
+                )
             )
-        )
     return FleetReport(stats=tuple(stats))

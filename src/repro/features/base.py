@@ -12,8 +12,11 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro import obs
 from repro.errors import FeatureError
 from repro.imaging.image import Image
+
+_BATCH_VECTORS = obs.metrics().counter("features.batch_vectors")
 
 
 @runtime_checkable
@@ -36,8 +39,12 @@ def extract_batch(extractor: FeatureExtractor, images: list[Image]) -> np.ndarra
     """Stack per-image features into an (n, d) matrix."""
     if not images:
         raise FeatureError("extract_batch needs at least one image")
-    rows = [extractor.extract(image) for image in images]
+    with obs.span(
+        "features.extract_batch", extractor=extractor.name, images=len(images)
+    ):
+        rows = [extractor.extract(image) for image in images]
     dims = {row.shape for row in rows}
     if len(dims) != 1:
         raise FeatureError(f"inconsistent feature shapes from {extractor.name}: {dims}")
+    _BATCH_VECTORS.inc(len(rows))
     return np.vstack(rows)

@@ -19,6 +19,13 @@ import numpy as np
 
 from repro.errors import IndexError_
 from repro.geo.point import BoundingBox, GeoPoint
+from repro.obs import metrics as _metrics
+
+# Probe counters for the best-first spatial-visual search: heap pops
+# (nodes + entries expanded) and subtrees discarded by spatial pruning.
+_QUERIES = _metrics().counter("index.visual_rtree.queries")
+_HEAP_POPS = _metrics().counter("index.visual_rtree.heap_pops")
+_SPATIAL_PRUNED = _metrics().counter("index.visual_rtree.spatial_pruned")
 
 
 class _VNode:
@@ -177,7 +184,10 @@ class VisualRTree:
         if self._root.box is not None:
             heap.append((0.0, next(counter), self._root, False))
         results: list[tuple[object, float]] = []
+        pops = 0
+        pruned = 0
         while heap and len(results) < k:
+            pops += 1
             bound, _, payload, is_entry = heapq.heappop(heap)
             if is_entry:
                 box, _, item = payload
@@ -185,6 +195,7 @@ class VisualRTree:
                 continue
             node = payload
             if node.box is None or not node.box.intersects(region):
+                pruned += 1
                 continue
             if node.leaf:
                 for box, stored, item in node.entries:
@@ -197,11 +208,15 @@ class VisualRTree:
             else:
                 for child in node.entries:
                     if child.box is None or not child.box.intersects(region):
+                        pruned += 1
                         continue
                     lower = max(
                         0.0, float(np.linalg.norm(child.centroid - vector)) - child.radius
                     )
                     heapq.heappush(heap, (lower, next(counter), child, False))
+        _QUERIES.inc()
+        _HEAP_POPS.inc(pops)
+        _SPATIAL_PRUNED.inc(pruned)
         return results
 
     def linear_spatial_visual_knn(

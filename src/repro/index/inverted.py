@@ -11,6 +11,12 @@ import re
 from collections import Counter
 
 from repro.errors import IndexError_
+from repro.obs import metrics as _metrics
+
+# Probe counters: postings entries touched while scoring (search_all
+# delegates its ranking to search_any, so counts land there once).
+_QUERIES = _metrics().counter("index.inverted.queries")
+_POSTINGS_SCANNED = _metrics().counter("index.inverted.postings_scanned")
 
 _TOKEN_RE = re.compile(r"[a-z0-9]+")
 
@@ -70,11 +76,16 @@ class InvertedIndex:
     def search_any(self, query: str) -> list[tuple[object, float]]:
         """Documents matching *any* query term, tf-idf ranked."""
         scores: dict[object, float] = {}
+        scanned = 0
         for term in set(tokenize(query)):
             idf = self._idf(term)
-            for doc_id, tf in self._postings.get(term, {}).items():
+            postings = self._postings.get(term, {})
+            scanned += len(postings)
+            for doc_id, tf in postings.items():
                 length = max(self._doc_lengths[doc_id], 1)
                 scores[doc_id] = scores.get(doc_id, 0.0) + (tf / length) * idf
+        _QUERIES.inc()
+        _POSTINGS_SCANNED.inc(scanned)
         return sorted(scores.items(), key=lambda pair: (-pair[1], str(pair[0])))
 
     def search_all(self, query: str) -> list[tuple[object, float]]:

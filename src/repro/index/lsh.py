@@ -13,6 +13,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import IndexError_
+from repro.obs import metrics as _metrics
+
+# Probe counters: per query, how many table buckets had a collision and
+# how many distinct candidates those buckets yielded for exact ranking.
+_QUERIES = _metrics().counter("index.lsh.queries")
+_BUCKET_HITS = _metrics().counter("index.lsh.bucket_hits")
+_CANDIDATES = _metrics().counter("index.lsh.candidates")
+_FALLBACK_SCANS = _metrics().counter("index.lsh.fallback_scans")
 
 
 class LSHIndex:
@@ -85,8 +93,15 @@ class LSHIndex:
 
     def _candidates(self, vector: np.ndarray) -> set[object]:
         found: set[object] = set()
+        bucket_hits = 0
         for table, key in zip(self._tables, self._keys(vector)):
-            found.update(table.get(key, ()))
+            bucket = table.get(key)
+            if bucket:
+                bucket_hits += 1
+                found.update(bucket)
+        _QUERIES.inc()
+        _BUCKET_HITS.inc(bucket_hits)
+        _CANDIDATES.inc(len(found))
         return found
 
     def query_topk(
@@ -105,6 +120,7 @@ class LSHIndex:
         vector = self._check_vector(vector)
         candidates = self._candidates(vector)
         if exhaustive_fallback and len(candidates) < k:
+            _FALLBACK_SCANS.inc()
             return self.linear_topk(vector, k)
         return self._rank(list(candidates), vector, k)
 

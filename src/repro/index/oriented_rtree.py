@@ -16,6 +16,15 @@ from repro.geo.fov import FieldOfView
 from repro.geo.geodesy import angular_difference_deg, normalize_bearing
 from repro.geo.point import BoundingBox
 from repro.index.rtree import RTree
+from repro.obs import metrics as _metrics
+
+# Probe counters: how many MBR candidates each query pulled from the
+# underlying tree, how many the direction bitmask pruned before the
+# exact angular check, and how many survived full refinement.
+_QUERIES = _metrics().counter("index.oriented.queries")
+_CANDIDATES = _metrics().counter("index.oriented.candidates")
+_MASK_PRUNED = _metrics().counter("index.oriented.mask_pruned")
+_REFINED_HITS = _metrics().counter("index.oriented.refined_hits")
 
 #: Number of compass sectors in a direction bitmask.
 SECTORS = 16
@@ -81,9 +90,12 @@ class OrientedRTree:
             else None
         )
         results = []
-        for payload in self._tree.search_range(box):
+        candidates = self._tree.search_range(box)
+        mask_pruned = 0
+        for payload in candidates:
             item, mask = payload
             if query_mask is not None and not (mask & query_mask):
+                mask_pruned += 1
                 continue
             fov = self._fovs[item]
             if direction_deg is not None and not fov.direction_matches(
@@ -92,6 +104,10 @@ class OrientedRTree:
                 continue
             if fov.intersects_box(box):
                 results.append(item)
+        _QUERIES.inc()
+        _CANDIDATES.inc(len(candidates))
+        _MASK_PRUNED.inc(mask_pruned)
+        _REFINED_HITS.inc(len(results))
         return results
 
     def search_point(
@@ -108,7 +124,8 @@ class OrientedRTree:
         point = GeoPoint(lat, lng)
         probe = BoundingBox(lat, lng, lat, lng)
         results = []
-        for payload in self._tree.search_range(probe):
+        candidates = self._tree.search_range(probe)
+        for payload in candidates:
             item, _ = payload
             fov = self._fovs[item]
             if direction_deg is not None and not fov.direction_matches(
@@ -117,14 +134,21 @@ class OrientedRTree:
                 continue
             if fov.contains_point(point):
                 results.append(item)
+        _QUERIES.inc()
+        _CANDIDATES.inc(len(candidates))
+        _REFINED_HITS.inc(len(results))
         return results
 
     def search_overlapping(self, fov: FieldOfView) -> list[object]:
         """Items whose FOV overlaps the query FOV (used to find other
         images of the same scene for multi-view localisation)."""
         results = []
-        for payload in self._tree.search_range(fov.mbr()):
+        candidates = self._tree.search_range(fov.mbr())
+        for payload in candidates:
             item, _ = payload
             if self._fovs[item].overlaps_fov(fov):
                 results.append(item)
+        _QUERIES.inc()
+        _CANDIDATES.inc(len(candidates))
+        _REFINED_HITS.inc(len(results))
         return results

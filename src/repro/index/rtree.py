@@ -15,6 +15,15 @@ from typing import Iterator
 
 from repro.errors import IndexError_
 from repro.geo.point import BoundingBox, GeoPoint
+from repro.obs import metrics as _metrics
+
+# Probe counters shared by every tree instance; incremented once per
+# query with locally-accumulated totals so the traversal loop stays hot.
+_RANGE_QUERIES = _metrics().counter("index.rtree.range_queries")
+_NODE_VISITS = _metrics().counter("index.rtree.node_visits")
+_ENTRIES_TESTED = _metrics().counter("index.rtree.entries_tested")
+_KNN_QUERIES = _metrics().counter("index.rtree.knn_queries")
+_KNN_HEAP_POPS = _metrics().counter("index.rtree.knn_heap_pops")
 
 
 @dataclass
@@ -273,7 +282,26 @@ class RTree:
 
     def search_range(self, box: BoundingBox) -> list[object]:
         """Items whose boxes intersect ``box``."""
-        return [entry.item for entry in self._range_entries(box)]
+        out: list[object] = []
+        visited = 0
+        tested = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            visited += 1
+            if node.box is None or not node.box.intersects(box):
+                continue
+            if node.leaf:
+                tested += len(node.entries)
+                for entry in node.entries:
+                    if entry.box.intersects(box):
+                        out.append(entry.item)
+            else:
+                stack.extend(node.entries)
+        _RANGE_QUERIES.inc()
+        _NODE_VISITS.inc(visited)
+        _ENTRIES_TESTED.inc(tested)
+        return out
 
     def _range_entries(self, box: BoundingBox) -> Iterator[_Entry]:
         stack = [self._root]
@@ -298,7 +326,9 @@ class RTree:
         if self._root.box is not None:
             heap.append((box_point_distance_deg(self._root.box, point), next(counter), self._root))
         results: list[tuple[object, float]] = []
+        pops = 0
         while heap and len(results) < k:
+            pops += 1
             distance, _, node_or_entry = heapq.heappop(heap)
             if isinstance(node_or_entry, _Entry):
                 results.append((node_or_entry.item, distance))
@@ -312,6 +342,8 @@ class RTree:
                     heap,
                     (box_point_distance_deg(child_box, point), next(counter), child),
                 )
+        _KNN_QUERIES.inc()
+        _KNN_HEAP_POPS.inc(pops)
         return results
 
     def height(self) -> int:

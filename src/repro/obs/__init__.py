@@ -1,0 +1,135 @@
+"""Platform observability: metrics, tracing spans, structured logs.
+
+One process-wide :class:`MetricsRegistry` and :class:`Tracer` (ring
+buffer attached) back every instrumented code path — the same pattern
+as the Prometheus client library.  The API layer serves the registry at
+``GET /metrics``; benchmarks snapshot/diff it around measured phases;
+``TVDP.reset_metrics()`` zeroes it between phases.
+
+Typical use::
+
+    from repro import obs
+
+    log = obs.get_logger("myservice")
+    with obs.span("myservice.do_thing", item=42):
+        obs.metrics().counter("myservice.things").inc()
+        log.info("did the thing")
+
+Set the ``TVDP_TRACE_JSONL`` environment variable (or call
+:func:`enable_jsonl`) to also stream finished spans to a JSON-lines
+file.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.logs import SpanContextFilter, configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counters_delta,
+)
+from repro.obs.tracing import (
+    JsonlExporter,
+    RingBufferExporter,
+    Span,
+    Tracer,
+    current_span,
+    span_tree,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "JsonlExporter",
+    "MetricsRegistry",
+    "RingBufferExporter",
+    "Span",
+    "SpanContextFilter",
+    "Tracer",
+    "configure_logging",
+    "counters_delta",
+    "current_span",
+    "disable_jsonl",
+    "enable_jsonl",
+    "get_logger",
+    "metrics",
+    "reset",
+    "ring_buffer",
+    "snapshot",
+    "span",
+    "span_tree",
+    "tracer",
+]
+
+_registry = MetricsRegistry()
+_ring = RingBufferExporter(capacity=4096)
+_tracer = Tracer(registry=_registry, exporters=[_ring])
+_jsonl: JsonlExporter | None = None
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _registry
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _tracer
+
+
+def ring_buffer() -> RingBufferExporter:
+    """The tracer's in-memory exporter (recent finished spans)."""
+    return _ring
+
+
+def span(name: str, **attrs: object):
+    """Open a span on the default tracer (context manager)."""
+    return _tracer.span(name, **attrs)
+
+
+def snapshot() -> dict[str, dict]:
+    """Current values of every metric (see ``MetricsRegistry.snapshot``)."""
+    return _registry.snapshot()
+
+
+def reset() -> None:
+    """Zero all metrics and drop buffered spans (benchmark isolation).
+
+    Metric handles cached by instrumented modules stay valid.
+    """
+    _registry.reset()
+    _ring.clear()
+
+
+def enable_jsonl(path: str) -> JsonlExporter:
+    """Stream finished spans to ``path`` as JSON lines (idempotent per
+    path; an exporter for a different path replaces the previous one)."""
+    global _jsonl
+    if _jsonl is not None:
+        if _jsonl.path == str(path):
+            return _jsonl
+        disable_jsonl()
+    _jsonl = JsonlExporter(path)
+    _tracer.add_exporter(_jsonl)
+    return _jsonl
+
+
+def disable_jsonl() -> None:
+    """Detach and close the JSONL exporter, if one is active."""
+    global _jsonl
+    if _jsonl is not None:
+        _tracer.remove_exporter(_jsonl)
+        _jsonl.close()
+        _jsonl = None
+
+
+_env_path = os.environ.get("TVDP_TRACE_JSONL")
+if _env_path:
+    enable_jsonl(_env_path)

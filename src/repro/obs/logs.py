@@ -1,0 +1,70 @@
+"""Structured logging that carries the active trace context.
+
+Thin layer over stdlib :mod:`logging`: every record emitted through a
+``tvdp.*`` logger gains ``trace_id`` and ``span_id`` fields from the
+current :func:`~repro.obs.tracing.current_span`, so log lines can be
+joined against exported spans.  Library code must log through
+:func:`get_logger` rather than ``print`` — CI enforces this
+(``tools/check_no_print.py``).
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.obs.tracing import current_span
+
+_ROOT_NAME = "tvdp"
+_FORMAT = (
+    "%(asctime)s %(levelname)s %(name)s "
+    "[trace=%(trace_id)s span=%(span_id)s] %(message)s"
+)
+
+
+class SpanContextFilter(logging.Filter):
+    """Stamps the active span/trace id onto every record."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        span = current_span()
+        record.trace_id = span.trace_id if span else "-"
+        record.span_id = span.span_id if span else "-"
+        return True
+
+
+def _root() -> logging.Logger:
+    root = logging.getLogger(_ROOT_NAME)
+    if not any(isinstance(f, SpanContextFilter) for f in root.filters):
+        root.addFilter(SpanContextFilter())
+        # Library default: silent unless the host app configures handlers.
+        root.addHandler(logging.NullHandler())
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A ``tvdp.<name>`` logger with span-context injection installed."""
+    _root()
+    logger = logging.getLogger(f"{_ROOT_NAME}.{name}")
+    if not any(isinstance(f, SpanContextFilter) for f in logger.filters):
+        logger.addFilter(SpanContextFilter())
+    return logger
+
+
+def configure_logging(level: int | str = logging.INFO, stream=None) -> logging.Handler:
+    """Attach a stream handler with the trace-aware format to the
+    ``tvdp`` root (idempotent per stream) and set its level.  Returns
+    the handler so callers/tests can detach it."""
+    root = _root()
+    root.setLevel(level)
+    for handler in root.handlers:
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            if stream is None or handler.stream is stream:
+                handler.setLevel(level)
+                return handler
+    handler = logging.StreamHandler(stream)
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler.addFilter(SpanContextFilter())
+    root.addHandler(handler)
+    return handler

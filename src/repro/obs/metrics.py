@@ -1,0 +1,306 @@
+"""Metrics primitives: counters, gauges, and fixed-bucket histograms.
+
+The registry is the platform's single source of operational truth — the
+paper's ``GET /stats`` endpoint grows into a full ``GET /metrics`` API
+on top of it.  Everything here is dependency-free stdlib so the hot
+paths (index probes, query execution) can afford to report into it.
+
+Design notes
+------------
+* Metrics are identified by ``(name, labels)``; handles returned by
+  :meth:`MetricsRegistry.counter` & co. are stable across
+  :meth:`MetricsRegistry.reset`, so callers may cache them at module
+  import and keep incrementing after a benchmark resets the values.
+* Histograms use fixed upper-bound buckets (Prometheus-style) and
+  estimate percentiles by linear interpolation inside the bucket,
+  clamped to the observed min/max.
+* Snapshots are plain nested dicts with flattened
+  ``name{label="value"}`` keys, so diffing two snapshots (what a
+  benchmark phase did) is a dict subtraction — see
+  :func:`counters_delta`.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Default latency buckets (milliseconds): sub-millisecond index probes
+#: through multi-second training runs.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0,
+)
+
+
+def _label_key(labels: dict[str, str] | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _flat_name(name: str, label_key: tuple[tuple[str, str], ...]) -> str:
+    if not label_key:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in label_key)
+    return f"{name}{{{inner}}}"
+
+
+def _prom_name(name: str) -> str:
+    """Prometheus-legal metric name: ``query.spatial`` -> ``tvdp_query_spatial``."""
+    sanitized = "".join(c if c.isalnum() else "_" for c in name)
+    return f"tvdp_{sanitized}"
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """Value that can go up and down (queue depths, index sizes)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket distribution with interpolated percentiles.
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow bucket
+    catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"buckets must be sorted and non-empty, got {buckets}")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +1 overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in [0, 1]) from bucket counts."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, in_bucket in enumerate(self.bucket_counts):
+            if in_bucket == 0:
+                continue
+            if cumulative + in_bucket >= rank:
+                if i == len(self.buckets):  # overflow bucket: no upper bound
+                    return self.max
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                upper = self.buckets[i]
+                fraction = (rank - cumulative) / in_bucket
+                estimate = lower + fraction * (upper - lower)
+                return min(max(estimate, self.min), self.max)
+            cumulative += in_bucket
+        return self.max
+
+    def summary(self) -> dict[str, float]:
+        """Count, sum, extrema, and the operator percentiles."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def _reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+
+class MetricsRegistry:
+    """Name+labels-keyed store of all platform metrics."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    # -- handles ------------------------------------------------------------
+
+    def counter(self, name: str, labels: dict[str, str] | None = None) -> Counter:
+        """Get-or-create a counter; the handle survives :meth:`reset`."""
+        key = (name, _label_key(labels))
+        if key not in self._counters:
+            self._counters[key] = Counter(name, key[1])
+        return self._counters[key]
+
+    def gauge(self, name: str, labels: dict[str, str] | None = None) -> Gauge:
+        """Get-or-create a gauge."""
+        key = (name, _label_key(labels))
+        if key not in self._gauges:
+            self._gauges[key] = Gauge(name, key[1])
+        return self._gauges[key]
+
+    def histogram(
+        self,
+        name: str,
+        labels: dict[str, str] | None = None,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> Histogram:
+        """Get-or-create a histogram (buckets fixed on first creation)."""
+        key = (name, _label_key(labels))
+        if key not in self._histograms:
+            self._histograms[key] = Histogram(name, key[1], buckets)
+        return self._histograms[key]
+
+    def histograms(self, name: str | None = None) -> list[Histogram]:
+        """All registered histograms, optionally filtered by name."""
+        return [
+            h for h in self._histograms.values() if name is None or h.name == name
+        ]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every metric *in place* — existing handles stay valid."""
+        for metric in (*self._counters.values(), *self._gauges.values(),
+                       *self._histograms.values()):
+            metric._reset()
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-compatible dump of every metric's current value."""
+        return {
+            "counters": {
+                _flat_name(c.name, c.labels): c.value
+                for c in self._counters.values()
+            },
+            "gauges": {
+                _flat_name(g.name, g.labels): g.value
+                for g in self._gauges.values()
+            },
+            "histograms": {
+                _flat_name(h.name, h.labels): h.summary()
+                for h in self._histograms.values()
+            },
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every metric.
+
+        Counters/gauges render as single samples; histograms render the
+        classic ``_bucket``/``_sum``/``_count`` triplet with cumulative
+        ``le`` buckets.
+        """
+        lines: list[str] = []
+        seen_types: set[tuple[str, str]] = set()
+
+        def type_line(name: str, kind: str) -> None:
+            if (name, kind) not in seen_types:
+                lines.append(f"# TYPE {name} {kind}")
+                seen_types.add((name, kind))
+
+        def label_str(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+            parts = [f'{k}="{v}"' for k, v in labels]
+            if extra:
+                parts.append(extra)
+            return "{" + ",".join(parts) + "}" if parts else ""
+
+        for counter in sorted(self._counters.values(), key=lambda c: (c.name, c.labels)):
+            name = _prom_name(counter.name)
+            type_line(name, "counter")
+            lines.append(f"{name}{label_str(counter.labels)} {counter.value:g}")
+        for gauge in sorted(self._gauges.values(), key=lambda g: (g.name, g.labels)):
+            name = _prom_name(gauge.name)
+            type_line(name, "gauge")
+            lines.append(f"{name}{label_str(gauge.labels)} {gauge.value:g}")
+        for hist in sorted(self._histograms.values(), key=lambda h: (h.name, h.labels)):
+            name = _prom_name(hist.name)
+            type_line(name, "histogram")
+            cumulative = 0
+            for bound, in_bucket in zip(hist.buckets, hist.bucket_counts):
+                cumulative += in_bucket
+                le = f'le="{bound:g}"'
+                lines.append(f"{name}_bucket{label_str(hist.labels, le)} {cumulative}")
+            cumulative += hist.bucket_counts[-1]
+            inf = 'le="+Inf"'
+            lines.append(f"{name}_bucket{label_str(hist.labels, inf)} {cumulative}")
+            lines.append(f"{name}_sum{label_str(hist.labels)} {hist.sum:g}")
+            lines.append(f"{name}_count{label_str(hist.labels)} {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def counters_delta(before: dict[str, dict], after: dict[str, dict]) -> dict[str, float]:
+    """Counter increments between two :meth:`MetricsRegistry.snapshot`
+    calls — the per-phase view benchmarks isolate with."""
+    b = before.get("counters", {})
+    a = after.get("counters", {})
+    out: dict[str, float] = {}
+    for key, value in a.items():
+        delta = value - b.get(key, 0.0)
+        if delta:
+            out[key] = delta
+    return out

@@ -1,0 +1,200 @@
+"""Span-based tracing with ``contextvars`` parent/child propagation.
+
+``span("query.spatial", attrs...)`` opens a timed unit of work; spans
+started inside it become children, so one API request produces a tree
+(request -> platform -> index) that the ring-buffer exporter can
+reassemble.  Span names follow the ``<service>.<operation>`` convention
+documented in ``docs/observability.md``.
+
+Finished spans are fanned out to exporters (in-memory ring buffer by
+default, JSON-lines file on request) and — when the tracer is wired to
+a :class:`~repro.obs.metrics.MetricsRegistry` — recorded as
+``span.duration_ms{span=<name>}`` latency histograms plus
+``spans.total``/``spans.errors`` counters.  That single wiring is what
+lets ``GET /metrics`` report latency summaries for every instrumented
+operation without separate timing code.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.obs.metrics import MetricsRegistry
+
+_ids = itertools.count(1)
+_id_lock = threading.Lock()
+
+#: The innermost open span of the current execution context.
+_current_span: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "tvdp_current_span", default=None
+)
+
+
+def _next_id(prefix: str) -> str:
+    with _id_lock:
+        return f"{prefix}{next(_ids):08x}"
+
+
+def current_span() -> "Span | None":
+    """The active span, if any (used by the structured logger)."""
+    return _current_span.get()
+
+
+@dataclass
+class Span:
+    """One timed operation; mutable while open, exported when closed."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    attrs: dict = field(default_factory=dict)
+    start_time: float = 0.0  # epoch seconds
+    duration_ms: float = 0.0
+    status: str = "ok"
+    error: str | None = None
+
+    def set(self, key: str, value: object) -> None:
+        """Attach/overwrite one attribute."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict:
+        """JSON-compatible record of a finished span."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+            "error": self.error,
+            "attrs": dict(self.attrs),
+        }
+
+
+class RingBufferExporter:
+    """Keeps the most recent finished spans in memory for inspection."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._spans: deque[Span] = deque(maxlen=capacity)
+
+    def export(self, span: Span) -> None:
+        self._spans.append(span)
+
+    def spans(self, name: str | None = None) -> list[Span]:
+        """Finished spans, oldest first, optionally filtered by name."""
+        if name is None:
+            return list(self._spans)
+        return [s for s in self._spans if s.name == name]
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def span_tree(self, trace_id: str | None = None) -> list[dict]:
+        """Nested parent/child view of buffered spans.
+
+        Returns the root spans (no parent in the buffer) of the given
+        trace — or of every trace — each with a ``children`` list,
+        depth-first in completion order.
+        """
+        return span_tree(
+            [s for s in self._spans if trace_id is None or s.trace_id == trace_id]
+        )
+
+
+def span_tree(spans: list[Span]) -> list[dict]:
+    """Build nested dicts from flat finished spans (see ``Span.to_dict``;
+    each node gains a ``children`` key)."""
+    nodes = {s.span_id: {**s.to_dict(), "children": []} for s in spans}
+    roots: list[dict] = []
+    for s in spans:
+        node = nodes[s.span_id]
+        parent = nodes.get(s.parent_id) if s.parent_id else None
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+class JsonlExporter:
+    """Appends one JSON object per finished span to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def export(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(), sort_keys=True)
+        with self._lock:
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+class Tracer:
+    """Opens spans, propagates parentage, exports on close."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        exporters: list | None = None,
+    ) -> None:
+        self.registry = registry
+        self.exporters: list = list(exporters or [])
+
+    def add_exporter(self, exporter: object) -> None:
+        self.exporters.append(exporter)
+
+    def remove_exporter(self, exporter: object) -> None:
+        if exporter in self.exporters:
+            self.exporters.remove(exporter)
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a child of the current span (or a new trace root)."""
+        parent = _current_span.get()
+        span = Span(
+            name=name,
+            trace_id=parent.trace_id if parent else _next_id("t"),
+            span_id=_next_id("s"),
+            parent_id=parent.span_id if parent else None,
+            attrs=dict(attrs),
+            start_time=time.time(),
+        )
+        token = _current_span.set(span)
+        t0 = time.perf_counter()
+        try:
+            yield span
+        except Exception as exc:
+            span.status = "error"
+            span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            span.duration_ms = (time.perf_counter() - t0) * 1e3
+            _current_span.reset(token)
+            self._finish(span)
+
+    def _finish(self, span: Span) -> None:
+        if self.registry is not None:
+            labels = {"span": span.name}
+            self.registry.histogram("span.duration_ms", labels).observe(span.duration_ms)
+            self.registry.counter("spans.total", labels).inc()
+            if span.status == "error":
+                self.registry.counter("spans.errors", labels).inc()
+        for exporter in self.exporters:
+            exporter.export(span)

@@ -1,0 +1,117 @@
+"""The /metrics endpoint, request middleware, and structured errors."""
+
+import pytest
+
+from repro import obs
+from repro.api import Request, TVDPClient, TVDPService
+from repro.core import TVDP
+from repro.errors import APIError
+from repro.features import ColorHistogramExtractor
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@pytest.fixture()
+def service():
+    platform = TVDP()
+    platform.register_extractor(ColorHistogramExtractor())
+    return TVDPService(platform, deterministic_keys=True)
+
+
+@pytest.fixture()
+def client(service):
+    client = TVDPClient(service)
+    user_id = client.register_user("obs", role="researcher")
+    client.create_key(user_id)
+    return client
+
+
+class TestMetricsEndpoint:
+    def test_open_without_key(self, service):
+        response = service.handle(Request("GET", "/metrics"))
+        assert response.status == 200
+        assert "counters" in response.body["metrics"]
+
+    def test_json_snapshot_reflects_traffic(self, client):
+        client.stats()
+        snapshot = client.metrics()
+        requests = {
+            k: v for k, v in snapshot["counters"].items() if k.startswith("api.requests")
+        }
+        assert any('route="/stats"' in k and 'status="200"' in k for k in requests)
+
+    def test_prometheus_format(self, client):
+        client.stats()
+        text = client.metrics(prometheus=True)
+        assert "# TYPE tvdp_api_requests counter" in text
+        assert "tvdp_api_request_ms_count" in text
+
+
+class TestMiddleware:
+    def test_every_dispatch_gets_request_id_and_timing(self, client, service):
+        client.stats()
+        snap = obs.snapshot()
+        hist = snap["histograms"]['api.request_ms{method="GET",route="/stats"}']
+        assert hist["count"] >= 1
+        [span] = obs.ring_buffer().spans("http.request")[-1:]
+        assert span.attrs["route"] == "/stats"
+        assert span.attrs["status"] == 200
+        assert span.attrs["request_id"].startswith("req-")
+
+    def test_status_labelled_counters(self, service):
+        key_request = Request("POST", "/users", body={"name": "a", "role": "citizen"})
+        service.handle(key_request)
+        counters = obs.snapshot()["counters"]
+        assert (
+            counters['api.requests{method="POST",route="/users",status="201"}'] == 1.0
+        )
+
+
+class TestStructuredErrors:
+    def test_api_error_body_shape(self, service):
+        response = service.handle(Request("GET", "/metrics"))  # warm auth-free
+        response = service.handle(
+            Request("POST", "/users", body=None)  # missing body -> 400
+        )
+        assert response.status == 400
+        error = response.body["error"]
+        assert error["type"] == "APIError"
+        assert error["status"] == 400
+        assert error["request_id"].startswith("req-")
+        assert "body required" in error["message"]
+
+    def test_auth_error_is_structured_and_counted(self, service):
+        response = service.handle(Request("GET", "/stats", api_key="nope"))
+        assert response.status == 401
+        error = response.body["error"]
+        assert error["request_id"].startswith("req-")
+        counters = obs.snapshot()["counters"]
+        assert any(k.startswith('api.errors{exception="') for k in counters)
+
+    def test_unknown_route_and_method(self, service):
+        # Straight through the router: unmatched paths and methods come
+        # back as structured 404/405 envelopes from the middleware.
+        missing = service.router.dispatch(Request("GET", "/metrics/nope"))
+        assert missing.status == 404
+        assert missing.body["error"]["type"] == "NotFound"
+        wrong_method = service.router.dispatch(Request("DELETE", "/metrics"))
+        assert wrong_method.status == 405
+        assert wrong_method.body["error"]["type"] == "MethodNotAllowed"
+
+    def test_errors_counter_labelled_by_route_and_type(self, client, service):
+        with pytest.raises(APIError):
+            client.get_image(999_999)
+        counters = obs.snapshot()["counters"]
+        key = 'api.errors{exception="APIError",route="/images/{image_id}"}'
+        assert counters[key] == 1.0
+
+    def test_client_surfaces_message_and_request_id(self, client):
+        with pytest.raises(APIError) as err:
+            client.get_image(999_999)
+        assert err.value.status == 404
+        assert "request req-" in err.value.message

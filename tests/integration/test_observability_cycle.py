@@ -1,0 +1,99 @@
+"""One API round trip produces the expected span tree and counters.
+
+This is the observability layer's end-to-end contract: a ``POST
+/images`` + ``POST /search`` cycle through the service must yield (a) a
+trace per request rooted at ``http.request`` with the platform and
+upload child spans beneath it, and (b) the matching counter deltas —
+without the caller wiring anything up.
+"""
+
+import pytest
+
+from repro import obs
+from repro.api import TVDPClient, TVDPService
+from repro.core import TVDP
+from repro.datasets import generate_lasan_dataset
+from repro.features import ColorHistogramExtractor
+from repro.obs import counters_delta
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@pytest.fixture()
+def client():
+    platform = TVDP()
+    platform.register_extractor(ColorHistogramExtractor())
+    service = TVDPService(platform, deterministic_keys=True)
+    client = TVDPClient(service)
+    user_id = client.register_user("cycle", role="researcher")
+    client.create_key(user_id)
+    return client
+
+
+def _tree_names(node):
+    return {node["name"]} | {n for c in node["children"] for n in _tree_names(c)}
+
+
+def test_upload_and_search_trace_and_counters(client):
+    record = generate_lasan_dataset(n_per_class=1, image_size=32, seed=0)[0]
+    before = obs.snapshot()
+
+    body = client.add_image(
+        record.image, record.fov, record.captured_at, record.uploaded_at,
+        keywords=record.keywords,
+    )
+    assert not body["deduplicated"]
+    results = client.search(
+        {
+            "type": "spatial",
+            "region": {
+                "min_lat": record.fov.camera.lat - 0.05,
+                "min_lng": record.fov.camera.lng - 0.05,
+                "max_lat": record.fov.camera.lat + 0.05,
+                "max_lng": record.fov.camera.lng + 0.05,
+            },
+        }
+    )
+    assert [r["image_id"] for r in results] == [body["image_id"]]
+
+    # -- span trees: one trace per request, rooted at the middleware ----
+    ring = obs.ring_buffer()
+    upload_span = ring.spans("platform.upload_image")[-1]
+    [upload_root] = ring.span_tree(trace_id=upload_span.trace_id)
+    assert upload_root["name"] == "http.request"
+    assert upload_root["attrs"]["route"] == "/images"
+    [platform_node] = upload_root["children"]
+    assert platform_node["name"] == "platform.upload_image"
+    child_names = [c["name"] for c in platform_node["children"]]
+    assert child_names[0] == "upload.dedup"
+    assert child_names[-1] == "upload.index_insert"
+    assert all(name.startswith("upload.") for name in child_names)
+
+    query_span = ring.spans("query.spatial")[-1]
+    [search_root] = ring.span_tree(trace_id=query_span.trace_id)
+    assert search_root["attrs"]["route"] == "/search"
+    assert "query.spatial" in _tree_names(search_root)
+    assert search_root["trace_id"] != upload_root["trace_id"]
+
+    # -- counter deltas for exactly this round trip ---------------------
+    delta = counters_delta(before, obs.snapshot())
+    assert delta['platform.uploads{outcome="stored"}'] == 1.0
+    assert delta['platform.queries{family="spatial"}'] == 1.0
+    assert delta['api.requests{method="POST",route="/images",status="201"}'] == 1.0
+    assert delta['api.requests{method="POST",route="/search",status="200"}'] == 1.0
+    assert delta['spans.total{span="http.request"}'] == 2.0
+    # The spatial search actually probed the R-tree.
+    assert delta.get("index.rtree.queries", 0) + delta.get(
+        "index.oriented.queries", 0
+    ) >= 1.0
+
+    # -- latency summaries surface through /stats -----------------------
+    latency = client.stats()["latency_ms"]
+    assert latency["platform.upload_image"]["count"] == 1
+    assert latency["query.spatial"]["count"] == 1
+    assert latency["http.request"]["count"] >= 2

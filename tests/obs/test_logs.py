@@ -1,0 +1,63 @@
+"""Structured logging carries the active span context."""
+
+import io
+import logging
+
+from repro import obs
+from repro.obs.logs import SpanContextFilter, configure_logging, get_logger
+
+
+class TestSpanContext:
+    def test_records_get_trace_ids_inside_span(self):
+        logger = get_logger("test.logs")
+        captured: list[logging.LogRecord] = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                captured.append(record)
+
+        handler = Capture()
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        try:
+            with obs.span("logging.op") as sp:
+                logger.info("inside")
+            logger.info("outside")
+        finally:
+            logger.removeHandler(handler)
+        inside, outside = captured
+        assert inside.trace_id == sp.trace_id
+        assert inside.span_id == sp.span_id
+        assert outside.trace_id == "-" and outside.span_id == "-"
+
+    def test_filter_defaults_without_span(self):
+        record = logging.LogRecord("n", logging.INFO, "p", 1, "m", (), None)
+        assert SpanContextFilter().filter(record) is True
+        assert record.trace_id == "-"
+
+    def test_logger_names_are_rooted(self):
+        assert get_logger("core.platform").name == "tvdp.core.platform"
+
+
+class TestConfigureLogging:
+    def test_formats_trace_fields(self):
+        stream = io.StringIO()
+        handler = configure_logging(logging.INFO, stream=stream)
+        logger = get_logger("test.configure")
+        try:
+            with obs.span("cfg.op") as sp:
+                logger.info("hello")
+        finally:
+            logging.getLogger("tvdp").removeHandler(handler)
+        line = stream.getvalue()
+        assert "hello" in line
+        assert f"trace={sp.trace_id}" in line
+        assert f"span={sp.span_id}" in line
+
+    def test_idempotent_per_stream(self):
+        stream = io.StringIO()
+        handler = configure_logging(stream=stream)
+        try:
+            assert configure_logging(stream=stream) is handler
+        finally:
+            logging.getLogger("tvdp").removeHandler(handler)

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""CI lint: library code must log through ``repro.obs``, not ``print``.
+
+Scans ``src/repro`` for ``print(`` calls and exits non-zero listing any
+hits.  ``__main__.py`` is exempt — the guided tour's stdout *is* its
+user interface.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+EXEMPT = {"__main__.py"}
+PATTERN = re.compile(r"(?<![\w.])print\(")
+
+
+def main() -> int:
+    violations: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name in EXEMPT:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            stripped = line.split("#", 1)[0]
+            if PATTERN.search(stripped):
+                violations.append(f"{path.relative_to(SRC.parent.parent)}:{lineno}: {line.strip()}")
+    if violations:
+        print("print() calls found in library code (use repro.obs.get_logger):")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(f"OK: no print() calls in {SRC} (excluding {sorted(EXEMPT)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
