@@ -1,10 +1,15 @@
 """``python -m repro`` — a two-minute guided tour of the platform.
 
 Runs a miniature end-to-end cycle (upload, query, annotate, translate,
-dispatch) and prints what happened at each step.  Pass ``--stats`` to
+dispatch) and narrates what happened at each step.  Pass ``--stats`` to
 also dump the observability snapshot (counters, gauges, latency
 histograms) the tour produced.  The full experiment reproductions live
 in ``examples/`` and ``benchmarks/``.
+
+The narration goes through :func:`repro.obs.console` — the library-wide
+``no-print`` lint holds here too, and routing the tour through the
+logging stack keeps its output joinable with trace ids when a host app
+reconfigures the console formatter.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ from __future__ import annotations
 import json
 import sys
 
-from repro import TVDP, __version__
+from repro import TVDP, __version__, obs
 from repro.analysis import cluster_encampments
 from repro.core import CategoricalQuery, SpatialQuery, TextualQuery, VisualQuery, explain
 from repro.datasets import generate_lasan_dataset
@@ -21,17 +26,19 @@ from repro.features import ColorHistogramExtractor
 from repro.geo import BoundingBox
 from repro.imaging import CLEANLINESS_CLASSES
 
+_out = obs.console("tour")
+
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(argv or ())
     show_stats = "--stats" in argv
-    print(f"TVDP reproduction v{__version__} — guided tour\n")
+    _out.info("TVDP reproduction v%s — guided tour\n", __version__)
 
     platform = TVDP()
     platform.register_extractor(ColorHistogramExtractor())
     platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
 
-    print("[acquisition] uploading 50 synthetic LASAN street images...")
+    _out.info("[acquisition] uploading 50 synthetic LASAN street images...")
     records = generate_lasan_dataset(n_per_class=10, image_size=40, seed=0)
     for record in records:
         receipt = platform.upload_image(
@@ -42,9 +49,9 @@ def main(argv: list[str] | None = None) -> int:
             receipt.image_id, "street_cleanliness", record.label, 1.0, "human"
         )
     platform.extract_features("color_hsv_20_20_10")
-    print(f"             rows: {platform.stats()['rows']['images']} images\n")
+    _out.info("             rows: %s images\n", platform.stats()["rows"]["images"])
 
-    print("[access] one query per family:")
+    _out.info("[access] one query per family:")
     block = BoundingBox(34.035, -118.26, 34.05, -118.24)
     for query in (
         SpatialQuery(region=block),
@@ -53,29 +60,29 @@ def main(argv: list[str] | None = None) -> int:
         VisualQuery(extractor_name="color_hsv_20_20_10", example=records[0].image, k=5),
     ):
         plan = explain(platform, query, analyze=True)
-        print("  " + plan.render().replace("\n", "\n  "))
-    print()
+        _out.info("  %s", plan.render().replace("\n", "\n  "))
+    _out.info("")
 
-    print("[analysis -> translation] homeless study over shared annotations:")
+    _out.info("[analysis -> translation] homeless study over shared annotations:")
     report = cluster_encampments(platform, min_confidence=0.5, eps_m=600.0, min_samples=2)
-    print(
-        f"  {report.total_sightings} encampment sightings -> "
-        f"{report.n_clusters} clusters (+{report.noise_sightings} isolated)\n"
+    _out.info(
+        "  %s encampment sightings -> %s clusters (+%s isolated)\n",
+        report.total_sightings, report.n_clusters, report.noise_sightings,
     )
 
-    print("[action] capability-aware model dispatch (1 s latency budget):")
+    _out.info("[action] capability-aware model dispatch (1 s latency budget):")
     for name, decision in sorted(
         dispatch_fleet(list(PAPER_DEVICES), list(PAPER_MODELS), 1_000.0).items()
     ):
-        print(
-            f"  {name:<18} -> {decision.model.name:<14} "
-            f"({decision.predicted_latency_ms:.0f} ms predicted)"
+        _out.info(
+            "  %-18s -> %-14s (%.0f ms predicted)",
+            name, decision.model.name, decision.predicted_latency_ms,
         )
-    print("\ndone — see examples/ and benchmarks/ for the full reproductions.")
+    _out.info("\ndone — see examples/ and benchmarks/ for the full reproductions.")
 
     if show_stats:
-        print("\n[observability] metrics snapshot for this tour:")
-        print(json.dumps(platform.metrics_snapshot(), indent=2, sort_keys=True))
+        _out.info("\n[observability] metrics snapshot for this tour:")
+        _out.info(json.dumps(platform.metrics_snapshot(), indent=2, sort_keys=True))
     return 0
 
 

@@ -55,6 +55,15 @@ from repro.imaging.image import Image
 from repro.ml.linear import LogisticRegression
 from repro.ml.svm import LinearSVM
 
+_log = obs.get_logger("api.service")
+
+#: What untrusted payload parsing can legitimately raise: missing keys,
+#: wrong shapes/types, bad numeric values, and domain validation errors.
+#: Anything else (AttributeError, MemoryError, ...) is a bug and must
+#: propagate to the router's 500 boundary handler instead of being
+#: rebranded as a client error.
+_PAYLOAD_ERRORS = (KeyError, TypeError, ValueError, TVDPError)
+
 
 def image_to_payload(image: Image) -> dict:
     """JSON-compatible encoding of an image (8-bit nested lists)."""
@@ -67,7 +76,8 @@ def image_from_payload(payload: dict) -> Image:
         raise APIError(400, "image payload missing 'pixels_u8'")
     try:
         return Image.from_uint8(np.array(payload["pixels_u8"], dtype=np.uint8))
-    except Exception as exc:
+    except _PAYLOAD_ERRORS as exc:
+        _log.debug("rejected image payload", exc_info=True)
         raise APIError(400, f"bad image payload: {exc}") from exc
 
 
@@ -178,7 +188,8 @@ class TVDPService:
                 raise APIError(400, f"missing field {required!r}")
         try:
             fov = FieldOfView.from_dict(body["fov"])
-        except Exception as exc:
+        except _PAYLOAD_ERRORS as exc:
+            _log.debug("rejected fov payload", exc_info=True)
             raise APIError(400, f"bad fov: {exc}") from exc
         receipt = self.platform.upload_image(
             image=image_from_payload(body["image"]),
@@ -483,7 +494,8 @@ class TVDPService:
                 min_directions=int(body.get("min_directions", 1)),
                 reward_per_task=float(body.get("reward_per_task", 1.0)),
             )
-        except Exception as exc:
+        except _PAYLOAD_ERRORS as exc:
+            _log.debug("rejected campaign spec", exc_info=True)
             raise APIError(400, f"bad campaign spec: {exc}") from exc
         self._campaigns[campaign.campaign_id] = campaign
         self._next_campaign_id += 1
@@ -552,7 +564,8 @@ class TVDPService:
             raise APIError(404, f"no open task {body['task_id']} in campaign")
         try:
             fov = FieldOfView.from_dict(body["fov"])
-        except Exception as exc:
+        except _PAYLOAD_ERRORS as exc:
+            _log.debug("rejected fov payload", exc_info=True)
             raise APIError(400, f"bad fov: {exc}") from exc
         receipt = self.platform.upload_image(
             image=image_from_payload(body["image"]),

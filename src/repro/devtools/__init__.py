@@ -1,0 +1,66 @@
+"""Static-analysis suite guarding the platform's architecture.
+
+Four families of AST-based checks keep the codebase honest as it
+grows (``docs/static_analysis.md`` has the full rule catalogue):
+
+* **layer-boundary** — the package-dependency DAG (geo/imaging at the
+  bottom, features/ml/index/db mid, core above, api/edge/crowd/analysis
+  on top, ``obs`` importable everywhere) is machine-checked, including
+  lazy function-local imports.
+* **concurrency** — module-level mutable state mutated outside a lock,
+  and unlocked mutations of index / metrics-registry internals.
+* **correctness** — silently-swallowing broad ``except`` clauses,
+  mutable default arguments, ``print()`` in library code, and
+  out-of-range latitude/longitude literals.
+* **typecheck** — a mypy ratchet over an allowlist of fully-annotated
+  modules (``repro.devtools.typecheck``).
+
+Run the suite with ``python -m repro.devtools.check`` (or just
+``python -m repro.devtools``).  Findings are suppressed either by an
+inline ``# devtools: allow[rule-id]`` comment on (or directly above)
+the offending line, or by a checked-in baseline file of fingerprints
+(``tools/devtools_baseline.json``); only *new* findings fail the run.
+
+This package deliberately imports nothing from the rest of ``repro`` —
+it sits outside the layer DAG it enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.devtools.findings import Finding, load_baseline, write_baseline
+from repro.devtools.layers import DEFAULT_LAYER_CONFIG, LayerConfig, check_layers
+from repro.devtools.concurrency import check_concurrency
+from repro.devtools.correctness import (
+    check_broad_except,
+    check_geo_literals,
+    check_mutable_defaults,
+    check_no_print,
+)
+
+__all__ = [
+    "CheckResult",
+    "DEFAULT_LAYER_CONFIG",
+    "Finding",
+    "LayerConfig",
+    "check_broad_except",
+    "check_concurrency",
+    "check_geo_literals",
+    "check_layers",
+    "check_mutable_defaults",
+    "check_no_print",
+    "load_baseline",
+    "run_check",
+    "write_baseline",
+]
+
+
+def __getattr__(name: str) -> Any:
+    # check.py is imported lazily so ``python -m repro.devtools.check``
+    # doesn't trip runpy's found-in-sys.modules warning.
+    if name in ("CheckResult", "run_check"):
+        from repro.devtools import check
+
+        return getattr(check, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

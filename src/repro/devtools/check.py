@@ -1,0 +1,222 @@
+"""The ``python -m repro.devtools.check`` entry point.
+
+Runs every static-analysis pass over ``src/repro``, subtracts the
+checked-in baseline, and exits non-zero on any *new* finding.  Output
+is a human report by default, a machine-readable document with
+``--json`` (CI consumes the exit code, tooling consumes the JSON).
+
+Typical workflows::
+
+    python -m repro.devtools.check                  # gate: fail on new findings
+    python -m repro.devtools.check --json           # machine-readable report
+    python -m repro.devtools.check --write-baseline # accept current findings
+    python -m repro.devtools.check --no-baseline    # show everything, even accepted
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.concurrency import DEFAULT_CRITICAL_GLOBS, check_concurrency
+from repro.devtools.correctness import (
+    check_broad_except,
+    check_geo_literals,
+    check_mutable_defaults,
+    check_no_print,
+)
+from repro.devtools.findings import (
+    Finding,
+    collect_modules,
+    load_baseline,
+    split_new,
+    write_baseline,
+)
+from repro.devtools.layers import DEFAULT_LAYER_CONFIG, LayerConfig, check_layers
+
+#: Every rule id the suite can emit, for --select validation and docs.
+ALL_RULES: tuple[str, ...] = (
+    "layer-boundary",
+    "module-mutable-state",
+    "unlocked-mutation",
+    "broad-except",
+    "mutable-default",
+    "no-print",
+    "geo-range",
+)
+
+
+def _default_paths() -> tuple[Path, Path, Path]:
+    """(scan root, repo root, baseline path) for the installed tree."""
+    package_root = Path(__file__).resolve().parents[1]  # src/repro
+    repo_root = package_root.parents[1]  # the checkout (src/..)
+    baseline = repo_root / "tools" / "devtools_baseline.json"
+    return package_root, repo_root, baseline
+
+
+@dataclass(slots=True)
+class CheckResult:
+    """Everything one suite run produced."""
+
+    findings: list[Finding]  # all, before baseline subtraction
+    new: list[Finding]
+    suppressed: list[Finding]
+    modules_scanned: int
+    rules: tuple[str, ...] = ALL_RULES
+    by_rule: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "modules_scanned": self.modules_scanned,
+            "rules": list(self.rules),
+            "counts": {
+                "total": len(self.findings),
+                "new": len(self.new),
+                "baselined": len(self.suppressed),
+                "by_rule": self.by_rule,
+            },
+            "new_findings": [f.to_dict() for f in self.new],
+            "baselined_findings": [f.to_dict() for f in self.suppressed],
+        }
+
+
+def run_check(
+    root: Path | None = None,
+    repo_root: Path | None = None,
+    layer_config: LayerConfig = DEFAULT_LAYER_CONFIG,
+    critical_globs: tuple[str, ...] = DEFAULT_CRITICAL_GLOBS,
+    baseline: list[str] | None = None,
+    select: tuple[str, ...] | None = None,
+) -> CheckResult:
+    """Run the suite over ``root`` (default: the installed ``repro``
+    package) and partition findings against ``baseline``."""
+    default_root, default_repo, _ = _default_paths()
+    scan_root = root if root is not None else default_root
+    base = repo_root if repo_root is not None else default_repo
+    modules = collect_modules(scan_root, repo_root=base)
+    scope_cache: dict = {}
+    selected = set(select) if select is not None else set(ALL_RULES)
+    unknown = selected - set(ALL_RULES)
+    if unknown:
+        raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+
+    findings: list[Finding] = []
+    if "layer-boundary" in selected:
+        findings += check_layers(modules, scan_root, layer_config)
+    if {"module-mutable-state", "unlocked-mutation"} & selected:
+        concurrency = check_concurrency(modules, critical_globs, scope_cache)
+        findings += [f for f in concurrency if f.rule in selected]
+    if "broad-except" in selected:
+        findings += check_broad_except(modules, scope_cache)
+    if "mutable-default" in selected:
+        findings += check_mutable_defaults(modules, scope_cache)
+    if "no-print" in selected:
+        findings += check_no_print(modules, scope_cache)
+    if "geo-range" in selected:
+        findings += check_geo_literals(modules, scope_cache)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    new, suppressed = split_new(findings, baseline or [])
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    return CheckResult(
+        findings=findings,
+        new=new,
+        suppressed=suppressed,
+        modules_scanned=len(modules),
+        by_rule=by_rule,
+    )
+
+
+def _render_human(result: CheckResult, baseline_path: Path | None) -> str:
+    lines: list[str] = []
+    if result.new:
+        lines.append(f"repro.devtools.check: {len(result.new)} new finding(s)")
+        for finding in result.new:
+            lines.append(f"  {finding.render()}")
+        lines.append("")
+        lines.append(
+            "Fix the findings, add an inline '# devtools: allow[rule-id]' with a "
+            "reason, or accept them with --write-baseline."
+        )
+    else:
+        lines.append(
+            f"repro.devtools.check: OK — {result.modules_scanned} modules, "
+            f"{len(result.suppressed)} baselined finding(s), 0 new"
+        )
+    if result.suppressed and baseline_path is not None:
+        lines.append(
+            f"({len(result.suppressed)} finding(s) suppressed by {baseline_path})"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.check",
+        description="TVDP static-analysis suite (layer DAG, concurrency, correctness).",
+    )
+    parser.add_argument("--root", type=Path, default=None, help="package dir to scan")
+    parser.add_argument(
+        "--repo-root", type=Path, default=None, help="base dir for reported paths"
+    )
+    parser.add_argument("--baseline", type=Path, default=None, help="baseline file")
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline file"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument(
+        "--select",
+        default=None,
+        help=f"comma-separated rule ids to run (default: all of {', '.join(ALL_RULES)})",
+    )
+    args = parser.parse_args(argv)
+
+    _, _, default_baseline = _default_paths()
+    baseline_path = args.baseline if args.baseline is not None else default_baseline
+    baseline = [] if args.no_baseline else load_baseline(baseline_path)
+    select = (
+        tuple(part.strip() for part in args.select.split(",") if part.strip())
+        if args.select
+        else None
+    )
+    try:
+        result = run_check(
+            root=args.root,
+            repo_root=args.repo_root,
+            baseline=baseline,
+            select=select,
+        )
+    except ValueError as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
+
+    if args.write_baseline:
+        write_baseline(baseline_path, result.findings)
+        sys.stdout.write(
+            f"wrote {len(result.findings)} suppression(s) to {baseline_path}\n"
+        )
+        return 0
+    if args.json:
+        sys.stdout.write(json.dumps(result.to_dict(), indent=2) + "\n")
+    else:
+        sys.stdout.write(_render_human(result, baseline_path) + "\n")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,244 @@
+"""Correctness lints: the mistakes this codebase has actually made.
+
+* ``broad-except`` — a bare ``except:`` / ``except Exception:`` whose
+  handler neither re-raises, nor logs, nor counts the error.  Swallowed
+  failures are invisible failures; the API boundary is allowed to
+  translate exceptions *because* it logs and bumps ``api.errors``.
+* ``mutable-default`` — ``def f(x=[])`` shares one list across calls.
+* ``no-print`` — library code reports through ``repro.obs`` loggers,
+  never ``print()`` (this rule absorbed ``tools/check_no_print.py``).
+* ``geo-range`` — literal latitudes outside [-90, 90] or longitudes
+  outside [-180, 180] passed to geographic constructors or lat/lng
+  keywords; a transposed ``GeoPoint(lng, lat)`` fails at runtime only
+  for |lng| > 90, so the static check catches what tests may miss.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.findings import Finding, SourceModule, scope_of
+
+RULE_BROAD_EXCEPT = "broad-except"
+RULE_MUTABLE_DEFAULT = "mutable-default"
+RULE_NO_PRINT = "no-print"
+RULE_GEO_RANGE = "geo-range"
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log"}
+)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "deque", "defaultdict"})
+
+_LAT_KEYWORDS = frozenset({"lat", "latitude", "min_lat", "max_lat", "center_lat"})
+_LNG_KEYWORDS = frozenset(
+    {"lng", "lon", "longitude", "min_lng", "max_lng", "center_lng"}
+)
+
+
+def _type_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    if _type_name(handler.type) in _BROAD_NAMES:
+        return True
+    if isinstance(handler.type, ast.Tuple):
+        return any(_type_name(el) in _BROAD_NAMES for el in handler.type.elts)
+    return False
+
+
+def _handler_accounts_for_error(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises, logs, or counts the failure."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _LOG_METHODS:
+                return True
+            if node.func.attr == "inc":  # error-counter bump
+                return True
+    return False
+
+
+def check_broad_except(
+    modules: list[SourceModule], scope_cache: dict | None = None
+) -> list[Finding]:
+    cache: dict = scope_cache if scope_cache is not None else {}
+    findings: list[Finding] = []
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node) or _handler_accounts_for_error(node):
+                continue
+            if module.allows(RULE_BROAD_EXCEPT, node.lineno):
+                continue
+            caught = "bare except" if node.type is None else f"except {_type_name(node.type) or '...'}"
+            findings.append(
+                Finding(
+                    rule=RULE_BROAD_EXCEPT,
+                    path=module.rel_path,
+                    line=node.lineno,
+                    message=(
+                        f"{caught} swallows the error: re-raise, log via "
+                        f"repro.obs.get_logger, or count it — or narrow the clause"
+                    ),
+                    scope=scope_of(module, node.lineno, cache),
+                )
+            )
+    return findings
+
+
+def check_mutable_defaults(
+    modules: list[SourceModule], scope_cache: dict | None = None
+) -> list[Finding]:
+    cache: dict = scope_cache if scope_cache is not None else {}
+    findings: list[Finding] = []
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                bad = isinstance(default, (ast.List, ast.Dict, ast.Set))
+                if isinstance(default, ast.Call) and isinstance(default.func, ast.Name):
+                    bad = bad or default.func.id in _MUTABLE_CALLS
+                if not bad or module.allows(RULE_MUTABLE_DEFAULT, default.lineno):
+                    continue
+                findings.append(
+                    Finding(
+                        rule=RULE_MUTABLE_DEFAULT,
+                        path=module.rel_path,
+                        line=default.lineno,
+                        message=(
+                            f"mutable default argument in {node.name}(): the object "
+                            f"is shared across calls; default to None instead"
+                        ),
+                        scope=scope_of(module, node.lineno, cache),
+                    )
+                )
+    return findings
+
+
+def check_no_print(
+    modules: list[SourceModule], scope_cache: dict | None = None
+) -> list[Finding]:
+    cache: dict = scope_cache if scope_cache is not None else {}
+    findings: list[Finding] = []
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                continue
+            if module.allows(RULE_NO_PRINT, node.lineno):
+                continue
+            findings.append(
+                Finding(
+                    rule=RULE_NO_PRINT,
+                    path=module.rel_path,
+                    line=node.lineno,
+                    message=(
+                        "print() in library code: use repro.obs.get_logger "
+                        "(or obs.console for CLI-facing output)"
+                    ),
+                    scope=scope_of(module, node.lineno, cache),
+                )
+            )
+    return findings
+
+
+def _literal_number(node: ast.AST) -> float | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _literal_number(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    return None
+
+
+def _geo_violation(kind: str, value: float) -> str | None:
+    if kind == "lat" and not (-90.0 <= value <= 90.0):
+        return f"latitude literal {value:g} outside [-90, 90]"
+    if kind == "lng" and not (-180.0 <= value <= 180.0):
+        return f"longitude literal {value:g} outside [-180, 180]"
+    return None
+
+
+def check_geo_literals(
+    modules: list[SourceModule], scope_cache: dict | None = None
+) -> list[Finding]:
+    """Out-of-range lat/lng literal heuristics at geo call sites."""
+    cache: dict = scope_cache if scope_cache is not None else {}
+    # Positional argument meanings of the geographic constructors.
+    positional = {
+        "GeoPoint": ("lat", "lng"),
+        "BoundingBox": ("lat", "lng", "lat", "lng"),
+    }
+    findings: list[Finding] = []
+
+    def report(module: SourceModule, line: int, message: str) -> None:
+        if module.allows(RULE_GEO_RANGE, line):
+            return
+        findings.append(
+            Finding(
+                rule=RULE_GEO_RANGE,
+                path=module.rel_path,
+                line=line,
+                message=message,
+                scope=scope_of(module, line, cache),
+            )
+        )
+
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func_name = _type_name(node.func)
+            kinds = positional.get(func_name)
+            if kinds is not None:
+                for kind, arg in zip(kinds, node.args):
+                    value = _literal_number(arg)
+                    if value is None:
+                        continue
+                    problem = _geo_violation(kind, value)
+                    if problem:
+                        report(
+                            module,
+                            arg.lineno,
+                            f"{problem} in {func_name}(...) — lat/lng transposed?",
+                        )
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                kind = (
+                    "lat"
+                    if keyword.arg in _LAT_KEYWORDS
+                    else "lng"
+                    if keyword.arg in _LNG_KEYWORDS
+                    else None
+                )
+                if kind is None:
+                    continue
+                value = _literal_number(keyword.value)
+                if value is None:
+                    continue
+                problem = _geo_violation(kind, value)
+                if problem:
+                    report(module, keyword.value.lineno, f"{problem} ({keyword.arg}=...)")
+    return findings

@@ -1,0 +1,181 @@
+"""Finding records, inline suppression, and the baseline workflow.
+
+A finding is one rule violation at one source location.  Findings carry
+a *fingerprint* — ``rule:path:scope`` where ``scope`` is the enclosing
+``class.method`` (or the imported package, for layer findings) — that
+is stable across unrelated edits to the file, so a checked-in baseline
+keeps suppressing the same legacy finding even as line numbers move.
+
+Baselines are multisets: a baseline entry suppresses *one* occurrence
+of its fingerprint, so introducing a second identical violation in the
+same scope still fails the build.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_ALLOW_RE = re.compile(r"#\s*devtools:\s*allow\[([a-z0-9_,\- ]+)\]")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    message: str
+    scope: str = ""  # enclosing qualname / import target; fingerprint part
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule}:{self.path}:{self.scope}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass(slots=True)
+class SourceModule:
+    """One parsed module plus everything the passes need from it."""
+
+    path: Path  # absolute
+    rel_path: str  # repo-relative, forward slashes
+    text: str
+    tree: ast.Module
+    allow_lines: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def allows(self, rule: str, line: int) -> bool:
+        """True when an ``# devtools: allow[rule]`` comment covers
+        ``line`` (same line or the line directly above)."""
+        for lineno in (line, line - 1):
+            rules = self.allow_lines.get(lineno)
+            if rules is not None and (rule in rules or "all" in rules):
+                return True
+        return False
+
+
+def parse_module(path: Path, rel_path: str) -> SourceModule | None:
+    """Parse one file; returns ``None`` for unreadable/unparsable files
+    (the check CLI reports those separately)."""
+    try:
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+    except (OSError, SyntaxError, ValueError):
+        return None
+    allow_lines: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match:
+            rules = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            allow_lines[lineno] = rules
+    return SourceModule(
+        path=path, rel_path=rel_path, text=text, tree=tree, allow_lines=allow_lines
+    )
+
+
+def collect_modules(root: Path, repo_root: Path | None = None) -> list[SourceModule]:
+    """Parse every ``*.py`` under ``root``; paths are reported relative
+    to ``repo_root`` (default: ``root``'s parent)."""
+    base = repo_root if repo_root is not None else root.parent
+    modules = []
+    for path in sorted(root.rglob("*.py")):
+        try:
+            rel = path.relative_to(base).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        module = parse_module(path, rel)
+        if module is not None:
+            modules.append(module)
+    return modules
+
+
+def enclosing_scopes(tree: ast.Module) -> dict[int, str]:
+    """Map each statement line to its enclosing ``Class.method``
+    qualname (module-level lines map to ``"<module>"``)."""
+    scopes: dict[int, str] = {}
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                qualname = f"{prefix}.{child.name}" if prefix else child.name
+                end = getattr(child, "end_lineno", child.lineno) or child.lineno
+                for lineno in range(child.lineno, end + 1):
+                    scopes[lineno] = qualname
+                visit(child, qualname)
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return scopes
+
+
+def scope_of(module: SourceModule, line: int, cache: dict[str, dict[int, str]]) -> str:
+    """Enclosing qualname of ``line`` in ``module`` (memoised per file)."""
+    scopes = cache.get(module.rel_path)
+    if scopes is None:
+        scopes = enclosing_scopes(module.tree)
+        cache[module.rel_path] = scopes
+    return scopes.get(line, "<module>")
+
+
+# -- baseline -----------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> list[str]:
+    """Fingerprints recorded in a baseline file (missing file = empty)."""
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("suppressions", []) if isinstance(data, dict) else data
+    return [str(entry) for entry in entries]
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Record every finding's fingerprint as the new baseline."""
+    payload = {
+        "comment": (
+            "Accepted legacy findings for repro.devtools.check; regenerate "
+            "with --write-baseline.  New findings are never auto-accepted."
+        ),
+        "suppressions": sorted(f.fingerprint for f in findings),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_new(
+    findings: list[Finding], baseline: list[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into (new, baselined) using multiset
+    semantics: each baseline entry absorbs one occurrence."""
+    budget: dict[str, int] = {}
+    for fingerprint in baseline:
+        budget[fingerprint] = budget.get(fingerprint, 0) + 1
+    new: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        remaining = budget.get(finding.fingerprint, 0)
+        if remaining > 0:
+            budget[finding.fingerprint] = remaining - 1
+            suppressed.append(finding)
+        else:
+            new.append(finding)
+    return new, suppressed

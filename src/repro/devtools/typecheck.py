@@ -1,0 +1,159 @@
+"""mypy ratchet: type-checking gated on a recorded per-file baseline.
+
+``pyproject.toml`` configures mypy leniently for the bulk of the tree
+and strictly for an allowlist of fully-annotated modules.  This wrapper
+runs mypy, tallies errors per file, and compares against the committed
+baseline (``tools/mypy_baseline.json``):
+
+* a file exceeding its recorded error count fails the run (regression),
+* a file dropping below it prints a ratchet hint (run ``--update``),
+* when mypy is not installed the wrapper reports that and exits 0, so
+  the local test suite stays runnable in minimal environments while CI
+  (which installs mypy) enforces the gate.
+
+Run as ``python -m repro.devtools.typecheck [--update] [--json]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+_ERROR_RE = re.compile(r"^(?P<path>[^:\n]+):(?P<line>\d+):(?:\d+:)?\s*error:")
+
+
+def mypy_available() -> bool:
+    return importlib.util.find_spec("mypy") is not None
+
+
+def run_mypy(repo_root: Path) -> tuple[int, str]:
+    """Invoke mypy with the pyproject config; returns (exit, stdout)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def errors_by_file(output: str) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for line in output.splitlines():
+        match = _ERROR_RE.match(line.strip())
+        if match:
+            path = match.group("path").replace("\\", "/")
+            counts[path] = counts.get(path, 0) + 1
+    return counts
+
+
+def load_mypy_baseline(path: Path) -> dict[str, int]:
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    files = data.get("files", data) if isinstance(data, dict) else {}
+    return {str(k): int(v) for k, v in files.items()}
+
+
+def compare(
+    counts: dict[str, int], baseline: dict[str, int]
+) -> tuple[list[str], list[str]]:
+    """(regressions, improvements) versus the baseline."""
+    regressions: list[str] = []
+    improvements: list[str] = []
+    for path in sorted(set(counts) | set(baseline)):
+        now = counts.get(path, 0)
+        recorded = baseline.get(path, 0)
+        if now > recorded:
+            regressions.append(f"{path}: {recorded} -> {now} error(s)")
+        elif now < recorded:
+            improvements.append(f"{path}: {recorded} -> {now} error(s)")
+    return regressions, improvements
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.devtools.typecheck")
+    parser.add_argument("--repo-root", type=Path, default=None)
+    parser.add_argument("--baseline", type=Path, default=None)
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline to current counts"
+    )
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    repo_root = (
+        args.repo_root
+        if args.repo_root is not None
+        else Path(__file__).resolve().parents[3]
+    )
+    baseline_path = (
+        args.baseline
+        if args.baseline is not None
+        else repo_root / "tools" / "mypy_baseline.json"
+    )
+
+    if not mypy_available():
+        sys.stdout.write(
+            "repro.devtools.typecheck: mypy is not installed — skipping "
+            "(CI installs it and enforces the baseline)\n"
+        )
+        return 0
+
+    exit_code, output = run_mypy(repo_root)
+    counts = errors_by_file(output)
+    if exit_code >= 2 and not counts:  # config/crash error, not type errors
+        sys.stderr.write(output)
+        return exit_code
+    baseline = load_mypy_baseline(baseline_path)
+    regressions, improvements = compare(counts, baseline)
+
+    if args.update:
+        payload = {
+            "comment": "Per-file mypy error counts accepted as the ratchet baseline.",
+            "files": dict(sorted(counts.items())),
+        }
+        baseline_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        sys.stdout.write(f"wrote baseline for {len(counts)} file(s) to {baseline_path}\n")
+        return 0
+
+    if args.json:
+        sys.stdout.write(
+            json.dumps(
+                {
+                    "ok": not regressions,
+                    "errors_by_file": counts,
+                    "regressions": regressions,
+                    "improvements": improvements,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+    else:
+        if regressions:
+            sys.stdout.write("mypy regressions versus the recorded baseline:\n")
+            for line in regressions:
+                sys.stdout.write(f"  {line}\n")
+            sys.stdout.write(output)
+        else:
+            total = sum(counts.values())
+            sys.stdout.write(
+                f"repro.devtools.typecheck: OK — {total} baselined error(s), no regressions\n"
+            )
+        if improvements:
+            sys.stdout.write(
+                "ratchet opportunity (run with --update to lock in):\n"
+            )
+            for line in improvements:
+                sys.stdout.write(f"  {line}\n")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,8 @@ ablation bench compares the two.
 
 from __future__ import annotations
 
+import threading
+
 from repro.geo.point import BoundingBox, GeoPoint
 from repro.geo.regions import RegionGrid
 
@@ -22,6 +24,7 @@ class GridIndex:
         self._cells: dict[tuple[int, int], list[tuple[object, GeoPoint]]] = {}
         self._overflow: list[tuple[object, GeoPoint]] = []
         self._size = 0
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return self._size
@@ -29,11 +32,12 @@ class GridIndex:
     def insert(self, item: object, point: GeoPoint) -> None:
         """Index an item at a point."""
         cell = self._grid.cell_of(point)
-        if cell is None:
-            self._overflow.append((item, point))
-        else:
-            self._cells.setdefault((cell.row, cell.col), []).append((item, point))
-        self._size += 1
+        with self._lock:
+            if cell is None:
+                self._overflow.append((item, point))
+            else:
+                self._cells.setdefault((cell.row, cell.col), []).append((item, point))
+            self._size += 1
 
     def search_range(self, box: BoundingBox) -> list[object]:
         """Items whose point lies inside ``box``."""

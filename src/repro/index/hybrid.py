@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 
 import numpy as np
 
@@ -88,6 +89,7 @@ class VisualRTree:
         self.min_entries = max(2, int(0.4 * max_entries))
         self._root = _VNode(leaf=True)
         self._size = 0
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return self._size
@@ -102,13 +104,14 @@ class VisualRTree:
                 f"expected {self.dimension}-D vector, got {vector.shape[0]}-D"
             )
         box = BoundingBox(point.lat, point.lng, point.lat, point.lng)
-        split = self._insert(self._root, (box, vector, item))
-        if split is not None:
-            old_root = self._root
-            self._root = _VNode(leaf=False)
-            self._root.entries = [old_root, split]
-            self._root.refresh()
-        self._size += 1
+        with self._lock:
+            split = self._insert(self._root, (box, vector, item))
+            if split is not None:
+                old_root = self._root
+                self._root = _VNode(leaf=False)
+                self._root.entries = [old_root, split]
+                self._root.refresh()
+            self._size += 1
 
     def _insert(self, node: _VNode, entry: tuple) -> "_VNode | None":
         if node.leaf:

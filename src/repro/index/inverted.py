@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import math
 import re
+import threading
 from collections import Counter
 
 from repro.errors import IndexError_
@@ -37,6 +38,7 @@ class InvertedIndex:
     def __init__(self) -> None:
         self._postings: dict[str, dict[object, int]] = {}
         self._doc_lengths: dict[object, int] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._doc_lengths)
@@ -47,23 +49,25 @@ class InvertedIndex:
     def add(self, doc_id: object, text: str) -> None:
         """Index a document; adding the same id again extends it."""
         tokens = tokenize(text)
-        self._doc_lengths[doc_id] = self._doc_lengths.get(doc_id, 0) + len(tokens)
-        for term, count in Counter(tokens).items():
-            bucket = self._postings.setdefault(term, {})
-            bucket[doc_id] = bucket.get(doc_id, 0) + count
+        with self._lock:
+            self._doc_lengths[doc_id] = self._doc_lengths.get(doc_id, 0) + len(tokens)
+            for term, count in Counter(tokens).items():
+                bucket = self._postings.setdefault(term, {})
+                bucket[doc_id] = bucket.get(doc_id, 0) + count
 
     def remove(self, doc_id: object) -> None:
         """Drop a document from every posting list."""
-        if doc_id not in self._doc_lengths:
-            raise IndexError_(f"document {doc_id!r} not indexed")
-        del self._doc_lengths[doc_id]
-        empty_terms = []
-        for term, bucket in self._postings.items():
-            bucket.pop(doc_id, None)
-            if not bucket:
-                empty_terms.append(term)
-        for term in empty_terms:
-            del self._postings[term]
+        with self._lock:
+            if doc_id not in self._doc_lengths:
+                raise IndexError_(f"document {doc_id!r} not indexed")
+            del self._doc_lengths[doc_id]
+            empty_terms = []
+            for term, bucket in self._postings.items():
+                bucket.pop(doc_id, None)
+                if not bucket:
+                    empty_terms.append(term)
+            for term in empty_terms:
+                del self._postings[term]
 
     def _idf(self, term: str) -> float:
         df = len(self._postings.get(term, ()))

@@ -10,6 +10,8 @@ images using a similarity threshold").
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.errors import IndexError_
@@ -55,6 +57,9 @@ class LSHIndex:
         self._matrix_rows: list[np.ndarray] = []
         self._row_of: dict[object, int] = {}
         self._matrix_cache: np.ndarray | None = None
+        # One lock covers inserts and the lazy matrix build: a query
+        # racing an insert must not vstack a half-updated row list.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._vectors)
@@ -78,16 +83,18 @@ class LSHIndex:
 
     def insert(self, item: object, vector: np.ndarray) -> None:
         """Index a feature vector under an opaque item id."""
-        if item in self._vectors:
-            raise IndexError_(f"item {item!r} already indexed")
         vector = self._check_vector(vector)
-        self._vectors[item] = vector
-        self._row_of[item] = len(self._items)
-        self._items.append(item)
-        self._matrix_rows.append(vector)
-        self._matrix_cache = None
-        for table, key in zip(self._tables, self._keys(vector)):
-            table.setdefault(key, []).append(item)
+        keys = self._keys(vector)
+        with self._lock:
+            if item in self._vectors:
+                raise IndexError_(f"item {item!r} already indexed")
+            self._vectors[item] = vector
+            self._row_of[item] = len(self._items)
+            self._items.append(item)
+            self._matrix_rows.append(vector)
+            self._matrix_cache = None
+            for table, key in zip(self._tables, keys):
+                table.setdefault(key, []).append(item)
 
     # -- queries ------------------------------------------------------------
 
@@ -159,6 +166,7 @@ class LSHIndex:
         return [(self._items[int(i)], float(distances[int(i)])) for i in order]
 
     def _dense_matrix(self) -> np.ndarray:
-        if self._matrix_cache is None:
-            self._matrix_cache = np.vstack(self._matrix_rows)
-        return self._matrix_cache
+        with self._lock:
+            if self._matrix_cache is None:
+                self._matrix_cache = np.vstack(self._matrix_rows)
+            return self._matrix_cache

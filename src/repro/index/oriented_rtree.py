@@ -11,10 +11,12 @@ the sector granularity.
 
 from __future__ import annotations
 
+import threading
+
 from repro.errors import IndexError_
 from repro.geo.fov import FieldOfView
 from repro.geo.geodesy import angular_difference_deg, normalize_bearing
-from repro.geo.point import BoundingBox
+from repro.geo.point import BoundingBox, GeoPoint
 from repro.index.rtree import RTree
 from repro.obs import metrics as _metrics
 
@@ -53,16 +55,18 @@ class OrientedRTree:
     def __init__(self, max_entries: int = 8) -> None:
         self._tree = RTree(max_entries=max_entries)
         self._fovs: dict[object, FieldOfView] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._tree)
 
     def insert(self, item: object, fov: FieldOfView) -> None:
         """Index one image's FOV."""
-        if item in self._fovs:
-            raise IndexError_(f"item {item!r} already indexed")
-        self._fovs[item] = fov
-        self._tree.insert((item, direction_mask(fov.direction_deg)), fov.mbr())
+        with self._lock:
+            if item in self._fovs:
+                raise IndexError_(f"item {item!r} already indexed")
+            self._fovs[item] = fov
+            self._tree.insert((item, direction_mask(fov.direction_deg)), fov.mbr())
 
     def fov_of(self, item: object) -> FieldOfView:
         """The FOV an item was indexed with."""
@@ -119,8 +123,6 @@ class OrientedRTree:
     ) -> list[object]:
         """Items whose FOV contains the query point (i.e. images that
         *depict* this location), optionally direction-filtered."""
-        from repro.geo.point import GeoPoint
-
         point = GeoPoint(lat, lng)
         probe = BoundingBox(lat, lng, lat, lng)
         results = []

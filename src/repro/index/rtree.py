@@ -10,6 +10,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -84,6 +85,10 @@ class RTree:
         self.min_entries = max(2, int(0.4 * max_entries))
         self._root = _Node(leaf=True)
         self._size = 0
+        # Guards structural mutation: the API layer shares one tree
+        # across worker threads, and a reader racing a node split would
+        # see a half-linked tree.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return self._size
@@ -93,12 +98,13 @@ class RTree:
     def insert(self, item: object, box: BoundingBox) -> None:
         """Insert an item under its bounding box."""
         entry = _Entry(box=box, item=item)
-        split = self._insert(self._root, entry)
-        if split is not None:
-            old_root = self._root
-            self._root = _Node(leaf=False, entries=[old_root, split])
-            self._root.recompute_box()
-        self._size += 1
+        with self._lock:
+            split = self._insert(self._root, entry)
+            if split is not None:
+                old_root = self._root
+                self._root = _Node(leaf=False, entries=[old_root, split])
+                self._root.recompute_box()
+            self._size += 1
 
     def insert_point(self, item: object, point: GeoPoint) -> None:
         """Convenience: insert a degenerate (point) box."""
@@ -171,38 +177,39 @@ class RTree:
             path.pop()
             return None
 
-        entry = find(self._root)
-        if entry is None:
-            return False
-        leaf = path[-1]
-        leaf.entries.remove(entry)
-        self._size -= 1
+        with self._lock:
+            entry = find(self._root)
+            if entry is None:
+                return False
+            leaf = path[-1]
+            leaf.entries.remove(entry)
+            self._size -= 1
 
-        orphans: list[_Entry] = []
-        for depth in range(len(path) - 1, 0, -1):
-            node, parent = path[depth], path[depth - 1]
-            if len(node.entries) < self.min_entries:
-                parent.entries.remove(node)
-                stack = [node]
-                while stack:
-                    current = stack.pop()
-                    if current.leaf:
-                        orphans.extend(current.entries)
-                    else:
-                        stack.extend(current.entries)
-            else:
+            orphans: list[_Entry] = []
+            for depth in range(len(path) - 1, 0, -1):
+                node, parent = path[depth], path[depth - 1]
+                if len(node.entries) < self.min_entries:
+                    parent.entries.remove(node)
+                    stack = [node]
+                    while stack:
+                        current = stack.pop()
+                        if current.leaf:
+                            orphans.extend(current.entries)
+                        else:
+                            stack.extend(current.entries)
+                else:
+                    node.recompute_box()
+            for node in reversed(path):
                 node.recompute_box()
-        for node in reversed(path):
-            node.recompute_box()
-        if not self._root.leaf and len(self._root.entries) == 1:
-            self._root = self._root.entries[0]
-        for orphan in orphans:
-            split = self._insert(self._root, orphan)
-            if split is not None:
-                old_root = self._root
-                self._root = _Node(leaf=False, entries=[old_root, split])
-                self._root.recompute_box()
-        return True
+            if not self._root.leaf and len(self._root.entries) == 1:
+                self._root = self._root.entries[0]
+            for orphan in orphans:
+                split = self._insert(self._root, orphan)
+                if split is not None:
+                    old_root = self._root
+                    self._root = _Node(leaf=False, entries=[old_root, split])
+                    self._root.recompute_box()
+            return True
 
     def _insert(self, node: _Node, entry: _Entry) -> _Node | None:
         if node.leaf:

@@ -23,8 +23,9 @@ file.
 from __future__ import annotations
 
 import os
+import threading
 
-from repro.obs.logs import SpanContextFilter, configure_logging, get_logger
+from repro.obs.logs import SpanContextFilter, configure_logging, console, get_logger
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_MS,
     Counter,
@@ -54,6 +55,7 @@ __all__ = [
     "SpanContextFilter",
     "Tracer",
     "configure_logging",
+    "console",
     "counters_delta",
     "current_span",
     "disable_jsonl",
@@ -72,6 +74,7 @@ _registry = MetricsRegistry()
 _ring = RingBufferExporter(capacity=4096)
 _tracer = Tracer(registry=_registry, exporters=[_ring])
 _jsonl: JsonlExporter | None = None
+_jsonl_lock = threading.Lock()
 
 
 def metrics() -> MetricsRegistry:
@@ -112,22 +115,29 @@ def enable_jsonl(path: str) -> JsonlExporter:
     """Stream finished spans to ``path`` as JSON lines (idempotent per
     path; an exporter for a different path replaces the previous one)."""
     global _jsonl
-    if _jsonl is not None:
-        if _jsonl.path == str(path):
-            return _jsonl
-        disable_jsonl()
-    _jsonl = JsonlExporter(path)
-    _tracer.add_exporter(_jsonl)
-    return _jsonl
+    with _jsonl_lock:
+        if _jsonl is not None:
+            if _jsonl.path == str(path):
+                return _jsonl
+            _detach_jsonl()
+        _jsonl = JsonlExporter(path)
+        _tracer.add_exporter(_jsonl)
+        return _jsonl
 
 
 def disable_jsonl() -> None:
     """Detach and close the JSONL exporter, if one is active."""
+    with _jsonl_lock:
+        _detach_jsonl()
+
+
+def _detach_jsonl() -> None:
+    """Close and drop the active exporter; caller holds ``_jsonl_lock``."""
     global _jsonl
     if _jsonl is not None:
         _tracer.remove_exporter(_jsonl)
         _jsonl.close()
-        _jsonl = None
+        _jsonl = None  # devtools: allow[module-mutable-state] caller holds _jsonl_lock
 
 
 _env_path = os.environ.get("TVDP_TRACE_JSONL")

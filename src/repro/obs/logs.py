@@ -4,13 +4,17 @@ Thin layer over stdlib :mod:`logging`: every record emitted through a
 ``tvdp.*`` logger gains ``trace_id`` and ``span_id`` fields from the
 current :func:`~repro.obs.tracing.current_span`, so log lines can be
 joined against exported spans.  Library code must log through
-:func:`get_logger` rather than ``print`` — CI enforces this
-(``tools/check_no_print.py``).
+:func:`get_logger` rather than ``print`` — the ``no-print`` rule in
+``repro.devtools`` enforces this.  CLI-style entry points whose stdout
+*is* their user interface use :func:`console`, which routes through the
+same logging machinery but renders bare messages.
 """
 
 from __future__ import annotations
 
 import logging
+import sys
+import threading
 
 from repro.obs.tracing import current_span
 
@@ -68,3 +72,29 @@ def configure_logging(level: int | str = logging.INFO, stream=None) -> logging.H
     handler.addFilter(SpanContextFilter())
     root.addHandler(handler)
     return handler
+
+
+_CONSOLE_NAME = "tvdp.console"
+_console_lock = threading.Lock()
+
+
+def console(name: str = "cli") -> logging.Logger:
+    """A ``tvdp.console.<name>`` logger whose INFO lines render as bare
+    messages on stdout — the sanctioned replacement for ``print()`` in
+    entry points like the ``python -m repro`` guided tour.
+
+    The console branch does not propagate to the ``tvdp`` root, so tour
+    output never duplicates into an application's structured handlers;
+    it still runs the :class:`SpanContextFilter` so ``%(trace_id)s``
+    stays usable in a custom formatter.
+    """
+    with _console_lock:
+        branch = logging.getLogger(_CONSOLE_NAME)
+        if not branch.handlers:
+            branch.propagate = False
+            branch.setLevel(logging.INFO)
+            handler = logging.StreamHandler(sys.stdout)
+            handler.setFormatter(logging.Formatter("%(message)s"))
+            handler.addFilter(SpanContextFilter())
+            branch.addHandler(handler)
+    return logging.getLogger(f"{_CONSOLE_NAME}.{name}")

@@ -18,11 +18,19 @@ Design notes
   ``name{label="value"}`` keys, so diffing two snapshots (what a
   benchmark phase did) is a dict subtraction — see
   :func:`counters_delta`.
+* Every metric and the registry itself are thread-safe: instrumented
+  code runs on API worker threads, so increments and the get-or-create
+  path take a per-object lock (the ``unlocked-mutation`` lint in
+  ``repro.devtools`` enforces this for the whole module).
 """
 
 from __future__ import annotations
 
 import math
+import threading
+
+_LabelKey = tuple[tuple[str, str], ...]
+_MetricKey = tuple[str, _LabelKey]
 
 #: Default latency buckets (milliseconds): sub-millisecond index probes
 #: through multi-second training runs.
@@ -32,13 +40,13 @@ DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
 )
 
 
-def _label_key(labels: dict[str, str] | None) -> tuple[tuple[str, str], ...]:
+def _label_key(labels: dict[str, str] | None) -> _LabelKey:
     if not labels:
         return ()
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
-def _flat_name(name: str, label_key: tuple[tuple[str, str], ...]) -> str:
+def _flat_name(name: str, label_key: _LabelKey) -> str:
     if not label_key:
         return name
     inner = ",".join(f'{k}="{v}"' for k, v in label_key)
@@ -54,43 +62,51 @@ def _prom_name(name: str) -> str:
 class Counter:
     """Monotonically increasing value."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
-    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
+    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def _reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
 
 class Gauge:
     """Value that can go up and down (queue depths, index sizes)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
-    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
+    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def _reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
 
 class Histogram:
@@ -101,12 +117,12 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "buckets", "bucket_counts", "count", "sum",
-                 "min", "max")
+                 "min", "max", "_lock")
 
     def __init__(
         self,
         name: str,
-        labels: tuple[tuple[str, str], ...] = (),
+        labels: _LabelKey = (),
         buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
     ) -> None:
         if not buckets or list(buckets) != sorted(buckets):
@@ -119,89 +135,103 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        # RLock: summary() calls percentile() with the lock already held.
+        self._lock = threading.RLock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     def percentile(self, q: float) -> float:
         """Estimated ``q``-quantile (``q`` in [0, 1]) from bucket counts."""
         if not (0.0 <= q <= 1.0):
             raise ValueError(f"q must be in [0, 1], got {q}")
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        cumulative = 0
-        for i, in_bucket in enumerate(self.bucket_counts):
-            if in_bucket == 0:
-                continue
-            if cumulative + in_bucket >= rank:
-                if i == len(self.buckets):  # overflow bucket: no upper bound
-                    return self.max
-                lower = self.buckets[i - 1] if i > 0 else 0.0
-                upper = self.buckets[i]
-                fraction = (rank - cumulative) / in_bucket
-                estimate = lower + fraction * (upper - lower)
-                return min(max(estimate, self.min), self.max)
-            cumulative += in_bucket
-        return self.max
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = q * self.count
+            cumulative = 0
+            for i, in_bucket in enumerate(self.bucket_counts):
+                if in_bucket == 0:
+                    continue
+                if cumulative + in_bucket >= rank:
+                    if i == len(self.buckets):  # overflow bucket: no upper bound
+                        return self.max
+                    lower = self.buckets[i - 1] if i > 0 else 0.0
+                    upper = self.buckets[i]
+                    fraction = (rank - cumulative) / in_bucket
+                    estimate = lower + fraction * (upper - lower)
+                    return min(max(estimate, self.min), self.max)
+                cumulative += in_bucket
+            return self.max
 
     def summary(self) -> dict[str, float]:
         """Count, sum, extrema, and the operator percentiles."""
-        if self.count == 0:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
-        return {
-            "count": self.count,
-            "sum": self.sum,
-            "min": self.min,
-            "max": self.max,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
-        }
+        with self._lock:
+            if self.count == 0:
+                return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                        "p50": 0.0, "p95": 0.0, "p99": 0.0}
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min,
+                "max": self.max,
+                "p50": self.percentile(0.50),
+                "p95": self.percentile(0.95),
+                "p99": self.percentile(0.99),
+            }
 
     def _reset(self) -> None:
-        self.bucket_counts = [0] * (len(self.buckets) + 1)
-        self.count = 0
-        self.sum = 0.0
-        self.min = math.inf
-        self.max = -math.inf
+        with self._lock:
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+            self.count = 0
+            self.sum = 0.0
+            self.min = math.inf
+            self.max = -math.inf
 
 
 class MetricsRegistry:
-    """Name+labels-keyed store of all platform metrics."""
+    """Name+labels-keyed store of all platform metrics.
+
+    Get-or-create runs under a registry lock so two threads asking for
+    the same ``(name, labels)`` always share one handle — two distinct
+    handles would silently split (and lose) increments.
+    """
 
     def __init__(self) -> None:
-        self._counters: dict[tuple, Counter] = {}
-        self._gauges: dict[tuple, Gauge] = {}
-        self._histograms: dict[tuple, Histogram] = {}
+        self._counters: dict[_MetricKey, Counter] = {}
+        self._gauges: dict[_MetricKey, Gauge] = {}
+        self._histograms: dict[_MetricKey, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- handles ------------------------------------------------------------
 
     def counter(self, name: str, labels: dict[str, str] | None = None) -> Counter:
         """Get-or-create a counter; the handle survives :meth:`reset`."""
         key = (name, _label_key(labels))
-        if key not in self._counters:
-            self._counters[key] = Counter(name, key[1])
-        return self._counters[key]
+        with self._lock:
+            if key not in self._counters:
+                self._counters[key] = Counter(name, key[1])
+            return self._counters[key]
 
     def gauge(self, name: str, labels: dict[str, str] | None = None) -> Gauge:
         """Get-or-create a gauge."""
         key = (name, _label_key(labels))
-        if key not in self._gauges:
-            self._gauges[key] = Gauge(name, key[1])
-        return self._gauges[key]
+        with self._lock:
+            if key not in self._gauges:
+                self._gauges[key] = Gauge(name, key[1])
+            return self._gauges[key]
 
     def histogram(
         self,
@@ -211,40 +241,40 @@ class MetricsRegistry:
     ) -> Histogram:
         """Get-or-create a histogram (buckets fixed on first creation)."""
         key = (name, _label_key(labels))
-        if key not in self._histograms:
-            self._histograms[key] = Histogram(name, key[1], buckets)
-        return self._histograms[key]
+        with self._lock:
+            if key not in self._histograms:
+                self._histograms[key] = Histogram(name, key[1], buckets)
+            return self._histograms[key]
 
     def histograms(self, name: str | None = None) -> list[Histogram]:
         """All registered histograms, optionally filtered by name."""
-        return [
-            h for h in self._histograms.values() if name is None or h.name == name
-        ]
+        with self._lock:
+            candidates = list(self._histograms.values())
+        return [h for h in candidates if name is None or h.name == name]
 
     # -- lifecycle ----------------------------------------------------------
 
     def reset(self) -> None:
         """Zero every metric *in place* — existing handles stay valid."""
-        for metric in (*self._counters.values(), *self._gauges.values(),
-                       *self._histograms.values()):
+        with self._lock:
+            metrics = (*self._counters.values(), *self._gauges.values(),
+                       *self._histograms.values())
+        for metric in metrics:
             metric._reset()
 
     # -- export -------------------------------------------------------------
 
     def snapshot(self) -> dict[str, dict]:
         """JSON-compatible dump of every metric's current value."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
         return {
-            "counters": {
-                _flat_name(c.name, c.labels): c.value
-                for c in self._counters.values()
-            },
-            "gauges": {
-                _flat_name(g.name, g.labels): g.value
-                for g in self._gauges.values()
-            },
+            "counters": {_flat_name(c.name, c.labels): c.value for c in counters},
+            "gauges": {_flat_name(g.name, g.labels): g.value for g in gauges},
             "histograms": {
-                _flat_name(h.name, h.labels): h.summary()
-                for h in self._histograms.values()
+                _flat_name(h.name, h.labels): h.summary() for h in histograms
             },
         }
 
@@ -263,33 +293,40 @@ class MetricsRegistry:
                 lines.append(f"# TYPE {name} {kind}")
                 seen_types.add((name, kind))
 
-        def label_str(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+        def label_str(labels: _LabelKey, extra: str = "") -> str:
             parts = [f'{k}="{v}"' for k, v in labels]
             if extra:
                 parts.append(extra)
             return "{" + ",".join(parts) + "}" if parts else ""
 
-        for counter in sorted(self._counters.values(), key=lambda c: (c.name, c.labels)):
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        for counter in sorted(counters, key=lambda c: (c.name, c.labels)):
             name = _prom_name(counter.name)
             type_line(name, "counter")
             lines.append(f"{name}{label_str(counter.labels)} {counter.value:g}")
-        for gauge in sorted(self._gauges.values(), key=lambda g: (g.name, g.labels)):
+        for gauge in sorted(gauges, key=lambda g: (g.name, g.labels)):
             name = _prom_name(gauge.name)
             type_line(name, "gauge")
             lines.append(f"{name}{label_str(gauge.labels)} {gauge.value:g}")
-        for hist in sorted(self._histograms.values(), key=lambda h: (h.name, h.labels)):
+        for hist in sorted(histograms, key=lambda h: (h.name, h.labels)):
             name = _prom_name(hist.name)
             type_line(name, "histogram")
+            with hist._lock:
+                bucket_counts = list(hist.bucket_counts)
+                hist_sum, hist_count = hist.sum, hist.count
             cumulative = 0
-            for bound, in_bucket in zip(hist.buckets, hist.bucket_counts):
+            for bound, in_bucket in zip(hist.buckets, bucket_counts):
                 cumulative += in_bucket
                 le = f'le="{bound:g}"'
                 lines.append(f"{name}_bucket{label_str(hist.labels, le)} {cumulative}")
-            cumulative += hist.bucket_counts[-1]
+            cumulative += bucket_counts[-1]
             inf = 'le="+Inf"'
             lines.append(f"{name}_bucket{label_str(hist.labels, inf)} {cumulative}")
-            lines.append(f"{name}_sum{label_str(hist.labels)} {hist.sum:g}")
-            lines.append(f"{name}_count{label_str(hist.labels)} {hist.count}")
+            lines.append(f"{name}_sum{label_str(hist.labels)} {hist_sum:g}")
+            lines.append(f"{name}_count{label_str(hist.labels)} {hist_count}")
         return "\n".join(lines) + ("\n" if lines else "")
 
 

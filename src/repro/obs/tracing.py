@@ -63,8 +63,13 @@ class Span:
     error: str | None = None
 
     def set(self, key: str, value: object) -> None:
-        """Attach/overwrite one attribute."""
-        self.attrs[key] = value
+        """Attach/overwrite one attribute.
+
+        A span is owned by the single execution context that opened it
+        until :meth:`Tracer.span` closes it, so attribute writes need
+        no lock.
+        """
+        self.attrs[key] = value  # devtools: allow[unlocked-mutation]
 
     def to_dict(self) -> dict:
         """JSON-compatible record of a finished span."""
@@ -82,22 +87,33 @@ class Span:
 
 
 class RingBufferExporter:
-    """Keeps the most recent finished spans in memory for inspection."""
+    """Keeps the most recent finished spans in memory for inspection.
+
+    Spans finish on whichever thread ran them, so the buffer is
+    lock-protected (deque appends are GIL-atomic today, but the lock
+    also makes :meth:`spans` snapshots consistent and is what the
+    ``unlocked-mutation`` lint can verify statically).
+    """
 
     def __init__(self, capacity: int = 4096) -> None:
         self._spans: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
 
     def export(self, span: Span) -> None:
-        self._spans.append(span)
+        with self._lock:
+            self._spans.append(span)
 
     def spans(self, name: str | None = None) -> list[Span]:
         """Finished spans, oldest first, optionally filtered by name."""
+        with self._lock:
+            buffered = list(self._spans)
         if name is None:
-            return list(self._spans)
-        return [s for s in self._spans if s.name == name]
+            return buffered
+        return [s for s in buffered if s.name == name]
 
     def clear(self) -> None:
-        self._spans.clear()
+        with self._lock:
+            self._spans.clear()
 
     def span_tree(self, trace_id: str | None = None) -> list[dict]:
         """Nested parent/child view of buffered spans.
@@ -107,7 +123,7 @@ class RingBufferExporter:
         depth-first in completion order.
         """
         return span_tree(
-            [s for s in self._spans if trace_id is None or s.trace_id == trace_id]
+            [s for s in self.spans() if trace_id is None or s.trace_id == trace_id]
         )
 
 
@@ -156,13 +172,16 @@ class Tracer:
     ) -> None:
         self.registry = registry
         self.exporters: list = list(exporters or [])
+        self._exporters_lock = threading.Lock()
 
     def add_exporter(self, exporter: object) -> None:
-        self.exporters.append(exporter)
+        with self._exporters_lock:
+            self.exporters.append(exporter)
 
     def remove_exporter(self, exporter: object) -> None:
-        if exporter in self.exporters:
-            self.exporters.remove(exporter)
+        with self._exporters_lock:
+            if exporter in self.exporters:
+                self.exporters.remove(exporter)
 
     @contextlib.contextmanager
     def span(self, name: str, **attrs: object) -> Iterator[Span]:
@@ -196,5 +215,7 @@ class Tracer:
             self.registry.counter("spans.total", labels).inc()
             if span.status == "error":
                 self.registry.counter("spans.errors", labels).inc()
-        for exporter in self.exporters:
+        with self._exporters_lock:
+            exporters = tuple(self.exporters)
+        for exporter in exporters:
             exporter.export(span)

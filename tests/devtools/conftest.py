@@ -1,0 +1,49 @@
+"""Fixture helpers: build throwaway mini-packages for the lint passes."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.findings import SourceModule, collect_modules
+from repro.devtools.layers import LayerConfig
+
+
+@pytest.fixture
+def make_package(tmp_path):
+    """Write ``{relative_path: source}`` under a package root and parse it.
+
+    Returns ``(package_root, modules)``; sources are dedented so tests
+    can use indented triple-quoted literals.
+    """
+
+    def build(files: dict[str, str], package: str = "pkg") -> tuple[Path, list[SourceModule]]:
+        root = tmp_path / package
+        for rel, source in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+            init = path.parent / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+        if not (root / "__init__.py").exists():
+            (root / "__init__.py").write_text("", encoding="utf-8")
+        return root, collect_modules(root, repo_root=tmp_path)
+
+    return build
+
+
+#: A tiny two-level DAG for layer tests: ``top`` may use ``low``, never
+#: the reverse; ``util`` is importable from anywhere.
+TINY_LAYERS = LayerConfig(
+    top_package="pkg",
+    deps={
+        "low": frozenset(),
+        "mid": frozenset({"low"}),
+        "top": frozenset({"mid"}),
+        "util": frozenset(),
+    },
+    universal=frozenset({"util"}),
+)

@@ -1,0 +1,129 @@
+"""The ``python -m repro.devtools.check`` CLI: exit codes, JSON, baseline."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.devtools.check import ALL_RULES, main, run_check
+
+#: One seeded violation per rule class, all in one mini-package.
+SEEDED = {
+    "low/base.py": "VALUE = 1\n",
+    "top/fine.py": "from pkg.low.base import VALUE\n",
+    "low/upward.py": "from pkg.top.fine import VALUE\n",  # layer-boundary
+    "low/state.py": "_CACHE = {}\n\ndef put(k, v):\n    _CACHE[k] = v\n",
+    "index/structure.py": (
+        "class Index:\n"
+        "    def __init__(self):\n"
+        "        self._items = []\n"
+        "    def insert(self, item):\n"
+        "        self._items.append(item)\n"  # unlocked-mutation
+    ),
+    "low/lints.py": (
+        "def risky(fn, into=[]):\n"  # mutable-default
+        "    try:\n"
+        "        into.append(fn())\n"
+        "    except Exception:\n"  # broad-except
+        "        print('oops')\n"  # no-print
+        "    return into\n"
+    ),
+    "low/sites.py": "from pkg.low.base import VALUE\n\nBAD = {'lat': 34.0}\n\ndef f(g):\n    return g(lat=-118.24, lng=34.05)\n",
+}
+
+
+@pytest.fixture
+def seeded_tree(make_package):
+    from tests.devtools.conftest import TINY_LAYERS
+
+    root, _ = make_package(SEEDED)
+    critical = ("*/pkg/index/*.py",)
+    return root, TINY_LAYERS, critical
+
+
+def _run(root, layers, critical, **kwargs):
+    return run_check(
+        root=root,
+        repo_root=root.parent,
+        layer_config=layers,
+        critical_globs=critical,
+        **kwargs,
+    )
+
+
+class TestRunCheck:
+    def test_every_rule_fires_on_seeded_tree(self, seeded_tree):
+        result = _run(*seeded_tree)
+        assert not result.ok
+        assert set(result.by_rule) == set(ALL_RULES)
+
+    def test_select_restricts_rules(self, seeded_tree):
+        root, layers, critical = seeded_tree
+        result = _run(root, layers, critical, select=("no-print",))
+        assert set(result.by_rule) == {"no-print"}
+
+    def test_unknown_rule_rejected(self, seeded_tree):
+        root, layers, critical = seeded_tree
+        with pytest.raises(ValueError, match="unknown rule"):
+            _run(root, layers, critical, select=("not-a-rule",))
+
+    def test_baseline_absorbs_one_occurrence_each(self, seeded_tree):
+        root, layers, critical = seeded_tree
+        first = _run(root, layers, critical)
+        baseline = [f.fingerprint for f in first.findings]
+        second = _run(root, layers, critical, baseline=baseline)
+        assert second.ok
+        assert len(second.suppressed) == len(first.findings)
+        # A duplicated entry must not grant a second free violation.
+        third = _run(root, layers, critical, baseline=baseline[1:])
+        assert len(third.new) == 1
+
+
+class TestCli:
+    def test_exit_one_and_report_on_findings(self, seeded_tree, tmp_path, capsys):
+        root, _, _ = seeded_tree
+        rc = main(["--root", str(root), "--repo-root", str(tmp_path), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "new finding(s)" in out
+        assert "[no-print]" in out
+
+    def test_json_report_shape(self, seeded_tree, tmp_path, capsys):
+        root, _, _ = seeded_tree
+        rc = main(
+            ["--root", str(root), "--repo-root", str(tmp_path), "--no-baseline", "--json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert report["ok"] is False
+        assert report["counts"]["new"] == len(report["new_findings"])
+        sample = report["new_findings"][0]
+        assert {"rule", "path", "line", "message", "fingerprint"} <= set(sample)
+
+    def test_write_baseline_then_green(self, seeded_tree, tmp_path, capsys):
+        root, _, _ = seeded_tree
+        baseline = tmp_path / "baseline.json"
+        args = ["--root", str(root), "--repo-root", str(tmp_path), "--baseline", str(baseline)]
+        assert main([*args, "--write-baseline"]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_unknown_select_exits_two(self, seeded_tree, tmp_path, capsys):
+        root, _, _ = seeded_tree
+        rc = main(
+            ["--root", str(root), "--repo-root", str(tmp_path), "--select", "bogus"]
+        )
+        assert rc == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+def test_shipped_tree_is_clean(capsys):
+    """The acceptance gate: the repo's own source passes every rule with
+    an empty baseline."""
+    rc = main(["--no-baseline"])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "0 new" in out

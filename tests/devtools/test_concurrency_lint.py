@@ -1,0 +1,178 @@
+"""Concurrency lints: module-level mutable state and unlocked mutations."""
+
+from __future__ import annotations
+
+from repro.devtools.concurrency import (
+    check_concurrency,
+    check_module_state,
+    check_unlocked_mutations,
+)
+
+CRITICAL = ("*/pkg/index/*.py",)
+
+
+class TestModuleState:
+    def test_unlocked_global_dict_write_flagged(self, make_package):
+        _, modules = make_package(
+            {
+                "low/registry.py": """
+                _CACHE = {}
+
+                def put(key, value):
+                    _CACHE[key] = value
+                """
+            }
+        )
+        findings = check_module_state(modules)
+        assert [f.rule for f in findings] == ["module-mutable-state"]
+        assert "_CACHE" in findings[0].message
+
+    def test_locked_write_passes(self, make_package):
+        _, modules = make_package(
+            {
+                "low/registry.py": """
+                import threading
+
+                _CACHE = {}
+                _cache_lock = threading.Lock()
+
+                def put(key, value):
+                    with _cache_lock:
+                        _CACHE[key] = value
+                """
+            }
+        )
+        assert check_module_state(modules) == []
+
+    def test_read_only_registry_passes(self, make_package):
+        _, modules = make_package(
+            {
+                "low/registry.py": """
+                _FAMILIES = {"spatial": 1, "textual": 2}
+
+                def lookup(kind):
+                    return _FAMILIES[kind]
+                """
+            }
+        )
+        assert check_module_state(modules) == []
+
+    def test_global_rebind_outside_lock_flagged(self, make_package):
+        _, modules = make_package(
+            {
+                "low/singleton.py": """
+                _instance = None
+
+                def get():
+                    global _instance
+                    if _instance is None:
+                        _instance = object()
+                    return _instance
+                """
+            }
+        )
+        findings = check_module_state(modules)
+        assert [f.rule for f in findings] == ["module-mutable-state"]
+        assert "global _instance" in findings[0].message
+
+    def test_global_rebind_under_lock_passes(self, make_package):
+        _, modules = make_package(
+            {
+                "low/singleton.py": """
+                import threading
+
+                _instance = None
+                _lock = threading.Lock()
+
+                def get():
+                    global _instance
+                    with _lock:
+                        if _instance is None:
+                            _instance = object()
+                        return _instance
+                """
+            }
+        )
+        assert check_module_state(modules) == []
+
+    def test_inline_allow_suppresses(self, make_package):
+        _, modules = make_package(
+            {
+                "low/registry.py": """
+                _CACHE = {}
+
+                def put(key, value):
+                    _CACHE[key] = value  # devtools: allow[module-mutable-state]
+                """
+            }
+        )
+        assert check_module_state(modules) == []
+
+
+UNLOCKED_INDEX = """
+class Index:
+    def __init__(self):
+        self._items = []
+        self._size = 0
+
+    def insert(self, item):
+        self._items.append(item)
+        self._size += 1
+"""
+
+LOCKED_INDEX = """
+import threading
+
+class Index:
+    def __init__(self):
+        self._items = []
+        self._size = 0
+        self._lock = threading.Lock()
+
+    def insert(self, item):
+        with self._lock:
+            self._items.append(item)
+            self._size += 1
+
+    def _rebalance(self):
+        self._items.sort()
+"""
+
+
+class TestUnlockedMutation:
+    def test_public_method_mutation_flagged(self, make_package):
+        _, modules = make_package({"index/structure.py": UNLOCKED_INDEX})
+        findings = check_unlocked_mutations(modules, CRITICAL)
+        assert {f.rule for f in findings} == {"unlocked-mutation"}
+        assert len(findings) == 2  # .append() and the augmented assignment
+
+    def test_locked_method_and_private_helper_pass(self, make_package):
+        _, modules = make_package({"index/structure.py": LOCKED_INDEX})
+        assert check_unlocked_mutations(modules, CRITICAL) == []
+
+    def test_non_critical_module_exempt(self, make_package):
+        _, modules = make_package({"low/structure.py": UNLOCKED_INDEX})
+        assert check_unlocked_mutations(modules, CRITICAL) == []
+
+    def test_fingerprint_stable_across_line_shifts(self, make_package):
+        _, before = make_package({"index/structure.py": UNLOCKED_INDEX})
+        _, after = make_package(
+            {"index/structure.py": "# a new leading comment\n" + UNLOCKED_INDEX},
+            package="pkg2",
+        )
+        fp = lambda mods: sorted(
+            f.fingerprint.split(":", 1)[1].split("/", 1)[1]
+            for f in check_unlocked_mutations(mods, ("*/index/*.py",))
+        )
+        assert fp(before) == fp(after)
+
+
+def test_check_concurrency_merges_both_rules(make_package):
+    _, modules = make_package(
+        {
+            "index/structure.py": UNLOCKED_INDEX,
+            "low/registry.py": "_CACHE = {}\n\ndef put(k, v):\n    _CACHE[k] = v\n",
+        }
+    )
+    rules = {f.rule for f in check_concurrency(modules, CRITICAL)}
+    assert rules == {"unlocked-mutation", "module-mutable-state"}

@@ -1,0 +1,205 @@
+"""Correctness lints: broad except, mutable defaults, print, geo ranges."""
+
+from __future__ import annotations
+
+from repro.devtools.correctness import (
+    check_broad_except,
+    check_geo_literals,
+    check_mutable_defaults,
+    check_no_print,
+)
+
+
+class TestBroadExcept:
+    def test_swallowing_handler_flagged(self, make_package):
+        _, modules = make_package(
+            {
+                "low/swallow.py": """
+                def load(path):
+                    try:
+                        return open(path).read()
+                    except Exception:
+                        return None
+                """
+            }
+        )
+        findings = check_broad_except(modules)
+        assert [f.rule for f in findings] == ["broad-except"]
+        assert findings[0].scope == "load"
+
+    def test_bare_except_flagged(self, make_package):
+        _, modules = make_package(
+            {
+                "low/bare.py": """
+                def load(path):
+                    try:
+                        return open(path).read()
+                    except:
+                        pass
+                """
+            }
+        )
+        assert len(check_broad_except(modules)) == 1
+
+    def test_reraising_translation_passes(self, make_package):
+        _, modules = make_package(
+            {
+                "low/translate.py": """
+                def parse(payload):
+                    try:
+                        return int(payload)
+                    except Exception as exc:
+                        raise ValueError(f"bad payload: {exc}") from exc
+                """
+            }
+        )
+        assert check_broad_except(modules) == []
+
+    def test_logging_handler_passes(self, make_package):
+        _, modules = make_package(
+            {
+                "low/logged.py": """
+                import logging
+
+                def attempt(fn):
+                    try:
+                        return fn()
+                    except Exception:
+                        logging.getLogger(__name__).exception("attempt failed")
+                        return None
+                """
+            }
+        )
+        assert check_broad_except(modules) == []
+
+    def test_counting_handler_passes(self, make_package):
+        _, modules = make_package(
+            {
+                "low/counted.py": """
+                def attempt(fn, errors):
+                    try:
+                        return fn()
+                    except Exception:
+                        errors.inc()
+                        return None
+                """
+            }
+        )
+        assert check_broad_except(modules) == []
+
+    def test_narrow_handler_passes(self, make_package):
+        _, modules = make_package(
+            {
+                "low/narrow.py": """
+                def parse(payload):
+                    try:
+                        return int(payload)
+                    except (TypeError, ValueError):
+                        return None
+                """
+            }
+        )
+        assert check_broad_except(modules) == []
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self, make_package):
+        _, modules = make_package(
+            {"low/defaults.py": "def collect(item, into=[]):\n    into.append(item)\n"}
+        )
+        findings = check_mutable_defaults(modules)
+        assert [f.rule for f in findings] == ["mutable-default"]
+
+    def test_dict_call_and_kwonly_defaults_flagged(self, make_package):
+        _, modules = make_package(
+            {
+                "low/defaults.py": (
+                    "def configure(*, options=dict(), tags=set()):\n    return options, tags\n"
+                )
+            }
+        )
+        assert len(check_mutable_defaults(modules)) == 2
+
+    def test_none_and_tuple_defaults_pass(self, make_package):
+        _, modules = make_package(
+            {"low/defaults.py": "def collect(item, into=None, shape=(1, 2)):\n    return item\n"}
+        )
+        assert check_mutable_defaults(modules) == []
+
+
+class TestNoPrint:
+    def test_print_call_flagged(self, make_package):
+        _, modules = make_package(
+            {"low/noisy.py": "def report(x):\n    print(x)\n"}
+        )
+        findings = check_no_print(modules)
+        assert [f.rule for f in findings] == ["no-print"]
+        assert "repro.obs" in findings[0].message
+
+    def test_method_named_print_passes(self, make_package):
+        _, modules = make_package(
+            {"low/quiet.py": "def report(doc):\n    doc.print()\n"}
+        )
+        assert check_no_print(modules) == []
+
+    def test_inline_allow_suppresses(self, make_package):
+        _, modules = make_package(
+            {
+                "low/sanctioned.py": (
+                    "def report(x):\n"
+                    "    # devtools: allow[no-print]\n"
+                    "    print(x)\n"
+                )
+            }
+        )
+        assert check_no_print(modules) == []
+
+
+class TestGeoRange:
+    def test_transposed_positional_args_flagged(self, make_package):
+        _, modules = make_package(
+            {
+                "low/sites.py": """
+                from pkg.low.geo import GeoPoint
+
+                CITY_HALL = GeoPoint(-118.24, 34.05)
+                """
+            }
+        )
+        findings = check_geo_literals(modules)
+        assert [f.rule for f in findings] == ["geo-range"]
+        assert "transposed" in findings[0].message
+
+    def test_bad_keyword_flagged(self, make_package):
+        _, modules = make_package(
+            {"low/sites.py": "def probe(q):\n    return q.near(lat=34.0, lng=241.76)\n"}
+        )
+        findings = check_geo_literals(modules)
+        assert [f.rule for f in findings] == ["geo-range"]
+        assert "longitude" in findings[0].message
+
+    def test_valid_coordinates_pass(self, make_package):
+        _, modules = make_package(
+            {
+                "low/sites.py": """
+                from pkg.low.geo import BoundingBox, GeoPoint
+
+                LA = GeoPoint(34.05, -118.24)
+                BLOCK = BoundingBox(34.035, -118.26, 34.05, -118.24)
+                """
+            }
+        )
+        assert check_geo_literals(modules) == []
+
+    def test_non_literal_args_ignored(self, make_package):
+        _, modules = make_package(
+            {
+                "low/sites.py": """
+                from pkg.low.geo import GeoPoint
+
+                def locate(lat, lng):
+                    return GeoPoint(lat, lng)
+                """
+            }
+        )
+        assert check_geo_literals(modules) == []

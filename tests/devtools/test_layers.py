@@ -1,0 +1,116 @@
+"""Layer-boundary checker: DAG closure, import extraction, findings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.layers import DEFAULT_LAYER_CONFIG, LayerConfig, check_layers
+from tests.devtools.conftest import TINY_LAYERS
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestClosure:
+    def test_transitive_reach(self):
+        closed = TINY_LAYERS.closure()
+        assert closed["top"] == frozenset({"mid", "low"})
+        assert closed["low"] == frozenset()
+
+    def test_cycle_detected(self):
+        cyclic = LayerConfig(
+            top_package="pkg",
+            deps={"a": frozenset({"b"}), "b": frozenset({"a"})},
+        )
+        with pytest.raises(ValueError, match="cycle"):
+            cyclic.closure()
+
+    def test_default_config_is_acyclic(self):
+        closed = DEFAULT_LAYER_CONFIG.closure()
+        assert "core" in closed["api"]
+        assert "api" not in closed["core"]
+
+
+class TestCheckLayers:
+    def test_clean_edges_pass(self, make_package):
+        root, modules = make_package(
+            {
+                "low/base.py": "VALUE = 1\n",
+                "top/use.py": "from pkg.mid.helper import VALUE\n",
+                "mid/helper.py": "from pkg.low.base import VALUE\n",
+            }
+        )
+        assert check_layers(modules, root, TINY_LAYERS) == []
+
+    def test_upward_import_flagged(self, make_package):
+        root, modules = make_package(
+            {"low/bad.py": "from pkg.top.use import anything\n"}
+        )
+        findings = check_layers(modules, root, TINY_LAYERS)
+        assert _rules(findings) == ["layer-boundary"]
+        assert "low -> top" in findings[0].message
+
+    def test_lazy_function_local_import_flagged(self, make_package):
+        root, modules = make_package(
+            {
+                "low/sneaky.py": """
+                def helper():
+                    from pkg.top import use
+                    return use
+                """
+            }
+        )
+        findings = check_layers(modules, root, TINY_LAYERS)
+        assert _rules(findings) == ["layer-boundary"]
+
+    def test_relative_import_resolved(self, make_package):
+        root, modules = make_package(
+            {"low/relative.py": "from ..top import use\n"}
+        )
+        findings = check_layers(modules, root, TINY_LAYERS)
+        assert _rules(findings) == ["layer-boundary"]
+
+    def test_universal_package_importable_anywhere(self, make_package):
+        root, modules = make_package(
+            {"low/uses_util.py": "from pkg.util import thing\n"}
+        )
+        assert check_layers(modules, root, TINY_LAYERS) == []
+
+    def test_undeclared_package_flagged(self, make_package):
+        root, modules = make_package({"mystery/mod.py": "X = 1\n"})
+        findings = check_layers(modules, root, TINY_LAYERS)
+        # Every module of the unknown package is flagged (mod.py and the
+        # auto-created __init__.py).
+        assert findings and all("not declared" in f.message for f in findings)
+        assert "pkg/mystery/mod.py" in {f.path for f in findings}
+
+    def test_root_facade_exempt_but_facade_import_flagged(self, make_package):
+        root, modules = make_package(
+            {
+                "__init__.py": "from pkg.top.use import anything\n",
+                "low/facade_user.py": "from pkg import anything\n",
+            }
+        )
+        findings = check_layers(modules, root, TINY_LAYERS)
+        # __init__.py may re-export from anywhere; low importing the
+        # root facade is a hidden upward edge.
+        assert len(findings) == 1
+        assert findings[0].path.endswith("low/facade_user.py")
+        assert "root facade" in findings[0].message
+
+    def test_inline_allow_suppresses(self, make_package):
+        root, modules = make_package(
+            {
+                "low/allowed.py": (
+                    "from pkg.top import use  # devtools: allow[layer-boundary]\n"
+                )
+            }
+        )
+        assert check_layers(modules, root, TINY_LAYERS) == []
+
+    def test_shipped_tree_has_no_layer_violations(self):
+        from repro.devtools.check import run_check
+
+        result = run_check(select=("layer-boundary",))
+        assert result.findings == []

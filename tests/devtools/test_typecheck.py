@@ -1,0 +1,63 @@
+"""The mypy ratchet wrapper: parsing, baseline comparison, graceful skip."""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools import typecheck
+
+MYPY_OUTPUT = """\
+src/repro/errors.py:12: error: Incompatible return value type  [return-value]
+src/repro/errors.py:40:9: error: Missing type parameters  [type-arg]
+src/repro/geo/point.py:7: error: Name "x" is not defined  [name-defined]
+src/repro/geo/point.py:8: note: See https://mypy.readthedocs.io
+Found 3 errors in 2 files (checked 100 source files)
+"""
+
+
+def test_errors_by_file_counts_only_errors():
+    counts = typecheck.errors_by_file(MYPY_OUTPUT)
+    assert counts == {"src/repro/errors.py": 2, "src/repro/geo/point.py": 1}
+
+
+def test_compare_partitions_regressions_and_improvements():
+    baseline = {"src/repro/errors.py": 2, "src/repro/geo/point.py": 3}
+    regressions, improvements = typecheck.compare(
+        {"src/repro/errors.py": 4, "src/repro/geo/point.py": 1}, baseline
+    )
+    assert regressions == ["src/repro/errors.py: 2 -> 4 error(s)"]
+    assert improvements == ["src/repro/geo/point.py: 3 -> 1 error(s)"]
+
+
+def test_new_file_with_errors_is_a_regression():
+    regressions, _ = typecheck.compare({"src/repro/new.py": 1}, {})
+    assert regressions == ["src/repro/new.py: 0 -> 1 error(s)"]
+
+
+def test_load_baseline_roundtrip(tmp_path):
+    path = tmp_path / "mypy_baseline.json"
+    assert typecheck.load_mypy_baseline(path) == {}
+    path.write_text(json.dumps({"files": {"a.py": 2}}), encoding="utf-8")
+    assert typecheck.load_mypy_baseline(path) == {"a.py": 2}
+
+
+def test_main_skips_cleanly_without_mypy(monkeypatch, capsys):
+    monkeypatch.setattr(typecheck, "mypy_available", lambda: False)
+    assert typecheck.main([]) == 0
+    assert "skipping" in capsys.readouterr().out
+
+
+def test_main_gates_on_regressions(monkeypatch, tmp_path, capsys):
+    monkeypatch.setattr(typecheck, "mypy_available", lambda: True)
+    monkeypatch.setattr(typecheck, "run_mypy", lambda root: (1, MYPY_OUTPUT))
+    baseline = tmp_path / "baseline.json"
+
+    # First run against an empty baseline: everything is a regression.
+    assert typecheck.main(["--baseline", str(baseline)]) == 1
+    assert "regressions" in capsys.readouterr().out
+
+    # Accept the current counts, then the same output is green.
+    assert typecheck.main(["--baseline", str(baseline), "--update"]) == 0
+    capsys.readouterr()
+    assert typecheck.main(["--baseline", str(baseline)]) == 0
+    assert "no regressions" in capsys.readouterr().out
