@@ -1,0 +1,103 @@
+"""Unified benchmark runner: ``python -m benchmarks``.
+
+Runs every ``bench_*`` module in-process under pytest (with
+pytest-benchmark's own timing disabled — the ``bench_record`` fixture
+does the metering), then writes the schema-versioned trajectory
+document ``BENCH_<git-sha>.json`` at the repo root.  Diff two of those
+documents with ``tools/bench_compare.py``.
+
+Flags:
+
+``--smoke``
+    Reduced sweep sizes and no timing-sensitive assertions (sets
+    ``TVDP_BENCH_SMOKE=1`` before collection).  This is what CI runs.
+``--out PATH``
+    Write the document somewhere other than the default.
+``-k EXPR``
+    Forwarded to pytest to run a subset; the all-modules coverage
+    check is skipped for partial runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks",
+        description="Run the benchmark suite and write BENCH_<git-sha>.json.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sweep sizes, timing assertions off (CI mode)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: BENCH_<git-sha>.json at the repo root)",
+    )
+    parser.add_argument(
+        "-k",
+        dest="expr",
+        default=None,
+        help="pytest -k filter; skips the all-modules coverage check",
+    )
+    args = parser.parse_args(argv)
+
+    if importlib.util.find_spec("repro") is None:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    if args.smoke:
+        os.environ["TVDP_BENCH_SMOKE"] = "1"
+
+    import pytest
+
+    from benchmarks import recorder
+
+    pytest_args = [
+        str(REPO_ROOT / "benchmarks"),
+        "-q",
+        "--benchmark-disable",
+        "-p",
+        "no:cacheprovider",
+    ]
+    if args.expr:
+        pytest_args += ["-k", args.expr]
+    exit_code = pytest.main(pytest_args)
+    if exit_code != 0:
+        print(
+            f"bench run failed (pytest exit {exit_code}); no BENCH file written",
+            file=sys.stderr,
+        )
+        return int(exit_code)
+
+    expected = recorder.expected_modules()
+    covered = recorder.covered_modules()
+    if args.expr is None:
+        missing = sorted(set(expected) - set(covered))
+        if missing:
+            print(
+                "bench modules ran but produced no records: " + ", ".join(missing),
+                file=sys.stderr,
+            )
+            return 1
+
+    out_path = Path(args.out) if args.out else REPO_ROOT / f"BENCH_{recorder.git_sha()}.json"
+    document = recorder.write_document(out_path, smoke=args.smoke)
+    print(
+        f"wrote {out_path} "
+        f"({len(document['benches'])} benches, "
+        f"{len(covered)}/{len(expected)} modules, smoke={args.smoke})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

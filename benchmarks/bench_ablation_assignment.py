@@ -11,12 +11,14 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import PERF_ASSERTS, print_table, sized
 from repro.crowd import Task, Worker, assign_greedy, assign_nearest, assign_partitioned
 from repro.geo import BoundingBox, GeoPoint
 
 REGION = BoundingBox(34.00, -118.34, 34.08, -118.26)
-SIZES = ((20, 60), (40, 120), (80, 240))  # (workers, tasks)
+SIZES = sized(
+    ((20, 60), (40, 120), (80, 240)), ((20, 60), (40, 120))
+)  # (workers, tasks)
 
 
 def make_instance(n_workers, n_tasks, seed):
@@ -36,7 +38,7 @@ def make_instance(n_workers, n_tasks, seed):
     return workers, tasks
 
 
-def test_ablation_assignment_scalability(benchmark, capsys):
+def test_ablation_assignment_scalability(benchmark, capsys, bench_record):
     strategies = {
         "greedy": lambda w, t: assign_greedy(w, t, per_worker=5),
         "nearest": lambda w, t: assign_nearest(w, t, per_worker=5),
@@ -77,9 +79,15 @@ def test_ablation_assignment_scalability(benchmark, capsys):
     print_table(capsys, "Ablation: assignment strategies vs scale", header, rows)
 
     largest = {row[2]: row for row in table if row[1] == SIZES[-1][1]}
+    bench_record["results"] = {
+        name: {"assigned": row[4], "mean_travel_m": round(row[5], 1)}
+        for name, row in largest.items()
+    }
+
     # All strategies assign every task (capacity 5 x workers >= tasks).
     assert all(row[4] == SIZES[-1][1] for row in largest.values())
     # Partitioned is faster than global greedy at the largest size...
-    assert largest["partitioned"][3] < largest["greedy"][3]
+    if PERF_ASSERTS:
+        assert largest["partitioned"][3] < largest["greedy"][3]
     # ...with travel quality within 2x of greedy.
     assert largest["partitioned"][5] <= 2.0 * largest["greedy"][5]

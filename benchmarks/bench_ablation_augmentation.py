@@ -31,7 +31,7 @@ def augmented_variants(image, rng):
     return out
 
 
-def test_ablation_augmentation(benchmark, lasan_corpus, capsys):
+def test_ablation_augmentation(benchmark, lasan_corpus, capsys, bench_record):
     extractor = CnnFeatureExtractor()
     rng = np.random.default_rng(0)
 
@@ -79,5 +79,9 @@ def test_ablation_augmentation(benchmark, lasan_corpus, capsys):
     )
     plain_f1 = scores["originals only"][1]
     aug_f1 = scores["with augmentation"][1]
+    bench_record["results"] = {
+        "plain_f1": round(plain_f1, 3),
+        "augmented_f1": round(aug_f1, 3),
+    }
     # Augmentation must not hurt a scarce-data model (usually helps).
     assert aug_f1 >= plain_f1 - 0.03

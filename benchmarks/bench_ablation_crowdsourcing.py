@@ -7,7 +7,7 @@ on already-covered cells.  Fixed task budget, compare final coverage.
 
 import numpy as np
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, sized
 from repro.crowd import (
     Campaign,
     Task,
@@ -20,6 +20,7 @@ from repro.geo import DOWNTOWN_LA, GeoPoint
 
 TASK_BUDGET = 60
 GRID = (8, 8)
+N_SEEDS = sized(3, 2)
 
 
 def run_strategy(strategy: str, seed: int) -> float:
@@ -59,10 +60,10 @@ def run_strategy(strategy: str, seed: int) -> float:
     return final.coverage_ratio
 
 
-def test_ablation_coverage_vs_random_tasks(benchmark, capsys):
+def test_ablation_coverage_vs_random_tasks(benchmark, capsys, bench_record):
     def run():
         coverage, random_placement = [], []
-        for seed in range(3):
+        for seed in range(N_SEEDS):
             coverage.append(run_strategy("coverage", seed))
             random_placement.append(run_strategy("random", seed))
         return float(np.mean(coverage)), float(np.mean(random_placement))
@@ -73,9 +74,14 @@ def test_ablation_coverage_vs_random_tasks(benchmark, capsys):
         f"{'coverage-driven':<22}{cov_mean:>15.0%}",
         f"{'random':<22}{rand_mean:>15.0%}",
         "",
-        f"(budget: {TASK_BUDGET} tasks over a {GRID[0]}x{GRID[1]} grid, mean of 3 seeds)",
+        f"(budget: {TASK_BUDGET} tasks over a {GRID[0]}x{GRID[1]} grid, "
+        f"mean of {N_SEEDS} seeds)",
     ]
     print_table(
         capsys, "Ablation: coverage-driven vs random task placement", header, rows
     )
+    bench_record["results"] = {
+        "coverage_driven": round(cov_mean, 3),
+        "random": round(rand_mean, 3),
+    }
     assert cov_mean > rand_mean

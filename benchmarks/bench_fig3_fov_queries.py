@@ -10,12 +10,12 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import print_table, probe_counters
+from benchmarks.conftest import PERF_ASSERTS, print_table, probe_counters, sized
 from repro.geo import BoundingBox, FieldOfView, GeoPoint
 from repro.index import OrientedRTree
 
 REGION = (33.9, -118.5, 34.1, -118.3)
-SIZES = (200, 800, 2_000)
+SIZES = sized((200, 800, 2_000), (200, 800))
 N_QUERIES = 40
 
 
@@ -47,7 +47,7 @@ def make_queries(seed=1):
     return out
 
 
-def test_fig3_oriented_queries_vs_scan(benchmark, capsys):
+def test_fig3_oriented_queries_vs_scan(benchmark, capsys, bench_record):
     queries = make_queries()
 
     def run():
@@ -104,8 +104,15 @@ def test_fig3_oriented_queries_vs_scan(benchmark, capsys):
         rows,
     )
 
+    speedups = [scan / idx for _, idx, scan, *_ in table]
+    bench_record["results"] = {
+        "sizes": list(SIZES),
+        "speedups": [round(s, 2) for s in speedups],
+        "candidates_per_query": [round(c, 1) for *_, c, _ in table],
+    }
+
     # Index wins clearly at every size, decisively at the largest N.
     # (Strict monotonicity in N is too timing-noise-sensitive to assert.)
-    speedups = [scan / idx for _, idx, scan, *_ in table]
-    assert all(s > 2.0 for s in speedups)
-    assert speedups[-1] > 10.0
+    if PERF_ASSERTS:
+        assert all(s > 2.0 for s in speedups)
+        assert speedups[-1] > 10.0

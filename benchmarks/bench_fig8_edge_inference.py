@@ -20,7 +20,7 @@ from repro.edge import PAPER_DEVICES, PAPER_MODELS, predicted_latency_ms
 IMAGE_SIZES = (128, 224, 299)
 
 
-def test_fig8_inference_time_grid(benchmark, capsys):
+def test_fig8_inference_time_grid(benchmark, capsys, bench_record):
     def run():
         grid = {}
         for model in PAPER_MODELS:
@@ -55,6 +55,13 @@ def test_fig8_inference_time_grid(benchmark, capsys):
         "orders of magnitude (paper: ~1.5)"
     )
     print_table(capsys, "Fig. 8: inference time ms (log10)", header, rows)
+
+    bench_record["results"] = {
+        "mean_rpi_slowdown_orders": round(
+            float(np.mean([math.log10(r) for r in ratios])), 3
+        ),
+        "inception_rpi_299_ms": round(grid[("inception_v3", "raspberry_pi_3b+", 299)], 1),
+    }
 
     # Shape assertions from the paper.
     desktop_at_native = [

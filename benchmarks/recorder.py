@@ -1,0 +1,79 @@
+"""Process-global collector behind ``python -m benchmarks``.
+
+The ``bench_record`` autouse fixture (``benchmarks/conftest.py``) drops
+one record per executed bench into :data:`RECORDS`; the runner
+(``benchmarks/__main__.py``) then assembles them into the
+schema-versioned ``BENCH_<git-sha>.json`` trajectory document that
+``tools/bench_compare.py`` diffs between commits.
+
+Record shape (one per pytest nodeid)::
+
+    {
+      "wall_s": 1.234,          # wall time of the bench body
+      "mem_peak_kb": 4567.8,    # tracemalloc peak while it ran
+      "counters": {...},        # observability-counter increments
+      "results": {...}          # bench-specific headline numbers
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+from pathlib import Path
+
+#: Bump when the document layout changes incompatibly; bench_compare
+#: refuses to diff documents with mismatched versions.
+SCHEMA_VERSION = 1
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: pytest nodeid -> record; filled by the ``bench_record`` fixture.
+RECORDS: dict[str, dict] = {}
+
+
+def git_sha() -> str:
+    """Short commit hash of the working tree, or ``"unknown"``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def expected_modules() -> list[str]:
+    """Every ``bench_*.py`` module the trajectory should cover."""
+    return sorted(p.name for p in (REPO_ROOT / "benchmarks").glob("bench_*.py"))
+
+
+def covered_modules() -> list[str]:
+    """Modules with at least one record in :data:`RECORDS`."""
+    return sorted(
+        {nodeid.split("::")[0].replace("\\", "/").rsplit("/", 1)[-1] for nodeid in RECORDS}
+    )
+
+
+def build_document(smoke: bool) -> dict:
+    """The full trajectory document for the records collected so far."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "git_sha": git_sha(),
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "benches": {nodeid: RECORDS[nodeid] for nodeid in sorted(RECORDS)},
+    }
+
+
+def write_document(path: str | Path, smoke: bool) -> dict:
+    """Serialise :func:`build_document` to ``path``; returns the doc."""
+    document = build_document(smoke)
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document

@@ -83,6 +83,21 @@ def main(argv: list[str] | None = None) -> int:
     if show_stats:
         _out.info("\n[observability] metrics snapshot for this tour:")
         _out.info(json.dumps(platform.metrics_snapshot(), indent=2, sort_keys=True))
+        health = obs.health()
+        _out.info(
+            "\n[observability] SLO health: %s (%s objectives)",
+            health["status"], len(health["objectives"]),
+        )
+        for objective in health["objectives"]:
+            _out.info(
+                "  %-28s %-9s burn=%-7.2f %s",
+                objective["objective"],
+                objective["status"]
+                + ("*" if objective["insufficient_data"] else ""),
+                objective["burn_ratio"],
+                objective["description"],
+            )
+        _out.info("  (* = fewer samples than the objective's minimum)")
     return 0
 
 

@@ -26,13 +26,16 @@ class TVDPClient:
 
     # -- transport --------------------------------------------------------------
 
-    def _call(
+    def _request(
         self,
         method: str,
         path: str,
         body: dict | None = None,
         params: dict | None = None,
-    ) -> dict:
+    ) -> Response:
+        """Dispatch one request and raise :class:`APIError` on failure,
+        returning the raw response (non-JSON routes need its
+        ``text``/``content_type``)."""
         response: Response = self._service.handle(
             Request(
                 method=method,
@@ -52,7 +55,16 @@ class TVDPClient:
             else:
                 message = str(error)
             raise APIError(response.status, message)
-        return response.body
+        return response
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        params: dict | None = None,
+    ) -> dict:
+        return self._request(method, path, body, params).body
 
     # -- account -----------------------------------------------------------------
 
@@ -249,9 +261,26 @@ class TVDPClient:
 
     def metrics(self, prometheus: bool = False) -> dict | str:
         """Observability: the platform's metrics registry snapshot, or
-        the Prometheus text exposition when ``prometheus=True``."""
+        the Prometheus text exposition when ``prometheus=True`` (served
+        as ``text/plain; version=0.0.4``, not a JSON envelope)."""
         if prometheus:
-            return self._call("GET", "/metrics", params={"format": "prometheus"})[
-                "prometheus"
-            ]
+            response = self._request(
+                "GET", "/metrics", params={"format": "prometheus"}
+            )
+            return response.text or ""
         return self._call("GET", "/metrics")["metrics"]
+
+    def health(self) -> dict:
+        """SLO health report: ``{"status", "objectives"}`` with
+        per-objective burn ratios (see ``repro.obs.slo``)."""
+        return self._call("GET", "/health")
+
+    def slow_spans(self, op: str | None = None, limit: int | None = None) -> dict:
+        """Slow-span exemplars from ``GET /debug/slow`` (worst spans per
+        operation with ancestry and probe-counter deltas)."""
+        params: dict = {}
+        if op is not None:
+            params["op"] = op
+        if limit is not None:
+            params["limit"] = limit
+        return self._call("GET", "/debug/slow", params=params)

@@ -67,10 +67,17 @@ class Request:
 
 @dataclass(frozen=True)
 class Response:
-    """One API reply: status code plus JSON-compatible body."""
+    """One API reply: status code plus JSON-compatible body.
+
+    Routes that speak a non-JSON wire format (the Prometheus text
+    exposition) set ``text`` and a matching ``content_type``; ``body``
+    stays an empty dict for those responses.
+    """
 
     status: int
     body: dict
+    content_type: str = "application/json"
+    text: str | None = None
 
     @property
     def ok(self) -> bool:

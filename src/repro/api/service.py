@@ -26,7 +26,13 @@ Plus the Acquisition/Analysis extensions:
 Observability:
 
 * ``GET  /metrics``                     — metrics snapshot (JSON by
-  default; ``?format=prometheus`` for the text exposition format)
+  default; ``?format=prometheus`` for the text exposition format,
+  served as ``text/plain; version=0.0.4``)
+* ``GET  /health``                      — SLO evaluation: overall
+  ``ok|degraded|failing`` plus per-objective burn ratios
+* ``GET  /debug/slow``                  — slow-span exemplars (worst
+  spans per operation with ancestry and probe-counter deltas;
+  ``?op=<span name>`` and ``?limit=<n>`` filter)
 """
 
 from __future__ import annotations
@@ -111,6 +117,7 @@ class TVDPService:
             ("POST", "/users"),
             ("POST", "/keys"),
             ("GET", "/metrics"),
+            ("GET", "/health"),  # load balancers probe without credentials
         }
         if (request.method.upper(), request.path) not in open_routes:
             try:
@@ -150,6 +157,8 @@ class TVDPService:
         route("GET", "/models/{name}/download")(self._download_model)
         route("GET", "/stats")(self._stats)
         route("GET", "/metrics")(self._metrics)
+        route("GET", "/health")(self._health)
+        route("GET", "/debug/slow")(self._debug_slow)
         route("POST", "/classifications")(self._define_classification)
         route("POST", "/images/{image_id}/annotations")(self._add_annotation)
         route("GET", "/images/{image_id}/annotations")(self._list_annotations)
@@ -594,17 +603,50 @@ class TVDPService:
     def _metrics(self, request: Request) -> Response:
         """Observability endpoint: the process-wide metrics registry.
 
-        JSON by default; ``?format=prometheus`` returns only the text
-        exposition format (as a string body field, since this in-process
-        stack always speaks JSON envelopes).
+        JSON by default; ``?format=prometheus`` returns the bare text
+        exposition with the scrape content type Prometheus expects
+        (``text/plain; version=0.0.4``) instead of a JSON envelope.
         """
         registry = obs.metrics()
         if request.params.get("format") == "prometheus":
-            return Response(200, {"prometheus": registry.render_prometheus()})
+            return Response(
+                200,
+                {},
+                content_type="text/plain; version=0.0.4",
+                text=registry.render_prometheus(),
+            )
         return Response(
             200,
             {
                 "metrics": registry.snapshot(),
                 "prometheus": registry.render_prometheus(),
+            },
+        )
+
+    def _health(self, request: Request) -> Response:
+        """SLO evaluation over the live registry (see ``repro.obs.slo``).
+
+        Always a 200 — the payload's ``status`` field carries
+        ``ok|degraded|failing`` so probes distinguish "service down"
+        (no response) from "service unhealthy" (failing objectives).
+        """
+        return Response(200, obs.health())
+
+    def _debug_slow(self, request: Request) -> Response:
+        """Slow-span exemplars: the worst spans per operation, each with
+        its ancestry and the counter increments its work produced."""
+        op = request.params.get("op")
+        limit = request.params.get("limit")
+        try:
+            parsed_limit = int(limit) if limit is not None else None
+        except ValueError as exc:
+            raise APIError(400, "limit must be an integer") from exc
+        if parsed_limit is not None and parsed_limit < 1:
+            raise APIError(400, "limit must be >= 1")
+        return Response(
+            200,
+            {
+                "operations": obs.slow_log().operations(),
+                "slow": obs.slow_spans(op, parsed_limit),
             },
         )

@@ -8,7 +8,10 @@ services on top (see ``docs/static_analysis.md`` for the picture):
 * **mid**       ``features``, ``index``, ``datasets``, ``crowd``
 * **facade**    ``core``
 * **top**       ``api``, ``edge``, ``analysis``
-* **anywhere**  ``obs`` (observability is deliberately layer-free)
+* **anywhere**  ``obs`` (observability is deliberately layer-free;
+  this covers all of its submodules — ``metrics``, ``tracing``,
+  ``logging``, ``profiling``, ``slo`` — since the DAG is
+  package-granular)
 
 ``check_layers`` extracts *every* import edge — including lazy
 function-local imports — and fails any edge not implied by the declared

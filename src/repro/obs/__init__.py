@@ -15,6 +15,12 @@ Typical use::
         obs.metrics().counter("myservice.things").inc()
         log.info("did the thing")
 
+Performance observability on top of the same core: ``obs.profile_scope``
+/ ``obs.memory_scope`` attach cProfile / tracemalloc results to the
+active span, ``obs.slow_spans()`` queries the worst-span exemplar log
+(served at ``GET /debug/slow``), and ``obs.health()`` evaluates the
+declarative SLOs in ``repro.obs.slo`` (served at ``GET /health``).
+
 Set the ``TVDP_TRACE_JSONL`` environment variable (or call
 :func:`enable_jsonl`) to also stream finished spans to a JSON-lines
 file.
@@ -25,6 +31,7 @@ from __future__ import annotations
 import os
 import threading
 
+from repro.obs import slo
 from repro.obs.logs import SpanContextFilter, configure_logging, console, get_logger
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_MS,
@@ -33,6 +40,13 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     counters_delta,
+)
+from repro.obs.profiling import (
+    MemoryResult,
+    ProfileResult,
+    SlowSpanLog,
+    memory_scope,
+    profile_scope,
 )
 from repro.obs.tracing import (
     JsonlExporter,
@@ -49,8 +63,11 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonlExporter",
+    "MemoryResult",
     "MetricsRegistry",
+    "ProfileResult",
     "RingBufferExporter",
+    "SlowSpanLog",
     "Span",
     "SpanContextFilter",
     "Tracer",
@@ -61,9 +78,15 @@ __all__ = [
     "disable_jsonl",
     "enable_jsonl",
     "get_logger",
+    "health",
+    "memory_scope",
     "metrics",
+    "profile_scope",
     "reset",
     "ring_buffer",
+    "slo",
+    "slow_log",
+    "slow_spans",
     "snapshot",
     "span",
     "span_tree",
@@ -72,7 +95,8 @@ __all__ = [
 
 _registry = MetricsRegistry()
 _ring = RingBufferExporter(capacity=4096)
-_tracer = Tracer(registry=_registry, exporters=[_ring])
+_slow = SlowSpanLog(registry=_registry)
+_tracer = Tracer(registry=_registry, exporters=[_ring, _slow])
 _jsonl: JsonlExporter | None = None
 _jsonl_lock = threading.Lock()
 
@@ -92,6 +116,23 @@ def ring_buffer() -> RingBufferExporter:
     return _ring
 
 
+def slow_log() -> SlowSpanLog:
+    """The tracer's slow-span exemplar log (worst spans per operation)."""
+    return _slow
+
+
+def slow_spans(name: str | None = None, limit: int | None = None) -> list[dict]:
+    """Worst-span exemplar records (see ``SlowSpanLog.slowest``)."""
+    return _slow.slowest(name, limit)
+
+
+def health(slos=None) -> dict:
+    """Evaluate SLO objectives against the live registry (see
+    ``repro.obs.slo.evaluate``; default objectives when ``slos`` is
+    ``None``)."""
+    return slo.evaluate(_registry, slos)
+
+
 def span(name: str, **attrs: object):
     """Open a span on the default tracer (context manager)."""
     return _tracer.span(name, **attrs)
@@ -103,12 +144,14 @@ def snapshot() -> dict[str, dict]:
 
 
 def reset() -> None:
-    """Zero all metrics and drop buffered spans (benchmark isolation).
+    """Zero all metrics and drop buffered spans and slow-span exemplars
+    (benchmark isolation).
 
     Metric handles cached by instrumented modules stay valid.
     """
     _registry.reset()
     _ring.clear()
+    _slow.clear()
 
 
 def enable_jsonl(path: str) -> JsonlExporter:

@@ -154,12 +154,26 @@ class Histogram:
             self.bucket_counts[-1] += 1
 
     def percentile(self, q: float) -> float:
-        """Estimated ``q``-quantile (``q`` in [0, 1]) from bucket counts."""
+        """Estimated ``q``-quantile (``q`` in [0, 1]) from bucket counts.
+
+        Pinned interpolation behaviour (see ``tests/obs/test_metrics.py``):
+
+        * an empty histogram returns ``0.0`` for every ``q``;
+        * ``q=0`` returns the observed minimum and ``q=1`` the observed
+          maximum, exactly;
+        * quantiles landing in the overflow bucket (above the last
+          bound) return the observed maximum — the bucket has no upper
+          bound to interpolate towards;
+        * everything else interpolates linearly inside its bucket and is
+          clamped to the observed ``[min, max]``.
+        """
         if not (0.0 <= q <= 1.0):
             raise ValueError(f"q must be in [0, 1], got {q}")
         with self._lock:
             if self.count == 0:
                 return 0.0
+            if q == 0.0:
+                return self.min
             rank = q * self.count
             cumulative = 0
             for i, in_bucket in enumerate(self.bucket_counts):
@@ -263,6 +277,17 @@ class MetricsRegistry:
             metric._reset()
 
     # -- export -------------------------------------------------------------
+
+    def counter_values(self) -> dict[str, float]:
+        """Flat ``name{labels}`` -> value map of the counters only.
+
+        Cheaper than :meth:`snapshot` (no histogram summaries), which
+        matters to callers that sample around every span — the slow-span
+        exemplar log takes one of these at span start and finish.
+        """
+        with self._lock:
+            counters = list(self._counters.values())
+        return {_flat_name(c.name, c.labels): c.value for c in counters}
 
     def snapshot(self) -> dict[str, dict]:
         """JSON-compatible dump of every metric's current value."""

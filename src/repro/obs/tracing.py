@@ -13,6 +13,11 @@ a :class:`~repro.obs.metrics.MetricsRegistry` — recorded as
 ``spans.total``/``spans.errors`` counters.  That single wiring is what
 lets ``GET /metrics`` report latency summaries for every instrumented
 operation without separate timing code.
+
+Exporters that also define an ``on_start(span)`` method are called when
+a span *opens* — the slow-span exemplar log in ``repro.obs.profiling``
+uses this to snapshot counters before the work runs, so it can report
+probe-counter deltas per slow span.
 """
 
 from __future__ import annotations
@@ -61,6 +66,10 @@ class Span:
     duration_ms: float = 0.0
     status: str = "ok"
     error: str | None = None
+    #: Names of the ancestors, root first (computed at open time, when
+    #: the parent chain is still alive — parents *finish* after their
+    #: children, so it cannot be rebuilt from finished spans alone).
+    ancestry: tuple[str, ...] = ()
 
     def set(self, key: str, value: object) -> None:
         """Attach/overwrite one attribute.
@@ -83,6 +92,7 @@ class Span:
             "status": self.status,
             "error": self.error,
             "attrs": dict(self.attrs),
+            "ancestry": list(self.ancestry),
         }
 
 
@@ -194,7 +204,14 @@ class Tracer:
             parent_id=parent.span_id if parent else None,
             attrs=dict(attrs),
             start_time=time.time(),
+            ancestry=(*parent.ancestry, parent.name) if parent else (),
         )
+        with self._exporters_lock:
+            exporters = tuple(self.exporters)
+        for exporter in exporters:
+            on_start = getattr(exporter, "on_start", None)
+            if on_start is not None:
+                on_start(span)
         token = _current_span.set(span)
         t0 = time.perf_counter()
         try:

@@ -1,4 +1,5 @@
-"""The /metrics endpoint, request middleware, and structured errors."""
+"""The /metrics, /health, and /debug/slow endpoints, the request
+middleware, and structured errors."""
 
 import pytest
 
@@ -50,6 +51,88 @@ class TestMetricsEndpoint:
         text = client.metrics(prometheus=True)
         assert "# TYPE tvdp_api_requests counter" in text
         assert "tvdp_api_request_ms_count" in text
+
+    def test_prometheus_content_type_is_exposition_text(self, service):
+        response = service.handle(
+            Request("GET", "/metrics", params={"format": "prometheus"})
+        )
+        assert response.status == 200
+        assert response.content_type == "text/plain; version=0.0.4"
+        assert response.text is not None and response.text.endswith("\n")
+        assert response.body == {}
+
+    def test_json_default_content_type(self, service):
+        response = service.handle(Request("GET", "/metrics"))
+        assert response.content_type == "application/json"
+        assert response.text is None
+
+
+class TestHealthEndpoint:
+    def test_open_without_key_and_cold_is_ok(self, service):
+        response = service.handle(Request("GET", "/health"))
+        assert response.status == 200
+        assert response.body["status"] == "ok"
+        assert all(o["insufficient_data"] for o in response.body["objectives"])
+
+    def test_reports_every_default_objective(self, client):
+        report = client.health()
+        objectives = {o["objective"] for o in report["objectives"]}
+        assert "query.spatial.p95" in objectives
+        assert "upload.availability" in objectives
+        assert "api.request.p99" in objectives
+
+    def test_latency_spike_degrades_health(self, client):
+        # Inject a sustained latency spike into the histogram the tracer
+        # feeds: p95 of spatial queries lands at ~150 ms against the
+        # 100 ms objective -> burn 1.5 -> degraded.
+        histogram = obs.metrics().histogram(
+            "span.duration_ms", {"span": "query.spatial"}
+        )
+        for _ in range(50):
+            histogram.observe(150.0)
+        report = client.health()
+        assert report["status"] == "degraded"
+        worst = report["objectives"][0]
+        assert worst["objective"] == "query.spatial.p95"
+        assert worst["status"] == "degraded"
+        assert 1.0 < worst["burn_ratio"] <= 2.0
+
+    def test_error_burst_fails_health(self, client):
+        obs.metrics().counter("spans.total", {"span": "query.visual"}).inc(100)
+        obs.metrics().counter("spans.errors", {"span": "query.visual"}).inc(10)
+        report = client.health()
+        assert report["status"] == "failing"
+        assert report["objectives"][0]["objective"] == "query.visual.availability"
+
+
+class TestDebugSlowEndpoint:
+    def test_requires_key(self, service):
+        response = service.handle(Request("GET", "/debug/slow"))
+        assert response.status == 401
+
+    def test_returns_worst_spans_with_deltas(self, client):
+        client.stats()
+        payload = client.slow_spans()
+        assert "http.request" in payload["operations"]
+        record = payload["slow"][0]
+        assert record["name"] == "http.request"
+        assert "counter_deltas" in record
+        assert "ancestry" in record
+
+    def test_op_and_limit_filters(self, client):
+        client.stats()
+        client.stats()
+        payload = client.slow_spans(op="http.request", limit=1)
+        assert len(payload["slow"]) == 1
+        none = client.slow_spans(op="no.such.op")
+        assert none["slow"] == []
+
+    def test_rejects_bad_limit(self, client):
+        with pytest.raises(APIError) as err:
+            client.slow_spans(limit=0)
+        assert err.value.status == 400
+        response = client._request("GET", "/metrics")  # still serving
+        assert response.status == 200
 
 
 class TestMiddleware:

@@ -95,6 +95,37 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("h").percentile(1.5)
 
+    # -- pinned interpolation contract (see Histogram.percentile) -------
+
+    def test_empty_histogram_percentile_is_zero(self):
+        h = Histogram("h")
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.percentile(q) == 0.0
+
+    def test_q0_and_q1_are_exact_observed_extremes(self):
+        h = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for v in (2.7, 41.3, 99.0):
+            h.observe(v)
+        assert h.percentile(0.0) == 2.7
+        assert h.percentile(1.0) == 99.0
+
+    def test_all_overflow_percentiles_are_max(self):
+        # Every observation above the last bucket boundary: any quantile
+        # lands in the overflow bucket and reports the observed maximum
+        # (including q=0, which still reports the minimum exactly).
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(500.0)
+        h.observe(900.0)
+        assert h.percentile(0.0) == 500.0
+        for q in (0.25, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 900.0
+
+    def test_single_observation_any_quantile(self):
+        h = Histogram("h", buckets=(10.0, 100.0))
+        h.observe(42.0)
+        for q in (0.0, 0.5, 1.0):
+            assert h.percentile(q) == 42.0
+
 
 class TestRegistry:
     def test_get_or_create_is_stable(self):
@@ -156,6 +187,14 @@ class TestRegistry:
         reg.histogram("b")
         assert len(reg.histograms("a")) == 2
         assert len(reg.histograms()) == 3
+
+    def test_counter_values_is_counters_only(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", {"route": "/x"}).inc(2)
+        reg.gauge("depth").set(5)
+        reg.histogram("lat").observe(1.0)
+        values = reg.counter_values()
+        assert values == {'hits{route="/x"}': 2.0}
 
     def test_default_buckets_cover_training_scale(self):
         assert DEFAULT_LATENCY_BUCKETS_MS[0] < 0.1

@@ -1,0 +1,189 @@
+"""``tools/bench_compare.py``: regression gates over BENCH documents."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "bench_compare", REPO_ROOT / "tools" / "bench_compare.py"
+)
+bench_compare = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_compare)
+
+
+def document(benches: dict) -> dict:
+    return {
+        "schema_version": 1,
+        "git_sha": "abc1234",
+        "smoke": True,
+        "python": "3.11.0",
+        "benches": benches,
+    }
+
+
+def bench(wall_s: float, counters: dict | None = None) -> dict:
+    return {
+        "wall_s": wall_s,
+        "mem_peak_kb": 100.0,
+        "counters": counters or {},
+        "results": {},
+    }
+
+
+BASELINE = document(
+    {
+        "benchmarks/bench_a.py::test_a": bench(2.0, {"index.probes": 1_000.0}),
+        "benchmarks/bench_b.py::test_b": bench(1.0, {"index.visits": 400.0}),
+    }
+)
+
+
+class TestCompare:
+    def test_identical_documents_are_clean(self):
+        assert bench_compare.compare(BASELINE, BASELINE) == []
+
+    def test_flags_25_percent_wall_regression(self):
+        current = document(
+            {
+                "benchmarks/bench_a.py::test_a": bench(2.5, {"index.probes": 1_000.0}),
+                "benchmarks/bench_b.py::test_b": bench(1.0, {"index.visits": 400.0}),
+            }
+        )
+        regressions = bench_compare.compare(BASELINE, current)
+        assert len(regressions) == 1
+        [r] = regressions
+        assert r["kind"] == "wall"
+        assert r["bench"] == "benchmarks/bench_a.py::test_a"
+        assert r["ratio"] == pytest.approx(1.25)
+
+    def test_flags_25_percent_counter_regression(self):
+        current = document(
+            {
+                "benchmarks/bench_a.py::test_a": bench(2.0, {"index.probes": 1_250.0}),
+                "benchmarks/bench_b.py::test_b": bench(1.0, {"index.visits": 400.0}),
+            }
+        )
+        regressions = bench_compare.compare(BASELINE, current)
+        assert len(regressions) == 1
+        [r] = regressions
+        assert r["kind"] == "counter"
+        assert r["counter"] == "index.probes"
+        assert r["ratio"] == pytest.approx(1.25)
+
+    def test_within_tolerance_is_clean(self):
+        current = document(
+            {
+                "benchmarks/bench_a.py::test_a": bench(2.3, {"index.probes": 1_150.0}),
+                "benchmarks/bench_b.py::test_b": bench(1.1, {"index.visits": 440.0}),
+            }
+        )
+        assert bench_compare.compare(BASELINE, current) == []
+
+    def test_skip_wall_ignores_wall_regressions(self):
+        current = document(
+            {
+                "benchmarks/bench_a.py::test_a": bench(9.0, {"index.probes": 1_000.0}),
+                "benchmarks/bench_b.py::test_b": bench(9.0, {"index.visits": 400.0}),
+            }
+        )
+        assert bench_compare.compare(BASELINE, current, skip_wall=True) == []
+
+    def test_noise_floors_suppress_tiny_values(self):
+        noisy_base = document(
+            {"benchmarks/bench_c.py::test_c": bench(0.01, {"tiny.counter": 4.0})}
+        )
+        noisy_cur = document(
+            {"benchmarks/bench_c.py::test_c": bench(0.04, {"tiny.counter": 8.0})}
+        )
+        # 4x growth on a 10 ms / 4-count bench is noise, not regression.
+        assert bench_compare.compare(noisy_base, noisy_cur) == []
+
+    def test_missing_bench_is_a_regression(self):
+        current = document(
+            {"benchmarks/bench_a.py::test_a": bench(2.0, {"index.probes": 1_000.0})}
+        )
+        regressions = bench_compare.compare(BASELINE, current)
+        assert [r["kind"] for r in regressions] == ["missing"]
+        assert regressions[0]["bench"] == "benchmarks/bench_b.py::test_b"
+
+    def test_new_bench_is_not_a_regression(self):
+        current = document(
+            {
+                **BASELINE["benches"],
+                "benchmarks/bench_new.py::test_new": bench(5.0),
+            }
+        )
+        assert bench_compare.compare(BASELINE, current) == []
+
+    def test_counter_improvements_are_not_flagged(self):
+        current = document(
+            {
+                "benchmarks/bench_a.py::test_a": bench(1.0, {"index.probes": 500.0}),
+                "benchmarks/bench_b.py::test_b": bench(0.5, {"index.visits": 200.0}),
+            }
+        )
+        assert bench_compare.compare(BASELINE, current) == []
+
+
+class TestMainCli:
+    def write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", BASELINE)
+        assert bench_compare.main([base, base]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_exit_one_on_synthetic_regression(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", BASELINE)
+        worse = document(
+            {
+                "benchmarks/bench_a.py::test_a": bench(2.5, {"index.probes": 1_300.0}),
+                "benchmarks/bench_b.py::test_b": bench(1.0, {"index.visits": 400.0}),
+            }
+        )
+        cur = self.write(tmp_path, "cur.json", worse)
+        assert bench_compare.main([base, cur]) == 1
+        out = capsys.readouterr().out
+        assert "WALL" in out and "COUNTER" in out
+
+    def test_exit_two_on_bad_schema(self, tmp_path, capsys):
+        bad = self.write(tmp_path, "bad.json", {"schema_version": 99, "benches": {}})
+        base = self.write(tmp_path, "base.json", BASELINE)
+        assert bench_compare.main([base, bad]) == 2
+
+    def test_custom_tolerance(self, tmp_path):
+        base = self.write(tmp_path, "base.json", BASELINE)
+        worse = document(
+            {
+                "benchmarks/bench_a.py::test_a": bench(2.3, {"index.probes": 1_000.0}),
+                "benchmarks/bench_b.py::test_b": bench(1.0, {"index.visits": 400.0}),
+            }
+        )
+        cur = self.write(tmp_path, "cur.json", worse)
+        assert bench_compare.main([base, cur]) == 0  # 15% < default 20%
+        assert bench_compare.main([base, cur, "--wall-tolerance", "0.10"]) == 1
+
+
+class TestCheckedInBaseline:
+    def test_baseline_is_valid_and_covers_all_modules(self):
+        baseline = bench_compare.load_document(
+            REPO_ROOT / "tools" / "bench_baseline.json"
+        )
+        assert baseline["schema_version"] == 1
+        assert baseline["smoke"] is True
+        covered = {
+            nodeid.split("::")[0].rsplit("/", 1)[-1] for nodeid in baseline["benches"]
+        }
+        expected = {p.name for p in (REPO_ROOT / "benchmarks").glob("bench_*.py")}
+        assert covered == expected
+        for record in baseline["benches"].values():
+            assert {"wall_s", "mem_peak_kb", "counters", "results"} <= set(record)

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Diff two ``BENCH_<git-sha>.json`` trajectory documents.
+
+Usage::
+
+    python tools/bench_compare.py BASELINE.json CURRENT.json [--skip-wall]
+
+Exits non-zero when the current run regresses past the tolerance
+(default 20%) on:
+
+* **wall time** per bench (skipped with ``--skip-wall`` — CI runners
+  have wildly different clocks; the probe counters below are seeded
+  and deterministic, so they gate CI instead),
+* **probe counters** per bench (more index probes / node visits for
+  the same seeded workload means an algorithmic regression),
+* **coverage** — a bench present in the baseline but missing from the
+  current run.
+
+Tiny values are noise, not signal: wall times under ``WALL_FLOOR_S``
+and counters under ``COUNTER_FLOOR`` never regress.  New benches and
+counters (present only in the current run) are informational.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Relative growth beyond which a wall time / counter is a regression.
+DEFAULT_TOLERANCE = 0.20
+#: Wall times below this are measurement noise and never compared.
+WALL_FLOOR_S = 0.05
+#: Counters below this are too small for a ratio test.
+COUNTER_FLOOR = 50.0
+
+
+def load_document(path: str | Path) -> dict:
+    document = json.loads(Path(path).read_text())
+    version = document.get("schema_version")
+    if version != 1:
+        raise ValueError(f"{path}: unsupported schema_version {version!r}")
+    return document
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    *,
+    wall_tolerance: float = DEFAULT_TOLERANCE,
+    counter_tolerance: float = DEFAULT_TOLERANCE,
+    skip_wall: bool = False,
+) -> list[dict]:
+    """Regressions of ``current`` against ``baseline``, empty if clean.
+
+    Each regression dict has ``kind`` (``wall`` / ``counter`` /
+    ``missing``), ``bench``, and for ratio kinds ``baseline`` /
+    ``current`` / ``ratio``.
+    """
+    regressions: list[dict] = []
+    base_benches = baseline["benches"]
+    cur_benches = current["benches"]
+    for bench in sorted(set(base_benches) - set(cur_benches)):
+        regressions.append({"kind": "missing", "bench": bench})
+    for bench in sorted(set(base_benches) & set(cur_benches)):
+        base, cur = base_benches[bench], cur_benches[bench]
+        if not skip_wall:
+            base_wall, cur_wall = base["wall_s"], cur["wall_s"]
+            if base_wall >= WALL_FLOOR_S and cur_wall > base_wall * (1 + wall_tolerance):
+                regressions.append(
+                    {
+                        "kind": "wall",
+                        "bench": bench,
+                        "baseline": base_wall,
+                        "current": cur_wall,
+                        "ratio": cur_wall / base_wall,
+                    }
+                )
+        base_counters = base.get("counters", {})
+        cur_counters = cur.get("counters", {})
+        for name in sorted(set(base_counters) & set(cur_counters)):
+            base_value, cur_value = base_counters[name], cur_counters[name]
+            if base_value >= COUNTER_FLOOR and cur_value > base_value * (
+                1 + counter_tolerance
+            ):
+                regressions.append(
+                    {
+                        "kind": "counter",
+                        "bench": bench,
+                        "counter": name,
+                        "baseline": base_value,
+                        "current": cur_value,
+                        "ratio": cur_value / base_value,
+                    }
+                )
+    return regressions
+
+
+def format_regression(regression: dict) -> str:
+    if regression["kind"] == "missing":
+        return f"MISSING  {regression['bench']} (in baseline, not in current run)"
+    label = "wall_s" if regression["kind"] == "wall" else regression["counter"]
+    return (
+        f"{regression['kind'].upper():<8} {regression['bench']}: {label} "
+        f"{regression['baseline']:g} -> {regression['current']:g} "
+        f"({regression['ratio']:.2f}x)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare two BENCH_*.json files; exit 1 on regression."
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument(
+        "--skip-wall",
+        action="store_true",
+        help="ignore wall-time changes (CI: machines differ; counters gate)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"relative wall-time growth allowed (default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--counter-tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"relative counter growth allowed (default {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_document(args.baseline)
+        current = load_document(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if baseline.get("smoke") != current.get("smoke"):
+        print(
+            "warning: comparing a smoke run against a full run — "
+            "sweep sizes differ, expect counter noise",
+            file=sys.stderr,
+        )
+
+    regressions = compare(
+        baseline,
+        current,
+        wall_tolerance=args.wall_tolerance,
+        counter_tolerance=args.counter_tolerance,
+        skip_wall=args.skip_wall,
+    )
+    shared = len(set(baseline["benches"]) & set(current["benches"]))
+    new = sorted(set(current["benches"]) - set(baseline["benches"]))
+    print(
+        f"compared {shared} benches "
+        f"({baseline.get('git_sha')} -> {current.get('git_sha')}, "
+        f"wall {'skipped' if args.skip_wall else 'checked'})"
+    )
+    for bench in new:
+        print(f"NEW      {bench} (not in baseline)")
+    if not regressions:
+        print("no regressions")
+        return 0
+    for regression in regressions:
+        print(format_regression(regression))
+    print(f"{len(regressions)} regression(s)")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
