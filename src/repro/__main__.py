@@ -3,8 +3,13 @@
 Runs a miniature end-to-end cycle (upload, query, annotate, translate,
 dispatch) and narrates what happened at each step.  Pass ``--stats`` to
 also dump the observability snapshot (counters, gauges, latency
-histograms) the tour produced.  The full experiment reproductions live
-in ``examples/`` and ``benchmarks/``.
+histograms) the tour produced.  Pass ``--chaos`` to run a fault-drill
+on top: a seeded :class:`~repro.resilience.FaultPlan` (seed from
+``$REPRO_FAULT_SEED``) kills a share of edge transfers and the first
+database save while the resilient fleet/persistence paths ride it out —
+then prints what was injected, what retried, and how the breakers and
+SLOs look afterwards.  The full experiment reproductions live in
+``examples/`` and ``benchmarks/``.
 
 The narration goes through :func:`repro.obs.console` — the library-wide
 ``no-print`` lint holds here too, and routing the tour through the
@@ -29,9 +34,86 @@ from repro.imaging import CLEANLINESS_CLASSES
 _out = obs.console("tour")
 
 
+def _chaos_drill(platform: TVDP) -> None:
+    """Run the resilient fleet + persistence paths under a scripted
+    fault plan and narrate what the platform absorbed."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.db.persistence import dump_database, load_database
+    from repro.edge import (
+        UploadPlan,
+        dispatch_fleet_resilient,
+        feature_vector_bytes,
+        upload_fleet,
+    )
+    from repro.resilience import (
+        FaultPlan,
+        breaker_states,
+        reset_breakers,
+        seed_from_env,
+    )
+
+    seed = seed_from_env(default=0)
+    _out.info("\n[chaos] fault drill, seed=%d ($REPRO_FAULT_SEED)", seed)
+    reset_breakers()
+    plan = (
+        FaultPlan(seed=seed)
+        .kill("edge.transfer", rate=0.3)
+        .kill("db.save", at_calls={1})
+    )
+    with plan.activate():
+        dispatch = dispatch_fleet_resilient(
+            list(PAPER_DEVICES), list(PAPER_MODELS), 1_000.0, seed=seed
+        )
+        plans = {
+            name: UploadPlan(
+                n_items=32,
+                bytes_per_item=feature_vector_bytes(512),
+                device=decision.device,
+            )
+            for name, decision in dispatch.decisions.items()
+        }
+        transfers = upload_fleet(plans, seed=seed)
+        with tempfile.TemporaryDirectory() as tmp:
+            snapshot = Path(tmp) / "tvdp.json"
+            dump_database(platform.db, snapshot, seed=seed)
+            restored = load_database(snapshot, seed=seed)
+        _out.info(
+            "  dispatched %d/%d devices, delivered %d/%d batches, "
+            "snapshot round-tripped %d tables",
+            len(dispatch.decisions),
+            len(dispatch.decisions) + len(dispatch.failed),
+            len(transfers.delivered),
+            len(plans),
+            len(restored.table_names()),
+        )
+        for name, reason in sorted(transfers.failed.items()):
+            _out.info("  lost despite retries: %-18s %s", name, reason)
+        _out.info("  faults injected: %s", json.dumps(plan.summary(), sort_keys=True))
+        snap = obs.snapshot()
+        retries = {
+            key: value
+            for key, value in snap["counters"].items()
+            if key.startswith("resilience.retries")
+        }
+        _out.info("  retries: %s", json.dumps(retries, sort_keys=True))
+        for name, state in breaker_states().items():
+            _out.info(
+                "  breaker %-24s %-9s trips=%d", name, state["state"], state["trips"]
+            )
+        health = obs.health()
+        _out.info(
+            "  health after drill: %s (virtual time elapsed: %.2fs, real sleeps: 0)",
+            health["status"],
+            plan.clock.now(),
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(argv or ())
     show_stats = "--stats" in argv
+    run_chaos = "--chaos" in argv
     _out.info("TVDP reproduction v%s — guided tour\n", __version__)
 
     platform = TVDP()
@@ -78,6 +160,9 @@ def main(argv: list[str] | None = None) -> int:
             "  %-18s -> %-14s (%.0f ms predicted)",
             name, decision.model.name, decision.predicted_latency_ms,
         )
+    if run_chaos:
+        _chaos_drill(platform)
+
     _out.info("\ndone — see examples/ and benchmarks/ for the full reproductions.")
 
     if show_stats:

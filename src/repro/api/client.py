@@ -3,26 +3,62 @@
 "More programming experienced users can directly access APIs through
 cross-platform client libraries" — this is that library.  It speaks to
 a :class:`~repro.api.service.TVDPService` instance in-process, but its
-surface is exactly what an HTTP client would expose.
+surface is exactly what an HTTP client would expose — including the
+failure handling a real network client needs: transient errors and
+server-side (5xx) responses retry with seeded backoff behind a shared
+circuit breaker, while client errors (4xx) surface immediately and are
+never retried.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import APIError
+from repro.errors import APIError, FaultInjected, TVDPError
 from repro.api.http import Request, Response
 from repro.api.service import TVDPService, image_to_payload
 from repro.geo.fov import FieldOfView
 from repro.imaging.image import Image
+from repro.resilience import Clock, Retry, current_clock, get_breaker, inject
+
+#: Fault-injection site for client request dispatch.
+REQUEST_SITE = "api.request"
+
+#: Errors a client request retries: injected chaos, link failures, and
+#: 5xx responses (re-raised as :class:`APIError` inside the attempt; a
+#: 4xx never reaches the retry loop).
+_CLIENT_TRANSIENT = (APIError, FaultInjected, ConnectionError, TimeoutError)
+
+
+def _error_message(response: Response) -> str:
+    error = response.body.get("error", "API error")
+    if isinstance(error, dict):  # structured envelope from the middleware
+        message = error.get("message", "API error")
+        request_id = error.get("request_id")
+        if request_id:
+            message = f"{message} (request {request_id})"
+        return str(message)
+    return str(error)
 
 
 class TVDPClient:
     """Typed convenience wrapper over the service routes."""
 
-    def __init__(self, service: TVDPService, api_key: str | None = None) -> None:
+    def __init__(
+        self,
+        service: TVDPService,
+        api_key: str | None = None,
+        clock: Clock | None = None,
+        max_attempts: int = 3,
+        seed: int = 0,
+        breaker_name: str = "api.client",
+    ) -> None:
         self._service = service
         self.api_key = api_key
+        self._clock = clock
+        self._max_attempts = max_attempts
+        self._seed = seed
+        self._breaker_name = breaker_name
 
     # -- transport --------------------------------------------------------------
 
@@ -35,26 +71,43 @@ class TVDPClient:
     ) -> Response:
         """Dispatch one request and raise :class:`APIError` on failure,
         returning the raw response (non-JSON routes need its
-        ``text``/``content_type``)."""
-        response: Response = self._service.handle(
-            Request(
-                method=method,
-                path=path,
-                body=body,
-                params=params or {},
-                api_key=self.api_key,
-            )
+        ``text``/``content_type``).
+
+        Server-side failures (5xx, dead links, injected faults) retry
+        through the client's circuit breaker; 4xx responses raise
+        without a retry — repeating a bad request cannot fix it.
+        """
+        clock = current_clock(self._clock)
+        breaker = get_breaker(
+            self._breaker_name, failure_on=(TVDPError,), clock=self._clock
         )
+
+        def one_attempt() -> Response:
+            inject(REQUEST_SITE, clock)
+            response: Response = self._service.handle(
+                Request(
+                    method=method,
+                    path=path,
+                    body=body,
+                    params=params or {},
+                    api_key=self.api_key,
+                )
+            )
+            if response.status >= 500:
+                raise APIError(response.status, _error_message(response))
+            return response
+
+        retry = Retry(
+            max_attempts=self._max_attempts,
+            base_delay_s=0.05,
+            retry_on=_CLIENT_TRANSIENT,
+            seed=self._seed,
+            clock=clock,
+            site=REQUEST_SITE,
+        )
+        response = retry.call(lambda: breaker.call(one_attempt))
         if not response.ok:
-            error = response.body.get("error", "API error")
-            if isinstance(error, dict):  # structured envelope from the middleware
-                message = error.get("message", "API error")
-                request_id = error.get("request_id")
-                if request_id:
-                    message = f"{message} (request {request_id})"
-            else:
-                message = str(error)
-            raise APIError(response.status, message)
+            raise APIError(response.status, _error_message(response))
         return response
 
     def _call(

@@ -624,13 +624,25 @@ class TVDPService:
         )
 
     def _health(self, request: Request) -> Response:
-        """SLO evaluation over the live registry (see ``repro.obs.slo``).
+        """SLO evaluation over the live registry (see ``repro.obs.slo``),
+        plus every registered circuit breaker's live state.
 
         Always a 200 — the payload's ``status`` field carries
         ``ok|degraded|failing`` so probes distinguish "service down"
         (no response) from "service unhealthy" (failing objectives).
+        An open breaker alone degrades the report: traffic is being
+        shed even if the SLO windows have not burned through yet.
         """
-        return Response(200, obs.health())
+        from repro.resilience import breaker_states
+
+        report = obs.health()
+        breakers = breaker_states()
+        report["breakers"] = breakers
+        if report["status"] == "ok" and any(
+            b["state"] == "open" for b in breakers.values()
+        ):
+            report["status"] = "degraded"
+        return Response(200, report)
 
     def _debug_slow(self, request: Request) -> Response:
         """Slow-span exemplars: the worst spans per operation, each with

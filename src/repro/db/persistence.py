@@ -3,18 +3,39 @@
 A TVDP deployment would sit on PostgreSQL; for the reproduction the
 whole store round-trips through a single JSON document, which keeps
 examples self-contained and the on-disk format inspectable.
+
+Saves and loads are *resilient*: both run through the platform's
+retry policies and the ``db.save`` / ``db.load`` fault-injection sites
+(see :mod:`repro.resilience`).  A save writes to a temp file, reads it
+back to verify the JSON survived, and only then atomically replaces the
+target — so a torn or corrupted write is detected and retried instead
+of destroying the previous good snapshot, and a retried save is
+idempotent by construction.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
-from repro.errors import SchemaError
+from repro import obs
+from repro.errors import FaultInjected, SchemaError
 from repro.db.database import Database
 from repro.db.schema import Column, ColumnType, ForeignKey, TableSchema
+from repro.resilience import Clock, Retry, corrupt, current_clock, inject
 
 _FORMAT_VERSION = 1
+
+#: Fault-injection sites for persistence (see ``repro.resilience``).
+SAVE_SITE = "db.save"
+LOAD_SITE = "db.load"
+
+#: Errors worth retrying around persistence: injected chaos, filesystem
+#: hiccups, and corruption caught by save verification / load parsing.
+_PERSIST_TRANSIENT = (FaultInjected, OSError, SchemaError)
+
+_VERIFY_FAILURES = obs.metrics().counter("db.persist.verify_failures")
 
 
 def _schema_to_dict(schema: TableSchema) -> dict:
@@ -57,8 +78,22 @@ def _schema_from_dict(data: dict) -> TableSchema:
     return TableSchema(data["name"], columns)
 
 
-def dump_database(db: Database, path: str | Path) -> None:
-    """Write schema + rows + index definitions to a JSON file."""
+def dump_database(
+    db: Database,
+    path: str | Path,
+    clock: Clock | None = None,
+    max_attempts: int = 3,
+    seed: int = 0,
+) -> None:
+    """Write schema + rows + index definitions to a JSON file.
+
+    The document is serialised once, then each attempt writes it to a
+    sibling temp file, reads that back to prove the bytes parse, and
+    atomically renames over ``path``.  A verification failure (e.g. a
+    ``db.save`` corruption fault, or a disk that lied) raises
+    :class:`SchemaError` and is retried; ``path`` never holds a partial
+    snapshot.
+    """
     document = {"version": _FORMAT_VERSION, "tables": []}
     for name in db.table_names():
         table = db.table(name)
@@ -69,12 +104,84 @@ def dump_database(db: Database, path: str | Path) -> None:
                 "indexes": sorted(table._indexes),
             }
         )
-    Path(path).write_text(json.dumps(document))
+    serialized = json.dumps(document)
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    resolved = current_clock(clock)
+
+    def one_attempt() -> None:
+        with obs.span("db.persist.attempt", op="save"):
+            inject(SAVE_SITE, resolved)
+            text = corrupt(SAVE_SITE, serialized)
+            if not isinstance(text, str):
+                raise SchemaError("database snapshot corrupted before write")
+            tmp.write_text(text)
+            try:
+                json.loads(tmp.read_text())
+            except ValueError as exc:
+                _VERIFY_FAILURES.inc()
+                tmp.unlink(missing_ok=True)
+                raise SchemaError(
+                    f"database snapshot failed read-back verification: {exc}"
+                ) from exc
+            os.replace(tmp, target)
+
+    retry = Retry(
+        max_attempts=max_attempts,
+        base_delay_s=0.05,
+        retry_on=_PERSIST_TRANSIENT,
+        seed=seed,
+        clock=resolved,
+        site=SAVE_SITE,
+    )
+    with obs.span("db.persist", op="save", tables=len(document["tables"])):
+        retry.call(one_attempt)
 
 
-def load_database(path: str | Path) -> Database:
-    """Rebuild a database from :func:`dump_database` output."""
-    document = json.loads(Path(path).read_text())
+def load_database(
+    path: str | Path,
+    clock: Clock | None = None,
+    max_attempts: int = 3,
+    seed: int = 0,
+) -> Database:
+    """Rebuild a database from :func:`dump_database` output.
+
+    Reads run through the ``db.load`` fault site and the same retry
+    policy as saves — a transient read error or an injected corruption
+    gets a fresh read of the (atomically written, hence never partial)
+    snapshot.
+    """
+    resolved = current_clock(clock)
+
+    def one_attempt() -> dict:
+        with obs.span("db.persist.attempt", op="load"):
+            inject(LOAD_SITE, resolved)
+            text = corrupt(LOAD_SITE, Path(path).read_text())
+            if not isinstance(text, str):
+                raise SchemaError("database snapshot corrupted during read")
+            try:
+                parsed = json.loads(text)
+            except ValueError as exc:
+                raise SchemaError(f"database file is not valid JSON: {exc}") from exc
+            if not isinstance(parsed, dict):
+                raise SchemaError("database file must hold a JSON object")
+            return parsed
+
+    retry = Retry(
+        max_attempts=max_attempts,
+        base_delay_s=0.05,
+        retry_on=_PERSIST_TRANSIENT,
+        seed=seed,
+        clock=resolved,
+        site=LOAD_SITE,
+    )
+    with obs.span("db.persist", op="load"):
+        document = retry.call(one_attempt)
+        return _build_database(document)
+
+
+def _build_database(document: dict) -> Database:
+    """Rebuild the in-memory database from one parsed snapshot."""
     if document.get("version") != _FORMAT_VERSION:
         raise SchemaError(
             f"unsupported database file version {document.get('version')!r}"

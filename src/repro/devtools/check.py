@@ -27,6 +27,7 @@ from repro.devtools.correctness import (
     check_geo_literals,
     check_mutable_defaults,
     check_no_print,
+    check_no_sleep,
 )
 from repro.devtools.findings import (
     Finding,
@@ -46,6 +47,7 @@ ALL_RULES: tuple[str, ...] = (
     "mutable-default",
     "no-print",
     "geo-range",
+    "no-sleep",
 )
 
 
@@ -122,6 +124,8 @@ def run_check(
         findings += check_no_print(modules, scope_cache)
     if "geo-range" in selected:
         findings += check_geo_literals(modules, scope_cache)
+    if "no-sleep" in selected:
+        findings += check_no_sleep(modules, scope_cache)
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     new, suppressed = split_new(findings, baseline or [])

@@ -11,6 +11,11 @@
   outside [-180, 180] passed to geographic constructors or lat/lng
   keywords; a transposed ``GeoPoint(lng, lat)`` fails at runtime only
   for |lng| > 90, so the static check catches what tests may miss.
+* ``no-sleep`` — ``time.sleep()`` in library code blocks a real thread
+  and makes tests slow and flaky; time-shaped behaviour goes through
+  the injectable ``repro.resilience.Clock`` instead.  The one
+  sanctioned call site (``SystemClock.sleep``) carries an inline
+  ``# devtools: allow[no-sleep]``.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ RULE_BROAD_EXCEPT = "broad-except"
 RULE_MUTABLE_DEFAULT = "mutable-default"
 RULE_NO_PRINT = "no-print"
 RULE_GEO_RANGE = "geo-range"
+RULE_NO_SLEEP = "no-sleep"
 
 _BROAD_NAMES = frozenset({"Exception", "BaseException"})
 _LOG_METHODS = frozenset(
@@ -152,6 +158,51 @@ def check_no_print(
                     message=(
                         "print() in library code: use repro.obs.get_logger "
                         "(or obs.console for CLI-facing output)"
+                    ),
+                    scope=scope_of(module, node.lineno, cache),
+                )
+            )
+    return findings
+
+
+def check_no_sleep(
+    modules: list[SourceModule], scope_cache: dict | None = None
+) -> list[Finding]:
+    """Flag ``time.sleep(...)`` calls — including ones through a
+    ``from time import sleep`` alias — anywhere in library code."""
+    cache: dict = scope_cache if scope_cache is not None else {}
+    findings: list[Finding] = []
+    for module in modules:
+        # Names that ``from time import sleep [as alias]`` bound locally.
+        sleep_aliases: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        sleep_aliases.add(alias.asname or alias.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_sleep = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "sleep"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ) or (isinstance(func, ast.Name) and func.id in sleep_aliases)
+            if not is_sleep:
+                continue
+            if module.allows(RULE_NO_SLEEP, node.lineno):
+                continue
+            findings.append(
+                Finding(
+                    rule=RULE_NO_SLEEP,
+                    path=module.rel_path,
+                    line=node.lineno,
+                    message=(
+                        "time.sleep() blocks a real thread: route waits through "
+                        "the injectable repro.resilience.Clock so simulated time "
+                        "can stand in (SystemClock.sleep is the one allowed site)"
                     ),
                     scope=scope_of(module, node.lineno, cache),
                 )

@@ -64,17 +64,20 @@ class LayerConfig:
 
 #: The shipped platform's DAG.  ``crowd`` sits mid-layer (campaign and
 #: coverage logic over geometry only) so the ``api`` top layer may
-#: consume it; ``devtools`` is intentionally isolated.
+#: consume it; ``resilience`` sits just above ``errors`` so every
+#: failure surface (db persistence, edge transfers, the API client) can
+#: wrap itself in policies; ``devtools`` is intentionally isolated.
 DEFAULT_LAYER_CONFIG = LayerConfig(
     top_package="repro",
     deps={
         "errors": frozenset(),
         "obs": frozenset(),
         "devtools": frozenset(),
+        "resilience": frozenset({"errors"}),
         "geo": frozenset({"errors"}),
         "imaging": frozenset({"errors"}),
         "ml": frozenset({"errors"}),
-        "db": frozenset({"errors"}),
+        "db": frozenset({"errors", "resilience"}),
         "index": frozenset({"errors", "geo"}),
         "datasets": frozenset({"errors", "geo", "imaging"}),
         "features": frozenset({"errors", "imaging", "ml"}),
@@ -82,8 +85,10 @@ DEFAULT_LAYER_CONFIG = LayerConfig(
         "core": frozenset(
             {"errors", "db", "index", "datasets", "features", "geo", "imaging", "ml"}
         ),
-        "api": frozenset({"errors", "core", "crowd", "db", "geo", "imaging", "ml"}),
-        "edge": frozenset({"errors", "ml"}),
+        "api": frozenset(
+            {"errors", "core", "crowd", "db", "geo", "imaging", "ml", "resilience"}
+        ),
+        "edge": frozenset({"errors", "ml", "resilience"}),
         "analysis": frozenset(
             {"errors", "core", "datasets", "features", "geo", "imaging", "ml"}
         ),

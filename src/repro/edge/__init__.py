@@ -18,16 +18,22 @@ from repro.edge.models import (
 )
 from repro.edge.dispatch import (
     DispatchDecision,
+    FleetDispatchReport,
     dispatch_fleet,
+    dispatch_fleet_resilient,
     dispatch_model,
     predicted_latency_ms,
 )
 from repro.edge.network import (
     FLOAT_BYTES,
+    FleetTransferReport,
+    TransferReceipt,
     UploadPlan,
     compare_upload_strategies,
+    execute_upload,
     feature_vector_bytes,
     raw_image_bytes,
+    upload_fleet,
 )
 from repro.edge.selection import (
     SelectionResult,
@@ -57,14 +63,20 @@ __all__ = [
     "PAPER_MODELS",
     "model_by_name",
     "DispatchDecision",
+    "FleetDispatchReport",
     "dispatch_model",
     "dispatch_fleet",
+    "dispatch_fleet_resilient",
     "predicted_latency_ms",
     "raw_image_bytes",
     "feature_vector_bytes",
     "FLOAT_BYTES",
     "UploadPlan",
+    "TransferReceipt",
+    "FleetTransferReport",
     "compare_upload_strategies",
+    "execute_upload",
+    "upload_fleet",
     "prediction_entropy",
     "SelectionResult",
     "select_for_upload",

@@ -8,16 +8,20 @@ and constraints, pick the most accurate variant that fits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro import obs
-from repro.errors import EdgeError
+from repro.errors import EdgeError, TVDPError
 from repro.edge.devices import DeviceProfile
 from repro.edge.models import ModelVariant
+from repro.resilience import Clock, Retry, current_clock, inject
 
 _DECISIONS = obs.metrics().counter("edge.dispatch.decisions")
 _INFEASIBLE = obs.metrics().counter("edge.dispatch.infeasible")
 _OVER_BUDGET = obs.metrics().counter("edge.dispatch.over_budget")
+
+#: Fault-injection site for per-device dispatch (see ``repro.resilience``).
+DISPATCH_SITE = "edge.dispatch"
 
 
 @dataclass(frozen=True, slots=True)
@@ -121,9 +125,68 @@ def dispatch_fleet(
     latency_budget_ms: float = float("inf"),
 ) -> dict[str, DispatchDecision]:
     """Dispatch every device in a heterogeneous fleet; device name ->
-    decision."""
+    decision.  All-or-nothing: any infeasible device raises.  Campaign
+    code that must survive flaky devices uses
+    :func:`dispatch_fleet_resilient` instead."""
     with obs.span("edge.dispatch_fleet", devices=len(devices)):
         return {
             device.name: dispatch_model(device, candidates, latency_budget_ms)
             for device in devices
         }
+
+
+@dataclass(frozen=True)
+class FleetDispatchReport:
+    """Per-device dispatch outcomes for a fleet round."""
+
+    decisions: dict[str, DispatchDecision] = field(default_factory=dict)
+    failed: dict[str, str] = field(default_factory=dict)  # name -> error
+
+    @property
+    def dispatch_ratio(self) -> float:
+        total = len(self.decisions) + len(self.failed)
+        if total == 0:
+            return 1.0
+        return len(self.decisions) / total
+
+
+def dispatch_fleet_resilient(
+    devices: list[DeviceProfile],
+    candidates: list[ModelVariant],
+    latency_budget_ms: float = float("inf"),
+    clock: Clock | None = None,
+    max_attempts: int = 3,
+    seed: int = 0,
+    **dispatch_kwargs: float,
+) -> FleetDispatchReport:
+    """Dispatch a fleet where individual devices may be unreachable.
+
+    Each device's dispatch runs through the :data:`DISPATCH_SITE` fault
+    hook and a seeded retry; a device that stays unreachable (or is
+    genuinely infeasible) is recorded in ``failed`` and the round
+    continues — the paper's heterogeneous crowd fleets lose members
+    routinely, and one dead phone must not void everyone else's model.
+    """
+    resolved = current_clock(clock)
+    report = FleetDispatchReport()
+    with obs.span("edge.dispatch_fleet", devices=len(devices), resilient=True):
+        for offset, device in enumerate(devices):
+
+            def negotiate(device: DeviceProfile = device) -> DispatchDecision:
+                inject(DISPATCH_SITE, resolved)
+                return dispatch_model(
+                    device, candidates, latency_budget_ms, **dispatch_kwargs
+                )
+
+            retry = Retry(
+                max_attempts=max_attempts,
+                base_delay_s=0.05,
+                seed=seed + offset,
+                clock=resolved,
+                site=DISPATCH_SITE,
+            )
+            try:
+                report.decisions[device.name] = retry.call(negotiate)
+            except TVDPError as exc:
+                report.failed[device.name] = f"{type(exc).__name__}: {exc}"
+    return report

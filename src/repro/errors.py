@@ -56,6 +56,57 @@ class EdgeError(TVDPError):
     """Edge-computing failure (unknown device, undispatchable model)."""
 
 
+class ResilienceError(TVDPError):
+    """Resilience-policy failure (retry budget spent, breaker open...)."""
+
+
+class RetryBudgetExceeded(ResilienceError):
+    """A retry policy ran out of attempts or backoff budget.
+
+    ``last_error`` carries the exception the final attempt raised, so
+    callers can still see *why* the operation kept failing.
+    """
+
+    def __init__(self, message: str, last_error: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker rejected the call without running it."""
+
+    def __init__(self, breaker: str, retry_after_s: float) -> None:
+        super().__init__(
+            f"circuit {breaker!r} is open; retry in {retry_after_s:.3f}s"
+        )
+        self.breaker = breaker
+        self.retry_after_s = retry_after_s
+
+
+class CallTimeoutError(ResilienceError):
+    """A call exceeded its timeout policy's limit."""
+
+    def __init__(self, limit_s: float, elapsed_s: float) -> None:
+        super().__init__(
+            f"call exceeded its {limit_s:.3f}s timeout (took {elapsed_s:.3f}s)"
+        )
+        self.limit_s = limit_s
+        self.elapsed_s = elapsed_s
+
+
+class FaultInjected(ResilienceError):
+    """An error scripted by an active :class:`~repro.resilience.FaultPlan`.
+
+    Raised only under fault injection (tests, ``python -m repro
+    --chaos``) — production code paths never construct it themselves.
+    """
+
+    def __init__(self, site: str, call_index: int) -> None:
+        super().__init__(f"injected fault at {site!r} (call #{call_index})")
+        self.site = site
+        self.call_index = call_index
+
+
 class APIError(TVDPError):
     """API-layer failure; carries an HTTP-like status code."""
 

@@ -99,7 +99,8 @@ def _query_family_slos() -> list[SLO]:
 
 
 #: The shipped objectives: per-query-family latency/availability, the
-#: upload pipeline, and the API request envelope.
+#: upload pipeline, the API request envelope, and the resilience
+#: surfaces (edge transfer attempts, database persistence).
 DEFAULT_SLOS: tuple[SLO, ...] = (
     *_query_family_slos(),
     SLO(
@@ -131,6 +132,23 @@ DEFAULT_SLOS: tuple[SLO, ...] = (
         span="http.request",
         target=0.995,
         description="99.5% of API requests dispatch without raising",
+    ),
+    SLO(
+        objective="edge.transfer.availability",
+        kind="availability",
+        span="edge.transfer.attempt",
+        target=0.9,
+        description=(
+            "90% of individual edge transfer attempts succeed "
+            "(retries and per-device breakers absorb the rest)"
+        ),
+    ),
+    SLO(
+        objective="db.persist.availability",
+        kind="availability",
+        span="db.persist",
+        target=0.99,
+        description="99% of database saves/loads complete after retries",
     ),
 )
 

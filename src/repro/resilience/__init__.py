@@ -1,0 +1,78 @@
+"""Resilience layer: composable failure policies + deterministic chaos.
+
+TVDP's production posture treats partial failure as the normal case —
+dead Raspberry Pis mid-campaign, flaky uplinks, interrupted persistence
+writes.  This package provides the two halves of surviving that:
+
+* **Policies** (:mod:`repro.resilience.policies`) — :class:`Retry` with
+  seeded exponential backoff, post-hoc :class:`Timeout`,
+  :class:`CircuitBreaker` with closed/open/half-open isolation,
+  :class:`Fallback` degradation, stacked via :func:`resilient` /
+  :func:`execute`.  Per-name breakers live in a process registry
+  (:func:`get_breaker`, surfaced at ``GET /health``).
+* **Faults** (:mod:`repro.resilience.faults`) — :class:`FaultPlan`
+  scripts error/latency/corruption faults per call-site on a seeded,
+  exactly-reproducible schedule, activated via a contextvar so tests
+  and ``python -m repro --chaos`` inject failures with zero
+  monkeypatching.
+
+Both halves share the injectable :class:`Clock`
+(:mod:`repro.resilience.clock`): under a :class:`ManualClock`, retry
+storms, breaker recovery windows, and injected latency all play out in
+simulated time — the whole resilience test suite runs without a single
+real ``time.sleep``.
+
+See ``docs/resilience.md`` for policy semantics and chaos-test recipes.
+"""
+
+from repro.resilience.clock import Clock, ManualClock, SystemClock
+from repro.resilience.faults import (
+    SEED_ENV_VAR,
+    FaultEvent,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    corrupt,
+    current_clock,
+    inject,
+    seed_from_env,
+)
+from repro.resilience.policies import (
+    DEFAULT_TRANSIENT,
+    CircuitBreaker,
+    Fallback,
+    Retry,
+    Timeout,
+    backoff_delays,
+    breaker_states,
+    execute,
+    get_breaker,
+    reset_breakers,
+    resilient,
+)
+
+__all__ = [
+    "DEFAULT_TRANSIENT",
+    "SEED_ENV_VAR",
+    "CircuitBreaker",
+    "Clock",
+    "Fallback",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRule",
+    "ManualClock",
+    "Retry",
+    "SystemClock",
+    "Timeout",
+    "active_plan",
+    "backoff_delays",
+    "breaker_states",
+    "corrupt",
+    "current_clock",
+    "execute",
+    "get_breaker",
+    "inject",
+    "reset_breakers",
+    "resilient",
+    "seed_from_env",
+]

@@ -93,16 +93,11 @@ class TestRouter:
         assert ok.status == 200 and ok.body["id"] == "3"
 
     def test_exception_mapping(self):
+        from tests.resilience.conftest import failing_stub
+
         router = Router()
-
-        def boom(request):
-            raise APIError(418, "teapot")
-
-        def crash(request):
-            raise RuntimeError("oops")
-
-        router.add("GET", "/boom", boom)
-        router.add("GET", "/crash", crash)
+        router.add("GET", "/boom", failing_stub(APIError(418, "teapot")))
+        router.add("GET", "/crash", failing_stub(RuntimeError("oops")))
         assert router.dispatch(Request("GET", "/boom")).status == 418
         assert router.dispatch(Request("GET", "/crash")).status == 500
 

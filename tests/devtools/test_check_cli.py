@@ -30,6 +30,12 @@ SEEDED = {
         "    return into\n"
     ),
     "low/sites.py": "from pkg.low.base import VALUE\n\nBAD = {'lat': 34.0}\n\ndef f(g):\n    return g(lat=-118.24, lng=34.05)\n",
+    "low/waits.py": (
+        "import time\n"
+        "\n"
+        "def poll():\n"
+        "    time.sleep(0.5)\n"  # no-sleep
+    ),
 }
 
 

@@ -114,6 +114,54 @@ class TestNetwork:
             compare_upload_strategies(DESKTOP, -1, 100, 10)
 
 
+class TestResilientTransfers:
+    """The transfer executor over the planning layer: one dead device
+    must not stall — or fail — the rest of the fleet's round."""
+
+    def _plans(self):
+        return {
+            device.name: plan_for_device(device)
+            for device in (DESKTOP, SMARTPHONE, RASPBERRY_PI)
+        }
+
+    def test_dead_device_is_isolated(self):
+        from repro.edge import upload_fleet
+        from repro.resilience import FaultPlan, ManualClock, reset_breakers
+
+        reset_breakers()
+        clock = ManualClock()
+        # Every transfer from the Pi dies; everyone else is healthy.
+        plan = FaultPlan(seed=0, clock=clock).kill(
+            "edge.transfer", rate=1.0, max_faults=50
+        )
+        plans = {RASPBERRY_PI.name: self._plans()[RASPBERRY_PI.name]}
+        with plan.activate():
+            report = upload_fleet(plans, clock=clock)
+        assert RASPBERRY_PI.name in report.failed
+        assert report.delivery_ratio == 0.0
+        reset_breakers()
+
+    def test_flaky_link_retried_to_success(self):
+        from repro.edge import execute_upload
+        from repro.resilience import FaultPlan, ManualClock, reset_breakers
+
+        reset_breakers()
+        clock = ManualClock()
+        plan = FaultPlan(seed=0, clock=clock).kill("edge.transfer", at_calls={1})
+        with plan.activate():
+            receipt = execute_upload(plan_for_device(SMARTPHONE))
+        assert receipt.attempts == 2
+        assert receipt.duration_s > 0.0
+        reset_breakers()
+
+
+def plan_for_device(device):
+    """A small feature-vector upload batch for one device."""
+    return compare_upload_strategies(
+        device, n_items=16, image_px=512, feature_dim=256
+    )["features"]
+
+
 def make_learning_problem(seed=0, n_seed=60, n_edge=120, n_test=90):
     """Three-class Gaussian problem split across server/edges/test."""
     rng = np.random.default_rng(seed)

@@ -1,0 +1,187 @@
+"""Integration: a full campaign cycle under scripted chaos.
+
+The paper's scenario — city uploads through the API, edge fleet rounds,
+a persistence snapshot — driven with a :class:`FaultPlan` that kills
+30% of edge transfers, the first database save, and a couple of API
+requests.  The platform must ride it out: the campaign converges,
+retried uploads stay idempotent (content-hash dedup means no duplicate
+rows), ``/health`` degrades while the chaos runs and recovers once
+clean traffic resumes — all in virtual time, with zero real sleeps.
+
+``$REPRO_FAULT_SEED`` shifts the whole schedule (the CI chaos job runs
+a three-seed matrix); each run is exactly reproducible for its seed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.api import TVDPClient, TVDPService
+from repro.core import TVDP
+from repro.datasets import generate_lasan_dataset
+from repro.db.persistence import dump_database, load_database
+from repro.edge import (
+    PAPER_DEVICES,
+    PAPER_MODELS,
+    UploadPlan,
+    dispatch_fleet_resilient,
+    feature_vector_bytes,
+    upload_fleet,
+)
+from repro.resilience import FaultPlan, ManualClock, reset_breakers, seed_from_env
+
+#: Three distinct seeds derived from the environment's base seed.
+SEEDS = [seed_from_env(default=0) + offset for offset in range(3)]
+
+CHAOS_ROUNDS = 8
+MAX_CLEAN_ROUNDS = 120
+
+
+@pytest.fixture(autouse=True)
+def _isolated_and_sleepless(monkeypatch):
+    obs.reset()
+    reset_breakers()
+
+    def forbidden_sleep(seconds: float) -> None:
+        raise AssertionError(f"real time.sleep({seconds!r}) during the chaos cycle")
+
+    monkeypatch.setattr(time, "sleep", forbidden_sleep)
+    yield
+    reset_breakers()
+
+
+def _fleet_round(clock, seed):
+    """One dispatch + transfer round for the whole paper fleet."""
+    dispatch = dispatch_fleet_resilient(
+        list(PAPER_DEVICES), list(PAPER_MODELS), 1_000.0, clock=clock, seed=seed
+    )
+    plans = {
+        name: UploadPlan(
+            n_items=32,
+            bytes_per_item=feature_vector_bytes(512),
+            device=decision.device,
+        )
+        for name, decision in dispatch.decisions.items()
+    }
+    return upload_fleet(plans, clock=clock, seed=seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_campaign_cycle_survives_chaos(seed, tmp_path):
+    clock = ManualClock()
+    plan = (
+        FaultPlan(seed=seed, clock=clock)
+        .kill("edge.transfer", rate=0.3)
+        .kill("db.save", at_calls={1})
+        .kill("api.request", rate=0.2, max_faults=2)
+    )
+    platform = TVDP()
+    service = TVDPService(platform, deterministic_keys=True)
+    client = TVDPClient(service, seed=seed)
+    records = generate_lasan_dataset(n_per_class=2, image_size=24, seed=0)
+
+    with plan.activate():
+        # -- acquisition through the flaky API --------------------------------
+        user_id = client.register_user("ops", role="government")
+        client.create_key(user_id)
+        ids = [
+            client.add_image(
+                r.image, r.fov, r.captured_at, r.uploaded_at, keywords=r.keywords
+            )["image_id"]
+            for r in records
+        ]
+        assert len(set(ids)) == len(records)
+
+        # Retried/replayed uploads are idempotent: identical content
+        # dedups to the same row, so chaos cannot inflate the table.
+        first = records[0]
+        replay = client.add_image(
+            first.image, first.fov, first.captured_at, first.uploaded_at,
+            keywords=first.keywords,
+        )
+        assert replay["image_id"] == ids[0]
+        assert platform.db.row_counts()["images"] == len(records)
+
+        # -- edge campaign rounds under 30% transfer loss ----------------------
+        delivered = 0
+        attempted = 0
+        for round_no in range(CHAOS_ROUNDS):
+            report = _fleet_round(clock, seed=seed * 1_000 + round_no)
+            delivered += len(report.delivered)
+            attempted += len(report.delivered) + len(report.failed)
+            # Between campaign rounds real time passes; open breakers
+            # get their recovery window.
+            clock.advance(61.0)
+        assert attempted == CHAOS_ROUNDS * len(PAPER_DEVICES)
+        # Retries + per-device breakers keep the campaign converging
+        # despite 30% attempt loss.
+        assert delivered >= 0.7 * attempted
+
+        # -- persistence with the first save killed ----------------------------
+        snapshot = tmp_path / "tvdp.json"
+        dump_database(platform.db, snapshot, seed=seed)
+        restored = load_database(snapshot, seed=seed)
+        assert restored.row_counts() == platform.db.row_counts()
+        assert plan.summary()["db.save"]["error"] == 1
+
+        # -- health degrades while the chaos is live ---------------------------
+        degraded = client.health()
+        edge_slo = next(
+            o
+            for o in degraded["objectives"]
+            if o["objective"] == "edge.transfer.availability"
+        )
+        assert edge_slo["samples"] >= 20
+        assert edge_slo["status"] in ("degraded", "failing")
+        assert degraded["status"] in ("degraded", "failing")
+
+    # -- chaos over: clean traffic refills the error budget --------------------
+    def _edge_burn() -> float:
+        report = obs.health()
+        slo = next(
+            o
+            for o in report["objectives"]
+            if o["objective"] == "edge.transfer.availability"
+        )
+        return slo["burn_ratio"]
+
+    clock.advance(61.0)
+    for round_no in range(MAX_CLEAN_ROUNDS):
+        report = _fleet_round(clock, seed=round_no)
+        assert report.delivery_ratio == 1.0
+        clock.advance(61.0)
+        if _edge_burn() <= 1.0:
+            break
+    else:
+        pytest.fail("edge transfer SLO never recovered from the chaos window")
+
+    recovered = client.health()
+    edge_slo = next(
+        o
+        for o in recovered["objectives"]
+        if o["objective"] == "edge.transfer.availability"
+    )
+    assert edge_slo["status"] == "ok"
+    assert all(b["state"] == "closed" for b in recovered["breakers"].values())
+    assert recovered["status"] == "ok"
+
+    # The whole drill — backoff storms, breaker recovery windows,
+    # simulated transfer time — happened on the virtual clock.
+    assert clock.now() > 60.0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fault_schedule_reproducible_per_seed(seed):
+    def run():
+        reset_breakers()  # same starting state both times
+        clock = ManualClock()
+        plan = FaultPlan(seed=seed, clock=clock).kill("edge.transfer", rate=0.3)
+        with plan.activate():
+            for round_no in range(3):
+                _fleet_round(clock, seed=seed * 1_000 + round_no)
+        return plan.events
+
+    assert run() == run()

@@ -1,0 +1,141 @@
+"""Property tests on resilience invariants, for arbitrary seeds.
+
+Three paper-cuts this pins down for *every* seed, not just the ones the
+unit tests happen to use:
+
+* backoff schedules are monotone non-decreasing and never overrun their
+  budget;
+* a circuit breaker can only reach ``closed`` from ``half_open`` — a
+  recovery always passes through a successful probe;
+* a :class:`FaultPlan` replays the exact same fault schedule when
+  rebuilt with the same seed and rules.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FaultInjected
+from repro.resilience import CircuitBreaker, FaultPlan, ManualClock, backoff_delays
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestBackoffProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        seed=seeds,
+        max_attempts=st.integers(1, 20),
+        base=st.floats(0.001, 2.0, allow_nan=False),
+        factor=st.floats(1.0, 4.0, allow_nan=False),
+        cap=st.floats(0.5, 30.0, allow_nan=False),
+        budget=st.floats(0.1, 120.0, allow_nan=False),
+        jitter=st.floats(0.0, 0.99, allow_nan=False),
+    )
+    def test_monotone_and_budget_bounded(
+        self, seed, max_attempts, base, factor, cap, budget, jitter
+    ):
+        delays = backoff_delays(
+            max_attempts,
+            base_delay_s=base,
+            factor=factor,
+            max_delay_s=cap,
+            budget_s=budget,
+            jitter=jitter,
+            seed=seed,
+        )
+        assert len(delays) <= max_attempts - 1 if max_attempts > 1 else not delays
+        assert all(later >= earlier for earlier, later in zip(delays, delays[1:]))
+        assert sum(delays) <= budget + 1e-9
+        assert all(0.0 <= d <= cap for d in delays)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds)
+    def test_same_seed_same_schedule(self, seed):
+        kwargs = dict(max_attempts=8, base_delay_s=0.05, budget_s=60.0)
+        assert backoff_delays(seed=seed, **kwargs) == backoff_delays(
+            seed=seed, **kwargs
+        )
+
+
+class TestBreakerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=seeds,
+        threshold=st.integers(1, 5),
+        outcomes=st.lists(st.booleans(), min_size=1, max_size=60),
+        gaps=st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=60),
+    )
+    def test_closed_only_reachable_from_half_open(
+        self, seed, threshold, outcomes, gaps
+    ):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            f"prop-{seed}",
+            failure_threshold=threshold,
+            recovery_time_s=30.0,
+            failure_on=(ConnectionError,),
+            clock=clock,
+        )
+        for succeed, gap in zip(outcomes, gaps + gaps * 2):
+            clock.advance(gap)
+            try:
+                if succeed:
+                    breaker.call(lambda: "ok")
+                else:
+                    with pytest.raises(ConnectionError):
+                        breaker.call(self._failing)
+            except Exception:  # CircuitOpenError: rejected while open
+                pass
+        for frm, to, _ in breaker.transitions:
+            if to == "closed":
+                assert frm == "half_open"
+            if frm == "open":
+                assert to == "half_open"
+
+    @staticmethod
+    def _failing():
+        raise ConnectionError("down")
+
+
+class TestFaultPlanProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=seeds,
+        rate=st.floats(0.0, 1.0, allow_nan=False),
+        calls=st.integers(1, 80),
+    )
+    def test_schedule_exactly_reproducible(self, seed, rate, calls):
+        def run():
+            plan = (
+                FaultPlan(seed=seed, clock=ManualClock())
+                .kill("site.a", rate=rate)
+                .delay("site.a", latency_s=0.1, rate=rate / 2)
+                .garble("site.b", rate=rate)
+            )
+            with plan.activate():
+                for _ in range(calls):
+                    try:
+                        plan.inject("site.a")
+                    except FaultInjected:
+                        pass
+                    plan.corrupt("site.b", "payload")
+            return plan.events
+
+        first, second = run(), run()
+        assert first == second
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds, calls=st.integers(1, 50))
+    def test_rate_one_fires_every_call_rate_zero_never(self, seed, calls):
+        plan = FaultPlan(seed=seed).kill("a", rate=1.0).kill("b", rate=0.0)
+        with plan.activate():
+            for _ in range(calls):
+                with pytest.raises(FaultInjected):
+                    plan.inject("a")
+                plan.inject("b")
+        summary = plan.summary()
+        assert summary["a"]["error"] == calls
+        assert "b" not in summary

@@ -1,0 +1,98 @@
+"""Shared failure-mode fixtures for the resilience suites.
+
+Other test packages import these helpers too (the API router tests use
+:func:`failing_stub` instead of hand-rolled raising handlers), the same
+way ``tests.devtools.conftest`` shares ``TINY_LAYERS``.
+
+The autouse guard replaces ``time.sleep`` with an assertion for every
+test in this package: the whole resilience suite — retry storms,
+breaker recovery windows, injected latency — must run in *simulated*
+time only.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.resilience import ManualClock, reset_breakers
+
+
+def failing_stub(error: BaseException):
+    """A callable (any signature) that always raises ``error``."""
+
+    def stub(*args, **kwargs):
+        raise error
+
+    return stub
+
+
+class FlakyCall:
+    """Callable that fails its first ``failures`` invocations, then
+    returns ``result`` forever; ``calls`` counts every invocation."""
+
+    def __init__(self, failures: int, error=None, result: object = "ok") -> None:
+        self.failures = failures
+        self.error = error if error is not None else ConnectionError("link dropped")
+        self.result = result
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return self.result
+
+
+class FailAfter:
+    """Callable that succeeds ``successes`` times, then raises ``error``
+    forever — the shape of a dependency that degrades mid-run."""
+
+    def __init__(self, successes: int, error=None, result: object = "ok") -> None:
+        self.successes = successes
+        self.error = error if error is not None else ConnectionError("link dropped")
+        self.result = result
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        if self.calls > self.successes:
+            raise self.error
+        return self.result
+
+
+@pytest.fixture
+def manual_clock() -> ManualClock:
+    return ManualClock()
+
+
+@pytest.fixture
+def flaky_call():
+    """Factory: ``flaky_call(failures, error=..., result=...)``."""
+    return FlakyCall
+
+
+@pytest.fixture
+def fail_after():
+    """Factory: ``fail_after(successes, error=..., result=...)``."""
+    return FailAfter
+
+
+@pytest.fixture(autouse=True)
+def _isolated_and_sleepless(monkeypatch):
+    """Fresh obs/breaker state per test, and any real ``time.sleep``
+    fails the test outright."""
+    obs.reset()
+    reset_breakers()
+
+    def forbidden_sleep(seconds: float) -> None:
+        raise AssertionError(
+            f"real time.sleep({seconds!r}) during a resilience test — "
+            f"route waits through an injected Clock"
+        )
+
+    monkeypatch.setattr(time, "sleep", forbidden_sleep)
+    yield
+    reset_breakers()

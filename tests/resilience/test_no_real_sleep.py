@@ -1,0 +1,107 @@
+"""Regression: every time-shaped code path runs on simulated clocks.
+
+The package-wide autouse fixture replaces ``time.sleep`` with an
+assertion, so simply *driving* retries, breaker recovery, injected
+latency, and modelled transfer times through here proves none of them
+touch the wall clock.  (The ``no-sleep`` devtools lint pins the same
+invariant statically.)
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.edge import (
+    PAPER_DEVICES,
+    PAPER_MODELS,
+    UploadPlan,
+    dispatch_fleet_resilient,
+    execute_upload,
+    feature_vector_bytes,
+    upload_fleet,
+)
+from repro.errors import FaultInjected
+from repro.resilience import FaultPlan, ManualClock, Retry, SystemClock
+
+
+def test_guard_itself_trips_on_real_sleep():
+    with pytest.raises(AssertionError, match="real time.sleep"):
+        time.sleep(0.001)
+
+
+def test_system_clock_skips_nonpositive_sleep():
+    SystemClock().sleep(0.0)  # must not reach time.sleep
+    SystemClock().sleep(-1.0)
+
+
+def test_retry_storm_is_sleepless(manual_clock, flaky_call):
+    retry = Retry(max_attempts=6, base_delay_s=1.0, clock=manual_clock, site="t")
+    assert retry.call(flaky_call(5)) == "ok"
+    assert manual_clock.slept > 1.0  # minutes of virtual backoff, no real pause
+
+
+def test_transfer_executor_defaults_to_virtual_time():
+    plan_for = {
+        device.name: UploadPlan(
+            n_items=64, bytes_per_item=feature_vector_bytes(512), device=device
+        )
+        for device in PAPER_DEVICES
+    }
+    # No explicit clock and no active FaultPlan: transfers still must
+    # not block — transfer_time_s is *modelled*, on a fresh ManualClock.
+    report = upload_fleet(plan_for)
+    assert report.delivery_ratio == 1.0
+    for receipt in report.delivered.values():
+        assert receipt.duration_s > 0.0  # simulated link time was spent
+
+
+def test_chaos_latency_and_retries_are_sleepless():
+    clock = ManualClock()
+    plan = (
+        FaultPlan(seed=3, clock=clock)
+        .delay("edge.transfer", latency_s=5.0, at_calls={1})
+        .kill("edge.transfer", at_calls={1})
+    )
+    upload = UploadPlan(
+        n_items=8,
+        bytes_per_item=feature_vector_bytes(128),
+        device=PAPER_DEVICES[0],
+    )
+    with plan.activate():
+        receipt = execute_upload(upload, seed=3)
+    assert receipt.attempts >= 2  # the killed attempt was retried
+    assert clock.slept >= 5.0  # injected latency landed on the virtual clock
+
+
+def test_resilient_dispatch_is_sleepless():
+    clock = ManualClock()
+    plan = FaultPlan(seed=5, clock=clock).kill(
+        "edge.dispatch", rate=0.5, max_faults=4
+    )
+    with plan.activate():
+        report = dispatch_fleet_resilient(
+            list(PAPER_DEVICES), list(PAPER_MODELS), 1_000.0, seed=5
+        )
+    # Faults either retried into success or isolated per device; nothing
+    # raised out and nothing slept for real (the guard would have fired).
+    assert set(report.decisions) | set(report.failed) == {
+        d.name for d in PAPER_DEVICES
+    }
+
+
+def test_persistence_retries_are_sleepless(tmp_path):
+    from repro.core import TVDP
+    from repro.db.persistence import dump_database, load_database
+
+    platform = TVDP()
+    plan = FaultPlan(seed=1).kill("db.save", at_calls={1}).kill(
+        "db.load", error=lambda s, i: FaultInjected(s, i), at_calls={1}
+    )
+    target = tmp_path / "db.json"
+    with plan.activate():
+        dump_database(platform.db, target)
+        restored = load_database(target)
+    assert restored.table_names() == platform.db.table_names()
+    assert plan.summary() == {"db.save": {"error": 1}, "db.load": {"error": 1}}
