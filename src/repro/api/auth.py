@@ -27,6 +27,9 @@ class ApiKeyManager:
             self._counter += 1
             material = f"tvdp-{self._seed}-{self._counter}".encode()
             return hashlib.sha256(material).hexdigest()[:40]
+        # API keys must be unpredictable; the seeded branch above
+        # exists for reproducible runs.
+        # devtools: allow[determinism] — entropy is the point here
         return secrets.token_hex(20)
 
     def issue(self, user_id: int, created_at: float = 0.0) -> str:

@@ -1,7 +1,9 @@
 """Static-analysis suite guarding the platform's architecture.
 
-Four families of AST-based checks keep the codebase honest as it
-grows (``docs/static_analysis.md`` has the full rule catalogue):
+Two generations of checks keep the codebase honest as it grows
+(``docs/static_analysis.md`` has the full rule catalogue).
+
+Per-file AST lints (v1):
 
 * **layer-boundary** — the package-dependency DAG (geo/imaging at the
   bottom, features/ml/index/db mid, core above, api/edge/crowd/analysis
@@ -10,8 +12,25 @@ grows (``docs/static_analysis.md`` has the full rule catalogue):
 * **concurrency** — module-level mutable state mutated outside a lock,
   and unlocked mutations of index / metrics-registry internals.
 * **correctness** — silently-swallowing broad ``except`` clauses,
-  mutable default arguments, ``print()`` in library code, and
-  out-of-range latitude/longitude literals.
+  mutable default arguments, ``print()`` in library code,
+  out-of-range latitude/longitude literals, and real ``time.sleep``.
+
+Whole-program analyses (v2), built on a project-wide symbol table and
+call graph (``repro.devtools.callgraph``):
+
+* **lock-order** — extracts the lock-acquisition graph across the
+  whole tree (interprocedurally, via a may-acquire fixpoint), fails on
+  cycles and on locks held across blocking IO/sleep/policy calls.
+  Runtime companion: ``repro.devtools.sanitizers`` ("tsan-lite"),
+  enabled with ``REPRO_SANITIZE=1 pytest``.
+* **exception-flow** — infers what each public api/edge/db entry point
+  can raise and fails when a type escapes both the ``repro.errors``
+  taxonomy and every declared retryable set.
+* **determinism** — wall-clock reads, unseeded/global RNG, raw
+  entropy, and unordered-set iteration outside the sanctioned
+  ``resilience.Clock`` / seeded-RNG seams.
+* **dead-code** — public module-level symbols nothing in src or
+  examples references.
 * **typecheck** — a mypy ratchet over an allowlist of fully-annotated
   modules (``repro.devtools.typecheck``).
 
@@ -22,7 +41,8 @@ the offending line, or by a checked-in baseline file of fingerprints
 (``tools/devtools_baseline.json``); only *new* findings fail the run.
 
 This package deliberately imports nothing from the rest of ``repro`` —
-it sits outside the layer DAG it enforces.
+it sits outside the layer DAG it enforces.  (The runtime sanitizer
+reaches platform seams through ``importlib`` at install time only.)
 """
 
 from __future__ import annotations
@@ -31,6 +51,12 @@ from typing import Any
 
 from repro.devtools.findings import Finding, load_baseline, write_baseline
 from repro.devtools.layers import DEFAULT_LAYER_CONFIG, LayerConfig, check_layers
+from repro.devtools.callgraph import (
+    CallGraph,
+    SymbolTable,
+    build_call_graph,
+    build_symbol_table,
+)
 from repro.devtools.concurrency import check_concurrency
 from repro.devtools.correctness import (
     check_broad_except,
@@ -38,16 +64,33 @@ from repro.devtools.correctness import (
     check_mutable_defaults,
     check_no_print,
 )
+from repro.devtools.deadcode import check_dead_code
+from repro.devtools.determinism import check_determinism
+from repro.devtools.exceptions import analyze_exceptions, check_exception_flow
+from repro.devtools.lockorder import analyze_locks, check_lock_order
+from repro.devtools.sanitizers import LockOrderSanitizer, LockOrderViolation
 
 __all__ = [
+    "CallGraph",
     "CheckResult",
     "DEFAULT_LAYER_CONFIG",
     "Finding",
     "LayerConfig",
+    "LockOrderSanitizer",
+    "LockOrderViolation",
+    "SymbolTable",
+    "analyze_exceptions",
+    "analyze_locks",
+    "build_call_graph",
+    "build_symbol_table",
     "check_broad_except",
     "check_concurrency",
+    "check_dead_code",
+    "check_determinism",
+    "check_exception_flow",
     "check_geo_literals",
     "check_layers",
+    "check_lock_order",
     "check_mutable_defaults",
     "check_no_print",
     "load_baseline",

@@ -1,0 +1,623 @@
+"""Whole-program symbol table and call graph over one package tree.
+
+The first-generation lints see one line at a time; the properties that
+matter now — lock-order inversions, exceptions escaping the taxonomy,
+nondeterminism on result paths — are *whole-program* facts.  This
+module builds the shared substrate the v2 passes stand on:
+
+* :class:`SymbolTable` — every module-level function, class, and method
+  under the scanned root, keyed by dotted qualname
+  (``repro.index.rtree.RTree.insert``), plus each module's import map
+  (local alias -> dotted target) with package re-exports resolved
+  through ``__init__`` chains.
+* :class:`CallGraph` — resolved call edges between those symbols,
+  built from a deliberately *modest* type inference: local defs,
+  import aliases, ``self``/``cls`` dispatch (base classes included),
+  constructor results, parameter/variable annotations, and
+  return-annotation chaining (``obs.metrics().counter(...)`` resolves
+  through ``metrics() -> MetricsRegistry`` to
+  ``MetricsRegistry.counter``).  Unresolvable calls are kept as
+  :class:`CallSite` records with ``callee=None`` so downstream passes
+  can still pattern-match external calls (file IO, ``time.sleep``).
+
+Resolution is best-effort by design: a missed edge weakens an analysis
+but never crashes it, which is the right trade for a lint suite that
+must stay fast and dependency-free.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.findings import SourceModule
+
+#: Symbol kinds recorded in the table.
+KIND_FUNCTION = "function"
+KIND_METHOD = "method"
+KIND_CLASS = "class"
+
+
+@dataclass(frozen=True, slots=True)
+class Symbol:
+    """One module-level function, class, or method."""
+
+    qualname: str  # dotted: <module>.<Class>.<name> / <module>.<name>
+    name: str
+    kind: str  # function | method | class
+    module: str  # dotted module the symbol is defined in
+    path: str  # repo-relative path of the defining file
+    line: int
+    is_public: bool
+    #: For methods/functions: the return annotation as written (best
+    #: effort, dotted), or "".  For classes: "".
+    returns: str = ""
+    #: For classes: base-class names as written (dotted, unresolved).
+    bases: tuple[str, ...] = ()
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """Per-module facts the resolver needs."""
+
+    dotted: str
+    module: SourceModule
+    #: local alias -> dotted target ("repro.obs", "repro.obs.metrics.Counter", ...)
+    imports: dict[str, str] = field(default_factory=dict)
+    #: names defined at module top level (functions/classes/assignments)
+    local_names: set[str] = field(default_factory=set)
+    #: module-level variable -> inferred class qualname (``_tracer = Tracer()``)
+    var_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """One call expression, resolved or not."""
+
+    caller: str  # qualname of the enclosing function/method ("<module>" scope uses the module dotted name)
+    callee: str | None  # resolved qualname, or None
+    #: dotted rendering of the call target as written (``self._file.write``)
+    raw: str
+    path: str
+    line: int
+
+
+class SymbolTable:
+    """Symbols, modules, and the name-resolution machinery."""
+
+    def __init__(self, top_package: str) -> None:
+        self.top_package = top_package
+        self.symbols: dict[str, Symbol] = {}
+        self.modules: dict[str, ModuleInfo] = {}
+        #: class qualname -> resolved base-class qualnames (best effort)
+        self.class_bases: dict[str, tuple[str, ...]] = {}
+        #: class qualname -> {method name -> method qualname}
+        self.methods: dict[str, dict[str, str]] = {}
+        #: class qualname -> {attr name -> inferred class qualname}
+        self.attr_types: dict[str, dict[str, str]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def module_for(self, dotted: str) -> ModuleInfo | None:
+        return self.modules.get(dotted)
+
+    def add_symbol(self, symbol: Symbol) -> None:
+        # A package __init__ may define a function shadowing a submodule
+        # name (repro.obs.metrics is both).  Symbols win at resolution
+        # time, matching Python's own shadowing in that pattern.
+        self.symbols[symbol.qualname] = symbol
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve_export(self, dotted: str, _seen: frozenset[str] = frozenset()) -> str | None:
+        """Resolve ``dotted`` to a symbol qualname, chasing re-exports.
+
+        ``repro.resilience.Retry`` resolves through the package
+        ``__init__``'s import of ``repro.resilience.policies.Retry``.
+        Returns ``None`` for plain modules and unknown names.
+        """
+        if dotted in _seen:
+            return None
+        if dotted in self.symbols:
+            return dotted
+        head, _, tail = dotted.rpartition(".")
+        if not head or not tail:
+            return None
+        info = self.modules.get(head)
+        if info is not None and tail in info.imports:
+            return self.resolve_export(info.imports[tail], _seen | {dotted})
+        return None
+
+    def method_on(self, class_qualname: str, name: str, _seen: frozenset[str] = frozenset()) -> str | None:
+        """Find ``name`` on a class or its (resolved) bases."""
+        if class_qualname in _seen:
+            return None
+        methods = self.methods.get(class_qualname, {})
+        if name in methods:
+            return methods[name]
+        for base in self.class_bases.get(class_qualname, ()):
+            found = self.method_on(base, name, _seen | {class_qualname})
+            if found is not None:
+                return found
+        return None
+
+    def is_class(self, qualname: str) -> bool:
+        symbol = self.symbols.get(qualname)
+        return symbol is not None and symbol.kind == KIND_CLASS
+
+
+class CallGraph:
+    """Resolved call edges plus every raw call site."""
+
+    def __init__(self) -> None:
+        self.edges: dict[str, set[str]] = {}
+        self.sites: list[CallSite] = []
+        #: caller -> its call sites (resolved and not)
+        self.sites_by_caller: dict[str, list[CallSite]] = {}
+
+    def add(self, site: CallSite) -> None:
+        self.sites.append(site)
+        self.sites_by_caller.setdefault(site.caller, []).append(site)
+        if site.callee is not None:
+            self.edges.setdefault(site.caller, set()).add(site.callee)
+
+    def callees(self, qualname: str) -> frozenset[str]:
+        return frozenset(self.edges.get(qualname, set()))
+
+    def reachable(self, roots: tuple[str, ...]) -> frozenset[str]:
+        """Every qualname reachable from ``roots`` along call edges."""
+        seen: set[str] = set()
+        stack = list(roots)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.edges.get(current, ()))
+        return frozenset(seen)
+
+
+def _dotted_of(node: ast.AST) -> str:
+    """Best-effort dotted rendering of a Name/Attribute/Call chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif isinstance(node, ast.Call):
+        inner = _dotted_of(node.func)
+        if inner:
+            parts.append(f"{inner}()")
+    return ".".join(reversed(parts))
+
+
+def _annotation_name(node: ast.AST | None) -> str:
+    """The class name an annotation points at, stripped of Optional /
+    union noise (``Clock | None`` -> ``Clock``); "" when unusable."""
+    if node is None:
+        return ""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return ""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = _annotation_name(node.left)
+        if left and left != "None":
+            return left
+        return _annotation_name(node.right)
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        dotted = _dotted_of(node)
+        return "" if dotted == "None" else dotted
+    if isinstance(node, ast.Subscript):
+        return ""  # containers: not a class we can dispatch on
+    return ""
+
+
+def module_dotted(root: Path, top_package: str, path: Path) -> str | None:
+    """Dotted module name of ``path`` under ``root`` (None if outside)."""
+    try:
+        rel = path.relative_to(root).parts
+    except ValueError:
+        return None
+    parts = [top_package, *rel]
+    parts[-1] = parts[-1].removesuffix(".py")
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _collect_imports(info: ModuleInfo, top_package: str) -> None:
+    """Fill ``info.imports`` from the module's import statements
+    (function-local imports included — lazy imports resolve too)."""
+    own_parts = info.dotted.split(".")
+    for node in ast.walk(info.module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                info.imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                if node.level > len(own_parts):
+                    continue
+                # For a module repro.a.b, "from . import x" means repro.a.x;
+                # for the package repro.a (__init__), it means repro.a.x too.
+                keep = len(own_parts) - node.level + (1 if _is_package(info) else 0)
+                base = own_parts[:keep]
+                stem = ".".join(base + ([node.module] if node.module else []))
+            else:
+                stem = node.module or ""
+            if not stem:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                info.imports[local] = f"{stem}.{alias.name}"
+
+
+def _is_package(info: ModuleInfo) -> bool:
+    return info.module.rel_path.endswith("__init__.py")
+
+
+def build_symbol_table(
+    modules: list[SourceModule], root: Path, top_package: str | None = None
+) -> SymbolTable:
+    """Index every def/class under ``root`` and each module's imports."""
+    top = top_package if top_package is not None else root.name
+    table = SymbolTable(top)
+
+    for module in modules:
+        dotted = module_dotted(root, top, module.path)
+        if dotted is None:
+            continue
+        info = ModuleInfo(dotted=dotted, module=module)
+        table.modules[dotted] = info
+        _collect_imports(info, top)
+
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.local_names.add(node.name)
+                table.add_symbol(
+                    Symbol(
+                        qualname=f"{dotted}.{node.name}",
+                        name=node.name,
+                        kind=KIND_FUNCTION,
+                        module=dotted,
+                        path=module.rel_path,
+                        line=node.lineno,
+                        is_public=not node.name.startswith("_"),
+                        returns=_annotation_name(node.returns),
+                    )
+                )
+            elif isinstance(node, ast.ClassDef):
+                info.local_names.add(node.name)
+                class_qualname = f"{dotted}.{node.name}"
+                table.add_symbol(
+                    Symbol(
+                        qualname=class_qualname,
+                        name=node.name,
+                        kind=KIND_CLASS,
+                        module=dotted,
+                        path=module.rel_path,
+                        line=node.lineno,
+                        is_public=not node.name.startswith("_"),
+                        bases=tuple(
+                            b for b in (_dotted_of(base) for base in node.bases) if b
+                        ),
+                    )
+                )
+                methods: dict[str, str] = {}
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        method_qualname = f"{class_qualname}.{item.name}"
+                        methods[item.name] = method_qualname
+                        table.add_symbol(
+                            Symbol(
+                                qualname=method_qualname,
+                                name=item.name,
+                                kind=KIND_METHOD,
+                                module=dotted,
+                                path=module.rel_path,
+                                line=item.lineno,
+                                is_public=not item.name.startswith("_"),
+                                returns=_annotation_name(item.returns),
+                            )
+                        )
+                table.methods[class_qualname] = methods
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        info.local_names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                info.local_names.add(node.target.id)
+
+    # Second pass: resolve class bases and infer self-attribute and
+    # module-variable types, now that every module's symbols and
+    # imports exist.
+    for dotted, info in table.modules.items():
+        for node in info.module.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                owner = _callee_class(table, info, None, node.value)
+                if owner is not None:
+                    info.var_types.setdefault(node.targets[0].id, owner)
+                continue
+            if not isinstance(node, ast.ClassDef):
+                continue
+            class_qualname = f"{dotted}.{node.name}"
+            resolved_bases: list[str] = []
+            for base in table.symbols[class_qualname].bases:
+                target = _resolve_name(table, info, base)
+                if target is not None and table.is_class(target):
+                    resolved_bases.append(target)
+            table.class_bases[class_qualname] = tuple(resolved_bases)
+            table.attr_types[class_qualname] = _infer_attr_types(
+                table, info, class_qualname, node
+            )
+    return table
+
+
+def _resolve_name(table: SymbolTable, info: ModuleInfo, dotted: str) -> str | None:
+    """Resolve a dotted name written in ``info``'s namespace to a symbol
+    qualname (local def > import alias > absolute)."""
+    if not dotted:
+        return None
+    head, _, rest = dotted.partition(".")
+    if head in info.local_names:
+        candidate = f"{info.dotted}.{dotted}"
+        return table.resolve_export(candidate)
+    if head in info.imports:
+        target = info.imports[head]
+        candidate = f"{target}.{rest}" if rest else target
+        return table.resolve_export(candidate)
+    if dotted.startswith(f"{table.top_package}."):
+        return table.resolve_export(dotted)
+    return None
+
+
+def _infer_attr_types(
+    table: SymbolTable, info: ModuleInfo, class_qualname: str, node: ast.ClassDef
+) -> dict[str, str]:
+    """``self.<attr>`` -> class qualname, from annotated assigns and
+    constructor-call assigns anywhere in the class body."""
+    types: dict[str, str] = {}
+
+    def note(attr: str, value: ast.expr | None, annotation: ast.expr | None) -> None:
+        target = None
+        if annotation is not None:
+            name = _annotation_name(annotation)
+            if name:
+                target = _resolve_name(table, info, name)
+        if target is None and isinstance(value, ast.Call):
+            target = _callee_class(table, info, class_qualname, value)
+        if target is not None and table.is_class(target):
+            types.setdefault(attr, target)
+
+    for stmt in ast.walk(node):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target_node = stmt.targets[0]
+            if (
+                isinstance(target_node, ast.Attribute)
+                and isinstance(target_node.value, ast.Name)
+                and target_node.value.id == "self"
+            ):
+                note(target_node.attr, stmt.value, None)
+        elif isinstance(stmt, ast.AnnAssign):
+            target_node = stmt.target
+            if (
+                isinstance(target_node, ast.Attribute)
+                and isinstance(target_node.value, ast.Name)
+                and target_node.value.id == "self"
+            ):
+                note(target_node.attr, stmt.value, stmt.annotation)
+    return types
+
+
+def _callee_class(
+    table: SymbolTable, info: ModuleInfo, class_context: str | None, call: ast.Call
+) -> str | None:
+    """The class qualname a call expression evaluates to: either the
+    constructed class, or the resolved return annotation of the callee."""
+    callee = _resolve_call_target(table, info, class_context, call.func, locals_map=None)
+    if callee is None:
+        return None
+    symbol = table.symbols.get(callee)
+    if symbol is None:
+        return None
+    if symbol.kind == KIND_CLASS:
+        return callee
+    if symbol.returns:
+        defining = table.modules.get(symbol.module)
+        if defining is not None:
+            returned = _resolve_name(table, defining, symbol.returns)
+            if returned is not None and table.is_class(returned):
+                return returned
+    return None
+
+
+def _resolve_call_target(
+    table: SymbolTable,
+    info: ModuleInfo,
+    class_context: str | None,
+    func: ast.expr,
+    locals_map: dict[str, str] | None,
+) -> str | None:
+    """Resolve one call's target expression to a symbol qualname."""
+    if isinstance(func, ast.Name):
+        if locals_map and func.id in locals_map:
+            return table.method_on(locals_map[func.id], "__call__")
+        return _resolve_name(table, info, func.id)
+
+    if not isinstance(func, ast.Attribute):
+        return None
+
+    # Walk the attribute chain down to its base expression.
+    chain: list[str] = []
+    base: ast.expr = func
+    while isinstance(base, ast.Attribute):
+        chain.append(base.attr)
+        base = base.value
+    chain.reverse()  # attr access order, excluding the base
+
+    owner: str | None = None  # class qualname the chain is being applied to
+    start = 0
+    if isinstance(base, ast.Name):
+        if base.id in ("self", "cls") and class_context is not None:
+            owner = class_context
+        elif locals_map is not None and base.id in locals_map:
+            owner = locals_map[base.id]
+        elif base.id in info.var_types and chain:
+            owner = info.var_types[base.id]
+        else:
+            # Module alias / local symbol: fold leading attrs into a
+            # dotted name until something resolves.
+            dotted = base.id
+            resolved = _resolve_name(table, info, dotted)
+            while resolved is None and start < len(chain) - 1:
+                dotted = f"{dotted}.{chain[start]}"
+                start += 1
+                resolved = _resolve_name(table, info, dotted)
+            if resolved is None:
+                # Maybe the full chain is a module attr (mod.sub.fn).
+                full = ".".join([base.id, *chain])
+                return _resolve_name(table, info, full)
+            symbol = table.symbols.get(resolved)
+            if symbol is None:
+                return None
+            if start == len(chain):
+                return resolved
+            if symbol.kind == KIND_CLASS:
+                owner = resolved
+            else:
+                return None
+    elif isinstance(base, ast.Call):
+        owner = _callee_class(table, info, class_context, base)
+    else:
+        return None
+
+    if owner is None:
+        return None
+
+    # Apply the remaining attribute chain via attr types and methods.
+    for i, attr in enumerate(chain[start:]):
+        last = i == len(chain[start:]) - 1
+        if last:
+            return table.method_on(owner, attr)
+        next_owner = table.attr_types.get(owner, {}).get(attr)
+        if next_owner is None:
+            return None
+        owner = next_owner
+    return None
+
+
+def _local_types(
+    table: SymbolTable,
+    info: ModuleInfo,
+    class_context: str | None,
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, str]:
+    """variable/parameter name -> class qualname, best effort."""
+    types: dict[str, str] = {}
+    args = fn.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        name = _annotation_name(arg.annotation)
+        if name:
+            resolved = _resolve_name(table, info, name)
+            if resolved is not None and table.is_class(resolved):
+                types[arg.arg] = resolved
+    for stmt in ast.walk(fn):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name) and isinstance(stmt.value, ast.Call):
+                owner = _callee_class(table, info, class_context, stmt.value)
+                if owner is not None:
+                    types.setdefault(target.id, owner)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            name = _annotation_name(stmt.annotation)
+            if name:
+                resolved = _resolve_name(table, info, name)
+                if resolved is not None and table.is_class(resolved):
+                    types.setdefault(stmt.target.id, resolved)
+    return types
+
+
+def iter_functions(
+    table: SymbolTable,
+) -> list[tuple[ModuleInfo, str | None, str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Every function/method in the table with its context:
+    ``(module info, enclosing class qualname or None, qualname, node)``.
+
+    Nested functions (closures) are attributed to their enclosing
+    def's qualname — their calls happen on behalf of the outer scope.
+    """
+    out: list[tuple[ModuleInfo, str | None, str, ast.FunctionDef | ast.AsyncFunctionDef]] = []
+    for dotted, info in table.modules.items():
+        for node in info.module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.append((info, None, f"{dotted}.{node.name}", node))
+            elif isinstance(node, ast.ClassDef):
+                class_qualname = f"{dotted}.{node.name}"
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        out.append(
+                            (info, class_qualname, f"{class_qualname}.{item.name}", item)
+                        )
+    return out
+
+
+def build_call_graph(table: SymbolTable) -> CallGraph:
+    """Resolve every call expression in every function/method."""
+    graph = CallGraph()
+    for info, class_context, qualname, fn in iter_functions(table):
+        locals_map = _local_types(table, info, class_context, fn)
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _resolve_call_target(
+                table, info, class_context, node.func, locals_map
+            )
+            # Constructor call: the work happens in __init__.
+            if callee is not None and table.is_class(callee):
+                init = table.method_on(callee, "__init__")
+                if init is not None:
+                    callee = init
+            graph.add(
+                CallSite(
+                    caller=qualname,
+                    callee=callee,
+                    raw=_dotted_of(node.func),
+                    path=info.module.rel_path,
+                    line=node.lineno,
+                )
+            )
+    return graph
+
+
+def resolve_locals(
+    table: SymbolTable,
+    info: ModuleInfo,
+    class_context: str | None,
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, str]:
+    """Public wrapper over the local type inference (used by passes that
+    need per-function resolution beyond the prebuilt graph)."""
+    return _local_types(table, info, class_context, fn)
+
+
+def resolve_call(
+    table: SymbolTable,
+    info: ModuleInfo,
+    class_context: str | None,
+    func: ast.expr,
+    locals_map: dict[str, str] | None = None,
+) -> str | None:
+    """Public wrapper over call-target resolution."""
+    return _resolve_call_target(table, info, class_context, func, locals_map)

@@ -18,9 +18,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
+from repro.devtools.callgraph import build_call_graph, build_symbol_table
 from repro.devtools.concurrency import DEFAULT_CRITICAL_GLOBS, check_concurrency
 from repro.devtools.correctness import (
     check_broad_except,
@@ -29,6 +32,9 @@ from repro.devtools.correctness import (
     check_no_print,
     check_no_sleep,
 )
+from repro.devtools.deadcode import check_dead_code
+from repro.devtools.determinism import check_determinism
+from repro.devtools.exceptions import check_exception_flow
 from repro.devtools.findings import (
     Finding,
     collect_modules,
@@ -37,6 +43,7 @@ from repro.devtools.findings import (
     write_baseline,
 )
 from repro.devtools.layers import DEFAULT_LAYER_CONFIG, LayerConfig, check_layers
+from repro.devtools.lockorder import check_lock_order
 
 #: Every rule id the suite can emit, for --select validation and docs.
 ALL_RULES: tuple[str, ...] = (
@@ -48,6 +55,15 @@ ALL_RULES: tuple[str, ...] = (
     "no-print",
     "geo-range",
     "no-sleep",
+    "lock-order",
+    "exception-flow",
+    "determinism",
+    "dead-code",
+)
+
+#: Rules that need the whole-program symbol table / call graph.
+WHOLE_PROGRAM_RULES: frozenset[str] = frozenset(
+    {"lock-order", "exception-flow", "dead-code"}
 )
 
 
@@ -69,10 +85,16 @@ class CheckResult:
     modules_scanned: int
     rules: tuple[str, ...] = ALL_RULES
     by_rule: dict[str, int] = field(default_factory=dict)
+    #: wall-clock seconds per pass (plus "collect" and "callgraph").
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return not self.new
+
+    @property
+    def elapsed(self) -> float:
+        return sum(self.timings.values())
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -85,6 +107,8 @@ class CheckResult:
                 "baselined": len(self.suppressed),
                 "by_rule": self.by_rule,
             },
+            "timings_s": {name: round(value, 4) for name, value in self.timings.items()},
+            "elapsed_s": round(self.elapsed, 4),
             "new_findings": [f.to_dict() for f in self.new],
             "baselined_findings": [f.to_dict() for f in self.suppressed],
         }
@@ -103,29 +127,69 @@ def run_check(
     default_root, default_repo, _ = _default_paths()
     scan_root = root if root is not None else default_root
     base = repo_root if repo_root is not None else default_repo
+    timings: dict[str, float] = {}
+
+    started = time.perf_counter()
     modules = collect_modules(scan_root, repo_root=base)
+    timings["collect"] = time.perf_counter() - started
+
     scope_cache: dict = {}
     selected = set(select) if select is not None else set(ALL_RULES)
     unknown = selected - set(ALL_RULES)
     if unknown:
         raise ValueError(f"unknown rule ids: {sorted(unknown)}")
 
+    table = None
+    graph = None
+    if selected & WHOLE_PROGRAM_RULES:
+        started = time.perf_counter()
+        table = build_symbol_table(modules, scan_root)
+        graph = build_call_graph(table)
+        timings["callgraph"] = time.perf_counter() - started
+
     findings: list[Finding] = []
+
+    def timed(name: str, run: Callable[[], list[Finding]]) -> None:
+        began = time.perf_counter()
+        findings.extend(run())
+        timings[name] = time.perf_counter() - began
+
     if "layer-boundary" in selected:
-        findings += check_layers(modules, scan_root, layer_config)
+        timed("layer-boundary", lambda: check_layers(modules, scan_root, layer_config))
     if {"module-mutable-state", "unlocked-mutation"} & selected:
+        started = time.perf_counter()
         concurrency = check_concurrency(modules, critical_globs, scope_cache)
         findings += [f for f in concurrency if f.rule in selected]
+        timings["concurrency"] = time.perf_counter() - started
     if "broad-except" in selected:
-        findings += check_broad_except(modules, scope_cache)
+        timed("broad-except", lambda: check_broad_except(modules, scope_cache))
     if "mutable-default" in selected:
-        findings += check_mutable_defaults(modules, scope_cache)
+        timed("mutable-default", lambda: check_mutable_defaults(modules, scope_cache))
     if "no-print" in selected:
-        findings += check_no_print(modules, scope_cache)
+        timed("no-print", lambda: check_no_print(modules, scope_cache))
     if "geo-range" in selected:
-        findings += check_geo_literals(modules, scope_cache)
+        timed("geo-range", lambda: check_geo_literals(modules, scope_cache))
     if "no-sleep" in selected:
-        findings += check_no_sleep(modules, scope_cache)
+        timed("no-sleep", lambda: check_no_sleep(modules, scope_cache))
+    if table is not None and graph is not None:
+        whole_table, whole_graph = table, graph
+        if "lock-order" in selected:
+            timed(
+                "lock-order",
+                lambda: check_lock_order(whole_table, whole_graph, modules),
+            )
+        if "exception-flow" in selected:
+            timed(
+                "exception-flow",
+                lambda: check_exception_flow(whole_table, whole_graph, modules),
+            )
+        if "dead-code" in selected:
+            timed(
+                "dead-code",
+                lambda: check_dead_code(whole_table, modules, repo_root=base),
+            )
+    if "determinism" in selected:
+        timed("determinism", lambda: check_determinism(modules, scope_cache=scope_cache))
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     new, suppressed = split_new(findings, baseline or [])
@@ -138,10 +202,13 @@ def run_check(
         suppressed=suppressed,
         modules_scanned=len(modules),
         by_rule=by_rule,
+        timings=timings,
     )
 
 
-def _render_human(result: CheckResult, baseline_path: Path | None) -> str:
+def _render_human(
+    result: CheckResult, baseline_path: Path | None, budget_s: float | None = None
+) -> str:
     lines: list[str] = []
     if result.new:
         lines.append(f"repro.devtools.check: {len(result.new)} new finding(s)")
@@ -161,6 +228,10 @@ def _render_human(result: CheckResult, baseline_path: Path | None) -> str:
         lines.append(
             f"({len(result.suppressed)} finding(s) suppressed by {baseline_path})"
         )
+    slowest = sorted(result.timings.items(), key=lambda kv: -kv[1])[:3]
+    detail = ", ".join(f"{name} {value:.2f}s" for name, value in slowest)
+    budget = f" (budget {budget_s:.0f}s)" if budget_s is not None else ""
+    lines.append(f"analysis wall-time: {result.elapsed:.2f}s{budget} — {detail}")
     return "\n".join(lines)
 
 
@@ -187,6 +258,12 @@ def main(argv: list[str] | None = None) -> int:
         "--select",
         default=None,
         help=f"comma-separated rule ids to run (default: all of {', '.join(ALL_RULES)})",
+    )
+    parser.add_argument(
+        "--budget-s",
+        type=float,
+        default=None,
+        help="fail (exit 1) when total analysis wall-time exceeds this many seconds",
     )
     args = parser.parse_args(argv)
 
@@ -218,7 +295,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         sys.stdout.write(json.dumps(result.to_dict(), indent=2) + "\n")
     else:
-        sys.stdout.write(_render_human(result, baseline_path) + "\n")
+        sys.stdout.write(_render_human(result, baseline_path, args.budget_s) + "\n")
+    if args.budget_s is not None and result.elapsed > args.budget_s:
+        sys.stderr.write(
+            f"error: analysis took {result.elapsed:.2f}s, over the "
+            f"{args.budget_s:.0f}s budget\n"
+        )
+        return 1
     return 0 if result.ok else 1
 
 

@@ -1,0 +1,479 @@
+"""Exception-flow analysis: entry points raise only taxonomy errors.
+
+The platform's contract (``repro.errors``) is that every failure
+crossing a public API/edge/db boundary is a :class:`TVDPError`
+subclass — callers catch one root, the HTTP router maps one hierarchy,
+and the resilience policies declare their retryable sets against it.
+A bare ``OSError`` escaping ``db.persistence`` silently breaks all
+three.
+
+This pass infers, for every *public* entry point in the configured
+entry packages, the set of exception types it can propagate:
+
+* direct ``raise X(...)`` statements (bare ``raise`` re-raises the
+  types of its enclosing ``except`` clause);
+* a table of known external raisers (file IO raises ``OSError``,
+  ``json.loads`` raises ``ValueError``);
+* transitive propagation along the call graph, filtered by the
+  ``try/except`` structure around each call site with real subclass
+  checks (an ``except TVDPError`` absorbs ``QueryError``);
+* higher-order propagation: a callable argument handed to a resilience
+  policy ``call``/``execute`` contributes its own raises (the policy
+  re-raises what the wrapped callable throws).
+
+An exception may escape when it is a taxonomy member, appears in a
+declared retryable set (``DEFAULT_TRANSIENT``-style tuples), or is one
+of the sanctioned programmer-contract builtins (``ValueError``/
+``TypeError``/``KeyError``/``AssertionError``/``NotImplementedError``
+— misuse, not failure).  Anything else is a ``exception-flow``
+finding at the entry point's definition.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+
+from repro.devtools.callgraph import (
+    CallGraph,
+    ModuleInfo,
+    SymbolTable,
+    iter_functions,
+    resolve_call,
+    resolve_locals,
+)
+from repro.devtools.findings import Finding, SourceModule
+
+RULE_EXCEPTION_FLOW = "exception-flow"
+
+#: Packages (relative to the top package) whose public callables are
+#: boundary entry points.
+DEFAULT_ENTRY_PACKAGES: tuple[str, ...] = ("api", "edge", "db")
+
+#: Packages whose raises are internal programming guards, not flow.
+DEFAULT_EXEMPT_PACKAGES: tuple[str, ...] = ("obs", "devtools")
+
+#: Root class name of the project error taxonomy.
+TAXONOMY_ROOT = "TVDPError"
+
+#: Builtins that signal caller misuse rather than runtime failure.
+SANCTIONED_BUILTINS = frozenset(
+    {"ValueError", "TypeError", "KeyError", "AssertionError", "NotImplementedError",
+     "StopIteration"}
+)
+
+#: attr / dotted-suffix of an external call -> exceptions it raises.
+KNOWN_RAISERS: dict[str, tuple[str, ...]] = {
+    "open": ("OSError",),
+    "read_text": ("OSError",),
+    "read_bytes": ("OSError",),
+    "write_text": ("OSError",),
+    "write_bytes": ("OSError",),
+    "unlink": ("OSError",),
+    "replace": ("OSError",),
+    "rename": ("OSError",),
+    "mkdir": ("OSError",),
+    "json.loads": ("ValueError",),
+    "json.dumps": ("TypeError", "ValueError"),
+}
+
+#: Policy entry points whose callable arguments' raises propagate out.
+_HIGHER_ORDER_SUFFIXES = (
+    ".resilience.policies.execute",
+    ".resilience.policies.Retry.call",
+    ".resilience.policies.CircuitBreaker.call",
+    ".resilience.policies.Fallback.call",
+)
+
+
+@dataclass(slots=True)
+class ExceptionModel:
+    """The taxonomy + builtin class hierarchy, by simple name."""
+
+    #: taxonomy class name -> direct base names
+    taxonomy_bases: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def is_taxonomy(self, name: str) -> bool:
+        return self._reaches(name, TAXONOMY_ROOT)
+
+    def _reaches(self, name: str, ancestor: str) -> bool:
+        if name == ancestor:
+            return True
+        for base in self.taxonomy_bases.get(name, ()):
+            if self._reaches(base, ancestor):
+                return True
+        return False
+
+    def is_subclass(self, name: str, handler: str) -> bool:
+        """Is exception ``name`` absorbed by ``except handler``?"""
+        if handler in ("BaseException", "Exception"):
+            return True
+        if name == handler:
+            return True
+        if name in self.taxonomy_bases:
+            return any(
+                self.is_subclass(base, handler)
+                for base in self.taxonomy_bases[name]
+            ) or handler == TAXONOMY_ROOT and self.is_taxonomy(name)
+        first = getattr(builtins, name, None)
+        second = getattr(builtins, handler, None)
+        if (
+            isinstance(first, type)
+            and isinstance(second, type)
+            and issubclass(first, BaseException)
+            and issubclass(second, BaseException)
+        ):
+            return issubclass(first, second)
+        return False
+
+
+def build_exception_model(table: SymbolTable) -> ExceptionModel:
+    """Read the taxonomy hierarchy out of the symbol table."""
+    model = ExceptionModel()
+    roots = {
+        qualname
+        for qualname, symbol in table.symbols.items()
+        if symbol.kind == "class" and symbol.name == TAXONOMY_ROOT
+    }
+    if not roots:
+        return model
+    # Walk every class whose base chain reaches the root, by name.
+    for qualname, symbol in table.symbols.items():
+        if symbol.kind != "class":
+            continue
+        base_names = tuple(base.rsplit(".", 1)[-1] for base in symbol.bases)
+        model.taxonomy_bases.setdefault(symbol.name, base_names)
+    # Keep only classes that actually reach the root (plus the root),
+    # so unrelated same-named classes elsewhere don't pollute checks.
+    reachable = {
+        name for name in model.taxonomy_bases if model._reaches(name, TAXONOMY_ROOT)
+    }
+    model.taxonomy_bases = {
+        name: bases for name, bases in model.taxonomy_bases.items() if name in reachable
+    }
+    return model
+
+
+def _exception_name(node: ast.expr | None) -> str | None:
+    """Simple class name of a raise/handler expression."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Call):
+        node = node.func
+    while isinstance(node, ast.Attribute):
+        # repro.errors.QueryError / errors.QueryError -> QueryError
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _handler_names(handler: ast.ExceptHandler) -> tuple[str, ...] | None:
+    """Names a handler catches; None means catch-everything."""
+    if handler.type is None:
+        return None
+    if isinstance(handler.type, ast.Tuple):
+        names = tuple(
+            name
+            for name in (_exception_name(el) for el in handler.type.elts)
+            if name is not None
+        )
+        return names or None
+    name = _exception_name(handler.type)
+    # A dynamic handler expression (``except self._retryable``) catches
+    # an unknowable set; treat as catch-everything so we do not invent
+    # escapes the runtime filters out.
+    if name is None:
+        return None
+    if name[0].islower():
+        return None  # variable holding a tuple of types
+    return (name,)
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """A handler containing a bare ``raise`` is *transparent*: it logs
+    or annotates, then re-raises — it neither absorbs its caught types
+    nor originates new ones."""
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+def _try_context(fn: ast.AST) -> dict[int, list[tuple[str, ...] | None]]:
+    """Map each node id to the stack of handler-name-sets of the
+    ``try`` bodies lexically enclosing it (innermost last).
+    Transparent (re-raising) handlers are excluded — they don't
+    protect the body."""
+    context: dict[int, list[tuple[str, ...] | None]] = {}
+
+    def visit(node: ast.AST, stack: list[tuple[str, ...] | None]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Try):
+                handler_sets = [
+                    _handler_names(h)
+                    for h in child.handlers
+                    if not _handler_reraises(h)
+                ]
+                body_stack = stack + handler_sets
+                for stmt in child.body:
+                    context[id(stmt)] = body_stack
+                    visit(stmt, body_stack)
+                # handlers / orelse / finalbody are outside this try's
+                # own protection (a raise in a handler escapes it).
+                for handler in child.handlers:
+                    for stmt in handler.body:
+                        context[id(stmt)] = stack
+                        visit(stmt, stack)
+                for stmt in [*child.orelse, *child.finalbody]:
+                    context[id(stmt)] = stack
+                    visit(stmt, stack)
+            else:
+                context[id(child)] = stack
+                visit(child, stack)
+
+    visit(fn, [])
+    return context
+
+
+def _caught(
+    name: str, stack: list[tuple[str, ...] | None], model: ExceptionModel
+) -> bool:
+    for handler_set in stack:
+        if handler_set is None:
+            return True
+        if any(model.is_subclass(name, handler) for handler in handler_set):
+            return True
+    return False
+
+
+@dataclass(slots=True)
+class _RaiseFacts:
+    """Per-function facts before propagation."""
+
+    #: exception name -> witness line (first seen)
+    direct: dict[str, int] = field(default_factory=dict)
+    #: call sites: (callee qualname|None, raw, line, try stack, callable-arg callees)
+    calls: list[tuple[str | None, str, int, list[tuple[str, ...] | None], tuple[str, ...]]] = field(
+        default_factory=list
+    )
+
+
+def _is_higher_order(qualname: str) -> bool:
+    return any(qualname.endswith(suffix) for suffix in _HIGHER_ORDER_SUFFIXES)
+
+
+def _collect_facts(
+    table: SymbolTable,
+    info: ModuleInfo,
+    class_context: str | None,
+    qualname: str,
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    model: ExceptionModel,
+) -> _RaiseFacts:
+    facts = _RaiseFacts()
+    locals_map = resolve_locals(table, info, class_context, fn)
+    context = _try_context(fn)
+
+    # Nested defs' bodies are walked with their lexical try context —
+    # a fair stand-in for the enclosing function's protection, since
+    # closures here are invoked from where they are defined (directly
+    # or through a policy call we model higher-order).
+    for node in ast.walk(fn):
+        stack = context.get(id(node), [])
+        if isinstance(node, ast.Raise):
+            if node.exc is None:
+                # bare re-raise inside a transparent handler: the try
+                # body's raises already pass through (the handler was
+                # excluded from the filter stack), so nothing to add.
+                continue
+            name = _exception_name(node.exc)
+            if name is not None and not _caught(name, stack, model):
+                facts.direct.setdefault(f"{name}@{node.lineno}", node.lineno)
+        elif isinstance(node, ast.Call):
+            callee = resolve_call(table, info, class_context, node.func, locals_map)
+            if callee is not None and table.is_class(callee):
+                callee = table.method_on(callee, "__init__")
+            raw = _raw_dotted(node.func)
+            arg_callees: list[str] = []
+            if callee is not None and _is_higher_order(callee):
+                for arg in node.args:
+                    if isinstance(arg, ast.Lambda):
+                        for sub in ast.walk(arg.body):
+                            if isinstance(sub, ast.Call):
+                                inner_callee = resolve_call(
+                                    table, info, class_context, sub.func, locals_map
+                                )
+                                if inner_callee is not None:
+                                    arg_callees.append(inner_callee)
+                    else:
+                        target = resolve_call(table, info, class_context, arg, locals_map)
+                        if target is not None:
+                            arg_callees.append(target)
+            facts.calls.append((callee, raw, node.lineno, stack, tuple(arg_callees)))
+    return facts
+
+
+def _raw_dotted(expr: ast.expr) -> str:
+    parts: list[str] = []
+    node: ast.expr = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _external_raises(callee: str | None, raw: str) -> tuple[str, ...]:
+    if callee is not None:
+        return ()  # project-internal: handled by propagation
+    if raw in KNOWN_RAISERS:
+        return KNOWN_RAISERS[raw]
+    attr = raw.rsplit(".", 1)[-1] if raw else ""
+    for suffix in (raw, attr):
+        if suffix in KNOWN_RAISERS:
+            return KNOWN_RAISERS[suffix]
+    return ()
+
+
+@dataclass(slots=True)
+class ExceptionFlow:
+    """Propagated raise sets for every function in the project."""
+
+    model: ExceptionModel
+    #: qualname -> {exception name -> witness line in that function}
+    raises: dict[str, dict[str, int]]
+
+
+def analyze_exceptions(table: SymbolTable, graph: CallGraph) -> ExceptionFlow:
+    model = build_exception_model(table)
+    facts: dict[str, _RaiseFacts] = {}
+    for info, class_context, qualname, fn in iter_functions(table):
+        collected = _collect_facts(table, info, class_context, qualname, fn, model)
+        # Strip witness-line suffixes from direct raises now that
+        # duplicates are folded.
+        direct: dict[str, int] = {}
+        for key, line in collected.direct.items():
+            name = key.split("@", 1)[0]
+            if name not in direct:
+                direct[name] = line
+        collected.direct = direct
+        facts[qualname] = collected
+
+    raises: dict[str, dict[str, int]] = {
+        qualname: dict(f.direct) for qualname, f in facts.items()
+    }
+    # Add external raisers, filtered by try context at the call site.
+    for qualname, f in facts.items():
+        out = raises[qualname]
+        for callee, raw, line, stack, _args in f.calls:
+            for name in _external_raises(callee, raw):
+                if not _caught(name, stack, model):
+                    out.setdefault(name, line)
+
+    # Propagate through the call graph to a fixpoint, filtering each
+    # call site's contribution through its try/except stack.
+    changed = True
+    while changed:
+        changed = False
+        for qualname, f in facts.items():
+            out = raises[qualname]
+            for callee, _raw, line, stack, arg_callees in f.calls:
+                sources = []
+                if callee is not None:
+                    sources.append(callee)
+                sources.extend(arg_callees)
+                for source in sources:
+                    for name in raises.get(source, {}):
+                        if name in out:
+                            continue
+                        if _caught(name, stack, model):
+                            continue
+                        out[name] = line
+                        changed = True
+    return ExceptionFlow(model=model, raises=raises)
+
+
+def _declared_retryable(table: SymbolTable) -> frozenset[str]:
+    """Exception names appearing in ``*TRANSIENT*``/``*RETRYABLE*``
+    module-level tuples — the policies' declared retryable sets."""
+    names: set[str] = set()
+    for info in table.modules.values():
+        for node in info.module.tree.body:
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            upper = target.id.upper()
+            if "TRANSIENT" not in upper and "RETRYABLE" not in upper:
+                continue
+            if isinstance(node.value, ast.Tuple):
+                for el in node.value.elts:
+                    name = _exception_name(el)
+                    if name is not None:
+                        names.add(name)
+    return frozenset(names)
+
+
+def check_exception_flow(
+    table: SymbolTable,
+    graph: CallGraph,
+    modules: list[SourceModule],
+    entry_packages: tuple[str, ...] = DEFAULT_ENTRY_PACKAGES,
+    flow: ExceptionFlow | None = None,
+) -> list[Finding]:
+    """``exception-flow`` findings at boundary entry points."""
+    facts = flow if flow is not None else analyze_exceptions(table, graph)
+    model = facts.model
+    retryable = _declared_retryable(table)
+    by_rel: dict[str, SourceModule] = {m.rel_path: m for m in modules}
+    top = table.top_package
+    entry_prefixes = tuple(f"{top}.{pkg}." for pkg in entry_packages)
+
+    findings: list[Finding] = []
+    for qualname, symbol in sorted(table.symbols.items()):
+        if symbol.kind == "class":
+            continue
+        if not qualname.startswith(entry_prefixes):
+            continue
+        if not symbol.is_public:
+            continue
+        # Dunder methods are internal protocol surface, not boundaries.
+        if symbol.name.startswith("__"):
+            continue
+        # Methods of private classes are not public entry points.
+        if symbol.kind == "method":
+            class_qualname = qualname.rsplit(".", 1)[0]
+            class_symbol = table.symbols.get(class_qualname)
+            if class_symbol is not None and not class_symbol.is_public:
+                continue
+        module = by_rel.get(symbol.path)
+        for name, line in sorted(facts.raises.get(qualname, {}).items()):
+            if model.is_taxonomy(name):
+                continue
+            if name in retryable:
+                continue
+            if name in SANCTIONED_BUILTINS:
+                continue
+            if module is not None and (
+                module.allows(RULE_EXCEPTION_FLOW, symbol.line)
+                or module.allows(RULE_EXCEPTION_FLOW, line)
+            ):
+                continue
+            findings.append(
+                Finding(
+                    rule=RULE_EXCEPTION_FLOW,
+                    path=symbol.path,
+                    line=symbol.line,
+                    message=(
+                        f"public entry point {qualname} can raise {name} "
+                        f"(witness near {symbol.path}:{line}) which escapes the "
+                        f"repro.errors taxonomy and every declared retryable set"
+                    ),
+                    scope=f"{qualname}:{name}",
+                )
+            )
+    return findings

@@ -1,0 +1,506 @@
+"""Static lock-order analysis: no cycles, no blocking calls under locks.
+
+Deadlocks in this codebase would come from two shapes:
+
+1. **Order inversion** — thread A acquires lock L then M, thread B
+   acquires M then L.  We extract every lock the project creates
+   (``threading.Lock``/``RLock`` assigned to a module global or a
+   ``self`` attribute), walk each function recording which locks are
+   held when another is acquired — including *interprocedurally*, via a
+   may-acquire fixpoint over the call graph — and fail on any cycle in
+   the resulting acquisition graph.  Lock identity is the *creation
+   site* (``repro.obs.metrics.Gauge._lock``), so every instance of a
+   class shares one node and instance-level self-nesting is ignored
+   (that is reentrancy, RLock's job, not ordering).
+
+2. **Lock held across blocking work** — holding any lock across file
+   IO, a sleep, or a resilience-policy ``call``/``execute`` (which may
+   retry and back off for seconds) turns a micro-critical-section into
+   a system-wide stall.  We flag direct blocking calls under a lock and
+   calls to project functions that (transitively) reach one.
+
+Both shapes report under the single rule id ``lock-order`` and honour
+``# devtools: allow[lock-order]`` for the rare deliberate case (e.g. a
+lock whose entire purpose is serialising writes to one file handle).
+
+The runtime companion is :mod:`repro.devtools.sanitizers`, which checks
+the same two properties against *actual* acquisition orders under
+``REPRO_SANITIZE=1 pytest``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.callgraph import (
+    CallGraph,
+    ModuleInfo,
+    SymbolTable,
+    iter_functions,
+    resolve_call,
+    resolve_locals,
+)
+from repro.devtools.findings import Finding, SourceModule
+
+RULE_LOCK_ORDER = "lock-order"
+
+#: Call constructors that create a lock object.
+_LOCK_CTORS = frozenset({"threading.Lock", "threading.RLock", "Lock", "RLock"})
+
+#: Attribute names whose call is blocking regardless of receiver.
+_BLOCKING_ATTRS = frozenset(
+    {
+        "sleep", "write", "flush", "write_text", "write_bytes", "read_text",
+        "read_bytes", "replace", "unlink", "rename", "urlopen", "sendall",
+        "recv", "connect", "join",
+    }
+)
+
+#: Project symbols whose call blocks (policies that retry/back off).
+_BLOCKING_SYMBOL_SUFFIXES = (
+    ".resilience.policies.execute",
+    ".resilience.policies.Retry.call",
+    ".resilience.policies.CircuitBreaker.call",
+    ".resilience.policies.Fallback.call",
+    ".resilience.clock.SystemClock.sleep",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LockEdge:
+    """``held`` was held while ``acquired`` was (or may be) acquired."""
+
+    held: str
+    acquired: str
+    path: str
+    line: int
+    via: str  # "" for a direct nested ``with``; callee qualname otherwise
+
+
+@dataclass(slots=True)
+class LockGraph:
+    """The whole-program acquisition graph, for passes/docs/tests."""
+
+    locks: set[str] = field(default_factory=set)
+    edges: dict[tuple[str, str], LockEdge] = field(default_factory=dict)
+
+    def add(self, edge: LockEdge) -> None:
+        if edge.held == edge.acquired:
+            return  # reentrancy, not ordering
+        self.edges.setdefault((edge.held, edge.acquired), edge)
+
+    def successors(self, lock: str) -> list[str]:
+        return sorted(dst for (src, dst) in self.edges if src == lock)
+
+    def cycles(self) -> list[list[str]]:
+        """Strongly connected components with more than one lock."""
+        adjacency: dict[str, list[str]] = {lock: [] for lock in self.locks}
+        for src, dst in self.edges:
+            adjacency.setdefault(src, []).append(dst)
+            adjacency.setdefault(dst, [])
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = 0
+        sccs: list[list[str]] = []
+
+        def strongconnect(start: str) -> None:
+            nonlocal counter
+            work: list[tuple[str, int]] = [(start, 0)]
+            while work:
+                node, child_index = work[-1]
+                if child_index == 0:
+                    index[node] = low[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                advanced = False
+                children = adjacency[node]
+                while child_index < len(children):
+                    child = children[child_index]
+                    child_index += 1
+                    if child not in index:
+                        work[-1] = (node, child_index)
+                        work.append((child, 0))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        sccs.append(sorted(component))
+
+        for node in sorted(adjacency):
+            if node not in index:
+                strongconnect(node)
+        return sccs
+
+
+@dataclass(slots=True)
+class _LockIndex:
+    """Where every lock in the project is defined."""
+
+    #: class qualname -> {attr name} holding a lock
+    class_attrs: dict[str, set[str]] = field(default_factory=dict)
+    #: module dotted -> {global name} holding a lock
+    module_globals: dict[str, set[str]] = field(default_factory=dict)
+
+
+def _is_lock_ctor(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    parts: list[str] = []
+    func: ast.expr = node.func
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if isinstance(func, ast.Name):
+        parts.append(func.id)
+    dotted = ".".join(reversed(parts))
+    return dotted in _LOCK_CTORS
+
+
+def _index_locks(table: SymbolTable) -> _LockIndex:
+    index = _LockIndex()
+    for dotted, info in table.modules.items():
+        for node in info.module.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and _is_lock_ctor(node.value):
+                    index.module_globals.setdefault(dotted, set()).add(target.id)
+            elif isinstance(node, ast.ClassDef):
+                class_qualname = f"{dotted}.{node.name}"
+                for stmt in ast.walk(node):
+                    value = None
+                    target_node: ast.expr | None = None
+                    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                        target_node, value = stmt.targets[0], stmt.value
+                    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                        target_node, value = stmt.target, stmt.value
+                    if (
+                        value is not None
+                        and target_node is not None
+                        and isinstance(target_node, ast.Attribute)
+                        and isinstance(target_node.value, ast.Name)
+                        and target_node.value.id in ("self", "cls")
+                        and _is_lock_ctor(value)
+                    ):
+                        index.class_attrs.setdefault(class_qualname, set()).add(
+                            target_node.attr
+                        )
+    return index
+
+
+def _class_lock_attr(
+    table: SymbolTable, index: _LockIndex, class_qualname: str, attr: str
+) -> str | None:
+    """Resolve ``self.<attr>`` to the (base-)class that defines it."""
+    seen: set[str] = set()
+    stack = [class_qualname]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        if attr in index.class_attrs.get(current, set()):
+            return f"{current}.{attr}"
+        stack.extend(table.class_bases.get(current, ()))
+    return None
+
+
+def _resolve_lock(
+    table: SymbolTable,
+    index: _LockIndex,
+    info: ModuleInfo,
+    class_context: str | None,
+    expr: ast.expr,
+) -> str | None:
+    """Lock identity of a ``with`` context expression, or None."""
+    parts: list[str] = []
+    node: ast.expr = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    parts.reverse()
+
+    if isinstance(node, ast.Name):
+        base = node.id
+        if base in ("self", "cls") and class_context is not None and len(parts) == 1:
+            found = _class_lock_attr(table, index, class_context, parts[0])
+            if found is not None:
+                return found
+            if "lock" in parts[0].lower():
+                return f"{class_context}.{parts[0]}"
+            return None
+        if not parts:
+            if base in index.module_globals.get(info.dotted, set()):
+                return f"{info.dotted}.{base}"
+            if base in info.imports:
+                target = info.imports[base]
+                head, _, name = target.rpartition(".")
+                if name in index.module_globals.get(head, set()):
+                    return target
+            return None
+        if base in info.imports and len(parts) == 1:
+            target_module = info.imports[base]
+            if parts[0] in index.module_globals.get(target_module, set()):
+                return f"{target_module}.{parts[0]}"
+    return None
+
+
+def _is_blocking_symbol(qualname: str) -> bool:
+    return any(qualname.endswith(suffix) for suffix in _BLOCKING_SYMBOL_SUFFIXES)
+
+
+def _raw_dotted(expr: ast.expr) -> str:
+    parts: list[str] = []
+    node: ast.expr = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass(frozen=True, slots=True)
+class _HeldCall:
+    """One call made while at least one lock was held."""
+
+    caller: str
+    held: tuple[str, ...]
+    callee: str | None
+    raw: str
+    module: SourceModule
+    line: int
+
+
+@dataclass(slots=True)
+class LockAnalysis:
+    """Everything the static pass extracted, reusable by docs/tests."""
+
+    graph: LockGraph
+    #: function qualname -> locks it may (transitively) acquire
+    may_acquire: dict[str, frozenset[str]]
+    #: function qualname -> blocking raw call that makes it blocking ("" if none)
+    may_block: dict[str, str]
+    held_calls: list[_HeldCall] = field(default_factory=list)
+
+
+def analyze_locks(table: SymbolTable, graph: CallGraph) -> LockAnalysis:
+    """Build the acquisition graph and blocking facts for the project."""
+    index = _index_locks(table)
+    lock_graph = LockGraph()
+    for dotted, names in index.module_globals.items():
+        lock_graph.locks.update(f"{dotted}.{name}" for name in names)
+    for class_qualname, attrs in index.class_attrs.items():
+        lock_graph.locks.update(f"{class_qualname}.{attr}" for attr in attrs)
+
+    direct_acquires: dict[str, set[str]] = {}
+    direct_blocking: dict[str, str] = {}
+    held_calls: list[_HeldCall] = []
+
+    for info, class_context, qualname, fn in iter_functions(table):
+        locals_map = resolve_locals(table, info, class_context, fn)
+        acquires = direct_acquires.setdefault(qualname, set())
+
+        def visit(node: ast.AST, held: tuple[str, ...]) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                current = held
+                for item in node.items:
+                    visit(item.context_expr, current)
+                    lock = _resolve_lock(
+                        table, index, info, class_context, item.context_expr
+                    )
+                    if lock is not None:
+                        acquires.add(lock)
+                        for holder in current:
+                            lock_graph.add(
+                                LockEdge(
+                                    held=holder,
+                                    acquired=lock,
+                                    path=info.module.rel_path,
+                                    line=item.context_expr.lineno,
+                                    via="",
+                                )
+                            )
+                        current = current + (lock,)
+                for stmt in node.body:
+                    visit(stmt, current)
+                return
+            if isinstance(node, ast.Call):
+                callee = resolve_call(table, info, class_context, node.func, locals_map)
+                if callee is not None and table.is_class(callee):
+                    callee = table.method_on(callee, "__init__")
+                raw = _raw_dotted(node.func)
+                if held:
+                    held_calls.append(
+                        _HeldCall(
+                            caller=qualname,
+                            held=held,
+                            callee=callee,
+                            raw=raw,
+                            module=info.module,
+                            line=node.lineno,
+                        )
+                    )
+                attr = raw.rsplit(".", 1)[-1] if raw else ""
+                if (
+                    attr in _BLOCKING_ATTRS
+                    or raw == "open"
+                    or (callee is not None and _is_blocking_symbol(callee))
+                ) and qualname not in direct_blocking:
+                    direct_blocking[qualname] = raw or "<call>"
+            for child in ast.iter_child_nodes(node):
+                visit(child, held)
+
+        for stmt in fn.body:
+            visit(stmt, ())
+
+    # May-acquire fixpoint over the call graph.
+    may_acquire: dict[str, set[str]] = {
+        qualname: set(locks) for qualname, locks in direct_acquires.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for caller in list(may_acquire):
+            combined = may_acquire[caller]
+            before = len(combined)
+            for callee in graph.callees(caller):
+                combined |= may_acquire.get(callee, set())
+            if len(combined) != before:
+                changed = True
+
+    # May-block fixpoint (witness = the raw blocking call reached).
+    may_block: dict[str, str] = dict(direct_blocking)
+    changed = True
+    while changed:
+        changed = False
+        for info, class_context, qualname, _fn in iter_functions(table):
+            if qualname in may_block:
+                continue
+            for callee in graph.callees(qualname):
+                witness = may_block.get(callee)
+                if witness:
+                    may_block[qualname] = f"{callee.rsplit('.', 1)[-1]} -> {witness}"
+                    changed = True
+                    break
+
+    # Interprocedural edges: a call under lock L to a function that may
+    # acquire M adds L -> M.
+    for call in held_calls:
+        if call.callee is None:
+            continue
+        for acquired in may_acquire.get(call.callee, set()):
+            for holder in call.held:
+                lock_graph.add(
+                    LockEdge(
+                        held=holder,
+                        acquired=acquired,
+                        path=call.module.rel_path,
+                        line=call.line,
+                        via=call.callee,
+                    )
+                )
+
+    return LockAnalysis(
+        graph=lock_graph,
+        may_acquire={q: frozenset(s) for q, s in may_acquire.items()},
+        may_block=may_block,
+        held_calls=held_calls,
+    )
+
+
+def check_lock_order(
+    table: SymbolTable,
+    graph: CallGraph,
+    modules: list[SourceModule],
+    analysis: LockAnalysis | None = None,
+) -> list[Finding]:
+    """``lock-order`` findings: acquisition cycles and blocking-under-lock."""
+    facts = analysis if analysis is not None else analyze_locks(table, graph)
+    by_rel: dict[str, SourceModule] = {m.rel_path: m for m in modules}
+    findings: list[Finding] = []
+
+    for cycle in facts.graph.cycles():
+        witnesses = [
+            edge
+            for (src, dst), edge in sorted(facts.graph.edges.items())
+            if src in cycle and dst in cycle
+        ]
+        witness = witnesses[0] if witnesses else None
+        path = witness.path if witness else "<unknown>"
+        line = witness.line if witness else 0
+        module = by_rel.get(path)
+        if module is not None and module.allows(RULE_LOCK_ORDER, line):
+            continue
+        detail = "; ".join(
+            f"{e.held.rsplit('.', 1)[-1]} -> {e.acquired.rsplit('.', 1)[-1]} "
+            f"at {e.path}:{e.line}" + (f" via {e.via}" if e.via else "")
+            for e in witnesses[:4]
+        )
+        findings.append(
+            Finding(
+                rule=RULE_LOCK_ORDER,
+                path=path,
+                line=line,
+                message=(
+                    f"lock acquisition cycle between {', '.join(cycle)} — "
+                    f"threads taking these in different orders can deadlock "
+                    f"({detail})"
+                ),
+                scope="cycle:" + "|".join(cycle),
+            )
+        )
+
+    seen: set[tuple[str, str, str]] = set()
+    for call in facts.held_calls:
+        blocking: str | None = None
+        attr = call.raw.rsplit(".", 1)[-1] if call.raw else ""
+        if attr in _BLOCKING_ATTRS or call.raw == "open":
+            blocking = call.raw
+        elif call.callee is not None and _is_blocking_symbol(call.callee):
+            blocking = call.callee
+        elif call.callee is not None:
+            witness = facts.may_block.get(call.callee)
+            if witness:
+                blocking = f"{call.raw} ({witness})"
+        if blocking is None:
+            continue
+        key = (call.caller, call.held[-1], blocking)
+        if key in seen:
+            continue
+        seen.add(key)
+        if call.module.allows(RULE_LOCK_ORDER, call.line):
+            continue
+        findings.append(
+            Finding(
+                rule=RULE_LOCK_ORDER,
+                path=call.module.rel_path,
+                line=call.line,
+                message=(
+                    f"{call.caller.rsplit('.', 2)[-2]}.{call.caller.rsplit('.', 1)[-1]} "
+                    f"holds {call.held[-1]} across blocking call {blocking} — "
+                    f"release the lock before IO/sleep/policy calls"
+                ),
+                scope=f"{call.caller}:{blocking}",
+            )
+        )
+    return findings

@@ -1,0 +1,350 @@
+"""Runtime lock-order sanitizer ("tsan-lite") for the test suite.
+
+The static pass (:mod:`repro.devtools.lockorder`) proves the *source*
+encodes no cycle; this module checks the *executions* we actually run.
+Under ``REPRO_SANITIZE=1``, ``tests/conftest.py`` installs a
+:class:`LockOrderSanitizer` before collection, after which every
+``threading.Lock()``/``threading.RLock()`` created *from repro source
+files* is transparently wrapped.  Each wrapped lock records, per
+thread, the stack of locks held when it is acquired; edges accumulate
+in one process-global order graph keyed by the lock's **creation
+site** (file:line), so all instances of ``Counter._lock`` share a node
+exactly like the static analysis.
+
+Detected at acquire time, appended to :attr:`LockOrderSanitizer.violations`:
+
+* **inversion** — acquiring B while holding A when some earlier
+  acquisition (any thread, any instances) took A while holding B;
+* **held-across-blocking** — a patched blocking entry point
+  (``SystemClock.sleep``, ``resilience.execute``) runs while this
+  thread holds any sanitized lock.
+
+The autouse fixture in ``tests/conftest.py`` fails the test that
+introduced a violation, with both witness stacks in the message.
+
+Implementation notes: the wrapper factory decides repro-vs-other by
+the *caller's* source file, so pytest/stdlib locks stay native; the
+sanitizer's own bookkeeping uses a raw ``_thread`` lock to stay out of
+its own graph; and repro modules are reached via
+``importlib.import_module`` at install time only — ``repro.devtools``
+deliberately imports nothing from the rest of the platform at module
+scope (see the layer DAG), and this runtime seam keeps it that way.
+"""
+
+from __future__ import annotations
+
+import _thread
+import importlib
+import os
+import sys
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "LockOrderSanitizer",
+    "LockOrderViolation",
+    "current_sanitizer",
+]
+
+#: Path fragment identifying project source for auto-wrapping.
+_PROJECT_FRAGMENT = f"{os.sep}repro{os.sep}"
+_SELF_FILE = os.path.abspath(__file__)
+
+
+@dataclass(frozen=True, slots=True)
+class LockOrderViolation:
+    """One runtime ordering/blocking hazard."""
+
+    kind: str  # "inversion" | "held-across-blocking"
+    first: str  # lock site held
+    second: str  # lock site acquired / blocking call name
+    thread: str
+    detail: str
+    stack: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        lines = [
+            f"[{self.kind}] {self.first} then {self.second} on {self.thread}",
+            f"  {self.detail}",
+        ]
+        lines.extend(f"  {frame}" for frame in self.stack[-6:])
+        return "\n".join(lines)
+
+
+def _creation_site(skip_files: tuple[str, ...]) -> str:
+    """file:line of the nearest caller frame outside ``skip_files``."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if os.path.abspath(filename) not in skip_files:
+            return f"{os.path.basename(filename)}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class _SanitizedLock:
+    """Wraps one real lock; reports acquisitions to the sanitizer."""
+
+    __slots__ = ("_real", "_site", "_sanitizer", "_reentrant")
+
+    def __init__(
+        self, real: Any, site: str, sanitizer: "LockOrderSanitizer", reentrant: bool
+    ) -> None:
+        self._real = real
+        self._site = site
+        self._sanitizer = sanitizer
+        self._reentrant = reentrant
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._real.acquire(blocking, timeout)
+        if acquired:
+            self._sanitizer._on_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        self._sanitizer._on_release(self)
+        self._real.release()
+
+    def locked(self) -> bool:
+        return self._real.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "RLock" if self._reentrant else "Lock"
+        return f"<Sanitized{kind} {self._site}>"
+
+
+@dataclass(slots=True)
+class _HeldEntry:
+    lock: _SanitizedLock
+    count: int = 1
+
+
+class LockOrderSanitizer:
+    """Process-global acquisition-order tracker.
+
+    Use :meth:`install` to patch ``threading.Lock``/``RLock`` (wrapping
+    only locks created from repro source) and the known blocking entry
+    points, or create locks explicitly with :meth:`make_lock`/
+    :meth:`make_rlock` in targeted tests.
+    """
+
+    def __init__(self) -> None:
+        self._meta = _thread.allocate_lock()  # guards the order graph
+        self._local = threading.local()
+        #: site -> {successor site -> witness detail}
+        self._order: dict[str, dict[str, str]] = {}
+        self.violations: list[LockOrderViolation] = []
+        self._installed = False
+        self._saved_lock: Callable[..., Any] | None = None
+        self._saved_rlock: Callable[..., Any] | None = None
+        self._saved_blocking: list[tuple[Any, str, Any]] = []
+
+    # -- explicit construction (tests) --------------------------------------
+
+    def make_lock(self, name: str | None = None) -> _SanitizedLock:
+        site = name or _creation_site((_SELF_FILE,))
+        return _SanitizedLock(_thread.allocate_lock(), site, self, reentrant=False)
+
+    def make_rlock(self, name: str | None = None) -> _SanitizedLock:
+        site = name or _creation_site((_SELF_FILE,))
+        return _SanitizedLock(threading._RLock(), site, self, reentrant=True)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _held(self) -> list[_HeldEntry]:
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = []
+            self._local.held = held
+        return held
+
+    def _on_acquire(self, lock: _SanitizedLock) -> None:
+        held = self._held()
+        for entry in held:
+            if entry.lock is lock:  # reentrant re-acquire of an RLock
+                entry.count += 1
+                return
+        thread_name = threading.current_thread().name
+        stack = tuple(
+            f"{os.path.basename(f.filename)}:{f.lineno} in {f.name}"
+            for f in traceback.extract_stack()[:-2]
+            if "sanitizers" not in f.filename
+        )
+        with self._meta:
+            for entry in held:
+                src, dst = entry.lock._site, lock._site
+                if src == dst:
+                    continue  # instance fan-out of one class-level lock
+                reverse = self._order.get(dst, {}).get(src)
+                witness = f"{thread_name} held {src} acquiring {dst}"
+                self._order.setdefault(src, {}).setdefault(dst, witness)
+                if reverse is not None:
+                    self.violations.append(
+                        LockOrderViolation(
+                            kind="inversion",
+                            first=src,
+                            second=dst,
+                            thread=thread_name,
+                            detail=(
+                                f"opposite order previously observed: {reverse}"
+                            ),
+                            stack=stack,
+                        )
+                    )
+        held.append(_HeldEntry(lock))
+
+    def _on_release(self, lock: _SanitizedLock) -> None:
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i].lock is lock:
+                held[i].count -= 1
+                if held[i].count == 0:
+                    del held[i]
+                return
+
+    def note_blocking(self, name: str) -> None:
+        """Called from patched blocking entry points."""
+        held = self._held()
+        if not held:
+            return
+        thread_name = threading.current_thread().name
+        stack = tuple(
+            f"{os.path.basename(f.filename)}:{f.lineno} in {f.name}"
+            for f in traceback.extract_stack()[:-2]
+            if "sanitizers" not in f.filename
+        )
+        with self._meta:
+            self.violations.append(
+                LockOrderViolation(
+                    kind="held-across-blocking",
+                    first=held[-1].lock._site,
+                    second=name,
+                    thread=thread_name,
+                    detail=(
+                        f"{name} ran while holding "
+                        f"{[entry.lock._site for entry in held]}"
+                    ),
+                    stack=stack,
+                )
+            )
+
+    # -- introspection -------------------------------------------------------
+
+    def order_edges(self) -> dict[str, tuple[str, ...]]:
+        """Observed acquisition order (site -> successor sites)."""
+        with self._meta:
+            return {src: tuple(sorted(dsts)) for src, dsts in self._order.items()}
+
+    def reset(self) -> None:
+        with self._meta:
+            self._order.clear()
+            self.violations.clear()
+
+    # -- installation --------------------------------------------------------
+
+    def install(self) -> None:
+        """Patch lock construction and blocking entry points."""
+        if self._installed:
+            return
+        self._installed = True
+        _set_current(self)
+        sanitizer = self
+        real_lock = threading.Lock
+        real_rlock = threading.RLock
+        self._saved_lock = real_lock
+        self._saved_rlock = real_rlock
+
+        def lock_factory() -> Any:
+            real = real_lock()
+            site = _creation_site((_SELF_FILE,))
+            if _PROJECT_FRAGMENT in _site_path(sys._getframe(1)):
+                return _SanitizedLock(real, site, sanitizer, reentrant=False)
+            return real
+
+        def rlock_factory() -> Any:
+            real = real_rlock()
+            site = _creation_site((_SELF_FILE,))
+            if _PROJECT_FRAGMENT in _site_path(sys._getframe(1)):
+                return _SanitizedLock(real, site, sanitizer, reentrant=True)
+            return real
+
+        threading.Lock = lock_factory  # type: ignore[misc, assignment]
+        threading.RLock = rlock_factory  # type: ignore[misc, assignment]
+        self._patch_blocking()
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        self._installed = False
+        if self._saved_lock is not None:
+            threading.Lock = self._saved_lock  # type: ignore[misc, assignment]
+        if self._saved_rlock is not None:
+            threading.RLock = self._saved_rlock  # type: ignore[misc, assignment]
+        for owner, attr, original in self._saved_blocking:
+            setattr(owner, attr, original)
+        self._saved_blocking.clear()
+        _set_current(None)
+
+    def _patch_blocking(self) -> None:
+        """Wrap the blocking entry points the static pass knows about.
+
+        Imported lazily by dotted string: ``repro.devtools`` must not
+        depend on the platform at import time (layer DAG), and the
+        sanitizer must work even when only parts of it are loaded.
+        """
+        sanitizer = self
+        targets = (
+            ("repro.resilience.clock", "SystemClock", "sleep"),
+            ("repro.resilience.policies", None, "execute"),
+        )
+        for module_name, class_name, attr in targets:
+            try:
+                module = importlib.import_module(module_name)
+            except ImportError:  # platform not importable in this env
+                continue
+            owner: Any = getattr(module, class_name) if class_name else module
+            original = getattr(owner, attr, None)
+            if original is None:
+                continue
+            label = f"{module_name}.{class_name + '.' if class_name else ''}{attr}"
+
+            def wrapped(*args: Any, _orig: Any = original, _label: str = label, **kwargs: Any) -> Any:
+                sanitizer.note_blocking(_label)
+                return _orig(*args, **kwargs)
+
+            setattr(owner, attr, wrapped)
+            self._saved_blocking.append((owner, attr, original))
+
+
+def _site_path(frame: Any) -> str:
+    while frame is not None:
+        filename = os.path.abspath(frame.f_code.co_filename)
+        if filename != _SELF_FILE:
+            return filename
+        frame = frame.f_back
+    return ""
+
+
+_current: LockOrderSanitizer | None = None
+_current_lock = _thread.allocate_lock()
+
+
+def _set_current(sanitizer: LockOrderSanitizer | None) -> None:
+    global _current  # devtools: allow[module-mutable-state] — guarded right below
+    with _current_lock:
+        _current = sanitizer
+
+
+# Consumed by tests/conftest.py (tests deliberately don't keep src alive).
+# devtools: allow[dead-code] — intentional API surface
+def current_sanitizer() -> LockOrderSanitizer | None:
+    """The installed sanitizer, if any (used by tests/conftest.py)."""
+    return _current

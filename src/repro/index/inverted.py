@@ -81,7 +81,7 @@ class InvertedIndex:
         """Documents matching *any* query term, tf-idf ranked."""
         scores: dict[object, float] = {}
         scanned = 0
-        for term in set(tokenize(query)):
+        for term in sorted(set(tokenize(query))):
             idf = self._idf(term)
             postings = self._postings.get(term, {})
             scanned += len(postings)

@@ -106,11 +106,15 @@ def metrics() -> MetricsRegistry:
     return _registry
 
 
+# Public accessor mirroring metrics(); consumed by tests and debugging.
+# devtools: allow[dead-code] — intentional API surface
 def tracer() -> Tracer:
     """The process-wide tracer."""
     return _tracer
 
 
+# Public accessor; tests and notebooks read recent spans through it.
+# devtools: allow[dead-code] — intentional API surface
 def ring_buffer() -> RingBufferExporter:
     """The tracer's in-memory exporter (recent finished spans)."""
     return _ring
@@ -159,15 +163,27 @@ def enable_jsonl(path: str) -> JsonlExporter:
     path; an exporter for a different path replaces the previous one)."""
     global _jsonl
     with _jsonl_lock:
-        if _jsonl is not None:
-            if _jsonl.path == str(path):
-                return _jsonl
-            _detach_jsonl()
-        _jsonl = JsonlExporter(path)
-        _tracer.add_exporter(_jsonl)
-        return _jsonl
+        if _jsonl is not None and _jsonl.path == str(path):
+            return _jsonl
+    # Open the file outside the lock — holding _jsonl_lock across IO
+    # would stall every tracer attach/detach on a slow disk.
+    exporter = JsonlExporter(path)
+    with _jsonl_lock:
+        if _jsonl is not None and _jsonl.path == str(path):
+            current = _jsonl  # a concurrent enable for the same path won
+        else:
+            if _jsonl is not None:
+                _detach_jsonl()
+            _jsonl = exporter
+            _tracer.add_exporter(exporter)
+            current = exporter
+    if current is not exporter:
+        exporter.close()
+    return current
 
 
+# API symmetry with enable_jsonl; tests tear down stream exporters here.
+# devtools: allow[dead-code] — intentional API surface
 def disable_jsonl() -> None:
     """Detach and close the JSONL exporter, if one is active."""
     with _jsonl_lock:

@@ -1,0 +1,59 @@
+"""Repo-wide test hooks: the runtime lock-order sanitizer.
+
+``REPRO_SANITIZE=1 pytest ...`` installs
+:class:`repro.devtools.sanitizers.LockOrderSanitizer` before test
+collection (so every ``threading.Lock``/``RLock`` the platform creates
+is wrapped), and an autouse fixture fails any test whose execution
+introduced a lock-order inversion or a blocking call under a lock.
+Without the variable, this module does nothing.
+
+CI runs the concurrency-sensitive suites this way in the ``sanitize``
+job; locally it is opt-in because the wrappers add a little overhead
+to every acquisition.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_sanitizer = None
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    global _sanitizer
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        return
+    from repro.devtools.sanitizers import LockOrderSanitizer
+
+    _sanitizer = LockOrderSanitizer()
+    _sanitizer.install()
+    config.addinivalue_line(
+        "markers", "sanitized: runtime lock-order sanitizer is active"
+    )
+
+
+def pytest_unconfigure(config: pytest.Config) -> None:
+    global _sanitizer
+    if _sanitizer is not None:
+        _sanitizer.uninstall()
+        _sanitizer = None
+
+
+@pytest.fixture(autouse=True)
+def _lock_order_guard(request: pytest.FixtureRequest):
+    """Fail the test that introduced a sanitizer violation."""
+    if _sanitizer is None:
+        yield
+        return
+    before = len(_sanitizer.violations)
+    yield
+    fresh = _sanitizer.violations[before:]
+    if fresh:
+        rendered = "\n".join(v.render() for v in fresh)
+        pytest.fail(
+            f"lock sanitizer recorded {len(fresh)} violation(s) during "
+            f"{request.node.nodeid}:\n{rendered}",
+            pytrace=False,
+        )

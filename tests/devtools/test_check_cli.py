@@ -36,6 +36,34 @@ SEEDED = {
         "def poll():\n"
         "    time.sleep(0.5)\n"  # no-sleep
     ),
+    "low/locks.py": (  # lock-order: two-lock inversion
+        "import threading\n"
+        "\n"
+        "_a = threading.Lock()\n"
+        "_b = threading.Lock()\n"
+        "\n"
+        "def ab():\n"
+        "    with _a:\n"
+        "        with _b:\n"
+        "            pass\n"
+        "\n"
+        "def ba():\n"
+        "    with _b:\n"
+        "        with _a:\n"
+        "            pass\n"
+    ),
+    "low/entropy.py": (  # determinism: process-global RNG
+        "import random\n"
+        "\n"
+        "def jitter():\n"
+        "    return random.random()\n"
+    ),
+    "api/entry.py": (  # exception-flow: builtin escaping the taxonomy
+        "def handle():\n"
+        "    raise RuntimeError('boom')\n"
+    ),
+    # dead-code fires on the unreferenced public defs above (put, Index,
+    # risky, poll, ...) without extra seeding.
 }
 
 

@@ -1,0 +1,95 @@
+"""Dead-code pass over the whole-program symbol table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.callgraph import build_symbol_table
+from repro.devtools.deadcode import check_dead_code
+
+
+@pytest.fixture
+def run(make_package, tmp_path):
+    def _run(files, examples=None):
+        root, modules = make_package(files)
+        if examples:
+            ex_dir = tmp_path / "examples"
+            ex_dir.mkdir(exist_ok=True)
+            for rel, source in examples.items():
+                (ex_dir / rel).write_text(source)
+        table = build_symbol_table(modules, root)
+        return check_dead_code(table, modules, repo_root=tmp_path)
+
+    return _run
+
+
+def test_unreferenced_public_function_flagged(run):
+    findings = run({"m.py": "def orphan():\n    return 1\n"})
+    assert len(findings) == 1
+    assert findings[0].scope == "pkg.m.orphan"
+    assert "never referenced" in findings[0].message
+
+
+def test_cross_module_reference_keeps_alive(run):
+    findings = run(
+        {
+            "m.py": "def used():\n    return 1\n",
+            "caller.py": "from pkg.m import used\n\ndef go():\n    return used()\n",
+        }
+    )
+    assert [f for f in findings if f.scope == "pkg.m.used"] == []
+
+
+def test_example_reference_keeps_alive(run):
+    findings = run(
+        {"m.py": "def demo_api():\n    return 1\n"},
+        examples={"demo.py": "from pkg.m import demo_api\n\nprint(demo_api())\n"},
+    )
+    assert findings == []
+
+
+def test_private_symbols_exempt(run):
+    findings = run({"m.py": "def _helper():\n    return 1\n"})
+    assert findings == []
+
+
+def test_methods_exempt(run):
+    # Methods live and die with their class; only the class itself needs
+    # a referent.
+    findings = run(
+        {
+            "m.py": "class Box:\n    def never_called(self):\n        return 1\n",
+            "caller.py": "from pkg.m import Box\n\nb = Box()\n",
+        }
+    )
+    assert findings == []
+
+
+def test_own_module_use_keeps_alive(run):
+    findings = run(
+        {"m.py": "def helper():\n    return 1\n\n_CACHE = helper()\n"}
+    )
+    assert findings == []
+
+
+def test_main_is_implicit(run):
+    findings = run({"m.py": "def main():\n    return 0\n"})
+    assert findings == []
+
+
+def test_all_listing_does_not_count(run):
+    findings = run({"m.py": "__all__ = ['orphan']\n\ndef orphan():\n    return 1\n"})
+    assert len(findings) == 1
+
+
+def test_allow_comment_suppresses(run):
+    findings = run(
+        {
+            "m.py": (
+                "# devtools: allow[dead-code] — intentional API surface\n"
+                "def orphan():\n"
+                "    return 1\n"
+            ),
+        }
+    )
+    assert findings == []

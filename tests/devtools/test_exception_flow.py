@@ -1,0 +1,230 @@
+"""Exception-flow analysis: entry points raise only taxonomy errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.callgraph import build_call_graph, build_symbol_table
+from repro.devtools.exceptions import analyze_exceptions, check_exception_flow
+
+#: A miniature taxonomy mirroring ``repro.errors``.
+ERRORS = """
+    class TVDPError(Exception):
+        pass
+
+    class QueryError(TVDPError):
+        pass
+"""
+
+
+@pytest.fixture
+def run(make_package):
+    def _run(files):
+        root, modules = make_package(files)
+        table = build_symbol_table(modules, root)
+        graph = build_call_graph(table)
+        flow = analyze_exceptions(table, graph)
+        findings = check_exception_flow(table, graph, modules, flow=flow)
+        return flow, findings
+
+    return _run
+
+
+class TestFlowInference:
+    def test_direct_raise_recorded(self, run):
+        flow, _ = run(
+            {
+                "api/entry.py": """
+                    def handle():
+                        raise RuntimeError("boom")
+                """,
+            }
+        )
+        assert "RuntimeError" in flow.raises["pkg.api.entry.handle"]
+
+    def test_caught_exception_does_not_propagate(self, run):
+        flow, findings = run(
+            {
+                "errors.py": ERRORS,
+                "api/entry.py": """
+                    from pkg.errors import QueryError
+
+                    def risky():
+                        raise RuntimeError("boom")
+
+                    def handle():
+                        try:
+                            return risky()
+                        except RuntimeError:
+                            raise QueryError("mapped")
+                """,
+            }
+        )
+        assert "RuntimeError" not in flow.raises["pkg.api.entry.handle"]
+        assert "QueryError" in flow.raises["pkg.api.entry.handle"]
+        assert [f for f in findings if "handle" in f.scope] == []
+
+    def test_subclass_absorbed_by_base_handler(self, run):
+        flow, _ = run(
+            {
+                "errors.py": ERRORS,
+                "api/entry.py": """
+                    from pkg.errors import QueryError, TVDPError
+
+                    def inner():
+                        raise QueryError("bad query")
+
+                    def handle():
+                        try:
+                            return inner()
+                        except TVDPError:
+                            return None
+                """,
+            }
+        )
+        assert flow.raises["pkg.api.entry.handle"] == {}
+
+    def test_transparent_handler_passes_through(self, run):
+        """``except Exception: ...; raise`` neither absorbs the body's
+        raises nor turns them into ``Exception``."""
+        flow, _ = run(
+            {
+                "api/entry.py": """
+                    def inner():
+                        raise RuntimeError("boom")
+
+                    def handle():
+                        try:
+                            return inner()
+                        except Exception:
+                            raise
+                """,
+            }
+        )
+        assert set(flow.raises["pkg.api.entry.handle"]) == {"RuntimeError"}
+
+    def test_known_external_raisers(self, run):
+        flow, _ = run(
+            {
+                "db/store.py": """
+                    def load(path):
+                        with open(path) as fh:
+                            return fh.read()
+                """,
+            }
+        )
+        assert "OSError" in flow.raises["pkg.db.store.load"]
+
+
+class TestFindings:
+    def test_builtin_escaping_taxonomy_is_flagged(self, run):
+        _, findings = run(
+            {
+                "errors.py": ERRORS,
+                "api/entry.py": """
+                    def handle():
+                        raise RuntimeError("boom")
+                """,
+            }
+        )
+        assert len(findings) == 1
+        assert findings[0].scope == "pkg.api.entry.handle:RuntimeError"
+
+    def test_taxonomy_raise_is_clean(self, run):
+        _, findings = run(
+            {
+                "errors.py": ERRORS,
+                "api/entry.py": """
+                    from pkg.errors import QueryError
+
+                    def handle():
+                        raise QueryError("bad")
+                """,
+            }
+        )
+        assert findings == []
+
+    def test_sanctioned_builtins_are_clean(self, run):
+        _, findings = run(
+            {
+                "api/entry.py": """
+                    def handle(k):
+                        if not k:
+                            raise ValueError("empty key")
+                        raise KeyError(k)
+                """,
+            }
+        )
+        assert findings == []
+
+    def test_declared_retryable_set_sanctions(self, run):
+        """An ``OSError`` escaping db is fine when a ``*TRANSIENT*``
+        tuple declares it retryable."""
+        _, findings = run(
+            {
+                "db/store.py": """
+                    _PERSIST_TRANSIENT = (OSError,)
+
+                    def load(path):
+                        with open(path) as fh:
+                            return fh.read()
+                """,
+            }
+        )
+        assert findings == []
+
+    def test_private_helpers_not_entry_points(self, run):
+        _, findings = run(
+            {
+                "api/entry.py": """
+                    def _internal():
+                        raise RuntimeError("boom")
+                """,
+            }
+        )
+        assert findings == []
+
+    def test_non_entry_packages_not_checked(self, run):
+        _, findings = run(
+            {
+                "core/engine.py": """
+                    def run():
+                        raise RuntimeError("boom")
+                """,
+            }
+        )
+        assert findings == []
+
+    def test_higher_order_policy_call_propagates(self, run):
+        """A callable handed to ``resilience.policies.execute``
+        contributes its raises to the caller."""
+        _, findings = run(
+            {
+                "resilience/policies.py": """
+                    def execute(fn, policy=None):
+                        return fn()
+                """,
+                "api/entry.py": """
+                    from pkg.resilience.policies import execute
+
+                    def fetch():
+                        raise ConnectionError("down")
+
+                    def handle():
+                        return execute(fetch)
+                """,
+            }
+        )
+        assert any(f.scope == "pkg.api.entry.handle:ConnectionError" for f in findings)
+
+    def test_allow_comment_suppresses(self, run):
+        _, findings = run(
+            {
+                "api/entry.py": (
+                    "# devtools: allow[exception-flow]\n"
+                    "def handle():\n"
+                    "    raise RuntimeError('boom')\n"
+                ),
+            }
+        )
+        assert findings == []

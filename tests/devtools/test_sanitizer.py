@@ -1,0 +1,145 @@
+"""Runtime lock-order sanitizer ("tsan-lite").
+
+These tests drive *local* :class:`LockOrderSanitizer` instances with
+explicitly constructed locks, so the deliberate inversions here never
+touch the process-global sanitizer that ``REPRO_SANITIZE=1`` installs
+through ``tests/conftest.py`` — the suite stays green under the CI
+``sanitize`` job while still proving an inverted pair is caught.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.devtools.sanitizers import LockOrderSanitizer, _SanitizedLock
+
+
+@pytest.fixture
+def sanitizer():
+    return LockOrderSanitizer()
+
+
+class TestInversionDetection:
+    def test_deliberate_inversion_across_threads_is_caught(self, sanitizer):
+        """The acceptance scenario: thread one takes A then B, thread
+        two takes B then A — the second thread's acquisition of A must
+        record an inversion violation."""
+        a = sanitizer.make_lock("A")
+        b = sanitizer.make_lock("B")
+
+        def take_a_then_b():
+            with a:
+                with b:
+                    pass
+
+        worker = threading.Thread(target=take_a_then_b, name="ab-thread")
+        worker.start()
+        worker.join()
+        assert sanitizer.violations == []
+
+        with b:
+            with a:  # inverted relative to the worker thread
+                pass
+
+        assert len(sanitizer.violations) == 1
+        violation = sanitizer.violations[0]
+        assert violation.kind == "inversion"
+        assert {violation.first, violation.second} == {"A", "B"}
+        assert "ab-thread" in violation.detail
+        rendered = violation.render()
+        assert "[inversion]" in rendered and "A" in rendered and "B" in rendered
+
+    def test_consistent_order_is_clean(self, sanitizer):
+        a = sanitizer.make_lock("A")
+        b = sanitizer.make_lock("B")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert sanitizer.violations == []
+        assert sanitizer.order_edges() == {"A": ("B",)}
+
+    def test_reentrant_rlock_is_not_an_inversion(self, sanitizer):
+        r = sanitizer.make_rlock("R")
+        with r:
+            with r:  # reentrancy, RLock's job — not an ordering fact
+                pass
+        assert sanitizer.violations == []
+        assert sanitizer.order_edges() == {}
+
+    def test_instances_of_one_site_share_a_node(self, sanitizer):
+        """Two locks from the same creation site (e.g. two ``Counter``
+        instances) nesting in each other is instance fan-out, not an
+        ordering cycle."""
+        first = sanitizer.make_lock("Counter._lock")
+        second = sanitizer.make_lock("Counter._lock")
+        with first:
+            with second:
+                pass
+        with second:
+            with first:
+                pass
+        assert sanitizer.violations == []
+
+
+class TestBlockingDetection:
+    def test_blocking_under_lock_is_flagged(self, sanitizer):
+        lock = sanitizer.make_lock("L")
+        with lock:
+            sanitizer.note_blocking("SystemClock.sleep")
+        assert len(sanitizer.violations) == 1
+        violation = sanitizer.violations[0]
+        assert violation.kind == "held-across-blocking"
+        assert violation.first == "L"
+        assert violation.second == "SystemClock.sleep"
+
+    def test_blocking_without_lock_is_fine(self, sanitizer):
+        sanitizer.note_blocking("SystemClock.sleep")
+        assert sanitizer.violations == []
+
+    def test_reset_clears_state(self, sanitizer):
+        lock = sanitizer.make_lock("L")
+        with lock:
+            sanitizer.note_blocking("execute")
+        sanitizer.reset()
+        assert sanitizer.violations == []
+        assert sanitizer.order_edges() == {}
+
+
+class TestInstallation:
+    def test_install_wraps_only_project_locks(self, sanitizer):
+        """After ``install()``, a ``threading.Lock()`` created from a
+        file under ``repro/`` comes back sanitized; one created from
+        anywhere else stays native."""
+        sanitizer.install()
+        try:
+            namespace: dict = {}
+            code = compile(
+                "import threading\nLOCK = threading.Lock()\n",
+                "/synthetic/repro/fake_module.py",  # looks like project source
+                "exec",
+            )
+            exec(code, namespace)
+            assert isinstance(namespace["LOCK"], _SanitizedLock)
+            # This test file is not under a ``repro/`` directory.
+            assert not isinstance(threading.Lock(), _SanitizedLock)
+        finally:
+            sanitizer.uninstall()
+
+    def test_wrapped_lock_still_locks(self, sanitizer):
+        lock = sanitizer.make_lock("L")
+        assert lock.acquire()
+        assert lock.locked()
+        assert not lock.acquire(blocking=False)
+        lock.release()
+        assert not lock.locked()
+
+    def test_uninstall_restores_factories(self, sanitizer):
+        original_lock = threading.Lock
+        original_rlock = threading.RLock
+        sanitizer.install()
+        sanitizer.uninstall()
+        assert threading.Lock is original_lock
+        assert threading.RLock is original_rlock
