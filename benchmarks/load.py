@@ -1,0 +1,90 @@
+"""Closed-loop load harness runner: ``python -m benchmarks.load``.
+
+Drives the in-process API with the seeded zipfian workload from
+``benchmarks/loadgen.py`` across ramping concurrency stages, validates
+the result against ``benchmarks/load_schema.py``, and merges it as the
+``load`` section of the ``BENCH_<git-sha>.json`` trajectory document
+(creating the document if ``python -m benchmarks`` has not run yet).
+
+Flags:
+
+``--smoke``
+    Small corpus, two stages — the CI profile.
+``--seed N``
+    Workload seed (default 0); two runs with the same seed issue the
+    identical request schedule (compare ``schedule_digest``).
+``--out PATH``
+    Target document (default: ``BENCH_<git-sha>.json`` at repo root).
+``--print``
+    Also dump the load section to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.load",
+        description="Run the closed-loop load harness into BENCH_<git-sha>.json.",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="small corpus, two stages (CI mode)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: BENCH_<git-sha>.json at the repo root)",
+    )
+    parser.add_argument(
+        "--print",
+        dest="dump",
+        action="store_true",
+        help="also dump the load section to stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if importlib.util.find_spec("repro") is None:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+
+    from benchmarks import recorder
+    from benchmarks.load_schema import validate_load_section
+    from benchmarks.loadgen import LoadConfig, run_load
+
+    config = LoadConfig.for_mode(smoke=args.smoke, seed=args.seed)
+    load = run_load(config)
+
+    problems = validate_load_section(load)
+    if problems:
+        print("load section failed schema validation:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 2
+
+    out_path = Path(args.out) if args.out else REPO_ROOT / f"BENCH_{recorder.git_sha()}.json"
+    recorder.attach_load(out_path, load, smoke=args.smoke)
+
+    if args.dump:
+        print(json.dumps(load, indent=2, sort_keys=True))
+    total = sum(stage["requests"] for stage in load["stages"])
+    errors = sum(stage["errors"] for stage in load["stages"])
+    peak = load["stages"][-1]
+    print(
+        f"wrote load section into {out_path} "
+        f"({len(load['stages'])} stages, {total} requests, {errors} errors, "
+        f"peak {peak['throughput_rps']:g} req/s at c={peak['concurrency']}, "
+        f"digest {load['schedule_digest'][:12]}..., smoke={args.smoke})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

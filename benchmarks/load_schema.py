@@ -1,0 +1,99 @@
+"""Schema for the ``load`` section of ``BENCH_<sha>.json``.
+
+The closed-loop harness (``benchmarks/loadgen.py``) emits one ``load``
+dict per run; ``tools/bench_compare.py`` refuses documents whose load
+section fails :func:`validate_load_section`, so the gate catches both
+regressions and malformed emitters.  Stdlib-only on purpose — the tools
+directory imports this without the platform installed.
+"""
+
+from __future__ import annotations
+
+#: Bump when the load-section layout changes incompatibly.
+LOAD_SCHEMA_VERSION = 1
+
+_TOP_KEYS = {
+    "schema_version": int,
+    "seed": int,
+    "smoke": bool,
+    "zipf_s": float,
+    "requests_per_worker": int,
+    "families": dict,
+    "stages": list,
+    "hot_queries": list,
+    "schedule_digest": str,
+}
+
+_STAGE_KEYS = {
+    "concurrency": int,
+    "requests": int,
+    "errors": int,
+    "duration_s": float,
+    "throughput_rps": float,
+    "latency_ms": dict,
+}
+
+_LATENCY_KEYS = ("p50", "p95", "p99", "mean", "max")
+
+
+def _check_keys(mapping: dict, spec: dict, where: str, problems: list[str]) -> None:
+    for key, kind in spec.items():
+        if key not in mapping:
+            problems.append(f"{where}: missing key {key!r}")
+            continue
+        value = mapping[key]
+        # bool is an int subclass; keep the two distinct in the schema.
+        if kind is int and isinstance(value, bool):
+            problems.append(f"{where}.{key}: expected int, got bool")
+        elif kind is float and isinstance(value, int) and not isinstance(value, bool):
+            continue  # whole-number floats serialise as ints; accept
+        elif not isinstance(value, kind):
+            problems.append(
+                f"{where}.{key}: expected {kind.__name__}, got {type(value).__name__}"
+            )
+
+
+def validate_load_section(load: object) -> list[str]:
+    """Problems with a ``load`` section; empty when it is well-formed."""
+    problems: list[str] = []
+    if not isinstance(load, dict):
+        return [f"load: expected dict, got {type(load).__name__}"]
+    _check_keys(load, _TOP_KEYS, "load", problems)
+    if load.get("schema_version") != LOAD_SCHEMA_VERSION:
+        problems.append(
+            f"load.schema_version: expected {LOAD_SCHEMA_VERSION}, "
+            f"got {load.get('schema_version')!r}"
+        )
+    digest = load.get("schedule_digest")
+    if isinstance(digest, str) and len(digest) != 64:
+        problems.append("load.schedule_digest: expected 64 hex chars (sha256)")
+    stages = load.get("stages")
+    if isinstance(stages, list):
+        if not stages:
+            problems.append("load.stages: must not be empty")
+        for i, stage in enumerate(stages):
+            where = f"load.stages[{i}]"
+            if not isinstance(stage, dict):
+                problems.append(f"{where}: expected dict, got {type(stage).__name__}")
+                continue
+            _check_keys(stage, _STAGE_KEYS, where, problems)
+            latency = stage.get("latency_ms")
+            if isinstance(latency, dict):
+                for key in _LATENCY_KEYS:
+                    if not isinstance(latency.get(key), (int, float)) or isinstance(
+                        latency.get(key), bool
+                    ):
+                        problems.append(f"{where}.latency_ms.{key}: expected number")
+            if (
+                isinstance(stage.get("errors"), int)
+                and isinstance(stage.get("requests"), int)
+                and not isinstance(stage.get("errors"), bool)
+                and stage["errors"] > stage["requests"]
+            ):
+                problems.append(f"{where}: errors exceed requests")
+    families = load.get("families")
+    if isinstance(families, dict):
+        for family, count in families.items():
+            if not isinstance(count, int) or isinstance(count, bool):
+                problems.append(f"load.families.{family}: expected int count")
+    return problems

@@ -1,0 +1,361 @@
+"""Closed-loop load generator for the in-process TVDP API.
+
+The benchmark suite measures single operations; this harness measures
+the platform *under concurrency*: N worker threads drive the service
+closed-loop (each worker issues its next request only after the
+previous one returns) through ramping concurrency stages, with a seeded
+zipfian mix over the six query families — a few shapes dominate, a
+long tail of everything else, like a real city-dashboard workload.
+
+Determinism: the request schedule is a pure function of the corpus
+profile and :class:`LoadConfig` — every worker draws from its own
+``random.Random`` seeded by ``(seed, stage, worker)``, so two runs with
+the same seed issue the *identical* request sequence per worker
+(``schedule_digest`` in the emitted section proves it).  Wall-clock
+numbers (throughput, percentiles) of course still vary per machine;
+``tools/bench_compare.py`` gates them only when wall gating is on.
+
+The emitted ``load`` section (see ``benchmarks/load_schema.py``) rides
+in the same ``BENCH_<sha>.json`` trajectory document as the per-bench
+records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+
+from repro import TVDP, obs
+from repro.api.http import Request
+from repro.api.service import TVDPService
+from repro.datasets import generate_lasan_dataset
+from repro.features import ColorHistogramExtractor
+from repro.imaging import CLEANLINESS_CLASSES
+
+from benchmarks.load_schema import LOAD_SCHEMA_VERSION
+
+#: Query families in fixed zipf-rank order: weight of rank r is
+#: ``1 / r**zipf_s``, so the first family dominates the mix.
+FAMILY_RANKS = ("spatial", "textual", "categorical", "visual", "temporal", "hybrid")
+
+EXTRACTOR_NAME = "color_hsv_20_20_10"
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Knobs of one load run (the schedule is a pure function of
+    this plus the corpus profile)."""
+
+    seed: int = 0
+    smoke: bool = False
+    stages: tuple[int, ...] = (1, 2, 4, 8)
+    requests_per_worker: int = 40
+    zipf_s: float = 1.1
+    n_per_class: int = 12
+    image_size: int = 32
+
+    @classmethod
+    def for_mode(cls, smoke: bool, seed: int = 0) -> "LoadConfig":
+        """The shipped full/smoke profiles."""
+        if smoke:
+            return cls(
+                seed=seed,
+                smoke=True,
+                stages=(1, 2),
+                requests_per_worker=12,
+                n_per_class=6,
+                image_size=24,
+            )
+        return cls(seed=seed, smoke=False)
+
+
+@dataclass(frozen=True)
+class CorpusProfile:
+    """The schedule-relevant fingerprint of a built corpus: bounding
+    box, time range, sample feature vectors, vocabularies.  Everything
+    here is derived deterministically from the dataset seed."""
+
+    min_lat: float
+    min_lng: float
+    max_lat: float
+    max_lng: float
+    t_min: float
+    t_max: float
+    labels: tuple[str, ...]
+    keywords: tuple[str, ...]
+    vectors: tuple[tuple[float, ...], ...]
+
+
+def build_corpus(config: LoadConfig) -> tuple[TVDPService, str, CorpusProfile]:
+    """A populated platform + service + issued API key + profile."""
+    platform = TVDP()
+    platform.register_extractor(ColorHistogramExtractor())
+    platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+    records = generate_lasan_dataset(
+        n_per_class=config.n_per_class,
+        image_size=config.image_size,
+        seed=config.seed,
+    )
+    keywords: set[str] = set()
+    for record in records:
+        receipt = platform.upload_image(
+            record.image,
+            record.fov,
+            record.captured_at,
+            record.uploaded_at,
+            keywords=record.keywords,
+        )
+        platform.annotations.annotate(
+            receipt.image_id, "street_cleanliness", record.label, 1.0, "human"
+        )
+        keywords.update(record.keywords)
+    vectors = platform.extract_features(EXTRACTOR_NAME)
+
+    service = TVDPService(platform, deterministic_keys=True)
+    user_id = platform.add_user("loadgen", "benchmark")
+    api_key = service.keys.issue(user_id)
+
+    lats = [r.fov.camera.lat for r in records]
+    lngs = [r.fov.camera.lng for r in records]
+    times = [r.captured_at for r in records]
+    sample_ids = sorted(vectors)[:8]
+    profile = CorpusProfile(
+        min_lat=min(lats),
+        min_lng=min(lngs),
+        max_lat=max(lats),
+        max_lng=max(lngs),
+        t_min=min(times),
+        t_max=max(times),
+        labels=tuple(CLEANLINESS_CLASSES),
+        keywords=tuple(sorted(keywords)),
+        vectors=tuple(
+            tuple(round(float(v), 6) for v in vectors[i]) for i in sample_ids
+        ),
+    )
+    return service, api_key, profile
+
+
+# -- schedule construction (pure, seeded) -----------------------------------
+
+
+def _zipf_weights(n: int, s: float) -> list[float]:
+    return [1.0 / (rank**s) for rank in range(1, n + 1)]
+
+
+def _spatial_spec(rng, profile: CorpusProfile) -> dict:
+    lat_span = profile.max_lat - profile.min_lat
+    lng_span = profile.max_lng - profile.min_lng
+    lat0 = profile.min_lat + rng.random() * lat_span * 0.6
+    lng0 = profile.min_lng + rng.random() * lng_span * 0.6
+    spec = {
+        "type": "spatial",
+        "region": {
+            "min_lat": round(lat0, 6),
+            "min_lng": round(lng0, 6),
+            "max_lat": round(lat0 + lat_span * (0.2 + rng.random() * 0.4), 6),
+            "max_lng": round(lng0 + lng_span * (0.2 + rng.random() * 0.4), 6),
+        },
+        "mode": rng.choice(("scene", "camera")),
+    }
+    if rng.random() < 0.25:
+        spec["direction_deg"] = float(rng.randrange(0, 360, 45))
+    return spec
+
+
+def _visual_spec(rng, profile: CorpusProfile) -> dict:
+    spec = {
+        "type": "visual",
+        "extractor": EXTRACTOR_NAME,
+        "vector": list(rng.choice(profile.vectors)),
+        "k": rng.choice((5, 10)),
+    }
+    if rng.random() < 0.2:
+        spec["max_distance"] = round(0.5 + rng.random(), 3)
+    return spec
+
+
+def _categorical_spec(rng, profile: CorpusProfile) -> dict:
+    n_labels = rng.choice((1, 1, 2))
+    return {
+        "type": "categorical",
+        "classification": "street_cleanliness",
+        "labels": sorted(rng.sample(profile.labels, n_labels)),
+        "min_confidence": rng.choice((0.0, 0.0, 0.5)),
+    }
+
+
+def _textual_spec(rng, profile: CorpusProfile) -> dict:
+    n_terms = rng.choice((1, 2, 2, 3))
+    terms = rng.sample(profile.keywords, min(n_terms, len(profile.keywords)))
+    return {
+        "type": "textual",
+        "text": " ".join(terms),
+        "match": rng.choice(("any", "any", "all")),
+    }
+
+
+def _temporal_spec(rng, profile: CorpusProfile) -> dict:
+    span = profile.t_max - profile.t_min
+    start = profile.t_min + rng.random() * span * 0.5
+    return {
+        "type": "temporal",
+        "start": round(start, 3),
+        "end": round(start + span * (0.25 + rng.random() * 0.5), 3),
+    }
+
+
+def _hybrid_spec(rng, profile: CorpusProfile) -> dict:
+    return {
+        "type": "hybrid",
+        "queries": [_spatial_spec(rng, profile), _visual_spec(rng, profile)],
+    }
+
+
+_SPEC_BUILDERS = {
+    "spatial": _spatial_spec,
+    "visual": _visual_spec,
+    "categorical": _categorical_spec,
+    "textual": _textual_spec,
+    "temporal": _temporal_spec,
+    "hybrid": _hybrid_spec,
+}
+
+
+def _worker_seed(seed: int, stage: int, worker: int) -> int:
+    """Derived int seed, stable across processes (no hash())."""
+    blob = f"{seed}:{stage}:{worker}".encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+def build_schedule(
+    profile: CorpusProfile, config: LoadConfig
+) -> list[list[list[dict]]]:
+    """``schedule[stage][worker]`` -> list of query specs.
+
+    Pure: same profile + config always yields the identical nested
+    structure (the determinism contract ``schedule_digest`` certifies).
+    """
+    import random
+
+    weights = _zipf_weights(len(FAMILY_RANKS), config.zipf_s)
+    schedule: list[list[list[dict]]] = []
+    for stage_index, concurrency in enumerate(config.stages):
+        stage_plan: list[list[dict]] = []
+        for worker in range(concurrency):
+            rng = random.Random(_worker_seed(config.seed, stage_index, worker))
+            families = rng.choices(
+                FAMILY_RANKS, weights=weights, k=config.requests_per_worker
+            )
+            stage_plan.append(
+                [_SPEC_BUILDERS[family](rng, profile) for family in families]
+            )
+        schedule.append(stage_plan)
+    return schedule
+
+
+def schedule_digest(schedule: list[list[list[dict]]]) -> str:
+    """sha256 over the canonical JSON of the schedule."""
+    blob = json.dumps(schedule, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _family_counts(schedule: list[list[list[dict]]]) -> dict[str, int]:
+    counts = dict.fromkeys(FAMILY_RANKS, 0)
+    for stage in schedule:
+        for worker_plan in stage:
+            for spec in worker_plan:
+                counts[spec["type"]] += 1
+    return counts
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Exact nearest-rank-with-interpolation percentile over raw
+    samples (the harness keeps every latency, unlike the bucketed
+    registry histograms)."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return sorted_values[lower] * (1 - fraction) + sorted_values[upper] * fraction
+
+
+def run_stage(
+    service: TVDPService, api_key: str, stage_plan: list[list[dict]]
+) -> dict:
+    """Run one concurrency stage closed-loop; returns the stage record."""
+    concurrency = len(stage_plan)
+    barrier = threading.Barrier(concurrency + 1)
+    latencies: list[list[float]] = [[] for _ in range(concurrency)]
+    errors = [0] * concurrency
+
+    def worker(index: int) -> None:
+        plan = stage_plan[index]
+        mine = latencies[index]
+        barrier.wait()
+        for spec in plan:
+            start = time.perf_counter()
+            response = service.handle(
+                Request(method="POST", path="/search", body=spec, api_key=api_key)
+            )
+            mine.append((time.perf_counter() - start) * 1000.0)
+            if response.status >= 400:
+                errors[index] += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"loadgen-{i}")
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    stage_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration_s = time.perf_counter() - stage_start
+
+    merged = sorted(value for worker_values in latencies for value in worker_values)
+    requests = len(merged)
+    return {
+        "concurrency": concurrency,
+        "requests": requests,
+        "errors": sum(errors),
+        "duration_s": round(duration_s, 6),
+        "throughput_rps": round(requests / duration_s, 3) if duration_s > 0 else 0.0,
+        "latency_ms": {
+            "p50": round(_percentile(merged, 0.50), 3),
+            "p95": round(_percentile(merged, 0.95), 3),
+            "p99": round(_percentile(merged, 0.99), 3),
+            "mean": round(sum(merged) / requests, 3) if requests else 0.0,
+            "max": round(merged[-1], 3) if merged else 0.0,
+        },
+    }
+
+
+def run_load(config: LoadConfig) -> dict:
+    """Build the corpus, run every stage, and emit the ``load`` section
+    for ``BENCH_<sha>.json`` (validated by ``benchmarks/load_schema``)."""
+    service, api_key, profile = build_corpus(config)
+    schedule = build_schedule(profile, config)
+    obs.reset()  # stage numbers should not include corpus-build spans
+    stages = [run_stage(service, api_key, stage_plan) for stage_plan in schedule]
+    return {
+        "schema_version": LOAD_SCHEMA_VERSION,
+        "seed": config.seed,
+        "smoke": config.smoke,
+        "zipf_s": config.zipf_s,
+        "requests_per_worker": config.requests_per_worker,
+        "families": _family_counts(schedule),
+        "stages": stages,
+        "hot_queries": obs.hot_queries().top(10),
+        "schedule_digest": schedule_digest(schedule),
+    }

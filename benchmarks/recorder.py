@@ -77,3 +77,30 @@ def write_document(path: str | Path, smoke: bool) -> dict:
     document = build_document(smoke)
     Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return document
+
+
+def attach_load(path: str | Path, load: dict, smoke: bool) -> dict:
+    """Merge a ``load`` section (from ``benchmarks/loadgen.py``) into
+    the trajectory document at ``path``.
+
+    An existing compatible document keeps its ``benches``; otherwise a
+    fresh document is built from the records collected so far (usually
+    none — ``python -m benchmarks.load`` runs standalone).
+    """
+    target = Path(path)
+    document: dict | None = None
+    if target.exists():
+        try:
+            candidate = json.loads(target.read_text())
+        except (OSError, json.JSONDecodeError):
+            candidate = None
+        if (
+            isinstance(candidate, dict)
+            and candidate.get("schema_version") == SCHEMA_VERSION
+        ):
+            document = candidate
+    if document is None:
+        document = build_document(smoke)
+    document["load"] = load
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document

@@ -3,7 +3,10 @@
 Runs a miniature end-to-end cycle (upload, query, annotate, translate,
 dispatch) and narrates what happened at each step.  Pass ``--stats`` to
 also dump the observability snapshot (counters, gauges, latency
-histograms) the tour produced.  Pass ``--chaos`` to run a fault-drill
+histograms) the tour produced; add ``--json`` to suppress all
+narration and emit the snapshot as one machine-readable JSON document
+(metrics + SLO health + breaker states + hot queries) on stdout, for
+piping into ``jq`` or a collector.  Pass ``--chaos`` to run a fault-drill
 on top: a seeded :class:`~repro.resilience.FaultPlan` (seed from
 ``$REPRO_FAULT_SEED``) kills a share of edge transfers and the first
 database save while the resilient fleet/persistence paths ride it out —
@@ -110,10 +113,32 @@ def _chaos_drill(platform: TVDP) -> None:
         )
 
 
+def _stats_document() -> dict:
+    """The ``--stats --json`` payload: one document with everything the
+    human-readable stats narration reports, machine-readable."""
+    from repro.resilience import breaker_states
+
+    return {
+        "version": __version__,
+        "metrics": obs.snapshot(),
+        "health": obs.health(),
+        "breakers": breaker_states(),
+        "hot_queries": obs.hot_queries().top(),
+        "latency_ms_window": obs.latency_windows().summaries(),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(argv or ())
     show_stats = "--stats" in argv
     run_chaos = "--chaos" in argv
+    as_json = "--json" in argv
+    import logging
+
+    if as_json:
+        # Machine-readable mode: mute the console branch so the only
+        # bytes on stdout are the final JSON document.
+        logging.getLogger("tvdp.console").setLevel(logging.WARNING)
     _out.info("TVDP reproduction v%s — guided tour\n", __version__)
 
     platform = TVDP()
@@ -165,7 +190,11 @@ def main(argv: list[str] | None = None) -> int:
 
     _out.info("\ndone — see examples/ and benchmarks/ for the full reproductions.")
 
-    if show_stats:
+    if show_stats and as_json:
+        document = _stats_document()
+        logging.getLogger("tvdp.console").setLevel(logging.NOTSET)
+        sys.stdout.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    elif show_stats:
         _out.info("\n[observability] metrics snapshot for this tour:")
         _out.info(json.dumps(platform.metrics_snapshot(), indent=2, sort_keys=True))
         health = obs.health()

@@ -337,3 +337,20 @@ class TVDPClient:
         if limit is not None:
             params["limit"] = limit
         return self._call("GET", "/debug/slow", params=params)
+
+    def hot_queries(self, limit: int | None = None) -> dict:
+        """Hot-query report from ``GET /debug/hot``: normalized query
+        shapes ranked by frequency then total time."""
+        params = {"limit": limit} if limit is not None else {}
+        return self._call("GET", "/debug/hot", params=params)
+
+    def explain(self, query_spec: dict, analyze: bool = True) -> dict:
+        """EXPLAIN (ANALYZE) a search query spec via ``GET
+        /debug/explain``: ``{"plan": <nested dict>, "rendered": <str>}``
+        with per-node rows/timing/probe deltas when ``analyze``."""
+        return self._call(
+            "GET",
+            "/debug/explain",
+            body=query_spec,
+            params={"analyze": "1" if analyze else "0"},
+        )

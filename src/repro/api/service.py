@@ -33,6 +33,11 @@ Observability:
 * ``GET  /debug/slow``                  — slow-span exemplars (worst
   spans per operation with ancestry and probe-counter deltas;
   ``?op=<span name>`` and ``?limit=<n>`` filter)
+* ``GET  /debug/hot``                   — hot-query report: normalized
+  query shapes ranked by frequency then total time (``?limit=<n>``)
+* ``GET  /debug/explain``               — EXPLAIN for a query spec in
+  the request body; ``?analyze=1`` (the default) also executes it and
+  fills per-plan-node rows, timing, and probe-counter deltas
 """
 
 from __future__ import annotations
@@ -159,6 +164,8 @@ class TVDPService:
         route("GET", "/metrics")(self._metrics)
         route("GET", "/health")(self._health)
         route("GET", "/debug/slow")(self._debug_slow)
+        route("GET", "/debug/hot")(self._debug_hot)
+        route("GET", "/debug/explain")(self._debug_explain)
         route("POST", "/classifications")(self._define_classification)
         route("POST", "/images/{image_id}/annotations")(self._add_annotation)
         route("GET", "/images/{image_id}/annotations")(self._list_annotations)
@@ -660,5 +667,51 @@ class TVDPService:
             {
                 "operations": obs.slow_log().operations(),
                 "slow": obs.slow_spans(op, parsed_limit),
+            },
+        )
+
+    def _debug_hot(self, request: Request) -> Response:
+        """Hot-query report: the workload's normalized query shapes
+        ranked by frequency then total time (see
+        ``repro.core.queries.query_shape``)."""
+        limit = request.params.get("limit")
+        try:
+            parsed_limit = int(limit) if limit is not None else 10
+        except ValueError as exc:
+            raise APIError(400, "limit must be an integer") from exc
+        if parsed_limit < 1:
+            raise APIError(400, "limit must be >= 1")
+        tracker = obs.hot_queries()
+        return Response(
+            200,
+            {
+                "hot": tracker.top(parsed_limit),
+                "tracked": len(tracker),
+                "evicted": tracker.evicted(),
+            },
+        )
+
+    def _debug_explain(self, request: Request) -> Response:
+        """EXPLAIN (ANALYZE) a query spec without returning its results.
+
+        The body is the same query spec ``POST /search`` takes.  With
+        ``?analyze=1`` (the default) the query is executed and every
+        plan node carries actual rows, elapsed time, and probe-counter
+        deltas; ``?analyze=0`` returns the bare access-path plan.
+        """
+        from repro.core.planner import explain
+
+        query = self._parse_query(self._body(request))
+        analyze = request.params.get("analyze", "1") not in ("0", "false", "no")
+        try:
+            plan = explain(self.platform, query, analyze=analyze)
+        except QueryError as exc:
+            raise APIError(409, str(exc)) from exc
+        return Response(
+            200,
+            {
+                "analyze": analyze,
+                "plan": plan.to_dict(),
+                "rendered": plan.render(),
             },
         )

@@ -2,9 +2,25 @@
 
 ``explain`` reports, for any query the platform executes, which access
 path serves it (which index, what filter/refine steps), and — in
-ANALYZE mode — the actual result count and wall-clock time.  Exposed so
-non-technical partners can see *why* a query is fast or slow, in the
-spirit of the paper's "easy and effective working environment".
+ANALYZE mode — the actual result count, wall-clock time, and the
+observability probe-counter deltas (index node visits, bucket hits,
+postings scanned, ...) the execution produced, *per plan node*.
+Exposed so non-technical partners can see *why* a query is fast or
+slow, in the spirit of the paper's "easy and effective working
+environment" — and so the upcoming scale-out planner has per-operator
+cost visibility to prune and fan out against.
+
+ANALYZE semantics: the root node's numbers come from executing the
+query exactly as the platform would.  A hybrid plan's children are
+*additionally* executed stand-alone to attribute rows/time/probes to
+each sub-path — EXPLAIN ANALYZE on a hybrid therefore costs roughly
+the hybrid plus the sum of its parts, like re-running each arm of a
+join under its own EXPLAIN.
+
+When ANALYZE runs inside an active span (e.g. the ``/debug/explain``
+route's ``http.request``), the analyzed plan is attached to that span
+as its ``plan`` attribute, so slow-span exemplars carry the plan that
+produced them.
 """
 
 from __future__ import annotations
@@ -12,6 +28,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import QueryError
 from repro.core.platform import TVDP
 from repro.core.queries import (
@@ -21,12 +38,18 @@ from repro.core.queries import (
     TemporalQuery,
     TextualQuery,
     VisualQuery,
+    query_shape,
 )
 
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """One node of an access-path description."""
+    """One node of an access-path description.
+
+    ``rows`` / ``elapsed_ms`` / ``counter_deltas`` are filled only in
+    ANALYZE mode; ``shape`` carries the normalized query signature
+    (see :func:`repro.core.queries.query_shape`) on the root node.
+    """
 
     query_type: str
     access_path: str
@@ -34,6 +57,8 @@ class QueryPlan:
     children: tuple["QueryPlan", ...] = ()
     rows: int | None = None
     elapsed_ms: float | None = None
+    counter_deltas: dict = field(default_factory=dict)
+    shape: str | None = None
 
     def render(self, indent: int = 0) -> str:
         """Human-readable multi-line plan."""
@@ -46,9 +71,29 @@ class QueryPlan:
                 timing += f" time={self.elapsed_ms:.2f}ms"
             timing += "]"
         lines = [f"{pad}{self.query_type}: {self.access_path} {extras}{timing}".rstrip()]
+        if self.counter_deltas:
+            probes = " ".join(
+                f"{name}={value:g}"
+                for name, value in sorted(self.counter_deltas.items())
+            )
+            lines.append(f"{pad}  probes: {probes}")
         for child in self.children:
             lines.append(child.render(indent + 1))
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible nested plan (what ``/debug/explain`` serves
+        and what ANALYZE attaches to the active span)."""
+        return {
+            "query_type": self.query_type,
+            "access_path": self.access_path,
+            "details": dict(self.details),
+            "rows": self.rows,
+            "elapsed_ms": self.elapsed_ms,
+            "counter_deltas": dict(self.counter_deltas),
+            "shape": self.shape,
+            "children": [child.to_dict() for child in self.children],
+        }
 
 
 def _plan_node(platform: TVDP, query: object) -> QueryPlan:
@@ -108,22 +153,75 @@ def _plan_node(platform: TVDP, query: object) -> QueryPlan:
     raise QueryError(f"cannot plan query type {type(query).__name__}")
 
 
-def explain(platform: TVDP, query: object, analyze: bool = False) -> QueryPlan:
-    """Access-path plan for ``query``; ``analyze=True`` also executes it
-    and fills in the actual row count and elapsed time."""
-    plan = _plan_node(platform, query)
-    if not analyze:
-        return plan
+def _child_queries(query: HybridQuery) -> tuple:
+    """Sub-queries in the order their plan-node children appear: the
+    fused spatial-visual path normalizes to (spatial, visual)."""
+    parts = list(query.queries)
+    if len(parts) == 2:
+        spatial = next((q for q in parts if isinstance(q, SpatialQuery)), None)
+        visual = next((q for q in parts if isinstance(q, VisualQuery)), None)
+        if spatial is not None and visual is not None:
+            return (spatial, visual)
+    return tuple(parts)
+
+
+def _measured_execute(
+    platform: TVDP, query: object
+) -> tuple[int, float, dict[str, float]]:
+    """Execute ``query``; (rows, elapsed_ms, probe-counter deltas).
+
+    The deltas are whole-registry counter increments during the run —
+    on a quiet process that is exactly the query's own probe work; the
+    platform is single-writer per request, so concurrent traffic can
+    only over-attribute, never crash.
+    """
+    registry = obs.metrics()
+    before = registry.counter_values()
     # analyze=True reports the real execution time; elapsed_ms is
     # display metadata, not result data.
     start = time.perf_counter()  # devtools: allow[determinism] — see above
     results = platform.execute(query)
     elapsed_ms = (time.perf_counter() - start) * 1000.0  # devtools: allow[determinism] — see above
+    after = registry.counter_values()
+    deltas = {
+        name: value - before.get(name, 0.0)
+        for name, value in after.items()
+        if value - before.get(name, 0.0)
+    }
+    return len(results), elapsed_ms, deltas
+
+
+def _analyze_node(platform: TVDP, query: object, plan: QueryPlan) -> QueryPlan:
+    """Re-build ``plan`` with per-node rows/time/probe deltas filled."""
+    children = plan.children
+    if isinstance(query, HybridQuery) and children:
+        children = tuple(
+            _analyze_node(platform, sub, child)
+            for sub, child in zip(_child_queries(query), plan.children)
+        )
+    rows, elapsed_ms, deltas = _measured_execute(platform, query)
     return QueryPlan(
         query_type=plan.query_type,
         access_path=plan.access_path,
         details=plan.details,
-        children=plan.children,
-        rows=len(results),
+        children=children,
+        rows=rows,
         elapsed_ms=elapsed_ms,
+        counter_deltas=deltas,
+        shape=query_shape(query),
     )
+
+
+def explain(platform: TVDP, query: object, analyze: bool = False) -> QueryPlan:
+    """Access-path plan for ``query``; ``analyze=True`` also executes it
+    and fills in actual row counts, elapsed times, and probe-counter
+    deltas on every node (hybrid children are executed stand-alone to
+    attribute their cost — see the module docstring)."""
+    plan = _plan_node(platform, query)
+    if not analyze:
+        return plan
+    analyzed = _analyze_node(platform, query, plan)
+    active = obs.current_span()
+    if active is not None:
+        active.set("plan", analyzed.to_dict())
+    return analyzed

@@ -46,6 +46,7 @@ from repro.core.queries import (
     TextualQuery,
     VisualQuery,
     query_family,
+    query_shape,
 )
 
 _log = obs.get_logger("core.platform")
@@ -403,6 +404,9 @@ class TVDP:
             results = runner(query)
             sp.set("results", len(results))
         obs.metrics().counter("platform.queries", {"family": family}).inc()
+        # duration_ms is only final once the span context exits, so the
+        # hot-query tracker is fed outside the with-block.
+        obs.hot_queries().record(query_shape(query), sp.duration_ms)
         return results
 
     def _run_spatial(self, query: SpatialQuery) -> list[QueryResult]:
@@ -528,6 +532,7 @@ class TVDP:
         """Platform-wide counters (exposed by the API's stats route),
         including per-operation latency summaries from the span
         histograms."""
+        windows = obs.latency_windows()
         return {
             "rows": self.db.row_counts(),
             "blobs": len(self._blobs),
@@ -535,6 +540,8 @@ class TVDP:
             "extractors": self.features.names(),
             "lsh_indexes": sorted(self._lsh),
             "latency_ms": self.latency_summaries(),
+            "latency_ms_window": windows.summaries(),
+            "window_s": windows.window_s,
         }
 
     def latency_summaries(self) -> dict[str, dict[str, float]]:

@@ -175,3 +175,53 @@ def query_family(query: object) -> str:
     if family is None:
         raise QueryError(f"unsupported query type {type(query).__name__}")
     return family
+
+
+def query_shape(query: object) -> str:
+    """Literal-free normalized signature of a query — its *shape*.
+
+    Two queries share a shape when they exercise the same access path
+    with the same structural parameters, regardless of the literals
+    (coordinates, text, vectors, timestamps) they carry::
+
+        SpatialQuery(region=A)            -> "spatial(mode=scene,region)"
+        SpatialQuery(region=B)            -> "spatial(mode=scene,region)"
+        VisualQuery("hsv", vector=v, k=5) -> "visual(extractor=hsv,k=5)"
+
+    The hot-query tracker (``repro.obs.hotqueries``) aggregates the
+    workload by these strings; parameters that change the access path
+    or its cost class (mode, match, k, radius-vs-topk, label count)
+    stay in the shape, parameters that merely move it around do not.
+    """
+    if isinstance(query, SpatialQuery):
+        parts = [f"mode={query.mode}"]
+        parts.append("region" if query.region is not None else "point+radius")
+        if query.direction_deg is not None:
+            parts.append("direction")
+        return f"spatial({','.join(parts)})"
+    if isinstance(query, VisualQuery):
+        parts = [f"extractor={query.extractor_name}", f"k={query.k}"]
+        if query.max_distance is not None:
+            parts.append("radius")
+        return f"visual({','.join(parts)})"
+    if isinstance(query, CategoricalQuery):
+        parts = [
+            f"classification={query.classification}",
+            f"labels={len(query.labels)}",
+        ]
+        if query.min_confidence > 0.0:
+            parts.append("min_confidence")
+        if query.source is not None:
+            parts.append(f"source={query.source}")
+        return f"categorical({','.join(parts)})"
+    if isinstance(query, TextualQuery):
+        return f"textual(match={query.match},terms={len(query.text.split())})"
+    if isinstance(query, TemporalQuery):
+        bounds = "start+end" if query.start is not None and query.end is not None else (
+            "start" if query.start is not None else "end"
+        )
+        return f"temporal(field={query.field},{bounds})"
+    if isinstance(query, HybridQuery):
+        inner = "+".join(query_shape(sub) for sub in query.queries)
+        return f"hybrid({inner})"
+    raise QueryError(f"unsupported query type {type(query).__name__}")

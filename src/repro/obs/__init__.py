@@ -32,6 +32,7 @@ import os
 import threading
 
 from repro.obs import slo
+from repro.obs.hotqueries import HotQueryTracker
 from repro.obs.logs import SpanContextFilter, configure_logging, console, get_logger
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS_MS,
@@ -41,6 +42,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     counters_delta,
 )
+from repro.obs.windows import RollingWindows
 from repro.obs.profiling import (
     MemoryResult,
     ProfileResult,
@@ -62,11 +64,13 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS_MS",
     "Gauge",
     "Histogram",
+    "HotQueryTracker",
     "JsonlExporter",
     "MemoryResult",
     "MetricsRegistry",
     "ProfileResult",
     "RingBufferExporter",
+    "RollingWindows",
     "SlowSpanLog",
     "Span",
     "SpanContextFilter",
@@ -79,6 +83,8 @@ __all__ = [
     "enable_jsonl",
     "get_logger",
     "health",
+    "hot_queries",
+    "latency_windows",
     "memory_scope",
     "metrics",
     "profile_scope",
@@ -96,7 +102,9 @@ __all__ = [
 _registry = MetricsRegistry()
 _ring = RingBufferExporter(capacity=4096)
 _slow = SlowSpanLog(registry=_registry)
-_tracer = Tracer(registry=_registry, exporters=[_ring, _slow])
+_windows = RollingWindows()
+_hot = HotQueryTracker()
+_tracer = Tracer(registry=_registry, exporters=[_ring, _slow], windows=_windows)
 _jsonl: JsonlExporter | None = None
 _jsonl_lock = threading.Lock()
 
@@ -104,6 +112,18 @@ _jsonl_lock = threading.Lock()
 def metrics() -> MetricsRegistry:
     """The process-wide metrics registry."""
     return _registry
+
+
+def latency_windows() -> RollingWindows:
+    """The process-wide rolling latency windows (fed by the tracer:
+    every finished span's duration, keyed by span name)."""
+    return _windows
+
+
+def hot_queries() -> HotQueryTracker:
+    """The process-wide hot-query tracker (fed by ``TVDP.execute`` with
+    normalized query shapes; served at ``GET /debug/hot``)."""
+    return _hot
 
 
 # Public accessor mirroring metrics(); consumed by tests and debugging.
@@ -133,8 +153,10 @@ def slow_spans(name: str | None = None, limit: int | None = None) -> list[dict]:
 def health(slos=None) -> dict:
     """Evaluate SLO objectives against the live registry (see
     ``repro.obs.slo.evaluate``; default objectives when ``slos`` is
-    ``None``)."""
-    return slo.evaluate(_registry, slos)
+    ``None``).  Latency objectives read the rolling last-60s windows
+    when those hold samples, falling back to the since-process-start
+    histograms on a cold window."""
+    return slo.evaluate(_registry, slos, windows=_windows)
 
 
 def span(name: str, **attrs: object):
@@ -148,14 +170,16 @@ def snapshot() -> dict[str, dict]:
 
 
 def reset() -> None:
-    """Zero all metrics and drop buffered spans and slow-span exemplars
-    (benchmark isolation).
+    """Zero all metrics and drop buffered spans, slow-span exemplars,
+    rolling latency windows, and hot-query stats (benchmark isolation).
 
     Metric handles cached by instrumented modules stay valid.
     """
     _registry.reset()
     _ring.clear()
     _slow.clear()
+    _windows.reset()
+    _hot.clear()
 
 
 def enable_jsonl(path: str) -> JsonlExporter:

@@ -1,0 +1,97 @@
+"""Thread-safe top-K hot-query tracking by normalized query shape.
+
+The platform normalizes every executed query to a literal-free *shape*
+string (``repro.core.queries.query_shape`` — e.g.
+``spatial(mode=scene,region)`` no matter which coordinates were asked
+for) and records it here with its latency.  The tracker keeps a bounded
+table of shapes with count/latency aggregates and answers "what is this
+workload actually doing" at ``GET /debug/hot`` — the per-operator cost
+visibility scale-out planning needs (hot shapes are what result caches,
+request coalescing, and shard pruning will be sized against).
+
+Bounding is space-saving-lite: the table grows to twice ``capacity``
+and is then pruned back to ``capacity`` by (count, total latency), with
+a deterministic tie-break on the shape string, so a heavy-tailed shape
+mix cannot grow memory without bound while genuinely hot shapes are
+never evicted.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class HotQueryTracker:
+    """Bounded shape -> {count, latency aggregates} table."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._stats: dict[str, dict] = {}
+        self._evicted = 0
+        self._lock = threading.Lock()
+
+    def record(self, shape: str, duration_ms: float) -> None:
+        """Count one execution of ``shape`` taking ``duration_ms``."""
+        duration = float(duration_ms)
+        with self._lock:
+            entry = self._stats.get(shape)
+            if entry is None:
+                entry = {"count": 0, "total_ms": 0.0, "max_ms": 0.0, "last_ms": 0.0}
+                self._stats[shape] = entry
+            entry["count"] += 1
+            entry["total_ms"] += duration
+            entry["last_ms"] = duration
+            if duration > entry["max_ms"]:
+                entry["max_ms"] = duration
+            if len(self._stats) > self.capacity * 2:
+                self._prune()
+
+    def _prune(self) -> None:
+        """Keep the ``capacity`` hottest shapes; caller holds the lock."""
+        ranked = sorted(
+            self._stats.items(),
+            key=lambda item: (-item[1]["count"], -item[1]["total_ms"], item[0]),
+        )
+        self._evicted += len(ranked) - self.capacity
+        self._stats = dict(ranked[: self.capacity])
+
+    def top(self, k: int = 10) -> list[dict]:
+        """The ``k`` hottest shapes, most-executed first.
+
+        Each record: ``{shape, count, total_ms, mean_ms, max_ms,
+        last_ms}`` — ties break deterministically on the shape string.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        with self._lock:
+            ranked = sorted(
+                self._stats.items(),
+                key=lambda item: (-item[1]["count"], -item[1]["total_ms"], item[0]),
+            )[:k]
+        return [
+            {
+                "shape": shape,
+                "count": entry["count"],
+                "total_ms": round(entry["total_ms"], 3),
+                "mean_ms": round(entry["total_ms"] / entry["count"], 3),
+                "max_ms": round(entry["max_ms"], 3),
+                "last_ms": round(entry["last_ms"], 3),
+            }
+            for shape, entry in ranked
+        ]
+
+    def evicted(self) -> int:
+        """Shapes pruned so far (coverage caveat for ``/debug/hot``)."""
+        with self._lock:
+            return self._evicted
+
+    def clear(self) -> None:
+        with self._lock:
+            self._stats.clear()
+            self._evicted = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._stats)

@@ -59,6 +59,13 @@ def _prom_name(name: str) -> str:
     return f"tvdp_{sanitized}"
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote, and line feed must be ``\\\\``, ``\\"``,
+    and ``\\n`` inside the quoted value."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 class Counter:
     """Monotonically increasing value."""
 
@@ -319,7 +326,7 @@ class MetricsRegistry:
                 seen_types.add((name, kind))
 
         def label_str(labels: _LabelKey, extra: str = "") -> str:
-            parts = [f'{k}="{v}"' for k, v in labels]
+            parts = [f'{k}="{_prom_escape(v)}"' for k, v in labels]
             if extra:
                 parts.append(extra)
             return "{" + ",".join(parts) + "}" if parts else ""

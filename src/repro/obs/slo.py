@@ -161,8 +161,17 @@ def _status_of(burn: float) -> str:
     return "failing"
 
 
-def evaluate_slo(slo: SLO, registry: MetricsRegistry) -> dict:
-    """One objective against the registry's current values."""
+def evaluate_slo(slo: SLO, registry: MetricsRegistry, windows=None) -> dict:
+    """One objective against the registry's current values.
+
+    With ``windows`` (a :class:`repro.obs.windows.RollingWindows`),
+    latency objectives are judged on the rolling window — "p95 over the
+    last 60 s" — whenever the window holds samples for the span, and
+    the result carries ``window_s``.  A cold or drained window falls
+    back to the cumulative histogram, so a process that just stopped
+    receiving traffic does not flap.  Availability objectives always
+    read the cumulative error-budget counters.
+    """
     labels = {"span": slo.span}
     result: dict = {
         "objective": slo.objective,
@@ -180,11 +189,19 @@ def evaluate_slo(slo: SLO, registry: MetricsRegistry) -> dict:
         histogram = registry.histogram("span.duration_ms", labels)
         samples = histogram.count
         result["percentile"] = slo.percentile
+        observed: float | None = None
+        if windows is not None:
+            window_count = windows.count(slo.span)
+            if window_count > 0:
+                samples = window_count
+                observed = windows.percentile(slo.span, slo.percentile)
+                result["window_s"] = windows.window_s
         result["samples"] = samples
         if samples == 0:
             result["insufficient_data"] = True
             return result
-        observed = histogram.percentile(slo.percentile)
+        if observed is None:
+            observed = histogram.percentile(slo.percentile)
         result["observed"] = round(observed, 3)
         result["burn_ratio"] = round(observed / slo.target, 4)
     else:  # availability
@@ -206,7 +223,9 @@ def evaluate_slo(slo: SLO, registry: MetricsRegistry) -> dict:
 
 
 def evaluate(
-    registry: MetricsRegistry, slos: tuple[SLO, ...] | list[SLO] | None = None
+    registry: MetricsRegistry,
+    slos: tuple[SLO, ...] | list[SLO] | None = None,
+    windows=None,
 ) -> dict:
     """Full health report: per-objective results plus the worst rollup.
 
@@ -214,9 +233,12 @@ def evaluate(
 
         {"status": "ok" | "degraded" | "failing",
          "objectives": [ ...evaluate_slo dicts, worst first... ]}
+
+    ``windows`` switches latency objectives to rolling last-window
+    percentiles (see :func:`evaluate_slo`).
     """
     chosen = tuple(slos) if slos is not None else DEFAULT_SLOS
-    results = [evaluate_slo(slo, registry) for slo in chosen]
+    results = [evaluate_slo(slo, registry, windows=windows) for slo in chosen]
     results.sort(key=lambda r: (-_STATUS_RANK[r["status"]], -r["burn_ratio"]))
     overall = "ok"
     for result in results:

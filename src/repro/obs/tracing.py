@@ -176,14 +176,22 @@ class JsonlExporter:
 
 
 class Tracer:
-    """Opens spans, propagates parentage, exports on close."""
+    """Opens spans, propagates parentage, exports on close.
+
+    ``windows`` (a :class:`repro.obs.windows.RollingWindows`, duck-typed
+    to avoid an import cycle) additionally receives every finished
+    span's duration under its span name, giving rolling last-minute
+    percentiles next to the cumulative histograms.
+    """
 
     def __init__(
         self,
         registry: MetricsRegistry | None = None,
         exporters: list | None = None,
+        windows: object | None = None,
     ) -> None:
         self.registry = registry
+        self.windows = windows
         self.exporters: list = list(exporters or [])
         self._exporters_lock = threading.Lock()
 
@@ -235,6 +243,8 @@ class Tracer:
             self.registry.counter("spans.total", labels).inc()
             if span.status == "error":
                 self.registry.counter("spans.errors", labels).inc()
+        if self.windows is not None:
+            self.windows.observe(span.name, span.duration_ms)
         with self._exporters_lock:
             exporters = tuple(self.exporters)
         for exporter in exporters:

@@ -1,0 +1,203 @@
+"""EXPLAIN-ANALYZE plan instrumentation and query-shape normalization."""
+
+import pytest
+
+from repro import obs
+from repro.core import (
+    CategoricalQuery,
+    HybridQuery,
+    SpatialQuery,
+    TemporalQuery,
+    TextualQuery,
+    TVDP,
+    VisualQuery,
+    explain,
+)
+from repro.core.queries import query_shape
+from repro.datasets import generate_lasan_dataset
+from repro.errors import QueryError
+from repro.features import ColorHistogramExtractor
+from repro.geo import BoundingBox, GeoPoint
+from repro.imaging import CLEANLINESS_CLASSES
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@pytest.fixture()
+def populated():
+    platform = TVDP()
+    platform.register_extractor(ColorHistogramExtractor())
+    platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+    records = generate_lasan_dataset(n_per_class=4, image_size=32, seed=0)
+    for record in records:
+        receipt = platform.upload_image(
+            record.image, record.fov, record.captured_at, record.uploaded_at,
+            keywords=record.keywords,
+        )
+        platform.annotations.annotate(
+            receipt.image_id, "street_cleanliness", record.label, 1.0, "human"
+        )
+    platform.extract_features("color_hsv_20_20_10")
+    return platform, records
+
+
+class TestQueryShape:
+    def test_shape_is_literal_free(self):
+        a = SpatialQuery(region=BoundingBox(34.0, -118.3, 34.1, -118.2))
+        b = SpatialQuery(region=BoundingBox(40.0, -74.1, 40.1, -74.0))
+        assert query_shape(a) == query_shape(b) == "spatial(mode=scene,region)"
+
+    def test_structural_parameters_stay_in_shape(self):
+        point = SpatialQuery(
+            point=GeoPoint(34.0, -118.3), radius_m=100.0, direction_deg=90.0
+        )
+        assert query_shape(point) == "spatial(mode=scene,point+radius,direction)"
+        assert (
+            query_shape(VisualQuery(extractor_name="hsv", vector=[0.1], k=5))
+            == "visual(extractor=hsv,k=5)"
+        )
+        assert (
+            query_shape(
+                VisualQuery(extractor_name="hsv", vector=[0.1], k=5, max_distance=0.5)
+            )
+            == "visual(extractor=hsv,k=5,radius)"
+        )
+
+    def test_categorical_textual_temporal_shapes(self):
+        assert (
+            query_shape(
+                CategoricalQuery(
+                    "street_cleanliness",
+                    labels=("clean", "trash"),
+                    min_confidence=0.5,
+                    source="human",
+                )
+            )
+            == "categorical(classification=street_cleanliness,labels=2,"
+            "min_confidence,source=human)"
+        )
+        assert (
+            query_shape(TextualQuery(text="tent encampment", match="all"))
+            == "textual(match=all,terms=2)"
+        )
+        assert (
+            query_shape(TemporalQuery(start=1.0))
+            == "temporal(field=timestamp_capturing,start)"
+        )
+        assert (
+            query_shape(TemporalQuery(start=1.0, end=2.0))
+            == "temporal(field=timestamp_capturing,start+end)"
+        )
+
+    def test_hybrid_shape_composes_recursively(self):
+        hybrid = HybridQuery(
+            queries=(
+                SpatialQuery(region=BoundingBox(34.0, -118.3, 34.1, -118.2)),
+                VisualQuery(extractor_name="hsv", vector=[0.1], k=3),
+            )
+        )
+        assert (
+            query_shape(hybrid)
+            == "hybrid(spatial(mode=scene,region)+visual(extractor=hsv,k=3))"
+        )
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(QueryError):
+            query_shape(object())
+
+
+class TestAnalyzeNodes:
+    def test_analyze_fills_counter_deltas_and_shape(self, populated):
+        platform, _ = populated
+        plan = explain(platform, TemporalQuery(start=0.0), analyze=True)
+        assert plan.rows == 20
+        assert plan.shape == "temporal(field=timestamp_capturing,start)"
+        # Executing the query bumps at least the platform.queries probe.
+        assert any(
+            name.startswith("platform.queries") for name in plan.counter_deltas
+        )
+
+    def test_plain_explain_has_no_analyze_fields(self, populated):
+        platform, _ = populated
+        plan = explain(platform, TemporalQuery(start=0.0))
+        assert plan.rows is None
+        assert plan.counter_deltas == {}
+        assert plan.shape is None
+
+    def test_hybrid_children_each_get_rows_and_time(self, populated):
+        platform, records = populated
+        plan = explain(
+            platform,
+            HybridQuery(
+                queries=(
+                    # Deliberately (visual, spatial): the fused plan
+                    # normalizes children to (spatial, visual) and the
+                    # analyzer must attribute each sub-query correctly.
+                    VisualQuery(
+                        extractor_name="color_hsv_20_20_10",
+                        example=records[0].image,
+                        k=5,
+                    ),
+                    SpatialQuery(region=BoundingBox(34.0, -118.3, 34.1, -118.2)),
+                )
+            ),
+            analyze=True,
+        )
+        assert len(plan.children) == 2
+        spatial_child, visual_child = plan.children
+        assert spatial_child.query_type == "spatial"
+        assert spatial_child.shape == "spatial(mode=scene,region)"
+        assert visual_child.query_type == "visual"
+        assert visual_child.shape == "visual(extractor=color_hsv_20_20_10,k=5)"
+        for child in plan.children:
+            assert child.rows is not None
+            assert child.elapsed_ms is not None and child.elapsed_ms >= 0.0
+
+    def test_to_dict_round_trips_nested_structure(self, populated):
+        platform, _ = populated
+        plan = explain(
+            platform,
+            HybridQuery(
+                queries=(
+                    TemporalQuery(start=0.0),
+                    CategoricalQuery("street_cleanliness", labels=("clean",)),
+                )
+            ),
+            analyze=True,
+        )
+        as_dict = plan.to_dict()
+        assert as_dict["query_type"] == "hybrid"
+        assert len(as_dict["children"]) == 2
+        assert all(c["rows"] is not None for c in as_dict["children"])
+        import json
+
+        json.dumps(as_dict)  # must be JSON-serialisable for the API
+
+    def test_analyze_attaches_plan_to_active_span(self, populated):
+        platform, _ = populated
+        with obs.span("test.explain") as sp:
+            explain(platform, TemporalQuery(start=0.0), analyze=True)
+            attached = sp.attrs.get("plan")
+        assert attached is not None
+        assert attached["query_type"] == "temporal"
+        assert attached["rows"] == 20
+
+    def test_render_includes_probe_line(self, populated):
+        platform, _ = populated
+        plan = explain(
+            platform, TextualQuery(text="trash encampment"), analyze=True
+        )
+        text = plan.render()
+        assert "probes:" in text
+        assert "rows=" in text
+
+    def test_analyze_feeds_hot_query_tracker(self, populated):
+        platform, _ = populated
+        explain(platform, TemporalQuery(start=0.0), analyze=True)
+        shapes = [e["shape"] for e in obs.hot_queries().top()]
+        assert "temporal(field=timestamp_capturing,start)" in shapes

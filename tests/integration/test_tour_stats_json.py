@@ -1,0 +1,53 @@
+"""``python -m repro --stats --json`` emits one machine-readable document.
+
+The JSON mode is the collector-facing contract: no narration lines, a
+single parseable object on stdout carrying the metrics snapshot, SLO
+health, breaker states, the hot-query table, and the rolling latency
+windows the tour produced.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def test_stats_json_is_single_document(capsys):
+    assert main(["--stats", "--json"]) == 0
+    out = capsys.readouterr().out
+    document = json.loads(out)  # the whole stream is one JSON value
+    assert set(document) >= {
+        "version", "metrics", "health", "breakers", "hot_queries",
+        "latency_ms_window",
+    }
+    assert document["metrics"]["counters"], "tour must have produced counters"
+    assert document["health"]["objectives"]
+    assert document["hot_queries"], "tour queries must feed the hot tracker"
+    shapes = {entry["shape"] for entry in document["hot_queries"]}
+    assert any(shape.startswith("spatial(") for shape in shapes)
+    # Windowed latency carries per-span summaries for the recent past.
+    for summary in document["latency_ms_window"].values():
+        assert summary["count"] >= 0
+
+
+def test_stats_json_has_no_narration(capsys):
+    main(["--stats", "--json"])
+    out = capsys.readouterr().out
+    assert out.lstrip().startswith("{")
+    json.loads(out)
+
+
+def test_stats_without_json_still_narrates(capsys):
+    assert main(["--stats"]) == 0
+    out = capsys.readouterr().out
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(out)

@@ -1,0 +1,104 @@
+"""Hot-query tracker: ranking, bounded memory, determinism, threads."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.hotqueries import HotQueryTracker
+
+
+class TestRecordAndTop:
+    def test_rejects_bad_capacity_and_k(self):
+        with pytest.raises(ValueError):
+            HotQueryTracker(capacity=0)
+        with pytest.raises(ValueError):
+            HotQueryTracker().top(0)
+
+    def test_aggregates_per_shape(self):
+        tracker = HotQueryTracker()
+        tracker.record("spatial(mode=scene,region)", 10.0)
+        tracker.record("spatial(mode=scene,region)", 30.0)
+        (entry,) = tracker.top(1)
+        assert entry["shape"] == "spatial(mode=scene,region)"
+        assert entry["count"] == 2
+        assert entry["total_ms"] == 40.0
+        assert entry["mean_ms"] == 20.0
+        assert entry["max_ms"] == 30.0
+        assert entry["last_ms"] == 30.0
+
+    def test_ranked_by_count_then_total_time(self):
+        tracker = HotQueryTracker()
+        for _ in range(5):
+            tracker.record("frequent", 1.0)
+        for _ in range(3):
+            tracker.record("slow", 100.0)
+        for _ in range(3):
+            tracker.record("fast", 1.0)
+        shapes = [e["shape"] for e in tracker.top(3)]
+        assert shapes == ["frequent", "slow", "fast"]
+
+    def test_tie_break_is_deterministic_on_shape(self):
+        tracker = HotQueryTracker()
+        tracker.record("b", 5.0)
+        tracker.record("a", 5.0)
+        assert [e["shape"] for e in tracker.top(2)] == ["a", "b"]
+
+    def test_top_k_truncates(self):
+        tracker = HotQueryTracker()
+        for i in range(20):
+            tracker.record(f"shape-{i:02d}", 1.0)
+        assert len(tracker.top(5)) == 5
+        assert len(tracker) == 20
+
+    def test_clear(self):
+        tracker = HotQueryTracker()
+        tracker.record("x", 1.0)
+        tracker.clear()
+        assert len(tracker) == 0
+        assert tracker.top() == []
+        assert tracker.evicted() == 0
+
+
+class TestEviction:
+    def test_cold_shapes_pruned_hot_shapes_survive(self):
+        tracker = HotQueryTracker(capacity=4)
+        for _ in range(50):
+            tracker.record("hot", 2.0)
+        # A long tail of one-off shapes overflows 2x capacity.
+        for i in range(20):
+            tracker.record(f"tail-{i:02d}", 1.0)
+        assert len(tracker) <= tracker.capacity * 2
+        assert tracker.evicted() > 0
+        assert tracker.top(1)[0]["shape"] == "hot"
+
+    def test_eviction_is_deterministic(self):
+        def run() -> list[str]:
+            tracker = HotQueryTracker(capacity=3)
+            for i in range(30):
+                tracker.record(f"shape-{i % 10}", float(i % 7))
+            return [e["shape"] for e in tracker.top(10)]
+
+        assert run() == run()
+
+
+class TestThreadSafety:
+    def test_concurrent_records_lose_nothing(self):
+        tracker = HotQueryTracker(capacity=128)
+        n_threads, per_thread = 8, 250
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                tracker.record(f"shape-{(worker + i) % 4}", float(i % 10))
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(e["count"] for e in tracker.top(10)) == n_threads * per_thread

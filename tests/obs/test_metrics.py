@@ -180,6 +180,21 @@ class TestRegistry:
         assert 'tvdp_span_duration_ms_count{span="q"} 1' in text
         assert text.endswith("\n")
 
+    def test_render_prometheus_escapes_label_values(self):
+        # Exposition format: backslash, double quote, and newline in a
+        # label value must be escaped or the scrape output is corrupt.
+        reg = MetricsRegistry()
+        reg.counter(
+            "api.errors", {"route": '/x"y\\z', "detail": "line1\nline2"}
+        ).inc()
+        text = reg.render_prometheus()
+        assert "\nline2" not in text.replace("\\nline2", "")
+        assert 'route="/x\\"y\\\\z"' in text
+        assert 'detail="line1\\nline2"' in text
+        # Every exposition line stays single-line and parseable.
+        for line in text.splitlines():
+            assert line.startswith("#") or " " in line
+
     def test_histograms_filter(self):
         reg = MetricsRegistry()
         reg.histogram("a")

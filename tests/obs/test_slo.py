@@ -155,3 +155,80 @@ class TestEvaluate:
         assert "api.request.p99" in objectives
         # Each objective id is unique.
         assert len(objectives) == len(DEFAULT_SLOS)
+
+
+class TestWindowedEvaluation:
+    """Latency objectives judged on rolling windows when provided."""
+
+    def _windows(self, clock_value):
+        from repro.obs.windows import RollingWindows
+
+        class _Clock:
+            def __init__(self):
+                self.t = 0.0
+
+            def now(self):
+                return self.t
+
+        clock = _Clock()
+        clock.t = clock_value
+        return RollingWindows(window_s=60.0, bucket_s=5.0, clock=clock), clock
+
+    def test_window_samples_override_cumulative_histogram(self):
+        registry = MetricsRegistry()
+        # Cumulative history says slow; the live window says fast.
+        observe_latencies(registry, "query.spatial", [500.0] * 50)
+        windows, _ = self._windows(0.0)
+        for _ in range(30):
+            windows.observe("query.spatial", 10.0)
+        result = evaluate_slo(latency_slo(), registry, windows=windows)
+        assert result["status"] == "ok"
+        assert result["samples"] == 30
+        assert result["window_s"] == 60.0
+        assert result["observed"] < 100.0
+
+    def test_drained_window_falls_back_to_cumulative(self):
+        registry = MetricsRegistry()
+        observe_latencies(registry, "query.spatial", [500.0] * 50)
+        windows, clock = self._windows(0.0)
+        windows.observe("query.spatial", 10.0)
+        clock.t = 120.0  # the window sample ages out
+        result = evaluate_slo(latency_slo(), registry, windows=windows)
+        assert result["samples"] == 50
+        assert "window_s" not in result
+        assert result["status"] == "failing"
+
+    def test_recovery_inside_window_clears_failing_status(self):
+        registry = MetricsRegistry()
+        windows, clock = self._windows(0.0)
+        # A slow burst, then a fast minute: cumulative stays scarred,
+        # the windowed evaluation forgives.
+        for _ in range(30):
+            registry.histogram("span.duration_ms", {"span": "query.spatial"}).observe(400.0)
+            windows.observe("query.spatial", 400.0)
+        cumulative = evaluate_slo(latency_slo(), registry)
+        assert cumulative["status"] == "failing"
+        clock.t = 90.0
+        for _ in range(30):
+            registry.histogram("span.duration_ms", {"span": "query.spatial"}).observe(8.0)
+            windows.observe("query.spatial", 8.0)
+        rolled = evaluate_slo(latency_slo(), registry, windows=windows)
+        assert rolled["status"] == "ok"
+
+    def test_availability_ignores_windows(self):
+        registry = MetricsRegistry()
+        record_outcomes(registry, "query.spatial", total=100, errors=50)
+        windows, _ = self._windows(0.0)
+        result = evaluate_slo(availability_slo(), registry, windows=windows)
+        assert result["status"] == "failing"
+        assert "window_s" not in result
+
+    def test_evaluate_passes_windows_through(self):
+        registry = MetricsRegistry()
+        observe_latencies(registry, "query.spatial", [500.0] * 50)
+        windows, _ = self._windows(0.0)
+        for _ in range(30):
+            windows.observe("query.spatial", 10.0)
+        report = evaluate(registry, slos=[latency_slo()], windows=windows)
+        assert report["status"] == "ok"
+        assert report["objectives"][0]["window_s"] == 60.0

@@ -1,0 +1,160 @@
+"""Rolling latency windows: bucketing, expiry, percentiles, threads."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.windows import RollingWindows
+
+
+class FakeClock:
+    """Manual ``now()`` for driving window expiry without sleeping."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.t = start
+
+    def now(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def windows(clock):
+    return RollingWindows(window_s=60.0, bucket_s=5.0, clock=clock)
+
+
+class TestConstruction:
+    def test_rejects_bad_geometry(self, clock):
+        with pytest.raises(ValueError):
+            RollingWindows(window_s=0.0, clock=clock)
+        with pytest.raises(ValueError):
+            RollingWindows(window_s=10.0, bucket_s=20.0, clock=clock)
+
+    def test_rejects_unsorted_bounds(self, clock):
+        with pytest.raises(ValueError):
+            RollingWindows(clock=clock, bounds=(10.0, 5.0))
+
+    def test_accepts_bare_callable_clock(self):
+        w = RollingWindows(clock=lambda: 42.0)
+        w.observe("k", 1.0)
+        assert w.count("k") == 1
+
+    def test_rejects_clockless_object(self):
+        with pytest.raises(TypeError):
+            RollingWindows(clock=object())
+
+
+class TestObserveAndExpiry:
+    def test_empty_window_reports_nothing(self, windows):
+        assert windows.count("query.spatial") == 0
+        assert windows.percentile("query.spatial", 0.95) is None
+        assert windows.summary("query.spatial") is None
+        assert windows.summaries() == {}
+
+    def test_observations_accumulate_within_window(self, windows, clock):
+        for i in range(10):
+            windows.observe("op", float(i + 1))
+            clock.advance(1.0)
+        assert windows.count("op") == 10
+        summary = windows.summary("op")
+        assert summary["count"] == 10
+        assert summary["min"] == 1.0
+        assert summary["max"] == 10.0
+        assert summary["sum"] == pytest.approx(55.0)
+        assert summary["window_s"] == 60.0
+
+    def test_old_samples_age_out(self, windows, clock):
+        windows.observe("op", 100.0)
+        clock.advance(30.0)
+        windows.observe("op", 200.0)
+        assert windows.count("op") == 2
+        # First sample's bucket falls outside the 60 s window...
+        clock.advance(35.0)
+        assert windows.count("op") == 1
+        assert windows.summary("op")["max"] == 200.0
+        # ...and eventually the second does too.
+        clock.advance(60.0)
+        assert windows.count("op") == 0
+        assert windows.summary("op") is None
+
+    def test_ring_slot_recycled_after_full_wrap(self, windows, clock):
+        windows.observe("op", 50.0)
+        clock.advance(60.0)  # exactly one full window: same slot index
+        windows.observe("op", 70.0)
+        assert windows.count("op") == 1
+        assert windows.summary("op")["min"] == 70.0
+
+    def test_keys_are_independent(self, windows):
+        windows.observe("a", 10.0)
+        windows.observe("b", 20.0)
+        assert windows.count("a") == 1
+        assert windows.count("b") == 1
+        assert set(windows.summaries()) == {"a", "b"}
+
+    def test_reset_drops_everything(self, windows):
+        windows.observe("op", 5.0)
+        windows.reset()
+        assert windows.count("op") == 0
+        assert windows.summaries() == {}
+
+
+class TestPercentiles:
+    def test_q_zero_is_min_and_q_one_within_range(self, windows):
+        for value in (10.0, 20.0, 30.0, 40.0):
+            windows.observe("op", value)
+        assert windows.percentile("op", 0.0) == 10.0
+        p100 = windows.percentile("op", 1.0)
+        assert 10.0 <= p100 <= 40.0
+
+    def test_overflow_bucket_reports_observed_max(self, windows):
+        windows.observe("op", 99_999.0)  # beyond the largest bound
+        assert windows.percentile("op", 0.95) == 99_999.0
+
+    def test_percentile_is_monotone_in_q(self, windows):
+        for value in (1.0, 5.0, 9.0, 48.0, 120.0, 500.0):
+            windows.observe("op", value)
+        quantiles = [windows.percentile("op", q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert quantiles == sorted(quantiles)
+
+    def test_rejects_out_of_range_q(self, windows):
+        windows.observe("op", 1.0)
+        with pytest.raises(ValueError):
+            windows.percentile("op", 1.5)
+
+    def test_window_percentile_tracks_recent_not_historic(self, windows, clock):
+        # Old regime: fast. New regime: slow. The window must forget.
+        for _ in range(50):
+            windows.observe("op", 5.0)
+        clock.advance(70.0)
+        for _ in range(50):
+            windows.observe("op", 400.0)
+        assert windows.percentile("op", 0.5) > 100.0
+
+
+class TestThreadSafety:
+    def test_concurrent_observers_lose_nothing(self, windows):
+        n_threads, per_thread = 8, 200
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(offset: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                windows.observe("op", float(offset + i % 50))
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert windows.count("op") == n_threads * per_thread

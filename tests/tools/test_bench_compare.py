@@ -187,3 +187,123 @@ class TestCheckedInBaseline:
         assert covered == expected
         for record in baseline["benches"].values():
             assert {"wall_s", "mem_peak_kb", "counters", "results"} <= set(record)
+
+
+def load_section(**overrides) -> dict:
+    base = {
+        "schema_version": 1,
+        "seed": 0,
+        "smoke": True,
+        "zipf_s": 1.1,
+        "requests_per_worker": 12,
+        "families": {"spatial": 20, "textual": 4},
+        "stages": [
+            {
+                "concurrency": 1,
+                "requests": 12,
+                "errors": 0,
+                "duration_s": 0.1,
+                "throughput_rps": 120.0,
+                "latency_ms": {"p50": 1.0, "p95": 3.0, "p99": 4.0, "mean": 1.5, "max": 5.0},
+            },
+            {
+                "concurrency": 2,
+                "requests": 24,
+                "errors": 0,
+                "duration_s": 0.15,
+                "throughput_rps": 160.0,
+                "latency_ms": {"p50": 1.2, "p95": 3.5, "p99": 4.5, "mean": 1.7, "max": 6.0},
+            },
+        ],
+        "hot_queries": [],
+        "schedule_digest": "ab" * 32,
+    }
+    base.update(overrides)
+    return base
+
+
+def with_load(doc: dict, load: dict) -> dict:
+    out = dict(doc)
+    out["load"] = load
+    return out
+
+
+class TestLoadGating:
+    def test_matching_load_sections_are_clean(self):
+        base = with_load(BASELINE, load_section())
+        assert bench_compare.compare(base, base) == []
+
+    def test_missing_load_section_regresses(self):
+        base = with_load(BASELINE, load_section())
+        kinds = [r["kind"] for r in bench_compare.compare(base, BASELINE)]
+        assert kinds == ["load-missing"]
+
+    def test_no_baseline_load_holds_nothing(self):
+        current = with_load(BASELINE, load_section())
+        assert bench_compare.compare(BASELINE, current) == []
+
+    def test_digest_drift_with_same_knobs_regresses(self):
+        base = with_load(BASELINE, load_section())
+        current = with_load(BASELINE, load_section(schedule_digest="cd" * 32))
+        kinds = [r["kind"] for r in bench_compare.compare(base, current)]
+        assert kinds == ["load-schedule"]
+
+    def test_different_knobs_are_incommensurable(self):
+        base = with_load(BASELINE, load_section())
+        current = with_load(
+            BASELINE, load_section(seed=7, schedule_digest="cd" * 32)
+        )
+        assert bench_compare.compare(base, current) == []
+
+    def test_per_stage_error_growth_regresses_even_with_skip_wall(self):
+        base = with_load(BASELINE, load_section())
+        bad = load_section()
+        bad["stages"][1] = dict(bad["stages"][1], errors=3)
+        current = with_load(BASELINE, bad)
+        kinds = [
+            r["kind"] for r in bench_compare.compare(base, current, skip_wall=True)
+        ]
+        assert kinds == ["load-errors"]
+
+    def test_throughput_and_p95_gate_only_with_wall(self):
+        base = with_load(BASELINE, load_section())
+        bad = load_section()
+        bad["stages"][0] = dict(bad["stages"][0], throughput_rps=10.0)
+        bad["stages"][1] = dict(
+            bad["stages"][1],
+            latency_ms=dict(bad["stages"][1]["latency_ms"], p95=50.0),
+        )
+        current = with_load(BASELINE, bad)
+        assert bench_compare.compare(base, current, skip_wall=True) == []
+        kinds = sorted(
+            r["kind"]
+            for r in bench_compare.compare(base, current, skip_wall=False)
+            if r["kind"].startswith("load")
+        )
+        assert kinds == ["load-p95", "load-throughput"]
+
+    def test_load_regressions_format(self):
+        base = with_load(BASELINE, load_section())
+        bad = load_section(schedule_digest="cd" * 32)
+        bad["stages"][0] = dict(bad["stages"][0], errors=2)
+        current = with_load(BASELINE, bad)
+        for regression in bench_compare.compare(base, current):
+            line = bench_compare.format_regression(regression)
+            assert regression["kind"].upper().split("-")[0] in line.upper()
+
+    def test_invalid_load_section_fails_document_load(self, tmp_path):
+        doc = with_load(BASELINE, load_section(schema_version=99))
+        path = tmp_path / "bad_load.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="invalid load section"):
+            bench_compare.load_document(path)
+
+    def test_checked_in_baseline_has_valid_load_section(self):
+        baseline = bench_compare.load_document(
+            REPO_ROOT / "tools" / "bench_baseline.json"
+        )
+        assert "load" in baseline
+        load = baseline["load"]
+        assert load["smoke"] is True
+        assert load["stages"], "baseline load section must have stages"
+        assert all(stage["errors"] == 0 for stage in load["stages"])

@@ -1,0 +1,160 @@
+"""``benchmarks/loadgen.py``: deterministic closed-loop load harness."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.load_schema import (  # noqa: E402
+    LOAD_SCHEMA_VERSION,
+    validate_load_section,
+)
+from benchmarks.loadgen import (  # noqa: E402
+    FAMILY_RANKS,
+    LoadConfig,
+    build_corpus,
+    build_schedule,
+    run_load,
+    schedule_digest,
+)
+
+TINY = LoadConfig(
+    seed=0,
+    smoke=True,
+    stages=(1, 2),
+    requests_per_worker=4,
+    n_per_class=3,
+    image_size=24,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(TINY)
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_schedule(self, corpus):
+        _, _, profile = corpus
+        first = build_schedule(profile, TINY)
+        second = build_schedule(profile, TINY)
+        assert first == second
+        assert schedule_digest(first) == schedule_digest(second)
+
+    def test_digest_is_sha256_hex(self, corpus):
+        _, _, profile = corpus
+        digest = schedule_digest(build_schedule(profile, TINY))
+        assert len(digest) == 64
+        int(digest, 16)  # hex
+
+    def test_different_seed_different_schedule(self, corpus):
+        _, _, profile = corpus
+        a = build_schedule(profile, TINY)
+        b = build_schedule(profile, LoadConfig(
+            seed=1,
+            smoke=True,
+            stages=(1, 2),
+            requests_per_worker=4,
+            n_per_class=3,
+            image_size=24,
+        ))
+        assert schedule_digest(a) != schedule_digest(b)
+
+    def test_schedule_shape_matches_config(self, corpus):
+        _, _, profile = corpus
+        schedule = build_schedule(profile, TINY)
+        assert len(schedule) == len(TINY.stages)
+        for concurrency, stage in zip(TINY.stages, schedule):
+            assert len(stage) == concurrency
+            for worker_plan in stage:
+                assert len(worker_plan) == TINY.requests_per_worker
+
+    def test_specs_use_known_families_only(self, corpus):
+        _, _, profile = corpus
+        schedule = build_schedule(profile, TINY)
+        for stage in schedule:
+            for worker_plan in stage:
+                for spec in worker_plan:
+                    assert spec["type"] in FAMILY_RANKS
+
+    def test_zipf_mix_is_skewed_toward_rank_one(self, corpus):
+        _, _, profile = corpus
+        config = LoadConfig(
+            seed=0,
+            smoke=True,
+            stages=(4,),
+            requests_per_worker=50,
+            n_per_class=3,
+            image_size=24,
+        )
+        schedule = build_schedule(profile, config)
+        counts: dict[str, int] = {}
+        for stage in schedule:
+            for worker_plan in stage:
+                for spec in worker_plan:
+                    counts[spec["type"]] = counts.get(spec["type"], 0) + 1
+        assert max(counts, key=counts.get) == FAMILY_RANKS[0]
+
+
+class TestRunLoad:
+    def test_emits_valid_section_with_zero_errors(self):
+        load = run_load(TINY)
+        assert validate_load_section(load) == []
+        assert load["schema_version"] == LOAD_SCHEMA_VERSION
+        assert load["seed"] == 0
+        assert load["smoke"] is True
+        assert [stage["concurrency"] for stage in load["stages"]] == [1, 2]
+        for stage in load["stages"]:
+            assert stage["requests"] == stage["concurrency"] * TINY.requests_per_worker
+            assert stage["errors"] == 0
+            assert stage["throughput_rps"] > 0.0
+            latency = stage["latency_ms"]
+            assert latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+
+    def test_digest_stable_across_runs(self):
+        assert run_load(TINY)["schedule_digest"] == run_load(TINY)["schedule_digest"]
+        digest = run_load(TINY)["schedule_digest"]
+        assert len(digest) == 64
+
+    def test_family_counts_cover_all_requests(self):
+        load = run_load(TINY)
+        total = sum(stage["requests"] for stage in load["stages"])
+        assert sum(load["families"].values()) == total
+        assert load["hot_queries"], "hot tracker should see the workload"
+
+
+class TestLoadSchemaValidation:
+    def base(self) -> dict:
+        return run_load(TINY)
+
+    def test_flags_missing_key(self):
+        load = self.base()
+        del load["schedule_digest"]
+        problems = validate_load_section(load)
+        assert any("schedule_digest" in p for p in problems)
+
+    def test_flags_bad_digest(self):
+        load = self.base()
+        load["schedule_digest"] = "nothex"
+        assert validate_load_section(load)
+
+    def test_flags_wrong_schema_version(self):
+        load = self.base()
+        load["schema_version"] = LOAD_SCHEMA_VERSION + 1
+        assert validate_load_section(load)
+
+    def test_flags_errors_exceeding_requests(self):
+        load = self.base()
+        load["stages"][0]["errors"] = load["stages"][0]["requests"] + 1
+        assert validate_load_section(load)
+
+    def test_flags_bool_where_int_expected(self):
+        load = self.base()
+        load["stages"][0]["requests"] = True
+        assert validate_load_section(load)

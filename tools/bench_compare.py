@@ -14,7 +14,11 @@ Exits non-zero when the current run regresses past the tolerance
 * **probe counters** per bench (more index probes / node visits for
   the same seeded workload means an algorithmic regression),
 * **coverage** — a bench present in the baseline but missing from the
-  current run.
+  current run,
+* **load section** (from ``python -m benchmarks.load``) — schema
+  validity, schedule-digest drift between runs with identical workload
+  knobs, per-stage error growth, and (when wall gating is on)
+  throughput collapse / p95 blow-up per concurrency stage.
 
 Tiny values are noise, not signal: wall times under ``WALL_FLOOR_S``
 and counters under ``COUNTER_FLOOR`` never regress.  New benches and
@@ -28,12 +32,19 @@ import json
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.load_schema import validate_load_section  # noqa: E402
+
 #: Relative growth beyond which a wall time / counter is a regression.
 DEFAULT_TOLERANCE = 0.20
 #: Wall times below this are measurement noise and never compared.
 WALL_FLOOR_S = 0.05
 #: Counters below this are too small for a ratio test.
 COUNTER_FLOOR = 50.0
+#: Allowed relative throughput drop / p95 growth per load stage (load
+#: runs are noisier than single benches, so the band is wider).
+LOAD_TOLERANCE = 0.35
 
 
 def load_document(path: str | Path) -> dict:
@@ -41,6 +52,10 @@ def load_document(path: str | Path) -> dict:
     version = document.get("schema_version")
     if version != 1:
         raise ValueError(f"{path}: unsupported schema_version {version!r}")
+    if "load" in document:
+        problems = validate_load_section(document["load"])
+        if problems:
+            raise ValueError(f"{path}: invalid load section: {'; '.join(problems)}")
     return document
 
 
@@ -94,17 +109,107 @@ def compare(
                         "ratio": cur_value / base_value,
                     }
                 )
+    regressions.extend(_compare_load(baseline, current, skip_wall=skip_wall))
     return regressions
 
 
+def _same_workload(base_load: dict, cur_load: dict) -> bool:
+    """Whether the two load sections ran identical workload knobs (only
+    then are digest and throughput comparisons meaningful)."""
+    keys = ("schema_version", "seed", "smoke", "zipf_s", "requests_per_worker")
+    return all(base_load.get(k) == cur_load.get(k) for k in keys)
+
+
+def _compare_load(baseline: dict, current: dict, *, skip_wall: bool) -> list[dict]:
+    """Regressions of the load sections; empty when either is absent
+    or the workloads are not comparable (except coverage loss)."""
+    base_load = baseline.get("load")
+    cur_load = current.get("load")
+    if base_load is None:
+        return []  # nothing to hold the current run to
+    if cur_load is None:
+        return [{"kind": "load-missing", "bench": "load"}]
+    if not _same_workload(base_load, cur_load):
+        return []  # different knobs: numbers are incommensurable
+    regressions: list[dict] = []
+    if base_load["schedule_digest"] != cur_load["schedule_digest"]:
+        # Same seed and knobs must replay the same request schedule —
+        # a drifted digest means the generator lost determinism.
+        regressions.append(
+            {
+                "kind": "load-schedule",
+                "bench": "load",
+                "baseline": base_load["schedule_digest"][:12],
+                "current": cur_load["schedule_digest"][:12],
+            }
+        )
+    base_stages = {s["concurrency"]: s for s in base_load["stages"]}
+    cur_stages = {s["concurrency"]: s for s in cur_load["stages"]}
+    for concurrency in sorted(set(base_stages) & set(cur_stages)):
+        base_stage, cur_stage = base_stages[concurrency], cur_stages[concurrency]
+        stage = f"load[c={concurrency}]"
+        if cur_stage["errors"] > base_stage["errors"]:
+            regressions.append(
+                {
+                    "kind": "load-errors",
+                    "bench": stage,
+                    "baseline": base_stage["errors"],
+                    "current": cur_stage["errors"],
+                }
+            )
+        if skip_wall:
+            continue  # throughput/latency are wall-clock measurements
+        base_rps, cur_rps = base_stage["throughput_rps"], cur_stage["throughput_rps"]
+        if base_rps > 0 and cur_rps < base_rps * (1 - LOAD_TOLERANCE):
+            regressions.append(
+                {
+                    "kind": "load-throughput",
+                    "bench": stage,
+                    "baseline": base_rps,
+                    "current": cur_rps,
+                    "ratio": cur_rps / base_rps,
+                }
+            )
+        base_p95 = base_stage["latency_ms"]["p95"]
+        cur_p95 = cur_stage["latency_ms"]["p95"]
+        if base_p95 > 0.5 and cur_p95 > base_p95 * (1 + LOAD_TOLERANCE):
+            regressions.append(
+                {
+                    "kind": "load-p95",
+                    "bench": stage,
+                    "baseline": base_p95,
+                    "current": cur_p95,
+                    "ratio": cur_p95 / base_p95,
+                }
+            )
+    return regressions
+
+
+_KIND_LABELS = {
+    "wall": "wall_s",
+    "load-errors": "errors",
+    "load-throughput": "throughput_rps",
+    "load-p95": "latency_ms.p95",
+}
+
+
 def format_regression(regression: dict) -> str:
-    if regression["kind"] == "missing":
+    kind = regression["kind"]
+    if kind == "missing":
         return f"MISSING  {regression['bench']} (in baseline, not in current run)"
-    label = "wall_s" if regression["kind"] == "wall" else regression["counter"]
+    if kind == "load-missing":
+        return "LOAD-MISSING  load section in baseline, not in current run"
+    if kind == "load-schedule":
+        return (
+            f"LOAD-SCHEDULE  schedule digest drifted "
+            f"{regression['baseline']}... -> {regression['current']}... "
+            f"(same seed must replay the same schedule)"
+        )
+    label = _KIND_LABELS.get(kind) or regression["counter"]
+    ratio = f" ({regression['ratio']:.2f}x)" if "ratio" in regression else ""
     return (
-        f"{regression['kind'].upper():<8} {regression['bench']}: {label} "
-        f"{regression['baseline']:g} -> {regression['current']:g} "
-        f"({regression['ratio']:.2f}x)"
+        f"{kind.upper():<8} {regression['bench']}: {label} "
+        f"{regression['baseline']:g} -> {regression['current']:g}{ratio}"
     )
 
 
