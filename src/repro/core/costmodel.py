@@ -1,0 +1,142 @@
+"""Static cost annotations for the six query families.
+
+Scale-out planning needs to know, per access path, *where the work is*:
+which per-item loops dominate, which probe counters measure them, and
+what the asymptotic shape of each family's execution is.  This module
+is that knowledge, written down as data:
+
+* :data:`COST_MODEL` maps each query family to its access path, a cost
+  class, the **dominant probe counters** that measure its hot loops at
+  runtime, and the **hot sites** — fully-qualified names of the
+  per-item loops static analysis found on that family's execution path.
+* :func:`cost_annotation` serves the planner: ``explain()`` attaches
+  the entry for a plan node's family so ``/debug/explain`` output can
+  be cross-checked against the measured ``counter_deltas`` (an
+  annotation whose dominant counters never move under ANALYZE is stale).
+
+The table is deliberately a **pure literal**: the ``hot-path`` pass in
+``repro.devtools`` (which may not import this package — the layer DAG
+isolates devtools) reads it straight out of the AST with
+``ast.literal_eval`` and fails the build when a per-item loop on a
+query path is neither listed here nor explicitly allowed inline.
+Keeping the literal honest is therefore machine-enforced in both
+directions: unlisted hot loops fail the lint, and listed sites that no
+longer exist fail it too.
+"""
+
+from __future__ import annotations
+
+#: family -> static cost annotation.  Pure literal — parsed by
+#: ``repro.devtools.hotpath`` with ``ast.literal_eval``; keep every
+#: value a plain str/list/dict literal.
+COST_MODEL: dict = {
+    "spatial": {
+        "access_path": "oriented_rtree.search_range",
+        "cost": "O(log n + c) MBR filter + O(c) sector refine",
+        "dominant_counters": [
+            "index.rtree.range_queries",
+            "index.rtree.node_visits",
+            "index.rtree.entries_tested",
+            "index.oriented.candidates",
+        ],
+        "hot_sites": [
+            "repro.index.rtree.RTree.search_range",
+            "repro.index.oriented_rtree.OrientedRTree.search_range",
+            "repro.index.oriented_rtree.OrientedRTree.search_point",
+            "repro.core.platform.TVDP._run_spatial",
+        ],
+        "note": (
+            "c = MBR candidates; refine is per-candidate FOV geometry, "
+            "measured by index.oriented.candidates vs refined_hits"
+        ),
+    },
+    "visual": {
+        "access_path": "lsh.query_topk",
+        "cost": "O(T*P) hashing + O(c*d) vectorised exact ranking",
+        "dominant_counters": [
+            "index.lsh.queries",
+            "index.lsh.bucket_hits",
+            "index.lsh.candidates",
+        ],
+        "hot_sites": [
+            "repro.index.lsh.LSHIndex._candidates",
+            "repro.index.lsh.LSHIndex._rank",
+            "repro.index.lsh.LSHIndex.linear_topk",
+        ],
+        "note": (
+            "c = distinct bucket candidates; ranking is one NumPy matrix "
+            "op, not a per-candidate Python loop (fallback scans are "
+            "counted by index.lsh.fallback_scans)"
+        ),
+    },
+    "categorical": {
+        "access_path": "annotation_table.hash_index[type_id]",
+        "cost": "O(a) postings walk per requested label",
+        "dominant_counters": [],
+        "hot_sites": [
+            "repro.core.platform.TVDP._run_categorical",
+            "repro.core.annotations.AnnotationService.images_with_label",
+        ],
+        "note": (
+            "a = annotations per label via the type_id hash index; no "
+            "index-level probe counters yet — platform.queries{family="
+            "categorical} counts executions"
+        ),
+    },
+    "textual": {
+        "access_path": "inverted_index.search_any",
+        "cost": "O(sum df(t)) postings scan over query terms",
+        "dominant_counters": [
+            "index.inverted.queries",
+            "index.inverted.postings_scanned",
+        ],
+        "hot_sites": [
+            "repro.index.inverted.InvertedIndex.search_any",
+        ],
+        "note": "postings_scanned is exactly the per-term loop trip count",
+    },
+    "temporal": {
+        "access_path": "images.sequential_scan",
+        "cost": "O(n) full-table predicate scan",
+        "dominant_counters": [],
+        "hot_sites": [
+            "repro.core.platform.TVDP._run_temporal",
+        ],
+        "note": (
+            "known unindexed path: every image row is tested; a timestamp "
+            "index is the obvious shard-local optimisation"
+        ),
+    },
+    "hybrid": {
+        "access_path": "visual_rtree.spatial_visual_knn",
+        "cost": "O(h log n) best-first pops with dual spatial/visual pruning",
+        "dominant_counters": [
+            "index.visual_rtree.queries",
+            "index.visual_rtree.heap_pops",
+            "index.visual_rtree.spatial_pruned",
+        ],
+        "hot_sites": [
+            "repro.index.hybrid.VisualRTree.spatial_visual_knn",
+            "repro.index.hybrid.VisualRTree.linear_spatial_visual_knn",
+            "repro.core.platform.TVDP._run_hybrid",
+        ],
+        "note": (
+            "h = heap pops; leaf entries are ranked with one vectorised "
+            "NumPy distance op per visited leaf, not per entry"
+        ),
+    },
+}
+
+
+def cost_annotation(family: str) -> dict | None:
+    """The static cost annotation for one query family, shaped for a
+    plan node: ``{cost, dominant_counters, note}`` (``None`` for
+    families the model does not cover)."""
+    entry = COST_MODEL.get(family)
+    if entry is None:
+        return None
+    return {
+        "cost": entry["cost"],
+        "dominant_counters": list(entry["dominant_counters"]),
+        "note": entry["note"],
+    }

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from repro import obs
 from repro.errors import QueryError
+from repro.core.costmodel import cost_annotation
 from repro.core.platform import TVDP
 from repro.core.queries import (
     CategoricalQuery,
@@ -59,6 +60,10 @@ class QueryPlan:
     elapsed_ms: float | None = None
     counter_deltas: dict = field(default_factory=dict)
     shape: str | None = None
+    #: Static cost annotation from :mod:`repro.core.costmodel` —
+    #: ``{cost, dominant_counters, note}`` — present on every node whose
+    #: family the model covers, in plain EXPLAIN and ANALYZE alike.
+    cost: dict | None = None
 
     def render(self, indent: int = 0) -> str:
         """Human-readable multi-line plan."""
@@ -71,6 +76,8 @@ class QueryPlan:
                 timing += f" time={self.elapsed_ms:.2f}ms"
             timing += "]"
         lines = [f"{pad}{self.query_type}: {self.access_path} {extras}{timing}".rstrip()]
+        if self.cost is not None:
+            lines.append(f"{pad}  cost: {self.cost['cost']}")
         if self.counter_deltas:
             probes = " ".join(
                 f"{name}={value:g}"
@@ -92,6 +99,7 @@ class QueryPlan:
             "elapsed_ms": self.elapsed_ms,
             "counter_deltas": dict(self.counter_deltas),
             "shape": self.shape,
+            "cost": dict(self.cost) if self.cost is not None else None,
             "children": [child.to_dict() for child in self.children],
         }
 
@@ -107,13 +115,20 @@ def _plan_node(platform: TVDP, query: object) -> QueryPlan:
                 f"{query.direction_deg:.0f}deg +/- {query.direction_tolerance_deg:.0f}"
             )
         details["refine"] = "fov_sector" if query.mode == "scene" else "camera_point"
-        return QueryPlan("spatial", path, details)
+        return QueryPlan("spatial", path, details, cost=cost_annotation("spatial"))
     if isinstance(query, VisualQuery):
         details = {"extractor": query.extractor_name, "k": query.k}
         if query.max_distance is not None:
             details["radius"] = query.max_distance
-            return QueryPlan("visual", "lsh.query_radius", details)
-        return QueryPlan("visual", "lsh.query_topk (exhaustive fallback)", details)
+            return QueryPlan(
+                "visual", "lsh.query_radius", details, cost=cost_annotation("visual")
+            )
+        return QueryPlan(
+            "visual",
+            "lsh.query_topk (exhaustive fallback)",
+            details,
+            cost=cost_annotation("visual"),
+        )
     if isinstance(query, CategoricalQuery):
         return QueryPlan(
             "categorical",
@@ -123,15 +138,19 @@ def _plan_node(platform: TVDP, query: object) -> QueryPlan:
                 "labels": ",".join(query.labels),
                 "min_confidence": query.min_confidence,
             },
+            cost=cost_annotation("categorical"),
         )
     if isinstance(query, TextualQuery):
         path = "inverted_index." + ("search_all" if query.match == "all" else "search_any")
-        return QueryPlan("textual", path, {"terms": query.text})
+        return QueryPlan(
+            "textual", path, {"terms": query.text}, cost=cost_annotation("textual")
+        )
     if isinstance(query, TemporalQuery):
         return QueryPlan(
             "temporal",
             "images.sequential_scan",
             {"field": query.field, "start": query.start, "end": query.end},
+            cost=cost_annotation("temporal"),
         )
     if isinstance(query, HybridQuery):
         parts = list(query.queries)
@@ -143,12 +162,14 @@ def _plan_node(platform: TVDP, query: object) -> QueryPlan:
                 "visual_rtree.spatial_visual_knn (single-pass dual pruning)",
                 {"extractor": visual.extractor_name, "k": visual.k},
                 children=(_plan_node(platform, spatial), _plan_node(platform, visual)),
+                cost=cost_annotation("hybrid"),
             )
         return QueryPlan(
             "hybrid",
             "intersect(sub-results)",
             {"parts": len(parts)},
             children=tuple(_plan_node(platform, q) for q in parts),
+            cost=cost_annotation("hybrid"),
         )
     raise QueryError(f"cannot plan query type {type(query).__name__}")
 
@@ -209,6 +230,7 @@ def _analyze_node(platform: TVDP, query: object, plan: QueryPlan) -> QueryPlan:
         elapsed_ms=elapsed_ms,
         counter_deltas=deltas,
         shape=query_shape(query),
+        cost=plan.cost,
     )
 
 

@@ -38,6 +38,11 @@ KIND_FUNCTION = "function"
 KIND_METHOD = "method"
 KIND_CLASS = "class"
 
+#: Decorators that turn a method into an attribute access.
+_PROPERTY_DECORATORS = frozenset(
+    {"property", "cached_property", "functools.cached_property"}
+)
+
 
 @dataclass(frozen=True, slots=True)
 class Symbol:
@@ -45,7 +50,7 @@ class Symbol:
 
     qualname: str  # dotted: <module>.<Class>.<name> / <module>.<name>
     name: str
-    kind: str  # function | method | class
+    kind: str  # function | class | method
     module: str  # dotted module the symbol is defined in
     path: str  # repo-relative path of the defining file
     line: int
@@ -55,6 +60,14 @@ class Symbol:
     returns: str = ""
     #: For classes: base-class names as written (dotted, unresolved).
     bases: tuple[str, ...] = ()
+    #: Decorator expressions as written (dotted, best effort).
+    decorators: tuple[str, ...] = ()
+
+    @property
+    def is_property(self) -> bool:
+        """True for ``@property`` / ``@cached_property`` accessors —
+        attribute *reads* whose type is the return annotation."""
+        return any(dec in _PROPERTY_DECORATORS for dec in self.decorators)
 
 
 @dataclass(slots=True)
@@ -96,6 +109,10 @@ class SymbolTable:
         self.methods: dict[str, dict[str, str]] = {}
         #: class qualname -> {attr name -> inferred class qualname}
         self.attr_types: dict[str, dict[str, str]] = {}
+        #: class qualname -> {container attr -> element class qualname}
+        #: (``self._lsh: dict[str, LSHIndex]`` maps ``_lsh -> LSHIndex``,
+        #: so ``self._lsh[key].query(...)`` dispatches correctly).
+        self.attr_elem_types: dict[str, dict[str, str]] = {}
 
     # -- construction --------------------------------------------------------
 
@@ -193,6 +210,18 @@ def _dotted_of(node: ast.AST) -> str:
     return ".".join(reversed(parts))
 
 
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    """Dotted renderings of a def's decorators (``@router.route(...)``
+    renders its callee, ``router.route``)."""
+    names = []
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        dotted = _dotted_of(target)
+        if dotted:
+            names.append(dotted)
+    return tuple(names)
+
+
 def _annotation_name(node: ast.AST | None) -> str:
     """The class name an annotation points at, stripped of Optional /
     union noise (``Clock | None`` -> ``Clock``); "" when unusable."""
@@ -213,6 +242,28 @@ def _annotation_name(node: ast.AST | None) -> str:
         return "" if dotted == "None" else dotted
     if isinstance(node, ast.Subscript):
         return ""  # containers: not a class we can dispatch on
+    return ""
+
+
+_SEQUENCE_CONTAINERS = frozenset(
+    {"list", "List", "set", "Set", "frozenset", "FrozenSet", "deque", "Deque"}
+)
+_MAPPING_CONTAINERS = frozenset({"dict", "Dict", "defaultdict", "DefaultDict"})
+
+
+def _container_elem_annotation(node: ast.AST | None) -> str:
+    """The element/value class of a container annotation:
+    ``dict[str, LSHIndex]`` -> ``LSHIndex``, ``list[Foo]`` -> ``Foo``."""
+    if not isinstance(node, ast.Subscript):
+        return ""
+    base = _dotted_of(node.value).rpartition(".")[2]
+    inner = node.slice
+    if base in _MAPPING_CONTAINERS:
+        if isinstance(inner, ast.Tuple) and len(inner.elts) == 2:
+            return _annotation_name(inner.elts[1])
+        return ""
+    if base in _SEQUENCE_CONTAINERS:
+        return _annotation_name(inner)
     return ""
 
 
@@ -291,6 +342,7 @@ def build_symbol_table(
                         line=node.lineno,
                         is_public=not node.name.startswith("_"),
                         returns=_annotation_name(node.returns),
+                        decorators=_decorator_names(node),
                     )
                 )
             elif isinstance(node, ast.ClassDef):
@@ -325,6 +377,7 @@ def build_symbol_table(
                                 line=item.lineno,
                                 is_public=not item.name.startswith("_"),
                                 returns=_annotation_name(item.returns),
+                                decorators=_decorator_names(item),
                             )
                         )
                 table.methods[class_qualname] = methods
@@ -359,9 +412,11 @@ def build_symbol_table(
                 if target is not None and table.is_class(target):
                     resolved_bases.append(target)
             table.class_bases[class_qualname] = tuple(resolved_bases)
-            table.attr_types[class_qualname] = _infer_attr_types(
+            attr_types, elem_types = _infer_attr_types(
                 table, info, class_qualname, node
             )
+            table.attr_types[class_qualname] = attr_types
+            table.attr_elem_types[class_qualname] = elem_types
     return table
 
 
@@ -385,10 +440,12 @@ def _resolve_name(table: SymbolTable, info: ModuleInfo, dotted: str) -> str | No
 
 def _infer_attr_types(
     table: SymbolTable, info: ModuleInfo, class_qualname: str, node: ast.ClassDef
-) -> dict[str, str]:
-    """``self.<attr>`` -> class qualname, from annotated assigns and
-    constructor-call assigns anywhere in the class body."""
+) -> tuple[dict[str, str], dict[str, str]]:
+    """``(self.<attr> -> class qualname, container attr -> element class
+    qualname)`` from annotated assigns and constructor-call assigns
+    anywhere in the class body."""
     types: dict[str, str] = {}
+    elem_types: dict[str, str] = {}
 
     def note(attr: str, value: ast.expr | None, annotation: ast.expr | None) -> None:
         target = None
@@ -396,6 +453,11 @@ def _infer_attr_types(
             name = _annotation_name(annotation)
             if name:
                 target = _resolve_name(table, info, name)
+            elem_name = _container_elem_annotation(annotation)
+            if elem_name:
+                elem = _resolve_name(table, info, elem_name)
+                if elem is not None and table.is_class(elem):
+                    elem_types.setdefault(attr, elem)
         if target is None and isinstance(value, ast.Call):
             target = _callee_class(table, info, class_qualname, value)
         if target is not None and table.is_class(target):
@@ -418,7 +480,7 @@ def _infer_attr_types(
                 and target_node.value.id == "self"
             ):
                 note(target_node.attr, stmt.value, stmt.annotation)
-    return types
+    return types, elem_types
 
 
 def _callee_class(
@@ -440,6 +502,28 @@ def _callee_class(
             returned = _resolve_name(table, defining, symbol.returns)
             if returned is not None and table.is_class(returned):
                 return returned
+    return None
+
+
+def attr_type_on(table: SymbolTable, owner: str, attr: str) -> str | None:
+    """The class qualname of ``<owner instance>.<attr>`` — inferred
+    instance attributes first, then ``@property`` accessors whose return
+    annotation resolves to a known class."""
+    inferred = table.attr_types.get(owner, {}).get(attr)
+    if inferred is not None:
+        return inferred
+    method = table.method_on(owner, attr)
+    if method is None:
+        return None
+    symbol = table.symbols.get(method)
+    if symbol is None or not symbol.is_property or not symbol.returns:
+        return None
+    defining = table.modules.get(symbol.module)
+    if defining is None:
+        return None
+    returned = _resolve_name(table, defining, symbol.returns)
+    if returned is not None and table.is_class(returned):
+        return returned
     return None
 
 
@@ -506,12 +590,13 @@ def _resolve_call_target(
     if owner is None:
         return None
 
-    # Apply the remaining attribute chain via attr types and methods.
+    # Apply the remaining attribute chain via attr types, @property
+    # return annotations, and methods.
     for i, attr in enumerate(chain[start:]):
         last = i == len(chain[start:]) - 1
         if last:
             return table.method_on(owner, attr)
-        next_owner = table.attr_types.get(owner, {}).get(attr)
+        next_owner = attr_type_on(table, owner, attr)
         if next_owner is None:
             return None
         owner = next_owner
@@ -540,6 +625,22 @@ def _local_types(
                 owner = _callee_class(table, info, class_context, stmt.value)
                 if owner is not None:
                     types.setdefault(target.id, owner)
+            elif (
+                isinstance(target, ast.Name)
+                and isinstance(stmt.value, ast.Subscript)
+                and class_context is not None
+            ):
+                # ``lsh = self._lsh[key]``: the annotated container's
+                # element type is the variable's type.
+                base = stmt.value.value
+                if (
+                    isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == "self"
+                ):
+                    elem = table.attr_elem_types.get(class_context, {}).get(base.attr)
+                    if elem is not None:
+                        types.setdefault(target.id, elem)
         elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
             name = _annotation_name(stmt.annotation)
             if name:
@@ -573,6 +674,31 @@ def iter_functions(
     return out
 
 
+def _partial_bound_target(
+    table: SymbolTable,
+    info: ModuleInfo,
+    class_context: str | None,
+    call: ast.Call,
+    locals_map: dict[str, str] | None,
+) -> str | None:
+    """For ``functools.partial(fn, ...)`` calls, the qualname ``fn``
+    resolves to — the partial *will* call it, so the edge belongs in
+    the graph even though the call expression targets ``partial``."""
+    dotted = _dotted_of(call.func)
+    if dotted == "partial":
+        if info.imports.get("partial") != "functools.partial":
+            return None
+    elif dotted.endswith(".partial"):
+        head = dotted.rsplit(".", 1)[0]
+        if info.imports.get(head, head) != "functools":
+            return None
+    else:
+        return None
+    if not call.args:
+        return None
+    return _resolve_call_target(table, info, class_context, call.args[0], locals_map)
+
+
 def build_call_graph(table: SymbolTable) -> CallGraph:
     """Resolve every call expression in every function/method."""
     graph = CallGraph()
@@ -584,6 +710,10 @@ def build_call_graph(table: SymbolTable) -> CallGraph:
             callee = _resolve_call_target(
                 table, info, class_context, node.func, locals_map
             )
+            if callee is None:
+                callee = _partial_bound_target(
+                    table, info, class_context, node, locals_map
+                )
             # Constructor call: the work happens in __init__.
             if callee is not None and table.is_class(callee):
                 init = table.method_on(callee, "__init__")

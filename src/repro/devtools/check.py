@@ -42,8 +42,12 @@ from repro.devtools.findings import (
     split_new,
     write_baseline,
 )
+from repro.devtools.hotpath import DEFAULT_DATA_PLANE_ROOTS, check_hot_path
 from repro.devtools.layers import DEFAULT_LAYER_CONFIG, LayerConfig, check_layers
 from repro.devtools.lockorder import check_lock_order
+from repro.devtools.picklability import DEFAULT_PICKLE_ROOT_GLOBS, check_picklability
+from repro.devtools.processsafety import check_process_safety, render_manifest
+from repro.devtools.sarif import github_annotations, to_sarif
 
 #: Every rule id the suite can emit, for --select validation and docs.
 ALL_RULES: tuple[str, ...] = (
@@ -59,12 +63,43 @@ ALL_RULES: tuple[str, ...] = (
     "exception-flow",
     "determinism",
     "dead-code",
+    "picklability",
+    "process-safety",
+    "hot-path",
 )
 
 #: Rules that need the whole-program symbol table / call graph.
 WHOLE_PROGRAM_RULES: frozenset[str] = frozenset(
-    {"lock-order", "exception-flow", "dead-code"}
+    {
+        "lock-order",
+        "exception-flow",
+        "dead-code",
+        "picklability",
+        "process-safety",
+        "hot-path",
+    }
 )
+
+#: Named passes for ``--only`` / ``--list-passes``: a CI job can target
+#: one pass without paying the whole suite's wall time.
+PASSES: dict[str, tuple[str, ...]] = {
+    "layers": ("layer-boundary",),
+    "concurrency": ("module-mutable-state", "unlocked-mutation"),
+    "correctness": (
+        "broad-except",
+        "mutable-default",
+        "no-print",
+        "geo-range",
+        "no-sleep",
+    ),
+    "lock-order": ("lock-order",),
+    "exception-flow": ("exception-flow",),
+    "determinism": ("determinism",),
+    "dead-code": ("dead-code",),
+    "picklability": ("picklability",),
+    "process-safety": ("process-safety",),
+    "hot-path": ("hot-path",),
+}
 
 
 def _default_paths() -> tuple[Path, Path, Path]:
@@ -87,6 +122,9 @@ class CheckResult:
     by_rule: dict[str, int] = field(default_factory=dict)
     #: wall-clock seconds per pass (plus "collect" and "callgraph").
     timings: dict[str, float] = field(default_factory=dict)
+    #: shard-safety manifest computed by the process-safety pass
+    #: (None when that pass did not run).
+    manifest: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -121,12 +159,20 @@ def run_check(
     critical_globs: tuple[str, ...] = DEFAULT_CRITICAL_GLOBS,
     baseline: list[str] | None = None,
     select: tuple[str, ...] | None = None,
+    pickle_root_globs: tuple[str, ...] = DEFAULT_PICKLE_ROOT_GLOBS,
+    data_plane_roots: tuple[str, ...] = DEFAULT_DATA_PLANE_ROOTS,
+    manifest_path: Path | None = None,
 ) -> CheckResult:
     """Run the suite over ``root`` (default: the installed ``repro``
     package) and partition findings against ``baseline``."""
     default_root, default_repo, _ = _default_paths()
     scan_root = root if root is not None else default_root
     base = repo_root if repo_root is not None else default_repo
+    manifest_file = (
+        manifest_path
+        if manifest_path is not None
+        else base / "tools" / "shard_safety_manifest.json"
+    )
     timings: dict[str, float] = {}
 
     started = time.perf_counter()
@@ -190,6 +236,49 @@ def run_check(
             )
     if "determinism" in selected:
         timed("determinism", lambda: check_determinism(modules, scope_cache=scope_cache))
+    manifest: dict | None = None
+    if table is not None and graph is not None:
+        shard_table, shard_graph = table, graph
+        if "picklability" in selected:
+            timed(
+                "picklability",
+                lambda: check_picklability(
+                    modules, shard_table, pickle_root_globs, scope_cache
+                ),
+            )
+        if "process-safety" in selected:
+            started = time.perf_counter()
+            checked_in: dict | None = None
+            if manifest_file.exists():
+                try:
+                    checked_in = json.loads(manifest_file.read_text(encoding="utf-8"))
+                except (OSError, ValueError):
+                    checked_in = None
+            try:
+                manifest_rel = manifest_file.relative_to(base).as_posix()
+            except ValueError:
+                manifest_rel = manifest_file.as_posix()
+            safety_findings, manifest = check_process_safety(
+                modules,
+                shard_table,
+                shard_graph,
+                data_plane_roots,
+                checked_in=checked_in,
+                manifest_rel=manifest_rel,
+            )
+            findings.extend(safety_findings)
+            timings["process-safety"] = time.perf_counter() - started
+        if "hot-path" in selected:
+            timed(
+                "hot-path",
+                lambda: check_hot_path(
+                    modules,
+                    shard_table,
+                    shard_graph,
+                    data_plane_roots,
+                    scope_cache=scope_cache,
+                ),
+            )
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     new, suppressed = split_new(findings, baseline or [])
@@ -203,6 +292,7 @@ def run_check(
         modules_scanned=len(modules),
         by_rule=by_rule,
         timings=timings,
+        manifest=manifest,
     )
 
 
@@ -255,9 +345,35 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--json", action="store_true", help="emit a JSON report")
     parser.add_argument(
+        "--json-out", type=Path, default=None, help="also write the JSON report here"
+    )
+    parser.add_argument(
+        "--sarif", type=Path, default=None, help="write a SARIF 2.1.0 report here"
+    )
+    parser.add_argument(
+        "--github-annotations",
+        action="store_true",
+        help="print ::error workflow-command lines for new findings",
+    )
+    parser.add_argument(
         "--select",
         default=None,
         help=f"comma-separated rule ids to run (default: all of {', '.join(ALL_RULES)})",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated pass names to run (see --list-passes)",
+    )
+    parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="list pass names with their rule ids and exit",
+    )
+    parser.add_argument(
+        "--write-manifest",
+        action="store_true",
+        help="regenerate tools/shard_safety_manifest.json from the tree and exit 0",
     )
     parser.add_argument(
         "--budget-s",
@@ -267,14 +383,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.list_passes:
+        for name, rules in PASSES.items():
+            sys.stdout.write(f"{name}: {', '.join(rules)}\n")
+        return 0
+
     _, _, default_baseline = _default_paths()
     baseline_path = args.baseline if args.baseline is not None else default_baseline
     baseline = [] if args.no_baseline else load_baseline(baseline_path)
-    select = (
-        tuple(part.strip() for part in args.select.split(",") if part.strip())
-        if args.select
-        else None
-    )
+    select: tuple[str, ...] | None = None
+    if args.select:
+        select = tuple(part.strip() for part in args.select.split(",") if part.strip())
+    if args.only:
+        names = [part.strip() for part in args.only.split(",") if part.strip()]
+        unknown = [name for name in names if name not in PASSES]
+        if unknown:
+            sys.stderr.write(
+                f"error: unknown pass name(s) {unknown}; see --list-passes\n"
+            )
+            return 2
+        only_rules = tuple(rule for name in names for rule in PASSES[name])
+        select = tuple(set(select) & set(only_rules)) if select else only_rules
+    if args.write_manifest:
+        select = PASSES["process-safety"]
     try:
         result = run_check(
             root=args.root,
@@ -286,12 +417,36 @@ def main(argv: list[str] | None = None) -> int:
         sys.stderr.write(f"error: {exc}\n")
         return 2
 
+    if args.write_manifest:
+        if result.manifest is None:
+            sys.stderr.write("error: process-safety pass did not run\n")
+            return 2
+        repo_base = args.repo_root if args.repo_root is not None else _default_paths()[1]
+        manifest_file = repo_base / "tools" / "shard_safety_manifest.json"
+        manifest_file.write_text(render_manifest(result.manifest), encoding="utf-8")
+        sys.stdout.write(
+            f"wrote {len(result.manifest['entries'])} classification(s) to "
+            f"{manifest_file}\n"
+        )
+        return 0
     if args.write_baseline:
         write_baseline(baseline_path, result.findings)
         sys.stdout.write(
             f"wrote {len(result.findings)} suppression(s) to {baseline_path}\n"
         )
         return 0
+    if args.sarif is not None:
+        rules = tuple(select) if select else ALL_RULES
+        args.sarif.write_text(
+            json.dumps(to_sarif(result.new, rules), indent=2) + "\n", encoding="utf-8"
+        )
+    if args.json_out is not None:
+        args.json_out.write_text(
+            json.dumps(result.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+    if args.github_annotations:
+        for line in github_annotations(result.new):
+            sys.stdout.write(line + "\n")
     if args.json:
         sys.stdout.write(json.dumps(result.to_dict(), indent=2) + "\n")
     else:

@@ -1,0 +1,284 @@
+"""Hot-path cost pass: per-item work on the query execution paths.
+
+Shard workers will run the six query families at catalog scale, so
+per-item Python work inside their reachable closure is exactly what
+Spatialyze-style pruning and vectorisation must eliminate.  This pass
+walks the callgraph from the data-plane roots (default:
+``TVDP.execute``) and flags, inside that closure:
+
+* NumPy calls inside per-item loops (one vectorised call over the
+  collection is the fix),
+* repeated ``sorted()`` / ``.sort()`` calls inside loops,
+* full-collection scans (``.all_rows()`` / ``.scan()``) inside loops,
+* per-item keyed table lookups in loops (the classic N+1 shape
+  ``table(...).get(item)``), and
+* loops driven directly by a full-table scan (an O(n) access path).
+
+Sanctioning is *centralised*: the pass reads ``COST_MODEL`` — a pure
+literal in ``core/costmodel.py``, parsed straight out of the scanned
+AST with ``ast.literal_eval`` because the layer DAG keeps devtools
+import-isolated — and suppresses findings inside functions listed as
+``hot_sites``.  Those are the loops the model *documents* (and
+``explain()`` annotates with the model's cost strings and dominant
+probe counters, cross-checkable against measured ``counter_deltas``).
+A listed hot site that no longer exists is itself a finding, so the
+model cannot go stale; an un-listed hot loop fails the lint until it is
+vectorised, modelled, or allowed inline.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+
+from typing import Iterator
+
+from repro.devtools.callgraph import CallGraph, ModuleInfo, SymbolTable, iter_functions
+from repro.devtools.findings import Finding, SourceModule, scope_of
+from repro.devtools.processsafety import DEFAULT_DATA_PLANE_ROOTS, expand_roots
+
+RULE = "hot-path"
+
+#: Where the cost model literal lives in a scanned tree.
+COST_MODEL_GLOB = "*/core/costmodel.py"
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def load_cost_model(
+    modules: list[SourceModule],
+) -> tuple[dict, SourceModule | None, int]:
+    """``(COST_MODEL literal, defining module, assign line)`` from the
+    scanned tree — ``({}, None, 0)`` when no model module exists."""
+    for module in modules:
+        if not fnmatch(module.rel_path, COST_MODEL_GLOB):
+            continue
+        for node in module.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "COST_MODEL" for t in targets
+            ):
+                continue
+            value = node.value
+            if value is None:
+                continue
+            try:
+                model = ast.literal_eval(value)
+            except (ValueError, SyntaxError):
+                continue
+            if isinstance(model, dict):
+                return model, module, node.lineno
+    return {}, None, 0
+
+
+def model_hot_sites(cost_model: dict) -> frozenset[str]:
+    """Every qualname the model sanctions as a documented hot loop."""
+    sites: set[str] = set()
+    for entry in cost_model.values():
+        if isinstance(entry, dict):
+            sites.update(str(site) for site in entry.get("hot_sites", []))
+    return frozenset(sites)
+
+
+def _dotted_of(node: ast.AST) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _repeated_nodes(loop: ast.AST) -> Iterator[ast.AST]:
+    """AST nodes that execute once *per iteration* of ``loop`` (the
+    ``for``'s iterable and a comprehension's first source run once)."""
+    regions: list[ast.AST] = []
+    if isinstance(loop, (ast.For, ast.AsyncFor)):
+        regions = [*loop.body, *loop.orelse]
+    elif isinstance(loop, ast.While):
+        regions = [loop.test, *loop.body, *loop.orelse]
+    elif isinstance(loop, ast.DictComp):
+        regions = [loop.key, loop.value]
+    elif isinstance(loop, _COMPREHENSIONS):
+        regions = [loop.elt]
+    if isinstance(loop, _COMPREHENSIONS):
+        for index, gen in enumerate(loop.generators):
+            if index > 0:
+                regions.append(gen.iter)
+            regions.extend(gen.ifs)
+    for region in regions:
+        yield from ast.walk(region)
+
+
+def _numpy_aliases(info: ModuleInfo) -> frozenset[str]:
+    return frozenset(
+        local for local, target in info.imports.items() if target == "numpy"
+    )
+
+
+def _loop_findings(
+    info: ModuleInfo, fn: ast.FunctionDef | ast.AsyncFunctionDef
+) -> list[tuple[int, str]]:
+    """``(line, message)`` for per-item work inside ``fn``'s loops."""
+    np_aliases = _numpy_aliases(info)
+    hits: set[tuple[int, str]] = set()
+    for loop in ast.walk(fn):
+        if not isinstance(loop, (*_LOOPS, *_COMPREHENSIONS)):
+            continue
+        if isinstance(loop, (ast.For, ast.AsyncFor)):
+            iter_dotted = _dotted_of(
+                loop.iter.func if isinstance(loop.iter, ast.Call) else loop.iter
+            )
+            if iter_dotted.endswith(("all_rows", "scan")):
+                hits.add(
+                    (
+                        loop.lineno,
+                        f"O(n) access path: loop driven by {iter_dotted}() scans "
+                        f"the full collection — index it or document the cost in "
+                        f"COST_MODEL",
+                    )
+                )
+        for node in _repeated_nodes(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            dotted = _dotted_of(func)
+            head = dotted.split(".", 1)[0]
+            if head in np_aliases:
+                hits.add(
+                    (
+                        node.lineno,
+                        f"NumPy call {dotted}() inside a per-item loop — hoist it "
+                        f"into one vectorised call over the collection, or list "
+                        f"the function in COST_MODEL hot_sites",
+                    )
+                )
+            elif isinstance(func, ast.Name) and func.id == "sorted":
+                hits.add(
+                    (node.lineno, "repeated sorted() inside a loop — sort once outside")
+                )
+            elif isinstance(func, ast.Attribute) and func.attr == "sort":
+                hits.add(
+                    (node.lineno, "repeated .sort() inside a loop — sort once outside")
+                )
+            elif isinstance(func, ast.Attribute) and func.attr in ("all_rows", "scan"):
+                hits.add(
+                    (
+                        node.lineno,
+                        f"full-collection {func.attr}() inside a loop — O(n*m); "
+                        f"hoist the scan or index the access",
+                    )
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "get"
+                and isinstance(func.value, ast.Call)
+                and isinstance(func.value.func, ast.Attribute)
+                and func.value.func.attr == "table"
+            ):
+                hits.add(
+                    (
+                        node.lineno,
+                        "per-item table(...).get(...) inside a loop (N+1 lookups) — "
+                        "batch the fetch or join before iterating",
+                    )
+                )
+    return sorted(hits)
+
+
+def _scan_findings(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, taken_lines: set[int]
+) -> list[tuple[int, str]]:
+    """Full-collection scans *anywhere* in a data-plane function — the
+    O(n) access paths (``_run_temporal``'s predicate scan) that must be
+    documented in COST_MODEL even when not nested in a loop."""
+    hits: set[tuple[int, str]] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("all_rows", "scan")
+            and node.lineno not in taken_lines
+        ):
+            hits.add(
+                (
+                    node.lineno,
+                    f"O(n) access path: {func.attr}() scans the full collection "
+                    f"on a query path — index it or document the cost in "
+                    f"COST_MODEL",
+                )
+            )
+    return sorted(hits)
+
+
+def check_hot_path(
+    modules: list[SourceModule],
+    table: SymbolTable,
+    graph: CallGraph,
+    root_patterns: tuple[str, ...] = DEFAULT_DATA_PLANE_ROOTS,
+    cost_model: dict | None = None,
+    scope_cache: dict | None = None,
+) -> list[Finding]:
+    """Per-item-work findings on the data-plane closure, minus the
+    sites the cost model documents; stale model sites are findings."""
+    cache: dict = scope_cache if scope_cache is not None else {}
+    if cost_model is None:
+        cost_model, model_module, model_line = load_cost_model(modules)
+    else:
+        model_module, model_line = None, 0
+        for module in modules:
+            if fnmatch(module.rel_path, COST_MODEL_GLOB):
+                model_module = module
+                break
+    sanctioned = model_hot_sites(cost_model)
+    roots = expand_roots(table, root_patterns)
+    reachable = graph.reachable(roots)
+
+    findings: list[Finding] = []
+    for info, _class_context, qualname, fn in iter_functions(table):
+        if qualname not in reachable or qualname in sanctioned:
+            continue
+        module = info.module
+        loop_hits = _loop_findings(info, fn)
+        scan_hits = _scan_findings(fn, {line for line, _ in loop_hits})
+        for line, message in [*loop_hits, *scan_hits]:
+            if module.allows(RULE, line) or module.allows(RULE, fn.lineno):
+                continue
+            findings.append(
+                Finding(
+                    rule=RULE,
+                    path=module.rel_path,
+                    line=line,
+                    message=message,
+                    scope=scope_of(module, line, cache),
+                )
+            )
+
+    for site in sorted(sanctioned):
+        if site in table.symbols:
+            continue
+        if model_module is not None and model_module.allows(RULE, model_line):
+            continue
+        findings.append(
+            Finding(
+                rule=RULE,
+                path=model_module.rel_path if model_module is not None else "<model>",
+                line=model_line or 1,
+                message=(
+                    f"COST_MODEL lists hot site {site!r} but no such function "
+                    f"exists — the cost model is stale"
+                ),
+                scope=site,
+            )
+        )
+    return findings

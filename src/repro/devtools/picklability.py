@@ -1,0 +1,268 @@
+"""Picklability pass: can shard-boundary objects cross a process?
+
+The scale-out arc ships index structures, catalog records, and query
+specs into multiprocessing workers by pickling them.  This pass walks
+the whole-program attribute-type closure from designated *shard-boundary
+roots* — every class defined in a module matching
+:data:`DEFAULT_PICKLE_ROOT_GLOBS` — and flags instance state that cannot
+cross a process boundary:
+
+* synchronisation primitives (``threading.Lock`` and friends),
+* live threads and thread-local storage,
+* open file handles and sockets,
+* lambdas, closures over nested defs, and generators,
+* context variables.
+
+A class that defines ``__getstate__`` *and* ``__setstate__`` is treated
+as having taken responsibility for its own wire format (the runtime
+``tools/pickle_audit.py`` harness verifies the round-trip actually
+works); defining only one of the pair is itself a finding, because a
+``__getstate__`` that drops a lock without a ``__setstate__`` to
+recreate it unpickles into a broken object.
+
+The closure follows the callgraph's inferred ``self.<attr>`` types plus
+annotated constructor parameters (``def __init__(self, db: Database)``
+with ``self._db = db``), so a root that *holds* an unpicklable object
+is reported even when the offending class lives outside the root globs.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+
+from repro.devtools.callgraph import ModuleInfo, SymbolTable, resolve_locals
+from repro.devtools.findings import Finding, SourceModule, scope_of
+
+RULE = "picklability"
+
+#: Modules whose classes are shard-boundary roots by default: the index
+#: structures, catalog records, and query specs the scale-out executor
+#: will pickle into workers.
+DEFAULT_PICKLE_ROOT_GLOBS: tuple[str, ...] = (
+    "*/index/*.py",
+    "*/core/catalog.py",
+    "*/core/queries.py",
+)
+
+#: Constructor dotted name (import-resolved) -> what it creates.
+_UNPICKLABLE_CALLS: dict[str, str] = {
+    "threading.Lock": "a threading lock",
+    "threading.RLock": "a reentrant lock",
+    "threading.Condition": "a condition variable",
+    "threading.Event": "a threading event",
+    "threading.Semaphore": "a semaphore",
+    "threading.BoundedSemaphore": "a bounded semaphore",
+    "threading.Barrier": "a thread barrier",
+    "threading.local": "thread-local storage",
+    "threading.Thread": "a live thread",
+    "open": "an open file handle",
+    "io.open": "an open file handle",
+    "contextvars.ContextVar": "a context variable",
+    "socket.socket": "a socket",
+    "sqlite3.connect": "a database connection",
+}
+
+
+def _resolved_dotted(info: ModuleInfo, dotted: str) -> str:
+    """Expand the leading import alias of ``dotted`` (``Lock`` written
+    under ``from threading import Lock`` -> ``threading.Lock``)."""
+    head, sep, rest = dotted.partition(".")
+    target = info.imports.get(head)
+    if target is None:
+        return dotted
+    return f"{target}{sep}{rest}" if rest else target
+
+
+def _dotted_of(node: ast.AST) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _class_nodes(
+    table: SymbolTable,
+) -> dict[str, tuple[ModuleInfo, ast.ClassDef]]:
+    """Every top-level class in the table, keyed by qualname."""
+    out: dict[str, tuple[ModuleInfo, ast.ClassDef]] = {}
+    for dotted, info in table.modules.items():
+        for node in info.module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                out[f"{dotted}.{node.name}"] = (info, node)
+    return out
+
+
+def _methods_of(node: ast.ClassDef) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    return [
+        item
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _self_attr_target(stmt: ast.stmt) -> tuple[str, ast.expr | None, int] | None:
+    """``(attr, value, line)`` when ``stmt`` is ``self.<attr> = value``."""
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target, value = stmt.targets[0], stmt.value
+    elif isinstance(stmt, ast.AnnAssign):
+        target, value = stmt.target, stmt.value
+    else:
+        return None
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return target.attr, value, stmt.lineno
+    return None
+
+
+def _held_class_types(
+    table: SymbolTable, info: ModuleInfo, qualname: str, node: ast.ClassDef
+) -> set[str]:
+    """Class qualnames an instance of ``qualname`` holds in attributes:
+    the table's inferred attr types plus annotated-parameter assigns
+    (``self._db = db`` where ``db: Database``)."""
+    held = set(table.attr_types.get(qualname, {}).values())
+    for method in _methods_of(node):
+        locals_map = resolve_locals(table, info, qualname, method)
+        for stmt in ast.walk(method):
+            found = _self_attr_target(stmt)
+            if found is None:
+                continue
+            _, value, _ = found
+            if isinstance(value, ast.Name) and value.id in locals_map:
+                held.add(locals_map[value.id])
+    return held
+
+
+def _unpicklable_assigns(
+    info: ModuleInfo, node: ast.ClassDef
+) -> list[tuple[str, str, int]]:
+    """``(attr, description, line)`` for every ``self.<attr> = <bad>``."""
+    problems: list[tuple[str, str, int]] = []
+    for method in _methods_of(node):
+        nested_defs: dict[str, bool] = {}  # name -> contains yield
+        for stmt in ast.walk(method):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt is method:
+                    continue
+                has_yield = any(
+                    isinstance(inner, (ast.Yield, ast.YieldFrom))
+                    for inner in ast.walk(stmt)
+                )
+                nested_defs[stmt.name] = has_yield
+        for stmt in ast.walk(method):
+            found = _self_attr_target(stmt)
+            if found is None:
+                continue
+            attr, value, line = found
+            if value is None:
+                continue
+            if isinstance(value, ast.Call):
+                dotted = _resolved_dotted(info, _dotted_of(value.func))
+                desc = _UNPICKLABLE_CALLS.get(dotted)
+                if desc is not None:
+                    problems.append((attr, desc, line))
+                elif (
+                    isinstance(value.func, ast.Name)
+                    and nested_defs.get(value.func.id) is True
+                ):
+                    problems.append((attr, "a generator", line))
+            elif isinstance(value, ast.Lambda):
+                problems.append((attr, "a lambda", line))
+            elif isinstance(value, ast.GeneratorExp):
+                problems.append((attr, "a generator", line))
+            elif isinstance(value, ast.Name) and value.id in nested_defs:
+                problems.append((attr, "a closure (nested def)", line))
+    return problems
+
+
+def check_picklability(
+    modules: list[SourceModule],
+    table: SymbolTable,
+    root_globs: tuple[str, ...] = DEFAULT_PICKLE_ROOT_GLOBS,
+    scope_cache: dict | None = None,
+) -> list[Finding]:
+    """Flag unpicklable instance state on the shard-boundary closure."""
+    cache: dict = scope_cache if scope_cache is not None else {}
+    classes = _class_nodes(table)
+
+    roots = sorted(
+        qualname
+        for qualname, (info, _) in classes.items()
+        if any(fnmatch(info.module.rel_path, glob) for glob in root_globs)
+    )
+
+    # Breadth-first closure over held-attribute types, remembering which
+    # root pulled each class in (first root wins — deterministic, since
+    # roots and edges are visited in sorted order).
+    provenance: dict[str, str] = {}
+    queue: list[tuple[str, str]] = [(root, root) for root in roots]
+    while queue:
+        qualname, root = queue.pop(0)
+        if qualname in provenance:
+            continue
+        provenance[qualname] = root
+        entry = classes.get(qualname)
+        if entry is None:
+            continue
+        info, node = entry
+        for held in sorted(_held_class_types(table, info, qualname, node)):
+            if held not in provenance:
+                queue.append((held, root))
+
+    findings: list[Finding] = []
+    for qualname in sorted(provenance):
+        entry = classes.get(qualname)
+        if entry is None:
+            continue
+        info, node = entry
+        module = info.module
+        methods = table.methods.get(qualname, {})
+        has_getstate = "__getstate__" in methods
+        has_setstate = "__setstate__" in methods
+        class_name = node.name
+        root = provenance[qualname]
+        via = "" if root == qualname else f" (reachable from shard root {root})"
+        if has_getstate != has_setstate:
+            present = "__getstate__" if has_getstate else "__setstate__"
+            absent = "__setstate__" if has_getstate else "__getstate__"
+            line = node.lineno
+            if not module.allows(RULE, line):
+                findings.append(
+                    Finding(
+                        rule=RULE,
+                        path=module.rel_path,
+                        line=line,
+                        message=(
+                            f"{class_name} defines {present} without {absent} — "
+                            f"it will not survive a pickle round-trip intact{via}"
+                        ),
+                        scope=scope_of(module, line, cache),
+                    )
+                )
+            continue
+        if has_getstate and has_setstate:
+            continue  # class owns its wire format; the runtime audit verifies it
+        for attr, desc, line in _unpicklable_assigns(info, node):
+            if module.allows(RULE, line):
+                continue
+            findings.append(
+                Finding(
+                    rule=RULE,
+                    path=module.rel_path,
+                    line=line,
+                    message=(
+                        f"{class_name} holds {desc} in self.{attr} — unpicklable "
+                        f"across the shard boundary; drop it in __getstate__ and "
+                        f"recreate it in __setstate__{via}"
+                    ),
+                    scope=scope_of(module, line, cache),
+                )
+            )
+    return findings

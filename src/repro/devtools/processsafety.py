@@ -1,0 +1,396 @@
+"""Process-safety pass: classify module-global state for scale-out.
+
+A multiprocessing worker pool forks/spawns the interpreter, so every
+module-level mutable object and process-wide singleton silently becomes
+*per-process* state.  Some of that is fine (locks guard per-process
+resources), some must be merged back at the coordinator (metrics
+counters, the hot-query tracker), and anything unclassified is a
+correctness hazard: two workers each mutate their own copy and the
+results silently diverge.
+
+This pass finds every module-global mutable that is *referenced by a
+function reachable from the data-plane roots* (default:
+``TVDP.execute``, which fans out to all six query families), classifies
+it with :func:`classify`, and emits the result as a deterministic
+manifest the future shard executor will consume
+(``tools/shard_safety_manifest.json``):
+
+* ``worker-local-ok`` — each process keeps its own (locks, loggers,
+  circuit breakers guarding process-local resources);
+* ``must-merge-at-coordinator`` — worker copies hold partial state the
+  coordinator has to combine (counters sum, histograms merge buckets,
+  hot-query tables merge by count, span streams concatenate);
+* anything else is an ``unsafe`` **finding** — fix it, classify it by
+  extending the rules here, or sanction it with an inline
+  ``# devtools: allow[process-safety]`` comment (allowed globals are
+  excluded from the manifest entirely).
+
+The checked-in manifest is drift-gated: when the computed manifest
+differs from the file, the pass fails until it is regenerated with
+``python -m repro.devtools.check --write-manifest``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from fnmatch import fnmatch
+
+from typing import Callable
+
+from repro.devtools.callgraph import CallGraph, ModuleInfo, SymbolTable, iter_functions
+from repro.devtools.concurrency import _MUTATING_METHODS, _is_mutable_value
+from repro.devtools.findings import Finding, SourceModule
+
+RULE = "process-safety"
+
+MANIFEST_SCHEMA = 1
+
+#: Qualname patterns whose reachable closure is "the data plane".
+#: ``execute`` dispatches the six families through a dict of bound
+#: methods — an indirect call the callgraph cannot follow — so the
+#: family runners are roots in their own right.
+DEFAULT_DATA_PLANE_ROOTS: tuple[str, ...] = (
+    "*.core.platform.TVDP.execute",
+    "*.core.platform.TVDP._run_*",
+)
+
+_LOCK_CTORS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Event",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.local",
+    }
+)
+
+#: Project class name -> (classification, merge strategy, reason).
+_CLASS_RULES: dict[str, tuple[str, str, str]] = {
+    "Counter": (
+        "must-merge-at-coordinator",
+        "sum",
+        "monotone counter — the coordinator sums worker deltas",
+    ),
+    "Gauge": (
+        "must-merge-at-coordinator",
+        "last-write",
+        "point-in-time gauge — the coordinator keeps the freshest value",
+    ),
+    "Histogram": (
+        "must-merge-at-coordinator",
+        "bucket-sum",
+        "latency histogram — the coordinator sums per-bucket counts",
+    ),
+    "MetricsRegistry": (
+        "must-merge-at-coordinator",
+        "per-metric",
+        "process-wide metrics registry — merge each metric by its own kind",
+    ),
+    "HotQueryTracker": (
+        "must-merge-at-coordinator",
+        "top-k-by-count",
+        "hot-query shape table — merge worker tables, re-rank by count",
+    ),
+    "Tracer": (
+        "must-merge-at-coordinator",
+        "concat",
+        "span stream — the coordinator concatenates worker traces",
+    ),
+    "SpanRing": (
+        "must-merge-at-coordinator",
+        "concat",
+        "span ring buffer — the coordinator concatenates worker traces",
+    ),
+    "SlowSpanLog": (
+        "must-merge-at-coordinator",
+        "top-k-by-duration",
+        "slow-span exemplars — merge worker logs, keep the global worst",
+    ),
+    "JsonlExporter": (
+        "must-merge-at-coordinator",
+        "concat",
+        "trace export stream — workers append to per-process files",
+    ),
+    "WindowSet": (
+        "must-merge-at-coordinator",
+        "bucket-sum",
+        "rolling latency windows — merge per-bucket histograms",
+    ),
+    "Logger": (
+        "worker-local-ok",
+        "none",
+        "loggers write process-local streams",
+    ),
+    "CircuitBreaker": (
+        "worker-local-ok",
+        "none",
+        "circuit breakers guard process-local resources",
+    ),
+}
+
+
+def classify(
+    name: str, type_qualname: str | None, ctor: str, kind: str
+) -> tuple[str, str, str] | None:
+    """``(classification, merge, reason)`` for one module global, or
+    ``None`` when no rule matches (an *unsafe* finding)."""
+    if ctor in _LOCK_CTORS:
+        return (
+            "worker-local-ok",
+            "none",
+            "synchronisation primitive — each process creates and guards its own",
+        )
+    if ctor == "logging.getLogger":
+        return _CLASS_RULES["Logger"]
+    if type_qualname:
+        rule = _CLASS_RULES.get(type_qualname.rsplit(".", 1)[-1])
+        if rule is not None:
+            return rule
+    if name == "_breakers":
+        return _CLASS_RULES["CircuitBreaker"]
+    if name.lstrip("_").isupper() and kind == "container":
+        # Only while actually read-only: a mutated container arrives
+        # here with kind="mutated-container" and falls through to the
+        # unsafe finding regardless of its name.
+        return (
+            "worker-local-ok",
+            "none",
+            "read-only constant (UPPER_CASE convention) — runtime mutation "
+            "is gated by the module-mutable-state lint",
+        )
+    return None
+
+
+def _dotted_of(node: ast.AST) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def expand_roots(table: SymbolTable, patterns: tuple[str, ...]) -> tuple[str, ...]:
+    """Qualnames in ``table`` matching any root pattern, sorted."""
+    return tuple(
+        sorted(
+            qualname
+            for qualname in table.symbols
+            if any(fnmatch(qualname, pattern) for pattern in patterns)
+        )
+    )
+
+
+def _module_global_candidates(
+    info: ModuleInfo, resolved_ctor: Callable[[str], str]
+) -> list[tuple[str, str | None, str, str, int]]:
+    """``(name, type_qualname, ctor, kind, line)`` for each module-level
+    assign that creates mutable / stateful-object globals."""
+    out: list[tuple[str, str | None, str, str, int]] = []
+    for node in info.module.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        else:
+            continue
+        if not isinstance(target, ast.Name) or target.id.startswith("__"):
+            continue
+        name = target.id
+        type_qualname = info.var_types.get(name)
+        ctor = ""
+        kind = ""
+        if isinstance(value, ast.Call):
+            ctor = resolved_ctor(_dotted_of(value.func))
+        if type_qualname is not None:
+            kind = "object"
+        elif ctor in _LOCK_CTORS or ctor == "logging.getLogger":
+            kind = "object"
+        elif _is_mutable_value(value):
+            kind = "container"
+        else:
+            continue
+        out.append((name, type_qualname, ctor, kind, node.lineno))
+    return out
+
+
+def _names_referenced(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, candidates: set[str]
+) -> set[str]:
+    used: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and node.id in candidates:
+            used.add(node.id)
+        elif isinstance(node, ast.Global):
+            used.update(name for name in node.names if name in candidates)
+    return used
+
+
+def _names_mutated(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, candidates: set[str]
+) -> set[str]:
+    """Candidate globals a function writes to: subscript/attribute
+    stores, augmented assigns, deletes, mutating method calls, and
+    ``global`` rebinds."""
+
+    def base_name(node: ast.AST) -> str | None:
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            node = node.value
+        return node.id if isinstance(node, ast.Name) else None
+
+    mutated: set[str] = set()
+    for node in ast.walk(fn):
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = [t for t in node.targets if not isinstance(t, ast.Name)]
+        elif isinstance(node, (ast.AugAssign, ast.Delete)):
+            targets = node.targets if isinstance(node, ast.Delete) else [node.target]
+        elif isinstance(node, ast.Global):
+            mutated.update(name for name in node.names if name in candidates)
+            continue
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+        ):
+            targets = [node.func.value]
+        for target in targets:
+            name = base_name(target)
+            if name in candidates:
+                mutated.add(name)
+    return mutated
+
+
+def build_manifest(entries: list[dict], roots: tuple[str, ...]) -> dict:
+    """The manifest document (deterministic: entries pre-sorted)."""
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "comment": (
+            "Shard-safety classification of module-global state reachable "
+            "from the data plane; regenerate with "
+            "`python -m repro.devtools.check --write-manifest`."
+        ),
+        "roots": list(roots),
+        "entries": entries,
+    }
+
+
+def render_manifest(manifest: dict) -> str:
+    """Canonical byte representation (same tree -> byte-identical file)."""
+    return json.dumps(manifest, indent=2, sort_keys=False) + "\n"
+
+
+def check_process_safety(
+    modules: list[SourceModule],
+    table: SymbolTable,
+    graph: CallGraph,
+    root_patterns: tuple[str, ...] = DEFAULT_DATA_PLANE_ROOTS,
+    checked_in: dict | None = None,
+    manifest_rel: str = "tools/shard_safety_manifest.json",
+) -> tuple[list[Finding], dict]:
+    """``(findings, computed manifest)`` over the scanned tree."""
+    roots = expand_roots(table, root_patterns)
+    reachable = graph.reachable(roots)
+
+    # Group the reachable function bodies by defining module.
+    fns_by_module: dict[str, list] = {}
+    for info, _class_context, qualname, fn in iter_functions(table):
+        if qualname in reachable:
+            fns_by_module.setdefault(info.dotted, []).append(fn)
+
+    findings: list[Finding] = []
+    entries: list[dict] = []
+    for dotted in sorted(table.modules):
+        info = table.modules[dotted]
+        module = info.module
+
+        def resolved_ctor(raw: str, _info: ModuleInfo = info) -> str:
+            head, sep, rest = raw.partition(".")
+            target = _info.imports.get(head)
+            if target is None:
+                return raw
+            return f"{target}{sep}{rest}" if rest else target
+
+        candidates = _module_global_candidates(info, resolved_ctor)
+        if not candidates:
+            continue
+        names = {name for name, *_ in candidates}
+        referenced: set[str] = set()
+        mutated: set[str] = set()
+        for fn in fns_by_module.get(dotted, []):
+            referenced |= _names_referenced(fn, names)
+            mutated |= _names_mutated(fn, names)
+        for name, type_qualname, ctor, kind, line in candidates:
+            if name not in referenced:
+                continue
+            if module.allows(RULE, line):
+                continue
+            if kind == "container" and name in mutated:
+                kind = "mutated-container"
+            rule = classify(name, type_qualname, ctor, kind)
+            if rule is None:
+                findings.append(
+                    Finding(
+                        rule=RULE,
+                        path=module.rel_path,
+                        line=line,
+                        message=(
+                            f"module-global mutable {name!r} is reachable from the "
+                            f"data plane but has no shard-safety classification — "
+                            f"worker processes would silently diverge; classify it "
+                            f"in repro.devtools.processsafety or refactor it away"
+                        ),
+                        scope=name,
+                    )
+                )
+                continue
+            classification, merge, reason = rule
+            entries.append(
+                {
+                    "module": dotted,
+                    "name": name,
+                    "type": type_qualname or ctor or kind,
+                    "classification": classification,
+                    "merge": merge,
+                    "reason": reason,
+                    "path": module.rel_path,
+                    "line": line,
+                }
+            )
+
+    entries.sort(key=lambda e: (e["module"], e["name"]))
+    manifest = build_manifest(entries, roots)
+
+    if checked_in is None:
+        if entries:
+            findings.append(
+                Finding(
+                    rule=RULE,
+                    path=manifest_rel,
+                    line=1,
+                    message=(
+                        f"shard-safety manifest is missing but {len(entries)} "
+                        f"classified global(s) exist — generate it with "
+                        f"--write-manifest"
+                    ),
+                    scope="manifest",
+                )
+            )
+    elif checked_in != manifest:
+        findings.append(
+            Finding(
+                rule=RULE,
+                path=manifest_rel,
+                line=1,
+                message=(
+                    "shard-safety manifest is stale (tree and manifest "
+                    "disagree) — regenerate it with --write-manifest"
+                ),
+                scope="manifest",
+            )
+        )
+    return findings, manifest

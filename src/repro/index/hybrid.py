@@ -91,6 +91,17 @@ class VisualRTree:
         self._size = 0
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        """Pickle support for the shard boundary: every field but the
+        (process-local) lock crosses the wire."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def __len__(self) -> int:
         return self._size
 
@@ -201,22 +212,35 @@ class VisualRTree:
                 pruned += 1
                 continue
             if node.leaf:
-                for box, stored, item in node.entries:
-                    if not box.intersects(region):
-                        continue
-                    distance = float(np.linalg.norm(stored - vector))
-                    heapq.heappush(
-                        heap, (distance, next(counter), (box, stored, item), True)
+                kept = [e for e in node.entries if e[0].intersects(region)]
+                if kept:
+                    # One vectorised distance op per visited leaf, not a
+                    # NumPy call per entry.
+                    distances = np.linalg.norm(
+                        np.vstack([e[1] for e in kept]) - vector, axis=1
                     )
+                    for entry, distance in zip(kept, distances):
+                        heapq.heappush(
+                            heap, (float(distance), next(counter), entry, True)
+                        )
             else:
-                for child in node.entries:
-                    if child.box is None or not child.box.intersects(region):
-                        pruned += 1
-                        continue
-                    lower = max(
-                        0.0, float(np.linalg.norm(child.centroid - vector)) - child.radius
+                kept_children = [
+                    c
+                    for c in node.entries
+                    if c.box is not None and c.box.intersects(region)
+                ]
+                pruned += len(node.entries) - len(kept_children)
+                if kept_children:
+                    lowers = np.maximum(
+                        0.0,
+                        np.linalg.norm(
+                            np.vstack([c.centroid for c in kept_children]) - vector,
+                            axis=1,
+                        )
+                        - np.array([c.radius for c in kept_children]),
                     )
-                    heapq.heappush(heap, (lower, next(counter), child, False))
+                    for child, lower in zip(kept_children, lowers):
+                        heapq.heappush(heap, (float(lower), next(counter), child, False))
         _QUERIES.inc()
         _HEAP_POPS.inc(pops)
         _SPATIAL_PRUNED.inc(pruned)
@@ -233,9 +257,15 @@ class VisualRTree:
         while stack:
             node = stack.pop()
             if node.leaf:
-                for box, stored, item in node.entries:
-                    if box.intersects(region):
-                        out.append((item, float(np.linalg.norm(stored - vector))))
+                kept = [e for e in node.entries if e[0].intersects(region)]
+                if kept:
+                    distances = np.linalg.norm(
+                        np.vstack([e[1] for e in kept]) - vector, axis=1
+                    )
+                    out.extend(
+                        (entry[2], float(distance))
+                        for entry, distance in zip(kept, distances)
+                    )
             else:
                 stack.extend(node.entries)
         out.sort(key=lambda pair: (pair[1], str(pair[0])))

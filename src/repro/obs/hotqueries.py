@@ -66,9 +66,12 @@ class HotQueryTracker:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         with self._lock:
+            # Rank by count with the tie broken on the shape string
+            # alone — total_ms is wall-clock noise, so letting it into
+            # the order makes equal-count rankings flap across runs.
             ranked = sorted(
                 self._stats.items(),
-                key=lambda item: (-item[1]["count"], -item[1]["total_ms"], item[0]),
+                key=lambda item: (-item[1]["count"], item[0]),
             )[:k]
         return [
             {

@@ -201,3 +201,51 @@ class TestAnalyzeNodes:
         explain(platform, TemporalQuery(start=0.0), analyze=True)
         shapes = [e["shape"] for e in obs.hot_queries().top()]
         assert "temporal(field=timestamp_capturing,start)" in shapes
+
+
+class TestCostAnnotations:
+    """Static COST_MODEL annotations on plan nodes, cross-checked
+    against the probe counters ANALYZE actually measures."""
+
+    def test_spatial_visual_hybrid_plans_carry_cost(self, populated):
+        platform, records = populated
+        spatial = SpatialQuery(region=BoundingBox(34.0, -118.3, 34.1, -118.2))
+        visual = VisualQuery(
+            extractor_name="color_hsv_20_20_10", example=records[0].image, k=5
+        )
+        for query in (spatial, visual):
+            plan = explain(platform, query)
+            assert plan.cost is not None
+            assert plan.cost["cost"].startswith("O(")
+        hybrid_plan = explain(platform, HybridQuery(queries=(spatial, visual)))
+        assert hybrid_plan.cost is not None
+        for child in hybrid_plan.children:
+            assert child.cost is not None
+
+    def test_dominant_counters_move_under_analyze(self, populated):
+        """The model's claim is checkable: ANALYZE on a spatial query
+        must bump at least one counter the annotation calls dominant."""
+        platform, _ = populated
+        plan = explain(
+            platform,
+            SpatialQuery(region=BoundingBox(34.0, -118.3, 34.1, -118.2)),
+            analyze=True,
+        )
+        dominant = plan.cost["dominant_counters"]
+        assert dominant
+        moved = [
+            name for name in dominant if plan.counter_deltas.get(name, 0) > 0
+        ]
+        assert moved, (
+            f"none of the declared dominant counters {dominant} moved; "
+            f"measured deltas: {plan.counter_deltas}"
+        )
+
+    def test_render_and_dict_include_cost(self, populated):
+        platform, _ = populated
+        plan = explain(
+            platform, SpatialQuery(region=BoundingBox(34.0, -118.3, 34.1, -118.2))
+        )
+        assert "cost:" in plan.render()
+        as_dict = plan.to_dict()
+        assert as_dict["cost"]["dominant_counters"]

@@ -187,3 +187,137 @@ class TestCallGraph:
         reachable = graph.reachable(("pkg.m.a",))
         assert {"pkg.m.a", "pkg.m.b", "pkg.m.c"} <= reachable
         assert "pkg.m.island" not in reachable
+
+
+class TestInferenceBlindSpots:
+    """Decorators, @property accessors, functools.partial, and container
+    element types — the shapes the shard-readiness passes lean on."""
+
+    def test_decorators_recorded_on_symbols(self, build):
+        table, _ = build(
+            {
+                "m.py": """
+                    import functools
+
+                    def wrap(fn):
+                        return fn
+
+                    class Box:
+                        @property
+                        def size(self) -> int:
+                            return 1
+
+                        @functools.cached_property
+                        def heavy(self) -> int:
+                            return 2
+
+                    @wrap
+                    def decorated():
+                        return 3
+                """,
+            }
+        )
+        assert table.symbols["pkg.m.Box.size"].decorators == ("property",)
+        assert table.symbols["pkg.m.Box.size"].is_property
+        assert table.symbols["pkg.m.Box.heavy"].is_property
+        assert table.symbols["pkg.m.decorated"].decorators == ("wrap",)
+        assert not table.symbols["pkg.m.decorated"].is_property
+
+    def test_decorated_function_still_resolves_as_callee(self, build):
+        _, graph = build(
+            {
+                "m.py": """
+                    def wrap(fn):
+                        return fn
+
+                    @wrap
+                    def target():
+                        return 1
+
+                    def caller():
+                        return target()
+                """,
+            }
+        )
+        assert "pkg.m.target" in graph.callees("pkg.m.caller")
+
+    def test_property_return_annotation_chains(self, build):
+        """``self.owner.store.put()`` resolves through an annotated
+        @property accessor, not just plain attribute types."""
+        _, graph = build(
+            {
+                "m.py": """
+                    class Store:
+                        def put(self, item):
+                            return item
+
+                    class Owner:
+                        @property
+                        def store(self) -> Store:
+                            return Store()
+
+                    class User:
+                        def __init__(self):
+                            self.owner = Owner()
+
+                        def go(self):
+                            self.owner.store.put(1)
+                """,
+            }
+        )
+        assert "pkg.m.Store.put" in graph.callees("pkg.m.User.go")
+
+    def test_functools_partial_adds_edge(self, build):
+        _, graph = build(
+            {
+                "m.py": """
+                    import functools
+
+                    def worker(tag, item):
+                        return (tag, item)
+
+                    def bind():
+                        return functools.partial(worker, "hot")
+                """,
+            }
+        )
+        assert "pkg.m.worker" in graph.callees("pkg.m.bind")
+
+    def test_bare_partial_import_adds_edge(self, build):
+        _, graph = build(
+            {
+                "m.py": """
+                    from functools import partial
+
+                    def worker(item):
+                        return item
+
+                    def bind():
+                        return partial(worker)
+                """,
+            }
+        )
+        assert "pkg.m.worker" in graph.callees("pkg.m.bind")
+
+    def test_container_element_annotation_types_subscript_reads(self, build):
+        """``self._lsh: dict[str, LSH]`` makes ``self._lsh[k].query()``
+        resolve — the platform's per-extractor index maps."""
+        table, graph = build(
+            {
+                "m.py": """
+                    class LSH:
+                        def query(self, v):
+                            return v
+
+                    class Platform:
+                        def __init__(self):
+                            self._lsh: dict[str, LSH] = {}
+
+                        def run(self, name, v):
+                            index = self._lsh[name]
+                            return index.query(v)
+                """,
+            }
+        )
+        assert table.attr_elem_types["pkg.m.Platform"]["_lsh"] == "pkg.m.LSH"
+        assert "pkg.m.LSH.query" in graph.callees("pkg.m.Platform.run")

@@ -62,6 +62,24 @@ SEEDED = {
         "def handle():\n"
         "    raise RuntimeError('boom')\n"
     ),
+    "index/pickled.py": (  # picklability: lock with no getstate/setstate
+        "import threading\n"
+        "\n"
+        "class Sharded:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+    ),
+    "core/platform.py": (  # process-safety: unclassified mutated global;
+        "_STATS = {}\n"  # hot-path: sorted() inside a data-plane loop
+        "\n"
+        "class TVDP:\n"
+        "    def execute(self, query):\n"
+        "        _STATS[query.name] = 1\n"
+        "        out = []\n"
+        "        for group in query.groups:\n"
+        "            out.extend(sorted(group))\n"
+        "        return out\n"
+    ),
     # dead-code fires on the unreferenced public defs above (put, Index,
     # risky, poll, ...) without extra seeding.
 }
@@ -152,6 +170,96 @@ class TestCli:
         )
         assert rc == 2
         assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_passes(self, capsys):
+        from repro.devtools.check import PASSES
+
+        assert main(["--list-passes"]) == 0
+        out = capsys.readouterr().out
+        for name in PASSES:
+            assert f"{name}:" in out
+        assert "picklability" in out
+
+    def test_only_selects_pass_rules(self, seeded_tree, tmp_path, capsys):
+        root, _, _ = seeded_tree
+        rc = main(
+            [
+                "--root", str(root), "--repo-root", str(tmp_path),
+                "--no-baseline", "--only", "picklability", "--json",
+            ]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        fired = {f["rule"] for f in report["new_findings"]}
+        assert fired == {"picklability"}
+
+    def test_unknown_only_exits_two(self, seeded_tree, tmp_path, capsys):
+        root, _, _ = seeded_tree
+        rc = main(
+            ["--root", str(root), "--repo-root", str(tmp_path), "--only", "bogus"]
+        )
+        assert rc == 2
+        assert "unknown pass" in capsys.readouterr().err
+
+    def test_sarif_report(self, seeded_tree, tmp_path, capsys):
+        root, _, _ = seeded_tree
+        sarif_path = tmp_path / "out.sarif"
+        main(
+            [
+                "--root", str(root), "--repo-root", str(tmp_path),
+                "--no-baseline", "--sarif", str(sarif_path),
+            ]
+        )
+        capsys.readouterr()
+        document = json.loads(sarif_path.read_text())
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.devtools.check"
+        assert run["results"]
+        sample = run["results"][0]
+        assert {"ruleId", "message", "locations", "partialFingerprints"} <= set(sample)
+
+    def test_github_annotations(self, seeded_tree, tmp_path, capsys):
+        root, _, _ = seeded_tree
+        main(
+            [
+                "--root", str(root), "--repo-root", str(tmp_path),
+                "--no-baseline", "--github-annotations",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+
+    def test_write_manifest(self, make_package, tmp_path, capsys):
+        root, _ = make_package(
+            {
+                "core/platform.py": (
+                    "import threading\n"
+                    "\n"
+                    "_PLANNER_LOCK = threading.Lock()\n"
+                    "\n"
+                    "class TVDP:\n"
+                    "    def execute(self, query):\n"
+                    "        with _PLANNER_LOCK:\n"
+                    "            return []\n"
+                ),
+            }
+        )
+        args = ["--root", str(root), "--repo-root", str(tmp_path)]
+        manifest_file = tmp_path / "tools" / "shard_safety_manifest.json"
+        manifest_file.parent.mkdir()
+
+        # Without the manifest the pass gates; --write-manifest heals it.
+        rc = main([*args, "--no-baseline", "--only", "process-safety"])
+        assert rc == 1
+        capsys.readouterr()
+        assert main([*args, "--write-manifest"]) == 0
+        assert "wrote 1 classification(s)" in capsys.readouterr().out
+        document = json.loads(manifest_file.read_text())
+        assert document["schema"] == 1
+        (entry,) = document["entries"]
+        assert entry["name"] == "_PLANNER_LOCK"
+        assert main([*args, "--no-baseline", "--only", "process-safety"]) == 0
 
 
 def test_shipped_tree_is_clean(capsys):

@@ -1,0 +1,212 @@
+"""Picklability pass: unpicklable state on the shard-boundary closure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.callgraph import build_symbol_table
+from repro.devtools.picklability import check_picklability
+
+
+@pytest.fixture
+def run(make_package):
+    def _run(files, root_globs=("*/index/*.py",)):
+        root, modules = make_package(files)
+        table = build_symbol_table(modules, root)
+        return check_picklability(modules, table, root_globs=root_globs)
+
+    return _run
+
+
+LOCKED_INDEX = """
+    import threading
+
+    class Tree:
+        def __init__(self):
+            self._items = []
+            self._lock = threading.Lock()
+"""
+
+
+def test_lock_attribute_flagged(run):
+    findings = run({"index/tree.py": LOCKED_INDEX})
+    assert len(findings) == 1
+    assert "threading lock" in findings[0].message
+    assert "self._lock" in findings[0].message
+    assert "__getstate__" in findings[0].message
+
+
+def test_getstate_setstate_pair_clears(run):
+    findings = run(
+        {
+            "index/tree.py": """
+    import threading
+
+    class Tree:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def __getstate__(self):
+            state = self.__dict__.copy()
+            del state["_lock"]
+            return state
+
+        def __setstate__(self, state):
+            self.__dict__.update(state)
+            self._lock = threading.Lock()
+"""
+        }
+    )
+    assert findings == []
+
+
+def test_half_a_pair_is_a_finding(run):
+    findings = run(
+        {
+            "index/tree.py": """
+    import threading
+
+    class Tree:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def __getstate__(self):
+            return dict(self.__dict__)
+"""
+        }
+    )
+    assert len(findings) == 1
+    assert "without __setstate__" in findings[0].message
+
+
+def test_from_import_alias_resolved(run):
+    findings = run(
+        {
+            "index/tree.py": """
+    from threading import RLock
+
+    class Tree:
+        def __init__(self):
+            self._lock = RLock()
+"""
+        }
+    )
+    assert len(findings) == 1
+    assert "reentrant lock" in findings[0].message
+
+
+def test_open_file_and_lambda_flagged(run):
+    findings = run(
+        {
+            "index/tree.py": """
+    class Tree:
+        def __init__(self, path):
+            self._fh = open(path)
+            self._key = lambda x: x
+"""
+        }
+    )
+    descriptions = sorted(f.message.split(" holds ")[1].split(" in ")[0] for f in findings)
+    assert descriptions == ["a lambda", "an open file handle"]
+
+
+def test_closure_and_generator_flagged(run):
+    findings = run(
+        {
+            "index/tree.py": """
+    class Tree:
+        def __init__(self):
+            def helper():
+                return 1
+            def gen():
+                yield 1
+            self._fn = helper
+            self._stream = gen()
+"""
+        }
+    )
+    descriptions = {f.message.split(" holds ")[1].split(" in ")[0] for f in findings}
+    assert descriptions == {"a closure (nested def)", "a generator"}
+
+
+def test_closure_follows_held_attribute_types(run):
+    # The lock lives on a class *outside* the root globs; the root holds
+    # an instance of it, so the closure must pull it in and say why.
+    findings = run(
+        {
+            "index/tree.py": """
+    from pkg.store import Store
+
+    class Tree:
+        def __init__(self):
+            self._store = Store()
+""",
+            "store.py": """
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+""",
+        }
+    )
+    assert len(findings) == 1
+    assert findings[0].path.endswith("store.py")
+    assert "reachable from shard root pkg.index.tree.Tree" in findings[0].message
+
+
+def test_annotated_parameter_assign_follows(run):
+    findings = run(
+        {
+            "index/tree.py": """
+    from pkg.store import Store
+
+    class Tree:
+        def __init__(self, store: Store):
+            self._store = store
+""",
+            "store.py": """
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+""",
+        }
+    )
+    assert len(findings) == 1
+    assert findings[0].path.endswith("store.py")
+
+
+def test_outside_roots_not_scanned(run):
+    findings = run({"other/tree.py": LOCKED_INDEX})
+    assert findings == []
+
+
+def test_allow_comment_suppresses(run):
+    findings = run(
+        {
+            "index/tree.py": """
+    import threading
+
+    class Tree:
+        def __init__(self):
+            # devtools: allow[picklability] debug-only, never shipped
+            self._lock = threading.Lock()
+"""
+        }
+    )
+    assert findings == []
+
+
+def test_real_tree_is_clean():
+    # The shipped indexes all carry __getstate__/__setstate__ pairs; the
+    # runtime companion tools/pickle_audit.py proves they work.
+    from pathlib import Path
+
+    from repro.devtools.findings import collect_modules
+
+    src_root = Path(__file__).resolve().parents[2] / "src" / "repro"
+    modules = collect_modules(src_root, repo_root=src_root.parents[1])
+    table = build_symbol_table(modules, src_root)
+    assert check_picklability(modules, table) == []

@@ -1,0 +1,229 @@
+"""Process-safety pass: classify data-plane module globals for scale-out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.callgraph import build_call_graph, build_symbol_table
+from repro.devtools.processsafety import (
+    check_process_safety,
+    classify,
+    render_manifest,
+)
+
+PLATFORM = """
+    from pkg.core.runner import run_family
+
+    class TVDP:
+        def execute(self, query):
+            return run_family(query)
+"""
+
+
+@pytest.fixture
+def run(make_package):
+    def _run(files, checked_in=None):
+        root, modules = make_package(files)
+        table = build_symbol_table(modules, root)
+        graph = build_call_graph(table)
+        return check_process_safety(modules, table, graph, checked_in=checked_in)
+
+    return _run
+
+
+def test_unclassified_global_is_unsafe_finding(run):
+    findings, manifest = run(
+        {
+            "core/platform.py": PLATFORM,
+            "core/runner.py": """
+    _CACHE = {}
+
+    def run_family(query):
+        _CACHE[query] = 1
+        return _CACHE
+""",
+        }
+    )
+    assert len(findings) == 1
+    assert "no shard-safety classification" in findings[0].message
+    assert findings[0].scope == "_CACHE"
+    assert manifest["entries"] == []
+
+
+def test_counter_classified_as_merge_sum(run):
+    findings, manifest = run(
+        {
+            "core/platform.py": PLATFORM,
+            "core/runner.py": """
+    from pkg.obs.metrics import Counter
+
+    _QUERIES = Counter("queries")
+
+    def run_family(query):
+        _QUERIES.inc()
+        return []
+""",
+            "obs/metrics.py": """
+    class Counter:
+        def __init__(self, name):
+            self.name = name
+            self.value = 0
+
+        def inc(self):
+            self.value += 1
+""",
+        },
+        checked_in=None,
+    )
+    # The classified entry makes the *missing manifest* the only finding.
+    assert [f.scope for f in findings] == ["manifest"]
+    assert "missing" in findings[0].message
+    (entry,) = manifest["entries"]
+    assert entry["name"] == "_QUERIES"
+    assert entry["classification"] == "must-merge-at-coordinator"
+    assert entry["merge"] == "sum"
+
+
+def test_checked_in_manifest_matching_is_clean(run):
+    files = {
+        "core/platform.py": PLATFORM,
+        "core/runner.py": """
+    import threading
+
+    _RUNNER_LOCK = threading.Lock()
+
+    def run_family(query):
+        with _RUNNER_LOCK:
+            return []
+""",
+    }
+    _, manifest = run(files)
+    findings, _ = run(files, checked_in=manifest)
+    assert findings == []
+    (entry,) = manifest["entries"]
+    assert entry["classification"] == "worker-local-ok"
+
+
+def test_stale_manifest_is_a_finding(run):
+    files = {
+        "core/platform.py": PLATFORM,
+        "core/runner.py": """
+    import threading
+
+    _RUNNER_LOCK = threading.Lock()
+
+    def run_family(query):
+        with _RUNNER_LOCK:
+            return []
+""",
+    }
+    _, manifest = run(files)
+    stale = dict(manifest, entries=[])
+    findings, _ = run(files, checked_in=stale)
+    assert len(findings) == 1
+    assert "stale" in findings[0].message
+
+
+def test_unreferenced_global_not_in_manifest(run):
+    _, manifest = run(
+        {
+            "core/platform.py": PLATFORM,
+            "core/runner.py": """
+    import threading
+
+    _UNTOUCHED = threading.Lock()
+
+    def run_family(query):
+        return []
+""",
+        }
+    )
+    assert manifest["entries"] == []
+
+
+def test_upper_case_container_is_worker_local(run):
+    findings, manifest = run(
+        {
+            "core/platform.py": PLATFORM,
+            "core/runner.py": """
+    _FAMILIES = {"spatial": 1}
+
+    def run_family(query):
+        return _FAMILIES[query]
+""",
+        },
+        checked_in=None,
+    )
+    assert [f.scope for f in findings] == ["manifest"]
+    (entry,) = manifest["entries"]
+    assert entry["classification"] == "worker-local-ok"
+    assert "read-only constant" in entry["reason"]
+
+
+def test_allow_comment_excludes_from_manifest(run):
+    findings, manifest = run(
+        {
+            "core/platform.py": PLATFORM,
+            "core/runner.py": """
+    # devtools: allow[process-safety] scratch state, rebuilt per request
+    _SCRATCH = {}
+
+    def run_family(query):
+        _SCRATCH[query] = 1
+        return []
+""",
+        }
+    )
+    assert findings == []
+    assert manifest["entries"] == []
+
+
+def test_classify_rules():
+    assert classify("_lock", None, "threading.RLock", "object")[0] == "worker-local-ok"
+    assert classify("_log", None, "logging.getLogger", "object")[0] == "worker-local-ok"
+    counter = classify("_hits", "pkg.obs.metrics.Counter", "", "object")
+    assert counter == (
+        "must-merge-at-coordinator",
+        "sum",
+        "monotone counter — the coordinator sums worker deltas",
+    )
+    assert classify("_cache", None, "", "container") is None
+
+
+def test_render_manifest_is_deterministic(run):
+    files = {
+        "core/platform.py": PLATFORM,
+        "core/runner.py": """
+    import threading
+
+    _RUNNER_LOCK = threading.Lock()
+
+    def run_family(query):
+        with _RUNNER_LOCK:
+            return []
+""",
+    }
+    _, first = run(files)
+    _, second = run(files)
+    assert render_manifest(first) == render_manifest(second)
+    assert render_manifest(first).endswith("\n")
+
+
+def test_real_manifest_matches_tree():
+    # The checked-in manifest must be exactly what the tree computes.
+    import json
+    from pathlib import Path
+
+    from repro.devtools.findings import collect_modules
+
+    repo = Path(__file__).resolve().parents[2]
+    src_root = repo / "src" / "repro"
+    modules = collect_modules(src_root, repo_root=repo)
+    table = build_symbol_table(modules, src_root)
+    graph = build_call_graph(table)
+    checked_in = json.loads((repo / "tools" / "shard_safety_manifest.json").read_text())
+    findings, manifest = check_process_safety(modules, table, graph, checked_in=checked_in)
+    assert findings == []
+    assert render_manifest(manifest) == (
+        repo / "tools" / "shard_safety_manifest.json"
+    ).read_text()

@@ -28,7 +28,7 @@ class TestRecordAndTop:
         assert entry["max_ms"] == 30.0
         assert entry["last_ms"] == 30.0
 
-    def test_ranked_by_count_then_total_time(self):
+    def test_ranked_by_count_then_shape(self):
         tracker = HotQueryTracker()
         for _ in range(5):
             tracker.record("frequent", 1.0)
@@ -36,8 +36,9 @@ class TestRecordAndTop:
             tracker.record("slow", 100.0)
         for _ in range(3):
             tracker.record("fast", 1.0)
+        # Equal counts order by shape string, never by measured latency.
         shapes = [e["shape"] for e in tracker.top(3)]
-        assert shapes == ["frequent", "slow", "fast"]
+        assert shapes == ["frequent", "fast", "slow"]
 
     def test_tie_break_is_deterministic_on_shape(self):
         tracker = HotQueryTracker()
@@ -102,3 +103,26 @@ class TestThreadSafety:
         for thread in threads:
             thread.join()
         assert sum(e["count"] for e in tracker.top(10)) == n_threads * per_thread
+
+
+class TestDeterministicRanking:
+    def test_equal_counts_rank_by_shape_not_latency(self):
+        """total_ms is wall-clock noise; two shapes with the same count
+        must order by shape string no matter which was slower."""
+        tracker = HotQueryTracker(capacity=8)
+        tracker.record("zeta(k=1)", 500.0)   # slow
+        tracker.record("alpha(k=1)", 0.1)    # fast
+        tracker.record("mid(k=1)", 100.0)
+        shapes = [e["shape"] for e in tracker.top(3)]
+        assert shapes == ["alpha(k=1)", "mid(k=1)", "zeta(k=1)"]
+
+    def test_ranking_invariant_under_latency_jitter(self):
+        def run(jitter: float) -> list[str]:
+            tracker = HotQueryTracker(capacity=8)
+            for shape in ("b(k=1)", "a(k=1)", "c(k=1)"):
+                tracker.record(shape, jitter)
+                tracker.record(shape, jitter * 2)
+            tracker.record("a(k=1)", jitter)  # a is genuinely hotter
+            return [e["shape"] for e in tracker.top(3)]
+
+        assert run(1.0) == run(997.0) == ["a(k=1)", "b(k=1)", "c(k=1)"]

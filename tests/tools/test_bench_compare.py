@@ -307,3 +307,35 @@ class TestLoadGating:
         assert load["smoke"] is True
         assert load["stages"], "baseline load section must have stages"
         assert all(stage["errors"] == 0 for stage in load["stages"])
+
+
+class TestMissingBenchesSection:
+    def test_candidate_without_benches_gates_cleanly(self):
+        """A load-only candidate document is a coverage failure, not a
+        KeyError traceback."""
+        current = {k: v for k, v in BASELINE.items() if k != "benches"}
+        regressions = bench_compare.compare(BASELINE, current)
+        kinds = [r["kind"] for r in regressions]
+        assert kinds[0] == "section-missing"
+        assert set(kinds[1:]) == {"missing"}
+        line = bench_compare.format_regression(regressions[0])
+        assert "SECTION-MISSING" in line
+        assert "benches" in line
+
+    def test_cli_exits_one_with_clear_message(self, tmp_path, capsys):
+        base_path = tmp_path / "base.json"
+        cur_path = tmp_path / "cur.json"
+        base = with_load(BASELINE, load_section())
+        current = {k: v for k, v in base.items() if k not in ("benches", "load")}
+        base_path.write_text(json.dumps(base))
+        cur_path.write_text(json.dumps(current))
+        rc = bench_compare.main([str(base_path), str(cur_path), "--skip-wall"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "SECTION-MISSING" in out
+        assert "LOAD-MISSING" in out
+        assert "Traceback" not in out
+
+    def test_both_sections_missing_everywhere_is_clean(self):
+        bare = {"schema_version": 1, "git_sha": "abc", "smoke": True}
+        assert bench_compare.compare(bare, bare) == []

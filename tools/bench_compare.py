@@ -74,8 +74,12 @@ def compare(
     ``current`` / ``ratio``.
     """
     regressions: list[dict] = []
-    base_benches = baseline["benches"]
-    cur_benches = current["benches"]
+    base_benches = baseline.get("benches", {})
+    cur_benches = current.get("benches", {})
+    if "benches" in baseline and "benches" not in current:
+        # A candidate without the section at all (e.g. a load-only
+        # document) is a coverage failure, not a crash.
+        regressions.append({"kind": "section-missing", "bench": "benches"})
     for bench in sorted(set(base_benches) - set(cur_benches)):
         regressions.append({"kind": "missing", "bench": bench})
     for bench in sorted(set(base_benches) & set(cur_benches)):
@@ -197,6 +201,11 @@ def format_regression(regression: dict) -> str:
     kind = regression["kind"]
     if kind == "missing":
         return f"MISSING  {regression['bench']} (in baseline, not in current run)"
+    if kind == "section-missing":
+        return (
+            f"SECTION-MISSING  {regression['bench']} section in baseline, "
+            f"not in current run"
+        )
     if kind == "load-missing":
         return "LOAD-MISSING  load section in baseline, not in current run"
     if kind == "load-schedule":
@@ -259,8 +268,8 @@ def main(argv: list[str] | None = None) -> int:
         counter_tolerance=args.counter_tolerance,
         skip_wall=args.skip_wall,
     )
-    shared = len(set(baseline["benches"]) & set(current["benches"]))
-    new = sorted(set(current["benches"]) - set(baseline["benches"]))
+    shared = len(set(baseline.get("benches", {})) & set(current.get("benches", {})))
+    new = sorted(set(current.get("benches", {})) - set(baseline.get("benches", {})))
     print(
         f"compared {shared} benches "
         f"({baseline.get('git_sha')} -> {current.get('git_sha')}, "

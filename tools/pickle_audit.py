@@ -1,0 +1,328 @@
+#!/usr/bin/env python3
+"""Runtime pickle audit: round-trip every shard-boundary structure.
+
+The static ``picklability`` pass (``repro.devtools.picklability``)
+proves the *absence* of known-unpicklable state reachable from the
+shard roots; this harness proves the *presence* of working pickle
+support at runtime.  Every index family, the classification catalog's
+record tables, and every query-spec dataclass is:
+
+1. built with a seeded workload,
+2. round-tripped through ``pickle.dumps``/``pickle.loads``, and
+3. compared **structurally** — the clone must answer the same probe
+   queries with the same results (NumPy arrays compared with
+   ``np.array_equal``, floats exactly: the round trip must be
+   bit-preserving, not merely approximate), and its recreated lock
+   must actually be acquirable.
+
+Usage::
+
+    PYTHONPATH=src python tools/pickle_audit.py [-v]
+
+Exits 0 when every audit passes, 1 otherwise.  CI runs this in the
+sanitize job so a future ``__slots__`` addition or un-deletable field
+cannot silently break the shard boundary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import pickle
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.catalog import ClassificationCatalog  # noqa: E402
+from repro.core.queries import (  # noqa: E402
+    CategoricalQuery,
+    HybridQuery,
+    SpatialQuery,
+    TemporalQuery,
+    TextualQuery,
+    VisualQuery,
+    query_shape,
+)
+from repro.db.database import Database  # noqa: E402
+from repro.geo.fov import FieldOfView  # noqa: E402
+from repro.geo.point import BoundingBox, GeoPoint  # noqa: E402
+from repro.index.grid import GridIndex  # noqa: E402
+from repro.index.hybrid import VisualRTree  # noqa: E402
+from repro.index.inverted import InvertedIndex  # noqa: E402
+from repro.index.lsh import LSHIndex  # noqa: E402
+from repro.index.oriented_rtree import OrientedRTree  # noqa: E402
+from repro.index.rtree import RTree  # noqa: E402
+
+SEED = 20260808
+N_ITEMS = 64
+DIM = 8
+
+REGION = BoundingBox(34.0, -118.3, 34.1, -118.2)
+PROBE_BOX = BoundingBox(34.02, -118.28, 34.06, -118.24)
+
+
+def structurally_equal(a: object, b: object) -> bool:
+    """Deep equality that treats NumPy arrays by value, not identity
+    (and never trips dataclass ``__eq__`` on ndarray fields)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.shape == b.shape
+            and np.array_equal(a, b)
+        )
+    if isinstance(a, (list, tuple)):
+        return (
+            type(a) is type(b)
+            and len(a) == len(b)
+            and all(structurally_equal(x, y) for x, y in zip(a, b))
+        )
+    if isinstance(a, dict):
+        return (
+            isinstance(b, dict)
+            and a.keys() == b.keys()
+            and all(structurally_equal(v, b[k]) for k, v in a.items())
+        )
+    if dataclasses.is_dataclass(a) and not isinstance(a, type):
+        # Field-wise, because an ndarray field makes dataclass __eq__
+        # raise ("truth value of an array is ambiguous").
+        return type(a) is type(b) and all(
+            structurally_equal(getattr(a, f.name), getattr(b, f.name))
+            for f in dataclasses.fields(a)
+        )
+    return type(a) is type(b) and a == b
+
+
+def _lock_works(index: object) -> bool:
+    """The recreated ``_lock`` must be a real, acquirable lock."""
+    lock = getattr(index, "_lock", None)
+    if lock is None:
+        return False
+    if not lock.acquire(blocking=False):
+        return False
+    lock.release()
+    return True
+
+
+class Audit:
+    def __init__(self, verbose: bool) -> None:
+        self.verbose = verbose
+        self.failures: list[str] = []
+        self.passed = 0
+
+    def check(self, name: str, ok: bool, detail: str = "") -> None:
+        if ok:
+            self.passed += 1
+            if self.verbose:
+                print(f"  ok: {name}")
+        else:
+            self.failures.append(f"{name}: {detail or 'mismatch'}")
+            print(f"  FAIL: {name}: {detail or 'mismatch'}", file=sys.stderr)
+
+    def roundtrip_index(self, name: str, index: object, probes: dict) -> None:
+        """Round-trip ``index`` and compare every probe's answer."""
+        before = {key: probe(index) for key, probe in probes.items()}
+        clone = pickle.loads(pickle.dumps(index))
+        self.check(f"{name}: lock recreated", _lock_works(clone))
+        self.check(
+            f"{name}: lock not shared",
+            getattr(clone, "_lock", None) is not getattr(index, "_lock", object()),
+        )
+        self.check(f"{name}: size preserved", len(clone) == len(index))
+        for key, probe in probes.items():
+            after = probe(clone)
+            self.check(
+                f"{name}: {key}",
+                structurally_equal(before[key], after),
+                f"before={before[key]!r} after={after!r}",
+            )
+
+
+def _points(rng: np.random.Generator, n: int) -> list[GeoPoint]:
+    lats = rng.uniform(REGION.min_lat, REGION.max_lat, n)
+    lngs = rng.uniform(REGION.min_lng, REGION.max_lng, n)
+    return [GeoPoint(float(lat), float(lng)) for lat, lng in zip(lats, lngs)]
+
+
+def audit_indexes(audit: Audit) -> None:
+    rng = np.random.default_rng(SEED)
+    points = _points(rng, N_ITEMS)
+    vectors = rng.normal(0.0, 1.0, (N_ITEMS, DIM))
+    probe_vector = rng.normal(0.0, 1.0, DIM)
+
+    rtree = RTree()
+    for i, point in enumerate(points):
+        rtree.insert_point(f"img-{i}", point)
+    audit.roundtrip_index(
+        "RTree",
+        rtree,
+        {
+            "search_range": lambda ix: sorted(ix.search_range(PROBE_BOX), key=str),
+            "search_knn": lambda ix: ix.search_knn(points[0], 5),
+            "height": lambda ix: ix.height(),
+        },
+    )
+
+    oriented = OrientedRTree()
+    for i, point in enumerate(points):
+        fov = FieldOfView(point, float((i * 37) % 360), 60.0, 200.0)
+        oriented.insert(f"img-{i}", fov)
+    audit.roundtrip_index(
+        "OrientedRTree",
+        oriented,
+        {
+            "search_range": lambda ix: sorted(
+                ix.search_range(PROBE_BOX, direction_deg=0.0), key=str
+            ),
+            "search_point": lambda ix: sorted(
+                ix.search_point(points[3].lat, points[3].lng), key=str
+            ),
+            "fov_of": lambda ix: ix.fov_of("img-7"),
+        },
+    )
+
+    lsh = LSHIndex(dimension=DIM, seed=SEED)
+    for i in range(N_ITEMS):
+        lsh.insert(f"img-{i}", vectors[i])
+    audit.roundtrip_index(
+        "LSHIndex",
+        lsh,
+        {
+            "query_topk": lambda ix: ix.query_topk(probe_vector, 5),
+            "linear_topk": lambda ix: ix.linear_topk(probe_vector, 5),
+            "query_radius": lambda ix: sorted(
+                ix.query_radius(probe_vector, 4.0), key=str
+            ),
+        },
+    )
+
+    inverted = InvertedIndex()
+    words = ["pothole", "graffiti", "sidewalk", "crosswalk", "lamp", "overflow"]
+    for i in range(N_ITEMS):
+        text = " ".join(words[(i + j) % len(words)] for j in range(3))
+        inverted.add(f"img-{i}", text)
+    audit.roundtrip_index(
+        "InvertedIndex",
+        inverted,
+        {
+            "search_any": lambda ix: ix.search_any("pothole sidewalk"),
+            "search_all": lambda ix: ix.search_all("graffiti lamp"),
+            "vocabulary": lambda ix: ix.vocabulary(),
+        },
+    )
+
+    grid = GridIndex(REGION)
+    for i, point in enumerate(points):
+        grid.insert(f"img-{i}", point)
+    audit.roundtrip_index(
+        "GridIndex",
+        grid,
+        {
+            "search_range": lambda ix: sorted(ix.search_range(PROBE_BOX), key=str),
+            "cell_counts": lambda ix: ix.cell_counts(),
+        },
+    )
+
+    hybrid = VisualRTree(dimension=DIM)
+    for i, point in enumerate(points):
+        hybrid.insert(f"img-{i}", point, vectors[i])
+    audit.roundtrip_index(
+        "VisualRTree",
+        hybrid,
+        {
+            "spatial_visual_knn": lambda ix: ix.spatial_visual_knn(
+                PROBE_BOX, probe_vector, 5
+            ),
+            "linear_knn": lambda ix: ix.linear_spatial_visual_knn(
+                PROBE_BOX, probe_vector, 5
+            ),
+        },
+    )
+
+
+def audit_catalog(audit: Audit) -> None:
+    """Catalog records cross the shard boundary as plain rows; both the
+    row dicts and the whole backing tables must survive the trip."""
+    db = Database.tvdp()
+    catalog = ClassificationCatalog(db)
+    catalog.define(
+        "street_cleanliness", ["clean", "moderate", "dirty"], description="ref [1]"
+    )
+    catalog.define("road_damage", ["pothole", "crack", "none"])
+
+    for table_name in (
+        "image_content_classification",
+        "image_content_classification_types",
+    ):
+        rows = db.table(table_name).all_rows()
+        clone_rows = pickle.loads(pickle.dumps(rows))
+        audit.check(
+            f"catalog rows: {table_name}",
+            structurally_equal(rows, clone_rows),
+        )
+
+    clone_db = pickle.loads(pickle.dumps(db))
+    clone_catalog = ClassificationCatalog(clone_db)
+    audit.check(
+        "catalog: names preserved", clone_catalog.names() == catalog.names()
+    )
+    audit.check(
+        "catalog: labels preserved",
+        clone_catalog.labels("street_cleanliness")
+        == catalog.labels("street_cleanliness"),
+    )
+    audit.check(
+        "catalog: type ids preserved",
+        clone_catalog.type_id("road_damage", "pothole")
+        == catalog.type_id("road_damage", "pothole"),
+    )
+
+
+def audit_queries(audit: Audit) -> None:
+    """Query specs are the wire format coordinator -> worker; every
+    family must round-trip with its shape (and ndarray payload) intact."""
+    rng = np.random.default_rng(SEED)
+    spatial = SpatialQuery(region=REGION, mode="scene", direction_deg=90.0)
+    visual = VisualQuery("hsv", vector=rng.normal(0.0, 1.0, DIM), k=5)
+    specs = [
+        spatial,
+        visual,
+        CategoricalQuery("street_cleanliness", ("dirty",), min_confidence=0.5),
+        TextualQuery("pothole sidewalk", match="any"),
+        TemporalQuery(start=100.0, end=200.0),
+        HybridQuery(queries=(spatial, visual)),
+    ]
+    for spec in specs:
+        clone = pickle.loads(pickle.dumps(spec))
+        name = type(spec).__name__
+        audit.check(f"{name}: shape preserved", query_shape(clone) == query_shape(spec))
+        for field_name, value in vars(spec).items():
+            audit.check(
+                f"{name}: field {field_name}",
+                structurally_equal(value, getattr(clone, field_name)),
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-v", "--verbose", action="store_true")
+    options = parser.parse_args(argv)
+
+    audit = Audit(options.verbose)
+    audit_indexes(audit)
+    audit_catalog(audit)
+    audit_queries(audit)
+
+    total = audit.passed + len(audit.failures)
+    if audit.failures:
+        print(f"pickle audit: {len(audit.failures)}/{total} check(s) FAILED")
+        return 1
+    print(f"pickle audit: OK — {total} check(s) across indexes, catalog, queries")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
