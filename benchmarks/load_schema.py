@@ -10,7 +10,8 @@ directory imports this without the platform installed.
 from __future__ import annotations
 
 #: Bump when the load-section layout changes incompatibly.
-LOAD_SCHEMA_VERSION = 1
+#: v2: added ``principals`` (multi-tenant worker-cohort key mix).
+LOAD_SCHEMA_VERSION = 2
 
 _TOP_KEYS = {
     "schema_version": int,
@@ -18,6 +19,7 @@ _TOP_KEYS = {
     "smoke": bool,
     "zipf_s": float,
     "requests_per_worker": int,
+    "principals": dict,
     "families": dict,
     "stages": list,
     "hot_queries": list,
@@ -96,4 +98,18 @@ def validate_load_section(load: object) -> list[str]:
         for family, count in families.items():
             if not isinstance(count, int) or isinstance(count, bool):
                 problems.append(f"load.families.{family}: expected int count")
+    principals = load.get("principals")
+    if isinstance(principals, dict):
+        count = principals.get("count")
+        if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+            problems.append("load.principals.count: expected positive int")
+        mix = principals.get("mix")
+        if not isinstance(mix, dict) or not mix:
+            problems.append("load.principals.mix: expected non-empty dict")
+        else:
+            for label, requests in mix.items():
+                if not isinstance(requests, int) or isinstance(requests, bool):
+                    problems.append(
+                        f"load.principals.mix.{label}: expected int request count"
+                    )
     return problems

@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass
 
 from repro import TVDP, obs
+from repro.api.auth import principal_label
 from repro.api.http import Request
 from repro.api.service import TVDPService
 from repro.datasets import generate_lasan_dataset
@@ -56,6 +57,10 @@ class LoadConfig:
     zipf_s: float = 1.1
     n_per_class: int = 12
     image_size: int = 32
+    #: Distinct API keys the workers share round-robin (worker cohort
+    #: ``w`` presents key ``w % principals``), so resource accounting
+    #: sees a multi-tenant mix rather than one anonymous blob.
+    principals: int = 3
 
     @classmethod
     def for_mode(cls, smoke: bool, seed: int = 0) -> "LoadConfig":
@@ -68,6 +73,7 @@ class LoadConfig:
                 requests_per_worker=12,
                 n_per_class=6,
                 image_size=24,
+                principals=2,
             )
         return cls(seed=seed, smoke=False)
 
@@ -89,8 +95,11 @@ class CorpusProfile:
     vectors: tuple[tuple[float, ...], ...]
 
 
-def build_corpus(config: LoadConfig) -> tuple[TVDPService, str, CorpusProfile]:
-    """A populated platform + service + issued API key + profile."""
+def build_corpus(
+    config: LoadConfig,
+) -> tuple[TVDPService, tuple[str, ...], CorpusProfile]:
+    """A populated platform + service + one issued API key per
+    configured principal + profile."""
     platform = TVDP()
     platform.register_extractor(ColorHistogramExtractor())
     platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
@@ -115,8 +124,10 @@ def build_corpus(config: LoadConfig) -> tuple[TVDPService, str, CorpusProfile]:
     vectors = platform.extract_features(EXTRACTOR_NAME)
 
     service = TVDPService(platform, deterministic_keys=True)
-    user_id = platform.add_user("loadgen", "benchmark")
-    api_key = service.keys.issue(user_id)
+    api_keys = tuple(
+        service.keys.issue(platform.add_user(f"loadgen-{i}", "benchmark"))
+        for i in range(max(1, config.principals))
+    )
 
     lats = [r.fov.camera.lat for r in records]
     lngs = [r.fov.camera.lng for r in records]
@@ -135,7 +146,7 @@ def build_corpus(config: LoadConfig) -> tuple[TVDPService, str, CorpusProfile]:
             tuple(round(float(v), 6) for v in vectors[i]) for i in sample_ids
         ),
     )
-    return service, api_key, profile
+    return service, api_keys, profile
 
 
 # -- schedule construction (pure, seeded) -----------------------------------
@@ -262,6 +273,19 @@ def schedule_digest(schedule: list[list[list[dict]]]) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def _principal_mix(
+    schedule: list[list[list[dict]]], api_keys: tuple[str, ...]
+) -> dict:
+    """Planned requests per principal label across all stages (pure —
+    derived from the schedule shape and the cohort assignment)."""
+    mix: dict[str, int] = {}
+    for stage in schedule:
+        for worker, plan in enumerate(stage):
+            label = principal_label(api_keys[worker % len(api_keys)])
+            mix[label] = mix.get(label, 0) + len(plan)
+    return {"count": len(api_keys), "mix": dict(sorted(mix.items()))}
+
+
 def _family_counts(schedule: list[list[list[dict]]]) -> dict[str, int]:
     counts = dict.fromkeys(FAMILY_RANKS, 0)
     for stage in schedule:
@@ -290,9 +314,14 @@ def _percentile(sorted_values: list[float], q: float) -> float:
 
 
 def run_stage(
-    service: TVDPService, api_key: str, stage_plan: list[list[dict]]
+    service: TVDPService, api_keys: tuple[str, ...], stage_plan: list[list[dict]]
 ) -> dict:
-    """Run one concurrency stage closed-loop; returns the stage record."""
+    """Run one concurrency stage closed-loop; returns the stage record.
+
+    Worker cohort ``w`` presents key ``w % len(api_keys)``, so higher
+    concurrency stages exercise a multi-principal mix and the usage
+    table attributes the stage's charges across tenants.
+    """
     concurrency = len(stage_plan)
     barrier = threading.Barrier(concurrency + 1)
     latencies: list[list[float]] = [[] for _ in range(concurrency)]
@@ -301,6 +330,7 @@ def run_stage(
     def worker(index: int) -> None:
         plan = stage_plan[index]
         mine = latencies[index]
+        api_key = api_keys[index % len(api_keys)]
         barrier.wait()
         for spec in plan:
             start = time.perf_counter()
@@ -344,16 +374,17 @@ def run_stage(
 def run_load(config: LoadConfig) -> dict:
     """Build the corpus, run every stage, and emit the ``load`` section
     for ``BENCH_<sha>.json`` (validated by ``benchmarks/load_schema``)."""
-    service, api_key, profile = build_corpus(config)
+    service, api_keys, profile = build_corpus(config)
     schedule = build_schedule(profile, config)
     obs.reset()  # stage numbers should not include corpus-build spans
-    stages = [run_stage(service, api_key, stage_plan) for stage_plan in schedule]
+    stages = [run_stage(service, api_keys, stage_plan) for stage_plan in schedule]
     return {
         "schema_version": LOAD_SCHEMA_VERSION,
         "seed": config.seed,
         "smoke": config.smoke,
         "zipf_s": config.zipf_s,
         "requests_per_worker": config.requests_per_worker,
+        "principals": _principal_mix(schedule, api_keys),
         "families": _family_counts(schedule),
         "stages": stages,
         "hot_queries": obs.hot_queries().top(10),

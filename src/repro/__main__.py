@@ -125,6 +125,7 @@ def _stats_document() -> dict:
         "breakers": breaker_states(),
         "hot_queries": obs.hot_queries().top(),
         "latency_ms_window": obs.latency_windows().summaries(),
+        "usage": obs.usage().report(),
     }
 
 

@@ -13,6 +13,19 @@ from repro.errors import AuthenticationError, QueryError
 from repro.db.database import Database
 
 
+def principal_label(api_key: str | None) -> str:
+    """Stable, non-secret label identifying the caller for accounting.
+
+    Uses a key prefix rather than the full key so usage reports and
+    ``usage.*`` metric labels never carry a whole credential;
+    unauthenticated traffic (open routes) is pooled under
+    ``"anonymous"``.
+    """
+    if not api_key:
+        return "anonymous"
+    return f"key:{api_key[:8]}"
+
+
 class ApiKeyManager:
     """Issue, validate, and revoke API keys against the database."""
 

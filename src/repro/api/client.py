@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import APIError, FaultInjected, TVDPError
 from repro.api.http import Request, Response
 from repro.api.service import TVDPService, image_to_payload
@@ -84,15 +85,22 @@ class TVDPClient:
 
         def one_attempt() -> Response:
             inject(REQUEST_SITE, clock)
-            response: Response = self._service.handle(
-                Request(
-                    method=method,
-                    path=path,
-                    body=body,
-                    params=params or {},
-                    api_key=self.api_key,
+            # Each attempt is one client span; the outbound traceparent
+            # header is what a real HTTP client would put on the wire,
+            # so the server's http.request span joins this trace even
+            # across a process boundary.
+            with obs.span("client.request", method=method, path=path) as sp:
+                response: Response = self._service.handle(
+                    Request(
+                        method=method,
+                        path=path,
+                        body=body,
+                        params=params or {},
+                        api_key=self.api_key,
+                        headers={"traceparent": obs.current_traceparent()},
+                    )
                 )
-            )
+                sp.set("status", response.status)
             if response.status >= 500:
                 raise APIError(response.status, _error_message(response))
             return response
@@ -343,6 +351,31 @@ class TVDPClient:
         shapes ranked by frequency then total time."""
         params = {"limit": limit} if limit is not None else {}
         return self._call("GET", "/debug/hot", params=params)
+
+    def resources(
+        self,
+        top: int | None = None,
+        budget: float | None = None,
+        window_s: float | None = None,
+    ) -> dict:
+        """Resource-usage report from ``GET /debug/resources``: top
+        consumers by principal/shape/operation, rolling spend, and
+        would-shed dry-run flags.  ``budget``/``window_s`` evaluate a
+        what-if admission budget without configuring one."""
+        params: dict = {}
+        if top is not None:
+            params["top"] = top
+        if budget is not None:
+            params["budget"] = budget
+        if window_s is not None:
+            params["window_s"] = window_s
+        return self._call("GET", "/debug/resources", params=params)
+
+    def trace(self, trace_id: str) -> dict:
+        """Reassembled span tree for one trace from ``GET
+        /debug/trace/{trace_id}`` (404 once evicted from the ring
+        buffer)."""
+        return self._call("GET", f"/debug/trace/{trace_id}")
 
     def explain(self, query_spec: dict, analyze: bool = True) -> dict:
         """EXPLAIN (ANALYZE) a search query spec via ``GET

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro import obs
+from repro.api.auth import principal_label
 from repro.errors import APIError
 
 _log = obs.get_logger("api.http")
@@ -38,15 +39,24 @@ def new_request_id() -> str:
 
 
 def error_body(
-    message: str, exc_type: str, status: int, request_id: str | None
+    message: str,
+    exc_type: str,
+    status: int,
+    request_id: str | None,
+    trace_id: str | None = None,
 ) -> dict:
-    """The structured error envelope every failing route returns."""
+    """The structured error envelope every failing route returns.
+
+    ``trace_id`` links the error to its span tree so a failing call can
+    be followed straight to ``GET /debug/trace/<trace_id>``.
+    """
     return {
         "error": {
             "message": message,
             "type": exc_type,
             "status": status,
             "request_id": request_id,
+            "trace_id": trace_id,
         }
     }
 
@@ -60,6 +70,7 @@ class Request:
     params: dict = field(default_factory=dict)  # query parameters
     body: dict | None = None  # JSON payload
     api_key: str | None = None
+    headers: dict = field(default_factory=dict)  # e.g. traceparent
     path_params: dict = field(default_factory=dict)  # filled by the router
     user_id: int | None = None  # filled by the auth layer
     request_id: str | None = None  # filled by the middleware
@@ -135,15 +146,27 @@ class Router:
         if request.request_id is None:
             request.request_id = new_request_id()
         method = request.method.upper()
-        with obs.span(
-            "http.request",
-            method=method,
-            path=request.path,
-            request_id=request.request_id,
-        ) as sp:
-            route_label, response = self._dispatch_inner(request, method, sp)
-            sp.set("route", route_label)
-            sp.set("status", response.status)
+        # An inbound ``traceparent`` header joins this request to the
+        # caller's trace; the ledger bills the whole dispatch (handler,
+        # platform work, index probes) to the presented API key.
+        remote_parent = obs.parse_traceparent(request.headers.get("traceparent"))
+        with obs.ledger_scope(
+            table=obs.usage(), principal=principal_label(request.api_key)
+        ) as ledger:
+            with obs.span(
+                "http.request",
+                remote_parent=remote_parent,
+                method=method,
+                path=request.path,
+                request_id=request.request_id,
+            ) as sp:
+                ledger.annotate(trace_id=sp.trace_id)
+                route_label, response = self._dispatch_inner(request, method, sp)
+                sp.set("route", route_label)
+                sp.set("status", response.status)
+            # The route label is only known after matching; annotate
+            # before the scope closes so the bill lands on the route.
+            ledger.annotate(operation=f"{method} {route_label}")
         registry = obs.metrics()
         registry.counter(
             "api.requests",
@@ -175,7 +198,8 @@ class Router:
                 return template, Response(
                     status=exc.status,
                     body=error_body(
-                        exc.message, type(exc).__name__, exc.status, request.request_id
+                        exc.message, type(exc).__name__, exc.status,
+                        request.request_id, trace_id=sp.trace_id,
                     ),
                 )
             except Exception as exc:  # noqa: BLE001 - boundary translation
@@ -186,7 +210,8 @@ class Router:
                 return template, Response(
                     status=500,
                     body=error_body(
-                        str(exc), type(exc).__name__, 500, request.request_id
+                        str(exc), type(exc).__name__, 500,
+                        request.request_id, trace_id=sp.trace_id,
                     ),
                 )
         if saw_path:
@@ -194,13 +219,14 @@ class Router:
                 status=405,
                 body=error_body(
                     f"method {method} not allowed", "MethodNotAllowed", 405,
-                    request.request_id,
+                    request.request_id, trace_id=sp.trace_id,
                 ),
             )
         return "<unmatched>", Response(
             status=404,
             body=error_body(
-                f"no route for {request.path}", "NotFound", 404, request.request_id
+                f"no route for {request.path}", "NotFound", 404,
+                request.request_id, trace_id=sp.trace_id,
             ),
         )
 

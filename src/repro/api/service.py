@@ -38,6 +38,12 @@ Observability:
 * ``GET  /debug/explain``               — EXPLAIN for a query spec in
   the request body; ``?analyze=1`` (the default) also executes it and
   fills per-plan-node rows, timing, and probe-counter deltas
+* ``GET  /debug/resources``             — resource accounting: top
+  consumers by principal/query shape/operation, rolling spend, and
+  budget would-shed dry-run flags (``?top=``, ``?budget=``,
+  ``?window_s=`` for what-if budgets)
+* ``GET  /debug/trace/{trace_id}``      — the reassembled span tree of
+  one trace (404 once evicted from the ring buffer)
 """
 
 from __future__ import annotations
@@ -166,6 +172,8 @@ class TVDPService:
         route("GET", "/debug/slow")(self._debug_slow)
         route("GET", "/debug/hot")(self._debug_hot)
         route("GET", "/debug/explain")(self._debug_explain)
+        route("GET", "/debug/resources")(self._debug_resources)
+        route("GET", "/debug/trace/{trace_id}")(self._debug_trace)
         route("POST", "/classifications")(self._define_classification)
         route("POST", "/images/{image_id}/annotations")(self._add_annotation)
         route("GET", "/images/{image_id}/annotations")(self._list_annotations)
@@ -689,6 +697,53 @@ class TVDPService:
                 "tracked": len(tracker),
                 "evicted": tracker.evicted(),
             },
+        )
+
+    def _debug_resources(self, request: Request) -> Response:
+        """Resource accounting: top consumers by principal, query
+        shape, and operation, with rolling spend and would-shed
+        dry-run flags.
+
+        ``?top=<n>`` bounds each ranking (default 10).  ``?budget=<cost>``
+        (optionally with ``?window_s=<s>``, default 60) evaluates a
+        what-if admission budget against the recorded spend without
+        configuring one — nothing is ever actually shed here.
+        """
+        top = request.params.get("top")
+        try:
+            parsed_top = int(top) if top is not None else 10
+        except ValueError as exc:
+            raise APIError(400, "top must be an integer") from exc
+        if parsed_top < 1:
+            raise APIError(400, "top must be >= 1")
+        override = None
+        budget_param = request.params.get("budget")
+        if budget_param is not None:
+            try:
+                cost_per_window = float(budget_param)
+                window_s = float(request.params.get("window_s", 60.0))
+            except ValueError as exc:
+                raise APIError(400, "budget and window_s must be numeric") from exc
+            if cost_per_window < 0 or window_s <= 0:
+                raise APIError(400, "budget must be >= 0 and window_s > 0")
+            override = obs.Budget(cost_per_window=cost_per_window, window_s=window_s)
+        return Response(200, obs.usage().report(top=parsed_top, budget=override))
+
+    def _debug_trace(self, request: Request) -> Response:
+        """The full span tree of one trace, reassembled from the ring
+        buffer of finished spans; 404 once the trace has been evicted
+        (the buffer keeps the most recent spans only)."""
+        trace_id = request.path_params["trace_id"]
+        roots = obs.ring_buffer().span_tree(trace_id)
+        if not roots:
+            raise APIError(
+                404, f"trace {trace_id!r} not in the ring buffer (evicted or unknown)"
+            )
+        span_count = len(
+            [s for s in obs.ring_buffer().spans() if s.trace_id == trace_id]
+        )
+        return Response(
+            200, {"trace_id": trace_id, "spans": span_count, "roots": roots}
         )
 
     def _debug_explain(self, request: Request) -> Response:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.errors import QueryError, SchemaError
 from repro.db.database import Database
+from repro.obs.accounting import charge
 
 
 class ClassificationCatalog:
@@ -44,6 +45,7 @@ class ClassificationCatalog:
 
     def classification_id(self, name: str) -> int:
         """Id of a classification by name."""
+        charge("catalog_lookups", 1)
         rows = self._db.table("image_content_classification").find("name", name)
         if not rows:
             raise QueryError(f"unknown classification {name!r}")
@@ -51,6 +53,7 @@ class ClassificationCatalog:
 
     def labels(self, name: str) -> list[str]:
         """Labels of a classification, in definition order."""
+        charge("catalog_lookups", 1)
         cid = self.classification_id(name)
         rows = self._db.table("image_content_classification_types").find(
             "classification_id", cid
@@ -59,6 +62,7 @@ class ClassificationCatalog:
 
     def type_id(self, name: str, label: str) -> int:
         """Id of one (classification, label) pair."""
+        charge("catalog_lookups", 1)
         cid = self.classification_id(name)
         for row in self._db.table("image_content_classification_types").find(
             "classification_id", cid
@@ -76,6 +80,7 @@ class ClassificationCatalog:
 
     def label_of_type(self, type_id: int) -> tuple[str, str]:
         """Inverse lookup: ``(classification_name, label)`` of a type id."""
+        charge("catalog_lookups", 1)
         try:
             type_row = self._db.table("image_content_classification_types").get(type_id)
         except SchemaError as exc:

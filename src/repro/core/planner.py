@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.obs import accounting
 from repro.errors import QueryError
 from repro.core.costmodel import cost_annotation
 from repro.core.platform import TVDP
@@ -39,6 +40,7 @@ from repro.core.queries import (
     TemporalQuery,
     TextualQuery,
     VisualQuery,
+    query_family,
     query_shape,
 )
 
@@ -59,6 +61,10 @@ class QueryPlan:
     rows: int | None = None
     elapsed_ms: float | None = None
     counter_deltas: dict = field(default_factory=dict)
+    #: Ledger-charge deltas of executing this node (ANALYZE only) —
+    #: unlike ``counter_deltas`` these are context-scoped, so they are
+    #: exact even with concurrent traffic on the process.
+    charges: dict = field(default_factory=dict)
     shape: str | None = None
     #: Static cost annotation from :mod:`repro.core.costmodel` —
     #: ``{cost, dominant_counters, note}`` — present on every node whose
@@ -84,6 +90,11 @@ class QueryPlan:
                 for name, value in sorted(self.counter_deltas.items())
             )
             lines.append(f"{pad}  probes: {probes}")
+        if self.charges:
+            charged = " ".join(
+                f"{name}={value:g}" for name, value in sorted(self.charges.items())
+            )
+            lines.append(f"{pad}  charges: {charged}")
         for child in self.children:
             lines.append(child.render(indent + 1))
         return "\n".join(lines)
@@ -98,6 +109,7 @@ class QueryPlan:
             "rows": self.rows,
             "elapsed_ms": self.elapsed_ms,
             "counter_deltas": dict(self.counter_deltas),
+            "charges": dict(self.charges),
             "shape": self.shape,
             "cost": dict(self.cost) if self.cost is not None else None,
             "children": [child.to_dict() for child in self.children],
@@ -188,20 +200,29 @@ def _child_queries(query: HybridQuery) -> tuple:
 
 def _measured_execute(
     platform: TVDP, query: object
-) -> tuple[int, float, dict[str, float]]:
-    """Execute ``query``; (rows, elapsed_ms, probe-counter deltas).
+) -> tuple[int, float, dict[str, float], dict[str, float]]:
+    """Execute ``query``; (rows, elapsed_ms, probe-counter deltas,
+    ledger-charge deltas).
 
-    The deltas are whole-registry counter increments during the run —
+    The counter deltas are whole-registry increments during the run —
     on a quiet process that is exactly the query's own probe work; the
     platform is single-writer per request, so concurrent traffic can
-    only over-attribute, never crash.
+    only over-attribute, never crash.  The charge deltas come from a
+    nested ledger scoped to this one execution, so they are exact
+    regardless of concurrent traffic; they are replayed into the
+    enclosing ledger afterwards so EXPLAIN ANALYZE under an API request
+    still bills the requesting principal.  With no enclosing ledger the
+    measured charges go straight to the usage table as ``local`` work,
+    matching what a bare ``platform.execute`` would have billed.
     """
     registry = obs.metrics()
+    outer = accounting.active_ledger()
     before = registry.counter_values()
     # analyze=True reports the real execution time; elapsed_ms is
     # display metadata, not result data.
     start = time.perf_counter()  # devtools: allow[determinism] — see above
-    results = platform.execute(query)
+    with accounting.ledger_scope() as measured:
+        results = platform.execute(query)
     elapsed_ms = (time.perf_counter() - start) * 1000.0  # devtools: allow[determinism] — see above
     after = registry.counter_values()
     deltas = {
@@ -209,7 +230,16 @@ def _measured_execute(
         for name, value in after.items()
         if value - before.get(name, 0.0)
     }
-    return len(results), elapsed_ms, deltas
+    charges = dict(measured.charges)
+    if outer is not None:
+        for kind, amount in charges.items():
+            outer.add(kind, amount)
+    else:
+        # Bare analyze (CLI tour, notebooks): bill the usage table the
+        # way a bare execute would — the analyze run *is* load.
+        measured.annotate(operation=f"execute.{query_family(query)}")
+        obs.usage().absorb(measured)
+    return len(results), elapsed_ms, deltas, charges
 
 
 def _analyze_node(platform: TVDP, query: object, plan: QueryPlan) -> QueryPlan:
@@ -220,7 +250,7 @@ def _analyze_node(platform: TVDP, query: object, plan: QueryPlan) -> QueryPlan:
             _analyze_node(platform, sub, child)
             for sub, child in zip(_child_queries(query), plan.children)
         )
-    rows, elapsed_ms, deltas = _measured_execute(platform, query)
+    rows, elapsed_ms, deltas, charges = _measured_execute(platform, query)
     return QueryPlan(
         query_type=plan.query_type,
         access_path=plan.access_path,
@@ -229,6 +259,7 @@ def _analyze_node(platform: TVDP, query: object, plan: QueryPlan) -> QueryPlan:
         rows=rows,
         elapsed_ms=elapsed_ms,
         counter_deltas=deltas,
+        charges=charges,
         shape=query_shape(query),
         cost=plan.cost,
     )

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.obs.accounting import LOCAL_PRINCIPAL, charge, maybe_ledger_scope
 from repro.errors import QueryError, TVDPError
 from repro.db.database import Database
 from repro.features.base import FeatureExtractor
@@ -356,9 +357,11 @@ class TVDP:
                 ]
                 if cached:
                     out[image_id] = np.array(cached[0]["vector"], dtype=np.float64)
+                    charge("feature_bytes", out[image_id].nbytes)
                     cache_hits += 1
                     continue
                 vector = extractor.extract(self.image(image_id))
+                charge("feature_bytes", vector.nbytes)
                 self.db.insert(
                     "image_visual_features",
                     {
@@ -399,10 +402,22 @@ class TVDP:
             raise QueryError(f"unsupported query type {type(query).__name__}")
         family = query_family(query)
         # Hybrid sub-queries recurse through execute(), so one hybrid
-        # call yields a query.hybrid span with query.<family> children.
-        with obs.span(f"query.{family}") as sp:
-            results = runner(query)
-            sp.set("results", len(results))
+        # call yields a query.hybrid span with query.<family> children —
+        # and maybe_ledger_scope bills them all to the enclosing ledger
+        # (the API request's when there is one, a fresh local ledger
+        # otherwise) instead of fragmenting the charge across sub-queries.
+        with maybe_ledger_scope(
+            obs.usage(), principal=LOCAL_PRINCIPAL, operation=f"execute.{family}"
+        ) as ledger:
+            with obs.span(f"query.{family}") as sp:
+                # The outermost query names the bill: hybrid sub-queries
+                # must not overwrite the shape or trace already recorded.
+                if ledger.shape is None:
+                    ledger.annotate(shape=query_shape(query))
+                if ledger.trace_id is None:
+                    ledger.annotate(trace_id=sp.trace_id)
+                results = runner(query)
+                sp.set("results", len(results))
         obs.metrics().counter("platform.queries", {"family": family}).inc()
         # duration_ms is only final once the span context exits, so the
         # hot-query tracker is fed outside the with-block.
@@ -446,6 +461,7 @@ class TVDP:
         vector = query.vector
         if vector is None:
             vector = self.features.get(query.extractor_name).extract(query.example)
+        charge("feature_bytes", np.asarray(vector).nbytes)
         lsh = self._lsh[query.extractor_name]
         if query.max_distance is not None:
             pairs = lsh.query_radius(vector, query.max_distance)[: query.k]
@@ -515,6 +531,7 @@ class TVDP:
         vector = visual.vector
         if vector is None:
             vector = self.features.get(visual.extractor_name).extract(visual.example)
+        charge("feature_bytes", np.asarray(vector).nbytes)
         hybrid = self._hybrid[visual.extractor_name]
         pairs = hybrid.spatial_visual_knn(
             spatial.bounding_region(), vector, visual.k
@@ -542,6 +559,7 @@ class TVDP:
             "latency_ms": self.latency_summaries(),
             "latency_ms_window": windows.summaries(),
             "window_s": windows.window_s,
+            "usage": obs.usage().report(),
         }
 
     def latency_summaries(self) -> dict[str, dict[str, float]]:

@@ -6,6 +6,7 @@ from typing import Callable, Iterator
 
 from repro.errors import IntegrityError, SchemaError
 from repro.db.schema import TableSchema
+from repro.obs.accounting import active_ledger, charge
 
 
 class Table:
@@ -126,22 +127,40 @@ class Table:
         """Row by primary key (a defensive copy)."""
         if pk not in self._rows:
             raise IntegrityError(f"no row {pk} in {self.schema.name!r}")
+        charge("rows_scanned", 1)
         return dict(self._rows[pk])
 
     def find(self, column: str, value: object) -> list[dict]:
-        """Rows where ``column == value``; uses a hash index if present."""
+        """Rows where ``column == value``; uses a hash index if present.
+
+        Rows-scanned accounting charges what the access path actually
+        touched: the index bucket for indexed/unique columns, the whole
+        table for the fallback scan.
+        """
         self.schema.column(column)
         if column in self._indexes:
-            return [dict(self._rows[pk]) for pk in sorted(self._indexes[column].get(value, ()))]
+            rows = [
+                dict(self._rows[pk])
+                for pk in sorted(self._indexes[column].get(value, ()))
+            ]
+            charge("rows_scanned", len(rows))
+            return rows
         if column in self._unique:
             pk = self._unique[column].get(value)
+            charge("rows_scanned", 1 if pk is not None else 0)
             return [dict(self._rows[pk])] if pk is not None else []
+        charge("rows_scanned", len(self._rows))
         return [dict(row) for row in self._rows.values() if row[column] == value]
 
     def scan(self, predicate: Callable[[dict], bool] | None = None) -> Iterator[dict]:
         """Iterate rows (copies) in primary-key order, optionally filtered."""
+        # One ledger lookup per scan, not per row; the generator is
+        # consumed in the context that opened it.
+        ledger = active_ledger()
         for pk in sorted(self._rows):
             row = self._rows[pk]
+            if ledger is not None:
+                ledger.add("rows_scanned", 1)
             if predicate is None or predicate(row):
                 yield dict(row)
 

@@ -109,6 +109,12 @@ _CLASS_RULES: dict[str, tuple[str, str, str]] = {
         "top-k-by-duration",
         "slow-span exemplars — merge worker logs, keep the global worst",
     ),
+    "UsageTable": (
+        "must-merge-at-coordinator",
+        "charge-sum",
+        "per-principal resource charges — workers pickle their tables "
+        "back and the coordinator sums charges via UsageTable.merge",
+    ),
     "JsonlExporter": (
         "must-merge-at-coordinator",
         "concat",

@@ -169,14 +169,29 @@ def dispatch_fleet_resilient(
     """
     resolved = current_clock(clock)
     report = FleetDispatchReport()
-    with obs.span("edge.dispatch_fleet", devices=len(devices), resilient=True):
+    with obs.span("edge.dispatch_fleet", devices=len(devices), resilient=True) as fleet:
+        # The per-device negotiation is a simulated transfer to another
+        # machine: serialise the fleet span's context to the wire format
+        # a real transport would carry, and re-join the trace from the
+        # parsed header on the "device side" (remote_parent), exactly as
+        # a device-resident agent would.  The contextvars stack is left
+        # intact — detaching it would drop the active fault plan.
+        wire_traceparent = obs.format_traceparent(
+            obs.TraceContext(fleet.trace_id, fleet.span_id)
+        )
         for offset, device in enumerate(devices):
 
             def negotiate(device: DeviceProfile = device) -> DispatchDecision:
                 inject(DISPATCH_SITE, resolved)
-                return dispatch_model(
-                    device, candidates, latency_budget_ms, **dispatch_kwargs
-                )
+                with obs.span(
+                    "edge.device_negotiate",
+                    remote_parent=obs.parse_traceparent(wire_traceparent),
+                    device=device.name,
+                    traceparent=wire_traceparent,
+                ):
+                    return dispatch_model(
+                        device, candidates, latency_budget_ms, **dispatch_kwargs
+                    )
 
             retry = Retry(
                 max_attempts=max_attempts,

@@ -21,6 +21,7 @@ import numpy as np
 from repro.errors import IndexError_
 from repro.geo.point import BoundingBox, GeoPoint
 from repro.obs import metrics as _metrics
+from repro.obs.accounting import charge_probes
 
 # Probe counters for the best-first spatial-visual search: heap pops
 # (nodes + entries expanded) and subtrees discarded by spatial pruning.
@@ -244,6 +245,7 @@ class VisualRTree:
         _QUERIES.inc()
         _HEAP_POPS.inc(pops)
         _SPATIAL_PRUNED.inc(pruned)
+        charge_probes("visual_rtree", pops)
         return results
 
     def linear_spatial_visual_knn(

@@ -13,6 +13,7 @@ from collections import Counter
 
 from repro.errors import IndexError_
 from repro.obs import metrics as _metrics
+from repro.obs.accounting import charge_probes
 
 # Probe counters: postings entries touched while scoring (search_all
 # delegates its ranking to search_any, so counts land there once).
@@ -101,6 +102,7 @@ class InvertedIndex:
                 scores[doc_id] = scores.get(doc_id, 0.0) + (tf / length) * idf
         _QUERIES.inc()
         _POSTINGS_SCANNED.inc(scanned)
+        charge_probes("inverted", scanned)
         return sorted(scores.items(), key=lambda pair: (-pair[1], str(pair[0])))
 
     def search_all(self, query: str) -> list[tuple[object, float]]:

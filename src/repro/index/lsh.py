@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import IndexError_
 from repro.obs import metrics as _metrics
+from repro.obs.accounting import charge_probes
 
 # Probe counters: per query, how many table buckets had a collision and
 # how many distinct candidates those buckets yielded for exact ranking.
@@ -120,6 +121,7 @@ class LSHIndex:
         _QUERIES.inc()
         _BUCKET_HITS.inc(bucket_hits)
         _CANDIDATES.inc(len(found))
+        charge_probes("lsh", len(found))
         return found
 
     def query_topk(
@@ -139,6 +141,7 @@ class LSHIndex:
         candidates = self._candidates(vector)
         if exhaustive_fallback and len(candidates) < k:
             _FALLBACK_SCANS.inc()
+            charge_probes("lsh", len(self._vectors))
             return self.linear_topk(vector, k)
         return self._rank(list(candidates), vector, k)
 

@@ -19,6 +19,7 @@ from repro.geo.geodesy import angular_difference_deg, normalize_bearing
 from repro.geo.point import BoundingBox, GeoPoint
 from repro.index.rtree import RTree
 from repro.obs import metrics as _metrics
+from repro.obs.accounting import charge_probes
 
 # Probe counters: how many MBR candidates each query pulled from the
 # underlying tree, how many the direction bitmask pruned before the
@@ -121,6 +122,7 @@ class OrientedRTree:
                 results.append(item)
         _QUERIES.inc()
         _CANDIDATES.inc(len(candidates))
+        charge_probes("oriented", len(candidates))
         _MASK_PRUNED.inc(mask_pruned)
         _REFINED_HITS.inc(len(results))
         return results
@@ -149,6 +151,7 @@ class OrientedRTree:
                 results.append(item)
         _QUERIES.inc()
         _CANDIDATES.inc(len(candidates))
+        charge_probes("oriented", len(candidates))
         _REFINED_HITS.inc(len(results))
         return results
 
@@ -163,5 +166,6 @@ class OrientedRTree:
                 results.append(item)
         _QUERIES.inc()
         _CANDIDATES.inc(len(candidates))
+        charge_probes("oriented", len(candidates))
         _REFINED_HITS.inc(len(results))
         return results

@@ -17,6 +17,7 @@ from typing import Iterator
 from repro.errors import IndexError_
 from repro.geo.point import BoundingBox, GeoPoint
 from repro.obs import metrics as _metrics
+from repro.obs.accounting import charge_probes
 
 # Probe counters shared by every tree instance; incremented once per
 # query with locally-accumulated totals so the traversal loop stays hot.
@@ -319,6 +320,7 @@ class RTree:
         _RANGE_QUERIES.inc()
         _NODE_VISITS.inc(visited)
         _ENTRIES_TESTED.inc(tested)
+        charge_probes("rtree", visited + tested)
         return out
 
     def _range_entries(self, box: BoundingBox) -> Iterator[_Entry]:
@@ -362,6 +364,7 @@ class RTree:
                 )
         _KNN_QUERIES.inc()
         _KNN_HEAP_POPS.inc(pops)
+        charge_probes("rtree", pops)
         return results
 
     def height(self) -> int:

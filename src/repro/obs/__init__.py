@@ -32,6 +32,16 @@ import os
 import threading
 
 from repro.obs import slo
+from repro.obs.accounting import (
+    Budget,
+    ResourceLedger,
+    UsageTable,
+    active_ledger,
+    charge,
+    charge_probes,
+    ledger_scope,
+    maybe_ledger_scope,
+)
 from repro.obs.hotqueries import HotQueryTracker
 from repro.obs.logs import SpanContextFilter, configure_logging, console, get_logger
 from repro.obs.metrics import (
@@ -54,12 +64,17 @@ from repro.obs.tracing import (
     JsonlExporter,
     RingBufferExporter,
     Span,
+    TraceContext,
     Tracer,
     current_span,
+    current_traceparent,
+    format_traceparent,
+    parse_traceparent,
     span_tree,
 )
 
 __all__ = [
+    "Budget",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS_MS",
     "Gauge",
@@ -69,24 +84,35 @@ __all__ = [
     "MemoryResult",
     "MetricsRegistry",
     "ProfileResult",
+    "ResourceLedger",
     "RingBufferExporter",
     "RollingWindows",
     "SlowSpanLog",
     "Span",
     "SpanContextFilter",
+    "TraceContext",
     "Tracer",
+    "UsageTable",
+    "active_ledger",
+    "charge",
+    "charge_probes",
     "configure_logging",
     "console",
     "counters_delta",
     "current_span",
+    "current_traceparent",
     "disable_jsonl",
     "enable_jsonl",
+    "format_traceparent",
     "get_logger",
     "health",
     "hot_queries",
     "latency_windows",
+    "ledger_scope",
+    "maybe_ledger_scope",
     "memory_scope",
     "metrics",
+    "parse_traceparent",
     "profile_scope",
     "reset",
     "ring_buffer",
@@ -97,6 +123,7 @@ __all__ = [
     "span",
     "span_tree",
     "tracer",
+    "usage",
 ]
 
 _registry = MetricsRegistry()
@@ -105,6 +132,7 @@ _slow = SlowSpanLog(registry=_registry)
 _windows = RollingWindows()
 _hot = HotQueryTracker()
 _tracer = Tracer(registry=_registry, exporters=[_ring, _slow], windows=_windows)
+_usage = UsageTable(registry=_registry)
 _jsonl: JsonlExporter | None = None
 _jsonl_lock = threading.Lock()
 
@@ -124,6 +152,15 @@ def hot_queries() -> HotQueryTracker:
     """The process-wide hot-query tracker (fed by ``TVDP.execute`` with
     normalized query shapes; served at ``GET /debug/hot``)."""
     return _hot
+
+
+def usage() -> UsageTable:
+    """The process-wide usage table: per-principal/shape/operation
+    resource charges absorbed from request ledgers (served at
+    ``GET /debug/resources``).  Configure an admission budget with
+    ``obs.usage().set_budget(obs.Budget(...))`` or the
+    ``TVDP_USAGE_BUDGET`` environment variable (cost units / 60 s)."""
+    return _usage
 
 
 # Public accessor mirroring metrics(); consumed by tests and debugging.
@@ -159,9 +196,14 @@ def health(slos=None) -> dict:
     return slo.evaluate(_registry, slos, windows=_windows)
 
 
-def span(name: str, **attrs: object):
-    """Open a span on the default tracer (context manager)."""
-    return _tracer.span(name, **attrs)
+def span(name: str, remote_parent: TraceContext | None = None, **attrs: object):
+    """Open a span on the default tracer (context manager).
+
+    ``remote_parent`` (an extracted ``traceparent`` header's
+    :class:`TraceContext`) joins a trace started in another process —
+    see :meth:`Tracer.span`.
+    """
+    return _tracer.span(name, remote_parent=remote_parent, **attrs)
 
 
 def snapshot() -> dict[str, dict]:
@@ -180,6 +222,7 @@ def reset() -> None:
     _slow.clear()
     _windows.reset()
     _hot.clear()
+    _usage.reset()
 
 
 def enable_jsonl(path: str) -> JsonlExporter:
@@ -226,3 +269,12 @@ def _detach_jsonl() -> None:
 _env_path = os.environ.get("TVDP_TRACE_JSONL")
 if _env_path:
     enable_jsonl(_env_path)
+
+_env_budget = os.environ.get("TVDP_USAGE_BUDGET")
+if _env_budget:
+    try:
+        _usage.set_budget(Budget(cost_per_window=float(_env_budget)))
+    except ValueError:
+        get_logger("obs").warning(
+            "ignoring non-numeric TVDP_USAGE_BUDGET=%r", _env_budget
+        )

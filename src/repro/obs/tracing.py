@@ -53,6 +53,56 @@ def current_span() -> "Span | None":
     return _current_span.get()
 
 
+@dataclass(frozen=True)
+class TraceContext:
+    """The W3C-style propagation payload: which trace, which parent.
+
+    This is the *only* state that crosses a process/HTTP/device
+    boundary — a frozen two-field record, trivially picklable so shard
+    workers can continue a coordinator's trace.
+    """
+
+    trace_id: str
+    span_id: str
+
+
+#: Version prefix / flags of the ``traceparent`` header we emit.  The
+#: real W3C format is ``00-<32 hex>-<16 hex>-<flags>``; our ids keep
+#: their native ``t…``/``s…`` shape (no dashes, so parsing is exact).
+_TRACEPARENT_VERSION = "00"
+_TRACEPARENT_FLAGS = "01"
+
+
+def format_traceparent(context: TraceContext) -> str:
+    """``traceparent`` header value for a trace context."""
+    return (
+        f"{_TRACEPARENT_VERSION}-{context.trace_id}-"
+        f"{context.span_id}-{_TRACEPARENT_FLAGS}"
+    )
+
+
+def parse_traceparent(header: object) -> TraceContext | None:
+    """Inverse of :func:`format_traceparent`; ``None`` on anything
+    malformed (a bad header must never fail the request it rode in on)."""
+    if not isinstance(header, str):
+        return None
+    parts = header.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, _flags = parts
+    if version != _TRACEPARENT_VERSION or not trace_id or not span_id:
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+def current_traceparent() -> str | None:
+    """``traceparent`` header for the active span, if one is open."""
+    span = _current_span.get()
+    if span is None:
+        return None
+    return format_traceparent(TraceContext(span.trace_id, span.span_id))
+
+
 @dataclass
 class Span:
     """One timed operation; mutable while open, exported when closed."""
@@ -205,17 +255,38 @@ class Tracer:
                 self.exporters.remove(exporter)
 
     @contextlib.contextmanager
-    def span(self, name: str, **attrs: object) -> Iterator[Span]:
-        """Open a child of the current span (or a new trace root)."""
+    def span(
+        self,
+        name: str,
+        remote_parent: TraceContext | None = None,
+        **attrs: object,
+    ) -> Iterator[Span]:
+        """Open a child of the current span (or a new trace root).
+
+        ``remote_parent`` joins this span to a trace started elsewhere
+        (an extracted ``traceparent`` header): with no local parent the
+        span continues the remote trace instead of minting a new root.
+        A live local parent wins — in-process nesting is already exact,
+        and in the in-process client/server case both name the same
+        parent span anyway.
+        """
         parent = _current_span.get()
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+            ancestry: tuple[str, ...] = (*parent.ancestry, parent.name)
+        elif remote_parent is not None:
+            trace_id, parent_id = remote_parent.trace_id, remote_parent.span_id
+            ancestry = ()
+        else:
+            trace_id, parent_id, ancestry = _next_id("t"), None, ()
         span = Span(
             name=name,
-            trace_id=parent.trace_id if parent else _next_id("t"),
+            trace_id=trace_id,
             span_id=_next_id("s"),
-            parent_id=parent.span_id if parent else None,
+            parent_id=parent_id,
             attrs=dict(attrs),
             start_time=time.time(),
-            ancestry=(*parent.ancestry, parent.name) if parent else (),
+            ancestry=ancestry,
         )
         with self._exporters_lock:
             exporters = tuple(self.exporters)

@@ -249,3 +249,32 @@ class TestCostAnnotations:
         assert "cost:" in plan.render()
         as_dict = plan.to_dict()
         assert as_dict["cost"]["dominant_counters"]
+
+
+class TestAnalyzeBilling:
+    def test_bare_analyze_bills_the_usage_table_as_local(self, populated):
+        platform, _ = populated
+        region = BoundingBox(34.0, -118.3, 34.1, -118.2)
+        explain(platform, SpatialQuery(region=region), analyze=True)
+        report = obs.usage().report()
+        [row] = report["by_principal"]
+        assert row["key"] == "local"
+        assert row["charges"].get("probes.rtree", 0) > 0
+        assert [r["key"] for r in report["by_shape"]] == [
+            "spatial(mode=scene,region)"
+        ]
+        assert [r["key"] for r in report["by_operation"]] == ["execute.spatial"]
+
+    def test_analyze_under_a_ledger_bills_the_enclosing_principal(self, populated):
+        from repro.obs.accounting import UsageTable, ledger_scope
+
+        platform, _ = populated
+        table = UsageTable()
+        region = BoundingBox(34.0, -118.3, 34.1, -118.2)
+        with ledger_scope(table=table, principal="key:abcd1234") as outer:
+            explain(platform, SpatialQuery(region=region), analyze=True)
+        assert outer.charges.get("probes.rtree", 0) > 0
+        [row] = table.report()["by_principal"]
+        assert row["key"] == "key:abcd1234"
+        # Nothing leaked to the process-wide table as a duplicate bill.
+        assert obs.usage().report()["by_principal"] == []

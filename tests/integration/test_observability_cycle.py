@@ -65,9 +65,14 @@ def test_upload_and_search_trace_and_counters(client):
     ring = obs.ring_buffer()
     upload_span = ring.spans("platform.upload_image")[-1]
     [upload_root] = ring.span_tree(trace_id=upload_span.trace_id)
-    assert upload_root["name"] == "http.request"
-    assert upload_root["attrs"]["route"] == "/images"
-    [platform_node] = upload_root["children"]
+    # The client library opens a client.request span per attempt, so an
+    # in-process round trip roots at the client with the middleware as
+    # its only child.
+    assert upload_root["name"] == "client.request"
+    [http_node] = upload_root["children"]
+    assert http_node["name"] == "http.request"
+    assert http_node["attrs"]["route"] == "/images"
+    [platform_node] = http_node["children"]
     assert platform_node["name"] == "platform.upload_image"
     child_names = [c["name"] for c in platform_node["children"]]
     assert child_names[0] == "upload.dedup"
@@ -76,7 +81,9 @@ def test_upload_and_search_trace_and_counters(client):
 
     query_span = ring.spans("query.spatial")[-1]
     [search_root] = ring.span_tree(trace_id=query_span.trace_id)
-    assert search_root["attrs"]["route"] == "/search"
+    assert search_root["name"] == "client.request"
+    [search_http] = search_root["children"]
+    assert search_http["attrs"]["route"] == "/search"
     assert "query.spatial" in _tree_names(search_root)
     assert search_root["trace_id"] != upload_root["trace_id"]
 
@@ -97,3 +104,69 @@ def test_upload_and_search_trace_and_counters(client):
     assert latency["platform.upload_image"]["count"] == 1
     assert latency["query.spatial"]["count"] == 1
     assert latency["http.request"]["count"] >= 2
+
+
+def test_resource_attribution_and_trace_join_across_principals(client):
+    """The accounting acceptance path: two API keys drive different
+    work through one service; ``/debug/resources`` must bill rows,
+    probes, and feature bytes to the right principal and query shape,
+    and the usage exemplar must resolve to ONE span tree in which the
+    client and server spans share a trace id."""
+    from repro.api import TVDPClient
+    from repro.api.auth import principal_label
+
+    # A second principal on the same service.
+    other = TVDPClient(client._service)
+    other_user = other.register_user("other-tenant", role="engineer")
+    other.create_key(other_user)
+    assert principal_label(other.api_key) != principal_label(client.api_key)
+
+    record = generate_lasan_dataset(n_per_class=1, image_size=32, seed=0)[0]
+    body = client.add_image(
+        record.image, record.fov, record.captured_at, record.uploaded_at,
+        keywords=record.keywords,
+    )
+    client.search(
+        {
+            "type": "spatial",
+            "region": {
+                "min_lat": record.fov.camera.lat - 0.05,
+                "min_lng": record.fov.camera.lng - 0.05,
+                "max_lat": record.fov.camera.lat + 0.05,
+                "max_lng": record.fov.camera.lng + 0.05,
+            },
+        }
+    )
+    # The other principal only touches features (feature_bytes, no probes).
+    other.get_features("color_hsv_20_20_10", image_id=body["image_id"])
+
+    report = client.resources()
+    rows = {row["key"]: row for row in report["by_principal"]}
+    mine = rows[principal_label(client.api_key)]
+    theirs = rows[principal_label(other.api_key)]
+
+    # Spatial search work bills to the searching key...
+    assert mine["charges"].get("probes.rtree", 0) > 0
+    assert mine["cost"] > 0
+    # ...feature-vector bytes bill to the key that pulled them...
+    assert theirs["charges"].get("feature_bytes", 0) > 0
+    assert "probes.rtree" not in theirs["charges"]
+    # ...and the query shape aggregation names the access path.
+    shape_keys = {row["key"] for row in report["by_shape"]}
+    assert "spatial(mode=scene,region)" in shape_keys
+    operations = {row["key"]: row for row in report["by_operation"]}
+    assert operations["POST /search"]["count"] == 1
+    assert operations["POST /images"]["count"] == 1
+
+    # The worst-request exemplar links the report to one trace tree in
+    # which the client span and the server middleware span are joined.
+    exemplar = mine["exemplar"]
+    assert exemplar is not None
+    tree = client.trace(exemplar["trace_id"])
+    [root] = tree["roots"]
+    assert root["name"] == "client.request"
+    assert root["trace_id"] == exemplar["trace_id"]
+    [http_node] = root["children"]
+    assert http_node["name"] == "http.request"
+    assert http_node["trace_id"] == root["trace_id"]
+    assert http_node["children"]  # the platform work hangs beneath it

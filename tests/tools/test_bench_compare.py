@@ -191,11 +191,12 @@ class TestCheckedInBaseline:
 
 def load_section(**overrides) -> dict:
     base = {
-        "schema_version": 1,
+        "schema_version": 2,
         "seed": 0,
         "smoke": True,
         "zipf_s": 1.1,
         "requests_per_worker": 12,
+        "principals": {"count": 2, "mix": {"key:aaaa1111": 24, "key:bbbb2222": 12}},
         "families": {"spatial": 20, "textual": 4},
         "stages": [
             {
@@ -307,6 +308,54 @@ class TestLoadGating:
         assert load["smoke"] is True
         assert load["stages"], "baseline load section must have stages"
         assert all(stage["errors"] == 0 for stage in load["stages"])
+
+
+def overhead_bench(pct: float) -> dict:
+    record = bench(1.0)
+    record["results"] = {"overhead_pct": pct}
+    return record
+
+
+class TestOverheadGate:
+    NODE = "benchmarks/bench_obs_overhead.py::test_accounting_overhead"
+
+    def test_within_ceiling_is_clean(self):
+        doc = document({self.NODE: overhead_bench(4.2)})
+        assert bench_compare.compare(doc, doc) == []
+
+    def test_exactly_at_ceiling_is_clean(self):
+        doc = document({self.NODE: overhead_bench(5.0)})
+        assert bench_compare.compare(doc, doc) == []
+
+    def test_over_ceiling_regresses_even_with_skip_wall(self):
+        base = document({self.NODE: overhead_bench(4.0)})
+        current = document({self.NODE: overhead_bench(6.8)})
+        regressions = bench_compare.compare(base, current, skip_wall=True)
+        assert [r["kind"] for r in regressions] == ["overhead"]
+        [r] = regressions
+        assert r["current"] == pytest.approx(6.8)
+        line = bench_compare.format_regression(r)
+        assert "OVERHEAD" in line and "6.8" in line and "5" in line
+
+    def test_ceiling_binds_the_current_run_not_the_baseline(self):
+        # A bad baseline must not excuse (or flag) anything by itself.
+        base = document({self.NODE: overhead_bench(9.9)})
+        current = document({self.NODE: overhead_bench(4.0)})
+        assert bench_compare.compare(base, current) == []
+
+    def test_checked_in_baseline_overhead_within_ceiling(self):
+        baseline = bench_compare.load_document(
+            REPO_ROOT / "tools" / "bench_baseline.json"
+        )
+        overheads = {
+            nodeid: record["results"]["overhead_pct"]
+            for nodeid, record in baseline["benches"].items()
+            if "overhead_pct" in record.get("results", {})
+        }
+        assert overheads, "baseline must carry the accounting-overhead bench"
+        assert all(
+            pct <= bench_compare.OVERHEAD_LIMIT_PCT for pct in overheads.values()
+        )
 
 
 class TestMissingBenchesSection:

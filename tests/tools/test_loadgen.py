@@ -117,6 +117,19 @@ class TestRunLoad:
             latency = stage["latency_ms"]
             assert latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
 
+    def test_principal_mix_covers_all_requests(self):
+        load = run_load(TINY)
+        principals = load["principals"]
+        assert principals["count"] == TINY.principals
+        # Worker cohorts share keys round-robin, so every planned
+        # request lands on exactly one principal label.
+        total = sum(stage["requests"] for stage in load["stages"])
+        assert sum(principals["mix"].values()) == total
+        assert all(label.startswith("key:") for label in principals["mix"])
+        # Stages (1, 2) mean cohort 0 appears in both stages, cohort 1
+        # only in the second -> at least two distinct labels.
+        assert len(principals["mix"]) >= 2
+
     def test_digest_stable_across_runs(self):
         assert run_load(TINY)["schedule_digest"] == run_load(TINY)["schedule_digest"]
         digest = run_load(TINY)["schedule_digest"]

@@ -18,7 +18,11 @@ Exits non-zero when the current run regresses past the tolerance
 * **load section** (from ``python -m benchmarks.load``) — schema
   validity, schedule-digest drift between runs with identical workload
   knobs, per-stage error growth, and (when wall gating is on)
-  throughput collapse / p95 blow-up per concurrency stage.
+  throughput collapse / p95 blow-up per concurrency stage,
+* **accounting overhead** — any bench reporting
+  ``results.overhead_pct`` above :data:`OVERHEAD_LIMIT_PCT` fails the
+  current run outright (checked even with ``--skip-wall``; see
+  ``benchmarks/bench_obs_overhead.py``).
 
 Tiny values are noise, not signal: wall times under ``WALL_FLOOR_S``
 and counters under ``COUNTER_FLOOR`` never regress.  New benches and
@@ -45,6 +49,12 @@ COUNTER_FLOOR = 50.0
 #: Allowed relative throughput drop / p95 growth per load stage (load
 #: runs are noisier than single benches, so the band is wider).
 LOAD_TOLERANCE = 0.35
+#: Hard ceiling on ``results.overhead_pct`` reported by any bench in
+#: the *current* run (``bench_obs_overhead.py``: the resource ledger's
+#: cost as a percentage of one serving request).  Checked even under
+#: ``--skip-wall`` — it is a ratio of two walls from the same run on
+#: the same machine, so it survives slow CI runners.
+OVERHEAD_LIMIT_PCT = 5.0
 
 
 def load_document(path: str | Path) -> dict:
@@ -114,13 +124,41 @@ def compare(
                     }
                 )
     regressions.extend(_compare_load(baseline, current, skip_wall=skip_wall))
+    regressions.extend(_check_overhead(current))
     return regressions
+
+
+def _check_overhead(current: dict) -> list[dict]:
+    """Benches whose reported ``results.overhead_pct`` breaks the hard
+    ceiling — an absolute gate on the current run, not a baseline diff."""
+    over: list[dict] = []
+    for bench, record in sorted(current.get("benches", {}).items()):
+        pct = record.get("results", {}).get("overhead_pct")
+        if isinstance(pct, (int, float)) and not isinstance(pct, bool) and (
+            pct > OVERHEAD_LIMIT_PCT
+        ):
+            over.append(
+                {
+                    "kind": "overhead",
+                    "bench": bench,
+                    "baseline": OVERHEAD_LIMIT_PCT,
+                    "current": pct,
+                }
+            )
+    return over
 
 
 def _same_workload(base_load: dict, cur_load: dict) -> bool:
     """Whether the two load sections ran identical workload knobs (only
     then are digest and throughput comparisons meaningful)."""
-    keys = ("schema_version", "seed", "smoke", "zipf_s", "requests_per_worker")
+    keys = (
+        "schema_version",
+        "seed",
+        "smoke",
+        "zipf_s",
+        "requests_per_worker",
+        "principals",
+    )
     return all(base_load.get(k) == cur_load.get(k) for k in keys)
 
 
@@ -208,6 +246,12 @@ def format_regression(regression: dict) -> str:
         )
     if kind == "load-missing":
         return "LOAD-MISSING  load section in baseline, not in current run"
+    if kind == "overhead":
+        return (
+            f"OVERHEAD  {regression['bench']}: results.overhead_pct "
+            f"{regression['current']:g} exceeds the {regression['baseline']:g}% "
+            f"accounting-overhead ceiling"
+        )
     if kind == "load-schedule":
         return (
             f"LOAD-SCHEDULE  schedule digest drifted "

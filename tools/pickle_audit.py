@@ -5,7 +5,8 @@ The static ``picklability`` pass (``repro.devtools.picklability``)
 proves the *absence* of known-unpicklable state reachable from the
 shard roots; this harness proves the *presence* of working pickle
 support at runtime.  Every index family, the classification catalog's
-record tables, and every query-spec dataclass is:
+record tables, every query-spec dataclass, and the resource-accounting
+structures (trace context, ledgers, usage tables) are:
 
 1. built with a seeded workload,
 2. round-tripped through ``pickle.dumps``/``pickle.loads``, and
@@ -37,6 +38,16 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 import numpy as np  # noqa: E402
 
 from repro.core.catalog import ClassificationCatalog  # noqa: E402
+from repro.obs import (  # noqa: E402
+    Budget,
+    ResourceLedger,
+    TraceContext,
+    UsageTable,
+    charge,
+    format_traceparent,
+    ledger_scope,
+    parse_traceparent,
+)
 from repro.core.queries import (  # noqa: E402
     CategoricalQuery,
     HybridQuery,
@@ -306,6 +317,67 @@ def audit_queries(audit: Audit) -> None:
             )
 
 
+def audit_accounting(audit: Audit) -> None:
+    """Resource accounting crosses the shard boundary twice: trace
+    context travels outward on the wire (traceparent), and workers
+    pickle their ledgers/usage tables back for coordinator merge."""
+    context = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+    clone = pickle.loads(pickle.dumps(context))
+    audit.check("TraceContext: fields preserved", structurally_equal(context, clone))
+    audit.check(
+        "TraceContext: wire format round-trips",
+        parse_traceparent(format_traceparent(clone)) == context,
+    )
+
+    ledger = ResourceLedger(principal="key:abcd1234", operation="POST /search")
+    ledger.annotate(shape="spatial(mode=scene,region)", trace_id="ab" * 16)
+    ledger.add("rows_scanned", 12)
+    ledger.add("probes.rtree", 7.0)
+    ledger.add("feature_bytes", 4096.0)
+    clone_ledger = pickle.loads(pickle.dumps(ledger))
+    audit.check(
+        "ResourceLedger: snapshot preserved",
+        structurally_equal(ledger.snapshot(), clone_ledger.snapshot()),
+    )
+
+    table = UsageTable(budget=Budget(cost_per_window=100.0, window_s=30.0))
+    for principal, shape in (
+        ("key:abcd1234", "spatial(mode=scene,region)"),
+        ("key:abcd1234", "textual(match=any)"),
+        ("local", "spatial(mode=scene,region)"),
+    ):
+        with ledger_scope(
+            table=table, principal=principal, operation="audit", shape=shape
+        ):
+            charge("rows_scanned", 5)
+            charge("probes.rtree", 3)
+    clone_table = pickle.loads(pickle.dumps(table))
+    audit.check("UsageTable: lock recreated", _lock_works(clone_table))
+    audit.check(
+        "UsageTable: lock not shared", clone_table._lock is not table._lock
+    )
+    audit.check(
+        "UsageTable: clock recreated", clone_table._clock is not None
+    )
+    before, after = table.report(), clone_table.report()
+    for section in ("by_principal", "by_shape", "by_operation", "budget"):
+        audit.check(
+            f"UsageTable: {section} preserved",
+            structurally_equal(before[section], after[section]),
+        )
+    # The clone is a working merge target: coordinator-sum doubles the
+    # charge aggregates.
+    clone_table.merge(table)
+    merged = {
+        row["key"]: row["count"] for row in clone_table.report()["by_principal"]
+    }
+    audit.check(
+        "UsageTable: merge on clone sums charges",
+        merged == {"key:abcd1234": 4, "local": 2},
+        f"merged counts={merged!r}",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("-v", "--verbose", action="store_true")
@@ -315,12 +387,16 @@ def main(argv: list[str] | None = None) -> int:
     audit_indexes(audit)
     audit_catalog(audit)
     audit_queries(audit)
+    audit_accounting(audit)
 
     total = audit.passed + len(audit.failures)
     if audit.failures:
         print(f"pickle audit: {len(audit.failures)}/{total} check(s) FAILED")
         return 1
-    print(f"pickle audit: OK — {total} check(s) across indexes, catalog, queries")
+    print(
+        f"pickle audit: OK — {total} check(s) across indexes, catalog, "
+        f"queries, accounting"
+    )
     return 0
 
 
