@@ -125,6 +125,43 @@ COST_MODEL: dict = {
             "NumPy distance op per visited leaf, not per entry"
         ),
     },
+    "shard_partition": {
+        "access_path": "shard.partition.partition_catalog",
+        "cost": "O(n) slice + per-shard index rebuild, once per catalog version",
+        "dominant_counters": [],
+        "hot_sites": [
+            "repro.core.catalog.ClassificationCatalog.replicate_into",
+            "repro.shard.partition._data_region",
+            "repro.shard.partition._assign_shards",
+            "repro.shard.partition._slice_database",
+            "repro.shard.partition._build_indexes",
+            "repro.shard.partition._shard_stats",
+            "repro.index.hybrid._VNode.refresh",
+        ],
+        "note": (
+            "build-time full scans by design: partitioning slices every "
+            "table and rebuilds every index, amortised across queries by "
+            "the router's catalog-version fingerprint (no per-query cost)"
+        ),
+    },
+    "shard_scatter_gather": {
+        "access_path": "shard.router.ShardRouter.execute_many",
+        "cost": "O(s) dispatches + O(sum payload) coordinator merge per query",
+        "dominant_counters": [
+            "shard.fanouts",
+            "shard.shards_pruned",
+        ],
+        "hot_sites": [
+            "repro.shard.router.ShardRouter.execute_many",
+            "repro.shard.executor.ScatterGatherExecutor.absorb",
+        ],
+        "note": (
+            "s = surviving shards after pruning; per-shard merge loops "
+            "sort only that shard's payload slice (bounded by k for "
+            "ranked families), measured by shard.fanouts vs "
+            "shard.shards_pruned"
+        ),
+    },
 }
 
 

@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.obs import accounting
 from repro.errors import QueryError
+from repro.geo.point import BoundingBox
+from repro.index.inverted import tokenize
 from repro.core.costmodel import cost_annotation
 from repro.core.platform import TVDP
 from repro.core.queries import (
@@ -114,6 +116,102 @@ class QueryPlan:
             "cost": dict(self.cost) if self.cost is not None else None,
             "children": [child.to_dict() for child in self.children],
         }
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Pruning statistics one geo-tile shard publishes to the planner.
+
+    Built once at partition time (see :mod:`repro.shard.partition`) and
+    held by the coordinator; the scatter stage consults them to skip
+    shards that *provably* contribute nothing to a query — the pruning
+    predicates below are sound, never lossy, so pruning cannot change a
+    result, only the fan-out width.  ``term_dfs`` and ``text_docs``
+    additionally feed the distributed tf-idf merge: document frequency
+    is summed over **all** shards (pruned ones included), so ranking
+    scores stay bit-identical to serial regardless of pruning.
+    """
+
+    shard_id: int
+    n_images: int
+    #: Union MBR of every FOV *and* every camera point in the shard
+    #: (augmented images have no FOV row but still carry a camera
+    #: point); ``None`` for an empty shard.
+    bounds: BoundingBox | None
+    #: Documents in the shard's inverted index.
+    text_docs: int
+    #: term -> document frequency within this shard.
+    term_dfs: dict
+    #: temporal field -> (min, max) over the shard's images.
+    time_ranges: dict
+    #: annotation type_id -> annotation count within this shard.
+    annotation_types: dict
+    #: Extractor names with vectors indexed in this shard.
+    extractors: tuple
+
+
+def shard_survives(stats: ShardStats, query: object, type_ids_of=None) -> bool:
+    """Could ``query`` possibly match anything in this shard?
+
+    ``type_ids_of`` maps a :class:`CategoricalQuery` to its resolved
+    annotation type ids (resolution needs the catalog, which lives with
+    the coordinator); without it categorical queries conservatively
+    survive.  Every predicate is an over-approximation: ``False`` means
+    *provably empty*, ``True`` merely *cannot rule out*.
+    """
+    if stats.n_images == 0:
+        return False
+    if isinstance(query, SpatialQuery):
+        return stats.bounds is not None and stats.bounds.intersects(
+            query.bounding_region()
+        )
+    if isinstance(query, TemporalQuery):
+        window = stats.time_ranges.get(query.field)
+        if window is None:
+            return False
+        lo = query.start if query.start is not None else float("-inf")
+        hi = query.end if query.end is not None else float("inf")
+        return window[0] <= hi and lo <= window[1]
+    if isinstance(query, TextualQuery):
+        terms = set(tokenize(query.text))
+        if not terms:
+            return False
+        if query.match == "all":
+            return all(stats.term_dfs.get(term, 0) > 0 for term in terms)
+        return any(stats.term_dfs.get(term, 0) > 0 for term in terms)
+    if isinstance(query, CategoricalQuery):
+        if type_ids_of is None:
+            return True
+        type_ids = type_ids_of(query)
+        return any(stats.annotation_types.get(t, 0) > 0 for t in type_ids)
+    if isinstance(query, VisualQuery):
+        return query.extractor_name in stats.extractors
+    if isinstance(query, HybridQuery):
+        parts = list(query.queries)
+        spatial = next((q for q in parts if isinstance(q, SpatialQuery)), None)
+        visual = next((q for q in parts if isinstance(q, VisualQuery)), None)
+        if len(parts) == 2 and spatial is not None and visual is not None:
+            # Fused path: one spatial_visual_knn task per shard, so the
+            # shard is needed only when both filters could match.
+            return shard_survives(stats, spatial, type_ids_of) and shard_survives(
+                stats, visual, type_ids_of
+            )
+        # General hybrids scatter each part independently (top-k parts
+        # are order-sensitive to their full candidate pool, so per-part
+        # pruning must not be narrowed by sibling parts): the shard is
+        # needed when *any* part needs it.
+        return any(shard_survives(stats, sub, type_ids_of) for sub in parts)
+    raise QueryError(f"cannot prune for query type {type(query).__name__}")
+
+
+def prune_shards(
+    stats: list[ShardStats], query: object, type_ids_of=None
+) -> list[ShardStats]:
+    """The shards ``query`` must scatter to (ascending shard id)."""
+    return sorted(
+        (s for s in stats if shard_survives(s, query, type_ids_of)),
+        key=lambda s: s.shard_id,
+    )
 
 
 def _plan_node(platform: TVDP, query: object) -> QueryPlan:
@@ -271,10 +369,21 @@ def explain(platform: TVDP, query: object, analyze: bool = False) -> QueryPlan:
     deltas on every node (hybrid children are executed stand-alone to
     attribute their cost — see the module docstring)."""
     plan = _plan_node(platform, query)
-    if not analyze:
-        return plan
-    analyzed = _analyze_node(platform, query, plan)
-    active = obs.current_span()
-    if active is not None:
-        active.set("plan", analyzed.to_dict())
-    return analyzed
+    if analyze:
+        plan = _analyze_node(platform, query, plan)
+    preview = platform.shard_plan_preview(query)
+    if preview is not None:
+        # On a sharded platform the access-path plan executes inside a
+        # scatter-gather: wrap it in the fan-out node so EXPLAIN shows
+        # how many shards the pruning predicates eliminated.
+        plan = QueryPlan(
+            "scatter_gather",
+            "shard.scatter_gather",
+            details=dict(preview),
+            children=(plan,),
+        )
+    if analyze:
+        active = obs.current_span()
+        if active is not None:
+            active.set("plan", plan.to_dict())
+    return plan

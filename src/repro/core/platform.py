@@ -16,8 +16,12 @@ store:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.shard.router import ShardRouter  # devtools: allow[layer-boundary]
 
 from repro import obs
 from repro.obs.accounting import LOCAL_PRINCIPAL, charge, maybe_ledger_scope
@@ -46,6 +50,8 @@ from repro.core.queries import (
     TemporalQuery,
     TextualQuery,
     VisualQuery,
+    canonical_ranked,
+    combine_hybrid,
     query_family,
     query_shape,
 )
@@ -84,19 +90,38 @@ class TVDP:
         When set, uploads are checked against a perceptual-hash index
         and flagged (``UploadReceipt.near_duplicate_of``) when a
         visually near-identical image already exists.
+    shards:
+        ``shards > 1`` turns on scale-out execution: the catalog is
+        partitioned into geo-tile shards (see :mod:`repro.shard`) and
+        queries scatter-gather across them, with results exactly equal
+        to serial execution.  ``shards=1`` (the default) runs serial.
+    shard_pool:
+        Worker pool flavour for sharded execution: ``"process"`` (a
+        ``multiprocessing`` pool fed pickled shard handles) or
+        ``"inline"`` (in-process, for deterministic tests).
+    shard_grid:
+        ``(rows, cols)`` of the geo-tile lattice shards are carved from.
     """
 
     def __init__(
         self,
         reject_low_quality: bool = False,
         detect_near_duplicates: bool = False,
+        shards: int = 1,
+        shard_pool: str = "process",
+        shard_grid: tuple[int, int] = (8, 8),
     ) -> None:
+        if shards < 1:
+            raise TVDPError(f"shards must be >= 1, got {shards}")
         self.db = Database.tvdp()
         self.catalog = ClassificationCatalog(self.db)
         self.annotations = AnnotationService(self.db, self.catalog)
         self.features = FeatureRegistry()
         self.reject_low_quality = reject_low_quality
         self.detect_near_duplicates = detect_near_duplicates
+        self.shards = int(shards)
+        self.shard_pool = shard_pool
+        self.shard_grid = shard_grid
         self._blobs: dict[int, Image] = {}
         self._hash_to_id: dict[str, int] = {}
         self._spatial = OrientedRTree()
@@ -104,6 +129,7 @@ class TVDP:
         self._lsh: dict[str, LSHIndex] = {}
         self._hybrid: dict[str, VisualRTree] = {}
         self._near_duplicates = NearDuplicateIndex() if detect_near_duplicates else None
+        self._router: "ShardRouter | None" = None
 
     # -- users & keys ---------------------------------------------------------
 
@@ -388,7 +414,99 @@ class TVDP:
     # -- query execution ---------------------------------------------------------
 
     def execute(self, query: object) -> list[QueryResult]:
-        """Run any of the five query families or a hybrid."""
+        """Run any of the five query families or a hybrid.
+
+        With ``shards > 1`` the query scatter-gathers across the
+        geo-tile shards; the merged answer is exactly the serial one
+        (the property harness in ``tests/shard`` proves it)."""
+        if self.shards > 1:
+            return self._execute(query, self._run_sharded)
+        return self._execute(query, self._dispatch)
+
+    def execute_serial(self, query: object) -> list[QueryResult]:
+        """Serial bypass of the scatter-gather path — the oracle the
+        equivalence harness compares sharded answers against.  On a
+        serial platform this is identical to :meth:`execute`."""
+        return self._execute(query, self._dispatch)
+
+    def execute_many(self, queries: list[object]) -> list[list[QueryResult]]:
+        """Execute a batch of queries.
+
+        Sharded platforms fan the *whole batch* out in one scatter
+        round-trip per shard, amortising worker dispatch across the
+        batch; serial platforms just loop.
+        """
+        if self.shards > 1:
+            router = self._shard_router()
+            with maybe_ledger_scope(
+                obs.usage(), principal=LOCAL_PRINCIPAL, operation="execute.batch"
+            ):
+                with obs.span("query.batch", queries=len(queries)):
+                    routed = router.execute_many(list(queries))
+            registry = obs.metrics()
+            for query in queries:
+                registry.counter(
+                    "platform.queries", {"family": query_family(query)}
+                ).inc()
+            return [results for results, _ in routed]
+        return [self.execute(query) for query in queries]
+
+    def _run_sharded(self, query: object) -> list[QueryResult]:
+        results, info = self._shard_router().execute(query)
+        span = obs.current_span()
+        if span is not None:
+            for key, value in info.items():
+                span.set(key, value)
+        return results
+
+    def _shard_router(self) -> "ShardRouter":
+        if self._router is None:
+            # The shard layer sits *above* core in the layer DAG; this
+            # lazy import is the one sanctioned downward reference.
+            from repro.shard.router import ShardRouter  # devtools: allow[layer-boundary]
+
+            self._router = ShardRouter(
+                self,
+                n_shards=self.shards,
+                pool_kind=self.shard_pool,
+                grid=self.shard_grid,
+            )
+        return self._router
+
+    def set_shards(self, shards: int, pool: str | None = None) -> None:
+        """Re-shard the platform in place (``shards=1`` returns to
+        serial).  Existing worker pools are released."""
+        if shards < 1:
+            raise TVDPError(f"shards must be >= 1, got {shards}")
+        self.close()
+        self.shards = int(shards)
+        if pool is not None:
+            self.shard_pool = pool
+
+    def close(self) -> None:
+        """Release scatter-gather worker processes (no-op when serial)."""
+        if self._router is not None:
+            self._router.close()
+            self._router = None
+
+    def shard_plan_preview(self, query: object) -> dict | None:
+        """Shard-pruning annotation for EXPLAIN — ``shards_considered``
+        and ``shards_pruned`` without executing; ``None`` when serial."""
+        if self.shards <= 1:
+            return None
+        return self._shard_router().preview(query)
+
+    def visual_indexes(self) -> dict[str, LSHIndex]:
+        """Live LSH indexes by extractor name (read-only view for the
+        shard partitioner, which clones their hash functions)."""
+        return dict(self._lsh)
+
+    def hybrid_indexes(self) -> dict[str, VisualRTree]:
+        """Live Visual R-trees by extractor name (read-only view for the
+        shard partitioner)."""
+        return dict(self._hybrid)
+
+    def _dispatch(self, query: object) -> list[QueryResult]:
         runners = {
             SpatialQuery: self._run_spatial,
             VisualQuery: self._run_visual,
@@ -397,15 +515,16 @@ class TVDP:
             TemporalQuery: self._run_temporal,
             HybridQuery: self._run_hybrid,
         }
-        runner = runners.get(type(query))
-        if runner is None:
-            raise QueryError(f"unsupported query type {type(query).__name__}")
+        return runners[type(query)](query)
+
+    def _execute(self, query: object, run) -> list[QueryResult]:
         family = query_family(query)
-        # Hybrid sub-queries recurse through execute(), so one hybrid
-        # call yields a query.hybrid span with query.<family> children —
-        # and maybe_ledger_scope bills them all to the enclosing ledger
-        # (the API request's when there is one, a fresh local ledger
-        # otherwise) instead of fragmenting the charge across sub-queries.
+        # Hybrid sub-queries recurse through execute_serial(), so one
+        # hybrid call yields a query.hybrid span with query.<family>
+        # children — and maybe_ledger_scope bills them all to the
+        # enclosing ledger (the API request's when there is one, a fresh
+        # local ledger otherwise) instead of fragmenting the charge
+        # across sub-queries.
         with maybe_ledger_scope(
             obs.usage(), principal=LOCAL_PRINCIPAL, operation=f"execute.{family}"
         ) as ledger:
@@ -416,7 +535,7 @@ class TVDP:
                     ledger.annotate(shape=query_shape(query))
                 if ledger.trace_id is None:
                     ledger.annotate(trace_id=sp.trace_id)
-                results = runner(query)
+                results = run(query)
                 sp.set("results", len(results))
         obs.metrics().counter("platform.queries", {"family": family}).inc()
         # duration_ms is only final once the span context exits, so the
@@ -490,7 +609,9 @@ class TVDP:
             pairs = self._text.search_all(query.text)
         else:
             pairs = self._text.search_any(query.text)
-        return [QueryResult(image_id=doc, score=score) for doc, score in pairs]
+        return canonical_ranked(
+            [QueryResult(image_id=doc, score=score) for doc, score in pairs]
+        )
 
     def _run_temporal(self, query: TemporalQuery) -> list[QueryResult]:
         lo = query.start if query.start is not None else -np.inf
@@ -498,7 +619,7 @@ class TVDP:
         rows = self.db.table("images").scan(
             lambda row: lo <= row[query.field] <= hi
         )
-        return [QueryResult(image_id=row["image_id"]) for row in rows]
+        return [QueryResult(image_id=i) for i in sorted(row["image_id"] for row in rows)]
 
     def _run_hybrid(self, query: HybridQuery) -> list[QueryResult]:
         # Spatial-visual pairs get the dedicated Visual R*-tree path.
@@ -508,17 +629,11 @@ class TVDP:
             visual = next((q for q in parts if isinstance(q, VisualQuery)), None)
             if spatial is not None and visual is not None:
                 return self._run_spatial_visual(spatial, visual)
-        result_sets = [self.execute(sub) for sub in parts]
-        common = set.intersection(*[{r.image_id for r in rs} for rs in result_sets])
-        scores: dict[int, float] = {i: 0.0 for i in common}
-        for result_set in result_sets:
-            for result in result_set:
-                if result.image_id in scores and result.score > 0:
-                    scores[result.image_id] = result.score
-        return [
-            QueryResult(image_id=i, score=scores[i])
-            for i in sorted(common, key=lambda i: (-scores[i], i))
-        ]
+        # Sub-queries recurse serially even on a sharded platform: the
+        # router decomposes hybrids *itself* so each part scatters once,
+        # and this serial path stays the oracle the harness compares to.
+        result_sets = [self.execute_serial(sub) for sub in parts]
+        return combine_hybrid(result_sets)
 
     def _run_spatial_visual(
         self, spatial: SpatialQuery, visual: VisualQuery

@@ -15,6 +15,7 @@ import numpy as np
 from repro.errors import QueryError
 from repro.geo.point import BoundingBox, GeoPoint
 from repro.imaging.image import Image
+from repro.index.ordering import tie_key
 
 
 @dataclass(frozen=True)
@@ -225,3 +226,34 @@ def query_shape(query: object) -> str:
         inner = "+".join(query_shape(sub) for sub in query.queries)
         return f"hybrid({inner})"
     raise QueryError(f"unsupported query type {type(query).__name__}")
+
+
+def canonical_ranked(results: list[QueryResult]) -> list[QueryResult]:
+    """Canonical result order: descending score, ascending media id.
+
+    Serial runners and the scatter-gather merge both normalise ranked
+    results through this one total order, so equal-scored hits cannot
+    reorder between a serial scan and a shard merge (or between two
+    runs) — the tie-break guarantee the equivalence harness asserts.
+    """
+    return sorted(results, key=lambda r: (-r.score, tie_key(r.image_id)))
+
+
+def combine_hybrid(result_sets: list[list[QueryResult]]) -> list[QueryResult]:
+    """Conjunction semantics shared by serial and sharded execution:
+    intersect the sub-results, score each survivor with the last
+    positive sub-score seen, order by (score desc, media id asc).
+
+    Both execution paths call exactly this function on their per-part
+    result sets, so a hybrid's merge can never diverge from serial.
+    """
+    common = set.intersection(*[{r.image_id for r in rs} for rs in result_sets])
+    scores: dict[int, float] = {i: 0.0 for i in common}
+    for result_set in result_sets:
+        for result in result_set:
+            if result.image_id in scores and result.score > 0:
+                scores[result.image_id] = result.score
+    return [
+        QueryResult(image_id=i, score=scores[i])
+        for i in sorted(common, key=lambda i: (-scores[i], tie_key(i)))
+    ]

@@ -89,6 +89,9 @@ DEFAULT_LAYER_CONFIG = LayerConfig(
             {"errors", "core", "crowd", "db", "geo", "imaging", "ml", "resilience"}
         ),
         "edge": frozenset({"errors", "ml", "resilience"}),
+        "shard": frozenset(
+            {"errors", "core", "db", "geo", "index", "resilience"}
+        ),
         "analysis": frozenset(
             {"errors", "core", "datasets", "features", "geo", "imaging", "ml"}
         ),

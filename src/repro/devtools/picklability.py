@@ -43,6 +43,7 @@ DEFAULT_PICKLE_ROOT_GLOBS: tuple[str, ...] = (
     "*/index/*.py",
     "*/core/catalog.py",
     "*/core/queries.py",
+    "*/shard/partition.py",
 )
 
 #: Constructor dotted name (import-resolved) -> what it creates.

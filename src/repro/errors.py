@@ -56,6 +56,10 @@ class EdgeError(TVDPError):
     """Edge-computing failure (unknown device, undispatchable model)."""
 
 
+class ShardError(TVDPError):
+    """Scale-out execution failure (shard worker died, bad shard task)."""
+
+
 class ResilienceError(TVDPError):
     """Resilience-policy failure (retry budget spent, breaker open...)."""
 

@@ -13,7 +13,7 @@ coverage measurement.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import GeoError
 from repro.geo.geodesy import (
@@ -47,6 +47,11 @@ class FieldOfView:
     direction_deg: float
     angle_deg: float
     range_m: float
+    #: Memoized :meth:`mbr` — the FOV is immutable, and index filters
+    #: evaluate the MBR once per candidate per query otherwise.
+    _mbr_cache: BoundingBox | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not (0.0 < self.angle_deg <= 360.0):
@@ -123,13 +128,17 @@ class FieldOfView:
         sector spans a cardinal direction — the extremal point on that
         cardinal bearing (otherwise the MBR would clip the arc bulge).
         """
+        if self._mbr_cache is not None:
+            return self._mbr_cache
         points = [self.camera]
         points.extend(self.boundary_points(samples=16))
         half = self.angle_deg / 2.0
         for cardinal in (0.0, 90.0, 180.0, 270.0):
             if angular_difference_deg(cardinal, self.direction_deg) <= half:
                 points.append(destination_point(self.camera, cardinal, self.range_m))
-        return BoundingBox.from_points(points)
+        box = BoundingBox.from_points(points)
+        object.__setattr__(self, "_mbr_cache", box)
+        return box
 
     def intersects_box(self, box: BoundingBox) -> bool:
         """Sector-rectangle intersection (filter + refine).

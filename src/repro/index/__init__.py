@@ -1,5 +1,6 @@
 """Index structures: R-tree, Oriented R-tree, LSH, inverted, hybrid."""
 
+from repro.index.ordering import tie_key
 from repro.index.rtree import RTree, box_point_distance_deg
 from repro.index.oriented_rtree import SECTORS, OrientedRTree, direction_mask
 from repro.index.lsh import LSHIndex
@@ -19,4 +20,5 @@ __all__ = [
     "STOPWORDS",
     "VisualRTree",
     "GridIndex",
+    "tie_key",
 ]

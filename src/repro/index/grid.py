@@ -65,3 +65,15 @@ class GridIndex:
     def cell_counts(self) -> dict[tuple[int, int], int]:
         """Occupancy per non-empty cell (coverage heat map input)."""
         return {key: len(bucket) for key, bucket in self._cells.items()}
+
+    def cell_items(self) -> dict[tuple[int, int], list[tuple[object, GeoPoint]]]:
+        """Bucket contents per non-empty cell — the geo-tile partitioner
+        assigns whole cells to shards."""
+        with self._lock:
+            return {key: list(bucket) for key, bucket in self._cells.items()}
+
+    def overflow_items(self) -> list[tuple[object, GeoPoint]]:
+        """Out-of-region items (the partitioner pins them to shard 0 so
+        no data silently drops out of the sharded catalog)."""
+        with self._lock:
+            return list(self._overflow)

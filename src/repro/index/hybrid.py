@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import IndexError_
 from repro.geo.point import BoundingBox, GeoPoint
+from repro.index.ordering import tie_key
 from repro.obs import metrics as _metrics
 from repro.obs.accounting import charge_probes
 
@@ -201,17 +202,9 @@ class VisualRTree:
         results: list[tuple[object, float]] = []
         pops = 0
         pruned = 0
-        while heap and len(results) < k:
-            pops += 1
-            bound, _, payload, is_entry = heapq.heappop(heap)
-            if is_entry:
-                box, _, item = payload
-                results.append((item, bound))
-                continue
-            node = payload
-            if node.box is None or not node.box.intersects(region):
-                pruned += 1
-                continue
+
+        def expand(node: _VNode) -> None:
+            nonlocal pruned
             if node.leaf:
                 kept = [e for e in node.entries if e[0].intersects(region)]
                 if kept:
@@ -242,6 +235,37 @@ class VisualRTree:
                     )
                     for child, lower in zip(kept_children, lowers):
                         heapq.heappush(heap, (float(lower), next(counter), child, False))
+
+        while heap and len(results) < k:
+            pops += 1
+            bound, _, payload, is_entry = heapq.heappop(heap)
+            if is_entry:
+                results.append((payload[2], bound))
+                continue
+            node = payload
+            if node.box is None or not node.box.intersects(region):
+                pruned += 1
+                continue
+            expand(node)
+        # Drain the equal-distance frontier: anything whose lower bound
+        # still equals the k-th collected distance could legitimately
+        # displace a collected tie, so ties at the boundary must be
+        # decided by the canonical order, not by heap insertion order.
+        if results:
+            kth = max(distance for _, distance in results)
+            while heap and heap[0][0] <= kth:
+                pops += 1
+                bound, _, payload, is_entry = heapq.heappop(heap)
+                if is_entry:
+                    results.append((payload[2], bound))
+                    continue
+                node = payload
+                if node.box is None or not node.box.intersects(region):
+                    pruned += 1
+                    continue
+                expand(node)
+        results.sort(key=lambda pair: (pair[1], tie_key(pair[0])))
+        results = results[:k]
         _QUERIES.inc()
         _HEAP_POPS.inc(pops)
         _SPATIAL_PRUNED.inc(pruned)
@@ -270,5 +294,5 @@ class VisualRTree:
                     )
             else:
                 stack.extend(node.entries)
-        out.sort(key=lambda pair: (pair[1], str(pair[0])))
+        out.sort(key=lambda pair: (pair[1], tie_key(pair[0])))
         return out[:k]

@@ -12,6 +12,7 @@ import threading
 from collections import Counter
 
 from repro.errors import IndexError_
+from repro.index.ordering import tie_key
 from repro.obs import metrics as _metrics
 from repro.obs.accounting import charge_probes
 
@@ -122,3 +123,50 @@ class InvertedIndex:
     def vocabulary(self) -> list[str]:
         """Sorted indexed terms."""
         return sorted(self._postings)
+
+    # -- scatter-gather exports ---------------------------------------------
+
+    def doc_count(self) -> int:
+        """Documents indexed — the ``N`` of the idf formula."""
+        return len(self._doc_lengths)
+
+    def term_dfs(self) -> dict[str, int]:
+        """Term -> document frequency for every indexed term.
+
+        Shard statistics for the scale-out planner: pruning a shard must
+        not change ranking, so the coordinator computes *global* idf
+        from the per-shard dfs of **all** shards — including ones the
+        match itself prunes.
+        """
+        return {term: len(bucket) for term, bucket in self._postings.items()}
+
+    def postings_for(
+        self, terms: list[str]
+    ) -> dict[str, list[tuple[object, int, int]]]:
+        """Raw postings for ``terms``: term -> ``(doc, tf, doc_length)``
+        triples, docs in canonical id order, absent terms omitted.
+
+        The scatter-gather coordinator rescores these with global
+        document frequencies, accumulating per-document contributions in
+        sorted-term order — the same float-addition sequence
+        :meth:`search_any` performs, so sharded tf-idf scores are
+        bit-identical to serial ones.
+        """
+        out: dict[str, list[tuple[object, int, int]]] = {}
+        scanned = 0
+        for term in terms:
+            postings = self._postings.get(term)
+            if not postings:
+                continue
+            scanned += len(postings)
+            out[term] = sorted(
+                (
+                    (doc, tf, max(self._doc_lengths[doc], 1))
+                    for doc, tf in postings.items()
+                ),
+                key=lambda triple: tie_key(triple[0]),
+            )
+        _QUERIES.inc()
+        _POSTINGS_SCANNED.inc(scanned)
+        charge_probes("inverted", scanned)
+        return out

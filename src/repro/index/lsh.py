@@ -15,6 +15,7 @@ import threading
 import numpy as np
 
 from repro.errors import IndexError_
+from repro.index.ordering import tie_key
 from repro.obs import metrics as _metrics
 from repro.obs.accounting import charge_probes
 
@@ -75,6 +76,22 @@ class LSHIndex:
 
     def __len__(self) -> int:
         return len(self._vectors)
+
+    def clone_empty(self) -> "LSHIndex":
+        """An empty index sharing this one's exact hash functions.
+
+        Shard slices built from clones produce candidate sets that
+        *partition* the parent's: a vector hashes to the same buckets in
+        every clone, so the union of per-shard candidates equals the
+        serial candidate set — the invariant the scatter-gather
+        equivalence proof rests on.
+        """
+        clone = LSHIndex(
+            self.dimension, self.n_tables, self.n_projections, self.bucket_width
+        )
+        clone._projections = self._projections.copy()
+        clone._offsets = self._offsets.copy()
+        return clone
 
     def _check_vector(self, vector: np.ndarray) -> np.ndarray:
         vector = np.asarray(vector, dtype=np.float64).ravel()
@@ -145,19 +162,40 @@ class LSHIndex:
             return self.linear_topk(vector, k)
         return self._rank(list(candidates), vector, k)
 
+    def topk_with_stats(
+        self, vector: np.ndarray, k: int
+    ) -> tuple[list[tuple[object, float]], int]:
+        """Phase-1 scatter probe: ranked top-``k`` among hash candidates
+        plus the candidate-set size, *without* the exhaustive fallback.
+
+        The scatter-gather coordinator sums the per-shard candidate
+        counts and triggers the exact fallback globally iff the total is
+        below ``k`` — reproducing the serial fallback decision exactly.
+        """
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        vector = self._check_vector(vector)
+        candidates = self._candidates(vector)
+        return self._rank(list(candidates), vector, k), len(candidates)
+
     def _rank(
         self, items: list[object], vector: np.ndarray, k: int | None
     ) -> list[tuple[object, float]]:
-        """Vectorised exact ranking of ``items`` by distance to ``vector``."""
+        """Vectorised exact ranking of ``items`` by distance to
+        ``vector``, equal distances broken by item id (canonical order —
+        see :mod:`repro.index.ordering`)."""
         if not items:
             return []
         rows = np.array([self._row_of[item] for item in items])
         matrix = self._dense_matrix()[rows]
         distances = np.linalg.norm(matrix - vector, axis=1)
-        order = np.argsort(distances, kind="stable")
+        order = sorted(
+            range(len(items)),
+            key=lambda i: (float(distances[i]), tie_key(items[i])),
+        )
         if k is not None:
             order = order[:k]
-        return [(items[int(i)], float(distances[int(i)])) for i in order]
+        return [(items[i], float(distances[i])) for i in order]
 
     def query_radius(self, vector: np.ndarray, radius: float) -> list[tuple[object, float]]:
         """All hash candidates within true distance ``radius``."""
@@ -173,14 +211,26 @@ class LSHIndex:
         if k < 1:
             raise IndexError_(f"k must be >= 1, got {k}")
         vector = self._check_vector(vector)
-        if not self._items:
-            return []
-        distances = np.linalg.norm(self._dense_matrix() - vector, axis=1)
-        order = np.argsort(distances, kind="stable")[:k]
-        return [(self._items[int(i)], float(distances[int(i)])) for i in order]
+        # Items and matrix must come from one locked snapshot: a
+        # concurrent insert between the two reads would leave more
+        # items than matrix rows and the sort would index past the end.
+        with self._lock:
+            if not self._items:
+                return []
+            items = list(self._items)
+            matrix = self._dense_matrix_locked()
+        distances = np.linalg.norm(matrix - vector, axis=1)
+        order = sorted(
+            range(len(items)),
+            key=lambda i: (float(distances[i]), tie_key(items[i])),
+        )[:k]
+        return [(items[i], float(distances[i])) for i in order]
 
     def _dense_matrix(self) -> np.ndarray:
         with self._lock:
-            if self._matrix_cache is None:
-                self._matrix_cache = np.vstack(self._matrix_rows)
-            return self._matrix_cache
+            return self._dense_matrix_locked()
+
+    def _dense_matrix_locked(self) -> np.ndarray:
+        if self._matrix_cache is None:
+            self._matrix_cache = np.vstack(self._matrix_rows)
+        return self._matrix_cache

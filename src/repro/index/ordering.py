@@ -1,0 +1,30 @@
+"""Canonical tie-break ordering shared by every ranked index path.
+
+Equal-scored hits used to surface in whatever order a heap, a hash set,
+or a stable argsort happened to produce them — fine for one process,
+fatal for scatter-gather: a coordinator merging per-shard top-k lists
+would interleave ties differently than a serial scan, so sharded and
+serial answers could disagree on *order* while agreeing on *content*.
+
+Every ranked path therefore breaks ties on :func:`tie_key`, giving one
+total order — ``(score, media_id)`` — that serial execution and the
+shard merge both produce bit-for-bit.
+"""
+
+from __future__ import annotations
+
+_KeyTuple = tuple[int, float, str]
+
+
+def tie_key(item: object) -> _KeyTuple:
+    """Total-order sort key for opaque item ids.
+
+    Numeric ids (the platform's media ids) order numerically and before
+    non-numeric ids, which order by their string form — so mixed id
+    vocabularies still compare without ``TypeError``.
+    """
+    if isinstance(item, bool):
+        return (1, 0.0, str(item))
+    if isinstance(item, (int, float)):
+        return (0, float(item), "")
+    return (1, 0.0, str(item))

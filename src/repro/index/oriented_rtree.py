@@ -86,6 +86,11 @@ class OrientedRTree:
             raise IndexError_(f"item {item!r} not in index")
         return self._fovs[item]
 
+    def bounds(self) -> BoundingBox | None:
+        """Union MBR of every indexed FOV (``None`` when empty) — the
+        spatial extent the shard planner prunes against."""
+        return self._tree.bounds()
+
     # -- queries ------------------------------------------------------------
 
     def search_range(

@@ -299,6 +299,12 @@ class RTree:
 
     # -- queries ------------------------------------------------------------
 
+    def bounds(self) -> BoundingBox | None:
+        """Root MBR — the union of every indexed box (``None`` when
+        empty).  The shard planner prunes a shard when its bounds miss
+        the query region."""
+        return self._root.box
+
     def search_range(self, box: BoundingBox) -> list[object]:
         """Items whose boxes intersect ``box``."""
         out: list[object] = []

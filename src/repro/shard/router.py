@@ -1,0 +1,546 @@
+"""Coordinator for sharded query execution.
+
+The router owns the shard handles, the planner statistics, and the
+worker pool.  For every query it
+
+1. **prepares** a coordinator-side plan — validating exactly like the
+   serial runners (same :class:`~repro.errors.QueryError` messages, in
+   the same order), resolving catalog lookups, extracting query
+   vectors, and charging the same coordinator-side ledger entries;
+2. **prunes** shards with :func:`repro.core.planner.prune_shards`
+   (sound predicates — pruning can only shrink fan-out, never results);
+3. **scatters** per-shard :class:`~repro.shard.plans.ShardTask` batches
+   through a :class:`~repro.shard.executor.ScatterGatherExecutor`
+   (batching a whole ``execute_many`` round into one dispatch per
+   shard); and
+4. **merges** the payloads back into the exact serial answer: set
+   unions for enumeration families, coordinator-side global tf-idf for
+   text, two-phase candidate/fallback top-k for visual, distance-level
+   heap merges for ranked families, and
+   :func:`~repro.core.queries.combine_hybrid` for general hybrids.
+
+Failed shards (after retries) degrade the answer to ``partial=True``
+instead of raising — surfaced per query in the info dict and on the
+query span.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import obs
+from repro.core.planner import ShardStats, prune_shards
+from repro.core.platform import TVDP
+from repro.core.queries import (
+    CategoricalQuery,
+    HybridQuery,
+    QueryResult,
+    SpatialQuery,
+    TemporalQuery,
+    TextualQuery,
+    VisualQuery,
+    canonical_ranked,
+    combine_hybrid,
+)
+from repro.errors import QueryError, ShardError, TVDPError
+from repro.geo.point import BoundingBox
+from repro.index.inverted import tokenize
+from repro.index.ordering import tie_key
+from repro.obs.accounting import charge
+from repro.resilience.clock import Clock
+from repro.shard.executor import (
+    InlineShardPool,
+    ProcessShardPool,
+    ScatterGatherExecutor,
+)
+from repro.shard.partition import partition_catalog
+from repro.shard.plans import ShardTask
+
+import numpy as np
+
+_log = obs.get_logger("shard.router")
+
+_FANOUTS = obs.metrics().counter("shard.fanouts")
+_PRUNED = obs.metrics().counter("shard.shards_pruned")
+_PARTIAL = obs.metrics().counter("shard.partial_results")
+
+
+class _Unit:
+    """One task fanned out to a set of shards, with its gathered
+    payloads (``lost`` records shards that failed every attempt)."""
+
+    __slots__ = ("task", "shard_ids", "payloads", "lost")
+
+    def __init__(self, task: ShardTask, shard_ids: list) -> None:
+        self.task = task
+        self.shard_ids = list(shard_ids)
+        self.payloads: dict = {}
+        self.lost: list = []
+
+    def ordered_payloads(self) -> list:
+        """Payloads in ascending shard order (merge determinism)."""
+        return [self.payloads[s] for s in sorted(self.payloads)]
+
+
+class ShardRouter:
+    """Scatter-gather coordinator bound to one :class:`TVDP` platform."""
+
+    def __init__(
+        self,
+        platform: TVDP,
+        n_shards: int,
+        pool_kind: str = "process",
+        grid: tuple = (8, 8),
+        region: BoundingBox | None = None,
+        max_attempts: int = 3,
+        timeout_s: float = 30.0,
+        clock: Clock | None = None,
+    ) -> None:
+        if n_shards < 2:
+            raise TVDPError(f"router needs >= 2 shards, got {n_shards}")
+        if pool_kind not in ("process", "inline"):
+            raise TVDPError(f"unknown shard pool kind {pool_kind!r}")
+        self._platform = platform
+        self.n_shards = n_shards
+        self.pool_kind = pool_kind
+        self.grid = grid
+        self.region = region
+        self.max_attempts = max_attempts
+        self.timeout_s = timeout_s
+        self.clock = clock
+        self._shards: list | None = None
+        self._stats: list[ShardStats] = []
+        self._executor: ScatterGatherExecutor | None = None
+        self._fingerprint: tuple | None = None
+
+    # -- shard lifecycle -----------------------------------------------------
+
+    def _current_fingerprint(self) -> tuple:
+        """Cheap catalog-freshness token: any upload, annotation,
+        keyword, or extraction changes a row count or adds an index."""
+        return (
+            tuple(sorted(self._platform.db.row_counts().items())),
+            tuple(sorted(self._platform.visual_indexes())),
+        )
+
+    def _ensure(self) -> None:
+        fingerprint = self._current_fingerprint()
+        if self._shards is not None and fingerprint == self._fingerprint:
+            return
+        self.close()
+        with obs.span("shard.partition", shards=self.n_shards):
+            self._shards = partition_catalog(
+                self._platform, self.n_shards, grid=self.grid, region=self.region
+            )
+        self._stats = [handle.stats for handle in self._shards]
+        if self.pool_kind == "inline":
+            pool = InlineShardPool(self._shards)
+        else:
+            pool = ProcessShardPool(self._shards)
+        self._executor = ScatterGatherExecutor(
+            pool,
+            max_attempts=self.max_attempts,
+            timeout_s=self.timeout_s,
+            clock=self.clock,
+        )
+        self._fingerprint = fingerprint
+        _log.info(
+            "partitioned %d images into %d shards (%s pool)",
+            sum(s.n_images for s in self._stats),
+            self.n_shards,
+            self.pool_kind,
+        )
+
+    def close(self) -> None:
+        """Release the worker pool and drop the partition."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+        self._shards = None
+        self._stats = []
+        self._fingerprint = None
+
+    def shard_stats(self) -> list[ShardStats]:
+        """Current per-shard planner statistics (partitioning on demand)."""
+        self._ensure()
+        return list(self._stats)
+
+    # -- planning helpers ----------------------------------------------------
+
+    def _type_ids_of(self, query: CategoricalQuery) -> tuple:
+        """Resolve labels to type ids in label order, exactly as
+        ``AnnotationService.images_with_label`` would (same QueryError
+        on the first unknown label, same catalog-lookup charges)."""
+        return tuple(
+            self._platform.catalog.type_id(query.classification, label)
+            for label in query.labels
+        )
+
+    def _survivor_ids(self, query: object, type_ids_of=None) -> list:
+        return [
+            s.shard_id
+            for s in prune_shards(self._stats, query, type_ids_of or self._type_ids_of)
+        ]
+
+    def preview(self, query: object) -> dict:
+        """Pruning annotation for EXPLAIN, without executing."""
+        self._ensure()
+        try:
+            considered = len(self._survivor_ids(query))
+        except QueryError:
+            # Unresolvable query (unknown label, missing extractor):
+            # EXPLAIN still renders, with pruning unknown -> none.
+            considered = self.n_shards
+        return {
+            "shards": self.n_shards,
+            "shards_considered": considered,
+            "shards_pruned": self.n_shards - considered,
+        }
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, query: object):
+        """One query; returns ``(results, info)``."""
+        return self.execute_many([query])[0]
+
+    def execute_many(self, queries: list):
+        """A batch of queries in one scatter round per shard (plus one
+        more for visual fallbacks); returns ``[(results, info), ...]``."""
+        self._ensure()
+        preps = [self._prepare(query) for query in queries]
+        units: list[_Unit] = []
+        for prep in preps:
+            units.extend(self._collect_units(prep))
+        self._scatter_units(units)
+        # Phase 2: exact fallback for visual top-k whose global hash
+        # candidate pool came up short (the serial fallback decision,
+        # made once at the coordinator over summed candidate counts).
+        fallback_units: list[_Unit] = []
+        for prep in preps:
+            fallback_units.extend(self._plan_fallbacks(prep))
+        if fallback_units:
+            self._scatter_units(fallback_units)
+        out = []
+        for query, prep in zip(queries, preps):
+            results = self._merge(prep)
+            lost = sorted(self._lost_shards(prep))
+            info = {
+                "shards_considered": prep["considered"],
+                "shards_pruned": self.n_shards - prep["considered"],
+                "partial": bool(lost),
+                "failed_shards": lost,
+            }
+            _PRUNED.inc(info["shards_pruned"])
+            if lost:
+                _PARTIAL.inc()
+                _log.warning(
+                    "query degraded to partial results; lost shards %s", lost
+                )
+            out.append((results, info))
+        return out
+
+    def _scatter_units(self, units: list) -> None:
+        batches: dict[int, list] = {}
+        placements: dict[int, list] = {}
+        for unit in units:
+            for shard_id in unit.shard_ids:
+                batches.setdefault(shard_id, []).append(unit.task)
+                placements.setdefault(shard_id, []).append(unit)
+        if not batches:
+            return
+        assert self._executor is not None
+        with obs.span("shard.scatter", shards=len(batches), tasks=len(units)) as sp:
+            gathered = self._executor.scatter(batches)
+            sp.set("failed", len(gathered.failed))
+        _FANOUTS.inc(len(batches))
+        self._executor.absorb(gathered)
+        for shard_id, placed in placements.items():
+            result = gathered.results.get(shard_id)
+            if result is None:
+                for unit in placed:
+                    unit.lost.append(shard_id)
+                continue
+            for unit, payload in zip(placed, result.payloads):
+                unit.payloads[shard_id] = payload
+
+    # -- per-family preparation ---------------------------------------------
+
+    def _prepare(self, query: object) -> dict:
+        if isinstance(query, SpatialQuery):
+            survivors = self._survivor_ids(query)
+            return {
+                "kind": "ids",
+                "considered": len(survivors),
+                "unit": _Unit(ShardTask("spatial", {"query": query}), survivors),
+            }
+        if isinstance(query, TemporalQuery):
+            survivors = self._survivor_ids(query)
+            return {
+                "kind": "ids",
+                "considered": len(survivors),
+                "unit": _Unit(ShardTask("temporal", {"query": query}), survivors),
+            }
+        if isinstance(query, CategoricalQuery):
+            type_ids = self._type_ids_of(query)
+            survivors = self._survivor_ids(query, type_ids_of=lambda q: type_ids)
+            task = ShardTask(
+                "categorical",
+                {
+                    "type_ids": type_ids,
+                    "min_confidence": query.min_confidence,
+                    "source": query.source,
+                },
+            )
+            return {
+                "kind": "categorical",
+                "considered": len(survivors),
+                "unit": _Unit(task, survivors),
+            }
+        if isinstance(query, TextualQuery):
+            terms = sorted(set(tokenize(query.text)))
+            survivors = self._survivor_ids(query) if terms else []
+            return {
+                "kind": "textual",
+                "terms": terms,
+                "match": query.match,
+                "considered": len(survivors),
+                "unit": _Unit(ShardTask("textual", {"terms": terms}), survivors),
+            }
+        if isinstance(query, VisualQuery):
+            vector = self._visual_vector(query, self._platform.visual_indexes())
+            survivors = self._survivor_ids(query)
+            if query.max_distance is not None:
+                task = ShardTask(
+                    "visual_radius",
+                    {
+                        "extractor": query.extractor_name,
+                        "vector": vector,
+                        "radius": query.max_distance,
+                        "k": query.k,
+                    },
+                )
+                return {
+                    "kind": "ranked_pairs",
+                    "k": query.k,
+                    "max_distance": None,
+                    "considered": len(survivors),
+                    "unit": _Unit(task, survivors),
+                }
+            task = ShardTask(
+                "visual_topk",
+                {
+                    "extractor": query.extractor_name,
+                    "vector": vector,
+                    "k": query.k,
+                },
+            )
+            return {
+                "kind": "visual_topk",
+                "extractor": query.extractor_name,
+                "vector": vector,
+                "k": query.k,
+                "considered": len(survivors),
+                "unit": _Unit(task, survivors),
+                "fallback_unit": None,
+            }
+        if isinstance(query, HybridQuery):
+            parts = list(query.queries)
+            if len(parts) == 2:
+                spatial = next((q for q in parts if isinstance(q, SpatialQuery)), None)
+                visual = next((q for q in parts if isinstance(q, VisualQuery)), None)
+                if spatial is not None and visual is not None:
+                    vector = self._visual_vector(
+                        visual, self._platform.hybrid_indexes()
+                    )
+                    survivors = self._survivor_ids(query)
+                    task = ShardTask(
+                        "hybrid_fused",
+                        {
+                            "extractor": visual.extractor_name,
+                            "region": spatial.bounding_region(),
+                            "vector": vector,
+                            "k": visual.k,
+                        },
+                    )
+                    return {
+                        "kind": "ranked_pairs",
+                        "k": visual.k,
+                        "max_distance": visual.max_distance,
+                        "considered": len(survivors),
+                        "unit": _Unit(task, survivors),
+                    }
+            # General hybrids scatter each part stand-alone (per-part
+            # pruning only — top-k parts are order-sensitive to their
+            # full candidate pool) and intersect at the coordinator.
+            part_preps = [self._prepare(sub) for sub in parts]
+            considered = len(
+                set().union(*(set(p["unit"].shard_ids) for p in part_preps))
+                if part_preps
+                else set()
+            )
+            return {
+                "kind": "hybrid_general",
+                "parts": part_preps,
+                "considered": considered,
+            }
+        raise QueryError(f"unsupported query type {type(query).__name__}")
+
+    def _visual_vector(self, query: VisualQuery, indexes: dict) -> np.ndarray:
+        """Serial-parity extractor check + vector extraction + charge."""
+        if query.extractor_name not in indexes:
+            raise QueryError(
+                f"no features extracted yet for {query.extractor_name!r}; "
+                "call extract_features first"
+            )
+        vector = query.vector
+        if vector is None:
+            vector = self._platform.features.get(query.extractor_name).extract(
+                query.example
+            )
+        vector = np.asarray(vector, dtype=np.float64)
+        charge("feature_bytes", vector.nbytes)
+        return vector
+
+    def _collect_units(self, prep: dict) -> list:
+        if prep["kind"] == "hybrid_general":
+            out: list = []
+            for part in prep["parts"]:
+                out.extend(self._collect_units(part))
+            return out
+        return [prep["unit"]]
+
+    def _plan_fallbacks(self, prep: dict) -> list:
+        """Build phase-2 linear-scan units for starved visual top-ks."""
+        if prep["kind"] == "hybrid_general":
+            out: list = []
+            for part in prep["parts"]:
+                out.extend(self._plan_fallbacks(part))
+            return out
+        if prep["kind"] != "visual_topk":
+            return []
+        unit = prep["unit"]
+        total_candidates = sum(
+            payload["candidates"] for payload in unit.payloads.values()
+        )
+        if total_candidates >= prep["k"] or not unit.shard_ids:
+            return []
+        fallback = _Unit(
+            ShardTask(
+                "visual_linear",
+                {
+                    "extractor": prep["extractor"],
+                    "vector": prep["vector"],
+                    "k": prep["k"],
+                },
+            ),
+            unit.shard_ids,
+        )
+        prep["fallback_unit"] = fallback
+        return [fallback]
+
+    def _lost_shards(self, prep: dict) -> set:
+        if prep["kind"] == "hybrid_general":
+            lost: set = set()
+            for part in prep["parts"]:
+                lost |= self._lost_shards(part)
+            return lost
+        lost = set(prep["unit"].lost)
+        fallback = prep.get("fallback_unit")
+        if fallback is not None:
+            lost |= set(fallback.lost)
+        return lost
+
+    # -- per-family merges ---------------------------------------------------
+
+    def _merge(self, prep: dict) -> list:
+        kind = prep["kind"]
+        if kind == "ids":
+            ids: set = set()
+            for payload in prep["unit"].ordered_payloads():
+                ids.update(payload)
+            return [QueryResult(image_id=i) for i in sorted(ids)]
+        if kind == "categorical":
+            best: dict = {}
+            for payload in prep["unit"].ordered_payloads():
+                for image_id, confidence in payload.items():
+                    best[image_id] = max(best.get(image_id, 0.0), confidence)
+            return [
+                QueryResult(image_id=image_id, score=confidence)
+                for image_id, confidence in sorted(best.items())
+            ]
+        if kind == "textual":
+            return self._merge_textual(prep)
+        if kind == "ranked_pairs":
+            pairs = self._merge_pairs(
+                [p for p in prep["unit"].ordered_payloads()], prep["k"]
+            )
+            if prep["max_distance"] is not None:
+                pairs = [(i, d) for i, d in pairs if d <= prep["max_distance"]]
+            return [
+                QueryResult(image_id=item, score=1.0 / (1.0 + distance))
+                for item, distance in pairs
+            ]
+        if kind == "visual_topk":
+            fallback = prep.get("fallback_unit")
+            if fallback is not None:
+                payloads = fallback.ordered_payloads()
+            else:
+                payloads = [
+                    payload["pairs"]
+                    for payload in prep["unit"].ordered_payloads()
+                ]
+            pairs = self._merge_pairs(payloads, prep["k"])
+            return [
+                QueryResult(image_id=item, score=1.0 / (1.0 + distance))
+                for item, distance in pairs
+            ]
+        if kind == "hybrid_general":
+            result_sets = [self._merge(part) for part in prep["parts"]]
+            return combine_hybrid(result_sets)
+        raise ShardError(f"unknown merge kind {kind!r}")
+
+    @staticmethod
+    def _merge_pairs(payloads: list, k: int) -> list:
+        """k best ``(item, distance)`` pairs across shards under the
+        canonical total order — the heap-merge of ranked families."""
+        merged = [pair for payload in payloads for pair in payload]
+        merged.sort(key=lambda pair: (pair[1], tie_key(pair[0])))
+        return merged[:k]
+
+    def _merge_textual(self, prep: dict) -> list:
+        """Global tf-idf at the coordinator.
+
+        ``N`` and per-term document frequencies are summed over **all**
+        shards — pruned ones included — from the partition-time stats,
+        so pruning never shifts idf.  Per-document score accumulation
+        runs in sorted-term order, the exact float-addition sequence of
+        the serial index, making merged scores bit-identical.
+        """
+        terms = prep["terms"]
+        if not terms:
+            return []
+        total_docs = sum(s.text_docs for s in self._stats)
+        scores: dict = {}
+        payloads = prep["unit"].ordered_payloads()
+        for term in terms:
+            df = sum(s.term_dfs.get(term, 0) for s in self._stats)
+            if df == 0:
+                continue
+            idf = math.log(1.0 + total_docs / df)
+            for payload in payloads:
+                for doc, tf, length in payload["postings"].get(term, ()):
+                    scores[doc] = scores.get(doc, 0.0) + (tf / length) * idf
+        if prep["match"] == "all":
+            per_term: list[set] = []
+            for term in terms:
+                docs: set = set()
+                for payload in payloads:
+                    docs.update(
+                        doc for doc, _, _ in payload["postings"].get(term, ())
+                    )
+                per_term.append(docs)
+            common = set.intersection(*per_term) if per_term else set()
+            scores = {doc: s for doc, s in scores.items() if doc in common}
+        return canonical_ranked(
+            [QueryResult(image_id=doc, score=score) for doc, score in scores.items()]
+        )

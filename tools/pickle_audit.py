@@ -378,6 +378,114 @@ def audit_accounting(audit: Audit) -> None:
     )
 
 
+def audit_shards(audit: Audit) -> None:
+    """Shard handles are *the* live pickle boundary: every partition of
+    a real platform must round-trip with unshared locks and answer the
+    same physical-plan tasks, and the worker's result envelope (payloads
+    plus shipped obs state) must survive the return trip."""
+    from repro.core import TVDP
+    from repro.datasets import generate_lasan_dataset
+    from repro.features import ColorHistogramExtractor
+    from repro.shard import InlineShardPool, ShardTask, partition_catalog, run_task
+
+    records = generate_lasan_dataset(n_per_class=4, image_size=32, seed=3)
+    platform = TVDP()
+    for record in records:
+        platform.upload_image(
+            image=record.image,
+            fov=record.fov,
+            captured_at=record.captured_at,
+            uploaded_at=record.uploaded_at,
+            keywords=record.keywords,
+        )
+    platform.register_extractor(ColorHistogramExtractor())
+    platform.extract_features("color_hsv_20_20_10")
+
+    lats = [record.fov.camera.lat for record in records]
+    lngs = [record.fov.camera.lng for record in records]
+    probe_box = BoundingBox(min(lats), min(lngs), max(lats), max(lngs))
+    times = sorted(record.captured_at for record in records)
+    probe_vector = platform.feature_vector(
+        platform.image_ids()[0], "color_hsv_20_20_10"
+    )
+    term = records[0].keywords[0].lower()
+    tasks = [
+        ShardTask("spatial", {"query": SpatialQuery(region=probe_box)}),
+        ShardTask(
+            "temporal",
+            {"query": TemporalQuery(start=times[0], end=times[len(times) // 2])},
+        ),
+        ShardTask("textual", {"terms": [term]}),
+        ShardTask(
+            "visual_topk",
+            {"extractor": "color_hsv_20_20_10", "vector": probe_vector, "k": 5},
+        ),
+        ShardTask(
+            "hybrid_fused",
+            {
+                "extractor": "color_hsv_20_20_10",
+                "region": probe_box,
+                "vector": probe_vector,
+                "k": 5,
+            },
+        ),
+    ]
+
+    handles = partition_catalog(platform, 3)
+    for handle in handles:
+        clone = pickle.loads(pickle.dumps(handle))
+        name = f"ShardHandle[{handle.shard_id}]"
+        for index_name in ("spatial", "text"):
+            original = getattr(handle, index_name)
+            cloned = getattr(clone, index_name)
+            audit.check(f"{name}: {index_name} lock recreated", _lock_works(cloned))
+            audit.check(
+                f"{name}: {index_name} lock not shared",
+                getattr(cloned, "_lock", None)
+                is not getattr(original, "_lock", object()),
+            )
+        for extractor_name, original in handle.lsh.items():
+            audit.check(
+                f"{name}: lsh[{extractor_name}] lock not shared",
+                clone.lsh[extractor_name]._lock is not original._lock,
+            )
+        audit.check(
+            f"{name}: stats preserved", structurally_equal(handle.stats, clone.stats)
+        )
+        audit.check(
+            f"{name}: row counts preserved",
+            clone.db.row_counts() == handle.db.row_counts(),
+        )
+        for task in tasks:
+            audit.check(
+                f"{name}: task {task.op} parity",
+                structurally_equal(run_task(handle, task), run_task(clone, task)),
+            )
+
+    # The worker's return envelope: payloads + shipped charges survive
+    # the coordinator-bound trip and merge cleanly.
+    pool = InlineShardPool(handles)
+    result = pool.fetch(pool.submit(0, tasks), timeout_s=5.0)
+    clone_result = pickle.loads(pickle.dumps(result))
+    audit.check(
+        "WorkerResult: payloads preserved",
+        structurally_equal(result.payloads, clone_result.payloads),
+    )
+    audit.check(
+        "WorkerResult: charges preserved",
+        structurally_equal(result.charges, clone_result.charges),
+    )
+    merged: dict[str, float] = {}
+    for source in (result, clone_result):
+        for kind, amount in source.charges.items():
+            merged[kind] = merged.get(kind, 0.0) + amount
+    audit.check(
+        "WorkerResult: clone is a working merge source",
+        all(merged[kind] == 2 * result.charges[kind] for kind in result.charges),
+        f"merged={merged!r}",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("-v", "--verbose", action="store_true")
@@ -388,6 +496,7 @@ def main(argv: list[str] | None = None) -> int:
     audit_catalog(audit)
     audit_queries(audit)
     audit_accounting(audit)
+    audit_shards(audit)
 
     total = audit.passed + len(audit.failures)
     if audit.failures:
@@ -395,7 +504,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(
         f"pickle audit: OK — {total} check(s) across indexes, catalog, "
-        f"queries, accounting"
+        f"queries, accounting, shard handles"
     )
     return 0
 
