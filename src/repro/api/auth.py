@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import hashlib
 import secrets
+import threading
 
 from repro.errors import AuthenticationError, QueryError
 from repro.db.database import Database
@@ -31,14 +32,18 @@ class ApiKeyManager:
 
     def __init__(self, db: Database, deterministic_seed: int | None = None) -> None:
         self._db = db
+        self._lock = threading.Lock()
         self._counter = 0
         self._seed = deterministic_seed
 
     def _generate(self) -> str:
         if self._seed is not None:
-            # Deterministic keys for reproducible examples and tests.
-            self._counter += 1
-            material = f"tvdp-{self._seed}-{self._counter}".encode()
+            # Deterministic keys for reproducible examples and tests;
+            # the counter bump is atomic so concurrent issues never
+            # mint the same key.
+            with self._lock:
+                self._counter += 1
+                material = f"tvdp-{self._seed}-{self._counter}".encode()
             return hashlib.sha256(material).hexdigest()[:40]
         # API keys must be unpredictable; the seeded branch above
         # exists for reproducible runs.

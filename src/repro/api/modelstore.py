@@ -8,6 +8,7 @@ and training on the platform's annotated data.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,12 +33,19 @@ class ModelRecord:
     description: str = ""
     metrics: dict = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Training and metric updates may race with concurrent
+        # predictions on the same shared record.
+        self._lock = threading.RLock()
+
     def train(self, X: np.ndarray, y: np.ndarray) -> None:
         """Fit the classifier under a ``model.train`` span and record
         training-set size both as shared-model metadata and metrics."""
-        with obs.span("model.train", model=self.name, samples=int(X.shape[0])):
+        with self._lock, obs.span(
+            "model.train", model=self.name, samples=int(X.shape[0])
+        ):
             self.classifier.fit(X, y)
-        self.metrics["training_samples"] = int(X.shape[0])
+            self.metrics["training_samples"] = int(X.shape[0])
         obs.metrics().counter("model.train_runs", {"model": self.name}).inc()
         obs.metrics().counter("model.train_samples", {"model": self.name}).inc(
             int(X.shape[0])
@@ -115,20 +123,25 @@ class ModelStore:
     """Name-keyed registry of shared models."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._models: dict[str, ModelRecord] = {}
 
     def register(self, record: ModelRecord) -> None:
-        if record.name in self._models:
-            raise APIError(409, f"model {record.name!r} already exists")
-        self._models[record.name] = record
+        with self._lock:
+            if record.name in self._models:
+                raise APIError(409, f"model {record.name!r} already exists")
+            self._models[record.name] = record
 
     def get(self, name: str) -> ModelRecord:
-        if name not in self._models:
-            raise APIError(404, f"no model named {name!r}")
-        return self._models[name]
+        with self._lock:
+            if name not in self._models:
+                raise APIError(404, f"no model named {name!r}")
+            return self._models[name]
 
     def names(self) -> list[str]:
-        return sorted(self._models)
+        with self._lock:
+            return sorted(self._models)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._models
+        with self._lock:
+            return name in self._models

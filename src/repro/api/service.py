@@ -48,6 +48,8 @@ Observability:
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro import obs
@@ -114,6 +116,9 @@ class TVDPService:
         )
         self.models = ModelStore()
         self.router = Router()
+        # Campaign registry is mutated by concurrent requests; id
+        # allocation and insertion happen together under this lock.
+        self._lock = threading.RLock()
         self._campaigns: dict[int, Campaign] = {}
         self._next_campaign_id = 1
         self._register_routes()
@@ -507,22 +512,23 @@ class TVDPService:
         body = self._body(request)
         if "region" not in body:
             raise APIError(400, "campaign needs a 'region'")
-        try:
-            region = BoundingBox.from_dict(body["region"])
-            campaign = Campaign(
-                campaign_id=self._next_campaign_id,
-                owner=str(request.user_id),
-                region=region,
-                description=body.get("description", ""),
-                target_coverage=float(body.get("target_coverage", 0.9)),
-                min_directions=int(body.get("min_directions", 1)),
-                reward_per_task=float(body.get("reward_per_task", 1.0)),
-            )
-        except _PAYLOAD_ERRORS as exc:
-            _log.debug("rejected campaign spec", exc_info=True)
-            raise APIError(400, f"bad campaign spec: {exc}") from exc
-        self._campaigns[campaign.campaign_id] = campaign
-        self._next_campaign_id += 1
+        with self._lock:
+            try:
+                region = BoundingBox.from_dict(body["region"])
+                campaign = Campaign(
+                    campaign_id=self._next_campaign_id,
+                    owner=str(request.user_id),
+                    region=region,
+                    description=body.get("description", ""),
+                    target_coverage=float(body.get("target_coverage", 0.9)),
+                    min_directions=int(body.get("min_directions", 1)),
+                    reward_per_task=float(body.get("reward_per_task", 1.0)),
+                )
+            except _PAYLOAD_ERRORS as exc:
+                _log.debug("rejected campaign spec", exc_info=True)
+                raise APIError(400, f"bad campaign spec: {exc}") from exc
+            self._campaigns[campaign.campaign_id] = campaign
+            self._next_campaign_id += 1
         return Response(201, {"campaign_id": campaign.campaign_id})
 
     def _get_campaign(self, request: Request) -> Campaign:
@@ -530,9 +536,10 @@ class TVDPService:
             campaign_id = int(request.path_params["campaign_id"])
         except ValueError as exc:
             raise APIError(400, "campaign id must be an integer") from exc
-        if campaign_id not in self._campaigns:
-            raise APIError(404, f"no campaign {campaign_id}")
-        return self._campaigns[campaign_id]
+        with self._lock:
+            if campaign_id not in self._campaigns:
+                raise APIError(404, f"no campaign {campaign_id}")
+            return self._campaigns[campaign_id]
 
     def _campaign_tasks(self, request: Request) -> Response:
         """Tasks for the campaign region's *current* coverage gaps,
@@ -551,8 +558,7 @@ class TVDPService:
             min_directions=campaign.min_directions,
         )
         max_tasks = request.params.get("max_tasks")
-        campaign.open_tasks.clear()
-        tasks = campaign.generate_tasks(
+        tasks = campaign.regenerate_tasks(
             report, max_tasks=int(max_tasks) if max_tasks else None
         )
         return Response(
@@ -581,9 +587,7 @@ class TVDPService:
         for required in ("task_id", "image", "fov", "captured_at"):
             if required not in body:
                 raise APIError(400, f"missing field {required!r}")
-        task = next(
-            (t for t in campaign.open_tasks if t.task_id == int(body["task_id"])), None
-        )
+        task = campaign.find_open(int(body["task_id"]))
         if task is None:
             raise APIError(404, f"no open task {body['task_id']} in campaign")
         try:

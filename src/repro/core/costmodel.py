@@ -101,10 +101,12 @@ COST_MODEL: dict = {
         "dominant_counters": [],
         "hot_sites": [
             "repro.core.platform.TVDP._run_temporal",
+            "repro.db.table.Table.scan",
         ],
         "note": (
-            "known unindexed path: every image row is tested; a timestamp "
-            "index is the obvious shard-local optimisation"
+            "known unindexed path: every image row is tested inside "
+            "Table.scan; a timestamp index is the obvious shard-local "
+            "optimisation"
         ),
     },
     "hybrid": {
@@ -131,6 +133,7 @@ COST_MODEL: dict = {
         "dominant_counters": [],
         "hot_sites": [
             "repro.core.catalog.ClassificationCatalog.replicate_into",
+            "repro.db.table.Table.all_rows",
             "repro.shard.partition._data_region",
             "repro.shard.partition._assign_shards",
             "repro.shard.partition._slice_database",

@@ -64,15 +64,19 @@ def load_platform(directory: str | Path) -> TVDP:
     platform.catalog = ClassificationCatalog(platform.db)
     platform.annotations = AnnotationService(platform.db, platform.catalog)
 
-    with np.load(directory / _BLOBS_FILE) as blobs:
-        for key in blobs.files:
-            platform._blobs[int(key)] = Image.from_uint8(blobs[key])
+    # The platform is not yet published to other threads, but its blob
+    # and dedup maps are declared lock-guarded in the concurrency
+    # manifest — hydrate them under the same lock the serving paths use.
+    with platform._lock:
+        with np.load(directory / _BLOBS_FILE) as blobs:
+            for key in blobs.files:
+                platform._blobs[int(key)] = Image.from_uint8(blobs[key])
 
-    images = platform.db.table("images")
-    for row in images.all_rows():
-        image_id = row["image_id"]
-        if image_id in platform._blobs:
-            platform._hash_to_id[row["content_hash"]] = image_id
+        images = platform.db.table("images")
+        for row in images.all_rows():
+            image_id = row["image_id"]
+            if image_id in platform._blobs:
+                platform._hash_to_id[row["content_hash"]] = image_id
 
     # Spatial index from FOV rows.
     for fov_row in platform.db.table("image_fov").all_rows():
@@ -94,16 +98,20 @@ def load_platform(directory: str | Path) -> TVDP:
     for image_id, words in keywords_by_image.items():
         platform._text.add(image_id, " ".join(words))
 
-    # Visual + hybrid indexes from stored feature vectors.
+    # Visual + hybrid indexes from stored feature vectors.  The index
+    # registries are lock-guarded; the per-index inserts below take each
+    # index's own lock, matching the nesting order of the upload path.
     for feature_row in platform.db.table("image_visual_features").all_rows():
         name = feature_row["extractor_name"]
         vector = np.array(feature_row["vector"], dtype=np.float64)
-        if name not in platform._lsh:
-            platform._lsh[name] = LSHIndex(dimension=vector.shape[0])
-            platform._hybrid[name] = VisualRTree(dimension=vector.shape[0])
+        with platform._lock:
+            if name not in platform._lsh:
+                platform._lsh[name] = LSHIndex(dimension=vector.shape[0])
+                platform._hybrid[name] = VisualRTree(dimension=vector.shape[0])
+            lsh, hybrid = platform._lsh[name], platform._hybrid[name]
         image_row = images.get(feature_row["image_id"])
-        platform._lsh[name].insert(feature_row["image_id"], vector)
-        platform._hybrid[name].insert(
+        lsh.insert(feature_row["image_id"], vector)
+        hybrid.insert(
             feature_row["image_id"],
             GeoPoint(image_row["lat"], image_row["lng"]),
             vector,

@@ -15,6 +15,7 @@ store:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -122,6 +123,11 @@ class TVDP:
         self.shards = int(shards)
         self.shard_pool = shard_pool
         self.shard_grid = shard_grid
+        # One platform-wide writer lock: ingest, feature indexing, and
+        # shard-router lifecycle mutate the in-memory maps under it.
+        # Query paths take it only for short map lookups; the index
+        # structures themselves carry their own internal locks.
+        self._lock = threading.RLock()
         self._blobs: dict[int, Image] = {}
         self._hash_to_id: dict[str, int] = {}
         self._spatial = OrientedRTree()
@@ -159,7 +165,10 @@ class TVDP:
         image id is returned and no new row is created.
         """
         registry = obs.metrics()
-        with obs.span("platform.upload_image") as sp:
+        # Ingest is serialized under the platform lock: the dedup
+        # check-then-insert must be atomic against concurrent uploads
+        # of identical content.
+        with self._lock, obs.span("platform.upload_image") as sp:
             with obs.span("upload.dedup"):
                 content_hash = image.content_hash()
                 duplicate_id = self._hash_to_id.get(content_hash)
@@ -258,31 +267,32 @@ class TVDP:
         source_row = self.db.table("images").get(source_image_id)
         out = []
         created = 0
-        for augmentation in augmentations:
-            derived = augmentation(source)
-            content_hash = derived.content_hash()
-            if content_hash in self._hash_to_id:
-                out.append(self._hash_to_id[content_hash])
-                continue
-            image_id = self.db.insert(
-                "images",
-                {
-                    "uri": f"tvdp://images/{content_hash[:12]}",
-                    "content_hash": content_hash,
-                    "lat": source_row["lat"],
-                    "lng": source_row["lng"],
-                    "timestamp_capturing": source_row["timestamp_capturing"],
-                    "timestamp_uploading": source_row["timestamp_uploading"],
-                    "is_augmented": True,
-                    "source_image_id": source_image_id,
-                    "augmentation_name": augmentation.name,
-                    "uploader_id": source_row["uploader_id"],
-                },
-            )
-            self._blobs[image_id] = derived
-            self._hash_to_id[content_hash] = image_id
-            out.append(image_id)
-            created += 1
+        with self._lock:
+            for augmentation in augmentations:
+                derived = augmentation(source)
+                content_hash = derived.content_hash()
+                if content_hash in self._hash_to_id:
+                    out.append(self._hash_to_id[content_hash])
+                    continue
+                image_id = self.db.insert(
+                    "images",
+                    {
+                        "uri": f"tvdp://images/{content_hash[:12]}",
+                        "content_hash": content_hash,
+                        "lat": source_row["lat"],
+                        "lng": source_row["lng"],
+                        "timestamp_capturing": source_row["timestamp_capturing"],
+                        "timestamp_uploading": source_row["timestamp_uploading"],
+                        "is_augmented": True,
+                        "source_image_id": source_image_id,
+                        "augmentation_name": augmentation.name,
+                        "uploader_id": source_row["uploader_id"],
+                    },
+                )
+                self._blobs[image_id] = derived
+                self._hash_to_id[content_hash] = image_id
+                out.append(image_id)
+                created += 1
         _AUGMENTED_CREATED.inc(created)
         return out
 
@@ -290,9 +300,10 @@ class TVDP:
 
     def image(self, image_id: int) -> Image:
         """Pixel content of a stored image."""
-        if image_id not in self._blobs:
-            raise TVDPError(f"no stored pixels for image {image_id}")
-        return self._blobs[image_id]
+        with self._lock:
+            if image_id not in self._blobs:
+                raise TVDPError(f"no stored pixels for image {image_id}")
+            return self._blobs[image_id]
 
     def fov(self, image_id: int) -> FieldOfView:
         """FOV descriptor of a stored image (augmented images inherit
@@ -365,11 +376,14 @@ class TVDP:
         targets = image_ids if image_ids is not None else self.image_ids()
         table = self.db.table("image_visual_features")
         out: dict[int, np.ndarray] = {}
-        if extractor_name not in self._lsh:
-            self._lsh[extractor_name] = LSHIndex(dimension=extractor.dimension())
-            self._hybrid[extractor_name] = VisualRTree(dimension=extractor.dimension())
-        lsh = self._lsh[extractor_name]
-        hybrid = self._hybrid[extractor_name]
+        with self._lock:
+            if extractor_name not in self._lsh:
+                self._lsh[extractor_name] = LSHIndex(dimension=extractor.dimension())
+                self._hybrid[extractor_name] = VisualRTree(
+                    dimension=extractor.dimension()
+                )
+            lsh = self._lsh[extractor_name]
+            hybrid = self._hybrid[extractor_name]
         with obs.span(
             "features.extract", extractor=extractor_name, images=len(targets)
         ) as sp:
@@ -460,18 +474,19 @@ class TVDP:
         return results
 
     def _shard_router(self) -> "ShardRouter":
-        if self._router is None:
-            # The shard layer sits *above* core in the layer DAG; this
-            # lazy import is the one sanctioned downward reference.
-            from repro.shard.router import ShardRouter  # devtools: allow[layer-boundary]
+        with self._lock:
+            if self._router is None:
+                # The shard layer sits *above* core in the layer DAG; this
+                # lazy import is the one sanctioned downward reference.
+                from repro.shard.router import ShardRouter  # devtools: allow[layer-boundary]
 
-            self._router = ShardRouter(
-                self,
-                n_shards=self.shards,
-                pool_kind=self.shard_pool,
-                grid=self.shard_grid,
-            )
-        return self._router
+                self._router = ShardRouter(
+                    self,
+                    n_shards=self.shards,
+                    pool_kind=self.shard_pool,
+                    grid=self.shard_grid,
+                )
+            return self._router
 
     def set_shards(self, shards: int, pool: str | None = None) -> None:
         """Re-shard the platform in place (``shards=1`` returns to
@@ -485,9 +500,13 @@ class TVDP:
 
     def close(self) -> None:
         """Release scatter-gather worker processes (no-op when serial)."""
-        if self._router is not None:
-            self._router.close()
-            self._router = None
+        with self._lock:
+            router, self._router = self._router, None
+        # The router takes its own lock (and tears down worker pools)
+        # in close(); call it with the platform lock released so the
+        # two locks never nest in this direction.
+        if router is not None:
+            router.close()
 
     def shard_plan_preview(self, query: object) -> dict | None:
         """Shard-pruning annotation for EXPLAIN — ``shards_considered``
@@ -499,12 +518,14 @@ class TVDP:
     def visual_indexes(self) -> dict[str, LSHIndex]:
         """Live LSH indexes by extractor name (read-only view for the
         shard partitioner, which clones their hash functions)."""
-        return dict(self._lsh)
+        with self._lock:
+            return dict(self._lsh)
 
     def hybrid_indexes(self) -> dict[str, VisualRTree]:
         """Live Visual R-trees by extractor name (read-only view for the
         shard partitioner)."""
-        return dict(self._hybrid)
+        with self._lock:
+            return dict(self._hybrid)
 
     def _dispatch(self, query: object) -> list[QueryResult]:
         runners = {
@@ -572,7 +593,9 @@ class TVDP:
         return [QueryResult(image_id=i) for i in sorted(hits)]
 
     def _run_visual(self, query: VisualQuery) -> list[QueryResult]:
-        if query.extractor_name not in self._lsh:
+        with self._lock:
+            lsh = self._lsh.get(query.extractor_name)
+        if lsh is None:
             raise QueryError(
                 f"no features extracted yet for {query.extractor_name!r}; "
                 "call extract_features first"
@@ -581,7 +604,6 @@ class TVDP:
         if vector is None:
             vector = self.features.get(query.extractor_name).extract(query.example)
         charge("feature_bytes", np.asarray(vector).nbytes)
-        lsh = self._lsh[query.extractor_name]
         if query.max_distance is not None:
             pairs = lsh.query_radius(vector, query.max_distance)[: query.k]
         else:
@@ -638,7 +660,9 @@ class TVDP:
     def _run_spatial_visual(
         self, spatial: SpatialQuery, visual: VisualQuery
     ) -> list[QueryResult]:
-        if visual.extractor_name not in self._hybrid:
+        with self._lock:
+            hybrid = self._hybrid.get(visual.extractor_name)
+        if hybrid is None:
             raise QueryError(
                 f"no features extracted yet for {visual.extractor_name!r}; "
                 "call extract_features first"
@@ -647,7 +671,6 @@ class TVDP:
         if vector is None:
             vector = self.features.get(visual.extractor_name).extract(visual.example)
         charge("feature_bytes", np.asarray(vector).nbytes)
-        hybrid = self._hybrid[visual.extractor_name]
         pairs = hybrid.spatial_visual_knn(
             spatial.bounding_region(), vector, visual.k
         )
@@ -665,12 +688,15 @@ class TVDP:
         including per-operation latency summaries from the span
         histograms."""
         windows = obs.latency_windows()
+        with self._lock:
+            n_blobs = len(self._blobs)
+            lsh_names = sorted(self._lsh)
         return {
             "rows": self.db.row_counts(),
-            "blobs": len(self._blobs),
+            "blobs": n_blobs,
             "indexed_fovs": len(self._spatial),
             "extractors": self.features.names(),
-            "lsh_indexes": sorted(self._lsh),
+            "lsh_indexes": lsh_names,
             "latency_ms": self.latency_summaries(),
             "latency_ms_window": windows.summaries(),
             "window_s": windows.window_s,

@@ -10,6 +10,7 @@ under-covered cells get filled from the directions they lack.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import CrowdError
@@ -50,6 +51,10 @@ class Campaign:
             raise CrowdError(
                 f"target_coverage must be in (0, 1], got {self.target_coverage}"
             )
+        # Task lists are mutated by concurrent API requests (task
+        # regeneration vs capture completion); every access goes
+        # through a method holding this lock.
+        self._lock = threading.RLock()
 
     def generate_tasks(
         self, report: CoverageReport, max_tasks: int | None = None
@@ -88,18 +93,43 @@ class Campaign:
                 )
         if max_tasks is not None:
             tasks = tasks[:max_tasks]
-        self.open_tasks.extend(tasks)
+        with self._lock:
+            self.open_tasks.extend(tasks)
         return tasks
+
+    def regenerate_tasks(
+        self, report: CoverageReport, max_tasks: int | None = None
+    ) -> list[Task]:
+        """Atomically replace the open task list from a fresh coverage
+        report — concurrent captures never observe a half-built list."""
+        with self._lock:
+            self.open_tasks.clear()
+            return self.generate_tasks(report, max_tasks=max_tasks)
+
+    def drop_open_tasks(self) -> None:
+        """Discard tasks nobody reached; the next round's coverage
+        report regenerates what still matters."""
+        with self._lock:
+            self.open_tasks.clear()
+
+    def find_open(self, task_id: int) -> Task | None:
+        """The open task with ``task_id``, or ``None``."""
+        with self._lock:
+            return next(
+                (t for t in self.open_tasks if t.task_id == task_id), None
+            )
 
     def complete(self, task: Task) -> None:
         """Mark a task completed."""
-        try:
-            self.open_tasks.remove(task)
-        except ValueError as exc:
-            raise CrowdError(f"task {task.task_id} is not open") from exc
-        self.completed_tasks.append(task)
+        with self._lock:
+            try:
+                self.open_tasks.remove(task)
+            except ValueError as exc:
+                raise CrowdError(f"task {task.task_id} is not open") from exc
+            self.completed_tasks.append(task)
 
     @property
     def total_reward_paid(self) -> float:
         """Reward disbursed so far."""
-        return sum(task.reward for task in self.completed_tasks)
+        with self._lock:
+            return sum(task.reward for task in self.completed_tasks)

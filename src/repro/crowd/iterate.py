@@ -95,7 +95,7 @@ def run_iterative_campaign(
             completed += 1
         # Tasks nobody reached stay open for the next round's report to
         # regenerate; drop them from the queue to avoid double-issuing.
-        campaign.open_tasks.clear()
+        campaign.drop_open_tasks()
         after = measure_coverage(
             fovs,
             campaign.region,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterator
 
 from repro.errors import IntegrityError, SchemaError
@@ -18,6 +19,9 @@ class Table:
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
+        # Concurrent request handlers insert and read through one
+        # shared Database; every row/index access holds this lock.
+        self._lock = threading.RLock()
         self._rows: dict[int, dict] = {}
         self._next_pk = 1
         self._unique: dict[str, dict[object, int]] = {
@@ -25,21 +29,35 @@ class Table:
         }
         self._indexes: dict[str, dict[object, set[int]]] = {}
 
+    def __getstate__(self) -> dict:
+        # Tables cross the shard boundary by pickle; locks are
+        # process-local and are recreated on the far side.
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
     def __len__(self) -> int:
-        return len(self._rows)
+        with self._lock:
+            return len(self._rows)
 
     def __contains__(self, pk: int) -> bool:
-        return pk in self._rows
+        with self._lock:
+            return pk in self._rows
 
     # -- secondary indexes --------------------------------------------------
 
     def create_index(self, column: str) -> None:
         """Build (or rebuild) an equality hash index on ``column``."""
         self.schema.column(column)
-        index: dict[object, set[int]] = {}
-        for pk, row in self._rows.items():
-            index.setdefault(row[column], set()).add(pk)
-        self._indexes[column] = index
+        with self._lock:
+            index: dict[object, set[int]] = {}
+            for pk, row in self._rows.items():
+                index.setdefault(row[column], set()).add(pk)
+            self._indexes[column] = index
 
     def _index_add(self, pk: int, row: dict) -> None:
         for column, index in self._indexes.items():
@@ -59,76 +77,80 @@ class Table:
         """Insert a row; returns the assigned primary key."""
         normalized = self.schema.validate_row(row)
         pk_name = self.schema.primary_key.name
-        if pk_name in normalized and normalized[pk_name] is not None:
-            pk = normalized[pk_name]
-            if pk in self._rows:
-                raise IntegrityError(
-                    f"duplicate primary key {pk} in {self.schema.name!r}"
-                )
-            self._next_pk = max(self._next_pk, pk + 1)
-        else:
-            pk = self._next_pk
-            self._next_pk += 1
-        normalized[pk_name] = pk
-        for column, seen in self._unique.items():
-            value = normalized.get(column)
-            if value is not None and value in seen:
-                raise IntegrityError(
-                    f"unique violation on {self.schema.name}.{column}: {value!r}"
-                )
-        self._rows[pk] = normalized
-        for column, seen in self._unique.items():
-            value = normalized.get(column)
-            if value is not None:
-                seen[value] = pk
-        self._index_add(pk, normalized)
+        with self._lock:
+            if pk_name in normalized and normalized[pk_name] is not None:
+                pk = normalized[pk_name]
+                if pk in self._rows:
+                    raise IntegrityError(
+                        f"duplicate primary key {pk} in {self.schema.name!r}"
+                    )
+                self._next_pk = max(self._next_pk, pk + 1)
+            else:
+                pk = self._next_pk
+                self._next_pk += 1
+            normalized[pk_name] = pk
+            for column, seen in self._unique.items():
+                value = normalized.get(column)
+                if value is not None and value in seen:
+                    raise IntegrityError(
+                        f"unique violation on {self.schema.name}.{column}: {value!r}"
+                    )
+            self._rows[pk] = normalized
+            for column, seen in self._unique.items():
+                value = normalized.get(column)
+                if value is not None:
+                    seen[value] = pk
+            self._index_add(pk, normalized)
         return pk
 
     def update(self, pk: int, changes: dict) -> None:
         """Update columns of an existing row."""
-        if pk not in self._rows:
-            raise IntegrityError(f"no row {pk} in {self.schema.name!r}")
         pk_name = self.schema.primary_key.name
         if pk_name in changes:
             raise SchemaError("primary keys are immutable")
-        current = dict(self._rows[pk])
-        current.update(changes)
-        normalized = self.schema.validate_row(current)
-        normalized[pk_name] = pk
-        for column, seen in self._unique.items():
-            value = normalized.get(column)
-            if value is not None and seen.get(value, pk) != pk:
-                raise IntegrityError(
-                    f"unique violation on {self.schema.name}.{column}: {value!r}"
-                )
-        old = self._rows[pk]
-        self._index_remove(pk, old)
-        for column, seen in self._unique.items():
-            if old.get(column) is not None:
-                seen.pop(old[column], None)
-            if normalized.get(column) is not None:
-                seen[normalized[column]] = pk
-        self._rows[pk] = normalized
-        self._index_add(pk, normalized)
+        with self._lock:
+            if pk not in self._rows:
+                raise IntegrityError(f"no row {pk} in {self.schema.name!r}")
+            current = dict(self._rows[pk])
+            current.update(changes)
+            normalized = self.schema.validate_row(current)
+            normalized[pk_name] = pk
+            for column, seen in self._unique.items():
+                value = normalized.get(column)
+                if value is not None and seen.get(value, pk) != pk:
+                    raise IntegrityError(
+                        f"unique violation on {self.schema.name}.{column}: {value!r}"
+                    )
+            old = self._rows[pk]
+            self._index_remove(pk, old)
+            for column, seen in self._unique.items():
+                if old.get(column) is not None:
+                    seen.pop(old[column], None)
+                if normalized.get(column) is not None:
+                    seen[normalized[column]] = pk
+            self._rows[pk] = normalized
+            self._index_add(pk, normalized)
 
     def delete(self, pk: int) -> None:
         """Remove a row by primary key."""
-        if pk not in self._rows:
-            raise IntegrityError(f"no row {pk} in {self.schema.name!r}")
-        row = self._rows.pop(pk)
-        self._index_remove(pk, row)
-        for column, seen in self._unique.items():
-            if row.get(column) is not None:
-                seen.pop(row[column], None)
+        with self._lock:
+            if pk not in self._rows:
+                raise IntegrityError(f"no row {pk} in {self.schema.name!r}")
+            row = self._rows.pop(pk)
+            self._index_remove(pk, row)
+            for column, seen in self._unique.items():
+                if row.get(column) is not None:
+                    seen.pop(row[column], None)
 
     # -- reads ----------------------------------------------------------------
 
     def get(self, pk: int) -> dict:
         """Row by primary key (a defensive copy)."""
-        if pk not in self._rows:
-            raise IntegrityError(f"no row {pk} in {self.schema.name!r}")
-        charge("rows_scanned", 1)
-        return dict(self._rows[pk])
+        with self._lock:
+            if pk not in self._rows:
+                raise IntegrityError(f"no row {pk} in {self.schema.name!r}")
+            charge("rows_scanned", 1)
+            return dict(self._rows[pk])
 
     def find(self, column: str, value: object) -> list[dict]:
         """Rows where ``column == value``; uses a hash index if present.
@@ -138,27 +160,34 @@ class Table:
         table for the fallback scan.
         """
         self.schema.column(column)
-        if column in self._indexes:
-            rows = [
-                dict(self._rows[pk])
-                for pk in sorted(self._indexes[column].get(value, ()))
+        with self._lock:
+            if column in self._indexes:
+                rows = [
+                    dict(self._rows[pk])
+                    for pk in sorted(self._indexes[column].get(value, ()))
+                ]
+                charge("rows_scanned", len(rows))
+                return rows
+            if column in self._unique:
+                pk = self._unique[column].get(value)
+                charge("rows_scanned", 1 if pk is not None else 0)
+                return [dict(self._rows[pk])] if pk is not None else []
+            charge("rows_scanned", len(self._rows))
+            return [
+                dict(row) for row in self._rows.values() if row[column] == value
             ]
-            charge("rows_scanned", len(rows))
-            return rows
-        if column in self._unique:
-            pk = self._unique[column].get(value)
-            charge("rows_scanned", 1 if pk is not None else 0)
-            return [dict(self._rows[pk])] if pk is not None else []
-        charge("rows_scanned", len(self._rows))
-        return [dict(row) for row in self._rows.values() if row[column] == value]
 
     def scan(self, predicate: Callable[[dict], bool] | None = None) -> Iterator[dict]:
         """Iterate rows (copies) in primary-key order, optionally filtered."""
         # One ledger lookup per scan, not per row; the generator is
-        # consumed in the context that opened it.
+        # consumed in the context that opened it.  The row snapshot is
+        # taken under the lock so concurrent inserts never tear the
+        # iteration; update() replaces row dicts wholesale, so the
+        # snapshotted dicts themselves are stable.
         ledger = active_ledger()
-        for pk in sorted(self._rows):
-            row = self._rows[pk]
+        with self._lock:
+            snapshot = [self._rows[pk] for pk in sorted(self._rows)]
+        for row in snapshot:
             if ledger is not None:
                 ledger.add("rows_scanned", 1)
             if predicate is None or predicate(row):

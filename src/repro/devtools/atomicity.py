@@ -1,0 +1,395 @@
+"""Atomicity lints over state the escape pass proved shared.
+
+:mod:`repro.devtools.threadescape` guarantees every mutation of a
+``lock-guarded`` attribute holds its designated lock; this pass closes
+the remaining gaps that make individually-locked operations racy in
+composition:
+
+* **check-then-act** — a membership / ``is None`` / ``.get()`` /
+  truthiness test of a guarded attribute *outside* its lock, followed
+  by a mutation of the same attribute later in the function: the state
+  can change between the check and the act.  Hold the lock across both.
+* **read-gap** (guarded-write / unguarded-read) — iteration, ``len()``,
+  membership, ``.items()``-style traversal, or copy-construction of a
+  guarded attribute outside its lock: a concurrent mutation under the
+  lock can resize the container mid-iteration.  Single-key subscript
+  reads are deliberately exempt — one dict lookup is atomic under the
+  GIL and flagging it would drown the signal.
+* **compound ops** — ``+=`` / ``setdefault`` on a guarded attribute
+  outside its lock (read-modify-write torn between the read and the
+  write).
+* **publish-before-init** — a shared attribute is assigned a freshly
+  constructed object with no lock held and then further initialised
+  through the attribute: other threads can observe the
+  partially-constructed object between the two statements.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.callgraph import (
+    CallGraph,
+    SymbolTable,
+    attr_type_on,
+    iter_functions,
+    resolve_call,
+    resolve_locals,
+)
+from repro.devtools.findings import Finding, SourceModule
+from repro.devtools.lockorder import _resolve_lock
+from repro.devtools.threadescape import (
+    CTOR_EXEMPT_METHODS,
+    DEFAULT_CONCURRENT_ROOTS,
+    MUTATING_METHODS,
+    EscapeAnalysis,
+    _owner_of_base,
+    analyze_escape,
+)
+
+RULE = "atomicity"
+
+#: Builtins whose single-argument call traverses the whole container.
+_TRAVERSING_CALLS = frozenset(
+    {"len", "sorted", "list", "dict", "set", "tuple", "frozenset", "sum", "min", "max", "any", "all"}
+)
+
+#: Attribute methods that traverse the receiver.
+_TRAVERSING_METHODS = frozenset({"items", "keys", "values", "copy"})
+
+
+def _attr_access(
+    table,
+    class_context: str | None,
+    locals_map: dict[str, str],
+    node: ast.AST,
+) -> tuple[str, str] | None:
+    """``(owner class, attr)`` when ``node`` reads a tracked attribute
+    (``self.X`` or ``typed_local.X``)."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    base = node.value
+    if isinstance(base, ast.Name):
+        if base.id in ("self", "cls") and class_context is not None:
+            return class_context, node.attr
+        if base.id in locals_map:
+            return locals_map[base.id], node.attr
+    return None
+
+
+def check_atomicity(
+    table: SymbolTable,
+    graph: CallGraph,
+    roots_patterns: tuple[str, ...] = DEFAULT_CONCURRENT_ROOTS,
+    analysis: EscapeAnalysis | None = None,
+) -> list[Finding]:
+    if analysis is None:
+        analysis = analyze_escape(table, graph, roots_patterns)
+    guarded_attrs: dict[tuple[str, str], str] = {
+        key: record.guard
+        for key, record in analysis.attrs.items()
+        if record.classification == "lock-guarded"
+    }
+    shared_attrs = set(analysis.attrs)
+    if not shared_attrs:
+        return []
+
+    findings: list[Finding] = []
+    seen: set[tuple[str, int, str]] = set()
+
+    def emit(
+        module: SourceModule,
+        line: int,
+        qualname: str,
+        owner: str,
+        attr: str,
+        message: str,
+    ) -> None:
+        if module.allows(RULE, line):
+            return
+        owner_short = owner.rsplit(".", 1)[-1]
+        fn_short = ".".join(qualname.rsplit(".", 2)[-2:])
+        key = (module.rel_path, line, f"{fn_short}:{owner_short}.{attr}")
+        if key in seen:
+            return
+        seen.add(key)
+        findings.append(
+            Finding(
+                rule=RULE,
+                path=module.rel_path,
+                line=line,
+                message=message,
+                scope=f"{fn_short}:{owner_short}.{attr}",
+            )
+        )
+
+    for info, class_context, qualname, fn in iter_functions(table):
+        if qualname not in analysis.reachable or fn.name in CTOR_EXEMPT_METHODS:
+            continue
+        locals_map = resolve_locals(table, info, class_context, fn)
+        entry_guard = analysis.guarded_context.get(qualname, frozenset())
+
+        fresh: set[str] = set()
+        for stmt in ast.walk(fn):
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Call)
+            ):
+                callee = resolve_call(
+                    table, info, class_context, stmt.value.func, locals_map
+                )
+                if callee is not None and table.is_class(callee):
+                    fresh.add(stmt.targets[0].id)
+
+        # (line, (owner, attr), held) per access category.
+        test_reads: list[tuple[int, tuple[str, str], frozenset[str]]] = []
+        traversals: list[tuple[int, tuple[str, str], frozenset[str], str]] = []
+        mutations: list[tuple[int, tuple[str, str], frozenset[str], str]] = []
+        publishes: list[tuple[int, tuple[str, str], frozenset[str]]] = []
+
+        def tracked(node: ast.AST) -> tuple[str, str] | None:
+            found = _attr_access(table, class_context, locals_map, node)
+            if found is not None and found in shared_attrs:
+                return found
+            return None
+
+        def scan_test(test: ast.expr, held: tuple[str, ...]) -> None:
+            """Collect check-style reads inside a condition."""
+            for node in ast.walk(test):
+                found = None
+                if isinstance(node, ast.Compare) and any(
+                    isinstance(op, (ast.In, ast.NotIn, ast.Is, ast.IsNot))
+                    for op in node.ops
+                ):
+                    for side in [node.left, *node.comparators]:
+                        found = tracked(side)
+                        if found:
+                            break
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "get"
+                ):
+                    found = tracked(node.func.value)
+                elif isinstance(node, ast.Attribute):
+                    found = tracked(node)
+                if found is not None:
+                    test_reads.append((node.lineno, found, frozenset(held)))
+
+        def visit(node: ast.AST, held: tuple[str, ...]) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                current = held
+                for item in node.items:
+                    visit(item.context_expr, current)
+                    lock = _resolve_lock(
+                        table, analysis.lock_index, info, class_context,
+                        item.context_expr,
+                    )
+                    if lock is not None:
+                        current = current + (lock,)
+                for stmt in node.body:
+                    visit(stmt, current)
+                return
+            if isinstance(node, (ast.If, ast.While)):
+                scan_test(node.test, held)
+            elif isinstance(node, ast.IfExp):
+                scan_test(node.test, held)
+            elif isinstance(node, ast.Assert):
+                scan_test(node.test, held)
+            elif isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+            ):
+                for side in node.comparators:
+                    found = tracked(side)
+                    if found is not None:
+                        traversals.append(
+                            (node.lineno, found, frozenset(held), "membership test of")
+                        )
+            elif isinstance(node, ast.For):
+                found = tracked(node.iter)
+                if found is not None:
+                    traversals.append(
+                        (node.lineno, found, frozenset(held), "iteration over")
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    found = tracked(gen.iter)
+                    if found is not None:
+                        traversals.append(
+                            (node.lineno, found, frozenset(held), "iteration over")
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _TRAVERSING_CALLS
+                    and len(node.args) >= 1
+                ):
+                    found = tracked(node.args[0])
+                    if found is not None:
+                        traversals.append(
+                            (node.lineno, found, frozenset(held), f"{func.id}() over")
+                        )
+                elif isinstance(func, ast.Attribute):
+                    if func.attr in _TRAVERSING_METHODS:
+                        found = tracked(func.value)
+                        if found is not None:
+                            traversals.append(
+                                (node.lineno, found, frozenset(held),
+                                 f".{func.attr}() over")
+                            )
+                    if func.attr in MUTATING_METHODS:
+                        found = tracked(func.value)
+                        if found is not None:
+                            receiver = attr_type_on(table, *found)
+                            if receiver is None or not table.method_on(
+                                receiver, func.attr
+                            ):
+                                kind = (
+                                    "setdefault"
+                                    if func.attr == "setdefault"
+                                    else "method"
+                                )
+                                mutations.append(
+                                    (node.lineno, found, frozenset(held), kind)
+                                )
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute):
+                        found = _owner_of_base(
+                            table, class_context, locals_map, fresh, {}, target
+                        )
+                        if found is not None and found in shared_attrs:
+                            mutations.append(
+                                (node.lineno, found, frozenset(held), "assign")
+                            )
+                            if isinstance(node.value, ast.Call):
+                                callee = resolve_call(
+                                    table, info, class_context, node.value.func,
+                                    locals_map,
+                                )
+                                if callee is not None and table.is_class(callee):
+                                    publishes.append(
+                                        (node.lineno, found, frozenset(held))
+                                    )
+                    elif isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Attribute
+                    ):
+                        found = _owner_of_base(
+                            table, class_context, locals_map, fresh, {}, target.value
+                        )
+                        if found is not None and found in shared_attrs:
+                            mutations.append(
+                                (node.lineno, found, frozenset(held), "store")
+                            )
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+                base = (
+                    target
+                    if isinstance(target, ast.Attribute)
+                    else target.value
+                    if isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Attribute)
+                    else None
+                )
+                if base is not None:
+                    found = _owner_of_base(
+                        table, class_context, locals_map, fresh, {}, base
+                    )
+                    if found is not None and found in shared_attrs:
+                        mutations.append(
+                            (node.lineno, found, frozenset(held), "augassign")
+                        )
+            for child in ast.iter_child_nodes(node):
+                visit(child, held)
+
+        for stmt in fn.body:
+            visit(stmt, ())
+
+        module = info.module
+        reported_lines: set[tuple[int, tuple[str, str]]] = set()
+
+        def has_guard(held: frozenset[str], guard: str) -> bool:
+            return guard in (held | entry_guard)
+
+        # check-then-act: unlocked test + later mutation of same attr.
+        for line, key, held in test_reads:
+            guard = guarded_attrs.get(key)
+            if guard is None or has_guard(held, guard):
+                continue
+            later = [m for m in mutations if m[1] == key and m[0] > line]
+            if not later:
+                continue
+            owner, attr = key
+            emit(
+                module, line, qualname, owner, attr,
+                (
+                    f"check-then-act on {owner.rsplit('.', 1)[-1]}.{attr}: tested "
+                    f"outside its lock ({guard.rsplit('.', 1)[-1]}) but mutated at "
+                    f"line {later[0][0]}; hold the lock across the check and the "
+                    "mutation"
+                ),
+            )
+            reported_lines.add((line, key))
+
+        # read-gap: traversal of a guarded attr outside its lock.
+        for line, key, held, how in traversals:
+            guard = guarded_attrs.get(key)
+            if guard is None or has_guard(held, guard) or (line, key) in reported_lines:
+                continue
+            owner, attr = key
+            emit(
+                module, line, qualname, owner, attr,
+                (
+                    f"{how} {owner.rsplit('.', 1)[-1]}.{attr} outside its guarding "
+                    f"lock {guard.rsplit('.', 1)[-1]}: writers hold the lock, this "
+                    "reader does not — a concurrent mutation can resize the "
+                    "container mid-traversal"
+                ),
+            )
+            reported_lines.add((line, key))
+
+        # compound ops: += / setdefault outside the guard.
+        for line, key, held, kind in mutations:
+            if kind not in ("augassign", "setdefault"):
+                continue
+            guard = guarded_attrs.get(key)
+            if guard is None or has_guard(held, guard) or (line, key) in reported_lines:
+                continue
+            owner, attr = key
+            op = "+=" if kind == "augassign" else ".setdefault()"
+            emit(
+                module, line, qualname, owner, attr,
+                (
+                    f"compound {op} on {owner.rsplit('.', 1)[-1]}.{attr} outside "
+                    f"its guarding lock {guard.rsplit('.', 1)[-1]}: the "
+                    "read-modify-write can interleave with a locked writer"
+                ),
+            )
+            reported_lines.add((line, key))
+
+        # publish-before-init: bare publication of a fresh object that
+        # is still being initialised through the shared attribute.
+        for line, key, held in publishes:
+            if held | entry_guard:
+                continue
+            later = [
+                m for m in mutations if m[1] == key and m[0] > line and m[3] != "assign"
+            ]
+            if not later or (line, key) in reported_lines:
+                continue
+            owner, attr = key
+            emit(
+                module, line, qualname, owner, attr,
+                (
+                    f"publish-before-init of {owner.rsplit('.', 1)[-1]}.{attr}: the "
+                    f"object becomes visible at line {line} but is still being "
+                    f"initialised at line {later[0][0]}; build it fully in a local "
+                    "first or publish under a lock"
+                ),
+            )
+
+    findings.sort(key=lambda f: (f.path, f.line, f.scope))
+    return findings

@@ -480,6 +480,33 @@ def _infer_attr_types(
                 and target_node.value.id == "self"
             ):
                 note(target_node.attr, stmt.value, stmt.annotation)
+    # Annotated-parameter assigns: ``self.platform = platform`` where
+    # the enclosing method declares ``platform: TVDP``.  Plain-name
+    # assigns carry no annotation of their own, so without this the
+    # service -> platform edge (and every guard inferred through it)
+    # would be invisible to the whole-program passes.
+    for method in node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        arguments = method.args
+        params: dict[str, ast.expr] = {
+            arg.arg: arg.annotation
+            for arg in [*arguments.posonlyargs, *arguments.args, *arguments.kwonlyargs]
+            if arg.annotation is not None
+        }
+        if not params:
+            continue
+        for stmt in ast.walk(method):
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Attribute)
+                and isinstance(stmt.targets[0].value, ast.Name)
+                and stmt.targets[0].value.id == "self"
+                and isinstance(stmt.value, ast.Name)
+                and stmt.value.id in params
+            ):
+                note(stmt.targets[0].attr, None, params[stmt.value.id])
     return types, elem_types
 
 
@@ -699,6 +726,31 @@ def _partial_bound_target(
     return _resolve_call_target(table, info, class_context, call.args[0], locals_map)
 
 
+def _callable_arg_target(
+    table: SymbolTable,
+    info: ModuleInfo,
+    class_context: str | None,
+    arg: ast.expr,
+    locals_map: dict[str, str] | None,
+) -> str | None:
+    """A function/method qualname an *argument expression* references
+    without calling — ``self._execute(query, self._run_sharded)`` passes
+    the bound method ``_run_sharded`` to be invoked by the callee, so the
+    address-taken reference belongs in the graph as a may-call edge."""
+    if isinstance(arg, ast.Attribute):
+        resolved = _resolve_call_target(table, info, class_context, arg, locals_map)
+    elif isinstance(arg, ast.Name):
+        resolved = _resolve_name(table, info, arg.id)
+    else:
+        return None
+    if resolved is None:
+        return None
+    symbol = table.symbols.get(resolved)
+    if symbol is None or symbol.kind not in (KIND_FUNCTION, KIND_METHOD):
+        return None
+    return resolved
+
+
 def build_call_graph(table: SymbolTable) -> CallGraph:
     """Resolve every call expression in every function/method."""
     graph = CallGraph()
@@ -728,6 +780,22 @@ def build_call_graph(table: SymbolTable) -> CallGraph:
                     line=node.lineno,
                 )
             )
+            # Higher-order: callable references passed as arguments may
+            # be invoked by the callee (callbacks, merge fns, handlers).
+            for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+                taken = _callable_arg_target(
+                    table, info, class_context, arg, locals_map
+                )
+                if taken is not None and taken != callee:
+                    graph.add(
+                        CallSite(
+                            caller=qualname,
+                            callee=taken,
+                            raw=_dotted_of(arg),
+                            path=info.module.rel_path,
+                            line=node.lineno,
+                        )
+                    )
     return graph
 
 

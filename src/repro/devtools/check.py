@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro.devtools.atomicity import check_atomicity
+from repro.devtools.blockinghandler import check_blocking_in_handler
 from repro.devtools.callgraph import build_call_graph, build_symbol_table
 from repro.devtools.concurrency import DEFAULT_CRITICAL_GLOBS, check_concurrency
 from repro.devtools.correctness import (
@@ -48,6 +50,11 @@ from repro.devtools.lockorder import check_lock_order
 from repro.devtools.picklability import DEFAULT_PICKLE_ROOT_GLOBS, check_picklability
 from repro.devtools.processsafety import check_process_safety, render_manifest
 from repro.devtools.sarif import github_annotations, to_sarif
+from repro.devtools.threadescape import (
+    DEFAULT_CONCURRENT_ROOTS,
+    check_thread_escape,
+    render_concurrency_manifest,
+)
 
 #: Every rule id the suite can emit, for --select validation and docs.
 ALL_RULES: tuple[str, ...] = (
@@ -66,6 +73,9 @@ ALL_RULES: tuple[str, ...] = (
     "picklability",
     "process-safety",
     "hot-path",
+    "thread-escape",
+    "atomicity",
+    "blocking-in-handler",
 )
 
 #: Rules that need the whole-program symbol table / call graph.
@@ -77,6 +87,9 @@ WHOLE_PROGRAM_RULES: frozenset[str] = frozenset(
         "picklability",
         "process-safety",
         "hot-path",
+        "thread-escape",
+        "atomicity",
+        "blocking-in-handler",
     }
 )
 
@@ -99,6 +112,9 @@ PASSES: dict[str, tuple[str, ...]] = {
     "picklability": ("picklability",),
     "process-safety": ("process-safety",),
     "hot-path": ("hot-path",),
+    "thread-escape": ("thread-escape",),
+    "atomicity": ("atomicity",),
+    "blocking-in-handler": ("blocking-in-handler",),
 }
 
 
@@ -125,10 +141,16 @@ class CheckResult:
     #: shard-safety manifest computed by the process-safety pass
     #: (None when that pass did not run).
     manifest: dict | None = None
+    #: concurrency manifest computed by the thread-escape pass
+    #: (None when that pass did not run).
+    concurrency_manifest: dict | None = None
+    #: baseline fingerprints whose finding no longer exists on the tree
+    #: — the ratchet must shrink (see --trim-baseline).
+    stale_baseline: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.new
+        return not self.new and not self.stale_baseline
 
     @property
     def elapsed(self) -> float:
@@ -149,6 +171,7 @@ class CheckResult:
             "elapsed_s": round(self.elapsed, 4),
             "new_findings": [f.to_dict() for f in self.new],
             "baselined_findings": [f.to_dict() for f in self.suppressed],
+            "stale_baseline": list(self.stale_baseline),
         }
 
 
@@ -162,6 +185,8 @@ def run_check(
     pickle_root_globs: tuple[str, ...] = DEFAULT_PICKLE_ROOT_GLOBS,
     data_plane_roots: tuple[str, ...] = DEFAULT_DATA_PLANE_ROOTS,
     manifest_path: Path | None = None,
+    concurrent_roots: tuple[str, ...] = DEFAULT_CONCURRENT_ROOTS,
+    concurrency_manifest_path: Path | None = None,
 ) -> CheckResult:
     """Run the suite over ``root`` (default: the installed ``repro``
     package) and partition findings against ``baseline``."""
@@ -172,6 +197,11 @@ def run_check(
         manifest_path
         if manifest_path is not None
         else base / "tools" / "shard_safety_manifest.json"
+    )
+    concurrency_file = (
+        concurrency_manifest_path
+        if concurrency_manifest_path is not None
+        else base / "tools" / "concurrency_manifest.json"
     )
     timings: dict[str, float] = {}
 
@@ -280,8 +310,60 @@ def run_check(
                 ),
             )
 
+    concurrency_manifest: dict | None = None
+    escape_analysis = None
+    if table is not None and graph is not None:
+        if "thread-escape" in selected:
+            started = time.perf_counter()
+            checked_in_conc: dict | None = None
+            if concurrency_file.exists():
+                try:
+                    checked_in_conc = json.loads(
+                        concurrency_file.read_text(encoding="utf-8")
+                    )
+                except (OSError, ValueError):
+                    checked_in_conc = None
+            try:
+                concurrency_rel = concurrency_file.relative_to(base).as_posix()
+            except ValueError:
+                concurrency_rel = concurrency_file.as_posix()
+            escape_findings, concurrency_manifest, escape_analysis = (
+                check_thread_escape(
+                    table,
+                    graph,
+                    concurrent_roots,
+                    checked_in=checked_in_conc,
+                    manifest_rel=concurrency_rel,
+                )
+            )
+            findings.extend(escape_findings)
+            timings["thread-escape"] = time.perf_counter() - started
+        if "atomicity" in selected:
+            started = time.perf_counter()
+            findings.extend(
+                check_atomicity(
+                    table, graph, concurrent_roots, analysis=escape_analysis
+                )
+            )
+            timings["atomicity"] = time.perf_counter() - started
+        if "blocking-in-handler" in selected:
+            timed(
+                "blocking-in-handler",
+                lambda: check_blocking_in_handler(table, graph),
+            )
+
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     new, suppressed = split_new(findings, baseline or [])
+    consumed: dict[str, int] = {}
+    for finding in suppressed:
+        consumed[finding.fingerprint] = consumed.get(finding.fingerprint, 0) + 1
+    stale: list[str] = []
+    for fingerprint in baseline or []:
+        remaining = consumed.get(fingerprint, 0)
+        if remaining > 0:
+            consumed[fingerprint] = remaining - 1
+        else:
+            stale.append(fingerprint)
     by_rule: dict[str, int] = {}
     for finding in findings:
         by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
@@ -293,6 +375,8 @@ def run_check(
         by_rule=by_rule,
         timings=timings,
         manifest=manifest,
+        concurrency_manifest=concurrency_manifest,
+        stale_baseline=sorted(stale),
     )
 
 
@@ -300,6 +384,16 @@ def _render_human(
     result: CheckResult, baseline_path: Path | None, budget_s: float | None = None
 ) -> str:
     lines: list[str] = []
+    if result.stale_baseline:
+        lines.append(
+            f"repro.devtools.check: {len(result.stale_baseline)} stale baseline "
+            "entr(ies) — the finding was fixed but its suppression remains"
+        )
+        for fingerprint in result.stale_baseline:
+            lines.append(f"  {fingerprint}")
+        lines.append(
+            "Ratchets only shrink: run --trim-baseline to drop the dead entries."
+        )
     if result.new:
         lines.append(f"repro.devtools.check: {len(result.new)} new finding(s)")
         for finding in result.new:
@@ -309,7 +403,7 @@ def _render_human(
             "Fix the findings, add an inline '# devtools: allow[rule-id]' with a "
             "reason, or accept them with --write-baseline."
         )
-    else:
+    elif not result.stale_baseline:
         lines.append(
             f"repro.devtools.check: OK — {result.modules_scanned} modules, "
             f"{len(result.suppressed)} baselined finding(s), 0 new"
@@ -323,6 +417,51 @@ def _render_human(
     budget = f" (budget {budget_s:.0f}s)" if budget_s is not None else ""
     lines.append(f"analysis wall-time: {result.elapsed:.2f}s{budget} — {detail}")
     return "\n".join(lines)
+
+
+def changed_files(repo_root: Path, ref: str) -> frozenset[str]:
+    """Repo-relative paths changed vs ``ref`` (tracked diffs plus
+    untracked files), for ``--changed-only``."""
+    import subprocess
+
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = getattr(exc, "stderr", "") or str(exc)
+        raise RuntimeError(f"git diff vs {ref!r} failed: {detail.strip()}") from exc
+    paths = set(diff.stdout.splitlines()) | set(untracked.stdout.splitlines())
+    return frozenset(p.strip() for p in paths if p.strip())
+
+
+def apply_changed_only(result: CheckResult, changed: frozenset[str]) -> CheckResult:
+    """Restrict ``new`` findings to changed files; stale-baseline gating
+    is waived (the full run still enforces it in CI)."""
+    filtered = [f for f in result.new if f.path in changed]
+    return CheckResult(
+        findings=result.findings,
+        new=filtered,
+        suppressed=result.suppressed,
+        modules_scanned=result.modules_scanned,
+        rules=result.rules,
+        by_rule=result.by_rule,
+        timings=result.timings,
+        manifest=result.manifest,
+        concurrency_manifest=result.concurrency_manifest,
+        stale_baseline=[],
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -376,6 +515,28 @@ def main(argv: list[str] | None = None) -> int:
         help="regenerate tools/shard_safety_manifest.json from the tree and exit 0",
     )
     parser.add_argument(
+        "--write-concurrency-manifest",
+        action="store_true",
+        help="regenerate tools/concurrency_manifest.json from the tree and exit 0",
+    )
+    parser.add_argument(
+        "--trim-baseline",
+        action="store_true",
+        help="drop stale baseline entries (finding fixed, suppression left) and exit 0",
+    )
+    parser.add_argument(
+        "--changed-only",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="GIT_REF",
+        help=(
+            "report only new findings in files changed vs GIT_REF (default "
+            "HEAD) — a fast pre-commit mode; manifest drift and stale-baseline "
+            "gating are skipped"
+        ),
+    )
+    parser.add_argument(
         "--budget-s",
         type=float,
         default=None,
@@ -406,6 +567,8 @@ def main(argv: list[str] | None = None) -> int:
         select = tuple(set(select) & set(only_rules)) if select else only_rules
     if args.write_manifest:
         select = PASSES["process-safety"]
+    if args.write_concurrency_manifest:
+        select = PASSES["thread-escape"]
     try:
         result = run_check(
             root=args.root,
@@ -429,6 +592,36 @@ def main(argv: list[str] | None = None) -> int:
             f"{manifest_file}\n"
         )
         return 0
+    if args.write_concurrency_manifest:
+        if result.concurrency_manifest is None:
+            sys.stderr.write("error: thread-escape pass did not run\n")
+            return 2
+        repo_base = args.repo_root if args.repo_root is not None else _default_paths()[1]
+        manifest_file = repo_base / "tools" / "concurrency_manifest.json"
+        manifest_file.write_text(
+            render_concurrency_manifest(result.concurrency_manifest), encoding="utf-8"
+        )
+        sys.stdout.write(
+            f"wrote {len(result.concurrency_manifest['entries'])} "
+            f"classification(s) to {manifest_file}\n"
+        )
+        return 0
+    if args.trim_baseline:
+        dropped = len(result.stale_baseline)
+        write_baseline(baseline_path, result.suppressed)
+        sys.stdout.write(
+            f"trimmed {dropped} stale entr(ies); {len(result.suppressed)} "
+            f"suppression(s) remain in {baseline_path}\n"
+        )
+        return 0
+    if args.changed_only is not None:
+        repo_base = args.repo_root if args.repo_root is not None else _default_paths()[1]
+        try:
+            changed = changed_files(repo_base, args.changed_only)
+        except RuntimeError as exc:
+            sys.stderr.write(f"error: {exc}\n")
+            return 2
+        result = apply_changed_only(result, changed)
     if args.write_baseline:
         write_baseline(baseline_path, result.findings)
         sys.stdout.write(

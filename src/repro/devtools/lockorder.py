@@ -58,6 +58,25 @@ _BLOCKING_ATTRS = frozenset(
     }
 )
 
+def _is_string_op(node: ast.Call) -> bool:
+    """String manipulation that shares a name with a blocking call:
+    ``", ".join(...)`` (vs ``Thread.join``) and ``s.replace("a", "b")``
+    (vs the ``Path.replace`` rename)."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    if (
+        func.attr == "join"
+        and isinstance(func.value, ast.Constant)
+        and isinstance(func.value.value, str)
+    ):
+        return True
+    return func.attr == "replace" and any(
+        isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+        for arg in node.args
+    )
+
+
 #: Project symbols whose call blocks (policies that retry/back off).
 _BLOCKING_SYMBOL_SUFFIXES = (
     ".resilience.policies.execute",
@@ -289,6 +308,9 @@ class _HeldCall:
     raw: str
     module: SourceModule
     line: int
+    #: ``", ".join(...)``-style string ops that merely share a name
+    #: with a blocking call — never blocking, whatever the attr says.
+    str_op: bool = False
 
 
 @dataclass(slots=True)
@@ -349,6 +371,7 @@ def analyze_locks(table: SymbolTable, graph: CallGraph) -> LockAnalysis:
                 if callee is not None and table.is_class(callee):
                     callee = table.method_on(callee, "__init__")
                 raw = _raw_dotted(node.func)
+                str_op = _is_string_op(node) or raw == "os.path.join"
                 if held:
                     held_calls.append(
                         _HeldCall(
@@ -358,14 +381,19 @@ def analyze_locks(table: SymbolTable, graph: CallGraph) -> LockAnalysis:
                             raw=raw,
                             module=info.module,
                             line=node.lineno,
+                            str_op=str_op,
                         )
                     )
                 attr = raw.rsplit(".", 1)[-1] if raw else ""
                 if (
-                    attr in _BLOCKING_ATTRS
-                    or raw == "open"
-                    or (callee is not None and _is_blocking_symbol(callee))
-                ) and qualname not in direct_blocking:
+                    not str_op
+                    and (
+                        attr in _BLOCKING_ATTRS
+                        or raw == "open"
+                        or (callee is not None and _is_blocking_symbol(callee))
+                    )
+                    and qualname not in direct_blocking
+                ):
                     direct_blocking[qualname] = raw or "<call>"
             for child in ast.iter_child_nodes(node):
                 visit(child, held)
@@ -472,6 +500,8 @@ def check_lock_order(
 
     seen: set[tuple[str, str, str]] = set()
     for call in facts.held_calls:
+        if call.str_op:
+            continue
         blocking: str | None = None
         attr = call.raw.rsplit(".", 1)[-1] if call.raw else ""
         if attr in _BLOCKING_ATTRS or call.raw == "open":

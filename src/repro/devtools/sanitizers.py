@@ -43,6 +43,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 __all__ = [
+    "LockCoverageSanitizer",
+    "LockCoverageViolation",
     "LockOrderSanitizer",
     "LockOrderViolation",
     "current_sanitizer",
@@ -210,6 +212,11 @@ class LockOrderSanitizer:
                     del held[i]
                 return
 
+    def is_held(self, lock: Any) -> bool:
+        """True when the *current thread* holds ``lock`` (a sanitized
+        wrapper created by this sanitizer)."""
+        return any(entry.lock is lock for entry in self._held())
+
     def note_blocking(self, name: str) -> None:
         """Called from patched blocking entry points."""
         held = self._held()
@@ -322,6 +329,291 @@ class LockOrderSanitizer:
 
             setattr(owner, attr, wrapped)
             self._saved_blocking.append((owner, attr, original))
+
+
+# -- lock-coverage sanitizer -------------------------------------------------
+
+_MISSING = object()
+
+
+def _capture_stack() -> tuple[str, ...]:
+    return tuple(
+        f"{os.path.basename(f.filename)}:{f.lineno} in {f.name}"
+        for f in traceback.extract_stack()[:-2]
+        if "sanitizers" not in f.filename
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class LockCoverageViolation:
+    """One mutation of a lock-guarded attribute without its lock held."""
+
+    attr: str  # "ClassName.attr"
+    guard: str  # name of the lock attribute that should have been held
+    op: str  # "rebind", "delete", or the mutating container method
+    thread: str
+    stack: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        lines = [
+            f"[lock-coverage] {self.op} of {self.attr} without "
+            f"{self.guard} held on {self.thread}"
+        ]
+        lines.extend(f"  {frame}" for frame in self.stack[-6:])
+        return "\n".join(lines)
+
+
+@dataclass(slots=True)
+class _GuardBinding:
+    """Ties a guarded container back to its owner's declared lock."""
+
+    sanitizer: "LockCoverageSanitizer"
+    owner: Any
+    label: str
+    lock_attr: str
+
+    def check(self, op: str) -> None:
+        self.sanitizer._check(self.owner, self.label, self.lock_attr, op)
+
+
+#: Mutating methods per builtin container the coverage sanitizer wraps.
+_DICT_MUTATORS = (
+    "__setitem__", "__delitem__", "__ior__",
+    "clear", "pop", "popitem", "setdefault", "update",
+)
+_LIST_MUTATORS = (
+    "__setitem__", "__delitem__", "__iadd__", "__imul__",
+    "append", "extend", "insert", "remove", "pop", "clear", "sort", "reverse",
+)
+_SET_MUTATORS = (
+    "__ior__", "__iand__", "__isub__", "__ixor__",
+    "add", "discard", "remove", "pop", "clear", "update",
+    "difference_update", "intersection_update", "symmetric_difference_update",
+)
+
+
+def _guarded_container(base: type, mutators: tuple[str, ...]) -> type:
+    """A ``base`` subclass whose mutating methods report to the coverage
+    sanitizer before delegating; pickles/copies back to the plain
+    builtin so guarded values cross the shard boundary untouched."""
+
+    def _make(name: str) -> Callable[..., Any]:
+        original = getattr(base, name)
+
+        def method(self: Any, *args: Any, **kwargs: Any) -> Any:
+            binding = self._cov_binding
+            if binding is not None:
+                binding.check(name)
+            return original(self, *args, **kwargs)
+
+        method.__name__ = name
+        return method
+
+    namespace: dict[str, Any] = {name: _make(name) for name in mutators}
+    namespace["_cov_binding"] = None
+
+    def __reduce__(self: Any) -> tuple:
+        return (base, (base(self),))
+
+    namespace["__reduce__"] = __reduce__
+    return type(f"_Guarded_{base.__name__}", (base,), namespace)
+
+
+class _GuardedAttribute:
+    """Data descriptor over one lock-guarded attribute.
+
+    Values live in the instance ``__dict__`` under their own name (so
+    ``vars()``, ``__getstate__`` and pickling see them unchanged); the
+    descriptor checks the declared lock on every rebind after the first
+    (publication from ``__init__`` is lock-free by design) and wraps
+    plain dict/list/set values so in-place mutations are checked too.
+    """
+
+    __slots__ = ("name", "label", "lock_attr", "sanitizer", "class_default")
+
+    def __init__(
+        self,
+        name: str,
+        label: str,
+        lock_attr: str,
+        sanitizer: "LockCoverageSanitizer",
+        class_default: Any,
+    ) -> None:
+        self.name = name
+        self.label = label
+        self.lock_attr = lock_attr
+        self.sanitizer = sanitizer
+        self.class_default = class_default
+
+    def __get__(self, obj: Any, objtype: type | None = None) -> Any:
+        if obj is None:
+            return self
+        try:
+            return obj.__dict__[self.name]
+        except KeyError:
+            if self.class_default is not _MISSING:
+                return self.class_default
+            raise AttributeError(self.name) from None
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        if self.name in obj.__dict__:
+            self.sanitizer._check(obj, self.label, self.lock_attr, "rebind")
+        obj.__dict__[self.name] = self.sanitizer._wrap(
+            value, obj, self.label, self.lock_attr
+        )
+
+    def __delete__(self, obj: Any) -> None:
+        self.sanitizer._check(obj, self.label, self.lock_attr, "delete")
+        try:
+            del obj.__dict__[self.name]
+        except KeyError:
+            raise AttributeError(self.name) from None
+
+
+class LockCoverageSanitizer:  # devtools: allow[dead-code] — installed by tests/conftest.py under REPRO_SANITIZE=1
+    """Runtime enforcement of the concurrency manifest's lock-guarded rows.
+
+    The thread-escape pass proves (statically) that every *source*
+    mutation of a lock-guarded attribute sits under its declared lock;
+    this sanitizer checks the *executions*: instrument the classes the
+    manifest names, and any rebind or container mutation of a guarded
+    attribute while the owning instance's declared lock is not held by
+    the current thread is recorded in :attr:`violations` (the autouse
+    fixture in ``tests/conftest.py`` fails the offending test).
+
+    Classes whose instances have no ``__dict__`` (``__slots__``) are
+    skipped — slot descriptors cannot be shadowed without changing
+    storage.  Manifest rows whose guard lives on a *different* class
+    than the attribute (e.g. tree nodes guarded by the tree's lock) are
+    skipped too: there is no per-instance lock to test.
+    """
+
+    def __init__(self) -> None:
+        self._meta = _thread.allocate_lock()
+        self.violations: list[LockCoverageViolation] = []
+        self._instrumented: list[tuple[type, str, Any]] = []
+        self._active = True
+        self._guarded_dict = _guarded_container(dict, _DICT_MUTATORS)
+        self._guarded_list = _guarded_container(list, _LIST_MUTATORS)
+        self._guarded_set = _guarded_container(set, _SET_MUTATORS)
+
+    # -- instrumentation -----------------------------------------------------
+
+    def instrument_class(self, cls: type, guards: dict[str, str]) -> int:
+        """Install guarded descriptors for ``{attr: lock_attr}``; returns
+        how many attributes were instrumented (0 for slotted classes)."""
+        if getattr(cls, "__dictoffset__", 0) == 0:
+            return 0  # no instance __dict__ to shadow into
+        count = 0
+        for attr, lock_attr in sorted(guards.items()):
+            existing = cls.__dict__.get(attr, _MISSING)
+            if isinstance(existing, _GuardedAttribute):
+                continue
+            descriptor = _GuardedAttribute(
+                attr, f"{cls.__name__}.{attr}", lock_attr, self, existing
+            )
+            setattr(cls, attr, descriptor)
+            self._instrumented.append((cls, attr, existing))
+            count += 1
+        return count
+
+    def install_from_manifest(self, manifest: dict) -> int:
+        """Instrument every resolvable ``lock-guarded`` manifest row.
+
+        Modules are imported lazily by dotted name (the devtools layer
+        must not import the platform at module scope); unimportable
+        modules and unresolvable classes are skipped, not fatal.
+        """
+        per_class: dict[tuple[str, str], dict[str, str]] = {}
+        for entry in manifest.get("entries", []):
+            if entry.get("classification") != "lock-guarded":
+                continue
+            try:
+                owner_q, attr = str(entry.get("attr", "")).rsplit(".", 1)
+                guard_q, lock_attr = str(entry.get("guard", "")).rsplit(".", 1)
+            except ValueError:
+                continue
+            if owner_q != guard_q:
+                continue  # guard on another class: no instance lock to test
+            module_name, cls_name = owner_q.rsplit(".", 1)
+            per_class.setdefault((module_name, cls_name), {})[attr] = lock_attr
+        total = 0
+        for (module_name, cls_name), guards in sorted(per_class.items()):
+            try:
+                module = importlib.import_module(module_name)
+            except ImportError:
+                continue
+            cls = getattr(module, cls_name, None)
+            if isinstance(cls, type):
+                total += self.instrument_class(cls, guards)
+        return total
+
+    def uninstrument(self) -> None:
+        """Restore the original class attributes and stop recording."""
+        self._active = False
+        for cls, attr, original in reversed(self._instrumented):
+            if original is _MISSING:
+                try:
+                    delattr(cls, attr)
+                except AttributeError:
+                    pass
+            else:
+                setattr(cls, attr, original)
+        self._instrumented.clear()
+
+    def reset(self) -> None:
+        with self._meta:
+            self.violations.clear()
+
+    # -- checking ------------------------------------------------------------
+
+    def _wrap(self, value: Any, owner: Any, label: str, lock_attr: str) -> Any:
+        guarded = {
+            dict: self._guarded_dict,
+            list: self._guarded_list,
+            set: self._guarded_set,
+        }.get(type(value))
+        if guarded is None:
+            return value
+        wrapped = guarded(value)
+        wrapped._cov_binding = _GuardBinding(self, owner, label, lock_attr)
+        return wrapped
+
+    def _check(self, owner: Any, label: str, lock_attr: str, op: str) -> None:
+        if not self._active:
+            return
+        lock = getattr(owner, lock_attr, None)
+        if lock is None:
+            return  # pre-publication: the guard itself is not built yet
+        if self._holds(lock):
+            return
+        with self._meta:
+            self.violations.append(
+                LockCoverageViolation(
+                    attr=label,
+                    guard=lock_attr,
+                    op=op,
+                    thread=threading.current_thread().name,
+                    stack=_capture_stack(),
+                )
+            )
+
+    @staticmethod
+    def _holds(lock: Any) -> bool:
+        """Best-effort 'current thread holds this lock'."""
+        if isinstance(lock, _SanitizedLock):
+            order = current_sanitizer()
+            if order is not None:
+                return order.is_held(lock)
+            lock = lock._real
+        owned = getattr(lock, "_is_owned", None)
+        if owned is not None:
+            try:
+                return bool(owned())
+            except Exception:  # pragma: no cover - exotic lock impls  # devtools: allow[broad-except] — ownership probe must never raise inside __setattr__
+                return False
+        locked = getattr(lock, "locked", None)
+        return bool(locked()) if callable(locked) else False
 
 
 def _site_path(frame: Any) -> str:

@@ -32,6 +32,9 @@ RULE_DESCRIPTIONS: dict[str, str] = {
     "picklability": "Shard-boundary object holds unpicklable state.",
     "process-safety": "Unclassified module-global state reachable from the data plane.",
     "hot-path": "Per-item work on a query path outside the cost model.",
+    "thread-escape": "Shared mutable state mutated without a consistent lock on a concurrent path.",
+    "atomicity": "Check-then-act / read-modify-write gap on lock-guarded shared state.",
+    "blocking-in-handler": "Blocking call reachable from an HTTP handler.",
 }
 
 

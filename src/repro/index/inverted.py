@@ -40,7 +40,9 @@ class InvertedIndex:
     def __init__(self) -> None:
         self._postings: dict[str, dict[object, int]] = {}
         self._doc_lengths: dict[object, int] = {}
-        self._lock = threading.Lock()
+        # Reentrant: query methods hold it across scoring loops that
+        # call locked helpers (_idf) internally.
+        self._lock = threading.RLock()
 
     def __getstate__(self) -> dict:
         """Pickle support for the shard boundary: every field but the
@@ -51,13 +53,15 @@ class InvertedIndex:
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._doc_lengths)
+        with self._lock:
+            return len(self._doc_lengths)
 
     def __contains__(self, doc_id: object) -> bool:
-        return doc_id in self._doc_lengths
+        with self._lock:
+            return doc_id in self._doc_lengths
 
     def add(self, doc_id: object, text: str) -> None:
         """Index a document; adding the same id again extends it."""
@@ -83,10 +87,11 @@ class InvertedIndex:
                 del self._postings[term]
 
     def _idf(self, term: str) -> float:
-        df = len(self._postings.get(term, ()))
-        if df == 0:
-            return 0.0
-        return math.log(1.0 + len(self._doc_lengths) / df)
+        with self._lock:
+            df = len(self._postings.get(term, ()))
+            if df == 0:
+                return 0.0
+            return math.log(1.0 + len(self._doc_lengths) / df)
 
     # -- queries ------------------------------------------------------------
 
@@ -94,13 +99,16 @@ class InvertedIndex:
         """Documents matching *any* query term, tf-idf ranked."""
         scores: dict[object, float] = {}
         scanned = 0
-        for term in sorted(set(tokenize(query))):
-            idf = self._idf(term)
-            postings = self._postings.get(term, {})
-            scanned += len(postings)
-            for doc_id, tf in postings.items():
-                length = max(self._doc_lengths[doc_id], 1)
-                scores[doc_id] = scores.get(doc_id, 0.0) + (tf / length) * idf
+        # Score under the lock: idf and posting traversal must observe
+        # one consistent index state per query, not a half-applied add().
+        with self._lock:
+            for term in sorted(set(tokenize(query))):
+                idf = self._idf(term)
+                postings = self._postings.get(term, {})
+                scanned += len(postings)
+                for doc_id, tf in postings.items():
+                    length = max(self._doc_lengths[doc_id], 1)
+                    scores[doc_id] = scores.get(doc_id, 0.0) + (tf / length) * idf
         _QUERIES.inc()
         _POSTINGS_SCANNED.inc(scanned)
         charge_probes("inverted", scanned)
@@ -111,7 +119,8 @@ class InvertedIndex:
         terms = set(tokenize(query))
         if not terms:
             return []
-        candidate_sets = [set(self._postings.get(term, {})) for term in terms]
+        with self._lock:
+            candidate_sets = [set(self._postings.get(term, {})) for term in terms]
         common = set.intersection(*candidate_sets) if candidate_sets else set()
         ranked = [
             (doc_id, score)
@@ -122,13 +131,15 @@ class InvertedIndex:
 
     def vocabulary(self) -> list[str]:
         """Sorted indexed terms."""
-        return sorted(self._postings)
+        with self._lock:
+            return sorted(self._postings)
 
     # -- scatter-gather exports ---------------------------------------------
 
     def doc_count(self) -> int:
         """Documents indexed — the ``N`` of the idf formula."""
-        return len(self._doc_lengths)
+        with self._lock:
+            return len(self._doc_lengths)
 
     def term_dfs(self) -> dict[str, int]:
         """Term -> document frequency for every indexed term.
@@ -138,7 +149,8 @@ class InvertedIndex:
         from the per-shard dfs of **all** shards — including ones the
         match itself prunes.
         """
-        return {term: len(bucket) for term, bucket in self._postings.items()}
+        with self._lock:
+            return {term: len(bucket) for term, bucket in self._postings.items()}
 
     def postings_for(
         self, terms: list[str]
@@ -154,18 +166,19 @@ class InvertedIndex:
         """
         out: dict[str, list[tuple[object, int, int]]] = {}
         scanned = 0
-        for term in terms:
-            postings = self._postings.get(term)
-            if not postings:
-                continue
-            scanned += len(postings)
-            out[term] = sorted(
-                (
-                    (doc, tf, max(self._doc_lengths[doc], 1))
-                    for doc, tf in postings.items()
-                ),
-                key=lambda triple: tie_key(triple[0]),
-            )
+        with self._lock:
+            for term in terms:
+                postings = self._postings.get(term)
+                if not postings:
+                    continue
+                scanned += len(postings)
+                out[term] = sorted(
+                    (
+                        (doc, tf, max(self._doc_lengths[doc], 1))
+                        for doc, tf in postings.items()
+                    ),
+                    key=lambda triple: tie_key(triple[0]),
+                )
         _QUERIES.inc()
         _POSTINGS_SCANNED.inc(scanned)
         charge_probes("inverted", scanned)

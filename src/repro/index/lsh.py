@@ -75,7 +75,8 @@ class LSHIndex:
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._vectors)
+        with self._lock:
+            return len(self._vectors)
 
     def clone_empty(self) -> "LSHIndex":
         """An empty index sharing this one's exact hash functions.
@@ -158,7 +159,9 @@ class LSHIndex:
         candidates = self._candidates(vector)
         if exhaustive_fallback and len(candidates) < k:
             _FALLBACK_SCANS.inc()
-            charge_probes("lsh", len(self._vectors))
+            with self._lock:
+                n_indexed = len(self._vectors)
+            charge_probes("lsh", n_indexed)
             return self.linear_topk(vector, k)
         return self._rank(list(candidates), vector, k)
 

@@ -138,8 +138,11 @@ class RTree:
         nodes = tree._str_pack(leaves, leaf=True)
         while len(nodes) > 1:
             nodes = tree._str_pack(nodes, leaf=False)
-        tree._root = nodes[0]
-        tree._size = len(entries)
+        # The tree is still thread-local, but _root/_size are declared
+        # lock-guarded — install the packed structure under the lock.
+        with tree._lock:
+            tree._root = nodes[0]
+            tree._size = len(entries)
         return tree
 
     def _str_pack(self, children: list, leaf: bool) -> list[_Node]:

@@ -422,7 +422,9 @@ class UsageTable:
                 "shed": self._registry.counter("usage.would_shed", labels),
                 "kinds": {},
             }
-            self._metric_handles[principal] = handles  # devtools: allow[unlocked-mutation]
+            # Benign interning race: both writers build identical
+            # handles from the get-or-create registry.
+            self._metric_handles[principal] = handles  # devtools: allow[unlocked-mutation, thread-escape]
         return handles
 
     def _emit_metrics(

@@ -128,7 +128,7 @@ class Span:
         until :meth:`Tracer.span` closes it, so attribute writes need
         no lock.
         """
-        self.attrs[key] = value  # devtools: allow[unlocked-mutation]
+        self.attrs[key] = value  # devtools: allow[unlocked-mutation, thread-escape]
 
     def to_dict(self) -> dict:
         """JSON-compatible record of a finished span."""

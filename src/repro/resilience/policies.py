@@ -172,7 +172,11 @@ class Retry:
                     "%s: attempt %d failed (%s); backing off %.3fs",
                     self.site, attempt, exc, delay,
                 )
-                clock.sleep(delay)
+                # Deliberately blocking on the request path: backoff
+                # delays come from a fixed, finite schedule, so a
+                # handler waits at most the retry budget — the bounded
+                # degradation the resilience layer exists to provide.
+                clock.sleep(delay)  # devtools: allow[blocking-in-handler]
             else:
                 if attempt:
                     span = obs.current_span()

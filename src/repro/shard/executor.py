@@ -29,6 +29,7 @@ import concurrent.futures
 import multiprocessing
 import os
 import pickle
+import threading
 from dataclasses import dataclass, field
 
 from repro import obs
@@ -164,17 +165,21 @@ class ProcessShardPool:
         self._shard_ids = {h.shard_id for h in shards}
         cpu = os.cpu_count() or 1
         self._max_workers = max_workers or max(1, min(len(shards), cpu))
+        # Guards the lazy pool build and teardown: two concurrent
+        # submits must not each spawn a pool and leak one of them.
+        self._lock = threading.Lock()
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
 
     def _ensure(self) -> concurrent.futures.ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self._max_workers,
-                mp_context=multiprocessing.get_context("fork"),
-                initializer=_init_worker,
-                initargs=(self._payload,),
-            )
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self._max_workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                    initializer=_init_worker,
+                    initargs=(self._payload,),
+                )
+            return self._pool
 
     def submit(self, shard_id: int, tasks: list[ShardTask]):
         if shard_id not in self._shard_ids:
@@ -191,9 +196,10 @@ class ProcessShardPool:
             raise
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
 
 
 class ScatterGatherExecutor:
@@ -235,7 +241,11 @@ class ScatterGatherExecutor:
                 clock=self._clock,
             )
             try:
-                results[shard_id] = retry.call(attempt)
+                # Deliberately blocking on the request path: the retry
+                # backoff is budget-bounded and fetch() carries its own
+                # timeout, so a handler can wait at most the dispatch
+                # budget, never indefinitely.
+                results[shard_id] = retry.call(attempt)  # devtools: allow[blocking-in-handler]
             except DISPATCH_RETRYABLE + (RetryBudgetExceeded,) as exc:
                 _log.warning("shard %d failed all attempts: %s", shard_id, exc)
                 failed.append(shard_id)

@@ -27,6 +27,7 @@ query span.
 from __future__ import annotations
 
 import math
+import threading
 
 from repro import obs
 from repro.core.planner import ShardStats, prune_shards
@@ -108,6 +109,11 @@ class ShardRouter:
         self.max_attempts = max_attempts
         self.timeout_s = timeout_s
         self.clock = clock
+        # Partition lifecycle lock: _ensure()/close() rotate the shard
+        # set, stats, and worker pool together under it.  Execution
+        # paths work on the immutable snapshot _ensure() returns, so
+        # the lock is never held across a scatter round-trip.
+        self._lock = threading.RLock()
         self._shards: list | None = None
         self._stats: list[ShardStats] = []
         self._executor: ScatterGatherExecutor | None = None
@@ -123,47 +129,84 @@ class ShardRouter:
             tuple(sorted(self._platform.visual_indexes())),
         )
 
-    def _ensure(self) -> None:
+    def _ensure(self) -> tuple[list[ShardStats], ScatterGatherExecutor]:
+        """Current ``(stats, executor)`` snapshot, repartitioning when
+        the catalog fingerprint moved.  Both are replaced wholesale on
+        rotation, so a returned snapshot stays internally consistent
+        even if a concurrent call rotates the partition afterwards.
+
+        The partition itself is built with the lock *released*: it is
+        slow (index builds) and calls back into platform accessors that
+        take the platform's own lock, so pinning this lock across it
+        would both stall readers and order the two locks inconsistently
+        with the platform's ``close()`` path.  A racing rebuild is
+        resolved at install time — first install wins, the loser's
+        fresh pool is discarded.
+        """
         fingerprint = self._current_fingerprint()
-        if self._shards is not None and fingerprint == self._fingerprint:
-            return
-        self.close()
+        with self._lock:
+            if (
+                self._shards is not None
+                and self._executor is not None
+                and fingerprint == self._fingerprint
+            ):
+                return self._stats, self._executor
         with obs.span("shard.partition", shards=self.n_shards):
-            self._shards = partition_catalog(
+            shards = partition_catalog(
                 self._platform, self.n_shards, grid=self.grid, region=self.region
             )
-        self._stats = [handle.stats for handle in self._shards]
+        stats = [handle.stats for handle in shards]
         if self.pool_kind == "inline":
-            pool = InlineShardPool(self._shards)
+            pool = InlineShardPool(shards)
         else:
-            pool = ProcessShardPool(self._shards)
-        self._executor = ScatterGatherExecutor(
+            pool = ProcessShardPool(shards)
+        executor = ScatterGatherExecutor(
             pool,
             max_attempts=self.max_attempts,
             timeout_s=self.timeout_s,
             clock=self.clock,
         )
-        self._fingerprint = fingerprint
-        _log.info(
-            "partitioned %d images into %d shards (%s pool)",
-            sum(s.n_images for s in self._stats),
-            self.n_shards,
-            self.pool_kind,
-        )
+        with self._lock:
+            if (
+                self._shards is not None
+                and self._executor is not None
+                and fingerprint == self._fingerprint
+            ):
+                # Lost the install race: keep the winner's partition
+                # and tear down the one we just built.
+                stale = executor
+                stats, executor = self._stats, self._executor
+            else:
+                stale = self._executor
+                self._shards = shards
+                self._stats = stats
+                self._executor = executor
+                self._fingerprint = fingerprint
+                _log.info(
+                    "partitioned %d images into %d shards (%s pool)",
+                    sum(s.n_images for s in stats),
+                    self.n_shards,
+                    self.pool_kind,
+                )
+        if stale is not None:
+            stale.close()
+        return stats, executor
 
     def close(self) -> None:
         """Release the worker pool and drop the partition."""
-        if self._executor is not None:
-            self._executor.close()
-            self._executor = None
-        self._shards = None
-        self._stats = []
-        self._fingerprint = None
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._shards = None
+            self._stats = []
+            self._fingerprint = None
+        # Pool shutdown can block on worker teardown; do it unlocked.
+        if executor is not None:
+            executor.close()
 
     def shard_stats(self) -> list[ShardStats]:
         """Current per-shard planner statistics (partitioning on demand)."""
-        self._ensure()
-        return list(self._stats)
+        stats, _ = self._ensure()
+        return list(stats)
 
     # -- planning helpers ----------------------------------------------------
 
@@ -176,17 +219,17 @@ class ShardRouter:
             for label in query.labels
         )
 
-    def _survivor_ids(self, query: object, type_ids_of=None) -> list:
+    def _survivor_ids(self, query: object, stats: list, type_ids_of=None) -> list:
         return [
             s.shard_id
-            for s in prune_shards(self._stats, query, type_ids_of or self._type_ids_of)
+            for s in prune_shards(stats, query, type_ids_of or self._type_ids_of)
         ]
 
     def preview(self, query: object) -> dict:
         """Pruning annotation for EXPLAIN, without executing."""
-        self._ensure()
+        stats, _ = self._ensure()
         try:
-            considered = len(self._survivor_ids(query))
+            considered = len(self._survivor_ids(query, stats))
         except QueryError:
             # Unresolvable query (unknown label, missing extractor):
             # EXPLAIN still renders, with pruning unknown -> none.
@@ -206,12 +249,12 @@ class ShardRouter:
     def execute_many(self, queries: list):
         """A batch of queries in one scatter round per shard (plus one
         more for visual fallbacks); returns ``[(results, info), ...]``."""
-        self._ensure()
-        preps = [self._prepare(query) for query in queries]
+        stats, executor = self._ensure()
+        preps = [self._prepare(query, stats) for query in queries]
         units: list[_Unit] = []
         for prep in preps:
             units.extend(self._collect_units(prep))
-        self._scatter_units(units)
+        self._scatter_units(units, executor)
         # Phase 2: exact fallback for visual top-k whose global hash
         # candidate pool came up short (the serial fallback decision,
         # made once at the coordinator over summed candidate counts).
@@ -219,10 +262,10 @@ class ShardRouter:
         for prep in preps:
             fallback_units.extend(self._plan_fallbacks(prep))
         if fallback_units:
-            self._scatter_units(fallback_units)
+            self._scatter_units(fallback_units, executor)
         out = []
         for query, prep in zip(queries, preps):
-            results = self._merge(prep)
+            results = self._merge(prep, stats)
             lost = sorted(self._lost_shards(prep))
             info = {
                 "shards_considered": prep["considered"],
@@ -239,7 +282,7 @@ class ShardRouter:
             out.append((results, info))
         return out
 
-    def _scatter_units(self, units: list) -> None:
+    def _scatter_units(self, units: list, executor: ScatterGatherExecutor) -> None:
         batches: dict[int, list] = {}
         placements: dict[int, list] = {}
         for unit in units:
@@ -248,12 +291,11 @@ class ShardRouter:
                 placements.setdefault(shard_id, []).append(unit)
         if not batches:
             return
-        assert self._executor is not None
         with obs.span("shard.scatter", shards=len(batches), tasks=len(units)) as sp:
-            gathered = self._executor.scatter(batches)
+            gathered = executor.scatter(batches)
             sp.set("failed", len(gathered.failed))
         _FANOUTS.inc(len(batches))
-        self._executor.absorb(gathered)
+        executor.absorb(gathered)
         for shard_id, placed in placements.items():
             result = gathered.results.get(shard_id)
             if result is None:
@@ -265,16 +307,16 @@ class ShardRouter:
 
     # -- per-family preparation ---------------------------------------------
 
-    def _prepare(self, query: object) -> dict:
+    def _prepare(self, query: object, stats: list) -> dict:
         if isinstance(query, SpatialQuery):
-            survivors = self._survivor_ids(query)
+            survivors = self._survivor_ids(query, stats)
             return {
                 "kind": "ids",
                 "considered": len(survivors),
                 "unit": _Unit(ShardTask("spatial", {"query": query}), survivors),
             }
         if isinstance(query, TemporalQuery):
-            survivors = self._survivor_ids(query)
+            survivors = self._survivor_ids(query, stats)
             return {
                 "kind": "ids",
                 "considered": len(survivors),
@@ -282,7 +324,7 @@ class ShardRouter:
             }
         if isinstance(query, CategoricalQuery):
             type_ids = self._type_ids_of(query)
-            survivors = self._survivor_ids(query, type_ids_of=lambda q: type_ids)
+            survivors = self._survivor_ids(query, stats, type_ids_of=lambda q: type_ids)
             task = ShardTask(
                 "categorical",
                 {
@@ -298,7 +340,7 @@ class ShardRouter:
             }
         if isinstance(query, TextualQuery):
             terms = sorted(set(tokenize(query.text)))
-            survivors = self._survivor_ids(query) if terms else []
+            survivors = self._survivor_ids(query, stats) if terms else []
             return {
                 "kind": "textual",
                 "terms": terms,
@@ -308,7 +350,7 @@ class ShardRouter:
             }
         if isinstance(query, VisualQuery):
             vector = self._visual_vector(query, self._platform.visual_indexes())
-            survivors = self._survivor_ids(query)
+            survivors = self._survivor_ids(query, stats)
             if query.max_distance is not None:
                 task = ShardTask(
                     "visual_radius",
@@ -352,7 +394,7 @@ class ShardRouter:
                     vector = self._visual_vector(
                         visual, self._platform.hybrid_indexes()
                     )
-                    survivors = self._survivor_ids(query)
+                    survivors = self._survivor_ids(query, stats)
                     task = ShardTask(
                         "hybrid_fused",
                         {
@@ -372,7 +414,7 @@ class ShardRouter:
             # General hybrids scatter each part stand-alone (per-part
             # pruning only — top-k parts are order-sensitive to their
             # full candidate pool) and intersect at the coordinator.
-            part_preps = [self._prepare(sub) for sub in parts]
+            part_preps = [self._prepare(sub, stats) for sub in parts]
             considered = len(
                 set().union(*(set(p["unit"].shard_ids) for p in part_preps))
                 if part_preps
@@ -452,7 +494,7 @@ class ShardRouter:
 
     # -- per-family merges ---------------------------------------------------
 
-    def _merge(self, prep: dict) -> list:
+    def _merge(self, prep: dict, stats: list) -> list:
         kind = prep["kind"]
         if kind == "ids":
             ids: set = set()
@@ -469,7 +511,7 @@ class ShardRouter:
                 for image_id, confidence in sorted(best.items())
             ]
         if kind == "textual":
-            return self._merge_textual(prep)
+            return self._merge_textual(prep, stats)
         if kind == "ranked_pairs":
             pairs = self._merge_pairs(
                 [p for p in prep["unit"].ordered_payloads()], prep["k"]
@@ -495,7 +537,7 @@ class ShardRouter:
                 for item, distance in pairs
             ]
         if kind == "hybrid_general":
-            result_sets = [self._merge(part) for part in prep["parts"]]
+            result_sets = [self._merge(part, stats) for part in prep["parts"]]
             return combine_hybrid(result_sets)
         raise ShardError(f"unknown merge kind {kind!r}")
 
@@ -507,7 +549,7 @@ class ShardRouter:
         merged.sort(key=lambda pair: (pair[1], tie_key(pair[0])))
         return merged[:k]
 
-    def _merge_textual(self, prep: dict) -> list:
+    def _merge_textual(self, prep: dict, stats: list) -> list:
         """Global tf-idf at the coordinator.
 
         ``N`` and per-term document frequencies are summed over **all**
@@ -519,11 +561,11 @@ class ShardRouter:
         terms = prep["terms"]
         if not terms:
             return []
-        total_docs = sum(s.text_docs for s in self._stats)
+        total_docs = sum(s.text_docs for s in stats)
         scores: dict = {}
         payloads = prep["unit"].ordered_payloads()
         for term in terms:
-            df = sum(s.term_dfs.get(term, 0) for s in self._stats)
+            df = sum(s.term_dfs.get(term, 0) for s in stats)
             if df == 0:
                 continue
             idf = math.log(1.0 + total_docs / df)

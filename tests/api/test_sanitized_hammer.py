@@ -1,0 +1,161 @@
+"""16-thread hammer over ``Router.dispatch`` with the lock sanitizers on.
+
+The serving-readiness passes promise that every route — including the
+``/debug/*`` introspection family, which reads the most shared state —
+is safe under a thread pool.  This suite is the runtime witness: 16
+threads hammer the dispatch boundary while the lock-order *and*
+lock-coverage sanitizers watch every acquisition and guarded-attribute
+write, and the run must end with zero violations and exactly-consistent
+``/stats`` counters.
+
+Under ``REPRO_SANITIZE=1`` (the CI sanitize job) the repo-wide conftest
+already installed the sanitizers; otherwise this module installs its
+own pair from the checked-in concurrency manifest, so the hammer is a
+sanitizer run in every configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+import tests.conftest as repo_hooks
+from repro import obs
+from repro.api import Request, TVDPClient, TVDPService
+from repro.core import TVDP
+from repro.datasets import generate_lasan_dataset
+from repro.devtools.sanitizers import LockCoverageSanitizer, LockOrderSanitizer
+from repro.features import ColorHistogramExtractor
+from repro.imaging import CLEANLINESS_CLASSES
+
+N_THREADS = 16
+ROUNDS_PER_THREAD = 6
+
+_MANIFEST = Path(__file__).resolve().parents[2] / "tools" / "concurrency_manifest.json"
+
+SEARCH_SPEC = {
+    "type": "spatial",
+    "region": {
+        "min_lat": 34.0,
+        "min_lng": -118.3,
+        "max_lat": 34.1,
+        "max_lng": -118.2,
+    },
+}
+
+
+@pytest.fixture()
+def sanitizers():
+    """(order, coverage, order_offset, coverage_offset) — the repo-wide
+    pair when active, else a locally installed pair."""
+    if repo_hooks._sanitizer is not None or repo_hooks._coverage is not None:
+        order, coverage = repo_hooks._sanitizer, repo_hooks._coverage
+        yield (
+            order,
+            coverage,
+            len(order.violations) if order is not None else 0,
+            len(coverage.violations) if coverage is not None else 0,
+        )
+        return
+    order = LockOrderSanitizer()
+    order.install()
+    coverage = LockCoverageSanitizer()
+    coverage.install_from_manifest(json.loads(_MANIFEST.read_text(encoding="utf-8")))
+    try:
+        yield order, coverage, 0, 0
+    finally:
+        coverage.uninstrument()
+        order.uninstall()
+
+
+@pytest.fixture()
+def service(sanitizers):
+    """A populated platform built *after* the sanitizers are live, so
+    its locks and guarded containers are instrumented."""
+    obs.reset()
+    platform = TVDP()
+    platform.register_extractor(ColorHistogramExtractor())
+    platform.catalog.define("street_cleanliness", list(CLEANLINESS_CLASSES))
+    for record in generate_lasan_dataset(n_per_class=3, image_size=24, seed=0):
+        platform.upload_image(
+            record.image, record.fov, record.captured_at, record.uploaded_at,
+            keywords=record.keywords,
+        )
+    platform.extract_features("color_hsv_20_20_10")
+    yield TVDPService(platform, deterministic_keys=True)
+    obs.reset()
+
+
+def test_sixteen_thread_debug_hammer_is_violation_free(service, sanitizers):
+    order, coverage, order_before, coverage_before = sanitizers
+    client = TVDPClient(service)
+    user_id = client.register_user("hammer", role="researcher")
+    api_key = client.create_key(user_id)
+    baseline_stats = service.handle(Request("GET", "/stats", api_key=api_key))
+    assert baseline_stats.status == 200
+    setup_requests = 3  # register + key + baseline stats
+
+    def make_requests():
+        return [
+            Request("GET", "/stats", api_key=api_key),
+            Request("GET", "/debug/slow", api_key=api_key),
+            Request("GET", "/debug/hot", api_key=api_key),
+            Request("GET", "/debug/resources", api_key=api_key),
+            Request(
+                "GET", "/debug/explain", body=dict(SEARCH_SPEC), api_key=api_key
+            ),
+            Request("POST", "/search", body=dict(SEARCH_SPEC), api_key=api_key),
+            Request("GET", "/metrics"),
+            Request("GET", "/health"),
+        ]
+
+    per_thread = len(make_requests()) * ROUNDS_PER_THREAD
+    statuses: list[list[int]] = [[] for _ in range(N_THREADS)]
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(N_THREADS)
+
+    def worker(index: int) -> None:
+        barrier.wait()
+        try:
+            for _ in range(ROUNDS_PER_THREAD):
+                for request in make_requests():
+                    statuses[index].append(service.handle(request).status)
+        except BaseException as exc:  # surface into the main thread
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(t,), name=f"hammer-{t}")
+        for t in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert errors == []
+    flat = [s for per_worker in statuses for s in per_worker]
+    assert len(flat) == N_THREADS * per_thread
+    assert all(status == 200 for status in flat)
+
+    # Zero sanitizer violations across every dispatch.
+    if order is not None:
+        fresh = order.violations[order_before:]
+        assert fresh == [], "\n".join(v.render() for v in fresh)
+    fresh_cov = coverage.violations[coverage_before:]
+    assert fresh_cov == [], "\n".join(v.render() for v in fresh_cov)
+
+    # /stats stayed consistent: read-only hammering moved no platform
+    # state, and the request counters account for every dispatch.
+    final_stats = service.handle(Request("GET", "/stats", api_key=api_key))
+    assert final_stats.status == 200
+    assert final_stats.body["blobs"] == baseline_stats.body["blobs"]
+    assert final_stats.body["rows"] == baseline_stats.body["rows"]
+    counters = obs.metrics().counter_values()
+    dispatched = sum(
+        value for name, value in counters.items() if name.startswith("api.requests")
+    )
+    # setup requests + hammer + the final /stats read just issued
+    assert dispatched == setup_requests + N_THREADS * per_thread + 1

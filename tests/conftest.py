@@ -1,41 +1,64 @@
-"""Repo-wide test hooks: the runtime lock-order sanitizer.
+"""Repo-wide test hooks: the runtime lock sanitizers.
 
-``REPRO_SANITIZE=1 pytest ...`` installs
-:class:`repro.devtools.sanitizers.LockOrderSanitizer` before test
-collection (so every ``threading.Lock``/``RLock`` the platform creates
-is wrapped), and an autouse fixture fails any test whose execution
-introduced a lock-order inversion or a blocking call under a lock.
-Without the variable, this module does nothing.
+``REPRO_SANITIZE=1 pytest ...`` installs, before test collection:
+
+* :class:`repro.devtools.sanitizers.LockOrderSanitizer` — every
+  ``threading.Lock``/``RLock`` the platform creates is wrapped, and
+  lock-order inversions or blocking calls under a lock are recorded;
+* :class:`repro.devtools.sanitizers.LockCoverageSanitizer` — every
+  class the concurrency manifest (``tools/concurrency_manifest.json``)
+  declares ``lock-guarded`` is instrumented, and any rebind or
+  container mutation of a guarded attribute without the declared lock
+  held by the current thread is recorded.
+
+An autouse fixture fails any test whose execution introduced a
+violation of either kind.  Without the variable, this module does
+nothing.
 
 CI runs the concurrency-sensitive suites this way in the ``sanitize``
 job; locally it is opt-in because the wrappers add a little overhead
-to every acquisition.
+to every acquisition and attribute write.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 _sanitizer = None
+_coverage = None
 
 
 def pytest_configure(config: pytest.Config) -> None:
-    global _sanitizer
+    global _sanitizer, _coverage
     if os.environ.get("REPRO_SANITIZE") != "1":
         return
-    from repro.devtools.sanitizers import LockOrderSanitizer
+    from repro.devtools.sanitizers import LockCoverageSanitizer, LockOrderSanitizer
 
     _sanitizer = LockOrderSanitizer()
     _sanitizer.install()
+    manifest_path = Path(__file__).resolve().parents[1] / "tools" / "concurrency_manifest.json"
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except ValueError:
+            manifest = None
+        if manifest is not None:
+            _coverage = LockCoverageSanitizer()
+            _coverage.install_from_manifest(manifest)
     config.addinivalue_line(
-        "markers", "sanitized: runtime lock-order sanitizer is active"
+        "markers", "sanitized: runtime lock sanitizers are active"
     )
 
 
 def pytest_unconfigure(config: pytest.Config) -> None:
-    global _sanitizer
+    global _sanitizer, _coverage
+    if _coverage is not None:
+        _coverage.uninstrument()
+        _coverage = None
     if _sanitizer is not None:
         _sanitizer.uninstall()
         _sanitizer = None
@@ -44,12 +67,15 @@ def pytest_unconfigure(config: pytest.Config) -> None:
 @pytest.fixture(autouse=True)
 def _lock_order_guard(request: pytest.FixtureRequest):
     """Fail the test that introduced a sanitizer violation."""
-    if _sanitizer is None:
+    if _sanitizer is None and _coverage is None:
         yield
         return
-    before = len(_sanitizer.violations)
+    before = len(_sanitizer.violations) if _sanitizer is not None else 0
+    before_cov = len(_coverage.violations) if _coverage is not None else 0
     yield
-    fresh = _sanitizer.violations[before:]
+    fresh = list(_sanitizer.violations[before:]) if _sanitizer is not None else []
+    if _coverage is not None:
+        fresh.extend(_coverage.violations[before_cov:])
     if fresh:
         rendered = "\n".join(v.render() for v in fresh)
         pytest.fail(

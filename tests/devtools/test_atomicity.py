@@ -1,0 +1,164 @@
+"""Atomicity pass: check-then-act and unlocked traversals of guarded state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.atomicity import check_atomicity
+from repro.devtools.callgraph import build_call_graph, build_symbol_table
+
+
+@pytest.fixture
+def run(make_package):
+    def _run(files):
+        root, modules = make_package(files)
+        table = build_symbol_table(modules, root)
+        graph = build_call_graph(table)
+        return check_atomicity(table, graph)
+
+    return _run
+
+
+def test_unlocked_traversal_of_guarded_attr(run):
+    findings = run(
+        {
+            "core/platform.py": """
+                import threading
+
+                class Store:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._data = {}
+
+                    def put(self, k, v):
+                        with self._lock:
+                            self._data[k] = v
+
+                    def size(self):
+                        return len(self._data)
+
+                class TVDP:
+                    def __init__(self):
+                        self.store = Store()
+
+                    def execute(self, query):
+                        self.store.put(query, self.store.size())
+            """,
+        }
+    )
+    assert any(
+        "len() over" in f.message and "Store._data" in f.scope for f in findings
+    )
+
+
+def test_traversal_under_the_lock_is_clean(run):
+    findings = run(
+        {
+            "core/platform.py": """
+                import threading
+
+                class Store:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._data = {}
+
+                    def put(self, k, v):
+                        with self._lock:
+                            self._data[k] = v
+
+                    def size(self):
+                        with self._lock:
+                            return len(self._data)
+
+                class TVDP:
+                    def __init__(self):
+                        self.store = Store()
+
+                    def execute(self, query):
+                        self.store.put(query, self.store.size())
+            """,
+        }
+    )
+    assert findings == []
+
+
+def test_check_then_act_outside_lock(run):
+    findings = run(
+        {
+            "core/platform.py": """
+                import threading
+
+                class TVDP:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._seen = {}
+
+                    def execute(self, query):
+                        if query not in self._seen:
+                            with self._lock:
+                                self._seen[query] = 1
+                        return True
+            """,
+        }
+    )
+    assert any("check-then-act" in f.message for f in findings)
+
+
+def test_check_and_act_under_one_lock_is_clean(run):
+    findings = run(
+        {
+            "core/platform.py": """
+                import threading
+
+                class TVDP:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._seen = {}
+
+                    def execute(self, query):
+                        with self._lock:
+                            if query not in self._seen:
+                                self._seen[query] = 1
+                        return True
+            """,
+        }
+    )
+    assert findings == []
+
+
+def test_allow_comment_suppresses(run):
+    findings = run(
+        {
+            "core/platform.py": """
+                import threading
+
+                class TVDP:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._seen = {}
+
+                    def execute(self, query):
+                        if query not in self._seen:  # devtools: allow[atomicity]
+                            with self._lock:
+                                self._seen[query] = 1
+                        return True
+            """,
+        }
+    )
+    assert findings == []
+
+
+def test_unshared_state_is_ignored(run):
+    findings = run(
+        {
+            "core/platform.py": """
+                class TVDP:
+                    def execute(self, query):
+                        local = {}
+                        if query not in local:
+                            local[query] = 1
+                        return len(local)
+            """,
+        }
+    )
+    assert findings == []

@@ -1,0 +1,157 @@
+"""Blocking-in-handler pass: blocking sites reachable from routed handlers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.blockinghandler import check_blocking_in_handler
+from repro.devtools.callgraph import build_call_graph, build_symbol_table
+
+
+@pytest.fixture
+def run(make_package):
+    def _run(files):
+        root, modules = make_package(files)
+        table = build_symbol_table(modules, root)
+        graph = build_call_graph(table)
+        return check_blocking_in_handler(table, graph)
+
+    return _run
+
+
+def test_file_io_in_handler_is_flagged(run):
+    findings = run(
+        {
+            "api/web.py": """
+                class WebService:
+                    def __init__(self, router):
+                        router.add('GET', '/dump', self._dump)
+
+                    def _dump(self, request):
+                        with open('/tmp/state.json') as fh:
+                            return fh.read()
+            """,
+        }
+    )
+    assert len(findings) == 1
+    assert "open()" in findings[0].message
+    assert "_dump" in findings[0].message
+
+
+def test_transitive_sleep_is_traced_with_chain(run):
+    findings = run(
+        {
+            "api/web.py": """
+                from pkg.api.helper import refresh
+
+                class WebService:
+                    def __init__(self, router):
+                        router.add('GET', '/x', self._x)
+
+                    def _x(self, request):
+                        return refresh()
+            """,
+            "api/helper.py": """
+                import time
+
+                def refresh():
+                    time.sleep(0.1)
+                    return {}
+            """,
+        }
+    )
+    assert len(findings) == 1
+    assert "time.sleep" in findings[0].message
+    assert "_x -> refresh" in findings[0].message
+
+
+def test_future_result_without_timeout(run):
+    findings = run(
+        {
+            "api/web.py": """
+                class WebService:
+                    def __init__(self, router):
+                        router.add('GET', '/x', self._x)
+
+                    def _x(self, request):
+                        return self.future.result()
+            """,
+        }
+    )
+    assert len(findings) == 1
+    assert "without a timeout" in findings[0].message
+
+
+def test_result_with_timeout_is_clean(run):
+    findings = run(
+        {
+            "api/web.py": """
+                class WebService:
+                    def __init__(self, router):
+                        router.add('GET', '/x', self._x)
+
+                    def _x(self, request):
+                        return self.future.result(timeout=2.0)
+            """,
+        }
+    )
+    assert findings == []
+
+
+def test_string_join_is_not_io(run):
+    findings = run(
+        {
+            "api/web.py": """
+                class WebService:
+                    def __init__(self, router):
+                        router.add('GET', '/x', self._x)
+
+                    def _x(self, request):
+                        return ', '.join(sorted(request))
+            """,
+        }
+    )
+    assert findings == []
+
+
+def test_one_allow_comment_covers_all_handlers(run):
+    findings = run(
+        {
+            "api/web.py": """
+                from pkg.api.helper import dispatch
+
+                class WebService:
+                    def __init__(self, router):
+                        router.add('GET', '/a', self._a)
+                        router.add('GET', '/b', self._b)
+
+                    def _a(self, request):
+                        return dispatch(request)
+
+                    def _b(self, request):
+                        return dispatch(request)
+            """,
+            "api/helper.py": """
+                import time
+
+                def dispatch(request):
+                    time.sleep(0.01)  # devtools: allow[blocking-in-handler]
+                    return {}
+            """,
+        }
+    )
+    assert findings == []
+
+
+def test_no_handlers_no_findings(run):
+    findings = run(
+        {
+            "core/util.py": """
+                import time
+
+                def slow():
+                    time.sleep(1)
+            """,
+        }
+    )
+    assert findings == []

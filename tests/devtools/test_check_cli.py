@@ -70,15 +70,46 @@ SEEDED = {
         "        self._lock = threading.Lock()\n"
     ),
     "core/platform.py": (  # process-safety: unclassified mutated global;
-        "_STATS = {}\n"  # hot-path: sorted() inside a data-plane loop
+        "import threading\n"  # hot-path: sorted() inside a data-plane loop
+        "\n"
+        "_STATS = {}\n"
+        "\n"
+        "\n"
+        "class Store:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._data = {}\n"
+        "\n"
+        "    def put(self, k, v):\n"
+        "        with self._lock:\n"
+        "            self._data[k] = v\n"
+        "\n"
+        "    def size(self):\n"
+        "        return len(self._data)\n"  # atomicity: unlocked read-gap
+        "\n"
         "\n"
         "class TVDP:\n"
+        "    def __init__(self):\n"
+        "        self._seen = {}\n"
+        "        self.store = Store()\n"
+        "\n"
         "    def execute(self, query):\n"
         "        _STATS[query.name] = 1\n"
+        "        self._seen[query.name] = 1\n"  # thread-escape: no lock
+        "        self.store.put(query.name, self.store.size())\n"
         "        out = []\n"
         "        for group in query.groups:\n"
         "            out.extend(sorted(group))\n"
         "        return out\n"
+    ),
+    "api/web.py": (  # blocking-in-handler: file IO in a routed handler
+        "class WebService:\n"
+        "    def __init__(self, router):\n"
+        "        router.add('GET', '/dump', self._dump)\n"
+        "\n"
+        "    def _dump(self, request):\n"
+        "        with open('/tmp/state.json') as fh:\n"
+        "            return fh.read()\n"
     ),
     # dead-code fires on the unreferenced public defs above (put, Index,
     # risky, poll, ...) without extra seeding.
@@ -260,6 +291,127 @@ class TestCli:
         (entry,) = document["entries"]
         assert entry["name"] == "_PLANNER_LOCK"
         assert main([*args, "--no-baseline", "--only", "process-safety"]) == 0
+
+
+class TestBaselineRatchet:
+    """The ratchet only shrinks: dead suppressions are failures."""
+
+    #: ``core`` is in the default layer DAG, so this tree has no findings.
+    CLEAN = {"core/fine.py": "VALUE = 1\n"}
+
+    def test_stale_baseline_fails_even_when_tree_is_clean(
+        self, make_package, tmp_path, capsys
+    ):
+        root, _ = make_package(self.CLEAN)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(["no-print:low/gone.py:gone"]), encoding="utf-8"
+        )
+        rc = main(
+            ["--root", str(root), "--repo-root", str(tmp_path), "--baseline", str(baseline)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "stale baseline" in out
+        assert "--trim-baseline" in out
+
+    def test_trim_baseline_drops_dead_entries(self, make_package, tmp_path, capsys):
+        root, _ = make_package(self.CLEAN)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(["no-print:low/gone.py:gone"]), encoding="utf-8"
+        )
+        args = ["--root", str(root), "--repo-root", str(tmp_path), "--baseline", str(baseline)]
+        assert main([*args, "--trim-baseline"]) == 0
+        assert "trimmed 1 stale entr" in capsys.readouterr().out
+        assert json.loads(baseline.read_text())["suppressions"] == []
+        assert main(args) == 0
+
+
+class TestChangedOnly:
+    def _git(self, cwd, *argv):
+        import subprocess
+
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+            cwd=cwd, check=True, capture_output=True,
+        )
+
+    @pytest.fixture
+    def committed_tree(self, seeded_tree, tmp_path):
+        root, _, _ = seeded_tree
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "commit", "-qm", "seed")
+        return root, tmp_path
+
+    def test_unchanged_tree_is_green(self, committed_tree, capsys):
+        root, repo = committed_tree
+        rc = main(
+            [
+                "--root", str(root), "--repo-root", str(repo),
+                "--no-baseline", "--changed-only", "HEAD",
+            ]
+        )
+        assert rc == 0, capsys.readouterr().out
+        # The same tree without the restriction still fails: the filter,
+        # not the tree, made the run green.
+        capsys.readouterr()
+        assert main(["--root", str(root), "--repo-root", str(repo), "--no-baseline"]) == 1
+
+    def test_findings_match_full_run_on_changed_files(self, committed_tree, capsys):
+        """Parity pin: the restricted run reports exactly the full run's
+        findings for the files that changed — no more, no fewer."""
+        root, repo = committed_tree
+        target = root / "low" / "lints.py"
+        target.write_text(target.read_text() + "\n# touched\n", encoding="utf-8")
+
+        main(["--root", str(root), "--repo-root", str(repo), "--no-baseline", "--json"])
+        full = json.loads(capsys.readouterr().out)
+        rc = main(
+            [
+                "--root", str(root), "--repo-root", str(repo),
+                "--no-baseline", "--changed-only", "HEAD", "--json",
+            ]
+        )
+        restricted = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        changed_path = target.relative_to(repo).as_posix()
+        expected = {
+            f["fingerprint"] for f in full["new_findings"] if f["path"] == changed_path
+        }
+        assert expected
+        assert {f["fingerprint"] for f in restricted["new_findings"]} == expected
+
+    def test_stale_baseline_is_waived_for_incremental_runs(
+        self, committed_tree, tmp_path, capsys
+    ):
+        root, repo = committed_tree
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(["no-print:low/gone.py:gone"]), encoding="utf-8"
+        )
+        rc = main(
+            [
+                "--root", str(root), "--repo-root", str(repo),
+                "--baseline", str(baseline), "--changed-only", "HEAD",
+            ]
+        )
+        capsys.readouterr()
+        # Incremental runs answer "did MY change add findings"; only the
+        # full run owns the ratchet.
+        assert rc == 0
+
+    def test_outside_a_repo_exits_two(self, seeded_tree, tmp_path, capsys):
+        root, _, _ = seeded_tree
+        rc = main(
+            [
+                "--root", str(root), "--repo-root", str(tmp_path),
+                "--no-baseline", "--changed-only", "HEAD",
+            ]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
 
 
 def test_shipped_tree_is_clean(capsys):

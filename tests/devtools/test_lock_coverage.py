@@ -1,0 +1,157 @@
+"""Lock-coverage sanitizer: manifest-declared guards enforced at runtime."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.devtools.sanitizers import LockCoverageSanitizer
+
+
+class Guarded:
+    """A class shaped like the manifest's lock-guarded rows."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data = {}
+        self._items = []
+        self._size = 0
+
+    def put_locked(self, k, v):
+        with self._lock:
+            self._data[k] = v
+
+    def put_unlocked(self, k, v):
+        self._data[k] = v
+
+    def bump_locked(self):
+        with self._lock:
+            self._size += 1
+
+    def bump_unlocked(self):
+        self._size += 1
+
+
+@pytest.fixture
+def sanitizer():
+    cov = LockCoverageSanitizer()
+    cov.instrument_class(
+        Guarded, {"_data": "_lock", "_items": "_lock", "_size": "_lock"}
+    )
+    try:
+        yield cov
+    finally:
+        cov.uninstrument()
+
+
+class TestEnforcement:
+    def test_unlocked_container_mutation_is_a_violation(self, sanitizer):
+        obj = Guarded()
+        obj.put_unlocked("k", 1)
+        (violation,) = sanitizer.violations
+        assert violation.attr == "Guarded._data"
+        assert violation.op == "__setitem__"
+        assert "without _lock held" in violation.render()
+
+    def test_locked_mutation_is_clean(self, sanitizer):
+        obj = Guarded()
+        obj.put_locked("k", 1)
+        obj.bump_locked()
+        assert sanitizer.violations == []
+        assert obj._data == {"k": 1}
+        assert obj._size == 1
+
+    def test_unlocked_rebind_is_a_violation(self, sanitizer):
+        obj = Guarded()
+        obj.bump_unlocked()  # read-modify-write rebinds _size
+        (violation,) = sanitizer.violations
+        assert violation.attr == "Guarded._size"
+        assert violation.op == "rebind"
+
+    def test_first_bind_in_init_is_publication_not_violation(self, sanitizer):
+        Guarded()
+        assert sanitizer.violations == []
+
+    def test_violation_from_worker_thread_names_the_thread(self, sanitizer):
+        obj = Guarded()
+        worker = threading.Thread(
+            target=obj.put_unlocked, args=("k", 1), name="hammer-0"
+        )
+        worker.start()
+        worker.join()
+        (violation,) = sanitizer.violations
+        assert violation.thread == "hammer-0"
+
+    def test_list_and_set_mutators_are_covered(self, sanitizer):
+        obj = Guarded()
+        obj._items.append(1)  # no lock held
+        assert [v.op for v in sanitizer.violations] == ["append"]
+
+
+class TestTransparency:
+    def test_values_stay_visible_through_vars_and_pickle(self, sanitizer):
+        obj = Guarded()
+        obj.put_locked("k", 1)
+        assert vars(obj)["_data"] == {"k": 1}
+        # Guarded containers reduce to plain builtins so snapshots and
+        # shard pickling never ship sanitizer state.
+        restored = pickle.loads(pickle.dumps(obj._data))
+        assert type(restored) is dict
+        assert restored == {"k": 1}
+
+    def test_uninstrument_restores_plain_attributes(self):
+        cov = LockCoverageSanitizer()
+        cov.instrument_class(Guarded, {"_data": "_lock"})
+        cov.uninstrument()
+        obj = Guarded()
+        obj.put_unlocked("k", 1)  # no longer instrumented
+        assert cov.violations == []
+        assert type(obj._data) is dict
+
+    def test_slotted_classes_are_skipped(self):
+        class Slotted:
+            __slots__ = ("_lock", "_data")
+
+        cov = LockCoverageSanitizer()
+        assert cov.instrument_class(Slotted, {"_data": "_lock"}) == 0
+        cov.uninstrument()
+
+    def test_cross_class_guards_are_skipped(self):
+        cov = LockCoverageSanitizer()
+        manifest = {
+            "entries": [
+                {
+                    "attr": "tests.devtools.test_lock_coverage.Guarded._data",
+                    "classification": "lock-guarded",
+                    "guard": "tests.devtools.test_lock_coverage.Other._lock",
+                },
+            ]
+        }
+        assert cov.install_from_manifest(manifest) == 0
+        cov.uninstrument()
+
+    def test_install_from_manifest_resolves_by_dotted_name(self):
+        cov = LockCoverageSanitizer()
+        manifest = {
+            "entries": [
+                {
+                    "attr": "tests.devtools.test_lock_coverage.Guarded._data",
+                    "classification": "lock-guarded",
+                    "guard": "tests.devtools.test_lock_coverage.Guarded._lock",
+                },
+                {
+                    "attr": "tests.devtools.test_lock_coverage.Guarded._limit",
+                    "classification": "immutable",
+                    "guard": None,
+                },
+            ]
+        }
+        try:
+            assert cov.install_from_manifest(manifest) == 1
+            obj = Guarded()
+            obj.put_unlocked("k", 1)
+            assert len(cov.violations) == 1
+        finally:
+            cov.uninstrument()
